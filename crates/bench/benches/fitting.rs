@@ -1,0 +1,61 @@
+//! Sect. 4.3 timing claim: fitting Func. 2 (closed form) to every
+//! operator of ShuffleNetV2+ is orders of magnitude cheaper than the
+//! iteratively fitted Func. 1 / Func. 3 (the paper measured 4386 ms vs
+//! 105930 ms with scipy `curve_fit` over 4343 operators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use npu_perf_model::{fit, FitFunction};
+use npu_sim::{Device, FreqMhz, NpuConfig, OpClass, RunOptions};
+use npu_workloads::models;
+
+/// Per-operator `(f_mhz, time_us)` samples for the whole model.
+fn shufflenet_samples() -> Vec<Vec<(f64, f64)>> {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::shufflenet_v2plus(&cfg);
+    let mut dev = Device::new(cfg);
+    let freqs = [1000u32, 1400, 1800];
+    let profiles: Vec<_> = freqs
+        .iter()
+        .map(|&mhz| {
+            dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(mhz)))
+                .expect("profile")
+                .records
+        })
+        .collect();
+    (0..w.op_count())
+        .filter(|&i| profiles[0][i].class == OpClass::Compute)
+        .map(|i| {
+            freqs
+                .iter()
+                .zip(&profiles)
+                .map(|(&mhz, recs)| (f64::from(mhz), recs[i].dur_us.max(1e-9)))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let samples = shufflenet_samples();
+    let mut group = c.benchmark_group("fit_shufflenet_all_ops");
+    group.sample_size(10);
+    for kind in FitFunction::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for s in &samples {
+                        let p = fit(kind, s).expect("fit");
+                        acc += p.predict_time_us(1500.0);
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

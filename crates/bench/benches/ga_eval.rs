@@ -1,0 +1,45 @@
+//! Sect. 8.1 throughput claim: model-based policy evaluation is fast
+//! enough to assess tens of thousands of strategies in minutes (the paper
+//! evaluates a GPT-3 policy "in just milliseconds" and 20,000 strategies
+//! within 5 minutes; a model-free approach would manage ~30 in the same
+//! time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npu_bench::{build_models, steady_profiles};
+use npu_dvfs::{preprocess::preprocess, search, GaConfig, StageTable};
+use npu_perf_model::FitFunction;
+use npu_sim::{Device, NpuConfig};
+use npu_workloads::models;
+
+fn gpt3_table() -> StageTable {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::gpt3(&cfg);
+    let mut dev = Device::new(cfg.clone());
+    let profiles = steady_profiles(&mut dev, &w, &[1800, 1000]);
+    let (perf, power) = build_models(&cfg, &profiles, FitFunction::Quadratic);
+    let pre = preprocess(&profiles[0].records, 5_000.0);
+    StageTable::build(&pre, &perf, &power, &cfg.freq_table).expect("table")
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let table = gpt3_table();
+    let genes: Vec<usize> = (0..table.n_stages()).map(|i| i % table.n_freqs()).collect();
+
+    let mut group = c.benchmark_group("policy_evaluation");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("evaluate_one_gpt3_policy", |b| {
+        b.iter(|| table.evaluate(&genes));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ga_search");
+    group.sample_size(10);
+    group.bench_function("gpt3_pop200_iters50", |b| {
+        let cfg = GaConfig::default().with_iterations(50);
+        b.iter(|| search(&table, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

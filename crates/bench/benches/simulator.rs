@@ -1,0 +1,43 @@
+//! Substrate throughput: operators simulated per second by the virtual
+//! device (the reason whole GPT-3 iterations and calibration sweeps are
+//! cheap enough to run in tests).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use npu_sim::{Device, FreqMhz, NpuConfig, RunOptions, SetFreqCmd};
+use npu_workloads::models;
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::resnet50(&cfg);
+    let n = w.op_count() as u64;
+
+    let mut group = c.benchmark_group("device_run");
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("resnet50_fixed_freq", |b| {
+        let mut dev = Device::new(cfg.clone());
+        let opts = RunOptions::at(FreqMhz::new(1800));
+        b.iter(|| dev.run(w.schedule(), &opts).expect("run"));
+    });
+    group.bench_function("resnet50_with_setfreq", |b| {
+        let mut dev = Device::new(cfg.clone());
+        let cmds: Vec<SetFreqCmd> = (0..w.op_count())
+            .step_by(40)
+            .enumerate()
+            .map(|(k, i)| SetFreqCmd {
+                after_op: i,
+                target: FreqMhz::new(if k % 2 == 0 { 1200 } else { 1800 }),
+            })
+            .collect();
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(cmds);
+        b.iter(|| dev.run(w.schedule(), &opts).expect("run"));
+    });
+    group.bench_function("resnet50_no_records", |b| {
+        let mut dev = Device::new(cfg.clone());
+        let opts = RunOptions::at(FreqMhz::new(1800)).without_records();
+        b.iter(|| dev.run(w.schedule(), &opts).expect("run"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 3 regeneration: (a) Ld/St throughput vs core frequency
+//! (`Tp(f) = min(C·f·core_num, BW_uncore)`, Eq. (1)) and (b) transfer
+//! cycle count vs frequency at fixed volume (`max(a·f, c) + T0·f`,
+//! Eq. (4)) — the saturation knee at `f_s` (Eq. (2)).
+
+use npu_sim::{ld_throughput, CycleModel, FreqMhz, NpuConfig, OpDescriptor, Scenario};
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    let hit = 0.9; // a mid L2 hit rate places f_s inside the band
+    let fs = cfg.uncore_bw(hit) / (cfg.ld_bytes_per_cycle_per_core * f64::from(cfg.core_num));
+    println!("# Fig 3(a): Ld throughput vs core frequency (L2 hit rate {hit})");
+    println!("# saturation frequency f_s = {fs:.0} MHz");
+    println!("{:>8} {:>16}", "f_MHz", "Tp_GBps");
+    for mhz in (900..=1900).step_by(50) {
+        let tp = ld_throughput(&cfg, hit, FreqMhz::new(mhz));
+        println!("{:>8} {:>16.1}", mhz, tp / 1000.0);
+    }
+
+    // Fixed transfer volume: cycles flat below f_s, linear above.
+    let op = OpDescriptor::compute("Ld", Scenario::PingPongFreeIndependent)
+        .blocks(1)
+        .ld_bytes_per_block(64.0 * 1024.0 * 1024.0)
+        .l2_hit_rate(hit)
+        .core_cycles_per_block(0.0);
+    let model = CycleModel::new(&op, &cfg);
+    println!("\n# Fig 3(b): Ld cycles vs frequency at fixed 64 MiB volume");
+    println!("{:>8} {:>16} {:>12}", "f_MHz", "cycles", "time_us");
+    for mhz in (900..=1900).step_by(50) {
+        let c = model.cycles_at(f64::from(mhz));
+        println!("{:>8} {:>16.0} {:>12.1}", mhz, c, c / f64::from(mhz));
+    }
+    println!("\n# shape check: cycles flat (core-limited) below f_s, rising (uncore-saturated) above");
+}

@@ -1,0 +1,21 @@
+//! Fig. 9 regeneration: the firmware voltage ladder — constant below
+//! 1300 MHz, linear above.
+
+use npu_sim::{FreqMhz, NpuConfig};
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    println!("# Fig 9: voltage vs frequency");
+    println!("{:>8} {:>10}", "f_MHz", "V_mV");
+    for f in cfg.freq_table.iter() {
+        println!("{:>8} {:>10.0}", f.mhz(), 1000.0 * cfg.voltage_curve.volts(f));
+    }
+    println!(
+        "# knee at {} (flat below, +{:.1} mV per 100 MHz above)",
+        cfg.voltage_curve.knee(),
+        100.0
+            * (cfg.voltage_curve.volts(FreqMhz::new(1800))
+                - cfg.voltage_curve.volts(FreqMhz::new(1700)))
+            * 10.0
+    );
+}

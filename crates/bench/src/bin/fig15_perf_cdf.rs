@@ -1,0 +1,87 @@
+//! Fig. 15 regeneration: CDF of performance-model prediction error for
+//! the three fitting functions, over the seven-model suite (paper: >5000
+//! operators × 6 holdout frequency points, sub-20 µs operators excluded).
+//!
+//! Func. 2 (`T = (af² + c)/f`) builds from two frequencies; Funcs. 1 and 3
+//! build from three. Predictions are scored at every other supported
+//! frequency.
+
+use npu_bench::{all_freqs_mhz, split_profiles, steady_profiles};
+use npu_perf_model::{
+    error_cdf, prediction_errors, ErrorStats, FitFunction, PerfModelStore, SHORT_OP_CUTOFF_US,
+};
+use npu_sim::{Device, NpuConfig};
+use npu_workloads::models;
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    let suite = models::perf_model_suite(&cfg);
+    let total_ops: usize = suite.iter().map(npu_workloads::Workload::op_count).sum();
+    println!("# Fig 15: perf-model error CDF over {} models, {total_ops} operators", suite.len());
+
+    let mut errors_per_fn: Vec<(FitFunction, Vec<f64>)> = FitFunction::all()
+        .into_iter()
+        .map(|k| (k, Vec::new()))
+        .collect();
+    let mut scored_points = 0usize;
+    for workload in &suite {
+        let mut dev = Device::new(cfg.clone());
+        let profiles = steady_profiles(&mut dev, workload, &all_freqs_mhz());
+        for (kind, errors) in &mut errors_per_fn {
+            let build_mhz: &[u32] = match kind.min_points() {
+                2 => &[1000, 1800],
+                _ => &[1000, 1400, 1800],
+            };
+            let (build, holdout) = split_profiles(&profiles, build_mhz);
+            let store = PerfModelStore::build(&build, *kind).expect("fit");
+            let errs = prediction_errors(&store, &holdout, SHORT_OP_CUTOFF_US);
+            scored_points += errs.len();
+            errors.extend(errs);
+        }
+    }
+    println!("# scored prediction points: {scored_points} (paper: >30,000 data points)\n");
+
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "function", "avg%", "p50%", "p90%", "<=5%", "<=10%"
+    );
+    for (kind, errors) in &errors_per_fn {
+        let s = ErrorStats::from_errors(errors).expect("non-empty");
+        println!(
+            "{:<22} {:>8.2} {:>8.2} {:>8.2} {:>7.1}% {:>7.1}%",
+            kind.to_string(),
+            100.0 * s.mean,
+            100.0 * s.p50,
+            100.0 * s.p90,
+            100.0 * ErrorStats::fraction_within(errors, 0.05),
+            100.0 * ErrorStats::fraction_within(errors, 0.10),
+        );
+    }
+    println!("# paper: Func.2 avg error 1.96%, >90% within 5%, >98% within 10%\n");
+
+    println!("# CDF series (error, cumulative fraction):");
+    print!("{:>8}", "err%");
+    for (kind, _) in &errors_per_fn {
+        print!(" {:>22}", kind.to_string());
+    }
+    println!();
+    let grids: Vec<Vec<(f64, f64)>> = errors_per_fn
+        .iter()
+        .map(|(_, e)| error_cdf(e, 20))
+        .collect();
+    for i in 0..=20 {
+        // Use the Func.2 grid's x-axis as reference.
+        let x = grids[1][i].0;
+        print!("{:>8.2}", 100.0 * x);
+        for g in &grids {
+            // Fraction of this function's errors at or below x.
+            let frac = g
+                .iter()
+                .take_while(|(e, _)| *e <= x)
+                .last()
+                .map_or(0.0, |(_, f)| *f);
+            print!(" {frac:>22.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 16 regeneration: predicted vs measured execution time and error
+//! rate across the band for the paper's five representative operators —
+//! Add, RealDiv, ReduceMean, Conv2D, BNTrainingUpdate (execution times
+//! spanning ~20–300 µs). Models build from 1000 + 1800 MHz (Func. 2) or
+//! 1000/1400/1800 (Funcs. 1, 3) and predict the other points.
+
+use npu_bench::{all_freqs_mhz, split_profiles, steady_profiles};
+use npu_perf_model::{prediction_curve, FitFunction, PerfModelStore};
+use npu_sim::{Device, NpuConfig, Schedule};
+use npu_workloads::{ops, Workload};
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    let five = vec![
+        ops::add(&cfg, 24 << 20),
+        ops::real_div(&cfg, 16 << 20),
+        ops::reduce_mean(&cfg, 8192, 4096),
+        ops::conv2d(&cfg, "Conv2D", 32, 256, 28, 28, 256, 3, 1, 0.4),
+        ops::bn_training_update(&cfg, 48 << 20),
+    ];
+    let workload = Workload::new("Fig16", Schedule::new(five));
+    let mut dev = Device::new(cfg.clone());
+    let profiles = steady_profiles(&mut dev, &workload, &all_freqs_mhz());
+
+    for kind in FitFunction::all() {
+        let build_mhz: &[u32] = match kind.min_points() {
+            2 => &[1000, 1800],
+            _ => &[1000, 1400, 1800],
+        };
+        let (build, _holdout) = split_profiles(&profiles, build_mhz);
+        let store = PerfModelStore::build(&build, kind).expect("fit");
+        println!("# Fig 16 with {kind} (build at {build_mhz:?} MHz)");
+        for op_index in 0..workload.op_count() {
+            let curve = prediction_curve(&store, &profiles, op_index);
+            println!("## {}", curve.name);
+            println!(
+                "{:>8} {:>12} {:>12} {:>8}",
+                "f_MHz", "actual_us", "pred_us", "err%"
+            );
+            let errors = curve.errors();
+            for (i, &mhz) in curve.freq_mhz.iter().enumerate() {
+                println!(
+                    "{:>8} {:>12.2} {:>12.2} {:>8.2}",
+                    mhz,
+                    curve.actual_us[i],
+                    curve.predicted_us[i],
+                    100.0 * errors[i]
+                );
+            }
+        }
+        println!();
+    }
+    println!("# paper: Func.2 captures the time-vs-frequency curves with low error;");
+    println!("# Func.3's clamped exponent limits its accuracy.");
+}

@@ -1,0 +1,91 @@
+//! Fig. 18 regeneration: comparative experiments on GPT-3 at the 2 %
+//! target.
+//!
+//! 1. **Delayed SetFreq** — the strategy is planned for a 1 ms apply
+//!    latency but the device applies after 15 ms (V100-class DVFS),
+//!    emulating the paper's 14 ms-delay experiment: savings shrink and
+//!    the performance loss grows.
+//! 2. **Coarse FAI** — strategies generated with 100 ms and 1 s
+//!    frequency-adjustment intervals trigger far fewer SetFreqs and save
+//!    less power (memory- and compute-bound operators get trapped at one
+//!    frequency).
+
+use npu_core::{EnergyOptimizer, OptimizerConfig};
+use npu_power_model::HardwareCalibration;
+use npu_sim::{Device, NpuConfig};
+use npu_workloads::models;
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    let workload = models::gpt3(&cfg);
+    let calib = HardwareCalibration::ground_truth(&cfg);
+
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9}",
+        "config", "SetFreq", "loss%", "SoC_red%", "AIC_red%"
+    );
+    let run = |label: &str, device_cfg: NpuConfig, opts: OptimizerConfig| {
+        let mut optimizer = EnergyOptimizer::new(Device::new(device_cfg), calib);
+        let r = optimizer.optimize(&workload, &opts).expect("optimize");
+        println!(
+            "{:<16} {:>8} {:>9.2} {:>9.2} {:>9.2}",
+            label,
+            r.setfreq_count,
+            100.0 * r.perf_loss(),
+            100.0 * r.soc_reduction(),
+            100.0 * r.aicore_reduction()
+        );
+    };
+
+    // Baseline: 1 ms SetFreq, 5 ms FAI (the paper's production setting).
+    run("1ms/FAI-5ms", cfg.clone(), OptimizerConfig::default());
+
+    // V100 emulation: plan for 1 ms, device applies after 15 ms. At the
+    // 2 % target our GA prefers shallow mid-band LFC frequencies, which
+    // are robust to a uniform shift; the paper's bimodal strategy loses
+    // half its savings. The 10 % target produces deep swings, where the
+    // delay's cost shows clearly.
+    let slow = NpuConfig::builder()
+        .setfreq_latency_us(15_000.0)
+        .build()
+        .expect("config");
+    let opts = OptimizerConfig {
+        planned_latency_us: Some(1_000.0),
+        ..OptimizerConfig::default()
+    };
+    run("15ms delay", slow.clone(), opts);
+    run("1ms @10%", cfg.clone(), OptimizerConfig::default().with_loss_target(0.10));
+    let opts10 = OptimizerConfig {
+        planned_latency_us: Some(1_000.0),
+        ..OptimizerConfig::default()
+    }
+    .with_loss_target(0.10);
+    run("15ms @10%", slow.clone(), opts10);
+
+    // Fair V100-class operation: the runtime knows about the 15 ms apply
+    // latency, so it cannot place candidates closer than ~15 ms and plans
+    // triggers with the true latency.
+    run(
+        "V100-class",
+        slow,
+        OptimizerConfig::default().with_fai_us(15_000.0),
+    );
+
+    // Coarse frequency-adjustment intervals.
+    run(
+        "1ms/FAI-100ms",
+        cfg.clone(),
+        OptimizerConfig::default().with_fai_us(100_000.0),
+    );
+    run(
+        "1ms/FAI-1s",
+        cfg,
+        OptimizerConfig::default().with_fai_us(1_000_000.0),
+    );
+
+    println!("\n# paper Fig 18 (GPT-3, 2% target):");
+    println!("#   1ms/FAI-5ms   : 821 SetFreq, loss 1.59%, SoC -5.56%, AICore -15.27%");
+    println!("#   15ms delay    :             loss 1.69%, SoC -3.41%, AICore  -7.07%");
+    println!("#   FAI-100ms     :  38 SetFreq, loss 1.74%, SoC -3.60%, AICore  -9.30%");
+    println!("#   FAI-1s        :   4 SetFreq, loss 1.97%, SoC -3.48%, AICore -10.09%");
+}

@@ -1,0 +1,28 @@
+//! # npu-core — end-to-end NPU energy optimization
+//!
+//! The top-level crate of the reproduction: wires the simulator, workload
+//! generators, performance/power models, DVFS strategy search and executor
+//! into the closed loop of the paper's Fig. 1:
+//!
+//! ```text
+//! profile workload ──> build perf model ──┐
+//!        │                                ├──> GA strategy search ──> execute ──> report
+//!        └──────────> build power model ──┘
+//! ```
+//!
+//! [`EnergyOptimizer::calibrated`] performs the offline hardware
+//! calibration once; [`EnergyOptimizer::optimize`] then runs the full loop
+//! for a workload and returns an [`OptimizationReport`] comparing the
+//! measured baseline against the measured DVFS-optimized iteration — the
+//! numbers of the paper's Table 3.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod model_free;
+mod optimizer;
+mod report;
+
+pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
+pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
+pub use report::{MeasuredIteration, OptimizationReport};

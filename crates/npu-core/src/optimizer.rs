@@ -1,0 +1,409 @@
+//! The end-to-end energy optimizer (paper Fig. 1): profile → build
+//! performance and power models → classify/preprocess → GA search →
+//! execute the strategy → compare against baseline.
+
+use crate::report::{MeasuredIteration, OptimizationReport};
+use npu_dvfs::{preprocess::preprocess, search, GaConfig, GaOutcome, StageTable, TableError};
+use npu_exec::{execute_strategy, ExecError, ExecutorOptions};
+use npu_perf_model::{BuildError, FitFunction, FreqProfile, PerfModelStore};
+use npu_power_model::{
+    calibrate_device, CalibrationOptions, DeviceCalibrationError, HardwareCalibration,
+    PowerBuildError, PowerModel,
+};
+use npu_sim::{Device, DeviceError, FreqMhz, NpuConfig, RunOptions, Schedule};
+use npu_workloads::{models, ops, Workload};
+use std::fmt;
+
+/// Configuration of one end-to-end optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Frequencies profiled to build the models (paper: 1000 + 1800 MHz).
+    pub build_freqs: Vec<FreqMhz>,
+    /// Performance-model fitting function (paper production choice:
+    /// Func. 2).
+    pub fit: FitFunction,
+    /// Frequency-adjustment interval for candidate merging, µs.
+    pub fai_us: f64,
+    /// Genetic-algorithm settings.
+    pub ga: GaConfig,
+    /// Trigger-placement latency override (see
+    /// [`ExecutorOptions::planned_latency_us`]).
+    pub planned_latency_us: Option<f64>,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        Self {
+            build_freqs: vec![FreqMhz::new(1000), FreqMhz::new(1800)],
+            fit: FitFunction::Quadratic,
+            fai_us: 5_000.0,
+            ga: GaConfig::default(),
+            planned_latency_us: None,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Sets the performance-loss target, chainable.
+    #[must_use]
+    pub fn with_loss_target(mut self, target: f64) -> Self {
+        self.ga.perf_loss_target = target;
+        self
+    }
+
+    /// Sets the frequency-adjustment interval, chainable.
+    #[must_use]
+    pub fn with_fai_us(mut self, fai: f64) -> Self {
+        self.fai_us = fai;
+        self
+    }
+}
+
+/// Errors from the end-to-end flow.
+#[derive(Debug)]
+pub enum OptimizeError {
+    /// Device run failed.
+    Device(DeviceError),
+    /// Offline calibration failed.
+    Calibration(DeviceCalibrationError),
+    /// Performance-model construction failed.
+    PerfModel(BuildError),
+    /// Power-model construction failed.
+    PowerModel(PowerBuildError),
+    /// Stage-table construction failed.
+    Table(TableError),
+    /// Strategy execution failed.
+    Exec(ExecError),
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::Calibration(e) => write!(f, "calibration failed: {e}"),
+            Self::PerfModel(e) => write!(f, "performance model failed: {e}"),
+            Self::PowerModel(e) => write!(f, "power model failed: {e}"),
+            Self::Table(e) => write!(f, "stage table failed: {e}"),
+            Self::Exec(e) => write!(f, "strategy execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            Self::Calibration(e) => Some(e),
+            Self::PerfModel(e) => Some(e),
+            Self::PowerModel(e) => Some(e),
+            Self::Table(e) => Some(e),
+            Self::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<DeviceError> for OptimizeError {
+    fn from(e: DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+impl From<DeviceCalibrationError> for OptimizeError {
+    fn from(e: DeviceCalibrationError) -> Self {
+        Self::Calibration(e)
+    }
+}
+impl From<BuildError> for OptimizeError {
+    fn from(e: BuildError) -> Self {
+        Self::PerfModel(e)
+    }
+}
+impl From<PowerBuildError> for OptimizeError {
+    fn from(e: PowerBuildError) -> Self {
+        Self::PowerModel(e)
+    }
+}
+impl From<TableError> for OptimizeError {
+    fn from(e: TableError) -> Self {
+        Self::Table(e)
+    }
+}
+impl From<ExecError> for OptimizeError {
+    fn from(e: ExecError) -> Self {
+        Self::Exec(e)
+    }
+}
+
+/// The end-to-end optimizer: owns a calibrated device.
+///
+/// # Examples
+///
+/// ```no_run
+/// use npu_core::{EnergyOptimizer, OptimizerConfig};
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let workload = models::tiny(&cfg);
+/// let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
+/// let report = optimizer.optimize(&workload, &OptimizerConfig::default())?;
+/// println!("{report}");
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct EnergyOptimizer {
+    dev: Device,
+    calib: HardwareCalibration,
+}
+
+impl EnergyOptimizer {
+    /// Wraps an already-calibrated device.
+    #[must_use]
+    pub fn new(dev: Device, calib: HardwareCalibration) -> Self {
+        Self { dev, calib }
+    }
+
+    /// Creates a device for `cfg` and runs the standard offline
+    /// calibration (idle two-point, cool-down γ, three-load `k` fit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Calibration`] if a calibration fit fails.
+    pub fn calibrated(cfg: NpuConfig) -> Result<Self, OptimizeError> {
+        let mut dev = Device::new(cfg.clone());
+        // The heat load mixes cube work with heavy memory traffic so the
+        // chip swings well above the idle equilibrium and the cool-down
+        // has a wide temperature range for the γ regression.
+        let mut heat_ops = Vec::new();
+        for _ in 0..12 {
+            heat_ops.push(ops::matmul(&cfg, "CalMatMul", 4096, 4096, 4096, 0.55));
+            heat_ops.push(ops::gelu(&cfg, 128 << 20));
+        }
+        let heat = Workload::new("CalHeat", npu_sim::Schedule::new(heat_ops));
+        let loads = vec![
+            models::tanh_loop(&cfg, 24).schedule().clone(),
+            models::tiny(&cfg).schedule().clone(),
+            heat.schedule().clone(),
+        ];
+        let calib = calibrate_device(
+            &mut dev,
+            heat.schedule(),
+            &loads,
+            &CalibrationOptions::default(),
+        )?;
+        Ok(Self { dev, calib })
+    }
+
+    /// The calibration in use.
+    #[must_use]
+    pub fn calibration(&self) -> &HardwareCalibration {
+        &self.calib
+    }
+
+    /// Access to the underlying device (e.g. to inspect temperature).
+    #[must_use]
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Profiles `schedule` once per frequency, warming the chip to the
+    /// thermal steady state of each frequency first (the paper collects
+    /// data "once stable training is achieved").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Device`] if a run fails.
+    pub fn profile(
+        &mut self,
+        schedule: &Schedule,
+        freqs: &[FreqMhz],
+    ) -> Result<Vec<FreqProfile>, OptimizeError> {
+        let tau = self.dev.config().thermal_tau_us;
+        let mut profiles = Vec::with_capacity(freqs.len());
+        for &freq in freqs {
+            // Reach thermal steady state *at this frequency* before
+            // recording, as the paper does ("once stable training is
+            // achieved"): each frequency's power data must carry its own
+            // equilibrium temperature, not the previous run's heat.
+            let _ = self.dev.warm_until_steady(schedule, freq, 0.2, 12.0 * tau)?;
+            let run = self.dev.run(schedule, &RunOptions::at(freq))?;
+            profiles.push(FreqProfile {
+                freq,
+                records: run.records,
+            });
+        }
+        Ok(profiles)
+    }
+
+    /// Runs the full Fig. 1 loop on one workload and reports measured
+    /// baseline vs. optimized numbers (one Table 3 row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if any phase fails.
+    pub fn optimize(
+        &mut self,
+        workload: &Workload,
+        opts: &OptimizerConfig,
+    ) -> Result<OptimizationReport, OptimizeError> {
+        let (report, _) = self.optimize_with_outcome(workload, opts)?;
+        Ok(report)
+    }
+
+    /// Like [`Self::optimize`] but also returns the raw GA outcome
+    /// (used by experiments that inspect the search itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if any phase fails.
+    pub fn optimize_with_outcome(
+        &mut self,
+        workload: &Workload,
+        opts: &OptimizerConfig,
+    ) -> Result<(OptimizationReport, GaOutcome), OptimizeError> {
+        let schedule = workload.schedule();
+        let fmax = self.dev.config().freq_table.max();
+        let voltage = self.dev.config().voltage_curve;
+        let freq_table = self.dev.config().freq_table.clone();
+
+        // 1. Profile at the build frequencies (max first: it doubles as
+        //    the measured baseline).
+        let mut build_freqs = opts.build_freqs.clone();
+        if !build_freqs.contains(&fmax) {
+            build_freqs.push(fmax);
+        }
+        build_freqs.sort();
+        build_freqs.reverse(); // profile at fmax first
+        let profiles = self.profile(schedule, &build_freqs)?;
+        let baseline_profile = &profiles[0];
+        debug_assert_eq!(baseline_profile.freq, fmax);
+        let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
+        let baseline_aicore: f64 = baseline_profile
+            .records
+            .iter()
+            .map(|r| r.aicore_w * r.dur_us)
+            .sum::<f64>()
+            / baseline_time;
+        let baseline_soc: f64 = baseline_profile
+            .records
+            .iter()
+            .map(|r| r.soc_w * r.dur_us)
+            .sum::<f64>()
+            / baseline_time;
+        let baseline = MeasuredIteration {
+            time_us: baseline_time,
+            aicore_w: baseline_aicore,
+            soc_w: baseline_soc,
+            temp_c: baseline_profile
+                .records
+                .last()
+                .map_or(self.dev.temp_c(), |r| r.temp_c),
+        };
+
+        // 2. Build the performance and power models.
+        let perf = PerfModelStore::build(&profiles, opts.fit)?;
+        let power = PowerModel::build(self.calib, voltage, &profiles)?;
+
+        // 3. Classify + preprocess the baseline profile into stages. The
+        //    FAI can never be finer than the SetFreq apply latency —
+        //    switches requested closer together than the latency cannot
+        //    land where planned.
+        let fai = opts.fai_us.max(self.dev.config().setfreq_latency_us);
+        let pre = preprocess(&baseline_profile.records, fai);
+
+        // 4. GA search over the stage table.
+        let table = StageTable::build(&pre, &perf, &power, &freq_table)?;
+        let outcome = search(&table, &opts.ga);
+
+        // 5. Execute the strategy and measure.
+        let exec = execute_strategy(
+            &mut self.dev,
+            schedule,
+            &outcome.strategy,
+            &baseline_profile.records,
+            &ExecutorOptions {
+                planned_latency_us: opts.planned_latency_us,
+                ..ExecutorOptions::default()
+            },
+        )?;
+        let report = OptimizationReport {
+            workload: workload.name().to_owned(),
+            perf_loss_target: opts.ga.perf_loss_target,
+            baseline,
+            optimized: MeasuredIteration::from_run(&exec.result),
+            predicted: outcome.best_eval,
+            stage_count: pre.len(),
+            setfreq_count: exec.setfreq_count,
+            ga_trace: outcome.score_trace.clone(),
+        };
+        Ok((report, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_optimizer(cfg: &NpuConfig) -> EnergyOptimizer {
+        // Oracle calibration keeps unit tests fast; the measured
+        // calibration path is tested in npu-power-model.
+        let calib = HardwareCalibration::ground_truth(cfg);
+        EnergyOptimizer::new(Device::new(cfg.clone()), calib)
+    }
+
+    fn quick_opts() -> OptimizerConfig {
+        let mut o = OptimizerConfig::default().with_fai_us(100.0);
+        o.ga = o.ga.with_population(40).with_iterations(60);
+        o
+    }
+
+    #[test]
+    fn end_to_end_on_tiny_workload() {
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+        let mut opt = fast_optimizer(&cfg);
+        let report = opt.optimize(&w, &quick_opts()).unwrap();
+        assert_eq!(report.workload, "Tiny");
+        assert!(report.baseline.time_us > 0.0);
+        assert!(report.optimized.time_us > 0.0);
+        assert!(report.stage_count >= 1);
+        // The strategy should not blow the (predicted) budget by much once
+        // measured; allow noise slack on a ~1 ms workload.
+        assert!(report.perf_loss() < 0.08, "loss {}", report.perf_loss());
+    }
+
+    #[test]
+    fn saves_aicore_power_on_memory_heavy_workload() {
+        let cfg = NpuConfig::builder().noise(0.003, 0.003, 0.1).build().unwrap();
+        // A workload dominated by memory-bound ops has big LFC headroom.
+        let w = models::tanh_loop(&cfg, 120);
+        let mut opt = fast_optimizer(&cfg);
+        let report = opt.optimize(&w, &quick_opts()).unwrap();
+        assert!(
+            report.aicore_reduction() > 0.10,
+            "AICore reduction {}",
+            report.aicore_reduction()
+        );
+        assert!(report.perf_loss() < 0.03, "loss {}", report.perf_loss());
+    }
+
+    #[test]
+    fn profile_returns_one_profile_per_freq() {
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+        let mut opt = fast_optimizer(&cfg);
+        let profiles = opt
+            .profile(w.schedule(), &[FreqMhz::new(1800), FreqMhz::new(1000)])
+            .unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].records.len(), w.op_count());
+    }
+
+    #[test]
+    fn config_chaining() {
+        let o = OptimizerConfig::default()
+            .with_loss_target(0.06)
+            .with_fai_us(100_000.0);
+        assert_eq!(o.ga.perf_loss_target, 0.06);
+        assert_eq!(o.fai_us, 100_000.0);
+    }
+}

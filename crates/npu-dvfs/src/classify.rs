@@ -1,0 +1,224 @@
+//! Operator bottleneck classification (paper Sect. 6.1, Fig. 12) and the
+//! AICore frequency-sensitivity split of Table 1.
+
+use npu_sim::{OpClass, OpRecord, Pipeline};
+use std::fmt;
+
+/// Ratio below which the whole operator is "no-pipeline bound".
+pub const NO_PIPELINE_SUM_THRESHOLD: f64 = 1.0;
+/// Maximum-ratio threshold below which an operator is "latency bound".
+pub const LATENCY_MAX_RATIO_THRESHOLD: f64 = 0.8;
+
+/// Bottleneck classes of the Fig. 12 flowchart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bottleneck {
+    /// Sum of pipeline ratios < 1: free time during execution, typically
+    /// short ops dominated by pre/post-processing.
+    NoPipeline,
+    /// Max ratio < 0.8: suboptimal pipeline arrangement (e.g. missing
+    /// PingPong).
+    Latency,
+    /// Max ratio on an uncore-facing pipeline (MTE2 load / MTE3 store).
+    UncoreBound(Pipeline),
+    /// Max ratio on a core-domain pipeline (cube/vector/scalar/MTE1).
+    CoreBound(Pipeline),
+    /// Not a compute operator at all (AICPU / communication / idle).
+    Host(OpClass),
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoPipeline => write!(f, "no-pipeline bound"),
+            Self::Latency => write!(f, "latency bound"),
+            Self::UncoreBound(p) => write!(f, "uncore bound ({p:?})"),
+            Self::CoreBound(p) => write!(f, "core bound ({p:?})"),
+            Self::Host(c) => write!(f, "host ({c})"),
+        }
+    }
+}
+
+/// AICore frequency sensitivity (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sensitivity {
+    /// Performance depends on the AICore frequency → High Frequency
+    /// Candidate (HFC).
+    Sensitive,
+    /// Performance barely depends on it → Low Frequency Candidate (LFC).
+    Insensitive,
+}
+
+/// Classifies one profiled operator per the Fig. 12 flowchart.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{CycleModel, FreqMhz, NpuConfig, OpDescriptor, Scenario};
+/// use npu_dvfs::classify::{classify_ratios, Bottleneck};
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let op = OpDescriptor::compute("Copy", Scenario::PingPongIndependent)
+///     .blocks(8)
+///     .ld_bytes_per_block(4e6)
+///     .st_bytes_per_block(64.0)
+///     .l2_hit_rate(0.1)
+///     .core_cycles_per_block(10.0);
+/// let ratios = CycleModel::new(&op, &cfg).ratios(FreqMhz::new(1800));
+/// assert!(matches!(classify_ratios(&ratios), Bottleneck::UncoreBound(_)));
+/// ```
+#[must_use]
+pub fn classify(record: &OpRecord) -> Bottleneck {
+    if record.class != OpClass::Compute {
+        return Bottleneck::Host(record.class);
+    }
+    classify_ratios(&record.ratios)
+}
+
+/// Classifies raw pipeline-utilization ratios (compute operators only).
+#[must_use]
+pub fn classify_ratios(ratios: &npu_sim::PipelineRatios) -> Bottleneck {
+    if ratios.sum() < NO_PIPELINE_SUM_THRESHOLD {
+        return Bottleneck::NoPipeline;
+    }
+    let (pipe, max) = ratios.max_ratio();
+    if max < LATENCY_MAX_RATIO_THRESHOLD {
+        return Bottleneck::Latency;
+    }
+    if pipe.is_core_domain() {
+        Bottleneck::CoreBound(pipe)
+    } else {
+        Bottleneck::UncoreBound(pipe)
+    }
+}
+
+/// Maps a bottleneck class to frequency sensitivity (paper Table 1:
+/// cube/scalar/vector/MTE1/latency-bound → sensitive; Ld/St-bound, AICPU,
+/// idle and communication → insensitive).
+#[must_use]
+pub fn sensitivity(bottleneck: Bottleneck) -> Sensitivity {
+    match bottleneck {
+        Bottleneck::CoreBound(_) | Bottleneck::Latency => Sensitivity::Sensitive,
+        Bottleneck::UncoreBound(_) | Bottleneck::Host(_) | Bottleneck::NoPipeline => {
+            Sensitivity::Insensitive
+        }
+    }
+}
+
+/// Convenience: classification + sensitivity in one step.
+#[must_use]
+pub fn record_sensitivity(record: &OpRecord) -> Sensitivity {
+    sensitivity(classify(record))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{PipelineRatios, Scenario};
+
+    fn record_with(ratios: PipelineRatios, class: OpClass) -> OpRecord {
+        OpRecord {
+            index: 0,
+            name: "X".into(),
+            class,
+            scenario: Scenario::PingPongIndependent,
+            start_us: 0.0,
+            dur_us: 100.0,
+            freq_mhz: npu_sim::FreqMhz::new(1800),
+            ratios,
+            aicore_w: 0.0,
+            soc_w: 0.0,
+            temp_c: 40.0,
+            traffic_bytes: 0.0,
+        }
+    }
+
+    #[test]
+    fn no_pipeline_when_sum_below_one() {
+        let r = PipelineRatios {
+            cube: 0.3,
+            vector: 0.2,
+            ..PipelineRatios::default()
+        };
+        assert_eq!(classify_ratios(&r), Bottleneck::NoPipeline);
+    }
+
+    #[test]
+    fn latency_bound_when_max_below_threshold() {
+        let r = PipelineRatios {
+            cube: 0.5,
+            vector: 0.4,
+            mte2: 0.5,
+            ..PipelineRatios::default()
+        };
+        assert_eq!(classify_ratios(&r), Bottleneck::Latency);
+    }
+
+    #[test]
+    fn core_bound_on_cube() {
+        let r = PipelineRatios {
+            cube: 0.92,
+            mte2: 0.4,
+            ..PipelineRatios::default()
+        };
+        assert_eq!(classify_ratios(&r), Bottleneck::CoreBound(Pipeline::Cube));
+    }
+
+    #[test]
+    fn uncore_bound_on_load() {
+        let r = PipelineRatios {
+            mte2: 0.95,
+            vector: 0.3,
+            ..PipelineRatios::default()
+        };
+        assert_eq!(classify_ratios(&r), Bottleneck::UncoreBound(Pipeline::Mte2));
+    }
+
+    #[test]
+    fn host_classes_bypass_ratio_logic() {
+        let rec = record_with(PipelineRatios::default(), OpClass::Communication);
+        assert_eq!(classify(&rec), Bottleneck::Host(OpClass::Communication));
+        assert_eq!(record_sensitivity(&rec), Sensitivity::Insensitive);
+    }
+
+    #[test]
+    fn sensitivity_table_matches_paper() {
+        assert_eq!(
+            sensitivity(Bottleneck::CoreBound(Pipeline::Vector)),
+            Sensitivity::Sensitive
+        );
+        assert_eq!(
+            sensitivity(Bottleneck::CoreBound(Pipeline::Mte1)),
+            Sensitivity::Sensitive
+        );
+        assert_eq!(sensitivity(Bottleneck::Latency), Sensitivity::Sensitive);
+        assert_eq!(
+            sensitivity(Bottleneck::UncoreBound(Pipeline::Mte3)),
+            Sensitivity::Insensitive
+        );
+        assert_eq!(
+            sensitivity(Bottleneck::Host(OpClass::AiCpu)),
+            Sensitivity::Insensitive
+        );
+        assert_eq!(sensitivity(Bottleneck::NoPipeline), Sensitivity::Insensitive);
+    }
+
+    #[test]
+    fn boundary_values() {
+        // Sum exactly 1 is NOT no-pipeline; max exactly 0.8 is NOT latency.
+        let r = PipelineRatios {
+            mte2: 0.8,
+            vector: 0.2,
+            ..PipelineRatios::default()
+        };
+        assert_eq!(classify_ratios(&r), Bottleneck::UncoreBound(Pipeline::Mte2));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Bottleneck::NoPipeline.to_string(), "no-pipeline bound");
+        assert_eq!(
+            Bottleneck::CoreBound(Pipeline::Cube).to_string(),
+            "core bound (Cube)"
+        );
+    }
+}

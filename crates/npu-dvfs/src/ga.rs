@@ -1,0 +1,540 @@
+//! Genetic-algorithm strategy search (paper Sect. 6.3).
+//!
+//! Individuals are per-stage frequency assignments. The first generation
+//! holds the all-max **baseline** individual and a **prior** individual
+//! (LFC stages at 1600 MHz, HFC at 1800 MHz); the rest is random. Scoring
+//! follows Eq. (17): individuals meeting the performance lower bound earn
+//! a doubled score. New generations come from score-proportional
+//! (roulette) selection, last-`k` suffix crossover, and single-gene
+//! mutation, with the best individual carried over unchanged.
+
+use crate::preprocess::StageKind;
+use crate::strategy::{DvfsStrategy, Evaluation, StageTable};
+use npu_sim::FreqMhz;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyper-parameters. Defaults mirror the paper's evaluation
+/// (population 200, mutation 0.15, 600 iterations, 2 % loss target).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to run.
+    pub iterations: usize,
+    /// Per-individual mutation probability.
+    pub mutation_rate: f64,
+    /// Per-pair crossover probability.
+    pub crossover_rate: f64,
+    /// Allowed relative performance loss (e.g. `0.02` for 2 %).
+    pub perf_loss_target: f64,
+    /// Whether to seed the population with the LFC/HFC prior individual.
+    pub include_prior: bool,
+    /// Prior frequency for LFC stages.
+    pub lfc_prior: FreqMhz,
+    /// Prior frequency for HFC stages.
+    pub hfc_prior: FreqMhz,
+    /// RNG seed (the search is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        Self {
+            population: 200,
+            iterations: 600,
+            mutation_rate: 0.15,
+            crossover_rate: 0.9,
+            perf_loss_target: 0.02,
+            include_prior: true,
+            lfc_prior: FreqMhz::new(1600),
+            hfc_prior: FreqMhz::new(1800),
+            seed: 0x6A_5EED,
+        }
+    }
+}
+
+impl GaConfig {
+    /// Sets the performance-loss target, chainable.
+    #[must_use]
+    pub fn with_loss_target(mut self, target: f64) -> Self {
+        self.perf_loss_target = target;
+        self
+    }
+
+    /// Sets the iteration count, chainable.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Sets the population size, chainable.
+    #[must_use]
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+}
+
+/// Result of a GA search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaOutcome {
+    /// The best strategy found.
+    pub strategy: DvfsStrategy,
+    /// Its predicted evaluation.
+    pub best_eval: Evaluation,
+    /// Its score.
+    pub best_score: f64,
+    /// Best score after each generation (paper Fig. 17).
+    pub score_trace: Vec<f64>,
+    /// Total individuals evaluated.
+    pub evaluations: usize,
+}
+
+/// Scores one evaluation per Eq. (17): `Score = (Per/Per_base)² / Power`,
+/// doubled when the relative performance meets the lower bound
+/// `Per_lb = Per_base · (1 − loss_target)`. Performance is the reciprocal
+/// of iteration time, so `Per/Per_base = baseline_time / time`.
+#[must_use]
+pub fn score(eval: &Evaluation, baseline_time_us: f64, perf_loss_target: f64) -> f64 {
+    if eval.time_us <= 0.0 {
+        return 0.0;
+    }
+    let rel = baseline_time_us / eval.time_us;
+    let power = eval.aicore_w();
+    if power <= 0.0 {
+        return 0.0;
+    }
+    let base = rel * rel / power;
+    if rel >= 1.0 - perf_loss_target {
+        2.0 * base
+    } else {
+        base
+    }
+}
+
+/// Runs the genetic search over a stage table.
+///
+/// # Panics
+///
+/// Panics if `cfg.population < 2` or the table has no frequency points.
+#[must_use]
+pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
+    assert!(cfg.population >= 2, "population must be at least 2");
+    let n = table.n_stages();
+    let m = table.n_freqs();
+    assert!(m >= 1, "table must have frequency points");
+    let baseline_time = table.baseline().time_us;
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    if n == 0 {
+        let outcome = table.evaluate(&[]);
+        return GaOutcome {
+            strategy: DvfsStrategy::new(Vec::new(), Vec::new()),
+            best_eval: outcome,
+            best_score: 0.0,
+            score_trace: Vec::new(),
+            evaluations: 0,
+        };
+    }
+
+    // First generation: baseline + prior + random (paper Sect. 6.3.1).
+    let max_gene = m - 1;
+    let gene_of = |f: FreqMhz| -> usize {
+        table
+            .freqs()
+            .iter()
+            .position(|&g| g >= f)
+            .unwrap_or(max_gene)
+    };
+    let mut population: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
+    population.push(vec![max_gene; n]); // baseline individual
+    if cfg.include_prior {
+        let lfc = gene_of(cfg.lfc_prior);
+        let hfc = gene_of(cfg.hfc_prior);
+        population.push(
+            table
+                .stages()
+                .iter()
+                .map(|s| match s.kind {
+                    StageKind::Lfc => lfc,
+                    StageKind::Hfc => hfc,
+                })
+                .collect(),
+        );
+        // Deterministic seed individuals beyond the paper's single prior:
+        // every uniform frequency (so the search dominates program-level
+        // DVFS by construction) and the prior at every LFC depth. With
+        // hundreds of genes, point mutations alone cannot rediscover
+        // these; seeding costs a handful of slots.
+        let hfc_max = max_gene;
+        for g in 0..m {
+            if population.len() + 1 >= cfg.population {
+                break;
+            }
+            population.push(vec![g; n]);
+        }
+        for lfc_g in 0..m {
+            if population.len() + 1 >= cfg.population {
+                break;
+            }
+            population.push(
+                table
+                    .stages()
+                    .iter()
+                    .map(|s| match s.kind {
+                        StageKind::Lfc => lfc_g,
+                        StageKind::Hfc => hfc_max,
+                    })
+                    .collect(),
+            );
+        }
+    }
+    while population.len() < cfg.population {
+        population.push((0..n).map(|_| rng.gen_range(0..m)).collect());
+    }
+
+    let mut evaluations = 0;
+    let mut score_trace = Vec::with_capacity(cfg.iterations);
+    let mut best_genes = population[0].clone();
+    let mut best_score = f64::NEG_INFINITY;
+
+    for _ in 0..cfg.iterations {
+        // Score the generation.
+        let scores: Vec<f64> = population
+            .iter()
+            .map(|g| {
+                evaluations += 1;
+                score(&table.evaluate(g), baseline_time, cfg.perf_loss_target)
+            })
+            .collect();
+        let (gen_best_idx, gen_best) = scores
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("population is non-empty");
+        if gen_best > best_score {
+            best_score = gen_best;
+            best_genes = population[gen_best_idx].clone();
+        }
+        score_trace.push(best_score);
+
+        // Next generation: elite + roulette-selected offspring.
+        let total: f64 = scores.iter().sum();
+        let pick = |rng: &mut SmallRng| -> usize {
+            if total <= 0.0 {
+                return rng.gen_range(0..population.len());
+            }
+            let mut ticket = rng.gen::<f64>() * total;
+            for (i, &s) in scores.iter().enumerate() {
+                ticket -= s;
+                if ticket <= 0.0 {
+                    return i;
+                }
+            }
+            population.len() - 1
+        };
+        let mut next: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
+        next.push(best_genes.clone()); // elitism
+        while next.len() < cfg.population {
+            let pa = population[pick(&mut rng)].clone();
+            let pb = population[pick(&mut rng)].clone();
+            let (mut ca, mut cb) = (pa, pb);
+            if rng.gen::<f64>() < cfg.crossover_rate && n > 1 {
+                // Swap the last k genes (paper Sect. 6.3.3).
+                let k = rng.gen_range(1..n);
+                for i in n - k..n {
+                    std::mem::swap(&mut ca[i], &mut cb[i]);
+                }
+            }
+            for child in [&mut ca, &mut cb] {
+                if rng.gen::<f64>() < cfg.mutation_rate {
+                    let j = rng.gen_range(0..n);
+                    child[j] = rng.gen_range(0..m);
+                }
+            }
+            next.push(ca);
+            if next.len() < cfg.population {
+                next.push(cb);
+            }
+        }
+        population = next;
+    }
+
+    // Memetic refinement: deterministic budget-constrained coordinate
+    // descent from the GA's best individual, with O(1) incremental
+    // re-evaluation per candidate move. With hundreds of genes,
+    // crossover/mutation alone leave per-gene slack, and Eq. (17)'s
+    // bonus cliff hides moves that trade a little time for a lot of
+    // power; descending directly on "minimum power subject to the
+    // predicted loss budget" polishes both away.
+    let budget = baseline_time * (1.0 + cfg.perf_loss_target) + 1e-9;
+    let descend = |start: Vec<usize>, evaluations: &mut usize| -> (Vec<usize>, Evaluation) {
+        let mut genes = start;
+        let mut sums = table.raw_sums(&genes);
+        let mut current = table.eval_from_sums(&sums);
+        // If the start point is over budget, walk it back toward max
+        // frequency first.
+        while current.time_us > budget {
+            let mut best_fix: Option<(usize, f64)> = None;
+            for (s, &cur) in genes.iter().enumerate() {
+                if cur == max_gene {
+                    continue;
+                }
+                let trial = sums.minus_plus(table.cell(s, cur), table.cell(s, max_gene));
+                *evaluations += 1;
+                let saved = current.time_us - trial.time;
+                if saved > 0.0 && best_fix.as_ref().is_none_or(|&(_, b)| saved > b) {
+                    best_fix = Some((s, saved));
+                }
+            }
+            let Some((s, _)) = best_fix else { break };
+            sums = sums.minus_plus(table.cell(s, genes[s]), table.cell(s, max_gene));
+            genes[s] = max_gene;
+            current = table.eval_from_sums(&sums);
+        }
+        loop {
+            let mut best_move: Option<(usize, usize, f64)> = None;
+            for (s, &cur) in genes.iter().enumerate() {
+                let cur_cell = table.cell(s, cur);
+                for g in 0..m {
+                    if g == cur {
+                        continue;
+                    }
+                    let trial_sums = sums.minus_plus(cur_cell, table.cell(s, g));
+                    *evaluations += 1;
+                    let trial = table.eval_from_sums(&trial_sums);
+                    if trial.time_us > budget {
+                        continue;
+                    }
+                    let saved = current.aicore_w() - trial.aicore_w();
+                    if saved <= 1e-12 {
+                        continue;
+                    }
+                    let cost = (trial.time_us - current.time_us).max(0.0);
+                    let ratio = saved / (cost + 1.0);
+                    if best_move.as_ref().is_none_or(|&(_, _, r)| ratio > r) {
+                        best_move = Some((s, g, ratio));
+                    }
+                }
+            }
+            let Some((s, g, _)) = best_move else { break };
+            sums = sums.minus_plus(table.cell(s, genes[s]), table.cell(s, g));
+            genes[s] = g;
+            current = table.eval_from_sums(&sums);
+        }
+        (genes, current)
+    };
+    // Greedy descent is order-dependent: refine both from the GA's best
+    // individual and from the all-max baseline, keep the lower-power
+    // in-budget endpoint.
+    let (genes_a, eval_a) = descend(best_genes.clone(), &mut evaluations);
+    let (genes_b, eval_b) = descend(vec![max_gene; n], &mut evaluations);
+    let ga_in_budget = eval_a.time_us <= budget;
+    let pick_b = !ga_in_budget
+        || (eval_b.time_us <= budget && eval_b.aicore_w() < eval_a.aicore_w());
+    best_genes = if pick_b { genes_b } else { genes_a };
+    let refined = if pick_b { eval_b } else { eval_a };
+    best_score = score(&refined, baseline_time, cfg.perf_loss_target).max(best_score);
+    if let Some(last) = score_trace.last_mut() {
+        *last = best_score;
+    }
+
+    let freqs: Vec<FreqMhz> = best_genes.iter().map(|&g| table.freqs()[g]).collect();
+    let best_eval = table.evaluate(&best_genes);
+    GaOutcome {
+        strategy: DvfsStrategy::new(table.stages().to_vec(), freqs),
+        best_eval,
+        best_score,
+        score_trace,
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::Stage;
+    use crate::strategy::StageTable;
+
+    /// A synthetic table: `n_mem` memory-bound stages (time almost flat in
+    /// f, power rising) and `n_cpu` compute-bound stages (time ~ 1/f).
+    fn table(n_mem: usize, n_cpu: usize) -> StageTable {
+        let freqs: Vec<FreqMhz> = (10..=18).map(|k| FreqMhz::new(k * 100)).collect();
+        let mut stages = Vec::new();
+        let mut time = Vec::new();
+        let mut ea = Vec::new();
+        let mut es = Vec::new();
+        let mut t0 = 0.0;
+        for i in 0..n_mem + n_cpu {
+            let mem = i < n_mem;
+            let dur = 10_000.0;
+            stages.push(Stage {
+                start_us: t0,
+                dur_us: dur,
+                op_range: i..i + 1,
+                kind: if mem { StageKind::Lfc } else { StageKind::Hfc },
+            });
+            t0 += dur;
+            let mut trow = Vec::new();
+            let mut arow = Vec::new();
+            let mut srow = Vec::new();
+            for &f in &freqs {
+                let x = f.as_f64() / 1800.0;
+                let t = if mem { dur * (1.02 - 0.02 * x) } else { dur / x };
+                let p = 12.0 + 30.0 * x * x; // rising power with frequency
+                trow.push(t);
+                arow.push(p * t);
+                srow.push((p + 180.0) * t);
+            }
+            time.push(trow);
+            ea.push(arow);
+            es.push(srow);
+        }
+        StageTable::from_parts(freqs, stages, time, ea, es).unwrap()
+    }
+
+    fn quick_cfg() -> GaConfig {
+        GaConfig::default()
+            .with_population(60)
+            .with_iterations(120)
+    }
+
+    #[test]
+    fn finds_low_freq_for_memory_stages() {
+        let t = table(4, 4);
+        let out = search(&t, &quick_cfg());
+        let freqs = out.strategy.freqs();
+        // Memory stages (first 4) should end well below max frequency.
+        for (i, f) in freqs.iter().take(4).enumerate() {
+            assert!(f.mhz() <= 1400, "memory stage {i} at {f}");
+        }
+        // Compute stages should stay at/near max to hold the 2 % budget.
+        for (i, f) in freqs.iter().skip(4).enumerate() {
+            assert!(f.mhz() >= 1700, "compute stage {i} at {f}");
+        }
+    }
+
+    #[test]
+    fn respects_performance_bound() {
+        let t = table(4, 4);
+        let out = search(&t, &quick_cfg());
+        let baseline = t.baseline().time_us;
+        let loss = out.best_eval.time_us / baseline - 1.0;
+        assert!(loss <= 0.02 + 1e-9, "predicted loss {loss}");
+    }
+
+    #[test]
+    fn saves_power_versus_baseline() {
+        let t = table(4, 4);
+        let out = search(&t, &quick_cfg());
+        let baseline = t.baseline();
+        assert!(
+            out.best_eval.aicore_w() < baseline.aicore_w() * 0.95,
+            "expected ≥5 % AICore power reduction, got {} vs {}",
+            out.best_eval.aicore_w(),
+            baseline.aicore_w()
+        );
+    }
+
+    #[test]
+    fn score_trace_is_monotone() {
+        let t = table(3, 3);
+        let out = search(&t, &quick_cfg());
+        assert_eq!(out.score_trace.len(), 120);
+        assert!(out.score_trace.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn looser_targets_allow_more_savings() {
+        // Paper Table 3: larger loss targets yield larger power cuts.
+        let t = table(4, 4);
+        let tight = search(&t, &quick_cfg().with_loss_target(0.02));
+        let loose = search(&t, &quick_cfg().with_loss_target(0.10));
+        assert!(loose.best_eval.aicore_w() <= tight.best_eval.aicore_w() + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = table(3, 3);
+        let a = search(&t, &quick_cfg());
+        let b = search(&t, &quick_cfg());
+        assert_eq!(a.strategy, b.strategy);
+        assert_eq!(a.score_trace, b.score_trace);
+    }
+
+    #[test]
+    fn prior_individual_speeds_convergence() {
+        // Paper Sect. 7.4: at the 2 % target the prior individuals are
+        // already (near-)optimal, so the first generations score higher.
+        let t = table(6, 6);
+        let with_prior = search(&t, &quick_cfg().with_iterations(5));
+        let mut no_prior_cfg = quick_cfg().with_iterations(5);
+        no_prior_cfg.include_prior = false;
+        let without = search(&t, &no_prior_cfg);
+        assert!(with_prior.score_trace[0] >= without.score_trace[0]);
+    }
+
+    #[test]
+    fn score_doubles_when_target_met() {
+        let eval_ok = Evaluation {
+            time_us: 100.0,
+            aicore_energy_wus: 4_000.0,
+            soc_energy_wus: 20_000.0,
+        };
+        let s_ok = score(&eval_ok, 100.0, 0.02); // rel = 1.0 -> bonus
+        let eval_slow = Evaluation {
+            time_us: 110.0,
+            aicore_energy_wus: 4_400.0,
+            soc_energy_wus: 22_000.0,
+        };
+        let s_slow = score(&eval_slow, 100.0, 0.02); // rel = 0.909 -> no bonus
+        assert!(s_ok > 2.0 * s_slow * 0.8, "bonus should dominate");
+        assert_eq!(score(&eval_ok, 100.0, 0.02), 2.0 * (1.0 / 40.0));
+    }
+
+    #[test]
+    fn refined_result_respects_predicted_budget() {
+        // The refinement descends on "minimum power subject to the
+        // predicted loss budget": the returned evaluation must satisfy it
+        // whenever the (always feasible) baseline individual exists.
+        for target in [0.01, 0.02, 0.05, 0.10] {
+            let t = table(5, 5);
+            let out = search(&t, &quick_cfg().with_loss_target(target));
+            let budget = t.baseline().time_us * (1.0 + target) + 1e-6;
+            assert!(
+                out.best_eval.time_us <= budget,
+                "target {target}: {} > {budget}",
+                out.best_eval.time_us
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table_yields_empty_strategy() {
+        let t = StageTable::from_parts(
+            vec![FreqMhz::new(1800)],
+            vec![],
+            vec![],
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let out = search(&t, &quick_cfg());
+        assert!(out.strategy.is_empty());
+        assert_eq!(out.evaluations, 0);
+    }
+
+    #[test]
+    fn baseline_individual_bounds_worst_case() {
+        // Even with zero iterations of improvement (1 iteration, tiny
+        // population), the elite baseline individual guarantees a valid
+        // strategy no worse than baseline performance.
+        let t = table(2, 2);
+        let cfg = GaConfig::default().with_population(2).with_iterations(1);
+        let out = search(&t, &cfg);
+        assert!(out.best_eval.time_us <= t.baseline().time_us * 1.02 + 1e-9);
+    }
+}

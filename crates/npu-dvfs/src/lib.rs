@@ -1,0 +1,43 @@
+//! # npu-dvfs — fine-grained DVFS strategy generation
+//!
+//! Implements Sect. 6 of the paper:
+//!
+//! * [`classify`] — bottleneck classification from profiler pipeline
+//!   ratios (Fig. 12) and the frequency-sensitivity split (Table 1);
+//! * [`preprocess`] — the four-step pipeline of Fig. 13 that turns a
+//!   profiled iteration into Low/High Frequency Candidate stages and
+//!   merges candidates shorter than the frequency-adjustment interval;
+//! * [`StageTable`] — precomputed per-stage/per-frequency performance and
+//!   power predictions, so one strategy scores in microseconds
+//!   (the model-based advantage of paper Sect. 8.1);
+//! * [`search`] — the genetic algorithm (Sect. 6.3): baseline + prior
+//!   individuals, Eq. (17) scoring with a doubled score when the
+//!   performance bound is met, roulette selection, last-`k` crossover and
+//!   point mutation.
+//!
+//! # Example
+//!
+//! ```
+//! use npu_dvfs::{preprocess::preprocess, GaConfig};
+//!
+//! // Preprocess an empty profile: no stages, nothing to search.
+//! let pre = preprocess(&[], 5_000.0);
+//! assert!(pre.is_empty());
+//! let cfg = GaConfig::default().with_loss_target(0.02);
+//! assert_eq!(cfg.perf_loss_target, 0.02);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod baseline;
+pub mod classify;
+mod ga;
+pub mod preprocess;
+mod strategy;
+
+pub use baseline::{phase_level, program_level, BaselineOutcome};
+pub use classify::{Bottleneck, Sensitivity};
+pub use ga::{score, search, GaConfig, GaOutcome};
+pub use preprocess::{Preprocessed, Stage, StageKind};
+pub use strategy::{DvfsStrategy, Evaluation, StageTable, TableError, ThermalCoupling};

@@ -1,0 +1,354 @@
+//! Preprocessing (paper Sect. 6.2, Fig. 13): turn a profiled operator
+//! stream into frequency-candidate stages.
+//!
+//! 1. Treat significant gaps between operator executions as idle time
+//!    (our profiler already records explicit idle segments; residual gaps
+//!    are folded into the preceding stage).
+//! 2. Classify each operator's bottleneck (Sect. 6.1).
+//! 3. Split the run into Low/High Frequency Candidate stages from each
+//!    operator's frequency sensitivity; each stage start is a frequency
+//!    candidate point.
+//! 4. Merge candidates shorter than the frequency-adjustment interval
+//!    (FAI, e.g. 5 ms) into their neighbors.
+
+use crate::classify::{record_sensitivity, Sensitivity};
+use npu_sim::OpRecord;
+use std::fmt;
+use std::ops::Range;
+
+/// Stage kind: which initial frequency the "prior individual" assigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// Low Frequency Candidate — frequency-insensitive operators.
+    Lfc,
+    /// High Frequency Candidate — frequency-sensitive operators.
+    Hfc,
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lfc => write!(f, "LFC"),
+            Self::Hfc => write!(f, "HFC"),
+        }
+    }
+}
+
+/// One frequency-candidate stage: a contiguous operator range executed at
+/// a single frequency by any DVFS strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Start time within the profiled iteration, µs.
+    pub start_us: f64,
+    /// Duration at the baseline frequency, µs.
+    pub dur_us: f64,
+    /// Operator indices (into the profile) covered by this stage.
+    pub op_range: Range<usize>,
+    /// LFC or HFC.
+    pub kind: StageKind,
+}
+
+impl Stage {
+    /// Number of operators in the stage.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.op_range.len()
+    }
+}
+
+/// Preprocessing output: the candidate stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Preprocessed {
+    stages: Vec<Stage>,
+}
+
+impl Preprocessed {
+    /// The stages, in execution order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages (= frequency candidate points).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether preprocessing produced no stages (empty profile).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Total profiled duration, µs.
+    #[must_use]
+    pub fn total_dur_us(&self) -> f64 {
+        self.stages.iter().map(|s| s.dur_us).sum()
+    }
+}
+
+/// Runs the four preprocessing steps over a baseline profile.
+///
+/// `fai_us` is the frequency-adjustment interval: stages shorter than this
+/// are merged into a neighbor (paper uses 5 ms; Fig. 18 also evaluates
+/// 100 ms and 1 s).
+///
+/// # Panics
+///
+/// Panics if `fai_us` is negative.
+#[must_use]
+pub fn preprocess(records: &[OpRecord], fai_us: f64) -> Preprocessed {
+    assert!(fai_us >= 0.0, "FAI must be non-negative");
+    if records.is_empty() {
+        return Preprocessed { stages: Vec::new() };
+    }
+    // Steps 1–3: classify and group consecutive same-sensitivity ops.
+    let mut stages: Vec<Stage> = Vec::new();
+    for (i, rec) in records.iter().enumerate() {
+        let kind = match record_sensitivity(rec) {
+            Sensitivity::Sensitive => StageKind::Hfc,
+            Sensitivity::Insensitive => StageKind::Lfc,
+        };
+        // Fold any profiler gap into the duration charged to this stage.
+        let end = records
+            .get(i + 1)
+            .map_or_else(|| rec.end_us(), |next| next.start_us);
+        let dur = (end - rec.start_us).max(rec.dur_us);
+        match stages.last_mut() {
+            Some(last) if last.kind == kind => {
+                last.dur_us += dur;
+                last.op_range.end = i + 1;
+            }
+            _ => stages.push(Stage {
+                start_us: rec.start_us,
+                dur_us: dur,
+                op_range: i..i + 1,
+                kind,
+            }),
+        }
+    }
+    // Step 4: greedy segmentation under the FAI. Walk the raw
+    // sensitivity runs and close a stage only at a sensitivity boundary
+    // once it has accumulated at least one FAI of duration; shorter runs
+    // are absorbed and the merged stage takes the kind holding the
+    // majority of its time. This keeps every candidate interval >= FAI
+    // while preserving the profile's large-scale alternation (collapsing
+    // everything into one stage would rob the search of its genes).
+    let raw = std::mem::take(&mut stages);
+    let mut acc: Option<(Stage, f64, f64)> = None; // (stage, lfc_dur, hfc_dur)
+    let close = |(mut st, lfc, hfc): (Stage, f64, f64), out: &mut Vec<Stage>| {
+        st.kind = if lfc > hfc { StageKind::Lfc } else { StageKind::Hfc };
+        out.push(st);
+    };
+    for s in raw {
+        match acc.take() {
+            None => {
+                let lfc = if s.kind == StageKind::Lfc { s.dur_us } else { 0.0 };
+                let hfc = s.dur_us - lfc;
+                acc = Some((s, lfc, hfc));
+            }
+            Some((mut cur, mut lfc, mut hfc)) => {
+                if cur.dur_us >= fai_us {
+                    close((cur, lfc, hfc), &mut stages);
+                    let l = if s.kind == StageKind::Lfc { s.dur_us } else { 0.0 };
+                    let h = s.dur_us - l;
+                    acc = Some((s, l, h));
+                } else {
+                    cur.dur_us += s.dur_us;
+                    cur.op_range.end = s.op_range.end;
+                    if s.kind == StageKind::Lfc {
+                        lfc += s.dur_us;
+                    } else {
+                        hfc += s.dur_us;
+                    }
+                    acc = Some((cur, lfc, hfc));
+                }
+            }
+        }
+    }
+    if let Some(last) = acc {
+        close(last, &mut stages);
+    }
+    // A short trailing stage folds into its predecessor.
+    if stages.len() >= 2 && stages.last().expect("non-empty").dur_us < fai_us {
+        let tail = stages.pop().expect("checked len");
+        let prev = stages.last_mut().expect("checked len");
+        // The merged kind follows the longer component.
+        if tail.dur_us > prev.dur_us {
+            prev.kind = tail.kind;
+        }
+        prev.dur_us += tail.dur_us;
+        prev.op_range.end = tail.op_range.end;
+    }
+    Preprocessed { stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{FreqMhz, OpClass, PipelineRatios, Scenario};
+
+    fn rec(index: usize, start: f64, dur: f64, sensitive: bool) -> OpRecord {
+        let ratios = if sensitive {
+            PipelineRatios {
+                cube: 0.95,
+                mte2: 0.3,
+                ..PipelineRatios::default()
+            }
+        } else {
+            PipelineRatios {
+                mte2: 0.95,
+                vector: 0.2,
+                ..PipelineRatios::default()
+            }
+        };
+        OpRecord {
+            index,
+            name: "X".into(),
+            class: OpClass::Compute,
+            scenario: Scenario::PingPongIndependent,
+            start_us: start,
+            dur_us: dur,
+            freq_mhz: FreqMhz::new(1800),
+            ratios,
+            aicore_w: 0.0,
+            soc_w: 0.0,
+            temp_c: 40.0,
+            traffic_bytes: 0.0,
+        }
+    }
+
+    /// Builds a contiguous record stream from (dur, sensitive) pairs.
+    fn stream(spec: &[(f64, bool)]) -> Vec<OpRecord> {
+        let mut t = 0.0;
+        spec.iter()
+            .enumerate()
+            .map(|(i, &(dur, s))| {
+                let r = rec(i, t, dur, s);
+                t += dur;
+                r
+            })
+            .collect()
+    }
+
+    #[test]
+    fn groups_consecutive_same_sensitivity() {
+        let records = stream(&[
+            (100.0, true),
+            (100.0, true),
+            (100.0, false),
+            (100.0, false),
+            (100.0, true),
+        ]);
+        let p = preprocess(&records, 0.0);
+        let kinds: Vec<StageKind> = p.stages().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![StageKind::Hfc, StageKind::Lfc, StageKind::Hfc]);
+        assert_eq!(p.stages()[0].op_range, 0..2);
+        assert_eq!(p.stages()[1].op_range, 2..4);
+        assert_eq!(p.stages()[2].op_range, 4..5);
+    }
+
+    #[test]
+    fn merges_short_stages_under_fai() {
+        let records = stream(&[
+            (10_000.0, true),
+            (100.0, false), // short LFC blip: absorbed into the next stage
+            (10_000.0, true),
+        ]);
+        let p = preprocess(&records, 5_000.0);
+        assert_eq!(p.len(), 2);
+        assert!(p.stages().iter().all(|s| s.kind == StageKind::Hfc));
+        assert_eq!(p.stages()[0].op_range, 0..1);
+        assert_eq!(p.stages()[1].op_range, 1..3);
+        assert!(p.stages().iter().all(|s| s.dur_us >= 5_000.0));
+    }
+
+    #[test]
+    fn long_insensitive_blocks_survive_coarse_fai() {
+        // A 150 ms bubble amid 8 ms compute runs must remain its own
+        // candidate at a 20 ms FAI (this is what lets coarse-FAI policies
+        // still downclock pipeline bubbles, paper Fig. 18).
+        let mut spec: Vec<(f64, bool)> = (0..10).map(|i| (8_000.0, i % 2 == 0)).collect();
+        spec.push((150_000.0, false));
+        spec.extend((0..10).map(|i| (8_000.0, i % 2 == 0)));
+        let records = stream(&spec);
+        let p = preprocess(&records, 20_000.0);
+        assert!(p.len() >= 3, "got {} stages", p.len());
+        assert!(
+            p.stages()
+                .iter()
+                .any(|s| s.kind == StageKind::Lfc && s.dur_us >= 150_000.0),
+            "bubble must anchor an LFC stage"
+        );
+    }
+
+    #[test]
+    fn larger_fai_produces_fewer_candidates() {
+        // Alternating 3 ms stages: FAI 5 ms merges everything; FAI 1 ms
+        // keeps them (paper Fig. 18: larger intervals → fewer SetFreqs).
+        let spec: Vec<(f64, bool)> = (0..20).map(|i| (3_000.0, i % 2 == 0)).collect();
+        let records = stream(&spec);
+        let fine = preprocess(&records, 1_000.0);
+        let coarse = preprocess(&records, 5_000.0);
+        let coarser = preprocess(&records, 1_000_000.0);
+        assert!(fine.len() > coarse.len());
+        assert!(coarse.len() >= coarser.len());
+        assert_eq!(coarser.len(), 1);
+    }
+
+    #[test]
+    fn durations_are_preserved() {
+        let spec: Vec<(f64, bool)> = (0..10).map(|i| (1_000.0 + 100.0 * i as f64, i % 3 == 0)).collect();
+        let records = stream(&spec);
+        let total: f64 = spec.iter().map(|s| s.0).sum();
+        for fai in [0.0, 2_000.0, 50_000.0] {
+            let p = preprocess(&records, fai);
+            assert!(
+                (p.total_dur_us() - total).abs() < 1e-6,
+                "fai {fai}: {} vs {total}",
+                p.total_dur_us()
+            );
+        }
+    }
+
+    #[test]
+    fn op_ranges_partition_the_profile() {
+        let spec: Vec<(f64, bool)> = (0..30).map(|i| (500.0, i % 4 < 2)).collect();
+        let records = stream(&spec);
+        let p = preprocess(&records, 1_500.0);
+        let mut next = 0;
+        for s in p.stages() {
+            assert_eq!(s.op_range.start, next, "ranges must be contiguous");
+            next = s.op_range.end;
+        }
+        assert_eq!(next, records.len());
+    }
+
+    #[test]
+    fn merged_kind_follows_longer_component() {
+        let records = stream(&[
+            (500.0, false),   // short LFC head
+            (10_000.0, true), // long HFC
+        ]);
+        let p = preprocess(&records, 1_000.0);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.stages()[0].kind, StageKind::Hfc);
+    }
+
+    #[test]
+    fn empty_profile_is_empty() {
+        let p = preprocess(&[], 5_000.0);
+        assert!(p.is_empty());
+        assert_eq!(p.total_dur_us(), 0.0);
+    }
+
+    #[test]
+    fn profiler_gaps_fold_into_stage_duration() {
+        // Two records with a 1 ms gap between them.
+        let mut records = stream(&[(100.0, true), (100.0, true)]);
+        records[1].start_us = 1_100.0;
+        let p = preprocess(&records, 0.0);
+        assert!((p.total_dur_us() - 1_200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,494 @@
+//! Stage-level prediction tables and the DVFS strategy type.
+//!
+//! The genetic algorithm must score thousands of candidate strategies per
+//! second (paper Sect. 8.1: a policy is evaluated in milliseconds, which
+//! is why model-based search beats model-free). [`StageTable`] precomputes
+//! predicted time and energy for every `(stage, frequency)` pair once, so
+//! scoring an individual is a single pass of table lookups.
+
+use crate::preprocess::{Preprocessed, Stage};
+use npu_perf_model::PerfModelStore;
+use npu_power_model::PowerModel;
+use npu_sim::{FreqMhz, FrequencyTable};
+use std::fmt;
+
+/// Predicted outcome of one strategy (one GA individual).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Predicted iteration time, µs.
+    pub time_us: f64,
+    /// Predicted AICore energy, W·µs.
+    pub aicore_energy_wus: f64,
+    /// Predicted SoC energy, W·µs.
+    pub soc_energy_wus: f64,
+}
+
+impl Evaluation {
+    /// Average AICore power, W.
+    #[must_use]
+    pub fn aicore_w(&self) -> f64 {
+        if self.time_us > 0.0 {
+            self.aicore_energy_wus / self.time_us
+        } else {
+            0.0
+        }
+    }
+
+    /// Average SoC power, W.
+    #[must_use]
+    pub fn soc_w(&self) -> f64 {
+        if self.time_us > 0.0 {
+            self.soc_energy_wus / self.time_us
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Errors building a [`StageTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// Table dimensions disagree.
+    ShapeMismatch,
+    /// A stage references operators outside the model stores.
+    OpOutOfRange {
+        /// Offending stage index.
+        stage: usize,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch => write!(f, "table dimensions disagree"),
+            Self::OpOutOfRange { stage } => {
+                write!(f, "stage {stage} references operators outside the model stores")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Thermal coupling used when scoring strategies: the workload-level
+/// temperature fix point (paper Sect. 5.4.2) applied across stages.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThermalCoupling {
+    /// AICore temperature coefficient, W/(K·V).
+    pub gamma_aicore: f64,
+    /// SoC temperature coefficient, W/(K·V).
+    pub gamma_soc: f64,
+    /// Thermal coupling constant, °C/W.
+    pub k_c_per_w: f64,
+}
+
+/// Precomputed per-stage, per-frequency predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTable {
+    freqs: Vec<FreqMhz>,
+    /// Supply voltage per frequency point, V.
+    volts: Vec<f64>,
+    stages: Vec<Stage>,
+    /// `[stage][freq]` predicted time, µs.
+    time_us: Vec<Vec<f64>>,
+    /// `[stage][freq]` temperature-independent AICore energy, W·µs.
+    aicore_e: Vec<Vec<f64>>,
+    /// `[stage][freq]` temperature-independent SoC energy, W·µs.
+    soc_e: Vec<Vec<f64>>,
+    coupling: ThermalCoupling,
+}
+
+impl StageTable {
+    /// Builds the table from preprocessed stages plus the performance and
+    /// power models (paper Sect. 6.3.2: per-stage predictions feed
+    /// individual scoring).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OpOutOfRange`] when a stage's operator range
+    /// exceeds either model store.
+    pub fn build(
+        pre: &Preprocessed,
+        perf: &PerfModelStore,
+        power: &PowerModel,
+        freqs: &FrequencyTable,
+    ) -> Result<Self, TableError> {
+        let fs: Vec<FreqMhz> = freqs.iter().collect();
+        let volts: Vec<f64> = fs.iter().map(|&f| power.voltage_curve().volts(f)).collect();
+        let mut time_us = Vec::with_capacity(pre.len());
+        let mut aicore_e = Vec::with_capacity(pre.len());
+        let mut soc_e = Vec::with_capacity(pre.len());
+        for (si, stage) in pre.stages().iter().enumerate() {
+            if stage.op_range.end > perf.len() || stage.op_range.end > power.len() {
+                return Err(TableError::OpOutOfRange { stage: si });
+            }
+            let mut t_row = Vec::with_capacity(fs.len());
+            let mut a_row = Vec::with_capacity(fs.len());
+            let mut s_row = Vec::with_capacity(fs.len());
+            for &f in &fs {
+                let mut t = 0.0;
+                let mut ea = 0.0;
+                let mut es = 0.0;
+                for i in stage.op_range.clone() {
+                    let dt = perf.predict_time_us(i, f);
+                    let p = power.predict_base(i, f);
+                    t += dt;
+                    ea += p.aicore_w * dt;
+                    es += p.soc_w * dt;
+                }
+                t_row.push(t);
+                a_row.push(ea);
+                s_row.push(es);
+            }
+            time_us.push(t_row);
+            aicore_e.push(a_row);
+            soc_e.push(s_row);
+        }
+        Ok(Self {
+            freqs: fs,
+            volts,
+            stages: pre.stages().to_vec(),
+            time_us,
+            aicore_e,
+            soc_e,
+            coupling: ThermalCoupling {
+                gamma_aicore: power.gamma(npu_power_model::PowerDomain::AiCore),
+                gamma_soc: power.gamma(npu_power_model::PowerDomain::Soc),
+                k_c_per_w: power.k_c_per_w(),
+            },
+        })
+    }
+
+    /// Builds a table from raw prediction arrays (used by tests and
+    /// synthetic benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::ShapeMismatch`] when dimensions disagree.
+    pub fn from_parts(
+        freqs: Vec<FreqMhz>,
+        stages: Vec<Stage>,
+        time_us: Vec<Vec<f64>>,
+        aicore_e: Vec<Vec<f64>>,
+        soc_e: Vec<Vec<f64>>,
+    ) -> Result<Self, TableError> {
+        let n = stages.len();
+        let m = freqs.len();
+        let ok = time_us.len() == n
+            && aicore_e.len() == n
+            && soc_e.len() == n
+            && time_us.iter().all(|r| r.len() == m)
+            && aicore_e.iter().all(|r| r.len() == m)
+            && soc_e.iter().all(|r| r.len() == m);
+        if !ok {
+            return Err(TableError::ShapeMismatch);
+        }
+        let volts = vec![0.0; freqs.len()];
+        Ok(Self {
+            freqs,
+            volts,
+            stages,
+            time_us,
+            aicore_e,
+            soc_e,
+            coupling: ThermalCoupling::default(),
+        })
+    }
+
+    /// Overrides the thermal coupling (for synthetic tables built with
+    /// [`Self::from_parts`], which default to no coupling). `volts[i]`
+    /// must correspond to `freqs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volts` length disagrees with the frequency count.
+    #[must_use]
+    pub fn with_thermal_coupling(mut self, coupling: ThermalCoupling, volts: Vec<f64>) -> Self {
+        assert_eq!(volts.len(), self.freqs.len());
+        self.coupling = coupling;
+        self.volts = volts;
+        self
+    }
+
+    /// Supported frequencies (gene alphabet), ascending.
+    #[must_use]
+    pub fn freqs(&self) -> &[FreqMhz] {
+        &self.freqs
+    }
+
+    /// The candidate stages.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Number of stages (genes per individual).
+    #[must_use]
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Number of frequency points (alphabet size).
+    #[must_use]
+    pub fn n_freqs(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// Evaluates an individual: per-stage predicted time/energy summed
+    /// over the iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len() != n_stages()` or a gene is out of range.
+    #[must_use]
+    pub fn evaluate(&self, genes: &[usize]) -> Evaluation {
+        assert_eq!(genes.len(), self.n_stages(), "gene count must match stages");
+        let mut time = 0.0;
+        let mut ea = 0.0;
+        let mut es = 0.0;
+        let mut vt = 0.0; // ∫ V dt over the iteration, V·µs
+        for (s, &g) in genes.iter().enumerate() {
+            let t = self.time_us[s][g];
+            time += t;
+            ea += self.aicore_e[s][g];
+            es += self.soc_e[s][g];
+            vt += self.volts[g] * t;
+        }
+        // Workload-level temperature fix point: the chip's thermal time
+        // constant dwarfs any stage, so ΔT follows the time-averaged SoC
+        // power of the whole iteration (≤4 iterations in practice).
+        let mut dt = 0.0;
+        if time > 0.0 && self.coupling.k_c_per_w > 0.0 {
+            for _ in 0..8 {
+                let p_soc = (es + self.coupling.gamma_soc * dt * vt) / time;
+                let new_dt = self.coupling.k_c_per_w * p_soc;
+                if (new_dt - dt).abs() < 0.05 {
+                    dt = new_dt;
+                    break;
+                }
+                dt = new_dt;
+            }
+        }
+        Evaluation {
+            time_us: time,
+            aicore_energy_wus: ea + self.coupling.gamma_aicore * dt * vt,
+            soc_energy_wus: es + self.coupling.gamma_soc * dt * vt,
+        }
+    }
+
+    /// The all-max-frequency baseline evaluation.
+    #[must_use]
+    pub fn baseline(&self) -> Evaluation {
+        let g = vec![self.n_freqs() - 1; self.n_stages()];
+        self.evaluate(&g)
+    }
+
+    /// Raw accumulator sums for an individual, for incremental
+    /// re-evaluation (one-gene changes in O(1)).
+    pub(crate) fn raw_sums(&self, genes: &[usize]) -> RawSums {
+        assert_eq!(genes.len(), self.n_stages());
+        let mut sums = RawSums::default();
+        for (s, &g) in genes.iter().enumerate() {
+            let t = self.time_us[s][g];
+            sums.time += t;
+            sums.ea += self.aicore_e[s][g];
+            sums.es += self.soc_e[s][g];
+            sums.vt += self.volts[g] * t;
+        }
+        sums
+    }
+
+    /// The `(time, aicore_e, soc_e, volt·time)` contribution of one
+    /// `(stage, gene)` cell.
+    pub(crate) fn cell(&self, stage: usize, gene: usize) -> RawSums {
+        let t = self.time_us[stage][gene];
+        RawSums {
+            time: t,
+            ea: self.aicore_e[stage][gene],
+            es: self.soc_e[stage][gene],
+            vt: self.volts[gene] * t,
+        }
+    }
+
+    /// Finishes an evaluation from raw sums (runs the thermal fix point).
+    pub(crate) fn eval_from_sums(&self, sums: &RawSums) -> Evaluation {
+        let mut dt = 0.0;
+        if sums.time > 0.0 && self.coupling.k_c_per_w > 0.0 {
+            for _ in 0..8 {
+                let p_soc = (sums.es + self.coupling.gamma_soc * dt * sums.vt) / sums.time;
+                let new_dt = self.coupling.k_c_per_w * p_soc;
+                if (new_dt - dt).abs() < 0.05 {
+                    dt = new_dt;
+                    break;
+                }
+                dt = new_dt;
+            }
+        }
+        Evaluation {
+            time_us: sums.time,
+            aicore_energy_wus: sums.ea + self.coupling.gamma_aicore * dt * sums.vt,
+            soc_energy_wus: sums.es + self.coupling.gamma_soc * dt * sums.vt,
+        }
+    }
+}
+
+/// Accumulator for incremental evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct RawSums {
+    pub time: f64,
+    pub ea: f64,
+    pub es: f64,
+    pub vt: f64,
+}
+
+impl RawSums {
+    pub(crate) fn minus_plus(mut self, minus: RawSums, plus: RawSums) -> RawSums {
+        self.time += plus.time - minus.time;
+        self.ea += plus.ea - minus.ea;
+        self.es += plus.es - minus.es;
+        self.vt += plus.vt - minus.vt;
+        self
+    }
+}
+
+/// A concrete DVFS strategy: one frequency per candidate stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsStrategy {
+    stages: Vec<Stage>,
+    freqs: Vec<FreqMhz>,
+}
+
+impl DvfsStrategy {
+    /// Creates a strategy; `freqs[i]` applies to `stages[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree.
+    #[must_use]
+    pub fn new(stages: Vec<Stage>, freqs: Vec<FreqMhz>) -> Self {
+        assert_eq!(stages.len(), freqs.len(), "one frequency per stage");
+        Self { stages, freqs }
+    }
+
+    /// The stages.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Per-stage frequencies.
+    #[must_use]
+    pub fn freqs(&self) -> &[FreqMhz] {
+        &self.freqs
+    }
+
+    /// Number of stages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the strategy is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Number of `SetFreq` commands needed to execute the strategy from
+    /// `initial`: one per stage boundary where the frequency changes.
+    #[must_use]
+    pub fn setfreq_count(&self, initial: FreqMhz) -> usize {
+        let mut cur = initial;
+        let mut count = 0;
+        for &f in &self.freqs {
+            if f != cur {
+                count += 1;
+                cur = f;
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::StageKind;
+
+    fn mk_stage(start: f64, dur: f64, range: std::ops::Range<usize>, kind: StageKind) -> Stage {
+        Stage {
+            start_us: start,
+            dur_us: dur,
+            op_range: range,
+            kind,
+        }
+    }
+
+    fn synthetic_table() -> StageTable {
+        // Two freqs (1000, 1800); stage 0 memory-bound (flat time), stage
+        // 1 compute-bound (time ~ 1/f).
+        let freqs = vec![FreqMhz::new(1000), FreqMhz::new(1800)];
+        let stages = vec![
+            mk_stage(0.0, 100.0, 0..1, StageKind::Lfc),
+            mk_stage(100.0, 100.0, 1..2, StageKind::Hfc),
+        ];
+        let time = vec![vec![102.0, 100.0], vec![180.0, 100.0]];
+        let ea = vec![vec![2_000.0, 3_500.0], vec![4_000.0, 5_000.0]];
+        let es = vec![vec![20_000.0, 25_000.0], vec![30_000.0, 28_000.0]];
+        StageTable::from_parts(freqs, stages, time, ea, es).unwrap()
+    }
+
+    #[test]
+    fn evaluate_sums_rows() {
+        let t = synthetic_table();
+        let e = t.evaluate(&[0, 1]);
+        assert!((e.time_us - 202.0).abs() < 1e-12);
+        assert!((e.aicore_energy_wus - 7_000.0).abs() < 1e-12);
+        assert!((e.soc_energy_wus - 48_000.0).abs() < 1e-12);
+        assert!((e.aicore_w() - 7_000.0 / 202.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_is_all_max() {
+        let t = synthetic_table();
+        let b = t.baseline();
+        assert!((b.time_us - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "gene count")]
+    fn evaluate_validates_gene_count() {
+        let t = synthetic_table();
+        let _ = t.evaluate(&[0]);
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let freqs = vec![FreqMhz::new(1000)];
+        let stages = vec![mk_stage(0.0, 1.0, 0..1, StageKind::Lfc)];
+        let err = StageTable::from_parts(
+            freqs,
+            stages,
+            vec![vec![1.0, 2.0]], // wrong width
+            vec![vec![1.0]],
+            vec![vec![1.0]],
+        )
+        .unwrap_err();
+        assert_eq!(err, TableError::ShapeMismatch);
+    }
+
+    #[test]
+    fn setfreq_count_counts_transitions() {
+        let stages = vec![
+            mk_stage(0.0, 1.0, 0..1, StageKind::Lfc),
+            mk_stage(1.0, 1.0, 1..2, StageKind::Hfc),
+            mk_stage(2.0, 1.0, 2..3, StageKind::Lfc),
+        ];
+        let s = DvfsStrategy::new(
+            stages,
+            vec![FreqMhz::new(1200), FreqMhz::new(1800), FreqMhz::new(1800)],
+        );
+        assert_eq!(s.setfreq_count(FreqMhz::new(1800)), 2); // ->1200, ->1800
+        assert_eq!(s.setfreq_count(FreqMhz::new(1200)), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests for preprocessing and the GA: stage partitioning,
+//! FAI merging, duration conservation, and search-quality invariants on
+//! random stage tables.
+
+use proptest::prelude::*;
+
+use npu_dvfs::{
+    preprocess::preprocess, score, search, GaConfig, Stage, StageKind, StageTable,
+};
+use npu_sim::{FreqMhz, OpClass, OpRecord, PipelineRatios, Scenario};
+
+fn rec(index: usize, start: f64, dur: f64, sensitive: bool) -> OpRecord {
+    let ratios = if sensitive {
+        PipelineRatios {
+            cube: 0.95,
+            mte2: 0.3,
+            ..PipelineRatios::default()
+        }
+    } else {
+        PipelineRatios {
+            mte2: 0.95,
+            vector: 0.2,
+            ..PipelineRatios::default()
+        }
+    };
+    OpRecord {
+        index,
+        name: "X".into(),
+        class: OpClass::Compute,
+        scenario: Scenario::PingPongIndependent,
+        start_us: start,
+        dur_us: dur,
+        freq_mhz: FreqMhz::new(1800),
+        ratios,
+        aicore_w: 30.0,
+        soc_w: 200.0,
+        temp_c: 60.0,
+        traffic_bytes: 0.0,
+    }
+}
+
+fn stream(spec: &[(f64, bool)]) -> Vec<OpRecord> {
+    let mut t = 0.0;
+    spec.iter()
+        .enumerate()
+        .map(|(i, &(dur, s))| {
+            let r = rec(i, t, dur, s);
+            t += dur;
+            r
+        })
+        .collect()
+}
+
+prop_compose! {
+    fn arb_profile()(spec in prop::collection::vec((10.0f64..5_000.0, any::<bool>()), 1..80))
+        -> Vec<OpRecord> {
+        stream(&spec)
+    }
+}
+
+fn arb_table() -> impl Strategy<Value = StageTable> {
+    prop::collection::vec((1_000.0f64..50_000.0, any::<bool>(), 5.0f64..40.0), 2..24).prop_map(
+        |rows| {
+            let freqs: Vec<FreqMhz> = (10..=18).map(|k| FreqMhz::new(k * 100)).collect();
+            let mut stages = Vec::new();
+            let mut time = Vec::new();
+            let mut ea = Vec::new();
+            let mut es = Vec::new();
+            let mut t0 = 0.0;
+            for (i, (dur, mem, p_active)) in rows.into_iter().enumerate() {
+                stages.push(Stage {
+                    start_us: t0,
+                    dur_us: dur,
+                    op_range: i..i + 1,
+                    kind: if mem { StageKind::Lfc } else { StageKind::Hfc },
+                });
+                t0 += dur;
+                let mut trow = Vec::new();
+                let mut arow = Vec::new();
+                let mut srow = Vec::new();
+                for &f in &freqs {
+                    let x = f.as_f64() / 1800.0;
+                    let t = if mem { dur * (1.05 - 0.05 * x) } else { dur / x };
+                    let p = 10.0 + p_active * x * x;
+                    trow.push(t);
+                    arow.push(p * t);
+                    srow.push((p + 180.0) * t);
+                }
+                time.push(trow);
+                ea.push(arow);
+                es.push(srow);
+            }
+            StageTable::from_parts(freqs, stages, time, ea, es).expect("consistent shapes")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Preprocessing partitions the operator index space exactly once,
+    /// regardless of profile shape or FAI.
+    #[test]
+    fn stages_partition_ops(records in arb_profile(), fai in 0.0f64..50_000.0) {
+        let pre = preprocess(&records, fai);
+        let mut next = 0;
+        for s in pre.stages() {
+            prop_assert_eq!(s.op_range.start, next);
+            prop_assert!(s.op_range.end > s.op_range.start);
+            next = s.op_range.end;
+        }
+        prop_assert_eq!(next, records.len());
+    }
+
+    /// Total profiled time is conserved through merging.
+    #[test]
+    fn duration_conserved(records in arb_profile(), fai in 0.0f64..50_000.0) {
+        let total: f64 = records.iter().map(|r| r.dur_us).sum();
+        let pre = preprocess(&records, fai);
+        prop_assert!((pre.total_dur_us() - total).abs() < 1e-6 * total.max(1.0));
+    }
+
+    /// After merging, no stage is shorter than the FAI (unless the whole
+    /// profile is one stage).
+    #[test]
+    fn fai_respected(records in arb_profile(), fai in 100.0f64..20_000.0) {
+        let pre = preprocess(&records, fai);
+        if pre.len() > 1 {
+            for s in pre.stages() {
+                prop_assert!(s.dur_us >= fai - 1e-9, "stage {} µs < FAI {fai}", s.dur_us);
+            }
+        }
+    }
+
+    /// A larger FAI never produces more candidate stages.
+    #[test]
+    fn coarser_fai_fewer_stages(records in arb_profile(), fai in 100.0f64..10_000.0) {
+        let fine = preprocess(&records, fai);
+        let coarse = preprocess(&records, 4.0 * fai);
+        prop_assert!(coarse.len() <= fine.len());
+    }
+
+    /// The GA never returns something worse than the baseline individual
+    /// and respects the predicted-performance bound direction: its best
+    /// score is at least the baseline's score.
+    #[test]
+    fn ga_never_loses_to_baseline(table in arb_table(), seed in 0u64..50) {
+        let mut cfg = GaConfig::default().with_population(24).with_iterations(30);
+        cfg.seed = seed;
+        let out = search(&table, &cfg);
+        let baseline = table.baseline();
+        let s_base = score(&baseline, baseline.time_us, cfg.perf_loss_target);
+        prop_assert!(out.best_score >= s_base - 1e-12);
+        // Score trace is monotone non-decreasing (elitism).
+        for w in out.score_trace.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        // The winning strategy has one frequency per stage.
+        prop_assert_eq!(out.strategy.len(), table.n_stages());
+    }
+
+    /// Score doubles exactly at the performance bound and decreases with
+    /// power.
+    #[test]
+    fn score_structure(time in 50.0f64..1e6, power in 1.0f64..500.0, target in 0.005f64..0.2) {
+        let eval_fast = npu_dvfs::Evaluation {
+            time_us: time,
+            aicore_energy_wus: power * time,
+            soc_energy_wus: (power + 100.0) * time,
+        };
+        // Safely at the bound (tiny margin guards fp rounding of rel).
+        let baseline = time * (1.0 - target) * (1.0 + 1e-9);
+        let s = score(&eval_fast, baseline, target);
+        let rel = baseline / time;
+        prop_assert!((s - 2.0 * rel * rel / power).abs() < 1e-9 * s);
+        // Just past the bound: bonus lost.
+        let s_slow = score(&eval_fast, baseline * 0.999, target);
+        prop_assert!(s_slow < s);
+        // More power, lower score.
+        let eval_hot = npu_dvfs::Evaluation {
+            aicore_energy_wus: 2.0 * power * time,
+            ..eval_fast
+        };
+        prop_assert!(score(&eval_hot, baseline, target) < s);
+    }
+}

@@ -1,0 +1,438 @@
+//! # npu-exec — DVFS strategy execution
+//!
+//! Implements Sect. 7.1 of the paper: turn a [`DvfsStrategy`] into
+//! `SetFreq` dispatches on the device's dedicated frequency stream.
+//!
+//! For every stage boundary where the frequency changes, the executor
+//! subtracts the `SetFreq` apply latency from the adjustment time point
+//! (taken from the baseline profile timeline) and picks the **last
+//! operator ending before that point** as the trigger: when the trigger
+//! operator completes on the compute stream, the `SetFreq` is dispatched,
+//! so the new frequency is active when the stage's first operator starts.
+//!
+//! The *planned* latency may differ from the device's *actual* latency —
+//! that mismatch is exactly the paper's Fig. 18 experiment, where a
+//! 14 ms-delayed `SetFreq` (V100-class DVFS) erodes both the power savings
+//! and the performance of the same strategy.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod persist;
+
+pub use persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
+
+use npu_dvfs::DvfsStrategy;
+use npu_sim::{
+    Device, DeviceError, FreqMhz, OpRecord, RunOptions, RunResult, Schedule, SetFreqCmd,
+};
+use std::fmt;
+
+/// Options for strategy execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorOptions {
+    /// Latency the trigger-placement arithmetic assumes, µs. `None` uses
+    /// the device's actual latency (the well-calibrated case).
+    pub planned_latency_us: Option<f64>,
+    /// Collect telemetry during the run.
+    pub collect_telemetry: bool,
+    /// Telemetry sampling period, µs.
+    pub telemetry_period_us: f64,
+}
+
+impl Default for ExecutorOptions {
+    fn default() -> Self {
+        Self {
+            planned_latency_us: None,
+            collect_telemetry: false,
+            telemetry_period_us: 1_000.0,
+        }
+    }
+}
+
+/// Result of executing a strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionOutcome {
+    /// The device run under the strategy.
+    pub result: RunResult,
+    /// Number of `SetFreq` commands dispatched (paper reports 821 for
+    /// GPT-3 at a 5 ms FAI).
+    pub setfreq_count: usize,
+    /// The initial frequency the run started at.
+    pub initial_freq: FreqMhz,
+}
+
+/// Errors from strategy execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The strategy's operator indices do not fit the schedule/profile.
+    StrategyMismatch {
+        /// Operators covered by the strategy.
+        strategy_ops: usize,
+        /// Operators in the schedule.
+        schedule_ops: usize,
+    },
+    /// The underlying device rejected the run.
+    Device(DeviceError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::StrategyMismatch {
+                strategy_ops,
+                schedule_ops,
+            } => write!(
+                f,
+                "strategy covers {strategy_ops} operators but the schedule has {schedule_ops}"
+            ),
+            Self::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            Self::StrategyMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<DeviceError> for ExecError {
+    fn from(e: DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+/// Compiles a strategy into an initial frequency plus `SetFreq` dispatches
+/// against the baseline profile timeline.
+///
+/// `baseline_records` must come from a profiled run of the same schedule
+/// (they supply the time points for trigger placement).
+///
+/// # Errors
+///
+/// Returns [`ExecError::StrategyMismatch`] when the strategy's operator
+/// ranges exceed the profile.
+pub fn compile_strategy(
+    strategy: &DvfsStrategy,
+    baseline_records: &[OpRecord],
+    planned_latency_us: f64,
+    default_freq: FreqMhz,
+) -> Result<(FreqMhz, Vec<SetFreqCmd>), ExecError> {
+    let covered = strategy.stages().last().map_or(0, |s| s.op_range.end);
+    if covered > baseline_records.len() {
+        return Err(ExecError::StrategyMismatch {
+            strategy_ops: covered,
+            schedule_ops: baseline_records.len(),
+        });
+    }
+    let initial = strategy.freqs().first().copied().unwrap_or(default_freq);
+    let mut cmds = Vec::new();
+    let mut current = initial;
+    for (stage, &freq) in strategy.stages().iter().zip(strategy.freqs()).skip(1) {
+        if freq == current {
+            continue;
+        }
+        let boundary = stage.op_range.start;
+        let target = baseline_records[boundary].start_us - planned_latency_us;
+        // The trigger is the operator whose completion time sits closest
+        // to `target`, so the switch applies as close to the boundary as
+        // the operator grid allows (paper Sect. 7.1: "identify the last
+        // operator before the resulting time point as the SetFreq
+        // trigger"). A pure "last op ending before target" rule fails
+        // when a long operator spans the target point — the trigger would
+        // fire one whole operator too early and a pair of opposite
+        // switches could cancel. Completion times are monotone, so a
+        // binary search finds the closest end.
+        let trigger = {
+            let slice = &baseline_records[..boundary];
+            match slice.binary_search_by(|r| r.end_us().total_cmp(&target)) {
+                Ok(i) => i,
+                Err(0) => 0,
+                Err(i) if i >= slice.len() => slice.len() - 1,
+                Err(i) => {
+                    let before = target - slice[i - 1].end_us();
+                    let after = slice[i].end_us() - target;
+                    if before <= after {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            }
+        };
+        cmds.push(SetFreqCmd {
+            after_op: trigger,
+            target: freq,
+        });
+        current = freq;
+    }
+    Ok((initial, cmds))
+}
+
+/// Executes `strategy` on `dev` over `schedule`, placing `SetFreq`
+/// triggers against `baseline_records`.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the strategy does not fit the schedule or
+/// the device rejects the run.
+pub fn execute_strategy(
+    dev: &mut Device,
+    schedule: &Schedule,
+    strategy: &DvfsStrategy,
+    baseline_records: &[OpRecord],
+    opts: &ExecutorOptions,
+) -> Result<ExecutionOutcome, ExecError> {
+    if baseline_records.len() != schedule.len() {
+        return Err(ExecError::StrategyMismatch {
+            strategy_ops: baseline_records.len(),
+            schedule_ops: schedule.len(),
+        });
+    }
+    let planned = opts
+        .planned_latency_us
+        .unwrap_or(dev.config().setfreq_latency_us);
+    let fmax = dev.config().freq_table.max();
+    let (initial, cmds) = compile_strategy(strategy, baseline_records, planned, fmax)?;
+    let setfreq_count = cmds.len();
+    let mut run_opts = RunOptions::at(initial).with_setfreq(cmds);
+    if opts.collect_telemetry {
+        run_opts = run_opts.with_telemetry(opts.telemetry_period_us);
+    }
+    let result = dev.run(schedule, &run_opts)?;
+    Ok(ExecutionOutcome {
+        result,
+        setfreq_count,
+        initial_freq: initial,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_dvfs::{preprocess::preprocess, DvfsStrategy, Stage, StageKind};
+    use npu_sim::NpuConfig;
+    use npu_workloads::models;
+
+    fn quiet_cfg() -> NpuConfig {
+        NpuConfig::builder().noise(0.0, 0.0, 0.0).build().unwrap()
+    }
+
+    fn baseline(dev: &mut Device, schedule: &Schedule) -> RunResult {
+        dev.run(schedule, &RunOptions::at(FreqMhz::new(1800))).unwrap()
+    }
+
+    /// A hand-built two-stage strategy over a profile: first half at
+    /// `f_head`, second half at `f_tail`.
+    fn two_stage(records: &[OpRecord], f_head: u32, f_tail: u32) -> DvfsStrategy {
+        let mid = records.len() / 2;
+        let end = records.len();
+        let half1: f64 = records[..mid].iter().map(|r| r.dur_us).sum();
+        let half2: f64 = records[mid..].iter().map(|r| r.dur_us).sum();
+        let stages = vec![
+            Stage {
+                start_us: 0.0,
+                dur_us: half1,
+                op_range: 0..mid,
+                kind: StageKind::Lfc,
+            },
+            Stage {
+                start_us: records[mid].start_us,
+                dur_us: half2,
+                op_range: mid..end,
+                kind: StageKind::Hfc,
+            },
+        ];
+        DvfsStrategy::new(stages, vec![FreqMhz::new(f_head), FreqMhz::new(f_tail)])
+    }
+
+    #[test]
+    fn executes_two_stage_strategy() {
+        let cfg = quiet_cfg();
+        let w = models::tiny(&cfg);
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, w.schedule());
+        let strategy = two_stage(&base.records, 1200, 1800);
+        let out = execute_strategy(
+            &mut dev,
+            w.schedule(),
+            &strategy,
+            &base.records,
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.initial_freq.mhz(), 1200);
+        assert_eq!(out.setfreq_count, 1);
+        // The run actually switched frequency.
+        assert_eq!(out.result.freq_trace.len(), 2);
+        assert_eq!(out.result.freq_trace[1].1.mhz(), 1800);
+    }
+
+    #[test]
+    fn uniform_strategy_needs_no_setfreq() {
+        let cfg = quiet_cfg();
+        let w = models::tiny(&cfg);
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, w.schedule());
+        let strategy = two_stage(&base.records, 1500, 1500);
+        let out = execute_strategy(
+            &mut dev,
+            w.schedule(),
+            &strategy,
+            &base.records,
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.setfreq_count, 0);
+        assert_eq!(out.result.freq_trace.len(), 1);
+    }
+
+    #[test]
+    fn trigger_fires_before_stage_boundary() {
+        let cfg = quiet_cfg();
+        let latency = cfg.setfreq_latency_us;
+        let w = models::gpt3(&cfg); // long enough that triggers are interior
+        // Profile only the first 300 ops to keep the test quick.
+        let head: Schedule = w.schedule().ops()[..300].iter().cloned().collect();
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, &head);
+        let strategy = two_stage(&base.records, 1100, 1800);
+        let boundary_start = base.records[strategy.stages()[1].op_range.start].start_us;
+        let (initial, cmds) =
+            compile_strategy(&strategy, &base.records, latency, FreqMhz::new(1800)).unwrap();
+        assert_eq!(initial.mhz(), 1100);
+        assert_eq!(cmds.len(), 1);
+        // The closest-end rule places the apply within one operator (or
+        // one latency) of the boundary — never a whole long operator off.
+        let trigger_end = base.records[cmds[0].after_op].end_us();
+        let apply = trigger_end + latency;
+        assert!(
+            (apply - boundary_start).abs() < 10.0 * latency,
+            "apply ({apply}) should land near the boundary ({boundary_start})"
+        );
+    }
+
+    #[test]
+    fn delayed_setfreq_still_runs_but_shifts_applies() {
+        // Plan triggers for 1 ms but execute on a device with a 15 ms
+        // apply latency (paper Fig. 18's V100 emulation).
+        let slow_cfg = NpuConfig::builder()
+            .noise(0.0, 0.0, 0.0)
+            .setfreq_latency_us(15_000.0)
+            .build()
+            .unwrap();
+        let w = models::tiny(&slow_cfg);
+        let mut dev = Device::new(slow_cfg);
+        let base = baseline(&mut dev, w.schedule());
+        let strategy = two_stage(&base.records, 1100, 1800);
+        let out = execute_strategy(
+            &mut dev,
+            w.schedule(),
+            &strategy,
+            &base.records,
+            &ExecutorOptions {
+                planned_latency_us: Some(1_000.0),
+                ..ExecutorOptions::default()
+            },
+        )
+        .unwrap();
+        // The switch may land after the run ends (tiny is ~1 ms long), but
+        // the command was dispatched.
+        assert_eq!(out.setfreq_count, 1);
+    }
+
+    #[test]
+    fn long_operator_spanning_target_does_not_cancel_switches() {
+        // Regression: with a "last op ending before target" rule, an
+        // up-switch whose target point falls inside a long operator (e.g.
+        // an 11 ms collective) picks a trigger one whole operator early
+        // and lands at the same time as the preceding down-switch,
+        // cancelling it. The closest-completion rule must pick the long
+        // operator itself.
+        let cfg = quiet_cfg();
+        let w = models::tiny(&cfg);
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, w.schedule());
+        // Build a synthetic profile: op0 2 ms, op1 11 ms, op2.. short.
+        let mut records = base.records.clone();
+        let mut t = 0.0;
+        for (i, r) in records.iter_mut().enumerate() {
+            r.start_us = t;
+            r.dur_us = match i {
+                0 => 2_000.0,
+                1 => 11_000.0,
+                _ => 100.0,
+            };
+            t += r.dur_us;
+        }
+        let stages = vec![
+            Stage {
+                start_us: 0.0,
+                dur_us: 13_000.0,
+                op_range: 0..2,
+                kind: StageKind::Lfc,
+            },
+            Stage {
+                start_us: 13_000.0,
+                dur_us: t - 13_000.0,
+                op_range: 2..records.len(),
+                kind: StageKind::Hfc,
+            },
+        ];
+        let strategy = DvfsStrategy::new(stages, vec![FreqMhz::new(1200), FreqMhz::new(1800)]);
+        let (initial, cmds) =
+            compile_strategy(&strategy, &records, 1_000.0, FreqMhz::new(1800)).unwrap();
+        assert_eq!(initial.mhz(), 1200);
+        assert_eq!(cmds.len(), 1);
+        // Target = 13 000 − 1 000 = 12 000 µs, inside op1 (2 000–13 000).
+        // Closest completion is op1's (13 000), not op0's (2 000).
+        assert_eq!(cmds[0].after_op, 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_profile() {
+        let cfg = quiet_cfg();
+        let w = models::tiny(&cfg);
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, w.schedule());
+        let strategy = two_stage(&base.records, 1200, 1800);
+        let mut short = base.records.clone();
+        short.pop();
+        let err = execute_strategy(
+            &mut dev,
+            w.schedule(),
+            &strategy,
+            &short,
+            &ExecutorOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::StrategyMismatch { .. }));
+    }
+
+    #[test]
+    fn preprocessed_strategy_round_trips() {
+        // preprocess -> uniform strategy over stages -> execute.
+        let cfg = quiet_cfg();
+        let w = models::tiny(&cfg);
+        let mut dev = Device::new(cfg);
+        let base = baseline(&mut dev, w.schedule());
+        let pre = preprocess(&base.records, 100.0);
+        assert!(!pre.is_empty());
+        let freqs = vec![FreqMhz::new(1400); pre.len()];
+        let strategy = DvfsStrategy::new(pre.stages().to_vec(), freqs);
+        let out = execute_strategy(
+            &mut dev,
+            w.schedule(),
+            &strategy,
+            &base.records,
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.initial_freq.mhz(), 1400);
+        assert_eq!(out.setfreq_count, 0);
+    }
+}

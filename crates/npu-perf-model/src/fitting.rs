@@ -1,0 +1,595 @@
+//! The three candidate fitting functions of paper Sect. 4.3 / Fig. 15.
+//!
+//! With `x = f / 1000` (normalized frequency) and `T` in µs:
+//!
+//! * **Func. 1** `T(f) = (a·x² + b·x + c) / x` — full quadratic cycles,
+//!   three parameters, fit with Levenberg–Marquardt (the paper used scipy
+//!   `curve_fit`);
+//! * **Func. 2** `T(f) = (a·x² + c) / x` — linear term removed, two
+//!   parameters, solved *in closed form* (the paper's production choice:
+//!   comparable accuracy at a fraction of the fitting cost);
+//! * **Func. 3** `T(f) = (a·x^b + c) / x` — power law; `b` is clamped to
+//!   `[0, 10]` exactly as the paper had to do to avoid overflow.
+//!
+//! All three divide a convex cycles-vs-frequency model by `f`, matching the
+//! timeline conclusion that `Cycle(f)` is convex piecewise linear.
+
+use std::fmt;
+
+/// Which of the paper's three functions (or the prior-work baseline) to
+/// fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitFunction {
+    /// Func. 1: `T = (a·x² + b·x + c)/x` (3 parameters, iterative fit).
+    QuadraticFull,
+    /// Func. 2: `T = (a·x² + c)/x` (2 parameters, closed form) — the
+    /// paper's production model.
+    Quadratic,
+    /// Func. 3: `T = (a·x^b + c)/x` (3 parameters, `b ∈ [0, 10]`).
+    PowerLaw,
+    /// Prior-work baseline (the CRISP-style assumption the paper's
+    /// Sect. 4.1 critiques via its Ref. 28): memory-stall time is
+    /// *independent* of core frequency, so `T = b + c/x` — i.e. cycles
+    /// `b·x + c`, linear instead of convex-quadratic. Closed form,
+    /// 2 parameters.
+    StallConstant,
+}
+
+impl FitFunction {
+    /// Minimum number of distinct frequency points needed.
+    #[must_use]
+    pub fn min_points(self) -> usize {
+        match self {
+            Self::Quadratic | Self::StallConstant => 2,
+            Self::QuadraticFull | Self::PowerLaw => 3,
+        }
+    }
+
+    /// The paper's three candidates, in the paper's order.
+    #[must_use]
+    pub fn all() -> [FitFunction; 3] {
+        [Self::QuadraticFull, Self::Quadratic, Self::PowerLaw]
+    }
+
+    /// The paper's three candidates plus the stall-constant baseline.
+    #[must_use]
+    pub fn all_with_baseline() -> [FitFunction; 4] {
+        [
+            Self::QuadraticFull,
+            Self::Quadratic,
+            Self::PowerLaw,
+            Self::StallConstant,
+        ]
+    }
+}
+
+impl fmt::Display for FitFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::QuadraticFull => "T=(af^2+bf+c)/f",
+            Self::Quadratic => "T=(af^2+c)/f",
+            Self::PowerLaw => "T=(af^b+c)/f",
+            Self::StallConstant => "T=(bf+c)/f",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fitted parameters for one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitParams {
+    kind: FitFunction,
+    a: f64,
+    b: f64,
+    c: f64,
+}
+
+impl FitParams {
+    /// The function family these parameters belong to.
+    #[must_use]
+    pub fn kind(&self) -> FitFunction {
+        self.kind
+    }
+
+    /// Raw `(a, b, c)` in normalized-frequency space (`b` unused for
+    /// Func. 2).
+    #[must_use]
+    pub fn coefficients(&self) -> (f64, f64, f64) {
+        (self.a, self.b, self.c)
+    }
+
+    /// Predicted execution time at `f_mhz`, µs.
+    #[must_use]
+    pub fn predict_time_us(&self, f_mhz: f64) -> f64 {
+        debug_assert!(f_mhz > 0.0);
+        let x = f_mhz / 1000.0;
+        let cycles = match self.kind {
+            FitFunction::QuadraticFull => self.a * x * x + self.b * x + self.c,
+            FitFunction::Quadratic => self.a * x * x + self.c,
+            FitFunction::PowerLaw => self.a * x.powf(self.b) + self.c,
+            FitFunction::StallConstant => self.b * x + self.c,
+        };
+        cycles / x
+    }
+
+    /// Predicted cycle count (normalized units) at `f_mhz`.
+    #[must_use]
+    pub fn predict_cycles(&self, f_mhz: f64) -> f64 {
+        self.predict_time_us(f_mhz) * f_mhz / 1000.0
+    }
+
+    /// Whether the fitted cycles function is convex and non-decreasing on
+    /// the band `[lo_mhz, hi_mhz]` (the property the timeline analysis
+    /// guarantees for the ground truth).
+    #[must_use]
+    pub fn is_convex_on(&self, lo_mhz: f64, hi_mhz: f64) -> bool {
+        let xs = [lo_mhz, 0.5 * (lo_mhz + hi_mhz), hi_mhz];
+        let ys: Vec<f64> = xs.iter().map(|&f| self.predict_cycles(f)).collect();
+        let second = ys[2] - 2.0 * ys[1] + ys[0];
+        second >= -1e-9 * ys[1].abs().max(1.0)
+    }
+}
+
+/// Errors from fitting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer distinct points than the function family requires.
+    NotEnoughPoints {
+        /// Points required.
+        needed: usize,
+        /// Points provided.
+        got: usize,
+    },
+    /// A frequency or time sample was non-positive or non-finite.
+    InvalidSample,
+    /// The normal equations were singular (e.g. duplicated frequencies).
+    Singular,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotEnoughPoints { needed, got } => {
+                write!(f, "need at least {needed} distinct frequency points, got {got}")
+            }
+            Self::InvalidSample => write!(f, "samples must be finite and positive"),
+            Self::Singular => write!(f, "fit system is singular"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fits `kind` to `(f_mhz, time_us)` samples.
+///
+/// # Errors
+///
+/// Returns [`FitError`] when samples are invalid, too few, or degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use npu_perf_model::{fit, FitFunction};
+///
+/// // Ground truth: cycles = 2·x² + 3  (x = f/1000), so T = (2x²+3)/x.
+/// let t = |f: f64| {
+///     let x = f / 1000.0;
+///     (2.0 * x * x + 3.0) / x
+/// };
+/// let samples = vec![(1000.0, t(1000.0)), (1800.0, t(1800.0))];
+/// let params = fit(FitFunction::Quadratic, &samples)?;
+/// assert!((params.predict_time_us(1400.0) - t(1400.0)).abs() < 1e-9);
+/// # Ok::<(), npu_perf_model::FitError>(())
+/// ```
+pub fn fit(kind: FitFunction, samples: &[(f64, f64)]) -> Result<FitParams, FitError> {
+    validate(samples)?;
+    let mut distinct: Vec<f64> = samples.iter().map(|s| s.0).collect();
+    distinct.sort_by(f64::total_cmp);
+    distinct.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    if distinct.len() < kind.min_points() {
+        return Err(FitError::NotEnoughPoints {
+            needed: kind.min_points(),
+            got: distinct.len(),
+        });
+    }
+    // Work in normalized coordinates: x = f/1000, y = cycles = T·x.
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|&(f, t)| (f / 1000.0, t * f / 1000.0))
+        .collect();
+    match kind {
+        FitFunction::Quadratic => fit_quadratic(&pts),
+        FitFunction::QuadraticFull => fit_quadratic_full(&pts, samples),
+        FitFunction::PowerLaw => fit_power_law(&pts, samples),
+        FitFunction::StallConstant => fit_stall_constant(&pts),
+    }
+}
+
+/// Closed-form least squares for the prior-work baseline `y = b·x + c`
+/// (cycles linear in frequency: constant-time memory stalls).
+fn fit_stall_constant(pts: &[(f64, f64)]) -> Result<FitParams, FitError> {
+    let n = pts.len() as f64;
+    let (mut sx, mut sxx, mut sy, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in pts {
+        sx += x;
+        sxx += x * x;
+        sy += y;
+        sxy += x * y;
+    }
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-12 {
+        return Err(FitError::Singular);
+    }
+    Ok(FitParams {
+        kind: FitFunction::StallConstant,
+        a: 0.0,
+        b: (n * sxy - sx * sy) / det,
+        c: (sxx * sy - sx * sxy) / det,
+    })
+}
+
+fn validate(samples: &[(f64, f64)]) -> Result<(), FitError> {
+    if samples
+        .iter()
+        .any(|&(f, t)| !f.is_finite() || !t.is_finite() || f <= 0.0 || t <= 0.0)
+    {
+        return Err(FitError::InvalidSample);
+    }
+    Ok(())
+}
+
+/// Closed-form least squares for `y = a·x² + c` ("we can directly
+/// calculate parameters a and c", paper Sect. 4.3).
+fn fit_quadratic(pts: &[(f64, f64)]) -> Result<FitParams, FitError> {
+    let n = pts.len() as f64;
+    let (mut sx2, mut sx4, mut sy, mut sx2y) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in pts {
+        let x2 = x * x;
+        sx2 += x2;
+        sx4 += x2 * x2;
+        sy += y;
+        sx2y += x2 * y;
+    }
+    let det = n * sx4 - sx2 * sx2;
+    if det.abs() < 1e-12 {
+        return Err(FitError::Singular);
+    }
+    let a = (n * sx2y - sx2 * sy) / det;
+    let c = (sx4 * sy - sx2 * sx2y) / det;
+    Ok(FitParams {
+        kind: FitFunction::Quadratic,
+        a,
+        b: 0.0,
+        c,
+    })
+}
+
+/// Levenberg–Marquardt on time-domain residuals (the paper fit Func. 1 and
+/// Func. 3 with scipy `curve_fit`, which is exactly this algorithm).
+fn levenberg_marquardt<const P: usize>(
+    samples: &[(f64, f64)],
+    mut p: [f64; P],
+    model: impl Fn(&[f64; P], f64) -> f64,
+    clamp: impl Fn(&mut [f64; P]),
+) -> [f64; P] {
+    let cost = |p: &[f64; P]| -> f64 {
+        samples
+            .iter()
+            .map(|&(f, t)| {
+                let r = model(p, f) - t;
+                r * r
+            })
+            .sum()
+    };
+    let mut lambda = 1e-3;
+    let mut current = cost(&p);
+    for _ in 0..200 {
+        // Numeric Jacobian.
+        let m = samples.len();
+        let mut jtj = [[0.0_f64; P]; P];
+        let mut jtr = [0.0_f64; P];
+        let mut jac = vec![[0.0_f64; P]; m];
+        for (i, &(f, t)) in samples.iter().enumerate() {
+            let r0 = model(&p, f) - t;
+            for k in 0..P {
+                let h = 1e-6 * p[k].abs().max(1e-6);
+                let mut pk = p;
+                pk[k] += h;
+                clamp(&mut pk);
+                let dr = (model(&pk, f) - t - r0) / h;
+                jac[i][k] = dr;
+            }
+            for k in 0..P {
+                jtr[k] += jac[i][k] * r0;
+                for l in 0..P {
+                    jtj[k][l] += jac[i][k] * jac[i][l];
+                }
+            }
+        }
+        // Solve (JtJ + λ·diag) δ = -Jtr via Gaussian elimination.
+        let mut a = jtj;
+        for (k, row) in a.iter_mut().enumerate() {
+            row[k] += lambda * row[k].max(1e-12);
+        }
+        let mut rhs = jtr.map(|v| -v);
+        if !solve_in_place(&mut a, &mut rhs) {
+            lambda *= 10.0;
+            continue;
+        }
+        let mut candidate = p;
+        for k in 0..P {
+            candidate[k] += rhs[k];
+        }
+        clamp(&mut candidate);
+        let new_cost = cost(&candidate);
+        if new_cost < current {
+            let rel = (current - new_cost) / current.max(1e-300);
+            p = candidate;
+            current = new_cost;
+            lambda = (lambda / 3.0).max(1e-12);
+            if rel < 1e-12 {
+                break;
+            }
+        } else {
+            lambda *= 3.0;
+            if lambda > 1e12 {
+                break;
+            }
+        }
+    }
+    p
+}
+
+/// Gaussian elimination with partial pivoting; returns `false` on a
+/// singular system.
+#[allow(clippy::needless_range_loop)] // index form mirrors the algebra
+fn solve_in_place<const P: usize>(a: &mut [[f64; P]; P], b: &mut [f64; P]) -> bool {
+    for col in 0..P {
+        let mut pivot = col;
+        for row in col + 1..P {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-15 {
+            return false;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..P {
+            let factor = a[row][col] / a[col][col];
+            for k in col..P {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..P).rev() {
+        for row in 0..col {
+            let factor = a[row][col] / a[col][col];
+            b[row] -= factor * b[col];
+        }
+        b[col] /= a[col][col];
+    }
+    true
+}
+
+fn fit_quadratic_full(
+    pts: &[(f64, f64)],
+    samples: &[(f64, f64)],
+) -> Result<FitParams, FitError> {
+    // Seed from the closed-form 2-parameter fit.
+    let seed = fit_quadratic(pts)?;
+    let p0 = [seed.a, 0.0, seed.c];
+    let p = levenberg_marquardt(
+        samples,
+        p0,
+        |p, f| {
+            let x = f / 1000.0;
+            (p[0] * x * x + p[1] * x + p[2]) / x
+        },
+        |_| {},
+    );
+    Ok(FitParams {
+        kind: FitFunction::QuadraticFull,
+        a: p[0],
+        b: p[1],
+        c: p[2],
+    })
+}
+
+fn fit_power_law(pts: &[(f64, f64)], samples: &[(f64, f64)]) -> Result<FitParams, FitError> {
+    let seed = fit_quadratic(pts)?;
+    let p0 = [seed.a.max(1e-9), 2.0, seed.c];
+    let clamp = |p: &mut [f64; 3]| {
+        // Paper: "we have to limit the range of parameter b to [0, 10]".
+        p[1] = p[1].clamp(0.0, 10.0);
+    };
+    let p = levenberg_marquardt(
+        samples,
+        p0,
+        |p, f| {
+            let x = f / 1000.0;
+            (p[0] * x.powf(p[1]) + p[2]) / x
+        },
+        clamp,
+    );
+    Ok(FitParams {
+        kind: FitFunction::PowerLaw,
+        a: p[0],
+        b: p[1],
+        c: p[2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_truth(a: f64, b: f64, c: f64) -> impl Fn(f64) -> f64 {
+        move |f: f64| {
+            let x = f / 1000.0;
+            (a * x * x + b * x + c) / x
+        }
+    }
+
+    fn band() -> Vec<f64> {
+        (10..=18).map(|k| f64::from(k) * 100.0).collect()
+    }
+
+    #[test]
+    fn quadratic_two_point_fit_is_exact() {
+        let t = quad_truth(2.0, 0.0, 3.0);
+        let samples = vec![(1000.0, t(1000.0)), (1800.0, t(1800.0))];
+        let p = fit(FitFunction::Quadratic, &samples).unwrap();
+        for f in band() {
+            assert!((p.predict_time_us(f) - t(f)).abs() < 1e-9, "f={f}");
+        }
+    }
+
+    #[test]
+    fn quadratic_full_recovers_linear_term() {
+        let t = quad_truth(1.5, 0.8, 2.0);
+        let samples: Vec<(f64, f64)> = band().iter().map(|&f| (f, t(f))).collect();
+        let p = fit(FitFunction::QuadraticFull, &samples).unwrap();
+        for f in band() {
+            let err = (p.predict_time_us(f) - t(f)).abs() / t(f);
+            assert!(err < 1e-4, "f={f} err={err}");
+        }
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let truth = |f: f64| {
+            let x = f / 1000.0;
+            (1.2 * x.powf(1.7) + 0.9) / x
+        };
+        let samples: Vec<(f64, f64)> = band().iter().map(|&f| (f, truth(f))).collect();
+        let p = fit(FitFunction::PowerLaw, &samples).unwrap();
+        for f in band() {
+            let err = (p.predict_time_us(f) - truth(f)).abs() / truth(f);
+            assert!(err < 1e-3, "f={f} err={err}");
+        }
+    }
+
+    #[test]
+    fn power_law_clamps_b() {
+        // Extremely steep data would push b beyond 10; the clamp holds.
+        let truth = |f: f64| {
+            let x = f / 1000.0;
+            (0.1 * x.powf(14.0) + 1.0) / x
+        };
+        let samples: Vec<(f64, f64)> = band().iter().map(|&f| (f, truth(f))).collect();
+        let p = fit(FitFunction::PowerLaw, &samples).unwrap();
+        assert!(p.coefficients().1 <= 10.0);
+    }
+
+    #[test]
+    fn rejects_too_few_points() {
+        let err = fit(FitFunction::QuadraticFull, &[(1000.0, 5.0), (1800.0, 4.0)]).unwrap_err();
+        assert_eq!(err, FitError::NotEnoughPoints { needed: 3, got: 2 });
+    }
+
+    #[test]
+    fn rejects_duplicate_frequencies_for_quadratic() {
+        let err = fit(FitFunction::Quadratic, &[(1000.0, 5.0), (1000.0, 5.1)]).unwrap_err();
+        assert_eq!(err, FitError::NotEnoughPoints { needed: 2, got: 1 });
+    }
+
+    #[test]
+    fn rejects_invalid_samples() {
+        assert_eq!(
+            fit(FitFunction::Quadratic, &[(0.0, 5.0), (1800.0, 4.0)]).unwrap_err(),
+            FitError::InvalidSample
+        );
+        assert_eq!(
+            fit(FitFunction::Quadratic, &[(1000.0, -5.0), (1800.0, 4.0)]).unwrap_err(),
+            FitError::InvalidSample
+        );
+        assert_eq!(
+            fit(FitFunction::Quadratic, &[(1000.0, f64::NAN), (1800.0, 4.0)]).unwrap_err(),
+            FitError::InvalidSample
+        );
+    }
+
+    #[test]
+    fn fit_on_noisy_data_stays_close() {
+        let t = quad_truth(2.0, 0.0, 3.0);
+        // ±1 % multiplicative "measurement noise".
+        let noise = [1.01, 0.99, 1.008, 0.995, 1.002, 0.991, 1.006, 0.997, 1.004];
+        let samples: Vec<(f64, f64)> = band()
+            .iter()
+            .zip(noise.iter())
+            .map(|(&f, &n)| (f, t(f) * n))
+            .collect();
+        for kind in FitFunction::all() {
+            let p = fit(kind, &samples).unwrap();
+            for f in band() {
+                let err = (p.predict_time_us(f) - t(f)).abs() / t(f);
+                assert!(err < 0.03, "{kind}: f={f} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn fitted_quadratics_are_convex() {
+        let t = quad_truth(2.0, 0.5, 3.0);
+        let samples: Vec<(f64, f64)> = band().iter().map(|&f| (f, t(f))).collect();
+        for kind in FitFunction::all() {
+            let p = fit(kind, &samples).unwrap();
+            assert!(p.is_convex_on(1000.0, 1800.0), "{kind}");
+        }
+    }
+
+    #[test]
+    fn cycles_and_time_are_consistent() {
+        let t = quad_truth(2.0, 0.0, 3.0);
+        let samples = vec![(1000.0, t(1000.0)), (1800.0, t(1800.0))];
+        let p = fit(FitFunction::Quadratic, &samples).unwrap();
+        let f = 1400.0;
+        assert!((p.predict_cycles(f) - p.predict_time_us(f) * 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_points_per_kind() {
+        assert_eq!(FitFunction::Quadratic.min_points(), 2);
+        assert_eq!(FitFunction::QuadraticFull.min_points(), 3);
+        assert_eq!(FitFunction::PowerLaw.min_points(), 3);
+        assert_eq!(FitFunction::StallConstant.min_points(), 2);
+    }
+
+    #[test]
+    fn stall_constant_fits_linear_cycles_exactly() {
+        // Truth with constant-time stalls: cycles = b·x + c.
+        let truth = |f: f64| {
+            let x = f / 1000.0;
+            (3.0 * x + 2.0) / x
+        };
+        let samples = vec![(1000.0, truth(1000.0)), (1800.0, truth(1800.0))];
+        let p = fit(FitFunction::StallConstant, &samples).unwrap();
+        for f in band() {
+            assert!((p.predict_time_us(f) - truth(f)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stall_constant_misses_quadratic_truth() {
+        // The baseline cannot represent the frequency-dependent stall
+        // component: against convex-quadratic truth it errs where the
+        // paper's Func. 2 is exact (the Sect. 4.1 critique of Ref. [28]).
+        let t = quad_truth(2.0, 0.0, 3.0);
+        let samples = vec![(1000.0, t(1000.0)), (1800.0, t(1800.0))];
+        let naive = fit(FitFunction::StallConstant, &samples).unwrap();
+        let ours = fit(FitFunction::Quadratic, &samples).unwrap();
+        let f = 1400.0;
+        let e_naive = (naive.predict_time_us(f) - t(f)).abs() / t(f);
+        let e_ours = (ours.predict_time_us(f) - t(f)).abs() / t(f);
+        assert!(e_ours < 1e-9);
+        assert!(e_naive > 0.005, "baseline error {e_naive} should be visible");
+    }
+
+    #[test]
+    fn display_matches_figure_legend() {
+        assert_eq!(FitFunction::Quadratic.to_string(), "T=(af^2+c)/f");
+    }
+}

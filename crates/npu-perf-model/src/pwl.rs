@@ -1,0 +1,129 @@
+//! Convexity utilities and the piecewise-linear "oracle" model.
+//!
+//! Sect. 4.2.5 of the paper concludes that `Cycle(f)` is a convex
+//! piecewise-linear function built from `max()` and linear terms. These
+//! helpers verify that property on sampled data and provide the exact
+//! analytical model (available only in simulation, where the descriptor is
+//! known) as an upper-bound baseline for the fitted models.
+
+use npu_sim::{CycleModel, FreqMhz, NpuConfig, OpDescriptor};
+
+/// Checks that `ys` sampled on an evenly spaced grid is convex: all second
+/// differences are non-negative (up to `tol` relative slack).
+#[must_use]
+pub fn is_convex(ys: &[f64], tol: f64) -> bool {
+    ys.windows(3).all(|w| {
+        let second = w[2] - 2.0 * w[1] + w[0];
+        second >= -tol * w[1].abs().max(1.0)
+    })
+}
+
+/// Checks that `ys` is non-decreasing (up to `tol` relative slack).
+#[must_use]
+pub fn is_non_decreasing(ys: &[f64], tol: f64) -> bool {
+    ys.windows(2)
+        .all(|w| w[1] >= w[0] - tol * w[0].abs().max(1.0))
+}
+
+/// Largest convexity violation (most negative second difference), 0 when
+/// convex. Useful to quantify how far noisy measurements deviate from the
+/// analytical guarantee.
+#[must_use]
+pub fn convexity_defect(ys: &[f64]) -> f64 {
+    ys.windows(3)
+        .map(|w| w[2] - 2.0 * w[1] + w[0])
+        .fold(0.0_f64, |acc, d| acc.min(d))
+        .abs()
+}
+
+/// The exact analytical performance model (Eqs. (5)–(8)) for one operator
+/// — the "directly derive piecewise linear functions" alternative the
+/// paper mentions at the end of Sect. 4.3. Only constructible when the
+/// operator descriptor is known, which real PMUs cannot observe; we use it
+/// as an oracle baseline in the fitting-accuracy ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleModel {
+    model: CycleModel,
+}
+
+impl OracleModel {
+    /// Builds the oracle from the true descriptor and hardware config.
+    #[must_use]
+    pub fn new(op: &OpDescriptor, cfg: &NpuConfig) -> Self {
+        Self {
+            model: CycleModel::new(op, cfg),
+        }
+    }
+
+    /// Exact (noise-free) execution time at `f`, µs.
+    #[must_use]
+    pub fn predict_time_us(&self, f: FreqMhz) -> f64 {
+        self.model.time_us(f)
+    }
+
+    /// Breakpoints of the underlying piecewise-linear cycle function, MHz.
+    #[must_use]
+    pub fn breakpoints_mhz(&self) -> Vec<f64> {
+        self.model.breakpoints_mhz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::Scenario;
+
+    #[test]
+    fn convexity_checks() {
+        assert!(is_convex(&[1.0, 2.0, 4.0, 7.0], 1e-9));
+        assert!(!is_convex(&[1.0, 3.0, 4.0, 4.5], 1e-9));
+        assert!(is_convex(&[5.0, 5.0, 5.0], 1e-9));
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        assert!(is_non_decreasing(&[1.0, 1.0, 2.0], 1e-9));
+        assert!(!is_non_decreasing(&[2.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn defect_measures_violation() {
+        assert_eq!(convexity_defect(&[1.0, 2.0, 3.0]), 0.0);
+        let d = convexity_defect(&[0.0, 2.0, 3.0]); // second diff = -1
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_matches_simulator_exactly() {
+        let cfg = NpuConfig::ascend_like();
+        let op = OpDescriptor::compute("Gelu", Scenario::PingPongIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(1024.0 * 1024.0)
+            .st_bytes_per_block(1024.0 * 1024.0)
+            .l2_hit_rate(0.4)
+            .core_cycles_per_block(2_000.0);
+        let oracle = OracleModel::new(&op, &cfg);
+        let direct = CycleModel::new(&op, &cfg);
+        for f in cfg.freq_table.iter() {
+            assert_eq!(oracle.predict_time_us(f), direct.time_us(f));
+        }
+    }
+
+    #[test]
+    fn oracle_cycles_convex_on_band() {
+        let cfg = NpuConfig::ascend_like();
+        let op = OpDescriptor::compute("Add", Scenario::PingPongFreeIndependent)
+            .blocks(4)
+            .ld_bytes_per_block(4.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(2.0 * 1024.0 * 1024.0)
+            .l2_hit_rate(0.7)
+            .core_cycles_per_block(1_000.0);
+        let oracle = OracleModel::new(&op, &cfg);
+        let times: Vec<f64> = cfg
+            .freq_table
+            .iter()
+            .map(|f| oracle.predict_time_us(f) * f.as_f64())
+            .collect();
+        assert!(is_convex(&times, 1e-9));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the fitting layer: exact recovery on
+//! in-family data, bounded error on convex piecewise-linear truth, and
+//! evaluation-utility invariants.
+
+use proptest::prelude::*;
+
+use npu_perf_model::{error_cdf, fit, ErrorStats, FitFunction};
+
+fn band() -> Vec<f64> {
+    (10..=18).map(|k| f64::from(k) * 100.0).collect()
+}
+
+/// A convex piecewise-linear cycles model in normalized frequency:
+/// `cycles(x) = max(a·x, a·knee) + t·x + k` — the exact shape Eq. (4)
+/// produces, with the breakpoint at `knee` inside the band.
+#[derive(Debug, Clone, Copy)]
+struct PwlTruth {
+    a: f64,
+    knee: f64,
+    t: f64,
+    k: f64,
+}
+
+impl PwlTruth {
+    fn time_us(&self, f_mhz: f64) -> f64 {
+        let x = f_mhz / 1000.0;
+        let cycles = (self.a * x).max(self.a * self.knee) + self.t * x + self.k;
+        cycles / x
+    }
+}
+
+prop_compose! {
+    fn arb_pwl()(
+        a in 0.1f64..50.0,
+        knee in 1.0f64..1.8,
+        t in 0.0f64..5.0,
+        k in 0.0f64..100.0,
+    ) -> PwlTruth {
+        PwlTruth { a, knee, t, k }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Func. 2's two-point closed-form fit passes through its build points
+    /// exactly.
+    #[test]
+    fn quadratic_interpolates_build_points(a in 0.01f64..100.0, c in 0.01f64..100.0) {
+        let t = |f: f64| {
+            let x = f / 1000.0;
+            (a * x * x + c) / x
+        };
+        let samples = vec![(1000.0, t(1000.0)), (1800.0, t(1800.0))];
+        let p = fit(FitFunction::Quadratic, &samples).unwrap();
+        prop_assert!((p.predict_time_us(1000.0) - t(1000.0)).abs() < 1e-9 * t(1000.0));
+        prop_assert!((p.predict_time_us(1800.0) - t(1800.0)).abs() < 1e-9 * t(1800.0));
+    }
+
+    /// On convex piecewise-linear ground truth (the timeline shape), all
+    /// three functions stay within a modest relative error across the
+    /// whole band.
+    #[test]
+    fn fits_bounded_on_pwl_truth(truth in arb_pwl()) {
+        for kind in FitFunction::all() {
+            let build: Vec<(f64, f64)> = match kind.min_points() {
+                2 => vec![(1000.0, truth.time_us(1000.0)), (1800.0, truth.time_us(1800.0))],
+                _ => vec![
+                    (1000.0, truth.time_us(1000.0)),
+                    (1400.0, truth.time_us(1400.0)),
+                    (1800.0, truth.time_us(1800.0)),
+                ],
+            };
+            let p = fit(kind, &build).unwrap();
+            // Worst-case piecewise-linear truth (sharp kink high in the
+            // band, no constant term) bounds the per-point error around
+            // 10-12%; the mean over the band stays a few percent — the
+            // regime of the paper's Fig. 15 error tail.
+            let mut errs = Vec::new();
+            for f in band() {
+                let e = (p.predict_time_us(f) - truth.time_us(f)).abs() / truth.time_us(f);
+                prop_assert!(e < 0.20, "{kind}: f={f} err={e}");
+                errs.push(e);
+            }
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            prop_assert!(mean < 0.10, "{kind}: mean err {mean}");
+        }
+    }
+
+    /// Fitted predictions stay positive on physically valid data: the
+    /// timeline analysis bounds operator behaviour between "time constant"
+    /// (fully memory-bound) and "time ∝ 1/f" (fully compute-bound), i.e.
+    /// cycles non-decreasing AND time non-increasing. Ratios per 100 MHz
+    /// step are drawn inside that envelope.
+    #[test]
+    fn predictions_positive(
+        t0 in 1.0f64..1e5,
+        steps in prop::collection::vec(0.0f64..1.0, 8),
+    ) {
+        let fs = band();
+        let mut times = vec![t0];
+        for (i, u) in steps.iter().enumerate() {
+            let lo = fs[i] / fs[i + 1]; // time ∝ 1/f lower bound
+            let r = lo + (1.0 - lo) * u;
+            let prev = *times.last().unwrap();
+            times.push(prev * r);
+        }
+        let samples: Vec<(f64, f64)> = fs.into_iter().zip(times).collect();
+        for kind in FitFunction::all() {
+            let p = fit(kind, &samples).unwrap();
+            for f in band() {
+                prop_assert!(p.predict_time_us(f) > 0.0, "{kind}: f={f}");
+            }
+        }
+    }
+
+    /// The error CDF is monotone and reaches 1.
+    #[test]
+    fn cdf_monotone(errors in prop::collection::vec(0.0f64..1.0, 1..200)) {
+        let cdf = error_cdf(&errors, 32);
+        prop_assert!(!cdf.is_empty());
+        for w in cdf.windows(2) {
+            prop_assert!(w[1].1 >= w[0].1);
+            prop_assert!(w[1].0 >= w[0].0);
+        }
+        prop_assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Error statistics are internally consistent.
+    #[test]
+    fn stats_consistent(errors in prop::collection::vec(0.0f64..2.0, 1..200)) {
+        let s = ErrorStats::from_errors(&errors).unwrap();
+        prop_assert!(s.p50 <= s.p90 + 1e-12);
+        prop_assert!(s.p90 <= s.max + 1e-12);
+        prop_assert!(s.mean <= s.max + 1e-12);
+        prop_assert!(s.count == errors.len());
+        let f5 = ErrorStats::fraction_within(&errors, 0.05);
+        let f10 = ErrorStats::fraction_within(&errors, 0.10);
+        prop_assert!(f5 <= f10);
+    }
+}

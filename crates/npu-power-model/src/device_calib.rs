@@ -1,0 +1,271 @@
+//! Drives a simulated device through the paper's offline calibration
+//! procedure (Fig. 11, "Offline Computation"): idle-state measurements at
+//! two frequencies, a test load followed by a cool-down observation for
+//! `γ`, and equilibrium runs under several loads for `k`.
+
+use crate::calib::{fit_gamma, CalibrationError, HardwareCalibration, IdleFit, ThermalFit};
+use npu_sim::{summarize, Device, DeviceError, FreqMhz, RunOptions, Schedule};
+use std::fmt;
+
+/// Options for the offline calibration procedure.
+#[derive(Debug, Clone)]
+pub struct CalibrationOptions {
+    /// Frequencies for the idle two-point fit.
+    pub idle_freqs: Vec<FreqMhz>,
+    /// How long to observe each idle point, µs.
+    pub idle_observe_us: f64,
+    /// How long to run the test load before the cool-down, µs.
+    pub heat_us: f64,
+    /// Cool-down observation length, µs.
+    pub cooldown_us: f64,
+    /// Cool-down sampling period, µs.
+    pub cooldown_sample_us: f64,
+    /// How long each equilibrium load runs for the `k` fit, µs (several
+    /// thermal time constants).
+    pub equilibrium_us: f64,
+}
+
+impl Default for CalibrationOptions {
+    fn default() -> Self {
+        Self {
+            idle_freqs: vec![FreqMhz::new(1000), FreqMhz::new(1800)],
+            idle_observe_us: 30_000.0,
+            heat_us: 10.0e6,
+            cooldown_us: 8.0e6,
+            cooldown_sample_us: 5_000.0,
+            equilibrium_us: 10.0e6,
+        }
+    }
+}
+
+/// Errors from device-driven calibration.
+#[derive(Debug)]
+pub enum DeviceCalibrationError {
+    /// The underlying device rejected a run.
+    Device(DeviceError),
+    /// A fit on the collected data failed.
+    Fit(CalibrationError),
+    /// The caller supplied no equilibrium loads.
+    NoLoads,
+}
+
+impl fmt::Display for DeviceCalibrationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Device(e) => write!(f, "device error during calibration: {e}"),
+            Self::Fit(e) => write!(f, "calibration fit failed: {e}"),
+            Self::NoLoads => write!(f, "at least two equilibrium loads are required"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceCalibrationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Device(e) => Some(e),
+            Self::Fit(e) => Some(e),
+            Self::NoLoads => None,
+        }
+    }
+}
+
+impl From<DeviceError> for DeviceCalibrationError {
+    fn from(e: DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+impl From<CalibrationError> for DeviceCalibrationError {
+    fn from(e: CalibrationError) -> Self {
+        Self::Fit(e)
+    }
+}
+
+fn run_until(
+    dev: &mut Device,
+    schedule: &Schedule,
+    freq: FreqMhz,
+    duration_us: f64,
+) -> Result<(f64, f64), DeviceError> {
+    // Repeats the schedule until `duration_us` has elapsed; returns the
+    // average AICore/SoC power of the final repetition.
+    let start = dev.clock_us();
+    let mut last = (0.0, 0.0);
+    while dev.clock_us() - start < duration_us {
+        let r = dev.run(schedule, &RunOptions::at(freq).without_records())?;
+        last = (r.avg_aicore_w(), r.avg_soc_w());
+        if r.duration_us <= 0.0 {
+            break; // empty schedule cannot make progress
+        }
+    }
+    Ok(last)
+}
+
+/// Runs the full offline calibration on `dev`.
+///
+/// `test_load` heats the chip for the `γ` cool-down fit; `equilibrium_loads`
+/// (two or more schedules of different intensity) provide the
+/// `(P_soc, T_eq)` points for the `k` fit, as in paper Fig. 10.
+///
+/// # Errors
+///
+/// Returns [`DeviceCalibrationError`] if a run fails, data is degenerate,
+/// or fewer than two equilibrium loads are supplied.
+pub fn calibrate_device(
+    dev: &mut Device,
+    test_load: &Schedule,
+    equilibrium_loads: &[Schedule],
+    opts: &CalibrationOptions,
+) -> Result<HardwareCalibration, DeviceCalibrationError> {
+    if equilibrium_loads.len() < 2 {
+        return Err(DeviceCalibrationError::NoLoads);
+    }
+    let voltage = dev.config().voltage_curve;
+    let fmax = dev.config().freq_table.max();
+
+    // 1. Idle power at each calibration frequency, from cold (ΔT ≈ 0).
+    let mut ai_pts = Vec::new();
+    let mut soc_pts = Vec::new();
+    for &f in &opts.idle_freqs {
+        dev.reset();
+        dev.set_frequency(f)?;
+        let samples = dev.observe_idle(opts.idle_observe_us, opts.idle_observe_us / 30.0);
+        let s = summarize(&samples).expect("idle observation produced samples");
+        ai_pts.push((f, s.mean_aicore_w));
+        soc_pts.push((f, s.mean_soc_w));
+    }
+    let aicore_idle = IdleFit::fit(&ai_pts, &voltage)?;
+    let soc_idle = IdleFit::fit(&soc_pts, &voltage)?;
+
+    // 2. γ from the post-load cool-down: heat up, then watch power fall
+    //    with temperature at fixed frequency/voltage.
+    dev.reset();
+    run_until(dev, test_load, fmax, opts.heat_us)?;
+    let cooldown = dev.observe_idle(opts.cooldown_us, opts.cooldown_sample_us);
+    let v = voltage.volts(fmax);
+    let ai_ct: Vec<(f64, f64)> = cooldown.iter().map(|s| (s.temp_c, s.aicore_w)).collect();
+    let soc_ct: Vec<(f64, f64)> = cooldown.iter().map(|s| (s.temp_c, s.soc_w)).collect();
+    let gamma_aicore = fit_gamma(&ai_ct, v)?;
+    let gamma_soc = fit_gamma(&soc_ct, v)?;
+
+    // 3. k from equilibrium temperature under different loads (Fig. 10).
+    let mut k_pts = Vec::new();
+    for load in equilibrium_loads {
+        dev.reset();
+        let (_, soc_w) = run_until(dev, load, fmax, opts.equilibrium_us)?;
+        k_pts.push((soc_w, dev.temp_c()));
+    }
+    let thermal = ThermalFit::fit(&k_pts)?;
+
+    Ok(HardwareCalibration {
+        aicore_idle,
+        soc_idle,
+        gamma_aicore,
+        gamma_soc,
+        thermal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{NpuConfig, OpDescriptor, Scenario};
+
+    fn quiet_cfg() -> NpuConfig {
+        // Noise-free device and a fast thermal constant keep the test quick
+        // while preserving the calibration structure.
+        NpuConfig::builder()
+            .noise(0.0, 0.0, 0.0)
+            .thermal_tau_us(2.0e5)
+            .build()
+            .unwrap()
+    }
+
+    fn compute_load(alpha: f64) -> Schedule {
+        Schedule::new(vec![OpDescriptor::compute("MatMul", Scenario::PingPongIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(256.0 * 1024.0)
+            .st_bytes_per_block(128.0 * 1024.0)
+            .l2_hit_rate(0.9)
+            .core_cycles_per_block(200_000.0)
+            .activity(alpha); 20])
+    }
+
+    fn fast_opts() -> CalibrationOptions {
+        CalibrationOptions {
+            idle_observe_us: 10_000.0,
+            heat_us: 8.0e5,
+            cooldown_us: 4.0e5,
+            cooldown_sample_us: 5_000.0,
+            equilibrium_us: 1.2e6,
+            ..CalibrationOptions::default()
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_ground_truth() {
+        let cfg = quiet_cfg();
+        let mut dev = Device::new(cfg.clone());
+        let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
+        let calib =
+            calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
+        assert!(
+            (calib.aicore_idle.beta - cfg.beta_w_per_ghz_v2).abs() < 0.4,
+            "beta {} vs {}",
+            calib.aicore_idle.beta,
+            cfg.beta_w_per_ghz_v2
+        );
+        assert!(
+            (calib.aicore_idle.theta - cfg.theta_w_per_v).abs() < 0.5,
+            "theta {}",
+            calib.aicore_idle.theta
+        );
+        assert!(
+            (calib.gamma_aicore - cfg.gamma_aicore_w_per_k_v).abs() < 0.05,
+            "gamma {} vs {}",
+            calib.gamma_aicore,
+            cfg.gamma_aicore_w_per_k_v
+        );
+        assert!(
+            (calib.thermal.k_c_per_w - cfg.k_c_per_w).abs() < 0.02,
+            "k {} vs {}",
+            calib.thermal.k_c_per_w,
+            cfg.k_c_per_w
+        );
+        assert!(
+            (calib.thermal.ambient_c - cfg.ambient_c).abs() < 3.0,
+            "ambient {}",
+            calib.thermal.ambient_c
+        );
+    }
+
+    #[test]
+    fn calibration_requires_two_loads() {
+        let cfg = quiet_cfg();
+        let mut dev = Device::new(cfg);
+        let err = calibrate_device(
+            &mut dev,
+            &compute_load(20.0),
+            &[compute_load(5.0)],
+            &fast_opts(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DeviceCalibrationError::NoLoads));
+    }
+
+    #[test]
+    fn calibration_tolerates_measurement_noise() {
+        let cfg = NpuConfig::builder()
+            .thermal_tau_us(2.0e5)
+            .build()
+            .unwrap(); // default noise levels
+        let mut dev = Device::new(cfg.clone());
+        let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
+        let calib =
+            calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
+        // Noise widens tolerances but the parameters stay in the ballpark.
+        assert!((calib.aicore_idle.beta - cfg.beta_w_per_ghz_v2).abs() < 1.5);
+        assert!((calib.gamma_aicore - cfg.gamma_aicore_w_per_k_v).abs() < 0.15);
+        assert!((calib.thermal.k_c_per_w - cfg.k_c_per_w).abs() < 0.04);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the calibration fits: exact round trips on
+//! in-family data and robustness to bounded noise.
+
+use proptest::prelude::*;
+
+use npu_power_model::{fit_gamma, linear_regression, IdleFit, ThermalFit};
+use npu_sim::{FreqMhz, VoltageCurve};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Linear regression recovers an exact line.
+    #[test]
+    fn regression_round_trip(m in -50.0f64..50.0, b in -100.0f64..100.0) {
+        let pts: Vec<(f64, f64)> = (0..8).map(|i| {
+            let x = f64::from(i);
+            (x, m * x + b)
+        }).collect();
+        let (m2, b2) = linear_regression(&pts).unwrap();
+        prop_assert!((m - m2).abs() < 1e-9 * m.abs().max(1.0));
+        prop_assert!((b - b2).abs() < 1e-9 * b.abs().max(1.0));
+    }
+
+    /// The idle two-point fit recovers arbitrary positive (β, θ) exactly
+    /// and interpolates the whole band.
+    #[test]
+    fn idle_fit_round_trip(beta in 0.1f64..40.0, theta in 0.1f64..300.0) {
+        let voltage = VoltageCurve::ascend_default();
+        let truth = |f: FreqMhz| {
+            let v = voltage.volts(f);
+            beta * f.ghz() * v * v + theta * v
+        };
+        let pts = vec![
+            (FreqMhz::new(1000), truth(FreqMhz::new(1000))),
+            (FreqMhz::new(1800), truth(FreqMhz::new(1800))),
+        ];
+        let fit = IdleFit::fit(&pts, &voltage).unwrap();
+        prop_assert!((fit.beta - beta).abs() < 1e-6 * beta.max(1.0));
+        prop_assert!((fit.theta - theta).abs() < 1e-6 * theta.max(1.0));
+        for mhz in [1100u32, 1300, 1500, 1700] {
+            let f = FreqMhz::new(mhz);
+            prop_assert!((fit.predict(f, &voltage) - truth(f)).abs() < 1e-6 * truth(f));
+        }
+    }
+
+    /// γ extraction from a synthetic cool-down is exact for clean data and
+    /// stays close under bounded multiplicative noise.
+    #[test]
+    fn gamma_fit_robust(
+        gamma in 0.05f64..1.5,
+        v in 0.7f64..1.0,
+        base in 5.0f64..50.0,
+        noise in prop::collection::vec(-0.01f64..0.01, 30),
+    ) {
+        let pts: Vec<(f64, f64)> = (0..30)
+            .map(|i| {
+                let t = 40.0 + f64::from(i); // wide temperature range
+                let p = base + gamma * v * t;
+                (t, p * (1.0 + noise[i as usize]))
+            })
+            .collect();
+        let g = fit_gamma(&pts, v).unwrap();
+        // ±1% multiplicative power noise over a 30 K range: the worst-case
+        // least-squares slope error is ~0.15 in γ units at these scales.
+        prop_assert!((g - gamma).abs() < 0.2 + 0.1 * gamma, "γ {g} vs {gamma}");
+    }
+
+    /// The thermal fit recovers (k, T0) exactly and `temp_at` is its
+    /// inverse relation.
+    #[test]
+    fn thermal_fit_round_trip(k in 0.01f64..0.5, t0 in 10.0f64..60.0) {
+        let pts: Vec<(f64, f64)> = [150.0, 220.0, 310.0, 400.0]
+            .iter()
+            .map(|&p| (p, t0 + k * p))
+            .collect();
+        let fit = ThermalFit::fit(&pts).unwrap();
+        prop_assert!((fit.k_c_per_w - k).abs() < 1e-9);
+        prop_assert!((fit.ambient_c - t0).abs() < 1e-6);
+        prop_assert!((fit.temp_at(275.0) - (t0 + k * 275.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,445 @@
+//! Hardware description of the simulated NPU.
+//!
+//! All constants mirror the quantities the paper's models depend on: the
+//! core count and per-core port widths (`C` in Eq. (1)), L2/HBM bandwidths
+//! (which blend into `BW_uncore`), the fixed memory-access overhead `T0`
+//! (Eq. (3)), the power coefficients α/β/γ/θ (Eq. (11)), and the thermal
+//! coupling `T = T_ambient + k · P_soc` (Eq. (15), Fig. 10).
+
+use crate::freq::{FrequencyTable, VoltageCurve};
+use std::fmt;
+
+/// Simulated time in microseconds.
+pub type Micros = f64;
+
+/// Complete hardware description of the simulated device.
+///
+/// Construct via [`NpuConfig::builder`] or use the Ascend-calibrated
+/// [`NpuConfig::ascend_like`] default.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::NpuConfig;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// assert_eq!(cfg.core_num, 24);
+/// assert_eq!(cfg.freq_table.max().mhz(), 1800);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuConfig {
+    /// Number of AICores sharing the uncore (paper uses `core_num`).
+    pub core_num: u32,
+    /// Core-side load port width `C_ld`, bytes per cycle per core (MTE2).
+    pub ld_bytes_per_cycle_per_core: f64,
+    /// Core-side store port width `C_st`, bytes per cycle per core (MTE3).
+    pub st_bytes_per_cycle_per_core: f64,
+    /// Peak L2 cache bandwidth, bytes/µs.
+    pub l2_bw_bytes_per_us: f64,
+    /// Peak HBM bandwidth, bytes/µs.
+    pub hbm_bw_bytes_per_us: f64,
+    /// Fixed per-transfer overhead `T0` in µs (initiation, signal
+    /// propagation); appears as `T0·f` cycles in Eq. (4).
+    pub mem_overhead_us: f64,
+    /// Supported core frequencies.
+    pub freq_table: FrequencyTable,
+    /// Firmware voltage ladder.
+    pub voltage_curve: VoltageCurve,
+    /// Load-independent dynamic coefficient β, W/(GHz·V²) (Eq. (12)).
+    pub beta_w_per_ghz_v2: f64,
+    /// Static coefficient θ, W/V (Eq. (12)); absorbs gate leakage and the
+    /// ambient part of subthreshold leakage.
+    pub theta_w_per_v: f64,
+    /// Temperature coefficient of AICore leakage γ, W/(K·V) (Eq. (10)).
+    pub gamma_aicore_w_per_k_v: f64,
+    /// Temperature coefficient of whole-SoC leakage γ_soc, W/(K·V).
+    pub gamma_soc_w_per_k_v: f64,
+    /// Core-voltage-independent uncore idle power (HBM standby, buses,
+    /// AICPU), W.
+    pub uncore_idle_w: f64,
+    /// Core-voltage-coupled uncore idle power, W/V: parts of the SoC rail
+    /// (shared power delivery, interface leakage) track the core supply
+    /// voltage even though the uncore clock is fixed.
+    pub uncore_theta_w_per_v: f64,
+    /// Uncore energy per byte moved to/from memory, pJ/B.
+    pub hbm_pj_per_byte: f64,
+    /// Fraction of the constant uncore idle power that is clock-dynamic
+    /// (scales with the uncore frequency when uncore DVFS is available —
+    /// the paper's Sect. 8.2 future work).
+    pub uncore_dynamic_fraction: f64,
+    /// Lowest supported uncore frequency scale (1.0 = nominal).
+    pub uncore_min_scale: f64,
+    /// Chip temperature with the SoC fully idle, °C (`T0` in Eq. (15)).
+    pub ambient_c: f64,
+    /// Thermal coupling `k`, °C per W of SoC power (Eq. (15)).
+    pub k_c_per_w: f64,
+    /// First-order thermal time constant, µs.
+    pub thermal_tau_us: f64,
+    /// Latency between dispatching `SetFreq` and the new frequency taking
+    /// effect, µs (1 ms on the Ascend platform, 15 ms class on V100).
+    pub setfreq_latency_us: f64,
+    /// Relative standard deviation of per-op execution-time noise.
+    pub exec_noise_sd: f64,
+    /// Relative standard deviation of power-measurement noise.
+    pub power_noise_sd: f64,
+    /// Absolute standard deviation of temperature-measurement noise, °C.
+    pub temp_noise_sd_c: f64,
+}
+
+impl NpuConfig {
+    /// Ascend-910-class calibration used throughout the reproduction.
+    #[must_use]
+    pub fn ascend_like() -> Self {
+        NpuConfigBuilder::new().build().expect("default config is valid")
+    }
+
+    /// Starts building a custom configuration.
+    #[must_use]
+    pub fn builder() -> NpuConfigBuilder {
+        NpuConfigBuilder::new()
+    }
+
+    /// Effective uncore bandwidth for a transfer with the given L2 hit
+    /// rate, bytes/µs: the harmonic blend of L2 and HBM bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `l2_hit_rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn uncore_bw(&self, l2_hit_rate: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&l2_hit_rate));
+        1.0 / (l2_hit_rate / self.l2_bw_bytes_per_us
+            + (1.0 - l2_hit_rate) / self.hbm_bw_bytes_per_us)
+    }
+
+    /// Aggregate core-side load throughput at frequency `f` MHz, bytes/µs
+    /// (`C · f · core_num` of Eq. (1)).
+    #[must_use]
+    pub fn core_ld_bw(&self, f_mhz: f64) -> f64 {
+        self.ld_bytes_per_cycle_per_core * f_mhz * f64::from(self.core_num)
+    }
+
+    /// Aggregate core-side store throughput at frequency `f` MHz, bytes/µs.
+    #[must_use]
+    pub fn core_st_bw(&self, f_mhz: f64) -> f64 {
+        self.st_bytes_per_cycle_per_core * f_mhz * f64::from(self.core_num)
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::ascend_like()
+    }
+}
+
+/// Builder for [`NpuConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::NpuConfig;
+///
+/// let cfg = NpuConfig::builder()
+///     .core_num(32)
+///     .setfreq_latency_us(15_000.0) // V100-class DVFS latency
+///     .build()?;
+/// assert_eq!(cfg.core_num, 32);
+/// # Ok::<(), npu_sim::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NpuConfigBuilder {
+    cfg: NpuConfig,
+}
+
+impl NpuConfigBuilder {
+    /// Starts from the Ascend-like defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            cfg: NpuConfig {
+                core_num: 24,
+                ld_bytes_per_cycle_per_core: 128.0,
+                st_bytes_per_cycle_per_core: 64.0,
+                l2_bw_bytes_per_us: 6.0e6,
+                hbm_bw_bytes_per_us: 1.4e6,
+                mem_overhead_us: 0.2,
+                freq_table: FrequencyTable::ascend_default(),
+                voltage_curve: VoltageCurve::ascend_default(),
+                beta_w_per_ghz_v2: 16.0,
+                theta_w_per_v: 6.0,
+                gamma_aicore_w_per_k_v: 0.25,
+                gamma_soc_w_per_k_v: 0.9,
+                uncore_idle_w: 130.0,
+                uncore_theta_w_per_v: 46.0,
+                uncore_dynamic_fraction: 0.45,
+                uncore_min_scale: 0.6,
+                hbm_pj_per_byte: 40.0,
+                ambient_c: 40.0,
+                k_c_per_w: 0.11,
+                thermal_tau_us: 2.0e6,
+                setfreq_latency_us: 1_000.0,
+                exec_noise_sd: 0.01,
+                power_noise_sd: 0.012,
+                temp_noise_sd_c: 0.25,
+            },
+        }
+    }
+
+    /// Sets the AICore count.
+    #[must_use]
+    pub fn core_num(mut self, n: u32) -> Self {
+        self.cfg.core_num = n;
+        self
+    }
+
+    /// Sets the load port width (bytes/cycle/core).
+    #[must_use]
+    pub fn ld_port_width(mut self, bytes_per_cycle: f64) -> Self {
+        self.cfg.ld_bytes_per_cycle_per_core = bytes_per_cycle;
+        self
+    }
+
+    /// Sets the store port width (bytes/cycle/core).
+    #[must_use]
+    pub fn st_port_width(mut self, bytes_per_cycle: f64) -> Self {
+        self.cfg.st_bytes_per_cycle_per_core = bytes_per_cycle;
+        self
+    }
+
+    /// Sets the peak L2 bandwidth (bytes/µs).
+    #[must_use]
+    pub fn l2_bandwidth(mut self, bytes_per_us: f64) -> Self {
+        self.cfg.l2_bw_bytes_per_us = bytes_per_us;
+        self
+    }
+
+    /// Sets the peak HBM bandwidth (bytes/µs).
+    #[must_use]
+    pub fn hbm_bandwidth(mut self, bytes_per_us: f64) -> Self {
+        self.cfg.hbm_bw_bytes_per_us = bytes_per_us;
+        self
+    }
+
+    /// Sets the fixed memory-access overhead `T0` (µs).
+    #[must_use]
+    pub fn mem_overhead_us(mut self, t0: f64) -> Self {
+        self.cfg.mem_overhead_us = t0;
+        self
+    }
+
+    /// Sets the supported frequency points.
+    #[must_use]
+    pub fn freq_table(mut self, table: FrequencyTable) -> Self {
+        self.cfg.freq_table = table;
+        self
+    }
+
+    /// Sets the voltage ladder.
+    #[must_use]
+    pub fn voltage_curve(mut self, curve: VoltageCurve) -> Self {
+        self.cfg.voltage_curve = curve;
+        self
+    }
+
+    /// Sets the SetFreq apply latency (µs).
+    #[must_use]
+    pub fn setfreq_latency_us(mut self, us: f64) -> Self {
+        self.cfg.setfreq_latency_us = us;
+        self
+    }
+
+    /// Sets the thermal coupling constant (°C/W).
+    #[must_use]
+    pub fn thermal_coupling(mut self, k_c_per_w: f64) -> Self {
+        self.cfg.k_c_per_w = k_c_per_w;
+        self
+    }
+
+    /// Sets the thermal time constant (µs).
+    #[must_use]
+    pub fn thermal_tau_us(mut self, tau: f64) -> Self {
+        self.cfg.thermal_tau_us = tau;
+        self
+    }
+
+    /// Sets all noise standard deviations at once (execution, power,
+    /// temperature). Pass zeros for a deterministic, noise-free device.
+    #[must_use]
+    pub fn noise(mut self, exec_sd: f64, power_sd: f64, temp_sd_c: f64) -> Self {
+        self.cfg.exec_noise_sd = exec_sd;
+        self.cfg.power_noise_sd = power_sd;
+        self.cfg.temp_noise_sd_c = temp_sd_c;
+        self
+    }
+
+    /// Sets the AICore power coefficients β (W/(GHz·V²)), θ (W/V) and
+    /// γ (W/(K·V)).
+    #[must_use]
+    pub fn aicore_power_coeffs(mut self, beta: f64, theta: f64, gamma: f64) -> Self {
+        self.cfg.beta_w_per_ghz_v2 = beta;
+        self.cfg.theta_w_per_v = theta;
+        self.cfg.gamma_aicore_w_per_k_v = gamma;
+        self
+    }
+
+    /// Sets the uncore idle power (W) and HBM transfer energy (pJ/B).
+    #[must_use]
+    pub fn uncore_power(mut self, idle_w: f64, pj_per_byte: f64) -> Self {
+        self.cfg.uncore_idle_w = idle_w;
+        self.cfg.hbm_pj_per_byte = pj_per_byte;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a physical quantity is non-positive or a
+    /// noise level is negative.
+    pub fn build(self) -> Result<NpuConfig, ConfigError> {
+        let c = &self.cfg;
+        fn pos(v: f64, what: &'static str) -> Result<(), ConfigError> {
+            if v > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive(what))
+            }
+        }
+        if c.core_num == 0 {
+            return Err(ConfigError::NonPositive("core_num"));
+        }
+        pos(c.ld_bytes_per_cycle_per_core, "ld_bytes_per_cycle_per_core")?;
+        pos(c.st_bytes_per_cycle_per_core, "st_bytes_per_cycle_per_core")?;
+        pos(c.l2_bw_bytes_per_us, "l2_bw_bytes_per_us")?;
+        pos(c.hbm_bw_bytes_per_us, "hbm_bw_bytes_per_us")?;
+        pos(c.thermal_tau_us, "thermal_tau_us")?;
+        if c.mem_overhead_us < 0.0 {
+            return Err(ConfigError::Negative("mem_overhead_us"));
+        }
+        if c.setfreq_latency_us < 0.0 {
+            return Err(ConfigError::Negative("setfreq_latency_us"));
+        }
+        if c.exec_noise_sd < 0.0 || c.power_noise_sd < 0.0 || c.temp_noise_sd_c < 0.0 {
+            return Err(ConfigError::Negative("noise standard deviation"));
+        }
+        if c.k_c_per_w < 0.0 {
+            return Err(ConfigError::Negative("k_c_per_w"));
+        }
+        Ok(self.cfg)
+    }
+}
+
+impl Default for NpuConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Error building an [`NpuConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A quantity that must be strictly positive was zero or negative.
+    NonPositive(&'static str),
+    /// A quantity that must be non-negative was negative.
+    Negative(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositive(what) => write!(f, "{what} must be strictly positive"),
+            Self::Negative(what) => write!(f, "{what} must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FreqMhz;
+
+    #[test]
+    fn default_builds() {
+        let cfg = NpuConfig::ascend_like();
+        assert!(cfg.uncore_bw(0.0) <= cfg.hbm_bw_bytes_per_us + 1e-9);
+        assert!(cfg.uncore_bw(1.0) <= cfg.l2_bw_bytes_per_us + 1e-9);
+    }
+
+    #[test]
+    fn uncore_bw_blends_monotonically() {
+        let cfg = NpuConfig::ascend_like();
+        let mut prev = 0.0;
+        for i in 0..=10 {
+            let bw = cfg.uncore_bw(f64::from(i) / 10.0);
+            assert!(bw > prev, "bandwidth must increase with hit rate");
+            prev = bw;
+        }
+    }
+
+    #[test]
+    fn core_bw_scales_with_frequency() {
+        let cfg = NpuConfig::ascend_like();
+        assert!(cfg.core_ld_bw(1800.0) > cfg.core_ld_bw(1000.0));
+        let per_core = cfg.core_ld_bw(1000.0) / f64::from(cfg.core_num);
+        assert!((per_core - 128.0 * 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_rejects_zero_cores() {
+        let err = NpuConfig::builder().core_num(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NonPositive("core_num"));
+    }
+
+    #[test]
+    fn builder_rejects_negative_latency() {
+        let err = NpuConfig::builder()
+            .setfreq_latency_us(-1.0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::Negative("setfreq_latency_us"));
+    }
+
+    #[test]
+    fn builder_rejects_negative_noise() {
+        let err = NpuConfig::builder().noise(-0.1, 0.0, 0.0).build().unwrap_err();
+        assert_eq!(err, ConfigError::Negative("noise standard deviation"));
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let cfg = NpuConfig::builder()
+            .core_num(32)
+            .mem_overhead_us(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.core_num, 32);
+        assert_eq!(cfg.mem_overhead_us, 0.5);
+    }
+
+    #[test]
+    fn saturation_frequency_in_range_for_moderate_hit_rates() {
+        // The design relies on the Ld saturation point f_s = BW_uncore /
+        // (C·core_num) falling inside [1000, 1800] MHz for mid hit rates so
+        // that operators exhibit breakpoints in the supported band.
+        let cfg = NpuConfig::ascend_like();
+        let fs = |hit: f64| cfg.uncore_bw(hit) / (cfg.ld_bytes_per_cycle_per_core * f64::from(cfg.core_num));
+        assert!(fs(0.0) < 1000.0, "pure-HBM ops saturate below band: {}", fs(0.0));
+        let mid = fs(0.9);
+        assert!(
+            (1000.0..=1800.0).contains(&mid),
+            "hit=0.9 saturation {mid} should be in band"
+        );
+        assert!(fs(1.0) > 1800.0, "pure-L2 ops never saturate: {}", fs(1.0));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(
+            ConfigError::NonPositive("core_num").to_string(),
+            "core_num must be strictly positive"
+        );
+        let _ = FreqMhz::new(1); // keep import used
+    }
+}

@@ -1,0 +1,858 @@
+//! The virtual device: executes operator schedules in virtual time with
+//! fine-grained DVFS semantics.
+//!
+//! The device models the two-stream mechanism of paper Sect. 7.1: compute
+//! operators run in order on the compute stream; `SetFreq` commands are
+//! dispatched on a dedicated stream after a chosen *trigger operator*
+//! completes (Event Record / Event Wait synchronization) and the new
+//! frequency takes effect a fixed latency later (1 ms on Ascend, ~15 ms on
+//! a V100). A frequency change landing mid-operator splits the remaining
+//! work at the new frequency, which is exactly why a delayed `SetFreq`
+//! costs both performance and energy (paper Fig. 18).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::config::NpuConfig;
+use crate::freq::FreqMhz;
+use crate::noise::NoiseSource;
+use crate::operator::{OpClass, OpDescriptor};
+use crate::power::{aicore_power, uncore_power_scaled};
+use crate::profiler::OpRecord;
+use crate::telemetry::TelemetrySample;
+use crate::thermal::ThermalState;
+use crate::timeline::CycleModel;
+
+/// An ordered list of operators to execute on the compute stream.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{OpDescriptor, Scenario, Schedule};
+///
+/// let ops = vec![
+///     OpDescriptor::compute("Add", Scenario::PingPongFreeIndependent)
+///         .ld_bytes_per_block(1024.0)
+///         .st_bytes_per_block(1024.0)
+///         .core_cycles_per_block(500.0),
+/// ];
+/// let schedule = Schedule::new(ops);
+/// assert_eq!(schedule.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    ops: Vec<OpDescriptor>,
+}
+
+impl Schedule {
+    /// Creates a schedule from operators in execution order.
+    #[must_use]
+    pub fn new(ops: Vec<OpDescriptor>) -> Self {
+        Self { ops }
+    }
+
+    /// The operators in execution order.
+    #[must_use]
+    pub fn ops(&self) -> &[OpDescriptor] {
+        &self.ops
+    }
+
+    /// Number of operators.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the schedule has no operators.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends an operator.
+    pub fn push(&mut self, op: OpDescriptor) {
+        self.ops.push(op);
+    }
+
+    /// Appends all operators of `other`.
+    pub fn extend_from(&mut self, other: &Schedule) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+}
+
+impl FromIterator<OpDescriptor> for Schedule {
+    fn from_iter<I: IntoIterator<Item = OpDescriptor>>(iter: I) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<OpDescriptor> for Schedule {
+    fn extend<I: IntoIterator<Item = OpDescriptor>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+/// A `SetFreq` dispatch: after the compute stream completes the operator at
+/// `after_op`, request `target`; it takes effect `setfreq_latency_us` later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetFreqCmd {
+    /// Index of the trigger operator in the schedule.
+    pub after_op: usize,
+    /// Requested frequency.
+    pub target: FreqMhz,
+}
+
+/// Options controlling one [`Device::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOptions {
+    /// Core frequency at the start of the run.
+    pub initial_freq: FreqMhz,
+    /// `SetFreq` dispatches, any order (sorted internally by trigger).
+    pub setfreq: Vec<SetFreqCmd>,
+    /// Collect one [`OpRecord`] per operator.
+    pub collect_records: bool,
+    /// Collect telemetry samples.
+    pub collect_telemetry: bool,
+    /// Telemetry sampling period, µs.
+    pub telemetry_period_us: f64,
+}
+
+impl RunOptions {
+    /// A plain fixed-frequency run with profiling enabled.
+    #[must_use]
+    pub fn at(freq: FreqMhz) -> Self {
+        Self {
+            initial_freq: freq,
+            setfreq: Vec::new(),
+            collect_records: true,
+            collect_telemetry: false,
+            telemetry_period_us: 1_000.0,
+        }
+    }
+
+    /// Adds `SetFreq` commands.
+    #[must_use]
+    pub fn with_setfreq(mut self, cmds: Vec<SetFreqCmd>) -> Self {
+        self.setfreq = cmds;
+        self
+    }
+
+    /// Enables telemetry with the given sampling period.
+    #[must_use]
+    pub fn with_telemetry(mut self, period_us: f64) -> Self {
+        self.collect_telemetry = true;
+        self.telemetry_period_us = period_us;
+        self
+    }
+
+    /// Disables per-op records (saves memory on long sweeps).
+    #[must_use]
+    pub fn without_records(mut self) -> Self {
+        self.collect_records = false;
+        self
+    }
+}
+
+/// Outcome of one [`Device::run`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunResult {
+    /// Wall-clock duration of the run, µs.
+    pub duration_us: f64,
+    /// True AICore energy over the run, J.
+    pub energy_aicore_j: f64,
+    /// True SoC energy over the run, J.
+    pub energy_soc_j: f64,
+    /// Per-op profiler records (empty if disabled).
+    pub records: Vec<OpRecord>,
+    /// Telemetry samples (empty if disabled).
+    pub telemetry: Vec<TelemetrySample>,
+    /// Chip temperature at the end of the run, °C.
+    pub end_temp_c: f64,
+    /// `(time_us, freq)` trace of applied frequency changes, including the
+    /// initial point.
+    pub freq_trace: Vec<(f64, FreqMhz)>,
+}
+
+impl RunResult {
+    /// Average AICore power over the run, W.
+    #[must_use]
+    pub fn avg_aicore_w(&self) -> f64 {
+        if self.duration_us > 0.0 {
+            self.energy_aicore_j / (self.duration_us * 1e-6)
+        } else {
+            0.0
+        }
+    }
+
+    /// Average SoC power over the run, W.
+    #[must_use]
+    pub fn avg_soc_w(&self) -> f64 {
+        if self.duration_us > 0.0 {
+            self.energy_soc_j / (self.duration_us * 1e-6)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Errors from device operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceError {
+    /// Requested frequency is not in the device's frequency table.
+    UnsupportedFrequency(FreqMhz),
+    /// Requested uncore scale is outside the supported range.
+    UnsupportedUncoreScale(f64),
+    /// A `SetFreq` trigger index is out of range for the schedule.
+    TriggerOutOfRange {
+        /// Offending trigger index.
+        index: usize,
+        /// Schedule length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnsupportedFrequency(freq) => {
+                write!(f, "frequency {freq} is not supported by the device")
+            }
+            Self::UnsupportedUncoreScale(s) => {
+                write!(f, "uncore scale {s} is outside the supported range")
+            }
+            Self::TriggerOutOfRange { index, len } => {
+                write!(f, "SetFreq trigger index {index} out of range for schedule of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// The simulated NPU.
+///
+/// The device is stateful across runs: its clock, temperature and current
+/// frequency persist, so calibration flows like "run a test load, then
+/// watch the cool-down" (paper Sect. 5.4.2) work naturally.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{Device, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule, FreqMhz};
+///
+/// let mut dev = Device::new(NpuConfig::ascend_like());
+/// let schedule = Schedule::new(vec![
+///     OpDescriptor::compute("Gelu", Scenario::PingPongIndependent)
+///         .blocks(4)
+///         .ld_bytes_per_block((1 << 20) as f64)
+///         .st_bytes_per_block((1 << 20) as f64)
+///         .core_cycles_per_block(2_000.0),
+/// ]);
+/// let result = dev.run(&schedule, &RunOptions::at(FreqMhz::new(1800)))?;
+/// assert!(result.duration_us > 0.0);
+/// # Ok::<(), npu_sim::DeviceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Device {
+    cfg: NpuConfig,
+    noise: NoiseSource,
+    thermal: ThermalState,
+    clock_us: f64,
+    freq: FreqMhz,
+    uncore_scale: f64,
+}
+
+impl Device {
+    /// Creates a cold device with the default seed.
+    #[must_use]
+    pub fn new(cfg: NpuConfig) -> Self {
+        Self::with_seed(cfg, 0xA5CE_0001)
+    }
+
+    /// Creates a cold device with an explicit noise seed.
+    #[must_use]
+    pub fn with_seed(cfg: NpuConfig, seed: u64) -> Self {
+        let thermal = ThermalState::new(&cfg);
+        let freq = cfg.freq_table.max();
+        Self {
+            cfg,
+            noise: NoiseSource::from_seed(seed),
+            thermal,
+            clock_us: 0.0,
+            freq,
+            uncore_scale: 1.0,
+        }
+    }
+
+    /// The hardware configuration.
+    #[must_use]
+    pub fn config(&self) -> &NpuConfig {
+        &self.cfg
+    }
+
+    /// Current chip temperature, °C.
+    #[must_use]
+    pub fn temp_c(&self) -> f64 {
+        self.thermal.temp_c()
+    }
+
+    /// Current device clock, µs.
+    #[must_use]
+    pub fn clock_us(&self) -> f64 {
+        self.clock_us
+    }
+
+    /// Current core frequency.
+    #[must_use]
+    pub fn freq(&self) -> FreqMhz {
+        self.freq
+    }
+
+    /// Cold-resets clock, temperature and frequency (noise state persists).
+    pub fn reset(&mut self) {
+        self.clock_us = 0.0;
+        self.thermal = ThermalState::new(&self.cfg);
+        self.freq = self.cfg.freq_table.max();
+        self.uncore_scale = 1.0;
+    }
+
+    /// Sets the core frequency immediately (out-of-band, e.g. between
+    /// calibration runs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnsupportedFrequency`] if `f` is off-grid.
+    pub fn set_frequency(&mut self, f: FreqMhz) -> Result<(), DeviceError> {
+        if !self.cfg.freq_table.contains(f) {
+            return Err(DeviceError::UnsupportedFrequency(f));
+        }
+        self.freq = f;
+        Ok(())
+    }
+
+    /// Current uncore frequency scale (1.0 = nominal).
+    #[must_use]
+    pub fn uncore_scale(&self) -> f64 {
+        self.uncore_scale
+    }
+
+    /// Sets the uncore frequency scale immediately. The real Ascend NPU
+    /// does not support uncore frequency tuning (paper Sect. 8.2); the
+    /// simulator exposes it as the future-work exploration knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnsupportedUncoreScale`] if `scale` is
+    /// outside `[uncore_min_scale, 1.0]`.
+    pub fn set_uncore_scale(&mut self, scale: f64) -> Result<(), DeviceError> {
+        if !(self.cfg.uncore_min_scale..=1.0).contains(&scale) {
+            return Err(DeviceError::UnsupportedUncoreScale(scale));
+        }
+        self.uncore_scale = scale;
+        Ok(())
+    }
+
+    /// Lets the device sit idle for `duration_us` at the current frequency,
+    /// sampling telemetry every `period_us`. This is how calibration
+    /// observes the post-load cool-down (paper Sect. 5.4.2).
+    #[must_use]
+    pub fn observe_idle(&mut self, duration_us: f64, period_us: f64) -> Vec<TelemetrySample> {
+        let mut samples = Vec::new();
+        let mut t = 0.0;
+        let f = self.freq;
+        while t < duration_us {
+            let step = period_us.min(duration_us - t);
+            let dt_c = self.thermal.delta_t(&self.cfg);
+            let p_ai = aicore_power(&self.cfg, 0.0, f, dt_c);
+            let p_soc =
+                p_ai + uncore_power_scaled(&self.cfg, 0.0, f, dt_c, self.uncore_scale);
+            samples.push(self.sample(p_ai, p_soc));
+            self.thermal.advance(&self.cfg, p_soc, step);
+            self.clock_us += step;
+            t += step;
+        }
+        samples
+    }
+
+    /// Runs `schedule` repeatedly (without recording) at `freq` until the
+    /// chip temperature drifts by less than `tol_c` per thermal time
+    /// constant, or `max_us` of virtual time has elapsed; returns the
+    /// final temperature. This reproduces the paper's protocol of
+    /// collecting data "once stable training is achieved", when the chip
+    /// is at thermal steady state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] if `freq` is unsupported.
+    pub fn warm_until_steady(
+        &mut self,
+        schedule: &Schedule,
+        freq: FreqMhz,
+        tol_c: f64,
+        max_us: f64,
+    ) -> Result<f64, DeviceError> {
+        let opts = RunOptions::at(freq).without_records();
+        let start = self.clock_us;
+        let tau = self.cfg.thermal_tau_us;
+        loop {
+            let before = self.thermal.temp_c();
+            let r = self.run(schedule, &opts)?;
+            if r.duration_us <= 0.0 {
+                break; // empty schedule cannot heat the chip
+            }
+            // Drift extrapolated over one thermal time constant: short
+            // iterations only move the temperature a little per run, so a
+            // raw per-run criterion would stop far from equilibrium.
+            let drift_per_tau =
+                (self.thermal.temp_c() - before).abs() * tau / r.duration_us;
+            if drift_per_tau < tol_c || self.clock_us - start >= max_us {
+                break;
+            }
+        }
+        Ok(self.thermal.temp_c())
+    }
+
+    /// Executes `schedule` under `options`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError`] when the initial frequency or a `SetFreq`
+    /// target is off-grid, or a trigger index is out of range.
+    pub fn run(
+        &mut self,
+        schedule: &Schedule,
+        options: &RunOptions,
+    ) -> Result<RunResult, DeviceError> {
+        if !self.cfg.freq_table.contains(options.initial_freq) {
+            return Err(DeviceError::UnsupportedFrequency(options.initial_freq));
+        }
+        let mut cmds = options.setfreq.clone();
+        for cmd in &cmds {
+            if cmd.after_op >= schedule.len() {
+                return Err(DeviceError::TriggerOutOfRange {
+                    index: cmd.after_op,
+                    len: schedule.len(),
+                });
+            }
+            if !self.cfg.freq_table.contains(cmd.target) {
+                return Err(DeviceError::UnsupportedFrequency(cmd.target));
+            }
+        }
+        cmds.sort_by_key(|c| c.after_op);
+
+        self.freq = options.initial_freq;
+        let start_t = self.clock_us;
+        let mut pending: VecDeque<(f64, FreqMhz)> = VecDeque::new();
+        let mut result = RunResult {
+            freq_trace: vec![(start_t, self.freq)],
+            ..RunResult::default()
+        };
+        let mut energy_ai_wus = 0.0; // W·µs
+        let mut energy_soc_wus = 0.0;
+        let mut next_sample = start_t;
+        let mut cmd_iter = cmds.into_iter().peekable();
+
+        for (i, op) in schedule.ops().iter().enumerate() {
+            let model = CycleModel::with_uncore_scale(op, &self.cfg, self.uncore_scale);
+            let noise_f = self.noise.factor(self.cfg.exec_noise_sd);
+            let op_start = self.clock_us;
+            let start_freq = self.freq;
+            let mut op_energy_ai = 0.0;
+            let mut op_energy_soc = 0.0;
+            let mut remaining = 1.0_f64;
+
+            while remaining > 1e-12 {
+                let dur_full = model.time_us(self.freq) * noise_f;
+                if dur_full <= 0.0 {
+                    break;
+                }
+                let full_end = self.clock_us + remaining * dur_full;
+                // Split the segment at the next pending frequency apply.
+                let (seg_end, apply_now) = match pending.front() {
+                    Some(&(at, _)) if at < full_end => (at.max(self.clock_us), true),
+                    _ => (full_end, false),
+                };
+                let seg_t = seg_end - self.clock_us;
+                let dt_c = self.thermal.delta_t(&self.cfg);
+                let alpha = if op.class() == OpClass::Idle { 0.0 } else { op.alpha() };
+                let traffic_rate = if op.class() == OpClass::Compute && dur_full > 0.0 {
+                    op.total_traffic_bytes() / dur_full
+                } else {
+                    0.0
+                };
+                let p_ai = aicore_power(&self.cfg, alpha, self.freq, dt_c);
+                let p_soc = p_ai
+                    + uncore_power_scaled(
+                        &self.cfg,
+                        traffic_rate,
+                        self.freq,
+                        dt_c,
+                        self.uncore_scale,
+                    );
+                energy_ai_wus += p_ai * seg_t;
+                energy_soc_wus += p_soc * seg_t;
+                op_energy_ai += p_ai * seg_t;
+                op_energy_soc += p_soc * seg_t;
+                if options.collect_telemetry {
+                    while next_sample <= seg_end {
+                        let s = self.sample(p_ai, p_soc);
+                        result.telemetry.push(TelemetrySample {
+                            t_us: next_sample,
+                            ..s
+                        });
+                        next_sample += options.telemetry_period_us;
+                    }
+                }
+                self.thermal.advance(&self.cfg, p_soc, seg_t);
+                self.clock_us = seg_end;
+                if apply_now {
+                    remaining -= seg_t / dur_full;
+                    let (_, nf) = pending.pop_front().expect("peeked above");
+                    self.freq = nf;
+                    result.freq_trace.push((self.clock_us, nf));
+                } else {
+                    remaining = 0.0;
+                }
+            }
+
+            // Dispatch SetFreq commands triggered by this operator.
+            while cmd_iter.peek().is_some_and(|c| c.after_op == i) {
+                let cmd = cmd_iter.next().expect("peeked above");
+                pending.push_back((self.clock_us + self.cfg.setfreq_latency_us, cmd.target));
+            }
+
+            if options.collect_records {
+                let dur = self.clock_us - op_start;
+                let (p_ai_avg, p_soc_avg) = if dur > 0.0 {
+                    (op_energy_ai / dur, op_energy_soc / dur)
+                } else {
+                    (0.0, 0.0)
+                };
+                let m_ai = p_ai_avg * self.noise.factor(self.cfg.power_noise_sd);
+                let m_soc = p_soc_avg * self.noise.factor(self.cfg.power_noise_sd);
+                let m_temp = self.thermal.temp_c()
+                    + self.noise.normal(0.0, self.cfg.temp_noise_sd_c);
+                result.records.push(OpRecord {
+                    index: i,
+                    name: op.name().to_owned(),
+                    class: op.class(),
+                    scenario: op.scenario(),
+                    start_us: op_start - start_t,
+                    dur_us: dur,
+                    freq_mhz: start_freq,
+                    ratios: model.ratios(start_freq),
+                    aicore_w: m_ai,
+                    soc_w: m_soc,
+                    temp_c: m_temp,
+                    traffic_bytes: op.total_traffic_bytes(),
+                });
+            }
+        }
+
+        // Frequency requests still in flight apply after the run.
+        while let Some((at, nf)) = pending.pop_front() {
+            self.freq = nf;
+            result.freq_trace.push((at, nf));
+        }
+
+        result.duration_us = self.clock_us - start_t;
+        result.energy_aicore_j = energy_ai_wus * 1e-6;
+        result.energy_soc_j = energy_soc_wus * 1e-6;
+        result.end_temp_c = self.thermal.temp_c();
+        Ok(result)
+    }
+
+    fn sample(&mut self, p_ai: f64, p_soc: f64) -> TelemetrySample {
+        TelemetrySample {
+            t_us: self.clock_us,
+            aicore_w: p_ai * self.noise.factor(self.cfg.power_noise_sd),
+            soc_w: p_soc * self.noise.factor(self.cfg.power_noise_sd),
+            temp_c: self.thermal.temp_c() + self.noise.normal(0.0, self.cfg.temp_noise_sd_c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Scenario;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    fn quiet_cfg() -> NpuConfig {
+        NpuConfig::builder().noise(0.0, 0.0, 0.0).build().unwrap()
+    }
+
+    fn mem_op(name: &str) -> OpDescriptor {
+        OpDescriptor::compute(name, Scenario::PingPongIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(4.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(2.0 * 1024.0 * 1024.0)
+            .l2_hit_rate(0.4)
+            .core_cycles_per_block(5_000.0)
+            .activity(8.0)
+    }
+
+    fn compute_op(name: &str) -> OpDescriptor {
+        OpDescriptor::compute(name, Scenario::PingPongIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(128.0 * 1024.0)
+            .st_bytes_per_block(64.0 * 1024.0)
+            .l2_hit_rate(0.9)
+            .core_cycles_per_block(400_000.0)
+            .activity(20.0)
+    }
+
+    fn small_schedule() -> Schedule {
+        Schedule::new(vec![mem_op("Gelu"), compute_op("MatMul"), mem_op("Add")])
+    }
+
+    #[test]
+    fn run_accumulates_time_and_energy() {
+        let mut dev = Device::new(cfg());
+        let r = dev.run(&small_schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        assert!(r.duration_us > 0.0);
+        assert!(r.energy_aicore_j > 0.0);
+        assert!(r.energy_soc_j > r.energy_aicore_j);
+        assert_eq!(r.records.len(), 3);
+        assert!(r.avg_soc_w() > r.avg_aicore_w());
+    }
+
+    #[test]
+    fn lower_frequency_is_slower() {
+        let mut d1 = Device::with_seed(quiet_cfg(), 1);
+        let mut d2 = Device::with_seed(quiet_cfg(), 1);
+        let s = small_schedule();
+        let hi = d1.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let lo = d2.run(&s, &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        assert!(lo.duration_us > hi.duration_us);
+    }
+
+    #[test]
+    fn lower_frequency_uses_less_aicore_power() {
+        let mut d1 = Device::with_seed(quiet_cfg(), 1);
+        let mut d2 = Device::with_seed(quiet_cfg(), 1);
+        let s = Schedule::new(vec![compute_op("MatMul")]);
+        let hi = d1.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let lo = d2.run(&s, &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        assert!(lo.avg_aicore_w() < hi.avg_aicore_w());
+    }
+
+    #[test]
+    fn memory_bound_op_barely_slows_down() {
+        // An op saturating the uncore should lose far less time than the
+        // frequency ratio when downclocked (the whole premise of LFC).
+        let mut d1 = Device::with_seed(quiet_cfg(), 1);
+        let mut d2 = Device::with_seed(quiet_cfg(), 1);
+        let s = Schedule::new(vec![OpDescriptor::compute("Copy", Scenario::PingPongIndependent)
+            .blocks(16)
+            .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
+            .l2_hit_rate(0.0)
+            .core_cycles_per_block(100.0)]);
+        let hi = d1.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let lo = d2.run(&s, &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        let slowdown = lo.duration_us / hi.duration_us;
+        assert!(slowdown < 1.10, "memory-bound slowdown {slowdown}");
+    }
+
+    #[test]
+    fn setfreq_applies_after_latency() {
+        let cfg = quiet_cfg();
+        let latency = cfg.setfreq_latency_us;
+        let mut dev = Device::with_seed(cfg, 1);
+        // Long schedule so the change lands inside it.
+        let ops: Vec<OpDescriptor> = (0..50).map(|i| mem_op(&format!("Op{i}"))).collect();
+        let s = Schedule::new(ops);
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![SetFreqCmd {
+            after_op: 0,
+            target: FreqMhz::new(1000),
+        }]);
+        let r = dev.run(&s, &opts).unwrap();
+        assert_eq!(r.freq_trace.len(), 2);
+        let (t0, f0) = r.freq_trace[0];
+        let (t1, f1) = r.freq_trace[1];
+        assert_eq!(f0.mhz(), 1800);
+        assert_eq!(f1.mhz(), 1000);
+        // Applies exactly one latency after the trigger op finished.
+        let trigger_end = r.records[0].end_us() + t0;
+        assert!((t1 - trigger_end - latency).abs() < 1e-6);
+    }
+
+    #[test]
+    fn setfreq_rejects_bad_trigger() {
+        let mut dev = Device::new(cfg());
+        let s = small_schedule();
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![SetFreqCmd {
+            after_op: 99,
+            target: FreqMhz::new(1000),
+        }]);
+        assert_eq!(
+            dev.run(&s, &opts).unwrap_err(),
+            DeviceError::TriggerOutOfRange { index: 99, len: 3 }
+        );
+    }
+
+    #[test]
+    fn setfreq_rejects_offgrid_frequency() {
+        let mut dev = Device::new(cfg());
+        let s = small_schedule();
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![SetFreqCmd {
+            after_op: 0,
+            target: FreqMhz::new(1234),
+        }]);
+        assert!(matches!(
+            dev.run(&s, &opts),
+            Err(DeviceError::UnsupportedFrequency(_))
+        ));
+    }
+
+    #[test]
+    fn run_rejects_offgrid_initial_frequency() {
+        let mut dev = Device::new(cfg());
+        assert!(matches!(
+            dev.run(&small_schedule(), &RunOptions::at(FreqMhz::new(999))),
+            Err(DeviceError::UnsupportedFrequency(_))
+        ));
+    }
+
+    #[test]
+    fn device_warms_up_under_load() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        let start = dev.temp_c();
+        let ops: Vec<OpDescriptor> = (0..200).map(|i| compute_op(&format!("M{i}"))).collect();
+        let _ = dev.run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        assert!(dev.temp_c() > start + 1.0, "temp {}", dev.temp_c());
+    }
+
+    #[test]
+    fn observe_idle_cools_down() {
+        // Fast thermal constant so the load reaches its (hot) equilibrium
+        // well above the idle equilibrium within a short run.
+        let cfg = NpuConfig::builder()
+            .noise(0.0, 0.0, 0.0)
+            .thermal_tau_us(1.0e5)
+            .build()
+            .unwrap();
+        let mut dev = Device::with_seed(cfg, 1);
+        let ops: Vec<OpDescriptor> = (0..200)
+            .map(|i| compute_op(&format!("M{i}")).activity(30.0))
+            .collect();
+        let _ = dev.run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let hot = dev.temp_c();
+        let samples = dev.observe_idle(3.0e6, 10_000.0);
+        assert!(dev.temp_c() < hot);
+        assert!(samples.len() > 100);
+        // Power decays along with temperature during cool-down.
+        assert!(samples.first().unwrap().aicore_w > samples.last().unwrap().aicore_w);
+    }
+
+    #[test]
+    fn telemetry_sampling_period_respected() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        let ops: Vec<OpDescriptor> = (0..20).map(|i| mem_op(&format!("Op{i}"))).collect();
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(500.0);
+        let r = dev.run(&Schedule::new(ops), &opts).unwrap();
+        assert!(!r.telemetry.is_empty());
+        for w in r.telemetry.windows(2) {
+            assert!((w[1].t_us - w[0].t_us - 500.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut dev = Device::new(cfg());
+        let _ = dev.run(&small_schedule(), &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        assert!(dev.clock_us() > 0.0);
+        dev.reset();
+        assert_eq!(dev.clock_us(), 0.0);
+        assert_eq!(dev.temp_c(), dev.config().ambient_c);
+        assert_eq!(dev.freq(), dev.config().freq_table.max());
+    }
+
+    #[test]
+    fn idle_ops_freeze_aicore_activity() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        let s = Schedule::new(vec![OpDescriptor::idle_gap(10_000.0)]);
+        let r = dev.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        assert!((r.duration_us - 10_000.0).abs() < 1e-6);
+        let idle_w = crate::power::aicore_idle_power(dev.config(), FreqMhz::new(1800));
+        assert!((r.avg_aicore_w() - idle_w).abs() / idle_w < 0.02);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_runs() {
+        let r1 = Device::with_seed(cfg(), 77)
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
+            .unwrap();
+        let r2 = Device::with_seed(cfg(), 77)
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
+            .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_schedule_is_empty_run() {
+        let mut dev = Device::new(cfg());
+        let r = dev.run(&Schedule::default(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        assert_eq!(r.duration_us, 0.0);
+        assert!(r.records.is_empty());
+    }
+
+    #[test]
+    fn uncore_downclock_slows_memory_ops_and_saves_soc_power() {
+        let s = Schedule::new(vec![OpDescriptor::compute("Copy", Scenario::PingPongIndependent)
+            .blocks(16)
+            .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
+            .l2_hit_rate(0.0)
+            .core_cycles_per_block(100.0)]);
+        let mut nominal = Device::with_seed(quiet_cfg(), 1);
+        let r_nominal = nominal.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let mut slow = Device::with_seed(quiet_cfg(), 1);
+        slow.set_uncore_scale(0.7).unwrap();
+        let r_slow = slow.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        // Memory-bound op stretches roughly inversely with uncore BW.
+        let slowdown = r_slow.duration_us / r_nominal.duration_us;
+        assert!((1.2..1.5).contains(&slowdown), "slowdown {slowdown}");
+        // The uncore's dynamic floor drops.
+        assert!(r_slow.avg_soc_w() < r_nominal.avg_soc_w());
+    }
+
+    #[test]
+    fn uncore_downclock_is_free_for_compute_ops() {
+        let s = Schedule::new(vec![compute_op("MatMul")]);
+        let mut nominal = Device::with_seed(quiet_cfg(), 1);
+        let r_nominal = nominal.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let mut slow = Device::with_seed(quiet_cfg(), 1);
+        slow.set_uncore_scale(0.7).unwrap();
+        let r_slow = slow.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let slowdown = r_slow.duration_us / r_nominal.duration_us;
+        assert!(slowdown < 1.02, "compute-bound slowdown {slowdown}");
+        assert!(r_slow.avg_soc_w() < r_nominal.avg_soc_w() - 10.0);
+    }
+
+    #[test]
+    fn uncore_scale_validated_and_reset() {
+        let mut dev = Device::new(cfg());
+        assert!(matches!(
+            dev.set_uncore_scale(0.2),
+            Err(DeviceError::UnsupportedUncoreScale(_))
+        ));
+        assert!(dev.set_uncore_scale(1.1).is_err());
+        dev.set_uncore_scale(0.8).unwrap();
+        assert_eq!(dev.uncore_scale(), 0.8);
+        dev.reset();
+        assert_eq!(dev.uncore_scale(), 1.0);
+    }
+
+    #[test]
+    fn schedule_collects_from_iterator() {
+        let s: Schedule = (0..5).map(|i| mem_op(&format!("Op{i}"))).collect();
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,361 @@
+//! Core-domain frequency points and the firmware voltage ladder.
+//!
+//! The Ascend-class device modeled here supports core frequencies from
+//! 1000 MHz to 1800 MHz in 100 MHz increments (paper Sect. 5.1). Voltage is
+//! set automatically by firmware: constant below a knee frequency
+//! (1300 MHz) and linearly increasing above it (paper Fig. 9).
+
+use std::fmt;
+
+/// A core-domain frequency in MHz.
+///
+/// Since 1 MHz is one cycle per microsecond, `cycles = time_us * freq.mhz()`
+/// throughout the simulator.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::FreqMhz;
+///
+/// let f = FreqMhz::new(1500);
+/// assert_eq!(f.mhz(), 1500);
+/// assert_eq!(f.ghz(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FreqMhz(u32);
+
+impl FreqMhz {
+    /// Creates a frequency from a raw MHz value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero; a zero core frequency is meaningless and
+    /// would divide-by-zero in every cycle/time conversion.
+    #[must_use]
+    pub fn new(mhz: u32) -> Self {
+        assert!(mhz > 0, "frequency must be positive");
+        Self(mhz)
+    }
+
+    /// The raw value in MHz.
+    #[must_use]
+    pub fn mhz(self) -> u32 {
+        self.0
+    }
+
+    /// The value in GHz (used by the power formulas, which keep activity
+    /// factors in W/(GHz·V²) so their magnitudes stay near 1–30).
+    #[must_use]
+    pub fn ghz(self) -> f64 {
+        f64::from(self.0) / 1000.0
+    }
+
+    /// The value as `f64` MHz.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+}
+
+impl fmt::Display for FreqMhz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} MHz", self.0)
+    }
+}
+
+impl From<FreqMhz> for u32 {
+    fn from(f: FreqMhz) -> u32 {
+        f.0
+    }
+}
+
+/// The discrete set of frequencies the firmware exposes.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::FrequencyTable;
+///
+/// let table = FrequencyTable::ascend_default();
+/// assert_eq!(table.len(), 9);
+/// assert_eq!(table.min().mhz(), 1000);
+/// assert_eq!(table.max().mhz(), 1800);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequencyTable {
+    points: Vec<FreqMhz>,
+}
+
+impl FrequencyTable {
+    /// Builds a table from explicit points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreqTableError`] if `points` is empty or not strictly
+    /// increasing.
+    pub fn new(points: Vec<FreqMhz>) -> Result<Self, FreqTableError> {
+        if points.is_empty() {
+            return Err(FreqTableError::Empty);
+        }
+        if points.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(FreqTableError::NotIncreasing);
+        }
+        Ok(Self { points })
+    }
+
+    /// The Ascend-style default: 1000–1800 MHz in 100 MHz steps.
+    #[must_use]
+    pub fn ascend_default() -> Self {
+        Self {
+            points: (10..=18).map(|k| FreqMhz::new(k * 100)).collect(),
+        }
+    }
+
+    /// All supported points, ascending.
+    #[must_use]
+    pub fn points(&self) -> &[FreqMhz] {
+        &self.points
+    }
+
+    /// Number of supported points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Lowest supported frequency.
+    #[must_use]
+    pub fn min(&self) -> FreqMhz {
+        self.points[0]
+    }
+
+    /// Highest supported frequency (the DVFS performance baseline).
+    #[must_use]
+    pub fn max(&self) -> FreqMhz {
+        *self.points.last().expect("table is non-empty")
+    }
+
+    /// Whether `f` is one of the supported points.
+    #[must_use]
+    pub fn contains(&self, f: FreqMhz) -> bool {
+        self.points.binary_search(&f).is_ok()
+    }
+
+    /// Index of `f` within the table, if supported.
+    #[must_use]
+    pub fn index_of(&self, f: FreqMhz) -> Option<usize> {
+        self.points.binary_search(&f).ok()
+    }
+
+    /// The supported point closest to `f` (ties resolve downward).
+    #[must_use]
+    pub fn nearest(&self, f: FreqMhz) -> FreqMhz {
+        match self.points.binary_search(&f) {
+            Ok(i) => self.points[i],
+            Err(0) => self.points[0],
+            Err(i) if i == self.points.len() => self.points[i - 1],
+            Err(i) => {
+                let lo = self.points[i - 1];
+                let hi = self.points[i];
+                if f.mhz() - lo.mhz() <= hi.mhz() - f.mhz() {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    }
+
+    /// Iterator over supported points, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = FreqMhz> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+/// Error building a [`FrequencyTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreqTableError {
+    /// No points supplied.
+    Empty,
+    /// Points not strictly increasing.
+    NotIncreasing,
+}
+
+impl fmt::Display for FreqTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "frequency table must contain at least one point"),
+            Self::NotIncreasing => write!(f, "frequency points must be strictly increasing"),
+        }
+    }
+}
+
+impl std::error::Error for FreqTableError {}
+
+/// The firmware voltage ladder (paper Fig. 9): constant `v_base` at or below
+/// `knee`, then linear with slope `slope_v_per_mhz` above it.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{FreqMhz, VoltageCurve};
+///
+/// let curve = VoltageCurve::ascend_default();
+/// let low = curve.volts(FreqMhz::new(1000));
+/// let knee = curve.volts(FreqMhz::new(1300));
+/// let high = curve.volts(FreqMhz::new(1800));
+/// assert_eq!(low, knee);      // flat region
+/// assert!(high > knee);       // linear region
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageCurve {
+    v_base: f64,
+    knee: FreqMhz,
+    slope_v_per_mhz: f64,
+}
+
+impl VoltageCurve {
+    /// Creates a voltage curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_base` is not positive or `slope_v_per_mhz` is negative
+    /// (voltage never decreases with frequency on this firmware).
+    #[must_use]
+    pub fn new(v_base: f64, knee: FreqMhz, slope_v_per_mhz: f64) -> Self {
+        assert!(v_base > 0.0, "base voltage must be positive");
+        assert!(slope_v_per_mhz >= 0.0, "voltage slope must be non-negative");
+        Self {
+            v_base,
+            knee,
+            slope_v_per_mhz,
+        }
+    }
+
+    /// The Ascend-style default: 0.78 V up to 1300 MHz, then +0.4 mV/MHz
+    /// (0.98 V at 1800 MHz).
+    #[must_use]
+    pub fn ascend_default() -> Self {
+        Self::new(0.78, FreqMhz::new(1300), 0.0004)
+    }
+
+    /// Supply voltage at frequency `f`, in volts.
+    #[must_use]
+    pub fn volts(&self, f: FreqMhz) -> f64 {
+        if f <= self.knee {
+            self.v_base
+        } else {
+            self.v_base + self.slope_v_per_mhz * f64::from(f.mhz() - self.knee.mhz())
+        }
+    }
+
+    /// The knee frequency below which voltage is flat.
+    #[must_use]
+    pub fn knee(&self) -> FreqMhz {
+        self.knee
+    }
+
+    /// The flat-region voltage.
+    #[must_use]
+    pub fn base_volts(&self) -> f64 {
+        self.v_base
+    }
+}
+
+impl Default for VoltageCurve {
+    fn default() -> Self {
+        Self::ascend_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_display() {
+        assert_eq!(FreqMhz::new(1500).to_string(), "1500 MHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn freq_zero_panics() {
+        let _ = FreqMhz::new(0);
+    }
+
+    #[test]
+    fn table_default_points() {
+        let t = FrequencyTable::ascend_default();
+        let mhz: Vec<u32> = t.iter().map(FreqMhz::mhz).collect();
+        assert_eq!(
+            mhz,
+            vec![1000, 1100, 1200, 1300, 1400, 1500, 1600, 1700, 1800]
+        );
+    }
+
+    #[test]
+    fn table_rejects_empty() {
+        assert_eq!(FrequencyTable::new(vec![]), Err(FreqTableError::Empty));
+    }
+
+    #[test]
+    fn table_rejects_unsorted() {
+        let pts = vec![FreqMhz::new(1200), FreqMhz::new(1100)];
+        assert_eq!(
+            FrequencyTable::new(pts),
+            Err(FreqTableError::NotIncreasing)
+        );
+    }
+
+    #[test]
+    fn table_rejects_duplicates() {
+        let pts = vec![FreqMhz::new(1200), FreqMhz::new(1200)];
+        assert_eq!(
+            FrequencyTable::new(pts),
+            Err(FreqTableError::NotIncreasing)
+        );
+    }
+
+    #[test]
+    fn table_contains_and_index() {
+        let t = FrequencyTable::ascend_default();
+        assert!(t.contains(FreqMhz::new(1300)));
+        assert!(!t.contains(FreqMhz::new(1350)));
+        assert_eq!(t.index_of(FreqMhz::new(1000)), Some(0));
+        assert_eq!(t.index_of(FreqMhz::new(1800)), Some(8));
+        assert_eq!(t.index_of(FreqMhz::new(1250)), None);
+    }
+
+    #[test]
+    fn table_nearest_snaps() {
+        let t = FrequencyTable::ascend_default();
+        assert_eq!(t.nearest(FreqMhz::new(900)).mhz(), 1000);
+        assert_eq!(t.nearest(FreqMhz::new(1240)).mhz(), 1200);
+        assert_eq!(t.nearest(FreqMhz::new(1250)).mhz(), 1200); // tie goes down
+        assert_eq!(t.nearest(FreqMhz::new(1260)).mhz(), 1300);
+        assert_eq!(t.nearest(FreqMhz::new(2500)).mhz(), 1800);
+    }
+
+    #[test]
+    fn voltage_flat_then_linear() {
+        let c = VoltageCurve::ascend_default();
+        assert_eq!(c.volts(FreqMhz::new(1000)), 0.78);
+        assert_eq!(c.volts(FreqMhz::new(1300)), 0.78);
+        let v18 = c.volts(FreqMhz::new(1800));
+        assert!((v18 - 0.98).abs() < 1e-12, "got {v18}");
+    }
+
+    #[test]
+    fn voltage_monotone_over_table() {
+        let c = VoltageCurve::ascend_default();
+        let t = FrequencyTable::ascend_default();
+        let volts: Vec<f64> = t.iter().map(|f| c.volts(f)).collect();
+        assert!(volts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,77 @@
+//! Power/temperature telemetry — the `lpmi_tool` equivalent.
+
+/// One sampled telemetry point in virtual time.
+///
+/// Passive data record; all fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Sample time, µs (device clock).
+    pub t_us: f64,
+    /// Measured AICore power, W.
+    pub aicore_w: f64,
+    /// Measured SoC power, W.
+    pub soc_w: f64,
+    /// Measured chip temperature, °C.
+    pub temp_c: f64,
+}
+
+/// Summary statistics over a telemetry window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySummary {
+    /// Mean AICore power, W.
+    pub mean_aicore_w: f64,
+    /// Mean SoC power, W.
+    pub mean_soc_w: f64,
+    /// Mean temperature, °C.
+    pub mean_temp_c: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+/// Summarizes a slice of samples; returns `None` when empty.
+#[must_use]
+pub fn summarize(samples: &[TelemetrySample]) -> Option<TelemetrySummary> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    Some(TelemetrySummary {
+        mean_aicore_w: samples.iter().map(|s| s.aicore_w).sum::<f64>() / n,
+        mean_soc_w: samples.iter().map(|s| s.soc_w).sum::<f64>() / n,
+        mean_temp_c: samples.iter().map(|s| s.temp_c).sum::<f64>() / n,
+        count: samples.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn summarize_averages() {
+        let samples = vec![
+            TelemetrySample {
+                t_us: 0.0,
+                aicore_w: 10.0,
+                soc_w: 100.0,
+                temp_c: 50.0,
+            },
+            TelemetrySample {
+                t_us: 1.0,
+                aicore_w: 30.0,
+                soc_w: 300.0,
+                temp_c: 70.0,
+            },
+        ];
+        let s = summarize(&samples).unwrap();
+        assert_eq!(s.mean_aicore_w, 20.0);
+        assert_eq!(s.mean_soc_w, 200.0);
+        assert_eq!(s.mean_temp_c, 60.0);
+        assert_eq!(s.count, 2);
+    }
+}

@@ -1,0 +1,599 @@
+//! Ground-truth operator timing: the paper's timeline analysis (Sect. 4).
+//!
+//! Load/store transfers cross the core/uncore boundary, so their throughput
+//! is `Tp(f) = min(C · f · core_num, BW_uncore)` (Eq. (1)) and their cycle
+//! cost at core frequency `f` is `max(a·f, c) + T0·f` (Eq. (4)) with
+//! `a = M / BW_uncore` and `c = M / (C · core_num)`. The whole-operator
+//! cycle count then follows one of Eqs. (5)–(8) depending on the execution
+//! scenario — every one a convex piecewise-linear function of `f`.
+
+use crate::config::NpuConfig;
+use crate::freq::FreqMhz;
+use crate::operator::{OpClass, OpDescriptor, Scenario};
+
+/// One load or store term of Eq. (4): `cycles(f) = max(a·f, c) + T0·f`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdStTerm {
+    /// Slope of the uncore-saturated branch, cycles per MHz (`M / BW_uncore`).
+    pub a_cycles_per_mhz: f64,
+    /// Core-limited constant branch, cycles (`M / (C · core_num)`).
+    pub c_cycles: f64,
+}
+
+impl LdStTerm {
+    /// A zero-volume transfer.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self {
+            a_cycles_per_mhz: 0.0,
+            c_cycles: 0.0,
+        }
+    }
+
+    /// Whether the transfer moves no data.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.a_cycles_per_mhz == 0.0 && self.c_cycles == 0.0
+    }
+
+    /// Transfer cycles at frequency `f` MHz, *excluding* the `T0·f` overhead.
+    #[must_use]
+    pub fn raw_cycles(&self, f_mhz: f64) -> f64 {
+        (self.a_cycles_per_mhz * f_mhz).max(self.c_cycles)
+    }
+
+    /// Saturation frequency `f_s = c / a` in MHz (Eq. (2)); `None` for a
+    /// zero-volume transfer (no breakpoint).
+    #[must_use]
+    pub fn saturation_mhz(&self) -> Option<f64> {
+        (self.a_cycles_per_mhz > 0.0).then(|| self.c_cycles / self.a_cycles_per_mhz)
+    }
+}
+
+/// Busy cycle counts per hardware pipeline during one operator execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineBusy {
+    /// Cube (matrix) unit cycles.
+    pub cube: f64,
+    /// Vector unit cycles.
+    pub vector: f64,
+    /// Scalar unit cycles.
+    pub scalar: f64,
+    /// MTE1 (intra-core transfer) cycles.
+    pub mte1: f64,
+    /// MTE2 (load from uncore) cycles.
+    pub mte2: f64,
+    /// MTE3 (store to uncore) cycles.
+    pub mte3: f64,
+}
+
+/// Per-pipeline utilization ratios over an operator's duration, as the
+/// CANN-profiler equivalent reports them (paper Sect. 6.1 calls each one
+/// the pipeline's "ratio").
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PipelineRatios {
+    /// Cube utilization in `[0, 1]`.
+    pub cube: f64,
+    /// Vector utilization.
+    pub vector: f64,
+    /// Scalar utilization.
+    pub scalar: f64,
+    /// MTE1 utilization.
+    pub mte1: f64,
+    /// MTE2 (load) utilization.
+    pub mte2: f64,
+    /// MTE3 (store) utilization.
+    pub mte3: f64,
+}
+
+impl PipelineRatios {
+    /// Sum of all six ratios (may exceed 1 when pipelines overlap).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.cube + self.vector + self.scalar + self.mte1 + self.mte2 + self.mte3
+    }
+
+    /// The maximum ratio and the pipeline that attains it.
+    #[must_use]
+    pub fn max_ratio(&self) -> (Pipeline, f64) {
+        let pairs = [
+            (Pipeline::Cube, self.cube),
+            (Pipeline::Vector, self.vector),
+            (Pipeline::Scalar, self.scalar),
+            (Pipeline::Mte1, self.mte1),
+            (Pipeline::Mte2, self.mte2),
+            (Pipeline::Mte3, self.mte3),
+        ];
+        pairs
+            .into_iter()
+            .fold((Pipeline::Cube, f64::NEG_INFINITY), |acc, p| {
+                if p.1 > acc.1 {
+                    p
+                } else {
+                    acc
+                }
+            })
+    }
+}
+
+/// The six pipelines visible to the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pipeline {
+    /// Matrix (cube) unit — core domain.
+    Cube,
+    /// Vector unit — core domain.
+    Vector,
+    /// Scalar unit — core domain.
+    Scalar,
+    /// Intra-core transfer engine — core domain.
+    Mte1,
+    /// Load engine (uncore → core) — uncore facing.
+    Mte2,
+    /// Store engine (core → uncore) — uncore facing.
+    Mte3,
+}
+
+impl Pipeline {
+    /// Whether this pipeline sits in the core frequency domain.
+    #[must_use]
+    pub fn is_core_domain(self) -> bool {
+        matches!(self, Self::Cube | Self::Vector | Self::Scalar | Self::Mte1)
+    }
+}
+
+/// Evaluates the ground-truth cycle/time functions for one operator on one
+/// hardware configuration.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{CycleModel, NpuConfig, OpDescriptor, Scenario, FreqMhz};
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let op = OpDescriptor::compute("Add", Scenario::PingPongFreeIndependent)
+///     .blocks(4)
+///     .ld_bytes_per_block((1 << 20) as f64)
+///     .st_bytes_per_block((1 << 20) as f64)
+///     .core_cycles_per_block(5_000.0);
+/// let model = CycleModel::new(&op, &cfg);
+/// let t_low = model.time_us(FreqMhz::new(1000));
+/// let t_high = model.time_us(FreqMhz::new(1800));
+/// assert!(t_high <= t_low);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleModel {
+    scenario: Scenario,
+    class: OpClass,
+    n: f64,
+    ld: LdStTerm,
+    st: LdStTerm,
+    core_cycles: f64,
+    /// `T0` expressed as cycles per MHz (numerically equal to `T0` in µs).
+    t0: f64,
+    mix: [f64; 4],
+    fixed_overhead_us: f64,
+    host_duration_us: f64,
+    host_core_fraction: f64,
+    ref_freq_mhz: f64,
+}
+
+impl CycleModel {
+    /// Builds the cycle model for `op` on `cfg` with the uncore at its
+    /// nominal frequency.
+    #[must_use]
+    pub fn new(op: &OpDescriptor, cfg: &NpuConfig) -> Self {
+        Self::with_uncore_scale(op, cfg, 1.0)
+    }
+
+    /// Builds the cycle model with the uncore domain downclocked to
+    /// `scale` of nominal: L2 and HBM bandwidths (and hence `BW_uncore` in
+    /// Eq. (1)) shrink proportionally, moving every transfer's saturation
+    /// frequency `f_s` down (paper Sect. 8.2's future-work knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_uncore_scale(op: &OpDescriptor, cfg: &NpuConfig, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "uncore scale must be in (0,1]");
+        let bw = cfg.uncore_bw(op.l2_hit()) * scale;
+        let cores = f64::from(cfg.core_num);
+        let ld = if op.ld_bytes() > 0.0 {
+            LdStTerm {
+                a_cycles_per_mhz: op.ld_bytes() / bw,
+                c_cycles: op.ld_bytes() / (cfg.ld_bytes_per_cycle_per_core * cores),
+            }
+        } else {
+            LdStTerm::zero()
+        };
+        let st = if op.st_bytes() > 0.0 {
+            LdStTerm {
+                a_cycles_per_mhz: op.st_bytes() / bw,
+                c_cycles: op.st_bytes() / (cfg.st_bytes_per_cycle_per_core * cores),
+            }
+        } else {
+            LdStTerm::zero()
+        };
+        let t0 = if ld.is_zero() && st.is_zero() {
+            0.0
+        } else {
+            cfg.mem_overhead_us
+        };
+        let mix = op.mix();
+        Self {
+            scenario: op.scenario(),
+            class: op.class(),
+            n: f64::from(op.n_blocks()),
+            ld,
+            st,
+            core_cycles: op.core_cycles(),
+            t0,
+            mix: [mix.cube, mix.vector, mix.scalar, mix.mte1],
+            fixed_overhead_us: op.fixed_overhead(),
+            host_duration_us: op.host_duration(),
+            host_core_fraction: op.host_core_fraction(),
+            ref_freq_mhz: cfg.freq_table.max().as_f64(),
+        }
+    }
+
+    /// The load term of Eq. (4).
+    #[must_use]
+    pub fn ld_term(&self) -> LdStTerm {
+        self.ld
+    }
+
+    /// The store term of Eq. (4).
+    #[must_use]
+    pub fn st_term(&self) -> LdStTerm {
+        self.st
+    }
+
+    /// Core-domain cycle count of the operator at core frequency `f`
+    /// (Eqs. (5)–(8); excludes the fixed pre/post overhead, which is not a
+    /// core-cycle quantity). Returns 0 for host-side operators.
+    #[must_use]
+    pub fn cycles(&self, f: FreqMhz) -> f64 {
+        self.cycles_at(f.as_f64())
+    }
+
+    /// Same as [`Self::cycles`] for a raw (possibly off-grid) MHz value —
+    /// used by analysis sweeps.
+    #[must_use]
+    pub fn cycles_at(&self, f: f64) -> f64 {
+        if self.class != OpClass::Compute {
+            return 0.0;
+        }
+        let n = self.n;
+        let l = self.ld.raw_cycles(f);
+        let s = self.st.raw_cycles(f);
+        let core = self.core_cycles;
+        let t0f = self.t0 * f;
+        match self.scenario {
+            // Eq. (5)
+            Scenario::PingPongFreeIndependent => {
+                l + s + n * core + (n - 1.0) * l.max(s) + (n + 1.0) * t0f
+            }
+            // Eq. (6)
+            Scenario::PingPongFreeDependent => n * (l + s + core + 2.0 * t0f),
+            // Eq. (7)
+            Scenario::PingPongIndependent => {
+                let stage = (l + t0f).max(s + t0f).max(core);
+                l + core + s + (n - 1.0) * stage + 2.0 * t0f
+            }
+            // Eq. (8)
+            Scenario::PingPongDependent => {
+                let stage = (l + t0f).max(s + t0f).max(core);
+                (n / 2.0) * (l + core + s) + stage + n * t0f
+            }
+        }
+    }
+
+    /// Wall-clock duration at frequency `f`, µs, including fixed overhead;
+    /// for host-side operators this is the fixed host duration.
+    #[must_use]
+    pub fn time_us(&self, f: FreqMhz) -> f64 {
+        self.time_at(f.as_f64())
+    }
+
+    /// Same as [`Self::time_us`] for a raw MHz value.
+    #[must_use]
+    pub fn time_at(&self, f: f64) -> f64 {
+        if self.class != OpClass::Compute {
+            // Host-side operators are fixed-duration except for their
+            // core-scaled fraction (e.g. collective reduce kernels).
+            let scale =
+                (1.0 - self.host_core_fraction) + self.host_core_fraction * self.ref_freq_mhz / f;
+            return self.host_duration_us * scale;
+        }
+        self.cycles_at(f) / f + self.fixed_overhead_us
+    }
+
+    /// Busy cycles per pipeline during one execution at `f`.
+    #[must_use]
+    pub fn busy(&self, f: FreqMhz) -> PipelineBusy {
+        if self.class != OpClass::Compute {
+            return PipelineBusy::default();
+        }
+        let fv = f.as_f64();
+        let t0f = self.t0 * fv;
+        let core_total = self.n * self.core_cycles;
+        let ld_busy = if self.ld.is_zero() {
+            0.0
+        } else {
+            self.n * (self.ld.raw_cycles(fv) + t0f)
+        };
+        let st_busy = if self.st.is_zero() {
+            0.0
+        } else {
+            self.n * (self.st.raw_cycles(fv) + t0f)
+        };
+        PipelineBusy {
+            cube: core_total * self.mix[0],
+            vector: core_total * self.mix[1],
+            scalar: core_total * self.mix[2],
+            mte1: core_total * self.mix[3],
+            mte2: ld_busy,
+            mte3: st_busy,
+        }
+    }
+
+    /// Pipeline utilization ratios over the operator duration at `f`,
+    /// exactly as the profiler reports them. Host-side operators report all
+    /// zeros (the AICore pipelines are idle).
+    #[must_use]
+    pub fn ratios(&self, f: FreqMhz) -> PipelineRatios {
+        if self.class != OpClass::Compute {
+            return PipelineRatios::default();
+        }
+        let busy = self.busy(f);
+        let total = self.cycles(f) + self.fixed_overhead_us * f.as_f64();
+        if total <= 0.0 {
+            return PipelineRatios::default();
+        }
+        // Ratios can slightly exceed 1 when the analytical busy accounting
+        // double counts overlap edges; clamp like real PMUs do.
+        let r = |x: f64| (x / total).min(1.0);
+        PipelineRatios {
+            cube: r(busy.cube),
+            vector: r(busy.vector),
+            scalar: r(busy.scalar),
+            mte1: r(busy.mte1),
+            mte2: r(busy.mte2),
+            mte3: r(busy.mte3),
+        }
+    }
+
+    /// Breakpoint frequencies (MHz) where the piecewise-linear cycle
+    /// function changes slope, restricted to the transfers' saturation
+    /// points (paper Fig. 4 marks these `f_s(Ld)`, `f_s(St)`).
+    #[must_use]
+    pub fn breakpoints_mhz(&self) -> Vec<f64> {
+        let mut pts: Vec<f64> = [self.ld.saturation_mhz(), self.st.saturation_mhz()]
+            .into_iter()
+            .flatten()
+            .collect();
+        pts.sort_by(f64::total_cmp);
+        pts.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        pts
+    }
+}
+
+/// Ld/St throughput at core frequency `f` (Eq. (1)), bytes/µs — the
+/// quantity plotted in paper Fig. 3(a).
+#[must_use]
+pub fn ld_throughput(cfg: &NpuConfig, l2_hit_rate: f64, f: FreqMhz) -> f64 {
+    cfg.core_ld_bw(f.as_f64()).min(cfg.uncore_bw(l2_hit_rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NpuConfig;
+    use crate::operator::CoreMix;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    fn mem_op(scenario: Scenario) -> OpDescriptor {
+        OpDescriptor::compute("M", scenario)
+            .blocks(6)
+            .ld_bytes_per_block(2.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(1024.0 * 1024.0)
+            .l2_hit_rate(0.6)
+            .core_cycles_per_block(10_000.0)
+    }
+
+    #[test]
+    fn ld_term_parameters_match_eq4() {
+        let cfg = cfg();
+        let op = mem_op(Scenario::PingPongFreeIndependent);
+        let m = CycleModel::new(&op, &cfg);
+        let bw = cfg.uncore_bw(0.6);
+        let expect_a = op.ld_bytes() / bw;
+        let expect_c = op.ld_bytes() / (128.0 * 24.0);
+        assert!((m.ld_term().a_cycles_per_mhz - expect_a).abs() < 1e-9);
+        assert!((m.ld_term().c_cycles - expect_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_saturates() {
+        let cfg = cfg();
+        // Low hit rate -> saturates inside or below the band.
+        let low = ld_throughput(&cfg, 0.0, FreqMhz::new(1800));
+        assert!((low - cfg.uncore_bw(0.0)).abs() < 1e-6);
+        // Full L2 hit -> core-limited even at max frequency.
+        let high = ld_throughput(&cfg, 1.0, FreqMhz::new(1800));
+        assert!((high - cfg.core_ld_bw(1800.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cycles_increase_with_frequency() {
+        let cfg = cfg();
+        for sc in Scenario::all() {
+            let m = CycleModel::new(&mem_op(sc), &cfg);
+            let mut prev = 0.0;
+            for f in cfg.freq_table.iter() {
+                let c = m.cycles(f);
+                assert!(c >= prev, "{sc}: cycles must be non-decreasing in f");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn time_decreases_with_frequency() {
+        let cfg = cfg();
+        for sc in Scenario::all() {
+            let m = CycleModel::new(&mem_op(sc), &cfg);
+            let mut prev = f64::INFINITY;
+            for f in cfg.freq_table.iter() {
+                let t = m.time_us(f);
+                assert!(t <= prev + 1e-9, "{sc}: time must be non-increasing in f");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn cycles_convex_in_frequency() {
+        // Second differences of a convex function over an evenly spaced
+        // grid are non-negative (paper Sect. 4.2.5).
+        let cfg = cfg();
+        for sc in Scenario::all() {
+            let m = CycleModel::new(&mem_op(sc), &cfg);
+            let ys: Vec<f64> = cfg.freq_table.iter().map(|f| m.cycles(f)).collect();
+            for w in ys.windows(3) {
+                let second = w[2] - 2.0 * w[1] + w[0];
+                assert!(second >= -1e-6, "{sc}: convexity violated: {second}");
+            }
+        }
+    }
+
+    #[test]
+    fn dependent_scenarios_cost_more() {
+        let cfg = cfg();
+        let f = FreqMhz::new(1400);
+        let indep = CycleModel::new(&mem_op(Scenario::PingPongFreeIndependent), &cfg);
+        let dep = CycleModel::new(&mem_op(Scenario::PingPongFreeDependent), &cfg);
+        assert!(dep.cycles(f) > indep.cycles(f));
+        let pp_indep = CycleModel::new(&mem_op(Scenario::PingPongIndependent), &cfg);
+        let pp_dep = CycleModel::new(&mem_op(Scenario::PingPongDependent), &cfg);
+        assert!(pp_dep.cycles(f) >= pp_indep.cycles(f) * 0.5);
+    }
+
+    #[test]
+    fn pingpong_overlap_saves_cycles() {
+        let cfg = cfg();
+        let f = FreqMhz::new(1400);
+        let without = CycleModel::new(&mem_op(Scenario::PingPongFreeIndependent), &cfg);
+        let with = CycleModel::new(&mem_op(Scenario::PingPongIndependent), &cfg);
+        assert!(
+            with.cycles(f) < without.cycles(f),
+            "double buffering must hide transfer latency"
+        );
+    }
+
+    #[test]
+    fn pure_compute_op_has_constant_cycles() {
+        let cfg = cfg();
+        let op = OpDescriptor::compute("Cube", Scenario::PingPongFreeIndependent)
+            .blocks(3)
+            .core_cycles_per_block(1000.0)
+            .core_mix(CoreMix::cube_heavy());
+        let m = CycleModel::new(&op, &cfg);
+        let c1 = m.cycles(FreqMhz::new(1000));
+        let c2 = m.cycles(FreqMhz::new(1800));
+        assert!((c1 - c2).abs() < 1e-9, "no memory terms -> flat cycles");
+        assert!((c1 - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn host_ops_have_fixed_time_and_zero_ratios() {
+        let cfg = cfg();
+        let op = OpDescriptor::host("AllReduce", OpClass::Communication, 500.0);
+        let m = CycleModel::new(&op, &cfg);
+        assert_eq!(m.time_us(FreqMhz::new(1000)), 500.0);
+        assert_eq!(m.time_us(FreqMhz::new(1800)), 500.0);
+        assert_eq!(m.cycles(FreqMhz::new(1800)), 0.0);
+        assert_eq!(m.ratios(FreqMhz::new(1800)).sum(), 0.0);
+    }
+
+    #[test]
+    fn ratios_identify_memory_bound_op() {
+        let cfg = cfg();
+        let op = OpDescriptor::compute("Copy", Scenario::PingPongFreeIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(4.0 * 1024.0 * 1024.0)
+            .st_bytes_per_block(64.0)
+            .l2_hit_rate(0.1)
+            .core_cycles_per_block(50.0);
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(FreqMhz::new(1800));
+        let (pipe, _) = r.max_ratio();
+        assert_eq!(pipe, Pipeline::Mte2);
+        assert!(!pipe.is_core_domain());
+    }
+
+    #[test]
+    fn ratios_identify_compute_bound_op() {
+        let cfg = cfg();
+        let op = OpDescriptor::compute("MatMul", Scenario::PingPongIndependent)
+            .blocks(8)
+            .ld_bytes_per_block(64.0 * 1024.0)
+            .st_bytes_per_block(32.0 * 1024.0)
+            .l2_hit_rate(0.9)
+            .core_cycles_per_block(500_000.0)
+            .core_mix(CoreMix::cube_heavy());
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(FreqMhz::new(1800));
+        let (pipe, ratio) = r.max_ratio();
+        assert_eq!(pipe, Pipeline::Cube);
+        assert!(ratio > 0.8, "cube ratio {ratio} should dominate");
+    }
+
+    #[test]
+    fn fixed_overhead_lowers_ratio_sum() {
+        let cfg = cfg();
+        let op = OpDescriptor::compute("Tiny", Scenario::PingPongFreeIndependent)
+            .blocks(1)
+            .ld_bytes_per_block(1024.0)
+            .st_bytes_per_block(1024.0)
+            .core_cycles_per_block(100.0)
+            .fixed_overhead_us(20.0);
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(FreqMhz::new(1800));
+        assert!(r.sum() < 1.0, "pre/post overhead -> no-pipeline bound");
+    }
+
+    #[test]
+    fn breakpoints_are_saturation_frequencies() {
+        let cfg = cfg();
+        let op = mem_op(Scenario::PingPongFreeIndependent);
+        let m = CycleModel::new(&op, &cfg);
+        let bps = m.breakpoints_mhz();
+        assert_eq!(bps.len(), 2);
+        let bw = cfg.uncore_bw(0.6);
+        let fs_ld = bw / (128.0 * 24.0);
+        let fs_st = bw / (64.0 * 24.0);
+        let mut expect = [fs_ld, fs_st];
+        expect.sort_by(f64::total_cmp);
+        for (got, want) in bps.iter().zip(expect.iter()) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn max_ratio_picks_largest() {
+        let r = PipelineRatios {
+            cube: 0.1,
+            vector: 0.9,
+            scalar: 0.2,
+            mte1: 0.0,
+            mte2: 0.5,
+            mte3: 0.3,
+        };
+        assert_eq!(r.max_ratio(), (Pipeline::Vector, 0.9));
+        assert!((r.sum() - 2.0).abs() < 1e-12);
+    }
+}

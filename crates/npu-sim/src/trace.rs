@@ -1,0 +1,204 @@
+//! Trace export in Chrome trace-event format (`chrome://tracing`,
+//! Perfetto).
+//!
+//! The paper validates generated policies by inspecting the visualized
+//! trace from the CANN profiler — e.g. confirming that the AICore
+//! frequency rises from 1100 MHz to 1800 MHz right before a compute-bound
+//! MatMul and reverts afterwards (Sect. 7.4). This module gives the
+//! reproduction the same capability: operator records become duration
+//! events, and the frequency/power/temperature series become counter
+//! tracks.
+//!
+//! The JSON is emitted directly (the format is simple enough that a
+//! serializer dependency is not warranted).
+
+use crate::device::RunResult;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Escapes a string for inclusion in a JSON literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes a [`RunResult`] as a Chrome trace-event JSON document.
+///
+/// Tracks emitted:
+/// * one duration event per operator record (pid 1, tid 1 = the compute
+///   stream), with class and start-frequency attached as arguments;
+/// * a `core_freq_mhz` counter from the frequency trace;
+/// * `aicore_w`, `soc_w` and `temp_c` counters from telemetry (if the run
+///   collected it).
+///
+/// # Errors
+///
+/// Returns any I/O error from `out`.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{trace, Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule};
+///
+/// let mut dev = Device::new(NpuConfig::ascend_like());
+/// let schedule = Schedule::new(vec![
+///     OpDescriptor::compute("Add", Scenario::PingPongIndependent)
+///         .blocks(2)
+///         .ld_bytes_per_block(1024.0)
+///         .st_bytes_per_block(1024.0)
+///         .core_cycles_per_block(100.0),
+/// ]);
+/// let run = dev.run(&schedule, &RunOptions::at(FreqMhz::new(1800)))?;
+/// let mut json = Vec::new();
+/// trace::write_chrome_trace(&run, &mut json)?;
+/// assert!(String::from_utf8(json).unwrap().contains("\"Add\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_chrome_trace<W: Write>(run: &RunResult, mut out: W) -> io::Result<()> {
+    writeln!(out, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |out: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            writeln!(out, ",")
+        }
+    };
+
+    // Operator duration events on the compute stream.
+    for rec in &run.records {
+        sep(&mut out, &mut first)?;
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"freq_mhz\":{},\"aicore_w\":{:.2}}}}}",
+            escape(&rec.name),
+            rec.class,
+            rec.start_us,
+            rec.dur_us,
+            rec.freq_mhz.mhz(),
+            rec.aicore_w
+        )?;
+    }
+
+    // Core-frequency counter (step function over the freq trace).
+    let t0 = run.freq_trace.first().map_or(0.0, |&(t, _)| t);
+    for &(t, f) in &run.freq_trace {
+        sep(&mut out, &mut first)?;
+        write!(
+            out,
+            "{{\"name\":\"core_freq_mhz\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+             \"args\":{{\"mhz\":{}}}}}",
+            t - t0,
+            f.mhz()
+        )?;
+    }
+
+    // Telemetry counters.
+    for s in &run.telemetry {
+        sep(&mut out, &mut first)?;
+        write!(
+            out,
+            "{{\"name\":\"power_w\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+             \"args\":{{\"aicore\":{:.2},\"soc\":{:.2}}}}}",
+            s.t_us - t0,
+            s.aicore_w,
+            s.soc_w
+        )?;
+        sep(&mut out, &mut first)?;
+        write!(
+            out,
+            "{{\"name\":\"temp_c\",\"ph\":\"C\",\"ts\":{:.3},\"pid\":1,\
+             \"args\":{{\"chip\":{:.2}}}}}",
+            s.t_us - t0,
+            s.temp_c
+        )?;
+    }
+
+    writeln!(out, "\n],\"displayTimeUnit\":\"ms\"}}")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule, SetFreqCmd};
+
+    fn run_with_switch() -> RunResult {
+        let cfg = NpuConfig::ascend_like();
+        let mut dev = Device::new(cfg);
+        let ops: Vec<OpDescriptor> = (0..30)
+            .map(|i| {
+                OpDescriptor::compute(format!("Op\"{i}\""), Scenario::PingPongIndependent)
+                    .blocks(4)
+                    .ld_bytes_per_block(2.0 * 1024.0 * 1024.0)
+                    .st_bytes_per_block(1024.0 * 1024.0)
+                    .core_cycles_per_block(5_000.0)
+            })
+            .collect();
+        let opts = RunOptions::at(FreqMhz::new(1800))
+            .with_setfreq(vec![SetFreqCmd {
+                after_op: 2,
+                target: FreqMhz::new(1200),
+            }])
+            .with_telemetry(200.0);
+        dev.run(&Schedule::new(ops), &opts).unwrap()
+    }
+
+    #[test]
+    fn trace_is_valid_shape() {
+        let run = run_with_switch();
+        let mut buf = Vec::new();
+        write_chrome_trace(&run, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.trim_end().ends_with('}'));
+        // One duration event per record.
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), run.records.len());
+        // Frequency counter includes the switch.
+        assert!(s.contains("\"core_freq_mhz\""));
+        assert!(s.contains("\"mhz\":1200"));
+        // Telemetry counters present.
+        assert!(s.contains("\"power_w\""));
+        assert!(s.contains("\"temp_c\""));
+        // Balanced braces (cheap well-formedness check).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let run = run_with_switch();
+        let mut buf = Vec::new();
+        write_chrome_trace(&run, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("Op\\\"0\\\""), "quotes in names must be escaped");
+    }
+
+    #[test]
+    fn escape_handles_controls() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\u000ab");
+    }
+
+    #[test]
+    fn empty_run_is_valid() {
+        let run = RunResult::default();
+        let mut buf = Vec::new();
+        write_chrome_trace(&run, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("traceEvents"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+}

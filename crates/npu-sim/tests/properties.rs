@@ -1,0 +1,176 @@
+//! Property-based tests for the simulator's core invariants: the
+//! timeline analysis guarantees (convex, non-decreasing cycle functions;
+//! non-increasing execution time), power monotonicity, and device
+//! conservation laws — over randomly generated operators.
+
+use proptest::prelude::*;
+
+use npu_sim::{
+    CycleModel, Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule,
+    ThermalState,
+};
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    prop_oneof![
+        Just(Scenario::PingPongFreeIndependent),
+        Just(Scenario::PingPongFreeDependent),
+        Just(Scenario::PingPongIndependent),
+        Just(Scenario::PingPongDependent),
+    ]
+}
+
+prop_compose! {
+    fn arb_compute_op()(
+        scenario in arb_scenario(),
+        blocks in 1u32..32,
+        ld_kb in 0u64..16_384,
+        st_kb in 0u64..16_384,
+        hit in 0.0f64..1.0,
+        core_cycles in 0.0f64..1e6,
+        alpha in 0.0f64..30.0,
+        overhead in 0.0f64..10.0,
+    ) -> OpDescriptor {
+        OpDescriptor::compute("P", scenario)
+            .blocks(blocks)
+            .ld_bytes_per_block(ld_kb as f64 * 1024.0)
+            .st_bytes_per_block(st_kb as f64 * 1024.0)
+            .l2_hit_rate(hit)
+            .core_cycles_per_block(core_cycles)
+            .activity(alpha)
+            .fixed_overhead_us(overhead)
+    }
+}
+
+fn freqs() -> Vec<FreqMhz> {
+    (10..=18).map(|k| FreqMhz::new(k * 100)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Sect. 4.2.5: every operator's cycle count is a convex,
+    /// non-decreasing function of core frequency.
+    #[test]
+    fn cycles_convex_and_nondecreasing(op in arb_compute_op()) {
+        let cfg = NpuConfig::ascend_like();
+        let m = CycleModel::new(&op, &cfg);
+        let ys: Vec<f64> = freqs().iter().map(|&f| m.cycles(f)).collect();
+        for w in ys.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9 * w[0].abs().max(1.0));
+        }
+        for w in ys.windows(3) {
+            let second = w[2] - 2.0 * w[1] + w[0];
+            prop_assert!(second >= -1e-6 * w[1].abs().max(1.0), "second diff {second}");
+        }
+    }
+
+    /// Raising the frequency never makes an operator slower.
+    #[test]
+    fn time_nonincreasing_in_frequency(op in arb_compute_op()) {
+        let cfg = NpuConfig::ascend_like();
+        let m = CycleModel::new(&op, &cfg);
+        let ts: Vec<f64> = freqs().iter().map(|&f| m.time_us(f)).collect();
+        for w in ts.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9 * w[0].abs().max(1.0));
+        }
+    }
+
+    /// Pipeline ratios are valid fractions.
+    #[test]
+    fn ratios_are_fractions(op in arb_compute_op(), fi in 0usize..9) {
+        let cfg = NpuConfig::ascend_like();
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(freqs()[fi]);
+        for v in [r.cube, r.vector, r.scalar, r.mte1, r.mte2, r.mte3] {
+            prop_assert!((0.0..=1.0).contains(&v), "ratio {v}");
+        }
+    }
+
+    /// AICore power increases with frequency, activity and temperature.
+    #[test]
+    fn power_monotonicity(alpha in 0.0f64..30.0, dt in 0.0f64..40.0) {
+        let cfg = NpuConfig::ascend_like();
+        let mut prev = 0.0;
+        for &f in &freqs() {
+            let p = npu_sim::power::aicore_power(&cfg, alpha, f, dt);
+            prop_assert!(p > prev);
+            prev = p;
+        }
+        let f = FreqMhz::new(1500);
+        prop_assert!(
+            npu_sim::power::aicore_power(&cfg, alpha + 1.0, f, dt)
+                > npu_sim::power::aicore_power(&cfg, alpha, f, dt)
+        );
+        prop_assert!(
+            npu_sim::power::aicore_power(&cfg, alpha, f, dt + 1.0)
+                > npu_sim::power::aicore_power(&cfg, alpha, f, dt)
+        );
+    }
+
+    /// The thermal state always moves toward (never past) equilibrium.
+    #[test]
+    fn thermal_moves_toward_equilibrium(
+        t0 in 30.0f64..90.0,
+        p in 0.0f64..400.0,
+        dt_us in 1.0f64..1e7,
+    ) {
+        let cfg = NpuConfig::ascend_like();
+        let eq = ThermalState::equilibrium(&cfg, p);
+        let mut th = ThermalState::at_temperature(t0);
+        th.advance(&cfg, p, dt_us);
+        let t1 = th.temp_c();
+        if t0 <= eq {
+            prop_assert!(t1 >= t0 - 1e-9 && t1 <= eq + 1e-9);
+        } else {
+            prop_assert!(t1 <= t0 + 1e-9 && t1 >= eq - 1e-9);
+        }
+    }
+
+    /// Device runs conserve structure: duration equals the sum of record
+    /// durations, energies are positive, SoC dominates AICore.
+    #[test]
+    fn device_run_conservation(
+        ops in prop::collection::vec(arb_compute_op(), 1..12),
+        fi in 0usize..9,
+        seed in 0u64..1000,
+    ) {
+        let cfg = NpuConfig::ascend_like();
+        let mut dev = Device::with_seed(cfg, seed);
+        let schedule = Schedule::new(ops);
+        let r = dev.run(&schedule, &RunOptions::at(freqs()[fi])).unwrap();
+        let sum: f64 = r.records.iter().map(|rec| rec.dur_us).sum();
+        prop_assert!((sum - r.duration_us).abs() < 1e-6 * r.duration_us.max(1.0));
+        prop_assert!(r.energy_soc_j >= r.energy_aicore_j);
+        prop_assert!(r.energy_aicore_j >= 0.0);
+        // Records are contiguous and ordered.
+        for w in r.records.windows(2) {
+            prop_assert!((w[1].start_us - w[0].end_us()).abs() < 1e-6);
+        }
+    }
+
+    /// DVFS'd runs land between the all-min and all-max durations.
+    #[test]
+    fn dvfs_duration_bounded(
+        ops in prop::collection::vec(arb_compute_op(), 4..12),
+        switch_at in 0usize..4,
+        target_fi in 0usize..9,
+    ) {
+        let cfg = NpuConfig::builder().noise(0.0, 0.0, 0.0).build().unwrap();
+        let schedule = Schedule::new(ops);
+        let lo = Device::with_seed(cfg.clone(), 1)
+            .run(&schedule, &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        let hi = Device::with_seed(cfg.clone(), 1)
+            .run(&schedule, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let mixed = Device::with_seed(cfg, 1)
+            .run(
+                &schedule,
+                &RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![npu_sim::SetFreqCmd {
+                    after_op: switch_at,
+                    target: freqs()[target_fi],
+                }]),
+            )
+            .unwrap();
+        prop_assert!(mixed.duration_us <= lo.duration_us + 1e-6);
+        prop_assert!(mixed.duration_us >= hi.duration_us - 1e-6);
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration helper: prints baseline iteration time, op count, and the
+//! fraction of sub-20 µs operators for each workload, next to the paper's
+//! reference values where known.
+
+use npu_sim::{Device, FreqMhz, NpuConfig, RunOptions};
+use npu_workloads::models;
+
+fn main() {
+    let cfg = NpuConfig::ascend_like();
+    let workloads = vec![
+        (models::gpt3(&cfg), Some(11.29)),
+        (models::bert(&cfg), Some(0.309)),
+        (models::resnet50(&cfg), Some(0.317)),
+        (models::resnet152(&cfg), Some(0.637)),
+        (models::vgg19(&cfg), None),
+        (models::alexnet(&cfg), None),
+        (models::vit_base(&cfg), None),
+        (models::deit_small(&cfg), None),
+        (models::shufflenet_v2plus(&cfg), None),
+        (models::llama2_inference(&cfg, 16), None),
+    ];
+    println!(
+        "{:<20} {:>8} {:>12} {:>10} {:>8} {:>9} {:>9} {:>8}",
+        "workload", "ops", "iter_s@1800", "paper_s", "<20us%", "AICoreW", "SoCW", "temp_C"
+    );
+    for (w, paper) in workloads {
+        let mut dev = Device::new(cfg.clone());
+        // Warm the chip like a steady-state training job.
+        let warm = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)).without_records());
+        let _ = warm.expect("warm run");
+        let r = dev
+            .run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .expect("measured run");
+        let small = r.records.iter().filter(|rec| rec.dur_us < 20.0).count();
+        println!(
+            "{:<20} {:>8} {:>12.3} {:>10} {:>8.1} {:>9.2} {:>9.2} {:>8.1}",
+            w.name(),
+            w.op_count(),
+            r.duration_us * 1e-6,
+            paper.map_or_else(|| "-".to_owned(), |p| format!("{p:.3}")),
+            100.0 * small as f64 / r.records.len() as f64,
+            r.avg_aicore_w(),
+            r.avg_soc_w(),
+            r.end_temp_c,
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Convolutional-network building blocks: conv/BN/ReLU triples with their
+//! backward passes, bottleneck and shuffle units.
+
+use crate::ops;
+use npu_sim::{NpuConfig, OpDescriptor};
+
+/// Cube efficiency assumed for convolution kernels (lower than GEMMs —
+/// im2col overheads, ragged tiles).
+pub const CONV_EFFICIENCY: f64 = 0.40;
+
+/// One convolution layer shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Input channels.
+    pub c_in: u64,
+    /// Input spatial height (= width assumed).
+    pub hw: u64,
+    /// Output channels.
+    pub c_out: u64,
+    /// Square kernel size.
+    pub kernel: u64,
+    /// Stride.
+    pub stride: u64,
+}
+
+impl ConvSpec {
+    /// Output spatial size.
+    #[must_use]
+    pub fn out_hw(&self) -> u64 {
+        (self.hw / self.stride).max(1)
+    }
+
+    /// Output activation element count for the given batch.
+    #[must_use]
+    pub fn out_numel(&self, batch: u64) -> u64 {
+        batch * self.c_out * self.out_hw() * self.out_hw()
+    }
+}
+
+/// Forward Conv → BN → ReLU triple.
+#[must_use]
+pub fn conv_bn_relu_forward(cfg: &NpuConfig, batch: u64, s: &ConvSpec) -> Vec<OpDescriptor> {
+    let out = s.out_numel(batch);
+    vec![
+        ops::conv2d(cfg, "Conv2D", batch, s.c_in, s.hw, s.hw, s.c_out, s.kernel, s.stride, CONV_EFFICIENCY),
+        ops::bn_training_update(cfg, out),
+        ops::relu(cfg, out),
+    ]
+}
+
+/// Backward of the triple: ReLUGrad, BNGrad, conv data-grad + weight-grad.
+#[must_use]
+pub fn conv_bn_relu_backward(cfg: &NpuConfig, batch: u64, s: &ConvSpec) -> Vec<OpDescriptor> {
+    let out = s.out_numel(batch);
+    vec![
+        ops::relu(cfg, out),
+        ops::bn_training_update(cfg, out),
+        ops::conv2d(cfg, "Conv2DBackpropInput", batch, s.c_out, s.out_hw(), s.out_hw(), s.c_in, s.kernel, 1, CONV_EFFICIENCY),
+        ops::conv2d(cfg, "Conv2DBackpropFilter", batch, s.c_in, s.hw, s.hw, s.c_out, s.kernel, s.stride, CONV_EFFICIENCY),
+    ]
+}
+
+/// A ResNet bottleneck (1×1 reduce, 3×3, 1×1 expand, residual add),
+/// forward + backward, with an optional 1×1 downsample projection.
+#[must_use]
+pub fn bottleneck(
+    cfg: &NpuConfig,
+    batch: u64,
+    hw: u64,
+    c_in: u64,
+    c_mid: u64,
+    stride: u64,
+    downsample: bool,
+) -> Vec<OpDescriptor> {
+    let c_out = 4 * c_mid;
+    let s1 = ConvSpec { c_in, hw, c_out: c_mid, kernel: 1, stride: 1 };
+    let s2 = ConvSpec { c_in: c_mid, hw, c_out: c_mid, kernel: 3, stride };
+    let s3 = ConvSpec { c_in: c_mid, hw: hw / stride, c_out, kernel: 1, stride: 1 };
+    let mut v = Vec::new();
+    v.extend(conv_bn_relu_forward(cfg, batch, &s1));
+    v.extend(conv_bn_relu_forward(cfg, batch, &s2));
+    v.extend(conv_bn_relu_forward(cfg, batch, &s3));
+    if downsample {
+        let sd = ConvSpec { c_in, hw, c_out, kernel: 1, stride };
+        v.extend(conv_bn_relu_forward(cfg, batch, &sd));
+    }
+    v.push(ops::add(cfg, s3.out_numel(batch)));
+    // Backward.
+    v.push(ops::add(cfg, s3.out_numel(batch)));
+    v.extend(conv_bn_relu_backward(cfg, batch, &s3));
+    v.extend(conv_bn_relu_backward(cfg, batch, &s2));
+    v.extend(conv_bn_relu_backward(cfg, batch, &s1));
+    if downsample {
+        let sd = ConvSpec { c_in, hw, c_out, kernel: 1, stride };
+        v.extend(conv_bn_relu_backward(cfg, batch, &sd));
+    }
+    v
+}
+
+/// A ShuffleNetV2-style unit: channel split, two 1×1 convs, a depthwise
+/// 3×3, channel shuffle, concat — forward and backward. Generates many
+/// small operators, most under 20 µs.
+#[must_use]
+pub fn shuffle_unit(cfg: &NpuConfig, batch: u64, hw: u64, channels: u64) -> Vec<OpDescriptor> {
+    let half = channels / 2;
+    let numel = batch * half * hw * hw;
+    let s1 = ConvSpec { c_in: half, hw, c_out: half, kernel: 1, stride: 1 };
+    // Depthwise conv: macs = numel · k² — model as conv with c_in = 1.
+    let dw = ConvSpec { c_in: 1, hw, c_out: half, kernel: 3, stride: 1 };
+    let mut v = Vec::new();
+    v.push(ops::scalar_op(cfg, "Split", numel.min(1 << 16)));
+    v.extend(conv_bn_relu_forward(cfg, batch, &s1));
+    v.extend(conv_bn_relu_forward(cfg, batch, &dw));
+    v.extend(conv_bn_relu_forward(cfg, batch, &s1));
+    v.push(ops::transpose(cfg, 2 * numel)); // channel shuffle
+    v.push(ops::scalar_op(cfg, "ConcatD", numel.min(1 << 16)));
+    // Backward.
+    v.push(ops::transpose(cfg, 2 * numel));
+    v.extend(conv_bn_relu_backward(cfg, batch, &s1));
+    v.extend(conv_bn_relu_backward(cfg, batch, &dw));
+    v.extend(conv_bn_relu_backward(cfg, batch, &s1));
+    v.push(ops::scalar_op(cfg, "SplitGrad", numel.min(1 << 16)));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::OpClass;
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    #[test]
+    fn conv_spec_output_shape() {
+        let s = ConvSpec { c_in: 64, hw: 56, c_out: 128, kernel: 3, stride: 2 };
+        assert_eq!(s.out_hw(), 28);
+        assert_eq!(s.out_numel(2), 2 * 128 * 28 * 28);
+    }
+
+    #[test]
+    fn triple_has_three_forward_ops() {
+        let s = ConvSpec { c_in: 64, hw: 56, c_out: 64, kernel: 3, stride: 1 };
+        let fwd = conv_bn_relu_forward(&cfg(), 8, &s);
+        assert_eq!(fwd.len(), 3);
+        assert!(fwd.iter().all(|o| o.class() == OpClass::Compute));
+        assert_eq!(fwd[0].name(), "Conv2D");
+    }
+
+    #[test]
+    fn backward_has_two_conv_grads() {
+        let s = ConvSpec { c_in: 64, hw: 56, c_out: 64, kernel: 3, stride: 1 };
+        let bwd = conv_bn_relu_backward(&cfg(), 8, &s);
+        let convs = bwd.iter().filter(|o| o.name().starts_with("Conv2DBackprop")).count();
+        assert_eq!(convs, 2);
+    }
+
+    #[test]
+    fn bottleneck_downsample_adds_projection() {
+        let cfg = cfg();
+        let plain = bottleneck(&cfg, 8, 56, 256, 64, 1, false);
+        let down = bottleneck(&cfg, 8, 56, 256, 128, 2, true);
+        assert!(down.len() > plain.len());
+    }
+
+    #[test]
+    fn shuffle_unit_is_mostly_tiny_ops() {
+        let cfg = cfg();
+        let unit = shuffle_unit(&cfg, 8, 28, 128);
+        assert!(unit.len() >= 20, "got {}", unit.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! # npu-workloads — DNN operator-graph generators
+//!
+//! Builds the operator schedules the paper evaluates on: GPT-3, BERT,
+//! ResNet-50/152, VGG-19, AlexNet, ViT-Base, DeiT-Small and
+//! ShuffleNetV2+ training iterations, a llama2-style host-bound inference
+//! trace, and single-operator microbenchmarks (Softmax, Tanh).
+//!
+//! Operator constructors in [`ops`] map tensor shapes to the
+//! [`npu_sim::OpDescriptor`] parameters (block counts, Ld/St volumes, core
+//! cycles, activity factors) that drive the simulator's timeline and power
+//! models.
+//!
+//! # Example
+//!
+//! ```
+//! use npu_sim::{Device, NpuConfig, RunOptions, FreqMhz};
+//! use npu_workloads::models;
+//!
+//! let cfg = NpuConfig::ascend_like();
+//! let workload = models::tiny(&cfg);
+//! let mut dev = Device::new(cfg);
+//! let result = dev.run(workload.schedule(), &RunOptions::at(FreqMhz::new(1800)))?;
+//! assert_eq!(result.records.len(), workload.op_count());
+//! # Ok::<(), npu_sim::DeviceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod convnet;
+pub mod models;
+pub mod ops;
+pub mod transformer;
+
+pub use models::Workload;

@@ -1,0 +1,631 @@
+//! Full-model workload builders: one training iteration (or inference
+//! trace) per DNN, expressed as an operator schedule.
+//!
+//! Scales are calibrated so baseline (1800 MHz) iteration times land near
+//! the paper's Table 3 values; `EXPERIMENTS.md` records the comparison.
+
+use crate::convnet::{self, ConvSpec};
+use crate::ops;
+use crate::transformer::{self, TransformerDims};
+use npu_sim::{NpuConfig, OpDescriptor, Schedule};
+
+/// A named operator schedule (one iteration of a training/inference job).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    name: String,
+    schedule: Schedule,
+}
+
+impl Workload {
+    /// Creates a workload from a name and schedule.
+    #[must_use]
+    pub fn new(name: impl Into<String>, schedule: Schedule) -> Self {
+        Self {
+            name: name.into(),
+            schedule,
+        }
+    }
+
+    /// Workload name (e.g. `"GPT3"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The operator schedule of one iteration.
+    #[must_use]
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Number of operators per iteration.
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+fn with_host_gaps(
+    layers: impl Iterator<Item = Vec<OpDescriptor>>,
+    gap_us: f64,
+    aicpu_every: usize,
+) -> Vec<OpDescriptor> {
+    let mut v = Vec::new();
+    for (i, layer) in layers.enumerate() {
+        v.extend(layer);
+        if aicpu_every > 0 && i % aicpu_every == aicpu_every - 1 {
+            v.push(ops::aicpu("GetNext", 110.0));
+        }
+        v.push(ops::idle(gap_us));
+    }
+    v
+}
+
+/// GPT-3-style training iteration as seen by **one NPU** of a
+/// tensor-parallel (TP-2) × pipeline-parallel (PP-3) group: this device
+/// owns 32 of the 96 decoder layers (hidden 12288) and processes 5
+/// micro-batches per iteration, with TP all-reduces inside every layer,
+/// pipeline bubbles between micro-batch groups, data-parallel gradient
+/// buckets overlapping the last backward pass, and a ZeRO-sharded Adam
+/// tail. Paper baseline: 11.29 s/iteration, ~18 k operators.
+#[must_use]
+pub fn gpt3(cfg: &NpuConfig) -> Workload {
+    let d = TransformerDims {
+        hidden: 12288,
+        ffn: 49152,
+        heads: 96,
+        seq: 768,
+        batch: 1,
+        tp: 2,
+    };
+    let layers = 32u64; // 96 layers / PP-3
+    let micro_batches = 5usize;
+    let dp_shard = 128u64;
+    let mut v = Vec::new();
+    for m in 0..micro_batches {
+        v.extend(with_host_gaps(
+            (0..layers).map(|_| transformer::layer_forward(cfg, &d)),
+            300.0,
+            16,
+        ));
+        let last_micro = m == micro_batches - 1;
+        let grad_buckets = transformer::allreduce_tail(&d, layers, 8, dp_shard);
+        for (i, layer) in (0..layers)
+            .map(|_| transformer::layer_backward(cfg, &d))
+            .enumerate()
+        {
+            v.extend(layer);
+            v.push(ops::idle(300.0));
+            // DP gradient buckets overlap the final backward pass.
+            if last_micro && i % 6 == 5 {
+                if let Some(bucket) = grad_buckets.get(i / 6) {
+                    v.push(bucket.clone());
+                }
+            }
+        }
+        // 1F1B pipeline bubble at micro-batch group boundaries.
+        if m % 2 == 1 {
+            v.push(ops::idle(150_000.0));
+        }
+    }
+    v.extend(transformer::optimizer_tail(cfg, &d, layers, dp_shard));
+    Workload::new("GPT3", Schedule::new(v))
+}
+
+/// BERT-large training iteration (24 layers, hidden 1024). Paper baseline:
+/// 0.309 s/iteration.
+#[must_use]
+pub fn bert(cfg: &NpuConfig) -> Workload {
+    let d = TransformerDims {
+        hidden: 1024,
+        ffn: 4096,
+        heads: 16,
+        seq: 512,
+        batch: 35,
+        tp: 1,
+    };
+    let layers = 24u64;
+    let mut v = Vec::new();
+    // Host-side input pipeline (tokenization batch fetch) leads the step.
+    v.push(ops::aicpu("GetNext", 9_000.0));
+    v.push(ops::idle(6_000.0));
+    v.extend(with_host_gaps(
+        (0..layers).map(|_| transformer::layer_forward(cfg, &d)),
+        25.0,
+        8,
+    ));
+    // DDP gradient buckets overlap backward: one bucket every 6 layers.
+    let buckets = transformer::allreduce_tail(&d, layers, 4, 8);
+    for (i, layer) in (0..layers)
+        .map(|_| transformer::layer_backward(cfg, &d))
+        .enumerate()
+    {
+        v.extend(layer);
+        v.push(ops::idle(25.0));
+        if i % 6 == 5 {
+            if let Some(bucket) = buckets.get(i / 6) {
+                v.push(bucket.clone());
+            }
+        }
+    }
+    v.extend(transformer::optimizer_tail(cfg, &d, layers, 8));
+    Workload::new("BERT", Schedule::new(v))
+}
+
+/// ViT-Base training iteration (12 layers, hidden 768, 256 tokens).
+#[must_use]
+pub fn vit_base(cfg: &NpuConfig) -> Workload {
+    let d = TransformerDims {
+        hidden: 768,
+        ffn: 3072,
+        heads: 12,
+        seq: 256,
+        batch: 64,
+        tp: 1,
+    };
+    let mut v = vec![ops::conv2d(cfg, "Conv2D", d.batch, 3, 224, 224, 768, 16, 16, 0.4)];
+    v.extend(with_host_gaps(
+        (0..12).map(|_| transformer::layer_forward(cfg, &d)),
+        20.0,
+        6,
+    ));
+    v.extend(with_host_gaps(
+        (0..12).map(|_| transformer::layer_backward(cfg, &d)),
+        20.0,
+        6,
+    ));
+    v.extend(transformer::allreduce_tail(&d, 12, 4, 1));
+    v.extend(transformer::optimizer_tail(cfg, &d, 12, 1));
+    Workload::new("Vit_base", Schedule::new(v))
+}
+
+/// DeiT-Small training iteration (12 layers, hidden 384).
+#[must_use]
+pub fn deit_small(cfg: &NpuConfig) -> Workload {
+    let d = TransformerDims {
+        hidden: 384,
+        ffn: 1536,
+        heads: 6,
+        seq: 256,
+        batch: 64,
+        tp: 1,
+    };
+    let mut v = vec![ops::conv2d(cfg, "Conv2D", d.batch, 3, 224, 224, 384, 16, 16, 0.4)];
+    v.extend(with_host_gaps(
+        (0..12).map(|_| transformer::layer_forward(cfg, &d)),
+        20.0,
+        6,
+    ));
+    v.extend(with_host_gaps(
+        (0..12).map(|_| transformer::layer_backward(cfg, &d)),
+        20.0,
+        6,
+    ));
+    v.extend(transformer::allreduce_tail(&d, 12, 4, 1));
+    v.extend(transformer::optimizer_tail(cfg, &d, 12, 1));
+    Workload::new("Deit_small", Schedule::new(v))
+}
+
+fn resnet(cfg: &NpuConfig, name: &str, repeats: [u64; 4], batch: u64) -> Workload {
+    let mut v = Vec::new();
+    // Stem: 7×7/2 conv on 224² + pooling.
+    v.extend(convnet::conv_bn_relu_forward(
+        cfg,
+        batch,
+        &ConvSpec { c_in: 3, hw: 224, c_out: 64, kernel: 7, stride: 2 },
+    ));
+    v.push(ops::reduce_mean(cfg, batch * 64, 112 * 112 / 4));
+    let stage_hw = [56u64, 28, 14, 7];
+    let stage_mid = [64u64, 128, 256, 512];
+    let mut c_in = 64u64;
+    for s in 0..4 {
+        for r in 0..repeats[s] {
+            let stride = if s > 0 && r == 0 { 2 } else { 1 };
+            let hw = if stride == 2 { stage_hw[s] * 2 } else { stage_hw[s] };
+            v.extend(convnet::bottleneck(
+                cfg,
+                batch,
+                hw,
+                c_in,
+                stage_mid[s],
+                stride,
+                r == 0,
+            ));
+            c_in = 4 * stage_mid[s];
+            if r % 2 == 1 {
+                v.push(ops::idle(20.0));
+            }
+        }
+        v.push(ops::aicpu("GetNext", 100.0));
+    }
+    // Head: global pool + FC + loss.
+    v.push(ops::reduce_mean(cfg, batch * 2048, 49));
+    v.push(ops::matmul(cfg, "MatMul", batch, 2048, 1000, 0.4));
+    v.push(ops::softmax(cfg, batch, 1000));
+    // Gradient sync + optimizer over ~25 M (or ~60 M for 152) params.
+    let params: u64 = repeats.iter().sum::<u64>() * 1_500_000 + 2_048_000;
+    v.push(ops::all_reduce(params as f64 * 2.0));
+    v.push(ops::adam_update(cfg, "ApplyMomentum", params));
+    Workload::new(name, Schedule::new(v))
+}
+
+/// ResNet-50 training iteration. Paper baseline: 0.317 s/iteration.
+#[must_use]
+pub fn resnet50(cfg: &NpuConfig) -> Workload {
+    resnet(cfg, "ResNet50", [3, 4, 6, 3], 820)
+}
+
+/// ResNet-152 training iteration. Paper baseline: 0.637 s/iteration.
+#[must_use]
+pub fn resnet152(cfg: &NpuConfig) -> Workload {
+    resnet(cfg, "ResNet152", [3, 8, 36, 3], 630)
+}
+
+/// VGG-19 training iteration.
+#[must_use]
+pub fn vgg19(cfg: &NpuConfig) -> Workload {
+    let batch = 128u64;
+    let specs = [
+        (3u64, 224u64, 64u64),
+        (64, 224, 64),
+        (64, 112, 128),
+        (128, 112, 128),
+        (128, 56, 256),
+        (256, 56, 256),
+        (256, 56, 256),
+        (256, 56, 256),
+        (256, 28, 512),
+        (512, 28, 512),
+        (512, 28, 512),
+        (512, 28, 512),
+        (512, 14, 512),
+        (512, 14, 512),
+        (512, 14, 512),
+        (512, 14, 512),
+    ];
+    let mut v = Vec::new();
+    for (c_in, hw, c_out) in specs {
+        let s = ConvSpec { c_in, hw, c_out, kernel: 3, stride: 1 };
+        v.extend(convnet::conv_bn_relu_forward(cfg, batch, &s));
+    }
+    v.push(ops::matmul(cfg, "MatMul", batch, 25088, 4096, 0.45));
+    v.push(ops::matmul(cfg, "MatMul", batch, 4096, 4096, 0.45));
+    v.push(ops::matmul(cfg, "MatMul", batch, 4096, 1000, 0.45));
+    v.push(ops::softmax(cfg, batch, 1000));
+    for (c_in, hw, c_out) in specs.iter().rev() {
+        let s = ConvSpec { c_in: *c_in, hw: *hw, c_out: *c_out, kernel: 3, stride: 1 };
+        v.extend(convnet::conv_bn_relu_backward(cfg, batch, &s));
+    }
+    v.push(ops::all_reduce(143_000_000.0 * 2.0));
+    v.push(ops::adam_update(cfg, "ApplyMomentum", 143_000_000));
+    Workload::new("VGG19", Schedule::new(v))
+}
+
+/// AlexNet training iteration.
+#[must_use]
+pub fn alexnet(cfg: &NpuConfig) -> Workload {
+    let batch = 256u64;
+    let specs = [
+        ConvSpec { c_in: 3, hw: 224, c_out: 96, kernel: 11, stride: 4 },
+        ConvSpec { c_in: 96, hw: 27, c_out: 256, kernel: 5, stride: 1 },
+        ConvSpec { c_in: 256, hw: 13, c_out: 384, kernel: 3, stride: 1 },
+        ConvSpec { c_in: 384, hw: 13, c_out: 384, kernel: 3, stride: 1 },
+        ConvSpec { c_in: 384, hw: 13, c_out: 256, kernel: 3, stride: 1 },
+    ];
+    let mut v = Vec::new();
+    for s in &specs {
+        v.extend(convnet::conv_bn_relu_forward(cfg, batch, s));
+    }
+    v.push(ops::matmul(cfg, "MatMul", batch, 9216, 4096, 0.45));
+    v.push(ops::matmul(cfg, "MatMul", batch, 4096, 4096, 0.45));
+    v.push(ops::matmul(cfg, "MatMul", batch, 4096, 1000, 0.45));
+    v.push(ops::softmax(cfg, batch, 1000));
+    for s in specs.iter().rev() {
+        v.extend(convnet::conv_bn_relu_backward(cfg, batch, s));
+    }
+    v.push(ops::all_reduce(61_000_000.0 * 2.0));
+    v.push(ops::adam_update(cfg, "ApplyMomentum", 61_000_000));
+    Workload::new("AlexNet", Schedule::new(v))
+}
+
+/// ShuffleNetV2+ training iteration: ~4.3 k mostly tiny operators
+/// (paper Sect. 4.3 fits 4343 of them; Sect. 7.2 notes 58.3 % of ops run
+/// under 20 µs).
+#[must_use]
+pub fn shufflenet_v2plus(cfg: &NpuConfig) -> Workload {
+    let batch = 64u64;
+    let mut v = Vec::new();
+    v.extend(convnet::conv_bn_relu_forward(
+        cfg,
+        batch,
+        &ConvSpec { c_in: 3, hw: 224, c_out: 24, kernel: 3, stride: 2 },
+    ));
+    let stages: [(u64, u64, usize); 3] = [(56, 128, 40), (28, 256, 80), (14, 512, 40)];
+    for (hw, ch, units) in stages {
+        for u in 0..units {
+            v.extend(convnet::shuffle_unit(cfg, batch, hw, ch));
+            if u % 10 == 9 {
+                v.push(ops::idle(15.0));
+            }
+        }
+    }
+    v.push(ops::reduce_mean(cfg, batch * 512, 14 * 14));
+    v.push(ops::matmul(cfg, "MatMul", batch, 512, 1000, 0.4));
+    v.push(ops::softmax(cfg, batch, 1000));
+    v.push(ops::all_reduce(7_000_000.0 * 2.0));
+    v.push(ops::adam_update(cfg, "ApplyMomentum", 7_000_000));
+    Workload::new("ShufflenetV2plus", Schedule::new(v))
+}
+
+/// The seven models of the paper's performance-model study (Sect. 7.2).
+#[must_use]
+pub fn perf_model_suite(cfg: &NpuConfig) -> Vec<Workload> {
+    vec![
+        resnet50(cfg),
+        vit_base(cfg),
+        bert(cfg),
+        deit_small(cfg),
+        alexnet(cfg),
+        shufflenet_v2plus(cfg),
+        vgg19(cfg),
+    ]
+}
+
+/// A microbenchmark repeating one operator (used by the paper's power
+/// study for Softmax and Tanh).
+#[must_use]
+pub fn operator_loop(op: OpDescriptor, reps: usize) -> Workload {
+    let name = format!("{}_loop", op.name());
+    let v: Vec<OpDescriptor> = (0..reps).map(|_| op.clone()).collect();
+    Workload::new(name, Schedule::new(v))
+}
+
+/// Softmax operator microbenchmark.
+#[must_use]
+pub fn softmax_loop(cfg: &NpuConfig, reps: usize) -> Workload {
+    operator_loop(ops::softmax(cfg, 8192, 2048), reps)
+}
+
+/// Tanh operator microbenchmark.
+#[must_use]
+pub fn tanh_loop(cfg: &NpuConfig, reps: usize) -> Workload {
+    operator_loop(ops::tanh(cfg, 32 * 1024 * 1024), reps)
+}
+
+/// Llama2-style decode inference trace: host-bound dispatch means the NPU
+/// idles between small GEMMs (paper Sect. 8.4).
+#[must_use]
+pub fn llama2_inference(cfg: &NpuConfig, decode_steps: usize) -> Workload {
+    let layers = 32u64;
+    let hidden = 4096u64;
+    let batch = 8u64;
+    let mut v = Vec::new();
+    for _ in 0..decode_steps {
+        for _ in 0..layers {
+            v.push(ops::idle(45.0));
+            v.push(ops::matmul(cfg, "MatMul", batch, hidden, 3 * hidden, 0.35));
+            v.push(ops::idle(35.0));
+            v.push(ops::matmul(cfg, "BatchMatMul", batch, hidden, 512, 0.3));
+            v.push(ops::softmax(cfg, batch * 32, 512));
+            v.push(ops::idle(35.0));
+            v.push(ops::matmul(cfg, "MatMul", batch, hidden, hidden, 0.35));
+            v.push(ops::idle(40.0));
+            v.push(ops::matmul(cfg, "MatMul", batch, hidden, 11008, 0.35));
+            v.push(ops::elementwise(cfg, "Swish", batch * 11008, 1, 2.5, 9.0));
+            v.push(ops::matmul(cfg, "MatMul", batch, 11008, hidden, 0.35));
+            v.push(ops::idle(40.0));
+        }
+        v.push(ops::aicpu("Sampling", 180.0));
+    }
+    Workload::new("Llama2-decode", Schedule::new(v))
+}
+
+/// A small mixed workload for tests and the quickstart example: a few
+/// compute-bound GEMMs, memory-bound vector ops, host gaps and a
+/// communication op (~1 ms total at 1800 MHz).
+#[must_use]
+pub fn tiny(cfg: &NpuConfig) -> Workload {
+    let d = TransformerDims {
+        hidden: 512,
+        ffn: 2048,
+        heads: 8,
+        seq: 128,
+        batch: 4,
+        tp: 1,
+    };
+    let mut v = transformer::layer_forward(cfg, &d);
+    v.push(ops::idle(30.0));
+    v.extend(transformer::layer_backward(cfg, &d));
+    v.push(ops::aicpu("GetNext", 50.0));
+    v.push(ops::all_reduce(1.0e6));
+    v.push(ops::adam_update(cfg, "ApplyAdamW", transformer::layer_params(&d)));
+    Workload::new("Tiny", Schedule::new(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{Device, FreqMhz, OpClass, RunOptions};
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    #[test]
+    fn gpt3_scale_matches_paper_order() {
+        // The paper's profiler counts ~18k operators per GPT-3 iteration;
+        // our generator emits coarser fused operators for the same
+        // schedule structure, landing in the same order of magnitude.
+        let w = gpt3(&cfg());
+        let n = w.op_count();
+        assert!(
+            (5_000..=20_000).contains(&n),
+            "GPT3 op count {n} should be within the paper's order of magnitude"
+        );
+    }
+
+    #[test]
+    fn shufflenet_has_thousands_of_small_ops() {
+        let w = shufflenet_v2plus(&cfg());
+        let n = w.op_count();
+        assert!((3_800..=4_900).contains(&n), "ShuffleNet op count {n}");
+    }
+
+    #[test]
+    fn perf_suite_exceeds_five_thousand_ops() {
+        let cfg = cfg();
+        let total: usize = perf_model_suite(&cfg).iter().map(Workload::op_count).sum();
+        assert!(total > 5_000, "suite has {total} operators");
+    }
+
+    #[test]
+    fn tiny_workload_has_all_classes() {
+        let w = tiny(&cfg());
+        let classes: Vec<OpClass> = w.schedule().ops().iter().map(|o| o.class()).collect();
+        assert!(classes.contains(&OpClass::Compute));
+        assert!(classes.contains(&OpClass::Idle));
+        assert!(classes.contains(&OpClass::AiCpu));
+        assert!(classes.contains(&OpClass::Communication));
+    }
+
+    #[test]
+    fn tiny_runs_quickly_on_device() {
+        let cfg = cfg();
+        let w = tiny(&cfg);
+        let mut dev = Device::new(cfg.clone());
+        let r = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        assert!(r.duration_us > 100.0);
+        assert_eq!(r.records.len(), w.op_count());
+    }
+
+    #[test]
+    fn inference_trace_is_mostly_idle() {
+        let cfg = cfg();
+        let w = llama2_inference(&cfg, 4);
+        let mut dev = Device::new(cfg.clone());
+        let r = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let idle_us: f64 = r
+            .records
+            .iter()
+            .filter(|rec| rec.class == OpClass::Idle)
+            .map(|rec| rec.dur_us)
+            .sum();
+        let frac = idle_us / r.duration_us;
+        assert!(frac > 0.4, "idle fraction {frac} should dominate decode");
+    }
+
+    #[test]
+    fn operator_loops_repeat_single_kind() {
+        let cfg = cfg();
+        let w = softmax_loop(&cfg, 10);
+        assert_eq!(w.op_count(), 10);
+        assert!(w.schedule().ops().iter().all(|o| o.name() == "SoftmaxV2"));
+    }
+
+    #[test]
+    fn resnet152_is_deeper_than_resnet50() {
+        let cfg = cfg();
+        assert!(resnet152(&cfg).op_count() > 2 * resnet50(&cfg).op_count());
+    }
+
+    #[test]
+    fn gpt3_contains_parallel_training_structure() {
+        let cfg = cfg();
+        let w = gpt3(&cfg);
+        let names: Vec<&str> = w.schedule().ops().iter().map(|o| o.name()).collect();
+        // TP all-reduces inside layers plus DP gradient buckets.
+        let comms = names.iter().filter(|n| **n == "HcclAllReduce").count();
+        assert!(comms > 500, "TP collectives per layer: got {comms}");
+        // Pipeline bubbles: long idle ops.
+        let bubbles = w
+            .schedule()
+            .ops()
+            .iter()
+            .filter(|o| o.class() == OpClass::Idle && o.host_duration() >= 100_000.0)
+            .count();
+        assert!(bubbles >= 2, "pipeline bubbles: got {bubbles}");
+        // ZeRO-sharded optimizer tail.
+        assert!(names.iter().any(|n| *n == "ApplyAdamW"));
+    }
+
+    #[test]
+    fn bert_overlaps_gradient_buckets_with_backward() {
+        let cfg = cfg();
+        let w = bert(&cfg);
+        let ops = w.schedule().ops();
+        // Buckets appear interleaved, not only at the end: at least one
+        // collective is followed by further compute.
+        let first_comm = ops
+            .iter()
+            .position(|o| o.name() == "HcclAllReduce")
+            .expect("bert has gradient buckets");
+        assert!(
+            ops[first_comm + 1..]
+                .iter()
+                .filter(|o| o.name() == "MatMul")
+                .count()
+                > 10,
+            "backward continues after the first bucket"
+        );
+    }
+
+    #[test]
+    fn vgg19_has_sixteen_conv_layers_each_way() {
+        let cfg = cfg();
+        let w = vgg19(&cfg);
+        let fwd = w.schedule().ops().iter().filter(|o| o.name() == "Conv2D").count();
+        let bwd_data = w
+            .schedule()
+            .ops()
+            .iter()
+            .filter(|o| o.name() == "Conv2DBackpropInput")
+            .count();
+        assert_eq!(fwd, 16);
+        assert_eq!(bwd_data, 16);
+        // Three fully connected layers.
+        let fc = w.schedule().ops().iter().filter(|o| o.name() == "MatMul").count();
+        assert_eq!(fc, 3);
+    }
+
+    #[test]
+    fn alexnet_structure() {
+        let cfg = cfg();
+        let w = alexnet(&cfg);
+        let convs = w.schedule().ops().iter().filter(|o| o.name() == "Conv2D").count();
+        assert_eq!(convs, 5);
+        assert!(w.op_count() < 100, "AlexNet is small: {}", w.op_count());
+    }
+
+    #[test]
+    fn llama2_step_structure_repeats() {
+        let cfg = cfg();
+        let one = llama2_inference(&cfg, 1);
+        let four = llama2_inference(&cfg, 4);
+        assert_eq!(four.op_count(), 4 * one.op_count());
+        assert!(one
+            .schedule()
+            .ops()
+            .iter()
+            .any(|o| o.class() == OpClass::AiCpu && o.name() == "Sampling"));
+    }
+
+    #[test]
+    fn workload_names_are_paper_spellings() {
+        let cfg = cfg();
+        let names: Vec<String> = perf_model_suite(&cfg)
+            .iter()
+            .map(|w| w.name().to_owned())
+            .collect();
+        for expect in [
+            "ResNet50",
+            "Vit_base",
+            "BERT",
+            "Deit_small",
+            "AlexNet",
+            "ShufflenetV2plus",
+            "VGG19",
+        ] {
+            assert!(names.iter().any(|n| n == expect), "missing {expect}");
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! Typed operator constructors: map tensor shapes to [`OpDescriptor`]
+//! parameters (block counts, Ld/St volumes, core cycles, activity factors).
+//!
+//! The derivations assume FP16 activations/weights and the cube/vector
+//! throughputs of an Ascend-910-class AICore. Constructors take the target
+//! [`NpuConfig`] so core counts always match the device the workload will
+//! run on.
+
+use npu_sim::{CoreMix, NpuConfig, OpClass, OpDescriptor, Scenario};
+
+/// FP16 element size, bytes.
+pub const DTYPE_BYTES: f64 = 2.0;
+/// Effective bytes moved per element and operand by vector (elementwise /
+/// normalization) kernels: FP16 payload plus mask/statistics/FP32
+/// intermediate traffic. Vector kernels on real NPUs move noticeably more
+/// than the nominal tensor bytes.
+pub const VECTOR_IO_BYTES: f64 = 4.0;
+/// Cube MACs per cycle per core (16×16×16 FP16 cube).
+pub const CUBE_MACS_PER_CYCLE: f64 = 4096.0;
+/// Vector lanes (FP16 elements) per cycle per core.
+pub const VECTOR_ELEMS_PER_CYCLE: f64 = 128.0;
+/// L1-resident tile size used to derive PingPong block counts, bytes.
+pub const L1_TILE_BYTES: f64 = 512.0 * 1024.0;
+/// Fixed dispatch/pre/post overhead applied to every compute operator, µs.
+pub const DISPATCH_OVERHEAD_US: f64 = 2.0;
+/// Effective collective-communication bandwidth, bytes/µs (~3.4 GB/s):
+/// HCCL-style allreduce throughput at the megabyte message sizes DNN
+/// training produces, well below the link peak.
+pub const COMM_BW_BYTES_PER_US: f64 = 3_400.0;
+
+/// Picks a PingPong block count from the total working-set size.
+#[must_use]
+pub fn blocks_for(total_bytes: f64) -> u32 {
+    let n = (total_bytes / L1_TILE_BYTES).ceil();
+    (n as u32).clamp(2, 64)
+}
+
+/// Deterministic small jitter in `[-1, 1]` derived from a label and index,
+/// so operators of the same type but different call sites get slightly
+/// different hit rates / activity factors (the paper notes power varies
+/// with input shape even within one operator type).
+#[must_use]
+pub fn jitter(label: &str, salt: u64) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    // Map the top 53 bits to [-1, 1).
+    ((h >> 11) as f64) / (1u64 << 53) as f64 * 2.0 - 1.0
+}
+
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.01, 0.99)
+}
+
+/// A dense matrix multiply `[m × k] · [k × n]`.
+///
+/// `efficiency` derates the cube peak (real kernels reach 40–70 %).
+#[must_use]
+pub fn matmul(cfg: &NpuConfig, name: &str, m: u64, k: u64, n: u64, efficiency: f64) -> OpDescriptor {
+    assert!(efficiency > 0.0 && efficiency <= 1.0);
+    let macs = (m as f64) * (k as f64) * (n as f64);
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = macs / (CUBE_MACS_PER_CYCLE * cores * efficiency);
+    let ld_total = ((m * k + k * n) as f64) * DTYPE_BYTES;
+    let st_total = ((m * n) as f64) * DTYPE_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    let j = jitter(name, m ^ k ^ n);
+    OpDescriptor::compute(name, Scenario::PingPongIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(clamp01(0.85 + 0.05 * j))
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::cube_heavy())
+        .activity(13.0 + 1.5 * j)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// A 2-D convolution (`NCHW` input, `KCRS` weights), modeled as an
+/// im2col-style cube workload.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn conv2d(
+    cfg: &NpuConfig,
+    name: &str,
+    batch: u64,
+    c_in: u64,
+    h: u64,
+    w: u64,
+    c_out: u64,
+    kernel: u64,
+    stride: u64,
+    efficiency: f64,
+) -> OpDescriptor {
+    assert!(stride >= 1);
+    let oh = (h / stride).max(1);
+    let ow = (w / stride).max(1);
+    let macs = (batch * oh * ow * c_out * c_in * kernel * kernel) as f64;
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = macs / (CUBE_MACS_PER_CYCLE * cores * efficiency);
+    let ld_total =
+        ((batch * c_in * h * w + c_out * c_in * kernel * kernel) as f64) * DTYPE_BYTES;
+    let st_total = ((batch * c_out * oh * ow) as f64) * DTYPE_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    let j = jitter(name, batch ^ c_in ^ c_out);
+    OpDescriptor::compute(name, Scenario::PingPongIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(clamp01(0.8 + 0.05 * j))
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::cube_heavy())
+        .activity(12.0 + 1.5 * j)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// A generic elementwise operator over `numel` elements with `inputs`
+/// operands and `cost` vector-cycles per element-vector (1 for Add/Mul,
+/// more for transcendental activations).
+#[must_use]
+pub fn elementwise(
+    cfg: &NpuConfig,
+    name: &str,
+    numel: u64,
+    inputs: u32,
+    cost: f64,
+    alpha: f64,
+) -> OpDescriptor {
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * cost / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let ld_total = (numel as f64) * VECTOR_IO_BYTES * f64::from(inputs);
+    let st_total = (numel as f64) * VECTOR_IO_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    let j = jitter(name, numel);
+    OpDescriptor::compute(name, Scenario::PingPongIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(clamp01(0.35 + 0.08 * j))
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::vector_heavy())
+        .activity(alpha + 0.8 * j)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// Elementwise addition of two tensors.
+#[must_use]
+pub fn add(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Add", numel, 2, 1.0, 6.5)
+}
+
+/// Elementwise division.
+#[must_use]
+pub fn real_div(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "RealDiv", numel, 2, 2.0, 6.5)
+}
+
+/// Elementwise multiply.
+#[must_use]
+pub fn mul(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Mul", numel, 2, 1.0, 6.5)
+}
+
+/// GELU activation (polynomial + tanh evaluation per element).
+#[must_use]
+pub fn gelu(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Gelu", numel, 1, 2.5, 8.0)
+}
+
+/// ReLU activation.
+#[must_use]
+pub fn relu(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Relu", numel, 1, 1.0, 6.0)
+}
+
+/// Tanh activation.
+#[must_use]
+pub fn tanh(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Tanh", numel, 1, 2.5, 7.5)
+}
+
+/// Dropout (mask generation + multiply).
+#[must_use]
+pub fn dropout(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    elementwise(cfg, "Dropout", numel, 1, 1.5, 6.5)
+}
+
+/// A row-wise operator with an intra-row data dependence (two passes over
+/// the data before the result can be stored), e.g. Softmax or LayerNorm.
+/// Dependent Ld/St: the store cannot overlap the next row's load.
+#[must_use]
+pub fn rowwise_dependent(
+    cfg: &NpuConfig,
+    name: &str,
+    rows: u64,
+    cols: u64,
+    cost: f64,
+    alpha: f64,
+) -> OpDescriptor {
+    let numel = rows * cols;
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * cost / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let ld_total = (numel as f64) * VECTOR_IO_BYTES;
+    let st_total = (numel as f64) * VECTOR_IO_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    let j = jitter(name, rows ^ cols);
+    OpDescriptor::compute(name, Scenario::PingPongDependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(clamp01(0.45 + 0.08 * j))
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::vector_heavy())
+        .activity(alpha + 0.8 * j)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// Softmax over `rows × cols`.
+#[must_use]
+pub fn softmax(cfg: &NpuConfig, rows: u64, cols: u64) -> OpDescriptor {
+    rowwise_dependent(cfg, "SoftmaxV2", rows, cols, 3.0, 8.0)
+}
+
+/// LayerNorm over `rows × cols`.
+#[must_use]
+pub fn layer_norm(cfg: &NpuConfig, rows: u64, cols: u64) -> OpDescriptor {
+    rowwise_dependent(cfg, "LayerNorm", rows, cols, 3.0, 7.5)
+}
+
+/// Mean reduction over `rows × cols` producing `rows` outputs.
+#[must_use]
+pub fn reduce_mean(cfg: &NpuConfig, rows: u64, cols: u64) -> OpDescriptor {
+    let numel = rows * cols;
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * 1.5 / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let ld_total = (numel as f64) * DTYPE_BYTES;
+    let st_total = (rows as f64) * DTYPE_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    OpDescriptor::compute("ReduceMean", Scenario::PingPongFreeIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block((st_total / f64::from(nb)).max(64.0))
+        .l2_hit_rate(0.4)
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::vector_heavy())
+        .activity(6.5)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// BatchNorm training update (statistics + normalization over `numel`).
+#[must_use]
+pub fn bn_training_update(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * 3.0 / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let ld_total = (numel as f64) * DTYPE_BYTES * 2.0;
+    let st_total = (numel as f64) * DTYPE_BYTES;
+    let nb = blocks_for(ld_total + st_total);
+    OpDescriptor::compute("BNTrainingUpdate", Scenario::PingPongFreeDependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(0.35)
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::vector_heavy())
+        .activity(7.5)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// A transpose/layout-change operator (MTE1-heavy, no pingpong).
+#[must_use]
+pub fn transpose(cfg: &NpuConfig, numel: u64) -> OpDescriptor {
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * 1.0 / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let bytes = (numel as f64) * DTYPE_BYTES;
+    let nb = blocks_for(2.0 * bytes);
+    OpDescriptor::compute("TransData", Scenario::PingPongFreeIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(bytes / f64::from(nb))
+        .st_bytes_per_block(bytes / f64::from(nb))
+        .l2_hit_rate(0.5)
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::mte1_heavy())
+        .activity(6.0)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// Adam-style optimizer update for `params` parameters: reads parameter,
+/// gradient and two moments, writes all three back. Heavily memory-bound
+/// with poor cache locality.
+#[must_use]
+pub fn adam_update(cfg: &NpuConfig, name: &str, params: u64) -> OpDescriptor {
+    let cores = f64::from(cfg.core_num);
+    let p = params as f64;
+    let core_cycles = p * 4.0 / (VECTOR_ELEMS_PER_CYCLE * cores);
+    // FP32 optimizer state: p, g, m, v in; p, m, v out.
+    let ld_total = p * 4.0 * 4.0;
+    let st_total = p * 4.0 * 3.0;
+    let nb = blocks_for(ld_total + st_total);
+    OpDescriptor::compute(name, Scenario::PingPongIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(ld_total / f64::from(nb))
+        .st_bytes_per_block(st_total / f64::from(nb))
+        .l2_hit_rate(0.15)
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::vector_heavy())
+        .activity(6.0)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// A small scalar-pipeline-heavy bookkeeping operator (shape computation,
+/// slicing); typically latency-bound.
+#[must_use]
+pub fn scalar_op(cfg: &NpuConfig, name: &str, numel: u64) -> OpDescriptor {
+    let cores = f64::from(cfg.core_num);
+    let core_cycles = (numel as f64) * 4.0 / (VECTOR_ELEMS_PER_CYCLE * cores);
+    let bytes = (numel as f64) * DTYPE_BYTES;
+    let nb = blocks_for(2.0 * bytes).min(4);
+    OpDescriptor::compute(name, Scenario::PingPongFreeIndependent)
+        .blocks(nb)
+        .ld_bytes_per_block(bytes / f64::from(nb))
+        .st_bytes_per_block(bytes / f64::from(nb))
+        .l2_hit_rate(0.6)
+        .core_cycles_per_block(core_cycles / f64::from(nb))
+        .core_mix(CoreMix::scalar_heavy())
+        .activity(5.0)
+        .fixed_overhead_us(DISPATCH_OVERHEAD_US)
+}
+
+/// An AICPU operator (host-side custom kernel) of the given duration.
+#[must_use]
+pub fn aicpu(name: &str, duration_us: f64) -> OpDescriptor {
+    OpDescriptor::host(name, OpClass::AiCpu, duration_us)
+}
+
+/// Fraction of an all-reduce's time spent in on-core reduce kernels
+/// (which scale with the core frequency); the rest is link time.
+pub const ALLREDUCE_CORE_FRACTION: f64 = 0.25;
+
+/// An AllReduce over `bytes` at the collective link bandwidth. A quarter
+/// of its time is the on-core elementwise reduction, so deep core
+/// downclocks do slow collectives noticeably even though they are
+/// classified as AICore-frequency-insensitive (paper Table 1).
+#[must_use]
+pub fn all_reduce(bytes: f64) -> OpDescriptor {
+    // Ring allreduce moves ~2× the payload.
+    OpDescriptor::host(
+        "HcclAllReduce",
+        OpClass::Communication,
+        2.0 * bytes / COMM_BW_BYTES_PER_US,
+    )
+    .host_core_scaled(ALLREDUCE_CORE_FRACTION)
+    .activity(2.5)
+}
+
+/// A host-dispatch idle gap.
+#[must_use]
+pub fn idle(duration_us: f64) -> OpDescriptor {
+    OpDescriptor::idle_gap(duration_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{CycleModel, FreqMhz, Pipeline};
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    #[test]
+    fn matmul_is_cube_bound() {
+        let cfg = cfg();
+        let op = matmul(&cfg, "MatMul", 1024, 12288, 12288, 0.55);
+        let m = CycleModel::new(&op, &cfg);
+        let (pipe, ratio) = m.ratios(FreqMhz::new(1800)).max_ratio();
+        assert_eq!(pipe, Pipeline::Cube, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gelu_is_load_bound() {
+        let cfg = cfg();
+        let op = gelu(&cfg, 64 * 1024 * 1024);
+        let m = CycleModel::new(&op, &cfg);
+        let (pipe, _) = m.ratios(FreqMhz::new(1800)).max_ratio();
+        assert_eq!(pipe, Pipeline::Mte2);
+    }
+
+    #[test]
+    fn matmul_slows_down_proportionally_more_than_gelu() {
+        // The premise of HFC/LFC staging: compute-bound ops pay ~f for a
+        // downclock while memory-bound ops barely notice.
+        let cfg = cfg();
+        let mm = CycleModel::new(&matmul(&cfg, "MatMul", 2048, 8192, 8192, 0.55), &cfg);
+        let ge = CycleModel::new(&gelu(&cfg, 64 * 1024 * 1024), &cfg);
+        let lo = FreqMhz::new(1000);
+        let hi = FreqMhz::new(1800);
+        let mm_slow = mm.time_us(lo) / mm.time_us(hi);
+        let ge_slow = ge.time_us(lo) / ge.time_us(hi);
+        assert!(mm_slow > 1.5, "matmul slowdown {mm_slow}");
+        // Gelu saturates the uncore on loads but its store port becomes
+        // core-limited below ~1240 MHz, so it is not perfectly flat.
+        assert!(ge_slow < 1.35, "gelu slowdown {ge_slow}");
+    }
+
+    #[test]
+    fn conv_output_shape_drives_store_volume() {
+        let cfg = cfg();
+        let s1 = conv2d(&cfg, "Conv2D", 32, 64, 56, 56, 64, 3, 1, 0.5);
+        let s2 = conv2d(&cfg, "Conv2D", 32, 64, 56, 56, 64, 3, 2, 0.5);
+        let st1 = s1.st_bytes() * f64::from(s1.n_blocks());
+        let st2 = s2.st_bytes() * f64::from(s2.n_blocks());
+        assert!((st1 / st2 - 4.0).abs() < 0.3, "stride halves H and W");
+    }
+
+    #[test]
+    fn adam_update_is_memory_bound() {
+        let cfg = cfg();
+        let op = adam_update(&cfg, "ApplyAdamW", 50_000_000);
+        let m = CycleModel::new(&op, &cfg);
+        let (pipe, _) = m.ratios(FreqMhz::new(1800)).max_ratio();
+        assert!(matches!(pipe, Pipeline::Mte2 | Pipeline::Mte3));
+        // Nearly flat time across the band.
+        let slow = m.time_us(FreqMhz::new(1000)) / m.time_us(FreqMhz::new(1800));
+        assert!(slow < 1.15, "adam slowdown {slow}");
+    }
+
+    #[test]
+    fn transpose_is_mte1_or_memory_heavy() {
+        let cfg = cfg();
+        let op = transpose(&cfg, 16 * 1024 * 1024);
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(FreqMhz::new(1800));
+        assert!(r.mte1 > r.cube);
+    }
+
+    #[test]
+    fn communication_duration_scales_with_bytes() {
+        let small = all_reduce(25_000.0 * 100.0);
+        let large = all_reduce(25_000.0 * 200.0);
+        assert!((large.host_duration() / small.host_duration() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        assert_eq!(jitter("MatMul", 7), jitter("MatMul", 7));
+        assert_ne!(jitter("MatMul", 7), jitter("MatMul", 8));
+        for i in 0..500 {
+            let j = jitter("Op", i);
+            assert!((-1.0..=1.0).contains(&j), "jitter {j}");
+        }
+    }
+
+    #[test]
+    fn blocks_clamped() {
+        assert_eq!(blocks_for(1.0), 2);
+        assert_eq!(blocks_for(1e12), 64);
+    }
+
+    #[test]
+    fn softmax_uses_dependent_scenario() {
+        let cfg = cfg();
+        let op = softmax(&cfg, 4096, 1024);
+        assert!(op.scenario().dependent());
+    }
+
+    #[test]
+    fn small_scalar_op_is_latency_or_no_pipeline_bound() {
+        let cfg = cfg();
+        let op = scalar_op(&cfg, "StridedSlice", 4096);
+        let m = CycleModel::new(&op, &cfg);
+        let r = m.ratios(FreqMhz::new(1800));
+        assert!(r.sum() < 1.0, "tiny op dominated by dispatch overhead");
+    }
+}

@@ -1,0 +1,317 @@
+//! Transformer building blocks: forward/backward operator sequences for
+//! encoder/decoder layers (optionally tensor-parallel), plus optimizer and
+//! gradient-communication tails.
+//!
+//! Tensor parallelism (Megatron-style) shards every GEMM's parallel
+//! dimension across `tp` devices and inserts an all-reduce after the
+//! attention projection and after the second FFN GEMM — in both
+//! directions. On a TP shard the GEMMs shrink by `tp`× while the
+//! replicated vector work (layer norms, residual adds) and the collectives
+//! do not, which is what gives large models their long frequency-
+//! insensitive stretches (the paper's GPT-3 toggles frequency around
+//! individual MatMuls, Sect. 7.4).
+
+use crate::ops;
+use npu_sim::{NpuConfig, OpDescriptor};
+
+/// Shape of one transformer layer stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerDims {
+    /// Hidden size.
+    pub hidden: u64,
+    /// Feed-forward inner size.
+    pub ffn: u64,
+    /// Attention heads.
+    pub heads: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Tensor-parallel degree (1 = unsharded).
+    pub tp: u64,
+}
+
+impl TransformerDims {
+    /// Tokens per micro-batch (`seq · batch`).
+    #[must_use]
+    pub fn tokens(&self) -> u64 {
+        self.seq * self.batch
+    }
+
+    /// Elements in one (replicated) hidden-state tensor.
+    #[must_use]
+    pub fn hidden_numel(&self) -> u64 {
+        self.tokens() * self.hidden
+    }
+
+    /// Elements in this shard's attention-probability tensor.
+    #[must_use]
+    pub fn attn_numel(&self) -> u64 {
+        self.batch * self.shard_heads() * self.seq * self.seq
+    }
+
+    /// Attention heads on this TP shard.
+    #[must_use]
+    pub fn shard_heads(&self) -> u64 {
+        (self.heads / self.tp).max(1)
+    }
+
+    /// Bytes of one TP all-reduce (a full hidden-state tensor).
+    #[must_use]
+    pub fn tp_comm_bytes(&self) -> f64 {
+        self.hidden_numel() as f64 * ops::DTYPE_BYTES
+    }
+}
+
+/// Cube efficiency assumed for transformer GEMMs.
+pub const GEMM_EFFICIENCY: f64 = 0.55;
+
+fn tp_allreduce(d: &TransformerDims) -> Option<OpDescriptor> {
+    (d.tp > 1).then(|| ops::all_reduce(d.tp_comm_bytes()))
+}
+
+/// Forward pass of one transformer layer (pre-norm GPT-style block) on one
+/// TP shard.
+#[must_use]
+pub fn layer_forward(cfg: &NpuConfig, d: &TransformerDims) -> Vec<OpDescriptor> {
+    let t = d.tokens();
+    let e = GEMM_EFFICIENCY;
+    let h_shard = d.hidden / d.tp;
+    let ffn_shard = d.ffn / d.tp;
+    let mut v = Vec::with_capacity(18);
+    v.push(ops::layer_norm(cfg, t, d.hidden));
+    v.push(ops::matmul(cfg, "MatMul", t, d.hidden, 3 * h_shard, e)); // QKV (column parallel)
+    v.push(ops::transpose(cfg, 3 * t * h_shard));
+    v.push(ops::matmul(cfg, "BatchMatMul", t, h_shard, d.seq, e)); // scores
+    v.push(ops::softmax(cfg, d.batch * d.shard_heads() * d.seq, d.seq));
+    v.push(ops::dropout(cfg, d.attn_numel()));
+    v.push(ops::matmul(cfg, "BatchMatMul", t, d.seq, h_shard, e)); // context
+    v.push(ops::matmul(cfg, "MatMul", t, h_shard, d.hidden, e)); // proj (row parallel)
+    v.extend(tp_allreduce(d));
+    v.push(ops::add(cfg, d.hidden_numel()));
+    v.push(ops::layer_norm(cfg, t, d.hidden));
+    v.push(ops::matmul(cfg, "MatMul", t, d.hidden, ffn_shard, e)); // FFN up
+    v.push(ops::gelu(cfg, t * ffn_shard));
+    v.push(ops::matmul(cfg, "MatMul", t, ffn_shard, d.hidden, e)); // FFN down
+    v.extend(tp_allreduce(d));
+    v.push(ops::dropout(cfg, d.hidden_numel()));
+    v.push(ops::add(cfg, d.hidden_numel()));
+    v
+}
+
+/// Backward pass of one transformer layer on one TP shard: each GEMM
+/// contributes a data-gradient and a weight-gradient GEMM; vector ops
+/// contribute their gradient kernels; the column-parallel inputs need
+/// gradient all-reduces.
+#[must_use]
+pub fn layer_backward(cfg: &NpuConfig, d: &TransformerDims) -> Vec<OpDescriptor> {
+    let t = d.tokens();
+    let e = GEMM_EFFICIENCY;
+    let h_shard = d.hidden / d.tp;
+    let ffn_shard = d.ffn / d.tp;
+    let mut v = Vec::with_capacity(30);
+    // FFN backward.
+    v.push(ops::add(cfg, d.hidden_numel())); // residual grad accumulate
+    v.push(ops::dropout(cfg, d.hidden_numel()));
+    v.push(ops::matmul(cfg, "MatMul", t, d.hidden, ffn_shard, e)); // dX of FFN down
+    v.push(ops::matmul(cfg, "MatMul", ffn_shard, t, d.hidden, e)); // dW of FFN down
+    v.push(ops::gelu(cfg, t * ffn_shard)); // GeluGrad
+    v.push(ops::matmul(cfg, "MatMul", t, ffn_shard, d.hidden, e)); // dX of FFN up
+    v.push(ops::matmul(cfg, "MatMul", d.hidden, t, ffn_shard, e)); // dW of FFN up
+    v.extend(tp_allreduce(d)); // dX all-reduce (column-parallel input)
+    v.push(ops::layer_norm(cfg, t, d.hidden)); // LayerNormGrad
+    v.push(ops::add(cfg, d.hidden_numel()));
+    // Attention backward.
+    v.push(ops::matmul(cfg, "MatMul", t, d.hidden, h_shard, e)); // dX of proj
+    v.push(ops::matmul(cfg, "MatMul", h_shard, t, d.hidden, e)); // dW of proj
+    v.push(ops::matmul(cfg, "BatchMatMul", t, h_shard, d.seq, e)); // d(context)
+    v.push(ops::matmul(cfg, "BatchMatMul", t, d.seq, h_shard, e));
+    v.push(ops::dropout(cfg, d.attn_numel()));
+    v.push(ops::softmax(cfg, d.batch * d.shard_heads() * d.seq, d.seq)); // SoftmaxGrad
+    v.push(ops::matmul(cfg, "BatchMatMul", t, h_shard, d.seq, e)); // d(scores)
+    v.push(ops::matmul(cfg, "BatchMatMul", t, d.seq, h_shard, e));
+    v.push(ops::transpose(cfg, 3 * t * h_shard));
+    v.push(ops::matmul(cfg, "MatMul", t, 3 * h_shard, d.hidden, e)); // dX of QKV
+    v.push(ops::matmul(cfg, "MatMul", d.hidden, t, 3 * h_shard, e)); // dW of QKV
+    v.extend(tp_allreduce(d));
+    v.push(ops::layer_norm(cfg, t, d.hidden)); // LayerNormGrad
+    v.push(ops::add(cfg, d.hidden_numel()));
+    v
+}
+
+/// Parameter count of one layer **on this shard** (QKV + proj + two FFN
+/// GEMMs, divided by the TP degree).
+#[must_use]
+pub fn layer_params(d: &TransformerDims) -> u64 {
+    (d.hidden * 3 * d.hidden + d.hidden * d.hidden + 2 * d.hidden * d.ffn) / d.tp
+}
+
+/// Optimizer tail: Adam updates over the layer parameter chunks, with an
+/// occasional AICPU bookkeeping op. `shard` further divides the per-layer
+/// parameter count (ZeRO-style optimizer-state sharding across the
+/// data-parallel group; 1 = unsharded).
+#[must_use]
+pub fn optimizer_tail(
+    cfg: &NpuConfig,
+    d: &TransformerDims,
+    layers: u64,
+    shard: u64,
+) -> Vec<OpDescriptor> {
+    assert!(shard >= 1, "shard factor must be at least 1");
+    let per_layer = (layer_params(d) / shard).max(1);
+    let mut v = Vec::new();
+    for i in 0..layers {
+        v.push(ops::adam_update(cfg, "ApplyAdamW", per_layer));
+        if i % 8 == 0 {
+            v.push(ops::aicpu("OptimizerStateUpdate", 120.0));
+        }
+    }
+    v
+}
+
+/// Gradient all-reduce tail: one collective per gradient bucket. `shard`
+/// divides the gradient volume beyond TP (e.g. pipeline sharding; 1 = all
+/// of this shard's gradients cross the link).
+#[must_use]
+pub fn allreduce_tail(
+    d: &TransformerDims,
+    layers: u64,
+    buckets: u64,
+    shard: u64,
+) -> Vec<OpDescriptor> {
+    assert!(shard >= 1, "shard factor must be at least 1");
+    let total_bytes = (layer_params(d) * layers / shard) as f64 * ops::DTYPE_BYTES;
+    let per_bucket = total_bytes / buckets as f64;
+    (0..buckets).map(|_| ops::all_reduce(per_bucket)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{CycleModel, FreqMhz, OpClass};
+
+    fn cfg() -> NpuConfig {
+        NpuConfig::ascend_like()
+    }
+
+    fn dims() -> TransformerDims {
+        TransformerDims {
+            hidden: 1024,
+            ffn: 4096,
+            heads: 16,
+            seq: 512,
+            batch: 8,
+            tp: 1,
+        }
+    }
+
+    fn tp_dims() -> TransformerDims {
+        TransformerDims { tp: 4, ..dims() }
+    }
+
+    fn total_time(cfg: &NpuConfig, ops: &[OpDescriptor]) -> f64 {
+        let f = FreqMhz::new(1800);
+        ops.iter().map(|o| CycleModel::new(o, cfg).time_us(f)).sum()
+    }
+
+    #[test]
+    fn forward_has_expected_mix() {
+        let fwd = layer_forward(&cfg(), &dims());
+        let matmuls = fwd.iter().filter(|o| o.name().contains("MatMul")).count();
+        assert_eq!(matmuls, 6);
+        assert!(fwd.iter().any(|o| o.name() == "Gelu"));
+        assert!(fwd.iter().any(|o| o.name() == "SoftmaxV2"));
+        assert_eq!(fwd.iter().filter(|o| o.name() == "LayerNorm").count(), 2);
+        // No collectives without tensor parallelism.
+        assert!(!fwd.iter().any(|o| o.class() == OpClass::Communication));
+    }
+
+    #[test]
+    fn tensor_parallel_inserts_allreduces() {
+        let cfg = cfg();
+        let fwd = layer_forward(&cfg, &tp_dims());
+        let comms = fwd.iter().filter(|o| o.class() == OpClass::Communication).count();
+        assert_eq!(comms, 2, "one per row-parallel GEMM");
+        let bwd = layer_backward(&cfg, &tp_dims());
+        let comms = bwd.iter().filter(|o| o.class() == OpClass::Communication).count();
+        assert_eq!(comms, 2);
+    }
+
+    #[test]
+    fn tensor_parallel_shrinks_compute_not_comm() {
+        let cfg = cfg();
+        let full = layer_forward(&cfg, &dims());
+        let shard = layer_forward(&cfg, &tp_dims());
+        let full_compute: f64 = total_time(
+            &cfg,
+            &full.iter().filter(|o| o.class() == OpClass::Compute).cloned().collect::<Vec<_>>(),
+        );
+        let shard_compute: f64 = total_time(
+            &cfg,
+            &shard.iter().filter(|o| o.class() == OpClass::Compute).cloned().collect::<Vec<_>>(),
+        );
+        assert!(
+            shard_compute < 0.55 * full_compute,
+            "TP-4 compute {shard_compute:.0} µs vs full {full_compute:.0} µs"
+        );
+    }
+
+    #[test]
+    fn backward_is_heavier_than_forward() {
+        let cfg = cfg();
+        let d = dims();
+        let fwd = total_time(&cfg, &layer_forward(&cfg, &d));
+        let bwd = total_time(&cfg, &layer_backward(&cfg, &d));
+        assert!(
+            bwd > 1.5 * fwd,
+            "backward ({bwd:.0} µs) should be ~2× forward ({fwd:.0} µs)"
+        );
+    }
+
+    #[test]
+    fn sharded_tails_shrink_proportionally() {
+        let cfg = cfg();
+        let d = dims();
+        let full: f64 = allreduce_tail(&d, 24, 8, 1)
+            .iter()
+            .map(npu_sim::OpDescriptor::host_duration)
+            .sum();
+        let sharded: f64 = allreduce_tail(&d, 24, 8, 4)
+            .iter()
+            .map(npu_sim::OpDescriptor::host_duration)
+            .sum();
+        assert!((full / sharded - 4.0).abs() < 1e-9);
+        let adam_full = &optimizer_tail(&cfg, &d, 1, 1)[0];
+        let adam_shard = &optimizer_tail(&cfg, &d, 1, 4)[0];
+        assert!(adam_full.total_traffic_bytes() > 3.0 * adam_shard.total_traffic_bytes());
+    }
+
+    #[test]
+    fn layer_params_formula() {
+        let d = dims();
+        assert_eq!(
+            layer_params(&d),
+            1024 * 3072 + 1024 * 1024 + 2 * 1024 * 4096
+        );
+        assert_eq!(layer_params(&tp_dims()), layer_params(&d) / 4);
+    }
+
+    #[test]
+    fn optimizer_tail_is_memory_bound_updates() {
+        let tail = optimizer_tail(&cfg(), &dims(), 24, 1);
+        let adams = tail.iter().filter(|o| o.name() == "ApplyAdamW").count();
+        assert_eq!(adams, 24);
+        assert!(tail.iter().any(|o| o.class() == OpClass::AiCpu));
+    }
+
+    #[test]
+    fn allreduce_tail_total_volume() {
+        let d = dims();
+        let tail = allreduce_tail(&d, 24, 8, 1);
+        assert_eq!(tail.len(), 8);
+        let total: f64 = tail.iter().map(npu_sim::OpDescriptor::host_duration).sum();
+        let expect =
+            2.0 * (layer_params(&d) * 24) as f64 * ops::DTYPE_BYTES / ops::COMM_BW_BYTES_PER_US;
+        assert!((total - expect).abs() / expect < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: run one end-to-end energy optimization on a small workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The flow is the paper's Fig. 1: profile the workload at two
+//! frequencies, build per-operator performance and power models, search a
+//! DVFS strategy with the genetic algorithm, execute it with `SetFreq`
+//! operators, and compare measured power/performance against baseline.
+
+use dvfs_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated Ascend-class NPU (24 AICores, 1000–1800 MHz band).
+    let cfg = NpuConfig::ascend_like();
+
+    // A ~1 ms mixed workload: one transformer layer forward+backward plus
+    // host-side ops, communication, and an optimizer step.
+    let workload = models::tiny(&cfg);
+    println!(
+        "workload: {} ({} operators)",
+        workload.name(),
+        workload.op_count()
+    );
+
+    // Offline calibration (idle power at two frequencies, cool-down γ fit,
+    // equilibrium-temperature k fit) happens once per device.
+    let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
+    println!(
+        "calibrated: gamma_AICore = {:.3} W/(K·V), k = {:.3} °C/W",
+        optimizer.calibration().gamma_aicore,
+        optimizer.calibration().thermal.k_c_per_w
+    );
+
+    // Generate and execute a DVFS strategy targeting ≤2 % performance loss.
+    let mut opts = OptimizerConfig::default().with_fai_us(30.0);
+    opts.ga = GaConfig::default().with_population(60).with_iterations(150);
+    let report = optimizer.optimize(&workload, &opts)?;
+    println!("{report}");
+    Ok(())
+}
