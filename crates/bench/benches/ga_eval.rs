@@ -3,13 +3,23 @@
 //! evaluates a GPT-3 policy "in just milliseconds" and 20,000 strategies
 //! within 5 minutes; a model-free approach would manage ~30 in the same
 //! time).
+//!
+//! Besides the criterion groups, this bench self-times the three
+//! evaluation paths over an identical GA-like genome stream — full
+//! re-evaluation, incremental re-evaluation, and the parallel memoized
+//! engine — and writes the measured policies/sec to
+//! `BENCH_ga_eval.json` at the workspace root so CI and EXPERIMENTS.md
+//! can consume the numbers without scraping bench output.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use npu_bench::{build_models, steady_profiles};
-use npu_dvfs::{preprocess::preprocess, search, GaConfig, StageTable};
+use npu_dvfs::{
+    preprocess::preprocess, score, search, EvalEngine, GaConfig, IncrementalEval, StageTable,
+};
 use npu_perf_model::FitFunction;
 use npu_sim::{Device, NpuConfig};
 use npu_workloads::models;
+use std::time::Instant;
 
 fn gpt3_table() -> StageTable {
     let cfg = NpuConfig::ascend_like();
@@ -21,14 +31,158 @@ fn gpt3_table() -> StageTable {
     StageTable::build(&pre, &perf, &power, &cfg.freq_table).expect("table")
 }
 
+/// A GA-like genome stream: each genome is the previous one with 1–3
+/// point mutations (what crossover offspring look like gene-wise), from
+/// a deterministic LCG so every evaluation path sees identical work.
+fn genome_stream(table: &StageTable, len: usize) -> Vec<Vec<usize>> {
+    let (n, m) = (table.n_stages(), table.n_freqs());
+    let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+    let mut step = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut genes = vec![m - 1; n];
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        for _ in 0..1 + step() % 3 {
+            let s = step() % n;
+            genes[s] = step() % m;
+        }
+        out.push(genes.clone());
+    }
+    out
+}
+
+/// Policies/sec of one evaluation mode over the shared genome stream.
+fn time_policies_per_sec(total_policies: usize, f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    total_policies as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Self-timed comparison of the three evaluation paths; returns JSON.
+fn measure_eval_modes(table: &StageTable) -> String {
+    let smoke = std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1");
+    let stream_len = if smoke { 200 } else { 20_000 };
+    let stream = genome_stream(table, stream_len);
+    let baseline_time = table.baseline().time_us;
+    let target = 0.02;
+
+    // Full pass: what every individual cost before the engine.
+    let mut sink = 0.0_f64;
+    let full = time_policies_per_sec(stream.len(), || {
+        for g in &stream {
+            sink += score(&table.evaluate(g), baseline_time, target);
+        }
+    });
+
+    // Incremental: one evaluator repositioned per genome.
+    let incremental = time_policies_per_sec(stream.len(), || {
+        let mut inc = IncrementalEval::new(table, &stream[0]);
+        for g in &stream {
+            inc.assign(g);
+            sink += score(&inc.eval(), baseline_time, target);
+        }
+    });
+
+    // Engine (memo + incremental + worker pool), fed generation-sized
+    // batches as the GA does.
+    let engine_pps = time_policies_per_sec(stream.len(), || {
+        let mut engine = EvalEngine::new(table, baseline_time, target, 0);
+        for generation in stream.chunks(200) {
+            sink += engine.score_population(generation).iter().sum::<f64>();
+        }
+    });
+    criterion::black_box(sink);
+
+    // End-to-end GA throughput (evaluations/sec including selection,
+    // crossover, mutation and refinement).
+    let cfg = GaConfig::default().with_iterations(if smoke { 2 } else { 50 });
+    let start = Instant::now();
+    let outcome = search(table, &cfg);
+    let ga_secs = start.elapsed().as_secs_f64();
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"ga_eval\",\n",
+            "  \"workload\": \"gpt3\",\n",
+            "  \"n_stages\": {},\n",
+            "  \"n_freqs\": {},\n",
+            "  \"stream_len\": {},\n",
+            "  \"full_policies_per_sec\": {:.1},\n",
+            "  \"incremental_policies_per_sec\": {:.1},\n",
+            "  \"engine_policies_per_sec\": {:.1},\n",
+            "  \"incremental_speedup\": {:.2},\n",
+            "  \"engine_speedup\": {:.2},\n",
+            "  \"ga_search_evaluations\": {},\n",
+            "  \"ga_search_unique_evaluations\": {},\n",
+            "  \"ga_search_secs\": {:.3},\n",
+            "  \"ga_search_policies_per_sec\": {:.1}\n",
+            "}}\n"
+        ),
+        table.n_stages(),
+        table.n_freqs(),
+        stream_len,
+        full,
+        incremental,
+        engine_pps,
+        incremental / full,
+        engine_pps / full,
+        outcome.evaluations,
+        outcome.unique_evaluations,
+        ga_secs,
+        outcome.evaluations as f64 / ga_secs,
+    )
+}
+
 fn bench_ga(c: &mut Criterion) {
     let table = gpt3_table();
     let genes: Vec<usize> = (0..table.n_stages()).map(|i| i % table.n_freqs()).collect();
 
     let mut group = c.benchmark_group("policy_evaluation");
     group.throughput(Throughput::Elements(1));
-    group.bench_function("evaluate_one_gpt3_policy", |b| {
+    group.bench_function("full_evaluate_one_gpt3_policy", |b| {
         b.iter(|| table.evaluate(&genes));
+    });
+    group.bench_function("incremental_flip_and_eval", |b| {
+        let mut inc = IncrementalEval::new(&table, &genes);
+        let mut g = 0;
+        b.iter(|| {
+            g = (g + 1) % table.n_freqs();
+            inc.set_gene(0, g);
+            inc.eval()
+        });
+    });
+    group.bench_function("incremental_probe", |b| {
+        let inc = IncrementalEval::new(&table, &genes);
+        let mut g = 0;
+        b.iter(|| {
+            g = (g + 1) % table.n_freqs();
+            inc.probe(0, g)
+        });
+    });
+    group.finish();
+
+    let stream = genome_stream(&table, 512);
+    let baseline_time = table.baseline().time_us;
+    let mut group = c.benchmark_group("population_scoring");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("full_512_policies", |b| {
+        b.iter(|| {
+            stream
+                .iter()
+                .map(|g| score(&table.evaluate(g), baseline_time, 0.02))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("engine_512_policies_fresh_memo", |b| {
+        b.iter(|| {
+            let mut engine = EvalEngine::new(&table, baseline_time, 0.02, 0);
+            engine.score_population(&stream).iter().sum::<f64>()
+        });
     });
     group.finish();
 
@@ -39,6 +193,18 @@ fn bench_ga(c: &mut Criterion) {
         b.iter(|| search(&table, &cfg));
     });
     group.finish();
+
+    // Machine-readable summary at the workspace root. Smoke runs print it
+    // but leave the checked-in full-run measurement untouched.
+    let json = measure_eval_modes(&table);
+    let smoke = std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1");
+    if !smoke {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ga_eval.json");
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    print!("{json}");
 }
 
 criterion_group!(benches, bench_ga);

@@ -37,9 +37,9 @@ fn main() {
     );
     let pred_base = table.baseline();
     let report = |label: &str,
-                      strategy: &npu_dvfs::DvfsStrategy,
-                      predicted: &npu_dvfs::Evaluation,
-                      dev: &mut Device| {
+                  strategy: &npu_dvfs::DvfsStrategy,
+                  predicted: &npu_dvfs::Evaluation,
+                  dev: &mut Device| {
         let exec = execute_strategy(
             dev,
             workload.schedule(),
@@ -60,7 +60,12 @@ fn main() {
     };
 
     let prog = program_level(&table, target);
-    report("program-level (refs 2-15)", &prog.strategy, &prog.eval, &mut dev);
+    report(
+        "program-level (refs 2-15)",
+        &prog.strategy,
+        &prog.eval,
+        &mut dev,
+    );
 
     for phases in [4usize, 16, 64] {
         let ph = phase_level(&table, phases, target);
@@ -73,7 +78,12 @@ fn main() {
     }
 
     let ga = search(&table, &GaConfig::default().with_loss_target(target));
-    report("operator-level (this work)", &ga.strategy, &ga.best_eval, &mut dev);
+    report(
+        "operator-level (this work)",
+        &ga.strategy,
+        &ga.best_eval,
+        &mut dev,
+    );
 
     println!("\n# expectation: finer granularity saves more power inside the same");
     println!("# loss budget — the case for millisecond-level DVFS control.");

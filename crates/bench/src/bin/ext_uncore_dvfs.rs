@@ -31,7 +31,10 @@ fn main() {
         .run(workload.schedule(), &RunOptions::at(FreqMhz::new(1800)))
         .expect("baseline");
 
-    println!("# GPT-3 joint static (core, uncore) sweep; baseline SoC {:.2} W", base.avg_soc_w());
+    println!(
+        "# GPT-3 joint static (core, uncore) sweep; baseline SoC {:.2} W",
+        base.avg_soc_w()
+    );
     println!(
         "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "core", "uncore", "loss%", "SoC_W", "SoC_red%", "AIC_red%"

@@ -30,5 +30,7 @@ fn main() {
         let c = model.cycles_at(f64::from(mhz));
         println!("{:>8} {:>16.0} {:>12.1}", mhz, c, c / f64::from(mhz));
     }
-    println!("\n# shape check: cycles flat (core-limited) below f_s, rising (uncore-saturated) above");
+    println!(
+        "\n# shape check: cycles flat (core-limited) below f_s, rising (uncore-saturated) above"
+    );
 }

@@ -8,7 +8,11 @@ fn main() {
     println!("# Fig 9: voltage vs frequency");
     println!("{:>8} {:>10}", "f_MHz", "V_mV");
     for f in cfg.freq_table.iter() {
-        println!("{:>8} {:>10.0}", f.mhz(), 1000.0 * cfg.voltage_curve.volts(f));
+        println!(
+            "{:>8} {:>10.0}",
+            f.mhz(),
+            1000.0 * cfg.voltage_curve.volts(f)
+        );
     }
     println!(
         "# knee at {} (flat below, +{:.1} mV per 100 MHz above)",

@@ -12,14 +12,26 @@ use npu_workloads::ops;
 fn main() {
     let cfg = NpuConfig::ascend_like();
     let operators = vec![
-        ("MatMul", ops::matmul(&cfg, "MatMul", 4096, 4096, 4096, 0.55)),
-        ("Conv2D", ops::conv2d(&cfg, "Conv2D", 256, 256, 28, 28, 256, 3, 1, 0.4)),
+        (
+            "MatMul",
+            ops::matmul(&cfg, "MatMul", 4096, 4096, 4096, 0.55),
+        ),
+        (
+            "Conv2D",
+            ops::conv2d(&cfg, "Conv2D", 256, 256, 28, 28, 256, 3, 1, 0.4),
+        ),
         ("Gelu", ops::gelu(&cfg, 128 << 20)),
         ("SoftmaxV2", ops::softmax(&cfg, 16384, 2048)),
-        ("ApplyAdamW", ops::adam_update(&cfg, "ApplyAdamW", 200_000_000)),
+        (
+            "ApplyAdamW",
+            ops::adam_update(&cfg, "ApplyAdamW", 200_000_000),
+        ),
     ];
     println!("# Fig 10: equilibrium temperature vs SoC power, one line per operator");
-    println!("{:>12} {:>8} {:>10} {:>8}", "operator", "f_MHz", "P_soc_W", "T_C");
+    println!(
+        "{:>12} {:>8} {:>10} {:>8}",
+        "operator", "f_MHz", "P_soc_W", "T_C"
+    );
     let mut all_points = Vec::new();
     for (name, op) in operators {
         let schedule = Schedule::new(vec![op; 8]);

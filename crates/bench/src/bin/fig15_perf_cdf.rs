@@ -17,7 +17,10 @@ fn main() {
     let cfg = NpuConfig::ascend_like();
     let suite = models::perf_model_suite(&cfg);
     let total_ops: usize = suite.iter().map(npu_workloads::Workload::op_count).sum();
-    println!("# Fig 15: perf-model error CDF over {} models, {total_ops} operators", suite.len());
+    println!(
+        "# Fig 15: perf-model error CDF over {} models, {total_ops} operators",
+        suite.len()
+    );
 
     let mut errors_per_fn: Vec<(FitFunction, Vec<f64>)> = FitFunction::all()
         .into_iter()

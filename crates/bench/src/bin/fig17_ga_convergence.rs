@@ -43,15 +43,21 @@ fn main() {
             .position(|&s| s >= goal)
             .unwrap_or(out.score_trace.len());
         println!(
-            "# target {:>4.0}%: best score {:.5e}, converged @ iter {conv}, {} evals in {wall:?}",
+            "# target {:>4.0}%: best score {:.5e}, converged @ iter {conv}, \
+             {} evals ({} unique, {:.1}% memoized) in {wall:?}",
             100.0 * t,
             out.best_score,
-            out.evaluations
+            out.evaluations,
+            out.unique_evaluations,
+            100.0 * (1.0 - out.unique_evaluations as f64 / out.evaluations.max(1) as f64),
         );
         traces.push(out.score_trace);
     }
 
-    println!("\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}", "iter", "2%", "4%", "6%", "8%", "10%");
+    println!(
+        "\n{:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "iter", "2%", "4%", "6%", "8%", "10%"
+    );
     for i in (0..600).step_by(25) {
         print!("{i:>6}");
         for tr in &traces {

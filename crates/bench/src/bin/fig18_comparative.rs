@@ -54,7 +54,11 @@ fn main() {
         ..OptimizerConfig::default()
     };
     run("15ms delay", slow.clone(), opts);
-    run("1ms @10%", cfg.clone(), OptimizerConfig::default().with_loss_target(0.10));
+    run(
+        "1ms @10%",
+        cfg.clone(),
+        OptimizerConfig::default().with_loss_target(0.10),
+    );
     let opts10 = OptimizerConfig {
         planned_latency_us: Some(1_000.0),
         ..OptimizerConfig::default()

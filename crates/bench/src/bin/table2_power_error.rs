@@ -31,7 +31,10 @@ fn main() {
     let mut all_errors = Vec::new();
     let mut all_errors_blind = Vec::new();
     println!("# Table 2: power-model error, build @1000+1800 MHz, holdout @{holdout_mhz:?}");
-    println!("{:<20} {:>10} {:>12} {:>12}", "workload", "points", "avg_err%", "avg_noT%");
+    println!(
+        "{:<20} {:>10} {:>12} {:>12}",
+        "workload", "points", "avg_err%", "avg_noT%"
+    );
     for workload in &subjects {
         let mut dev = Device::new(cfg.clone());
         let mut freqs = vec![1000, 1800];

@@ -21,20 +21,94 @@ fn main() {
 
     let gpt3 = models::gpt3(&cfg);
     let rows: Vec<(npu_workloads::Workload, f64, PaperRow)> = vec![
-        (gpt3.clone(), 0.02, PaperRow { loss: 1.59, soc_red: 5.56, aicore_red: 15.27 }),
-        (gpt3.clone(), 0.04, PaperRow { loss: 3.28, soc_red: 6.98, aicore_red: 20.25 }),
-        (gpt3.clone(), 0.06, PaperRow { loss: 4.96, soc_red: 9.35, aicore_red: 25.68 }),
-        (gpt3.clone(), 0.08, PaperRow { loss: 7.17, soc_red: 10.65, aicore_red: 29.77 }),
-        (gpt3, 0.10, PaperRow { loss: 8.59, soc_red: 11.97, aicore_red: 32.01 }),
-        (models::bert(&cfg), 0.02, PaperRow { loss: 1.78, soc_red: 6.61, aicore_red: 17.08 }),
-        (models::resnet50(&cfg), 0.02, PaperRow { loss: 1.80, soc_red: 3.44, aicore_red: 11.05 }),
-        (models::resnet152(&cfg), 0.02, PaperRow { loss: 1.88, soc_red: 4.20, aicore_red: 10.37 }),
+        (
+            gpt3.clone(),
+            0.02,
+            PaperRow {
+                loss: 1.59,
+                soc_red: 5.56,
+                aicore_red: 15.27,
+            },
+        ),
+        (
+            gpt3.clone(),
+            0.04,
+            PaperRow {
+                loss: 3.28,
+                soc_red: 6.98,
+                aicore_red: 20.25,
+            },
+        ),
+        (
+            gpt3.clone(),
+            0.06,
+            PaperRow {
+                loss: 4.96,
+                soc_red: 9.35,
+                aicore_red: 25.68,
+            },
+        ),
+        (
+            gpt3.clone(),
+            0.08,
+            PaperRow {
+                loss: 7.17,
+                soc_red: 10.65,
+                aicore_red: 29.77,
+            },
+        ),
+        (
+            gpt3,
+            0.10,
+            PaperRow {
+                loss: 8.59,
+                soc_red: 11.97,
+                aicore_red: 32.01,
+            },
+        ),
+        (
+            models::bert(&cfg),
+            0.02,
+            PaperRow {
+                loss: 1.78,
+                soc_red: 6.61,
+                aicore_red: 17.08,
+            },
+        ),
+        (
+            models::resnet50(&cfg),
+            0.02,
+            PaperRow {
+                loss: 1.80,
+                soc_red: 3.44,
+                aicore_red: 11.05,
+            },
+        ),
+        (
+            models::resnet152(&cfg),
+            0.02,
+            PaperRow {
+                loss: 1.88,
+                soc_red: 4.20,
+                aicore_red: 10.37,
+            },
+        ),
     ];
 
     println!(
         "{:<10} {:>6} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8} | {:>8}",
-        "model", "target", "base_s", "dvfs_s", "loss%",
-        "SoC_W", "dvfsW", "red%", "AIC_W", "dvfsW", "red%", "SetFreq"
+        "model",
+        "target",
+        "base_s",
+        "dvfs_s",
+        "loss%",
+        "SoC_W",
+        "dvfsW",
+        "red%",
+        "AIC_W",
+        "dvfsW",
+        "red%",
+        "SetFreq"
     );
     let mut summary = Vec::new();
     for (workload, target, paper) in rows {

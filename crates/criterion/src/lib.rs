@@ -1,0 +1,303 @@
+//! Offline vendored stand-in for the subset of `criterion` this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `sample_size`/`throughput`, `bench_function`,
+//! `bench_with_input`, and `Bencher::iter`.
+//!
+//! The build container has no crates.io access, so the real `criterion`
+//! cannot be fetched. This harness measures wall-clock time with
+//! `std::time::Instant` (warm-up, then fixed-count samples of batched
+//! iterations) and prints median/mean per-iteration time plus optional
+//! throughput. It has none of criterion's statistics (no outlier
+//! analysis, no HTML reports), which is enough for the timing *claims*
+//! the benches document.
+//!
+//! Environment knobs:
+//! * `CRITERION_SMOKE=1` — one sample of one iteration per bench (CI
+//!   smoke mode used by `scripts/check.sh`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation: per-iteration work, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher);
+        report(&self.name, &id, &bencher.samples_ns, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark routine with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher, input);
+        report(&self.name, &id, &bencher.samples_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to bench routines.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+/// True when `CRITERION_SMOKE=1`: run each routine once, for CI.
+fn smoke_mode() -> bool {
+    std::env::var("CRITERION_SMOKE").is_ok_and(|v| v == "1")
+}
+
+impl Bencher {
+    /// Times `routine`, recording per-iteration wall-clock samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if smoke_mode() {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples_ns = vec![start.elapsed().as_nanos() as f64];
+            return;
+        }
+        // Warm-up: at least 3 iterations or 50 ms, whichever is longer.
+        let warmup = Duration::from_millis(50);
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || start.elapsed() < warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+
+        // Batch iterations so each sample is ≳2 ms, and cap the total
+        // measured time near 3 s for slow routines.
+        let iters_per_sample = ((2e6 / est_ns).round() as u64).max(1);
+        let budget = Duration::from_secs(3);
+        let measure_start = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for i in 0..self.sample_size {
+            let s = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(s.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if measure_start.elapsed() > budget && i + 1 >= 5 {
+                break;
+            }
+        }
+        self.samples_ns = samples;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}/s", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}/s", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.2} {unit}/s")
+    }
+}
+
+fn report(group: &str, id: &str, samples_ns: &[f64], throughput: Option<Throughput>) {
+    if samples_ns.is_empty() {
+        println!("{group}/{id}: no samples (routine never called Bencher::iter)");
+        return;
+    }
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}", fmt_rate(n as f64 * 1e9 / median, "elem"))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}", fmt_rate(n as f64 * 1e9 / median, "B"))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{group}/{id}: time [{} {} {}] median {} ({} samples){thrpt}",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        fmt_ns(median),
+        sorted.len(),
+    );
+}
+
+/// Declares a function that runs a list of bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routine(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(4));
+        group.sample_size(5);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..4u64).map(black_box).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("k3"), &3u64, |b, &k| {
+            b.iter(|| k * 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, routine);
+
+    #[test]
+    fn harness_runs() {
+        std::env::set_var("CRITERION_SMOKE", "1");
+        benches();
+    }
+}

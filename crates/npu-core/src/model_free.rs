@@ -11,7 +11,7 @@
 //! [`npu_dvfs::search`], measured scoring, a virtual-time budget) so the
 //! comparison can be run end to end.
 
-use npu_dvfs::{score, DvfsStrategy, Evaluation, Preprocessed};
+use npu_dvfs::{score, DvfsStrategy, Evaluation, Preprocessed, RouletteWheel};
 use npu_exec::{execute_strategy, ExecError, ExecutorOptions};
 use npu_sim::{Device, FreqMhz, OpRecord, Schedule};
 use rand::rngs::SmallRng;
@@ -128,10 +128,8 @@ pub fn model_free_search(
             if outcome.virtual_cost_us >= cfg.budget_virtual_us {
                 break 'outer;
             }
-            let strategy = DvfsStrategy::new(
-                stages.clone(),
-                genes.iter().map(|&g| freqs[g]).collect(),
-            );
+            let strategy =
+                DvfsStrategy::new(stages.clone(), genes.iter().map(|&g| freqs[g]).collect());
             let exec = execute_strategy(
                 dev,
                 schedule,
@@ -156,19 +154,15 @@ pub fn model_free_search(
         }
 
         // Next generation (roulette + last-k crossover + point mutation).
-        let total: f64 = scores.iter().filter(|s| s.is_finite()).sum();
+        // The wheel handles non-finite/non-positive scores and draws in
+        // O(log population); an empty score list (budget exhausted before
+        // the first evaluation this generation) falls back to uniform.
+        let wheel = RouletteWheel::new(&scores);
         let pick = |rng: &mut SmallRng| -> usize {
-            if total <= 0.0 || scores.is_empty() {
+            if wheel.is_empty() {
                 return rng.gen_range(0..population.len());
             }
-            let mut ticket = rng.gen::<f64>() * total;
-            for (i, &s) in scores.iter().enumerate() {
-                ticket -= s;
-                if ticket <= 0.0 {
-                    return i;
-                }
-            }
-            scores.len() - 1
+            wheel.sample(rng)
         };
         let mut next = Vec::with_capacity(cfg.population);
         // Elitism on the best-so-far genes.
@@ -226,8 +220,7 @@ mod tests {
             budget_virtual_us: 30_000.0, // ~30 iterations of the tiny workload
             ..ModelFreeConfig::default()
         };
-        let out =
-            model_free_search(&mut dev, w.schedule(), &base.records, &pre, &mf_cfg).unwrap();
+        let out = model_free_search(&mut dev, w.schedule(), &base.records, &pre, &mf_cfg).unwrap();
         assert!(out.evaluations > 0);
         // One evaluation may straddle the budget edge, no more.
         assert!(out.virtual_cost_us <= 30_000.0 + 2.0 * base.duration_us);
@@ -248,8 +241,7 @@ mod tests {
             budget_virtual_us: 400.0 * base.duration_us,
             ..ModelFreeConfig::default()
         };
-        let out =
-            model_free_search(&mut dev, w.schedule(), &base.records, &pre, &mf_cfg).unwrap();
+        let out = model_free_search(&mut dev, w.schedule(), &base.records, &pre, &mf_cfg).unwrap();
         let base_power = base.avg_aicore_w();
         assert!(
             out.best_eval.aicore_w() < base_power,

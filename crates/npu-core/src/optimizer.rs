@@ -57,6 +57,14 @@ impl OptimizerConfig {
         self.fai_us = fai;
         self
     }
+
+    /// Sets the GA scoring worker count (`0` = auto-detect), chainable.
+    /// Thread count changes wall time only, never the outcome.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.ga.threads = threads;
+        self
+    }
 }
 
 /// Errors from the end-to-end flow.
@@ -224,7 +232,9 @@ impl EnergyOptimizer {
             // recording, as the paper does ("once stable training is
             // achieved"): each frequency's power data must carry its own
             // equilibrium temperature, not the previous run's heat.
-            let _ = self.dev.warm_until_steady(schedule, freq, 0.2, 12.0 * tau)?;
+            let _ = self
+                .dev
+                .warm_until_steady(schedule, freq, 0.2, 12.0 * tau)?;
             let run = self.dev.run(schedule, &RunOptions::at(freq))?;
             profiles.push(FreqProfile {
                 freq,
@@ -373,7 +383,10 @@ mod tests {
 
     #[test]
     fn saves_aicore_power_on_memory_heavy_workload() {
-        let cfg = NpuConfig::builder().noise(0.003, 0.003, 0.1).build().unwrap();
+        let cfg = NpuConfig::builder()
+            .noise(0.003, 0.003, 0.1)
+            .build()
+            .unwrap();
         // A workload dominated by memory-bound ops has big LFC headroom.
         let w = models::tanh_loop(&cfg, 120);
         let mut opt = fast_optimizer(&cfg);
@@ -402,8 +415,10 @@ mod tests {
     fn config_chaining() {
         let o = OptimizerConfig::default()
             .with_loss_target(0.06)
-            .with_fai_us(100_000.0);
+            .with_fai_us(100_000.0)
+            .with_threads(3);
         assert_eq!(o.ga.perf_loss_target, 0.06);
         assert_eq!(o.fai_us, 100_000.0);
+        assert_eq!(o.ga.threads, 3);
     }
 }

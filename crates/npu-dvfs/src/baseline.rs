@@ -9,6 +9,7 @@
 //! operator-level search quantifies the benefit of millisecond DVFS, the
 //! paper's core motivation.
 
+use crate::engine::IncrementalEval;
 use crate::strategy::{DvfsStrategy, Evaluation, StageTable};
 use npu_sim::FreqMhz;
 
@@ -74,11 +75,7 @@ pub fn program_level(table: &StageTable, perf_loss_target: f64) -> BaselineOutco
 ///
 /// Panics if `n_phases == 0` or the table has no frequency points.
 #[must_use]
-pub fn phase_level(
-    table: &StageTable,
-    n_phases: usize,
-    perf_loss_target: f64,
-) -> BaselineOutcome {
+pub fn phase_level(table: &StageTable, n_phases: usize, perf_loss_target: f64) -> BaselineOutcome {
     assert!(n_phases >= 1, "need at least one phase");
     assert!(table.n_freqs() >= 1);
     let n = table.n_stages();
@@ -103,10 +100,12 @@ pub fn phase_level(
 
     let budget = table.baseline().time_us * (1.0 + perf_loss_target) + 1e-9;
     let mut phase_gene = vec![max_gene; n_phases];
-    let genes_for = |pg: &[usize]| -> Vec<usize> {
-        (0..n).map(|i| pg[phase_of[i]]).collect()
-    };
-    let mut current = table.evaluate(&genes_for(&phase_gene));
+    let genes_for = |pg: &[usize]| -> Vec<usize> { (0..n).map(|i| pg[phase_of[i]]).collect() };
+    // A scratch incremental evaluator hops between trial genomes,
+    // re-summing only the stages of the downclocked phase; its results
+    // are bit-identical to full `evaluate` calls.
+    let mut scratch = IncrementalEval::new(table, &genes_for(&phase_gene));
+    let mut current = scratch.eval();
     loop {
         let mut best_move: Option<(usize, Evaluation, f64)> = None;
         for p in 0..n_phases {
@@ -115,7 +114,8 @@ pub fn phase_level(
             }
             let mut trial = phase_gene.clone();
             trial[p] -= 1;
-            let eval = table.evaluate(&genes_for(&trial));
+            scratch.assign(&genes_for(&trial));
+            let eval = scratch.eval();
             if eval.time_us > budget {
                 continue;
             }
@@ -174,7 +174,11 @@ mod tests {
             let mut srow = Vec::new();
             for &f in &freqs {
                 let x = f.as_f64() / 1800.0;
-                let t = if mem { dur * (1.02 - 0.02 * x) } else { dur / x };
+                let t = if mem {
+                    dur * (1.02 - 0.02 * x)
+                } else {
+                    dur / x
+                };
                 let p = 12.0 + 30.0 * x * x;
                 trow.push(t);
                 arow.push(p * t);
@@ -229,7 +233,10 @@ mod tests {
         let t = table(16);
         let target = 0.02;
         let phase = phase_level(&t, 4, target);
-        let ga = search(&t, &GaConfig::default().with_population(60).with_iterations(150));
+        let ga = search(
+            &t,
+            &GaConfig::default().with_population(60).with_iterations(150),
+        );
         assert!(
             ga.best_eval.aicore_w() < phase.eval.aicore_w() - 1e-9,
             "GA {} vs phase {}",
@@ -252,14 +259,8 @@ mod tests {
 
     #[test]
     fn empty_table_is_empty_strategy() {
-        let t = StageTable::from_parts(
-            vec![FreqMhz::new(1800)],
-            vec![],
-            vec![],
-            vec![],
-            vec![],
-        )
-        .unwrap();
+        let t = StageTable::from_parts(vec![FreqMhz::new(1800)], vec![], vec![], vec![], vec![])
+            .unwrap();
         let out = phase_level(&t, 4, 0.02);
         assert!(out.strategy.is_empty());
     }

@@ -199,7 +199,10 @@ mod tests {
             sensitivity(Bottleneck::Host(OpClass::AiCpu)),
             Sensitivity::Insensitive
         );
-        assert_eq!(sensitivity(Bottleneck::NoPipeline), Sensitivity::Insensitive);
+        assert_eq!(
+            sensitivity(Bottleneck::NoPipeline),
+            Sensitivity::Insensitive
+        );
     }
 
     #[test]

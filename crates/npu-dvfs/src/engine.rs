@@ -1,0 +1,592 @@
+//! Parallel + incremental strategy-evaluation engine for the GA search.
+//!
+//! Scoring dominates GA wall time: the paper's configuration evaluates
+//! 200 individuals × 600 generations, and every candidate move of the
+//! memetic refinement is another evaluation. Three observations make the
+//! hot loop cheap without changing any result:
+//!
+//! 1. **Incrementality.** An evaluation is a sum of per-stage cells plus
+//!    a thermal fix point on the totals. [`IncrementalEval`] keeps the
+//!    per-stage cells in a fixed-topology pairwise summation tree
+//!    (leaves padded with zeros to a power of two), so changing one gene
+//!    updates O(log n) tree nodes instead of re-summing n stages — and,
+//!    because [`crate::StageTable::evaluate`] reduces over the *same*
+//!    tree shape, the root sums are **bit-identical** to a fresh full
+//!    pass after any sequence of gene flips (`x + 0.0` is exact, and
+//!    both paths perform the identical `left + right` additions).
+//! 2. **Purity.** Scoring uses no RNG — it is a pure function of the
+//!    genome — so a generation can be scored on any number of threads in
+//!    any order and the scores are identical. [`EvalEngine`] fans a
+//!    population out over `std::thread::scope` workers that write
+//!    results by index; the GA's RNG stream stays sequential and never
+//!    observes thread count.
+//! 3. **Redundancy.** Elitism, crossover between similar parents and
+//!    seeded individuals make duplicate genomes common. [`EvalEngine`]
+//!    memoizes score by genome and evaluates only first occurrences.
+//!
+//! [`RouletteWheel`] replaces the O(population) linear selection scan
+//! with a prefix-sum + binary-search sampler.
+
+use crate::ga::score;
+use crate::strategy::{Evaluation, StageTable, Sums};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::thread;
+
+/// Incremental evaluator over one genome: a segment tree of per-stage
+/// [`Sums`] whose root feeds the thermal fix point. Re-scoring after `k`
+/// gene changes costs O(k·log n) instead of O(n).
+///
+/// The tree topology (leaves padded to `n.next_power_of_two()`, parent =
+/// `left + right`) exactly mirrors [`StageTable::evaluate`], so
+/// [`Self::eval`] is bit-identical to a fresh full evaluation of the
+/// current genome, regardless of the update history.
+#[derive(Debug, Clone)]
+pub struct IncrementalEval<'t> {
+    table: &'t StageTable,
+    genes: Vec<usize>,
+    /// Leaf count: `n_stages.next_power_of_two()` (1 when empty).
+    n_pad: usize,
+    /// Heap-ordered tree, `2 * n_pad` nodes; root at index 1, leaf `i` at
+    /// `n_pad + i`. Padding leaves stay [`Sums::ZERO`] forever.
+    nodes: Vec<Sums>,
+}
+
+impl<'t> IncrementalEval<'t> {
+    /// Builds the evaluator positioned at `genes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len() != table.n_stages()` or a gene is out of
+    /// range.
+    #[must_use]
+    pub fn new(table: &'t StageTable, genes: &[usize]) -> Self {
+        assert_eq!(
+            genes.len(),
+            table.n_stages(),
+            "gene count must match stages"
+        );
+        let n = genes.len();
+        let n_pad = n.next_power_of_two(); // 0usize -> 1
+        let mut nodes = vec![Sums::ZERO; 2 * n_pad];
+        for (i, &g) in genes.iter().enumerate() {
+            nodes[n_pad + i] = table.cell(i, g);
+        }
+        for i in (1..n_pad).rev() {
+            nodes[i] = Sums::add(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        Self {
+            table,
+            genes: genes.to_vec(),
+            n_pad,
+            nodes,
+        }
+    }
+
+    /// The current genome.
+    #[must_use]
+    pub fn genes(&self) -> &[usize] {
+        &self.genes
+    }
+
+    /// The table this evaluator reads from.
+    #[must_use]
+    pub fn table(&self) -> &'t StageTable {
+        self.table
+    }
+
+    /// Sets one gene, updating O(log n) tree nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` or `gene` is out of range.
+    pub fn set_gene(&mut self, stage: usize, gene: usize) {
+        if self.genes[stage] == gene {
+            return;
+        }
+        self.genes[stage] = gene;
+        let mut idx = self.n_pad + stage;
+        self.nodes[idx] = self.table.cell(stage, gene);
+        while idx > 1 {
+            idx /= 2;
+            self.nodes[idx] = Sums::add(self.nodes[2 * idx], self.nodes[2 * idx + 1]);
+        }
+    }
+
+    /// Repositions the evaluator at `genes`, touching only the stages
+    /// that differ from the current genome. Costs O(diff · log n) — for
+    /// GA offspring (a crossover suffix plus a point mutation away from a
+    /// parent) this is far below a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len()` disagrees with the table.
+    pub fn assign(&mut self, genes: &[usize]) {
+        assert_eq!(
+            genes.len(),
+            self.genes.len(),
+            "gene count must match stages"
+        );
+        for (i, &g) in genes.iter().enumerate() {
+            if self.genes[i] != g {
+                self.set_gene(i, g);
+            }
+        }
+    }
+
+    fn root(&self) -> Sums {
+        // With n == 0, n_pad == 1 and nodes[1] is the (zero) leaf, which
+        // doubles as the root.
+        self.nodes[1]
+    }
+
+    /// Evaluates the current genome (thermal fix point included).
+    /// Bit-identical to `table.evaluate(self.genes())`.
+    #[must_use]
+    pub fn eval(&self) -> Evaluation {
+        self.table.finish_sums(self.root())
+    }
+
+    /// Evaluates a one-gene variant *without* committing it: walks the
+    /// root-to-leaf path once, combining the trial cell with the stored
+    /// sibling sums in tree order (so the result is bit-identical to
+    /// `set_gene` + `eval` + undo, at a third of the cost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` or `gene` is out of range.
+    #[must_use]
+    pub fn probe(&self, stage: usize, gene: usize) -> Evaluation {
+        if self.genes[stage] == gene {
+            return self.eval();
+        }
+        let mut acc = self.table.cell(stage, gene);
+        let mut idx = self.n_pad + stage;
+        while idx > 1 {
+            let sibling = self.nodes[idx ^ 1];
+            acc = if idx.is_multiple_of(2) {
+                Sums::add(acc, sibling)
+            } else {
+                Sums::add(sibling, acc)
+            };
+            idx /= 2;
+        }
+        self.table.finish_sums(acc)
+    }
+}
+
+/// Fewer pending genomes than this are scored inline: spawning scoped
+/// threads costs more than evaluating a handful of individuals.
+const PARALLEL_THRESHOLD: usize = 64;
+
+/// Memo entries are bounded so multi-thousand-generation searches cannot
+/// grow without limit; the map resets deterministically when full.
+const MEMO_CAP: usize = 1 << 20;
+
+/// 64-bit genome fingerprint (splitmix64 mixing per gene, order- and
+/// length-sensitive). The memo keys on this instead of the genome itself:
+/// hashing a GPT-3 genome (~1000 genes) through the default SipHash —
+/// three times per individual, plus a multi-KB clone per insert — costs
+/// more than the incremental evaluation it is meant to skip. A 64-bit
+/// fingerprint makes a false memo hit a ~2⁻⁶⁴-per-pair event
+/// (deterministic, never a cross-thread divergence) in exchange for an
+/// order-of-magnitude cheaper dedup path.
+fn fingerprint(genes: &[usize]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15_u64 ^ (genes.len() as u64);
+    for &g in genes {
+        let mut x = (g as u64)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h = h.rotate_left(5) ^ (x ^ (x >> 31));
+    }
+    h
+}
+
+/// Resolves a requested worker count: `0` means "one worker per
+/// available CPU", anything else is taken literally (min 1).
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+}
+
+/// Population scorer: memoized, incremental, optionally parallel.
+///
+/// Scores are a pure function of the genome (given the table, baseline
+/// time and loss target fixed at construction), so results are identical
+/// — bitwise — for any worker count, and duplicate genomes are served
+/// from a memo without re-evaluation.
+#[derive(Debug)]
+pub struct EvalEngine<'t> {
+    table: &'t StageTable,
+    baseline_time_us: f64,
+    perf_loss_target: f64,
+    workers: usize,
+    /// Genome-fingerprint → score memo (see [`fingerprint`]).
+    memo: HashMap<u64, f64>,
+    scored: usize,
+    unique_scored: usize,
+}
+
+impl<'t> EvalEngine<'t> {
+    /// Creates an engine. `threads == 0` auto-detects the CPU count.
+    #[must_use]
+    pub fn new(
+        table: &'t StageTable,
+        baseline_time_us: f64,
+        perf_loss_target: f64,
+        threads: usize,
+    ) -> Self {
+        Self {
+            table,
+            baseline_time_us,
+            perf_loss_target,
+            workers: resolve_threads(threads),
+            memo: HashMap::new(),
+            scored: 0,
+            unique_scored: 0,
+        }
+    }
+
+    /// Individuals scored so far, memo hits included.
+    #[must_use]
+    pub fn scored(&self) -> usize {
+        self.scored
+    }
+
+    /// Individuals actually evaluated (memo misses).
+    #[must_use]
+    pub fn unique_scored(&self) -> usize {
+        self.unique_scored
+    }
+
+    /// Scores every individual of a population. Duplicates — within the
+    /// population or across earlier calls — are evaluated once; the rest
+    /// fan out over the worker pool in deterministic index order.
+    #[must_use]
+    pub fn score_population(&mut self, population: &[Vec<usize>]) -> Vec<f64> {
+        self.scored += population.len();
+        if self.memo.len() > MEMO_CAP {
+            self.memo.clear();
+        }
+
+        // Sequential dedup pass: decide, in index order, which genomes
+        // need evaluation. `first_seen` resolves duplicates *within* this
+        // population to the first occurrence.
+        let fps: Vec<u64> = population.iter().map(|g| fingerprint(g)).collect();
+        let mut scores = vec![0.0_f64; population.len()];
+        let mut first_seen: HashMap<u64, usize> = HashMap::new();
+        let mut pending: Vec<usize> = Vec::new(); // population indices to evaluate
+        let mut copy_from: Vec<(usize, usize)> = Vec::new(); // (dst, src) within population
+        for (i, &fp) in fps.iter().enumerate() {
+            if let Some(&j) = first_seen.get(&fp) {
+                copy_from.push((i, j));
+            } else if let Some(&s) = self.memo.get(&fp) {
+                first_seen.insert(fp, i);
+                scores[i] = s;
+            } else {
+                first_seen.insert(fp, i);
+                pending.push(i);
+            }
+        }
+
+        // Evaluate the pending genomes: inline for small batches, scoped
+        // threads otherwise. Each worker owns one IncrementalEval and
+        // repositions it per genome; the tree state depends only on the
+        // current genome, so chunking cannot change any result.
+        self.unique_scored += pending.len();
+        let fresh: Vec<f64> = if pending.is_empty() {
+            Vec::new()
+        } else if self.workers <= 1 || pending.len() < PARALLEL_THRESHOLD {
+            let mut inc = IncrementalEval::new(self.table, &population[pending[0]]);
+            pending
+                .iter()
+                .map(|&i| {
+                    inc.assign(&population[i]);
+                    score(&inc.eval(), self.baseline_time_us, self.perf_loss_target)
+                })
+                .collect()
+        } else {
+            let chunk = pending.len().div_ceil(self.workers);
+            let table = self.table;
+            let (bt, lt) = (self.baseline_time_us, self.perf_loss_target);
+            thread::scope(|s| {
+                let handles: Vec<_> = pending
+                    .chunks(chunk)
+                    .map(|idxs| {
+                        s.spawn(move || {
+                            let mut inc = IncrementalEval::new(table, &population[idxs[0]]);
+                            idxs.iter()
+                                .map(|&i| {
+                                    inc.assign(&population[i]);
+                                    score(&inc.eval(), bt, lt)
+                                })
+                                .collect::<Vec<f64>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring worker panicked"))
+                    .collect()
+            })
+        };
+        for (&i, s) in pending.iter().zip(fresh) {
+            scores[i] = s;
+            self.memo.insert(fps[i], s);
+        }
+        for (dst, src) in copy_from {
+            scores[dst] = scores[src];
+        }
+        scores
+    }
+}
+
+/// Score-proportional sampler: prefix sums + binary search, O(log n) per
+/// draw instead of the O(n) linear scan. Non-finite and non-positive
+/// scores contribute zero weight; when nothing has weight the draw is
+/// uniform (matching the linear scan it replaces, one RNG draw either
+/// way).
+#[derive(Debug, Clone)]
+pub struct RouletteWheel {
+    cum: Vec<f64>,
+    total: f64,
+}
+
+impl RouletteWheel {
+    /// Builds the wheel from raw scores.
+    #[must_use]
+    pub fn new(scores: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(scores.len());
+        let mut acc = 0.0_f64;
+        for &s in scores {
+            if s.is_finite() && s > 0.0 {
+                acc += s;
+            }
+            cum.push(acc);
+        }
+        Self { cum, total: acc }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Whether the wheel has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// Draws one index with probability proportional to its score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wheel is empty.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        assert!(!self.cum.is_empty(), "cannot sample an empty wheel");
+        if self.total <= 0.0 {
+            return rng.gen_range(0..self.cum.len());
+        }
+        let ticket = rng.gen::<f64>() * self.total;
+        // First index whose cumulative weight exceeds the ticket;
+        // zero-weight entries (cum[i] == cum[i-1]) are never selected
+        // because partition_point skips past ties.
+        self.cum
+            .partition_point(|&c| c <= ticket)
+            .min(self.cum.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::{Stage, StageKind};
+    use npu_sim::FreqMhz;
+    use rand::SeedableRng;
+
+    fn table(n_stages: usize) -> StageTable {
+        let freqs: Vec<FreqMhz> = (10..=18).map(|k| FreqMhz::new(k * 100)).collect();
+        let mut stages = Vec::new();
+        let mut time = Vec::new();
+        let mut ea = Vec::new();
+        let mut es = Vec::new();
+        for i in 0..n_stages {
+            stages.push(Stage {
+                start_us: i as f64 * 100.0,
+                dur_us: 100.0,
+                op_range: i..i + 1,
+                kind: if i % 2 == 0 {
+                    StageKind::Lfc
+                } else {
+                    StageKind::Hfc
+                },
+            });
+            let mut trow = Vec::new();
+            let mut arow = Vec::new();
+            let mut srow = Vec::new();
+            for (j, &f) in freqs.iter().enumerate() {
+                let x = f.as_f64() / 1800.0;
+                // Deliberately awkward magnitudes to surface any
+                // re-association between full and incremental paths.
+                let t = 100.0 / x + (i as f64).mul_add(0.37, 0.01 * j as f64);
+                trow.push(t);
+                arow.push((12.0 + 30.0 * x * x) * t);
+                srow.push((190.0 + 25.0 * x) * t);
+            }
+            time.push(trow);
+            ea.push(arow);
+            es.push(srow);
+        }
+        StageTable::from_parts(freqs, stages, time, ea, es).unwrap()
+    }
+
+    fn assert_bit_identical(a: &Evaluation, b: &Evaluation) {
+        assert_eq!(a.time_us.to_bits(), b.time_us.to_bits());
+        assert_eq!(a.aicore_energy_wus.to_bits(), b.aicore_energy_wus.to_bits());
+        assert_eq!(a.soc_energy_wus.to_bits(), b.soc_energy_wus.to_bits());
+    }
+
+    #[test]
+    fn incremental_matches_full_after_flips() {
+        let t = table(7); // odd count exercises the zero padding
+        let mut genes = vec![8_usize; 7];
+        let mut inc = IncrementalEval::new(&t, &genes);
+        assert_bit_identical(&inc.eval(), &t.evaluate(&genes));
+        let flips = [(0, 3), (6, 0), (3, 5), (0, 8), (2, 1), (6, 7), (2, 1)];
+        for (s, g) in flips {
+            inc.set_gene(s, g);
+            genes[s] = g;
+            assert_bit_identical(&inc.eval(), &t.evaluate(&genes));
+        }
+    }
+
+    #[test]
+    fn probe_matches_committed_flip() {
+        let t = table(5);
+        let genes = vec![4_usize; 5];
+        let inc = IncrementalEval::new(&t, &genes);
+        for s in 0..5 {
+            for g in 0..t.n_freqs() {
+                let probed = inc.probe(s, g);
+                let mut committed = inc.clone();
+                committed.set_gene(s, g);
+                assert_bit_identical(&probed, &committed.eval());
+            }
+        }
+    }
+
+    #[test]
+    fn assign_repositions_to_arbitrary_genome() {
+        let t = table(6);
+        let mut inc = IncrementalEval::new(&t, &[0, 1, 2, 3, 4, 5]);
+        let target = vec![8, 1, 0, 3, 7, 2];
+        inc.assign(&target);
+        assert_eq!(inc.genes(), target.as_slice());
+        assert_bit_identical(&inc.eval(), &t.evaluate(&target));
+    }
+
+    #[test]
+    fn empty_genome_is_supported() {
+        let t = table(0);
+        let inc = IncrementalEval::new(&t, &[]);
+        assert_bit_identical(&inc.eval(), &t.evaluate(&[]));
+    }
+
+    #[test]
+    fn engine_scores_match_direct_evaluation_any_thread_count() {
+        let t = table(9);
+        let baseline = t.baseline().time_us;
+        let population: Vec<Vec<usize>> = (0..90)
+            .map(|i| (0..9).map(|s| (i * 7 + s * 3) % t.n_freqs()).collect())
+            .collect();
+        let expect: Vec<f64> = population
+            .iter()
+            .map(|g| score(&t.evaluate(g), baseline, 0.02))
+            .collect();
+        for threads in [1, 2, 5] {
+            let mut engine = EvalEngine::new(&t, baseline, 0.02, threads);
+            let got = engine.score_population(&population);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&expect), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn engine_memoizes_duplicates() {
+        let t = table(4);
+        let baseline = t.baseline().time_us;
+        let mut engine = EvalEngine::new(&t, baseline, 0.02, 1);
+        let a = vec![1, 2, 3, 4];
+        let b = vec![8, 8, 8, 8];
+        let population = vec![a.clone(), b.clone(), a.clone(), a.clone()];
+        let scores = engine.score_population(&population);
+        assert_eq!(engine.scored(), 4);
+        assert_eq!(engine.unique_scored(), 2);
+        assert_eq!(scores[0].to_bits(), scores[2].to_bits());
+        assert_eq!(scores[0].to_bits(), scores[3].to_bits());
+        // A later generation repeating a genome is served from the memo.
+        let again = engine.score_population(std::slice::from_ref(&a));
+        assert_eq!(engine.unique_scored(), 2);
+        assert_eq!(again[0].to_bits(), scores[0].to_bits());
+    }
+
+    #[test]
+    fn wheel_prefers_heavy_entries_and_skips_zeros() {
+        let wheel = RouletteWheel::new(&[0.0, 3.0, f64::NAN, 1.0]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0_usize; 4];
+        for _ in 0..4_000 {
+            counts[wheel.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[0], 0, "zero-score entry drawn");
+        assert_eq!(counts[2], 0, "NaN-score entry drawn");
+        assert!(counts[1] > counts[3] * 2, "weights ignored: {counts:?}");
+    }
+
+    #[test]
+    fn wheel_falls_back_to_uniform_when_weightless() {
+        let wheel = RouletteWheel::new(&[0.0, 0.0, 0.0]);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[wheel.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn wheel_matches_linear_scan_distribution() {
+        // The wheel must select index i iff the linear running-sum scan
+        // would, for the same ticket.
+        let scores = [0.5, 0.0, 2.0, 1.25, 0.0, 0.25];
+        let wheel = RouletteWheel::new(&scores);
+        let total: f64 = scores.iter().sum();
+        for k in 0..1_000 {
+            let ticket = (k as f64 / 1_000.0) * total;
+            let mut acc = ticket;
+            let mut linear = scores.len() - 1;
+            for (i, &s) in scores.iter().enumerate() {
+                acc -= s;
+                if acc < 0.0 {
+                    linear = i;
+                    break;
+                }
+            }
+            let binary = wheel
+                .cum
+                .partition_point(|&c| c <= ticket)
+                .min(scores.len() - 1);
+            assert_eq!(binary, linear, "ticket {ticket}");
+        }
+    }
+}

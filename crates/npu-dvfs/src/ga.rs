@@ -7,7 +7,14 @@
 //! a doubled score. New generations come from score-proportional
 //! (roulette) selection, last-`k` suffix crossover, and single-gene
 //! mutation, with the best individual carried over unchanged.
+//!
+//! Population scoring runs through [`crate::EvalEngine`] — memoized,
+//! incremental, and parallel across `cfg.threads` workers. The RNG is
+//! only consumed in the sequential population-generation phase and
+//! scoring is a pure function of the genome, so the search returns a
+//! bit-identical [`GaOutcome`] for a given seed at any thread count.
 
+use crate::engine::{EvalEngine, IncrementalEval, RouletteWheel};
 use crate::preprocess::StageKind;
 use crate::strategy::{DvfsStrategy, Evaluation, StageTable};
 use npu_sim::FreqMhz;
@@ -36,6 +43,10 @@ pub struct GaConfig {
     pub hfc_prior: FreqMhz,
     /// RNG seed (the search is deterministic given the seed).
     pub seed: u64,
+    /// Scoring worker threads; `0` auto-detects the CPU count. The
+    /// outcome is identical for any value — threads only change wall
+    /// time.
+    pub threads: usize,
 }
 
 impl Default for GaConfig {
@@ -50,6 +61,7 @@ impl Default for GaConfig {
             lfc_prior: FreqMhz::new(1600),
             hfc_prior: FreqMhz::new(1800),
             seed: 0x6A_5EED,
+            threads: 0,
         }
     }
 }
@@ -75,6 +87,13 @@ impl GaConfig {
         self.population = population;
         self
     }
+
+    /// Sets the scoring worker count (`0` = auto), chainable.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
 }
 
 /// Result of a GA search.
@@ -88,25 +107,37 @@ pub struct GaOutcome {
     pub best_score: f64,
     /// Best score after each generation (paper Fig. 17).
     pub score_trace: Vec<f64>,
-    /// Total individuals evaluated.
+    /// Total individuals scored (GA generations, memo hits included,
+    /// plus refinement probes).
     pub evaluations: usize,
+    /// Evaluations actually computed — [`Self::evaluations`] minus the
+    /// duplicates the engine served from its genome memo.
+    pub unique_evaluations: usize,
 }
 
 /// Scores one evaluation per Eq. (17): `Score = (Per/Per_base)² / Power`,
 /// doubled when the relative performance meets the lower bound
 /// `Per_lb = Per_base · (1 − loss_target)`. Performance is the reciprocal
 /// of iteration time, so `Per/Per_base = baseline_time / time`.
+///
+/// Degenerate evaluations — non-positive or non-finite time or power —
+/// score `0.0`, so a poisoned individual can never win the roulette or
+/// the elite slot.
 #[must_use]
 pub fn score(eval: &Evaluation, baseline_time_us: f64, perf_loss_target: f64) -> f64 {
-    if eval.time_us <= 0.0 {
+    // `is_finite` first: NaN would slip through a bare `<= 0.0` test.
+    if !eval.time_us.is_finite() || eval.time_us <= 0.0 {
         return 0.0;
     }
     let rel = baseline_time_us / eval.time_us;
     let power = eval.aicore_w();
-    if power <= 0.0 {
+    if !power.is_finite() || power <= 0.0 {
         return 0.0;
     }
     let base = rel * rel / power;
+    if !base.is_finite() {
+        return 0.0;
+    }
     if rel >= 1.0 - perf_loss_target {
         2.0 * base
     } else {
@@ -136,6 +167,7 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
             best_score: 0.0,
             score_trace: Vec::new(),
             evaluations: 0,
+            unique_evaluations: 0,
         };
     }
 
@@ -195,20 +227,17 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
         population.push((0..n).map(|_| rng.gen_range(0..m)).collect());
     }
 
-    let mut evaluations = 0;
+    // All scoring flows through the engine: memoized (elites and seeded
+    // duplicates are evaluated once), incremental, and parallel. The RNG
+    // stream above/below never depends on scoring internals, so thread
+    // count cannot perturb the search trajectory.
+    let mut engine = EvalEngine::new(table, baseline_time, cfg.perf_loss_target, cfg.threads);
     let mut score_trace = Vec::with_capacity(cfg.iterations);
     let mut best_genes = population[0].clone();
     let mut best_score = f64::NEG_INFINITY;
 
     for _ in 0..cfg.iterations {
-        // Score the generation.
-        let scores: Vec<f64> = population
-            .iter()
-            .map(|g| {
-                evaluations += 1;
-                score(&table.evaluate(g), baseline_time, cfg.perf_loss_target)
-            })
-            .collect();
+        let scores = engine.score_population(&population);
         let (gen_best_idx, gen_best) = scores
             .iter()
             .copied()
@@ -221,26 +250,14 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
         }
         score_trace.push(best_score);
 
-        // Next generation: elite + roulette-selected offspring.
-        let total: f64 = scores.iter().sum();
-        let pick = |rng: &mut SmallRng| -> usize {
-            if total <= 0.0 {
-                return rng.gen_range(0..population.len());
-            }
-            let mut ticket = rng.gen::<f64>() * total;
-            for (i, &s) in scores.iter().enumerate() {
-                ticket -= s;
-                if ticket <= 0.0 {
-                    return i;
-                }
-            }
-            population.len() - 1
-        };
+        // Next generation: elite + roulette-selected offspring via the
+        // prefix-sum wheel (O(log n) per draw).
+        let wheel = RouletteWheel::new(&scores);
         let mut next: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
         next.push(best_genes.clone()); // elitism
         while next.len() < cfg.population {
-            let pa = population[pick(&mut rng)].clone();
-            let pb = population[pick(&mut rng)].clone();
+            let pa = population[wheel.sample(&mut rng)].clone();
+            let pb = population[wheel.sample(&mut rng)].clone();
             let (mut ca, mut cb) = (pa, pb);
             if rng.gen::<f64>() < cfg.crossover_rate && n > 1 {
                 // Swap the last k genes (paper Sect. 6.3.3).
@@ -263,49 +280,49 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
         population = next;
     }
 
+    let mut evaluations = engine.scored();
+    let mut unique_evaluations = engine.unique_scored();
+
     // Memetic refinement: deterministic budget-constrained coordinate
-    // descent from the GA's best individual, with O(1) incremental
-    // re-evaluation per candidate move. With hundreds of genes,
+    // descent from the GA's best individual, with O(log n) incremental
+    // probes per candidate move. With hundreds of genes,
     // crossover/mutation alone leave per-gene slack, and Eq. (17)'s
     // bonus cliff hides moves that trade a little time for a lot of
     // power; descending directly on "minimum power subject to the
     // predicted loss budget" polishes both away.
     let budget = baseline_time * (1.0 + cfg.perf_loss_target) + 1e-9;
-    let descend = |start: Vec<usize>, evaluations: &mut usize| -> (Vec<usize>, Evaluation) {
-        let mut genes = start;
-        let mut sums = table.raw_sums(&genes);
-        let mut current = table.eval_from_sums(&sums);
+    let descend = |start: &[usize], probes: &mut usize| -> (Vec<usize>, Evaluation) {
+        let mut inc = IncrementalEval::new(table, start);
+        let mut current = inc.eval();
         // If the start point is over budget, walk it back toward max
         // frequency first.
         while current.time_us > budget {
             let mut best_fix: Option<(usize, f64)> = None;
-            for (s, &cur) in genes.iter().enumerate() {
-                if cur == max_gene {
+            for s in 0..n {
+                if inc.genes()[s] == max_gene {
                     continue;
                 }
-                let trial = sums.minus_plus(table.cell(s, cur), table.cell(s, max_gene));
-                *evaluations += 1;
-                let saved = current.time_us - trial.time;
+                let trial = inc.probe(s, max_gene);
+                *probes += 1;
+                let saved = current.time_us - trial.time_us;
                 if saved > 0.0 && best_fix.as_ref().is_none_or(|&(_, b)| saved > b) {
                     best_fix = Some((s, saved));
                 }
             }
             let Some((s, _)) = best_fix else { break };
-            sums = sums.minus_plus(table.cell(s, genes[s]), table.cell(s, max_gene));
-            genes[s] = max_gene;
-            current = table.eval_from_sums(&sums);
+            inc.set_gene(s, max_gene);
+            current = inc.eval();
         }
         loop {
             let mut best_move: Option<(usize, usize, f64)> = None;
-            for (s, &cur) in genes.iter().enumerate() {
-                let cur_cell = table.cell(s, cur);
+            for s in 0..n {
+                let cur = inc.genes()[s];
                 for g in 0..m {
                     if g == cur {
                         continue;
                     }
-                    let trial_sums = sums.minus_plus(cur_cell, table.cell(s, g));
-                    *evaluations += 1;
-                    let trial = table.eval_from_sums(&trial_sums);
+                    let trial = inc.probe(s, g);
+                    *probes += 1;
                     if trial.time_us > budget {
                         continue;
                     }
@@ -321,20 +338,22 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
                 }
             }
             let Some((s, g, _)) = best_move else { break };
-            sums = sums.minus_plus(table.cell(s, genes[s]), table.cell(s, g));
-            genes[s] = g;
-            current = table.eval_from_sums(&sums);
+            inc.set_gene(s, g);
+            current = inc.eval();
         }
-        (genes, current)
+        (inc.genes().to_vec(), current)
     };
     // Greedy descent is order-dependent: refine both from the GA's best
     // individual and from the all-max baseline, keep the lower-power
     // in-budget endpoint.
-    let (genes_a, eval_a) = descend(best_genes.clone(), &mut evaluations);
-    let (genes_b, eval_b) = descend(vec![max_gene; n], &mut evaluations);
+    let mut probes = 0;
+    let (genes_a, eval_a) = descend(&best_genes, &mut probes);
+    let (genes_b, eval_b) = descend(&vec![max_gene; n], &mut probes);
+    evaluations += probes;
+    unique_evaluations += probes;
     let ga_in_budget = eval_a.time_us <= budget;
-    let pick_b = !ga_in_budget
-        || (eval_b.time_us <= budget && eval_b.aicore_w() < eval_a.aicore_w());
+    let pick_b =
+        !ga_in_budget || (eval_b.time_us <= budget && eval_b.aicore_w() < eval_a.aicore_w());
     best_genes = if pick_b { genes_b } else { genes_a };
     let refined = if pick_b { eval_b } else { eval_a };
     best_score = score(&refined, baseline_time, cfg.perf_loss_target).max(best_score);
@@ -350,6 +369,7 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
         best_score,
         score_trace,
         evaluations,
+        unique_evaluations,
     }
 }
 
@@ -383,7 +403,11 @@ mod tests {
             let mut srow = Vec::new();
             for &f in &freqs {
                 let x = f.as_f64() / 1800.0;
-                let t = if mem { dur * (1.02 - 0.02 * x) } else { dur / x };
+                let t = if mem {
+                    dur * (1.02 - 0.02 * x)
+                } else {
+                    dur / x
+                };
                 let p = 12.0 + 30.0 * x * x; // rising power with frequency
                 trow.push(t);
                 arow.push(p * t);
@@ -397,9 +421,7 @@ mod tests {
     }
 
     fn quick_cfg() -> GaConfig {
-        GaConfig::default()
-            .with_population(60)
-            .with_iterations(120)
+        GaConfig::default().with_population(60).with_iterations(120)
     }
 
     #[test]
@@ -466,6 +488,32 @@ mod tests {
     }
 
     #[test]
+    fn outcome_is_bit_identical_across_thread_counts() {
+        // Scoring is pure and the RNG never observes thread count, so 1
+        // worker and N workers must produce the same GaOutcome.
+        let t = table(4, 4);
+        let single = search(&t, &quick_cfg().with_threads(1));
+        for threads in [2, 3, 8] {
+            let multi = search(&t, &quick_cfg().with_threads(threads));
+            assert_eq!(single, multi, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn memo_skips_duplicate_individuals() {
+        // Elitism alone guarantees duplicates across generations, so the
+        // engine must evaluate strictly fewer genomes than it scores.
+        let t = table(3, 3);
+        let out = search(&t, &quick_cfg());
+        assert!(
+            out.unique_evaluations < out.evaluations,
+            "expected memo hits: {} unique of {}",
+            out.unique_evaluations,
+            out.evaluations
+        );
+    }
+
+    #[test]
     fn prior_individual_speeds_convergence() {
         // Paper Sect. 7.4: at the 2 % target the prior individuals are
         // already (near-)optimal, so the first generations score higher.
@@ -496,6 +544,41 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_evaluations_score_zero() {
+        let nan_time = Evaluation {
+            time_us: f64::NAN,
+            aicore_energy_wus: 1.0,
+            soc_energy_wus: 1.0,
+        };
+        let nan_energy = Evaluation {
+            time_us: 100.0,
+            aicore_energy_wus: f64::NAN,
+            soc_energy_wus: 1.0,
+        };
+        let inf_time = Evaluation {
+            time_us: f64::INFINITY,
+            aicore_energy_wus: 1.0,
+            soc_energy_wus: 1.0,
+        };
+        let neg_time = Evaluation {
+            time_us: -5.0,
+            aicore_energy_wus: 1.0,
+            soc_energy_wus: 1.0,
+        };
+        for eval in [nan_time, nan_energy, inf_time, neg_time] {
+            assert_eq!(score(&eval, 100.0, 0.02), 0.0, "{eval:?}");
+        }
+        // NaN baseline poisons `rel`: still 0, never NaN.
+        let ok = Evaluation {
+            time_us: 100.0,
+            aicore_energy_wus: 4_000.0,
+            soc_energy_wus: 1.0,
+        };
+        assert_eq!(score(&ok, f64::NAN, 0.02), 0.0);
+        assert_eq!(score(&ok, f64::INFINITY, 0.02), 0.0);
+    }
+
+    #[test]
     fn refined_result_respects_predicted_budget() {
         // The refinement descends on "minimum power subject to the
         // predicted loss budget": the returned evaluation must satisfy it
@@ -514,14 +597,8 @@ mod tests {
 
     #[test]
     fn empty_table_yields_empty_strategy() {
-        let t = StageTable::from_parts(
-            vec![FreqMhz::new(1800)],
-            vec![],
-            vec![],
-            vec![],
-            vec![],
-        )
-        .unwrap();
+        let t = StageTable::from_parts(vec![FreqMhz::new(1800)], vec![], vec![], vec![], vec![])
+            .unwrap();
         let out = search(&t, &quick_cfg());
         assert!(out.strategy.is_empty());
         assert_eq!(out.evaluations, 0);

@@ -13,7 +13,12 @@
 //! * [`search`] — the genetic algorithm (Sect. 6.3): baseline + prior
 //!   individuals, Eq. (17) scoring with a doubled score when the
 //!   performance bound is met, roulette selection, last-`k` crossover and
-//!   point mutation.
+//!   point mutation;
+//! * [`EvalEngine`] / [`IncrementalEval`] / [`RouletteWheel`] — the
+//!   evaluation engine behind [`search`]: memoized, incremental
+//!   (O(changed genes · log stages) per re-score, bit-identical to a
+//!   full pass) and parallel across `std::thread::scope` workers without
+//!   perturbing the seeded search trajectory.
 //!
 //! # Example
 //!
@@ -32,12 +37,14 @@
 
 pub mod baseline;
 pub mod classify;
+mod engine;
 mod ga;
 pub mod preprocess;
 mod strategy;
 
 pub use baseline::{phase_level, program_level, BaselineOutcome};
 pub use classify::{Bottleneck, Sensitivity};
+pub use engine::{resolve_threads, EvalEngine, IncrementalEval, RouletteWheel};
 pub use ga::{score, search, GaConfig, GaOutcome};
 pub use preprocess::{Preprocessed, Stage, StageKind};
 pub use strategy::{DvfsStrategy, Evaluation, StageTable, TableError, ThermalCoupling};

@@ -138,20 +138,32 @@ pub fn preprocess(records: &[OpRecord], fai_us: f64) -> Preprocessed {
     let raw = std::mem::take(&mut stages);
     let mut acc: Option<(Stage, f64, f64)> = None; // (stage, lfc_dur, hfc_dur)
     let close = |(mut st, lfc, hfc): (Stage, f64, f64), out: &mut Vec<Stage>| {
-        st.kind = if lfc > hfc { StageKind::Lfc } else { StageKind::Hfc };
+        st.kind = if lfc > hfc {
+            StageKind::Lfc
+        } else {
+            StageKind::Hfc
+        };
         out.push(st);
     };
     for s in raw {
         match acc.take() {
             None => {
-                let lfc = if s.kind == StageKind::Lfc { s.dur_us } else { 0.0 };
+                let lfc = if s.kind == StageKind::Lfc {
+                    s.dur_us
+                } else {
+                    0.0
+                };
                 let hfc = s.dur_us - lfc;
                 acc = Some((s, lfc, hfc));
             }
             Some((mut cur, mut lfc, mut hfc)) => {
                 if cur.dur_us >= fai_us {
                     close((cur, lfc, hfc), &mut stages);
-                    let l = if s.kind == StageKind::Lfc { s.dur_us } else { 0.0 };
+                    let l = if s.kind == StageKind::Lfc {
+                        s.dur_us
+                    } else {
+                        0.0
+                    };
                     let h = s.dur_us - l;
                     acc = Some((s, l, h));
                 } else {
@@ -299,7 +311,9 @@ mod tests {
 
     #[test]
     fn durations_are_preserved() {
-        let spec: Vec<(f64, bool)> = (0..10).map(|i| (1_000.0 + 100.0 * i as f64, i % 3 == 0)).collect();
+        let spec: Vec<(f64, bool)> = (0..10)
+            .map(|i| (1_000.0 + 100.0 * i as f64, i % 3 == 0))
+            .collect();
         let records = stream(&spec);
         let total: f64 = spec.iter().map(|s| s.0).sum();
         for fai in [0.0, 2_000.0, 50_000.0] {

@@ -3,8 +3,19 @@
 //! The genetic algorithm must score thousands of candidate strategies per
 //! second (paper Sect. 8.1: a policy is evaluated in milliseconds, which
 //! is why model-based search beats model-free). [`StageTable`] precomputes
-//! predicted time and energy for every `(stage, frequency)` pair once, so
-//! scoring an individual is a single pass of table lookups.
+//! predicted time and energy for every `(stage, frequency)` pair once, in
+//! a flat stage-major layout (`[stage][freq]` contiguous `f64` rows), so
+//! scoring an individual is one linear scan — and the
+//! [`crate::engine::IncrementalEval`] engine re-scores an individual in
+//! O(changed genes · log stages) on top of the same cells.
+//!
+//! Evaluation sums per-stage contributions over a **fixed-topology
+//! pairwise tree** (stages padded to a power of two) rather than a
+//! left-to-right running sum. The tree makes the result independent of
+//! *how* the sum is reached: a fresh full pass and an incremental update
+//! of any gene subset produce bit-identical totals, which is what lets
+//! the GA mix full, incremental, and parallel evaluation freely without
+//! perturbing the search trajectory.
 
 use crate::preprocess::{Preprocessed, Stage};
 use npu_perf_model::PerfModelStore;
@@ -62,7 +73,10 @@ impl fmt::Display for TableError {
         match self {
             Self::ShapeMismatch => write!(f, "table dimensions disagree"),
             Self::OpOutOfRange { stage } => {
-                write!(f, "stage {stage} references operators outside the model stores")
+                write!(
+                    f,
+                    "stage {stage} references operators outside the model stores"
+                )
             }
         }
     }
@@ -82,6 +96,41 @@ pub struct ThermalCoupling {
     pub k_c_per_w: f64,
 }
 
+/// Per-stage accumulator: the four running totals an evaluation needs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub(crate) struct Sums {
+    /// Time, µs.
+    pub time: f64,
+    /// Temperature-independent AICore energy, W·µs.
+    pub ea: f64,
+    /// Temperature-independent SoC energy, W·µs.
+    pub es: f64,
+    /// ∫ V dt, V·µs (feeds the thermal fix point).
+    pub vt: f64,
+}
+
+impl Sums {
+    pub(crate) const ZERO: Sums = Sums {
+        time: 0.0,
+        ea: 0.0,
+        es: 0.0,
+        vt: 0.0,
+    };
+
+    /// The one combining operation used by every evaluation path. All
+    /// summation topologies route through this exact `left + right` so
+    /// full and incremental evaluation stay bit-identical.
+    #[inline]
+    pub(crate) fn add(left: Sums, right: Sums) -> Sums {
+        Sums {
+            time: left.time + right.time,
+            ea: left.ea + right.ea,
+            es: left.es + right.es,
+            vt: left.vt + right.vt,
+        }
+    }
+}
+
 /// Precomputed per-stage, per-frequency predictions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageTable {
@@ -89,12 +138,12 @@ pub struct StageTable {
     /// Supply voltage per frequency point, V.
     volts: Vec<f64>,
     stages: Vec<Stage>,
-    /// `[stage][freq]` predicted time, µs.
-    time_us: Vec<Vec<f64>>,
-    /// `[stage][freq]` temperature-independent AICore energy, W·µs.
-    aicore_e: Vec<Vec<f64>>,
-    /// `[stage][freq]` temperature-independent SoC energy, W·µs.
-    soc_e: Vec<Vec<f64>>,
+    /// Stage-major `[stage][freq]` predicted time, µs (`stage * n_freqs + freq`).
+    time_us: Vec<f64>,
+    /// Stage-major temperature-independent AICore energy, W·µs.
+    aicore_e: Vec<f64>,
+    /// Stage-major temperature-independent SoC energy, W·µs.
+    soc_e: Vec<f64>,
     coupling: ThermalCoupling,
 }
 
@@ -115,16 +164,14 @@ impl StageTable {
     ) -> Result<Self, TableError> {
         let fs: Vec<FreqMhz> = freqs.iter().collect();
         let volts: Vec<f64> = fs.iter().map(|&f| power.voltage_curve().volts(f)).collect();
-        let mut time_us = Vec::with_capacity(pre.len());
-        let mut aicore_e = Vec::with_capacity(pre.len());
-        let mut soc_e = Vec::with_capacity(pre.len());
+        let m = fs.len();
+        let mut time_us = Vec::with_capacity(pre.len() * m);
+        let mut aicore_e = Vec::with_capacity(pre.len() * m);
+        let mut soc_e = Vec::with_capacity(pre.len() * m);
         for (si, stage) in pre.stages().iter().enumerate() {
             if stage.op_range.end > perf.len() || stage.op_range.end > power.len() {
                 return Err(TableError::OpOutOfRange { stage: si });
             }
-            let mut t_row = Vec::with_capacity(fs.len());
-            let mut a_row = Vec::with_capacity(fs.len());
-            let mut s_row = Vec::with_capacity(fs.len());
             for &f in &fs {
                 let mut t = 0.0;
                 let mut ea = 0.0;
@@ -136,13 +183,10 @@ impl StageTable {
                     ea += p.aicore_w * dt;
                     es += p.soc_w * dt;
                 }
-                t_row.push(t);
-                a_row.push(ea);
-                s_row.push(es);
+                time_us.push(t);
+                aicore_e.push(ea);
+                soc_e.push(es);
             }
-            time_us.push(t_row);
-            aicore_e.push(a_row);
-            soc_e.push(s_row);
         }
         Ok(Self {
             freqs: fs,
@@ -160,7 +204,7 @@ impl StageTable {
     }
 
     /// Builds a table from raw prediction arrays (used by tests and
-    /// synthetic benchmarks).
+    /// synthetic benchmarks). Rows are `[stage][freq]`.
     ///
     /// # Errors
     ///
@@ -188,9 +232,9 @@ impl StageTable {
             freqs,
             volts,
             stages,
-            time_us,
-            aicore_e,
-            soc_e,
+            time_us: time_us.into_iter().flatten().collect(),
+            aicore_e: aicore_e.into_iter().flatten().collect(),
+            soc_e: soc_e.into_iter().flatten().collect(),
             coupling: ThermalCoupling::default(),
         })
     }
@@ -234,84 +278,32 @@ impl StageTable {
         self.freqs.len()
     }
 
-    /// Evaluates an individual: per-stage predicted time/energy summed
-    /// over the iteration.
+    /// The `(time, aicore_e, soc_e, volt·time)` contribution of one
+    /// `(stage, gene)` cell.
     ///
     /// # Panics
     ///
-    /// Panics if `genes.len() != n_stages()` or a gene is out of range.
-    #[must_use]
-    pub fn evaluate(&self, genes: &[usize]) -> Evaluation {
-        assert_eq!(genes.len(), self.n_stages(), "gene count must match stages");
-        let mut time = 0.0;
-        let mut ea = 0.0;
-        let mut es = 0.0;
-        let mut vt = 0.0; // ∫ V dt over the iteration, V·µs
-        for (s, &g) in genes.iter().enumerate() {
-            let t = self.time_us[s][g];
-            time += t;
-            ea += self.aicore_e[s][g];
-            es += self.soc_e[s][g];
-            vt += self.volts[g] * t;
-        }
-        // Workload-level temperature fix point: the chip's thermal time
-        // constant dwarfs any stage, so ΔT follows the time-averaged SoC
-        // power of the whole iteration (≤4 iterations in practice).
-        let mut dt = 0.0;
-        if time > 0.0 && self.coupling.k_c_per_w > 0.0 {
-            for _ in 0..8 {
-                let p_soc = (es + self.coupling.gamma_soc * dt * vt) / time;
-                let new_dt = self.coupling.k_c_per_w * p_soc;
-                if (new_dt - dt).abs() < 0.05 {
-                    dt = new_dt;
-                    break;
-                }
-                dt = new_dt;
-            }
-        }
-        Evaluation {
-            time_us: time,
-            aicore_energy_wus: ea + self.coupling.gamma_aicore * dt * vt,
-            soc_energy_wus: es + self.coupling.gamma_soc * dt * vt,
-        }
-    }
-
-    /// The all-max-frequency baseline evaluation.
-    #[must_use]
-    pub fn baseline(&self) -> Evaluation {
-        let g = vec![self.n_freqs() - 1; self.n_stages()];
-        self.evaluate(&g)
-    }
-
-    /// Raw accumulator sums for an individual, for incremental
-    /// re-evaluation (one-gene changes in O(1)).
-    pub(crate) fn raw_sums(&self, genes: &[usize]) -> RawSums {
-        assert_eq!(genes.len(), self.n_stages());
-        let mut sums = RawSums::default();
-        for (s, &g) in genes.iter().enumerate() {
-            let t = self.time_us[s][g];
-            sums.time += t;
-            sums.ea += self.aicore_e[s][g];
-            sums.es += self.soc_e[s][g];
-            sums.vt += self.volts[g] * t;
-        }
-        sums
-    }
-
-    /// The `(time, aicore_e, soc_e, volt·time)` contribution of one
-    /// `(stage, gene)` cell.
-    pub(crate) fn cell(&self, stage: usize, gene: usize) -> RawSums {
-        let t = self.time_us[stage][gene];
-        RawSums {
+    /// Panics if `gene` is out of range (prevents silently reading a
+    /// neighbouring stage's row in the flat layout).
+    #[inline]
+    pub(crate) fn cell(&self, stage: usize, gene: usize) -> Sums {
+        let m = self.freqs.len();
+        assert!(gene < m, "gene {gene} out of range ({m} frequency points)");
+        let i = stage * m + gene;
+        let t = self.time_us[i];
+        Sums {
             time: t,
-            ea: self.aicore_e[stage][gene],
-            es: self.soc_e[stage][gene],
+            ea: self.aicore_e[i],
+            es: self.soc_e[i],
             vt: self.volts[gene] * t,
         }
     }
 
-    /// Finishes an evaluation from raw sums (runs the thermal fix point).
-    pub(crate) fn eval_from_sums(&self, sums: &RawSums) -> Evaluation {
+    /// Finishes an evaluation from accumulated sums: runs the
+    /// workload-level temperature fix point (the chip's thermal time
+    /// constant dwarfs any stage, so ΔT follows the time-averaged SoC
+    /// power of the whole iteration; ≤4 iterations in practice).
+    pub(crate) fn finish_sums(&self, sums: Sums) -> Evaluation {
         let mut dt = 0.0;
         if sums.time > 0.0 && self.coupling.k_c_per_w > 0.0 {
             for _ in 0..8 {
@@ -330,24 +322,47 @@ impl StageTable {
             soc_energy_wus: sums.es + self.coupling.gamma_soc * dt * sums.vt,
         }
     }
-}
 
-/// Accumulator for incremental evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub(crate) struct RawSums {
-    pub time: f64,
-    pub ea: f64,
-    pub es: f64,
-    pub vt: f64,
-}
+    /// Fixed-topology pairwise reduction of the stage cells selected by
+    /// `genes` over the leaf range `[lo, lo + width)`, where `width` is a
+    /// power of two and out-of-range leaves contribute zero. This is the
+    /// exact summation tree [`crate::engine::IncrementalEval`] maintains.
+    fn reduce(&self, genes: &[usize], lo: usize, width: usize) -> Sums {
+        if width == 1 {
+            return if lo < genes.len() {
+                self.cell(lo, genes[lo])
+            } else {
+                Sums::ZERO
+            };
+        }
+        let half = width / 2;
+        Sums::add(
+            self.reduce(genes, lo, half),
+            self.reduce(genes, lo + half, half),
+        )
+    }
 
-impl RawSums {
-    pub(crate) fn minus_plus(mut self, minus: RawSums, plus: RawSums) -> RawSums {
-        self.time += plus.time - minus.time;
-        self.ea += plus.ea - minus.ea;
-        self.es += plus.es - minus.es;
-        self.vt += plus.vt - minus.vt;
-        self
+    /// Evaluates an individual: per-stage predicted time/energy summed
+    /// over the iteration (pairwise tree), then the thermal fix point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `genes.len() != n_stages()` or a gene is out of range.
+    #[must_use]
+    pub fn evaluate(&self, genes: &[usize]) -> Evaluation {
+        assert_eq!(genes.len(), self.n_stages(), "gene count must match stages");
+        if genes.is_empty() {
+            return self.finish_sums(Sums::ZERO);
+        }
+        let width = genes.len().next_power_of_two();
+        self.finish_sums(self.reduce(genes, 0, width))
+    }
+
+    /// The all-max-frequency baseline evaluation.
+    #[must_use]
+    pub fn baseline(&self) -> Evaluation {
+        let g = vec![self.n_freqs() - 1; self.n_stages()];
+        self.evaluate(&g)
     }
 }
 
@@ -460,6 +475,29 @@ mod tests {
     fn evaluate_validates_gene_count() {
         let t = synthetic_table();
         let _ = t.evaluate(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn evaluate_validates_gene_values() {
+        let t = synthetic_table();
+        let _ = t.evaluate(&[0, 2]);
+    }
+
+    #[test]
+    fn pairwise_sum_matches_linear_for_odd_stage_counts() {
+        // Three stages pad to a 4-leaf tree; the zero padding leaf must
+        // not perturb the totals.
+        let freqs = vec![FreqMhz::new(1000), FreqMhz::new(1800)];
+        let stages: Vec<Stage> = (0..3)
+            .map(|i| mk_stage(i as f64, 1.0, i..i + 1, StageKind::Lfc))
+            .collect();
+        let rows = |v: f64| vec![vec![v, v + 1.0]; 3];
+        let t = StageTable::from_parts(freqs, stages, rows(10.0), rows(20.0), rows(30.0)).unwrap();
+        let e = t.evaluate(&[0, 1, 0]);
+        assert!((e.time_us - (10.0 + 11.0 + 10.0)).abs() < 1e-12);
+        assert!((e.aicore_energy_wus - (20.0 + 21.0 + 20.0)).abs() < 1e-12);
+        assert!((e.soc_energy_wus - (30.0 + 31.0 + 30.0)).abs() < 1e-12);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use npu_dvfs::{
-    preprocess::preprocess, score, search, GaConfig, Stage, StageKind, StageTable,
+    preprocess::preprocess, score, search, GaConfig, IncrementalEval, Stage, StageKind, StageTable,
 };
 use npu_sim::{FreqMhz, OpClass, OpRecord, PipelineRatios, Scenario};
 
@@ -80,7 +80,11 @@ fn arb_table() -> impl Strategy<Value = StageTable> {
                 let mut srow = Vec::new();
                 for &f in &freqs {
                     let x = f.as_f64() / 1800.0;
-                    let t = if mem { dur * (1.05 - 0.05 * x) } else { dur / x };
+                    let t = if mem {
+                        dur * (1.05 - 0.05 * x)
+                    } else {
+                        dur / x
+                    };
                     let p = 10.0 + p_active * x * x;
                     trow.push(t);
                     arow.push(p * t);
@@ -157,6 +161,88 @@ proptest! {
         }
         // The winning strategy has one frequency per stage.
         prop_assert_eq!(out.strategy.len(), table.n_stages());
+    }
+
+    /// The incremental evaluator stays bit-identical (0 ULP) to a fresh
+    /// full `StageTable::evaluate` after ANY sequence of gene flips —
+    /// the invariant that lets the GA mix full, incremental and memoized
+    /// evaluation without perturbing the search.
+    #[test]
+    fn incremental_eval_bit_identical_to_full(
+        table in arb_table(),
+        raw_flips in prop::collection::vec((any::<usize>(), any::<usize>()), 0..64),
+    ) {
+        let n = table.n_stages();
+        let m = table.n_freqs();
+        let mut genes = vec![m - 1; n];
+        let mut inc = IncrementalEval::new(&table, &genes);
+        for (rs, rg) in raw_flips {
+            let (s, g) = (rs % n, rg % m);
+            inc.set_gene(s, g);
+            genes[s] = g;
+            let fast = inc.eval();
+            let full = table.evaluate(&genes);
+            prop_assert_eq!(fast.time_us.to_bits(), full.time_us.to_bits());
+            prop_assert_eq!(
+                fast.aicore_energy_wus.to_bits(),
+                full.aicore_energy_wus.to_bits()
+            );
+            prop_assert_eq!(
+                fast.soc_energy_wus.to_bits(),
+                full.soc_energy_wus.to_bits()
+            );
+        }
+    }
+
+    /// Probing a single-gene variant equals committing the flip, for
+    /// every (stage, gene) from a random starting genome.
+    #[test]
+    fn probe_bit_identical_to_commit(
+        table in arb_table(),
+        raw_start in prop::collection::vec(any::<usize>(), 24),
+    ) {
+        let n = table.n_stages();
+        let m = table.n_freqs();
+        let genes: Vec<usize> = (0..n).map(|i| raw_start[i % raw_start.len()] % m).collect();
+        let inc = IncrementalEval::new(&table, &genes);
+        for s in 0..n {
+            for g in 0..m {
+                let probed = inc.probe(s, g);
+                let mut committed = genes.clone();
+                committed[s] = g;
+                let full = table.evaluate(&committed);
+                prop_assert_eq!(probed.time_us.to_bits(), full.time_us.to_bits());
+                prop_assert_eq!(
+                    probed.aicore_energy_wus.to_bits(),
+                    full.aicore_energy_wus.to_bits()
+                );
+            }
+        }
+    }
+
+    /// The GA returns a bit-identical outcome for the same seed at any
+    /// worker count: scoring is pure and the RNG stream never observes
+    /// the thread pool. Population 80 crosses the engine's parallel
+    /// dispatch threshold, so the threaded path really runs.
+    #[test]
+    fn ga_outcome_independent_of_thread_count(
+        table in arb_table(),
+        seed in 0u64..1_000,
+        threads in 2usize..6,
+    ) {
+        let cfg = GaConfig {
+            seed,
+            ..GaConfig::default().with_population(80).with_iterations(8)
+        };
+        let single = search(&table, &cfg.clone().with_threads(1));
+        let multi = search(&table, &cfg.with_threads(threads));
+        prop_assert_eq!(single.strategy, multi.strategy);
+        prop_assert_eq!(single.best_eval.time_us.to_bits(), multi.best_eval.time_us.to_bits());
+        prop_assert_eq!(single.best_score.to_bits(), multi.best_score.to_bits());
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&single.score_trace), bits(&multi.score_trace));
+        prop_assert_eq!(single.evaluations, multi.evaluations);
+        prop_assert_eq!(single.unique_evaluations, multi.unique_evaluations);
     }
 
     /// Score doubles exactly at the performance bound and decreases with

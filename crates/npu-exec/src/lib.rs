@@ -223,7 +223,8 @@ mod tests {
     }
 
     fn baseline(dev: &mut Device, schedule: &Schedule) -> RunResult {
-        dev.run(schedule, &RunOptions::at(FreqMhz::new(1800))).unwrap()
+        dev.run(schedule, &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap()
     }
 
     /// A hand-built two-stage strategy over a profile: first half at
@@ -296,7 +297,7 @@ mod tests {
         let cfg = quiet_cfg();
         let latency = cfg.setfreq_latency_us;
         let w = models::gpt3(&cfg); // long enough that triggers are interior
-        // Profile only the first 300 ops to keep the test quick.
+                                    // Profile only the first 300 ops to keep the test quick.
         let head: Schedule = w.schedule().ops()[..300].iter().cloned().collect();
         let mut dev = Device::new(cfg);
         let base = baseline(&mut dev, &head);

@@ -70,7 +70,10 @@ impl From<io::Error> for StrategyParseError {
 /// Returns any I/O error from `out`.
 pub fn write_strategy<W: Write>(strategy: &DvfsStrategy, mut out: W) -> io::Result<()> {
     writeln!(out, "{STRATEGY_HEADER}")?;
-    writeln!(out, "# stage <start_us> <dur_us> <op_start> <op_end> <kind> <freq_mhz>")?;
+    writeln!(
+        out,
+        "# stage <start_us> <dur_us> <op_start> <op_end> <kind> <freq_mhz>"
+    )?;
     for (stage, freq) in strategy.stages().iter().zip(strategy.freqs()) {
         writeln!(
             out,
@@ -152,10 +155,12 @@ pub fn read_strategy<R: BufRead>(reader: R) -> Result<DvfsStrategy, StrategyPars
                 })
             }
         };
-        let mhz: u32 = field("freq_mhz")?.parse().map_err(|_| StrategyParseError::BadLine {
-            line: line_no,
-            what: "invalid <freq_mhz>".to_owned(),
-        })?;
+        let mhz: u32 = field("freq_mhz")?
+            .parse()
+            .map_err(|_| StrategyParseError::BadLine {
+                line: line_no,
+                what: "invalid <freq_mhz>".to_owned(),
+            })?;
         if mhz == 0 {
             return Err(StrategyParseError::BadLine {
                 line: line_no,
@@ -230,7 +235,10 @@ mod tests {
     fn rejects_malformed_lines() {
         let text = format!("{STRATEGY_HEADER}\nstage 0 100 0 x LFC 1300\n");
         let err = read_strategy(BufReader::new(text.as_bytes())).unwrap_err();
-        assert!(matches!(err, StrategyParseError::BadLine { line: 2, .. }), "{err}");
+        assert!(
+            matches!(err, StrategyParseError::BadLine { line: 2, .. }),
+            "{err}"
+        );
 
         let text = format!("{STRATEGY_HEADER}\nwhatever\n");
         let err = read_strategy(BufReader::new(text.as_bytes())).unwrap_err();
@@ -243,18 +251,15 @@ mod tests {
 
     #[test]
     fn rejects_non_contiguous_ranges() {
-        let text = format!(
-            "{STRATEGY_HEADER}\nstage 0 100 0 2 LFC 1300\nstage 100 100 3 5 HFC 1800\n"
-        );
+        let text =
+            format!("{STRATEGY_HEADER}\nstage 0 100 0 2 LFC 1300\nstage 100 100 3 5 HFC 1800\n");
         let err = read_strategy(BufReader::new(text.as_bytes())).unwrap_err();
         assert!(matches!(err, StrategyParseError::Inconsistent(_)));
     }
 
     #[test]
     fn comments_and_blanks_skipped() {
-        let text = format!(
-            "{STRATEGY_HEADER}\n# comment\n\nstage 0 100 0 2 LFC 1300\n"
-        );
+        let text = format!("{STRATEGY_HEADER}\n# comment\n\nstage 0 100 0 2 LFC 1300\n");
         let s = read_strategy(BufReader::new(text.as_bytes())).unwrap();
         assert_eq!(s.len(), 1);
         assert_eq!(s.freqs()[0].mhz(), 1300);

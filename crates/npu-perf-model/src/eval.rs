@@ -154,10 +154,7 @@ pub fn prediction_curve(
 /// build points, as `FreqMhz`.
 #[must_use]
 pub fn holdout_frequencies(all: &[FreqMhz], build: &[FreqMhz]) -> Vec<FreqMhz> {
-    all.iter()
-        .copied()
-        .filter(|f| !build.contains(f))
-        .collect()
+    all.iter().copied().filter(|f| !build.contains(f)).collect()
 }
 
 #[cfg(test)]

@@ -150,7 +150,10 @@ impl fmt::Display for FitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::NotEnoughPoints { needed, got } => {
-                write!(f, "need at least {needed} distinct frequency points, got {got}")
+                write!(
+                    f,
+                    "need at least {needed} distinct frequency points, got {got}"
+                )
             }
             Self::InvalidSample => write!(f, "samples must be finite and positive"),
             Self::Singular => write!(f, "fit system is singular"),
@@ -374,10 +377,7 @@ fn solve_in_place<const P: usize>(a: &mut [[f64; P]; P], b: &mut [f64; P]) -> bo
     true
 }
 
-fn fit_quadratic_full(
-    pts: &[(f64, f64)],
-    samples: &[(f64, f64)],
-) -> Result<FitParams, FitError> {
+fn fit_quadratic_full(pts: &[(f64, f64)], samples: &[(f64, f64)]) -> Result<FitParams, FitError> {
     // Seed from the closed-form 2-parameter fit.
     let seed = fit_quadratic(pts)?;
     let p0 = [seed.a, 0.0, seed.c];
@@ -585,7 +585,10 @@ mod tests {
         let e_naive = (naive.predict_time_us(f) - t(f)).abs() / t(f);
         let e_ours = (ours.predict_time_us(f) - t(f)).abs() / t(f);
         assert!(e_ours < 1e-9);
-        assert!(e_naive > 0.005, "baseline error {e_naive} should be visible");
+        assert!(
+            e_naive > 0.005,
+            "baseline error {e_naive} should be visible"
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl fmt::Display for BuildError {
         match self {
             Self::NoProfiles => write!(f, "at least one frequency profile is required"),
             Self::MismatchedProfiles { expected, got } => {
-                write!(f, "profiles have different op counts: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "profiles have different op counts: expected {expected}, got {got}"
+                )
             }
             Self::Fit { op_index, source } => {
                 write!(f, "fitting operator {op_index} failed: {source}")

@@ -182,13 +182,19 @@ mod tests {
     }
 
     fn compute_load(alpha: f64) -> Schedule {
-        Schedule::new(vec![OpDescriptor::compute("MatMul", Scenario::PingPongIndependent)
+        Schedule::new(vec![
+            OpDescriptor::compute(
+                "MatMul",
+                Scenario::PingPongIndependent
+            )
             .blocks(8)
             .ld_bytes_per_block(256.0 * 1024.0)
             .st_bytes_per_block(128.0 * 1024.0)
             .l2_hit_rate(0.9)
             .core_cycles_per_block(200_000.0)
-            .activity(alpha); 20])
+            .activity(alpha);
+            20
+        ])
     }
 
     fn fast_opts() -> CalibrationOptions {
@@ -207,8 +213,7 @@ mod tests {
         let cfg = quiet_cfg();
         let mut dev = Device::new(cfg.clone());
         let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
-        let calib =
-            calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
+        let calib = calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
         assert!(
             (calib.aicore_idle.beta - cfg.beta_w_per_ghz_v2).abs() < 0.4,
             "beta {} vs {}",
@@ -255,14 +260,10 @@ mod tests {
 
     #[test]
     fn calibration_tolerates_measurement_noise() {
-        let cfg = NpuConfig::builder()
-            .thermal_tau_us(2.0e5)
-            .build()
-            .unwrap(); // default noise levels
+        let cfg = NpuConfig::builder().thermal_tau_us(2.0e5).build().unwrap(); // default noise levels
         let mut dev = Device::new(cfg.clone());
         let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
-        let calib =
-            calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
+        let calib = calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
         // Noise widens tolerances but the parameters stay in the ballpark.
         assert!((calib.aicore_idle.beta - cfg.beta_w_per_ghz_v2).abs() < 1.5);
         assert!((calib.gamma_aicore - cfg.gamma_aicore_w_per_k_v).abs() < 0.15);

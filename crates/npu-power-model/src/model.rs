@@ -83,7 +83,10 @@ impl fmt::Display for PowerBuildError {
         match self {
             Self::NoProfiles => write!(f, "at least one frequency profile is required"),
             Self::MismatchedProfiles { expected, got } => {
-                write!(f, "profiles have different op counts: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "profiles have different op counts: expected {expected}, got {got}"
+                )
             }
         }
     }
@@ -500,11 +503,20 @@ mod tests {
 
     fn synthetic_calibration() -> HardwareCalibration {
         HardwareCalibration {
-            aicore_idle: IdleFit { beta: 4.0, theta: 5.0 },
-            soc_idle: IdleFit { beta: 4.0, theta: 183.0 },
+            aicore_idle: IdleFit {
+                beta: 4.0,
+                theta: 5.0,
+            },
+            soc_idle: IdleFit {
+                beta: 4.0,
+                theta: 183.0,
+            },
             gamma_aicore: 0.25,
             gamma_soc: 0.9,
-            thermal: ThermalFit { k_c_per_w: 0.11, ambient_c: 40.0 },
+            thermal: ThermalFit {
+                k_c_per_w: 0.11,
+                ambient_c: 40.0,
+            },
         }
     }
 
@@ -605,12 +617,8 @@ mod tests {
     #[test]
     fn build_rejects_empty_and_mismatched() {
         assert_eq!(
-            PowerModel::build(
-                synthetic_calibration(),
-                VoltageCurve::ascend_default(),
-                &[]
-            )
-            .unwrap_err(),
+            PowerModel::build(synthetic_calibration(), VoltageCurve::ascend_default(), &[])
+                .unwrap_err(),
             PowerBuildError::NoProfiles
         );
         let mut p2 = synthetic_profile(FreqMhz::new(1800), 18.0, 30.0);

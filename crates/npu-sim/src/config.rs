@@ -90,7 +90,9 @@ impl NpuConfig {
     /// Ascend-910-class calibration used throughout the reproduction.
     #[must_use]
     pub fn ascend_like() -> Self {
-        NpuConfigBuilder::new().build().expect("default config is valid")
+        NpuConfigBuilder::new()
+            .build()
+            .expect("default config is valid")
     }
 
     /// Starts building a custom configuration.
@@ -403,7 +405,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_negative_noise() {
-        let err = NpuConfig::builder().noise(-0.1, 0.0, 0.0).build().unwrap_err();
+        let err = NpuConfig::builder()
+            .noise(-0.1, 0.0, 0.0)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::Negative("noise standard deviation"));
     }
 
@@ -424,8 +429,14 @@ mod tests {
         // (C·core_num) falling inside [1000, 1800] MHz for mid hit rates so
         // that operators exhibit breakpoints in the supported band.
         let cfg = NpuConfig::ascend_like();
-        let fs = |hit: f64| cfg.uncore_bw(hit) / (cfg.ld_bytes_per_cycle_per_core * f64::from(cfg.core_num));
-        assert!(fs(0.0) < 1000.0, "pure-HBM ops saturate below band: {}", fs(0.0));
+        let fs = |hit: f64| {
+            cfg.uncore_bw(hit) / (cfg.ld_bytes_per_cycle_per_core * f64::from(cfg.core_num))
+        };
+        assert!(
+            fs(0.0) < 1000.0,
+            "pure-HBM ops saturate below band: {}",
+            fs(0.0)
+        );
         let mid = fs(0.9);
         assert!(
             (1000.0..=1800.0).contains(&mid),

@@ -223,7 +223,10 @@ impl fmt::Display for DeviceError {
                 write!(f, "uncore scale {s} is outside the supported range")
             }
             Self::TriggerOutOfRange { index, len } => {
-                write!(f, "SetFreq trigger index {index} out of range for schedule of length {len}")
+                write!(
+                    f,
+                    "SetFreq trigger index {index} out of range for schedule of length {len}"
+                )
             }
         }
     }
@@ -366,8 +369,7 @@ impl Device {
             let step = period_us.min(duration_us - t);
             let dt_c = self.thermal.delta_t(&self.cfg);
             let p_ai = aicore_power(&self.cfg, 0.0, f, dt_c);
-            let p_soc =
-                p_ai + uncore_power_scaled(&self.cfg, 0.0, f, dt_c, self.uncore_scale);
+            let p_soc = p_ai + uncore_power_scaled(&self.cfg, 0.0, f, dt_c, self.uncore_scale);
             samples.push(self.sample(p_ai, p_soc));
             self.thermal.advance(&self.cfg, p_soc, step);
             self.clock_us += step;
@@ -405,8 +407,7 @@ impl Device {
             // Drift extrapolated over one thermal time constant: short
             // iterations only move the temperature a little per run, so a
             // raw per-run criterion would stop far from equilibrium.
-            let drift_per_tau =
-                (self.thermal.temp_c() - before).abs() * tau / r.duration_us;
+            let drift_per_tau = (self.thermal.temp_c() - before).abs() * tau / r.duration_us;
             if drift_per_tau < tol_c || self.clock_us - start >= max_us {
                 break;
             }
@@ -476,7 +477,11 @@ impl Device {
                 };
                 let seg_t = seg_end - self.clock_us;
                 let dt_c = self.thermal.delta_t(&self.cfg);
-                let alpha = if op.class() == OpClass::Idle { 0.0 } else { op.alpha() };
+                let alpha = if op.class() == OpClass::Idle {
+                    0.0
+                } else {
+                    op.alpha()
+                };
                 let traffic_rate = if op.class() == OpClass::Compute && dur_full > 0.0 {
                     op.total_traffic_bytes() / dur_full
                 } else {
@@ -532,8 +537,8 @@ impl Device {
                 };
                 let m_ai = p_ai_avg * self.noise.factor(self.cfg.power_noise_sd);
                 let m_soc = p_soc_avg * self.noise.factor(self.cfg.power_noise_sd);
-                let m_temp = self.thermal.temp_c()
-                    + self.noise.normal(0.0, self.cfg.temp_noise_sd_c);
+                let m_temp =
+                    self.thermal.temp_c() + self.noise.normal(0.0, self.cfg.temp_noise_sd_c);
                 result.records.push(OpRecord {
                     index: i,
                     name: op.name().to_owned(),
@@ -614,7 +619,9 @@ mod tests {
     #[test]
     fn run_accumulates_time_and_energy() {
         let mut dev = Device::new(cfg());
-        let r = dev.run(&small_schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r = dev
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         assert!(r.duration_us > 0.0);
         assert!(r.energy_aicore_j > 0.0);
         assert!(r.energy_soc_j > r.energy_aicore_j);
@@ -648,12 +655,15 @@ mod tests {
         // frequency ratio when downclocked (the whole premise of LFC).
         let mut d1 = Device::with_seed(quiet_cfg(), 1);
         let mut d2 = Device::with_seed(quiet_cfg(), 1);
-        let s = Schedule::new(vec![OpDescriptor::compute("Copy", Scenario::PingPongIndependent)
-            .blocks(16)
-            .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
-            .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
-            .l2_hit_rate(0.0)
-            .core_cycles_per_block(100.0)]);
+        let s = Schedule::new(vec![OpDescriptor::compute(
+            "Copy",
+            Scenario::PingPongIndependent,
+        )
+        .blocks(16)
+        .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
+        .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
+        .l2_hit_rate(0.0)
+        .core_cycles_per_block(100.0)]);
         let hi = d1.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
         let lo = d2.run(&s, &RunOptions::at(FreqMhz::new(1000))).unwrap();
         let slowdown = lo.duration_us / hi.duration_us;
@@ -725,7 +735,9 @@ mod tests {
         let mut dev = Device::with_seed(quiet_cfg(), 1);
         let start = dev.temp_c();
         let ops: Vec<OpDescriptor> = (0..200).map(|i| compute_op(&format!("M{i}"))).collect();
-        let _ = dev.run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let _ = dev
+            .run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         assert!(dev.temp_c() > start + 1.0, "temp {}", dev.temp_c());
     }
 
@@ -742,7 +754,9 @@ mod tests {
         let ops: Vec<OpDescriptor> = (0..200)
             .map(|i| compute_op(&format!("M{i}")).activity(30.0))
             .collect();
-        let _ = dev.run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let _ = dev
+            .run(&Schedule::new(ops), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         let hot = dev.temp_c();
         let samples = dev.observe_idle(3.0e6, 10_000.0);
         assert!(dev.temp_c() < hot);
@@ -766,7 +780,9 @@ mod tests {
     #[test]
     fn reset_restores_cold_state() {
         let mut dev = Device::new(cfg());
-        let _ = dev.run(&small_schedule(), &RunOptions::at(FreqMhz::new(1000))).unwrap();
+        let _ = dev
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1000)))
+            .unwrap();
         assert!(dev.clock_us() > 0.0);
         dev.reset();
         assert_eq!(dev.clock_us(), 0.0);
@@ -798,21 +814,28 @@ mod tests {
     #[test]
     fn empty_schedule_is_empty_run() {
         let mut dev = Device::new(cfg());
-        let r = dev.run(&Schedule::default(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r = dev
+            .run(&Schedule::default(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         assert_eq!(r.duration_us, 0.0);
         assert!(r.records.is_empty());
     }
 
     #[test]
     fn uncore_downclock_slows_memory_ops_and_saves_soc_power() {
-        let s = Schedule::new(vec![OpDescriptor::compute("Copy", Scenario::PingPongIndependent)
-            .blocks(16)
-            .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
-            .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
-            .l2_hit_rate(0.0)
-            .core_cycles_per_block(100.0)]);
+        let s = Schedule::new(vec![OpDescriptor::compute(
+            "Copy",
+            Scenario::PingPongIndependent,
+        )
+        .blocks(16)
+        .ld_bytes_per_block(8.0 * 1024.0 * 1024.0)
+        .st_bytes_per_block(8.0 * 1024.0 * 1024.0)
+        .l2_hit_rate(0.0)
+        .core_cycles_per_block(100.0)]);
         let mut nominal = Device::with_seed(quiet_cfg(), 1);
-        let r_nominal = nominal.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r_nominal = nominal
+            .run(&s, &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         let mut slow = Device::with_seed(quiet_cfg(), 1);
         slow.set_uncore_scale(0.7).unwrap();
         let r_slow = slow.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
@@ -827,7 +850,9 @@ mod tests {
     fn uncore_downclock_is_free_for_compute_ops() {
         let s = Schedule::new(vec![compute_op("MatMul")]);
         let mut nominal = Device::with_seed(quiet_cfg(), 1);
-        let r_nominal = nominal.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r_nominal = nominal
+            .run(&s, &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         let mut slow = Device::with_seed(quiet_cfg(), 1);
         slow.set_uncore_scale(0.7).unwrap();
         let r_slow = slow.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();

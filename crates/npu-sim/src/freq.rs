@@ -307,19 +307,13 @@ mod tests {
     #[test]
     fn table_rejects_unsorted() {
         let pts = vec![FreqMhz::new(1200), FreqMhz::new(1100)];
-        assert_eq!(
-            FrequencyTable::new(pts),
-            Err(FreqTableError::NotIncreasing)
-        );
+        assert_eq!(FrequencyTable::new(pts), Err(FreqTableError::NotIncreasing));
     }
 
     #[test]
     fn table_rejects_duplicates() {
         let pts = vec![FreqMhz::new(1200), FreqMhz::new(1200)];
-        assert_eq!(
-            FrequencyTable::new(pts),
-            Err(FreqTableError::NotIncreasing)
-        );
+        assert_eq!(FrequencyTable::new(pts), Err(FreqTableError::NotIncreasing));
     }
 
     #[test]

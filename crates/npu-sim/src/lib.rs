@@ -49,9 +49,9 @@ mod operator;
 pub mod power;
 mod profiler;
 pub mod telemetry;
-pub mod trace;
 mod thermal;
 mod timeline;
+pub mod trace;
 
 pub use config::{ConfigError, Micros, NpuConfig, NpuConfigBuilder};
 pub use device::{Device, DeviceError, RunOptions, RunResult, Schedule, SetFreqCmd};

@@ -105,8 +105,7 @@ mod tests {
         let mut n = NoiseSource::from_seed(7);
         let samples: Vec<f64> = (0..20_000).map(|_| n.normal(5.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.2, "var {var}");
     }

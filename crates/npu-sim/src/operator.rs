@@ -70,10 +70,7 @@ impl Scenario {
     /// Whether load and store phases are dependent (cannot overlap).
     #[must_use]
     pub fn dependent(self) -> bool {
-        matches!(
-            self,
-            Self::PingPongFreeDependent | Self::PingPongDependent
-        )
+        matches!(self, Self::PingPongFreeDependent | Self::PingPongDependent)
     }
 
     /// All four scenarios, for exhaustive sweeps in tests and experiments.
@@ -128,7 +125,10 @@ impl CoreMix {
             "core mix fractions must be non-negative"
         );
         let sum = cube + vector + scalar + mte1;
-        assert!(sum > 0.0, "core mix must have at least one non-zero fraction");
+        assert!(
+            sum > 0.0,
+            "core mix must have at least one non-zero fraction"
+        );
         Self {
             cube: cube / sum,
             vector: vector / sum,

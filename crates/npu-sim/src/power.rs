@@ -21,9 +21,7 @@ pub fn aicore_idle_power(cfg: &NpuConfig, f: FreqMhz) -> f64 {
 #[must_use]
 pub fn aicore_power(cfg: &NpuConfig, alpha: f64, f: FreqMhz, dt_c: f64) -> f64 {
     let v = cfg.voltage_curve.volts(f);
-    alpha * f.ghz() * v * v
-        + aicore_idle_power(cfg, f)
-        + cfg.gamma_aicore_w_per_k_v * dt_c * v
+    alpha * f.ghz() * v * v + aicore_idle_power(cfg, f) + cfg.gamma_aicore_w_per_k_v * dt_c * v
 }
 
 /// Uncore power at a memory traffic rate of `traffic_bytes_per_us` and
@@ -56,8 +54,7 @@ pub fn uncore_power_scaled(
     let gamma_uncore = (cfg.gamma_soc_w_per_k_v - cfg.gamma_aicore_w_per_k_v).max(0.0);
     let dyn_frac = cfg.uncore_dynamic_fraction;
     let idle = cfg.uncore_idle_w * ((1.0 - dyn_frac) + dyn_frac * scale.powf(2.5));
-    idle
-        + cfg.uncore_theta_w_per_v * v
+    idle + cfg.uncore_theta_w_per_v * v
         + cfg.hbm_pj_per_byte * traffic_bytes_per_us * 1e-6
         + gamma_uncore * dt_c * v
 }

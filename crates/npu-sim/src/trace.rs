@@ -133,7 +133,9 @@ pub fn write_chrome_trace<W: Write>(run: &RunResult, mut out: W) -> io::Result<(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule, SetFreqCmd};
+    use crate::{
+        Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule, SetFreqCmd,
+    };
 
     fn run_with_switch() -> RunResult {
         let cfg = NpuConfig::ascend_like();

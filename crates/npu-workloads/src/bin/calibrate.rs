@@ -26,7 +26,10 @@ fn main() {
     for (w, paper) in workloads {
         let mut dev = Device::new(cfg.clone());
         // Warm the chip like a steady-state training job.
-        let warm = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)).without_records());
+        let warm = dev.run(
+            w.schedule(),
+            &RunOptions::at(FreqMhz::new(1800)).without_records(),
+        );
         let _ = warm.expect("warm run");
         let r = dev
             .run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)))

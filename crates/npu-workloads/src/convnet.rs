@@ -42,7 +42,18 @@ impl ConvSpec {
 pub fn conv_bn_relu_forward(cfg: &NpuConfig, batch: u64, s: &ConvSpec) -> Vec<OpDescriptor> {
     let out = s.out_numel(batch);
     vec![
-        ops::conv2d(cfg, "Conv2D", batch, s.c_in, s.hw, s.hw, s.c_out, s.kernel, s.stride, CONV_EFFICIENCY),
+        ops::conv2d(
+            cfg,
+            "Conv2D",
+            batch,
+            s.c_in,
+            s.hw,
+            s.hw,
+            s.c_out,
+            s.kernel,
+            s.stride,
+            CONV_EFFICIENCY,
+        ),
         ops::bn_training_update(cfg, out),
         ops::relu(cfg, out),
     ]
@@ -55,8 +66,30 @@ pub fn conv_bn_relu_backward(cfg: &NpuConfig, batch: u64, s: &ConvSpec) -> Vec<O
     vec![
         ops::relu(cfg, out),
         ops::bn_training_update(cfg, out),
-        ops::conv2d(cfg, "Conv2DBackpropInput", batch, s.c_out, s.out_hw(), s.out_hw(), s.c_in, s.kernel, 1, CONV_EFFICIENCY),
-        ops::conv2d(cfg, "Conv2DBackpropFilter", batch, s.c_in, s.hw, s.hw, s.c_out, s.kernel, s.stride, CONV_EFFICIENCY),
+        ops::conv2d(
+            cfg,
+            "Conv2DBackpropInput",
+            batch,
+            s.c_out,
+            s.out_hw(),
+            s.out_hw(),
+            s.c_in,
+            s.kernel,
+            1,
+            CONV_EFFICIENCY,
+        ),
+        ops::conv2d(
+            cfg,
+            "Conv2DBackpropFilter",
+            batch,
+            s.c_in,
+            s.hw,
+            s.hw,
+            s.c_out,
+            s.kernel,
+            s.stride,
+            CONV_EFFICIENCY,
+        ),
     ]
 }
 
@@ -73,15 +106,39 @@ pub fn bottleneck(
     downsample: bool,
 ) -> Vec<OpDescriptor> {
     let c_out = 4 * c_mid;
-    let s1 = ConvSpec { c_in, hw, c_out: c_mid, kernel: 1, stride: 1 };
-    let s2 = ConvSpec { c_in: c_mid, hw, c_out: c_mid, kernel: 3, stride };
-    let s3 = ConvSpec { c_in: c_mid, hw: hw / stride, c_out, kernel: 1, stride: 1 };
+    let s1 = ConvSpec {
+        c_in,
+        hw,
+        c_out: c_mid,
+        kernel: 1,
+        stride: 1,
+    };
+    let s2 = ConvSpec {
+        c_in: c_mid,
+        hw,
+        c_out: c_mid,
+        kernel: 3,
+        stride,
+    };
+    let s3 = ConvSpec {
+        c_in: c_mid,
+        hw: hw / stride,
+        c_out,
+        kernel: 1,
+        stride: 1,
+    };
     let mut v = Vec::new();
     v.extend(conv_bn_relu_forward(cfg, batch, &s1));
     v.extend(conv_bn_relu_forward(cfg, batch, &s2));
     v.extend(conv_bn_relu_forward(cfg, batch, &s3));
     if downsample {
-        let sd = ConvSpec { c_in, hw, c_out, kernel: 1, stride };
+        let sd = ConvSpec {
+            c_in,
+            hw,
+            c_out,
+            kernel: 1,
+            stride,
+        };
         v.extend(conv_bn_relu_forward(cfg, batch, &sd));
     }
     v.push(ops::add(cfg, s3.out_numel(batch)));
@@ -91,7 +148,13 @@ pub fn bottleneck(
     v.extend(conv_bn_relu_backward(cfg, batch, &s2));
     v.extend(conv_bn_relu_backward(cfg, batch, &s1));
     if downsample {
-        let sd = ConvSpec { c_in, hw, c_out, kernel: 1, stride };
+        let sd = ConvSpec {
+            c_in,
+            hw,
+            c_out,
+            kernel: 1,
+            stride,
+        };
         v.extend(conv_bn_relu_backward(cfg, batch, &sd));
     }
     v
@@ -104,9 +167,21 @@ pub fn bottleneck(
 pub fn shuffle_unit(cfg: &NpuConfig, batch: u64, hw: u64, channels: u64) -> Vec<OpDescriptor> {
     let half = channels / 2;
     let numel = batch * half * hw * hw;
-    let s1 = ConvSpec { c_in: half, hw, c_out: half, kernel: 1, stride: 1 };
+    let s1 = ConvSpec {
+        c_in: half,
+        hw,
+        c_out: half,
+        kernel: 1,
+        stride: 1,
+    };
     // Depthwise conv: macs = numel · k² — model as conv with c_in = 1.
-    let dw = ConvSpec { c_in: 1, hw, c_out: half, kernel: 3, stride: 1 };
+    let dw = ConvSpec {
+        c_in: 1,
+        hw,
+        c_out: half,
+        kernel: 3,
+        stride: 1,
+    };
     let mut v = Vec::new();
     v.push(ops::scalar_op(cfg, "Split", numel.min(1 << 16)));
     v.extend(conv_bn_relu_forward(cfg, batch, &s1));
@@ -134,14 +209,26 @@ mod tests {
 
     #[test]
     fn conv_spec_output_shape() {
-        let s = ConvSpec { c_in: 64, hw: 56, c_out: 128, kernel: 3, stride: 2 };
+        let s = ConvSpec {
+            c_in: 64,
+            hw: 56,
+            c_out: 128,
+            kernel: 3,
+            stride: 2,
+        };
         assert_eq!(s.out_hw(), 28);
         assert_eq!(s.out_numel(2), 2 * 128 * 28 * 28);
     }
 
     #[test]
     fn triple_has_three_forward_ops() {
-        let s = ConvSpec { c_in: 64, hw: 56, c_out: 64, kernel: 3, stride: 1 };
+        let s = ConvSpec {
+            c_in: 64,
+            hw: 56,
+            c_out: 64,
+            kernel: 3,
+            stride: 1,
+        };
         let fwd = conv_bn_relu_forward(&cfg(), 8, &s);
         assert_eq!(fwd.len(), 3);
         assert!(fwd.iter().all(|o| o.class() == OpClass::Compute));
@@ -150,9 +237,18 @@ mod tests {
 
     #[test]
     fn backward_has_two_conv_grads() {
-        let s = ConvSpec { c_in: 64, hw: 56, c_out: 64, kernel: 3, stride: 1 };
+        let s = ConvSpec {
+            c_in: 64,
+            hw: 56,
+            c_out: 64,
+            kernel: 3,
+            stride: 1,
+        };
         let bwd = conv_bn_relu_backward(&cfg(), 8, &s);
-        let convs = bwd.iter().filter(|o| o.name().starts_with("Conv2DBackprop")).count();
+        let convs = bwd
+            .iter()
+            .filter(|o| o.name().starts_with("Conv2DBackprop"))
+            .count();
         assert_eq!(convs, 2);
     }
 

@@ -163,7 +163,9 @@ pub fn vit_base(cfg: &NpuConfig) -> Workload {
         batch: 64,
         tp: 1,
     };
-    let mut v = vec![ops::conv2d(cfg, "Conv2D", d.batch, 3, 224, 224, 768, 16, 16, 0.4)];
+    let mut v = vec![ops::conv2d(
+        cfg, "Conv2D", d.batch, 3, 224, 224, 768, 16, 16, 0.4,
+    )];
     v.extend(with_host_gaps(
         (0..12).map(|_| transformer::layer_forward(cfg, &d)),
         20.0,
@@ -190,7 +192,9 @@ pub fn deit_small(cfg: &NpuConfig) -> Workload {
         batch: 64,
         tp: 1,
     };
-    let mut v = vec![ops::conv2d(cfg, "Conv2D", d.batch, 3, 224, 224, 384, 16, 16, 0.4)];
+    let mut v = vec![ops::conv2d(
+        cfg, "Conv2D", d.batch, 3, 224, 224, 384, 16, 16, 0.4,
+    )];
     v.extend(with_host_gaps(
         (0..12).map(|_| transformer::layer_forward(cfg, &d)),
         20.0,
@@ -212,7 +216,13 @@ fn resnet(cfg: &NpuConfig, name: &str, repeats: [u64; 4], batch: u64) -> Workloa
     v.extend(convnet::conv_bn_relu_forward(
         cfg,
         batch,
-        &ConvSpec { c_in: 3, hw: 224, c_out: 64, kernel: 7, stride: 2 },
+        &ConvSpec {
+            c_in: 3,
+            hw: 224,
+            c_out: 64,
+            kernel: 7,
+            stride: 2,
+        },
     ));
     v.push(ops::reduce_mean(cfg, batch * 64, 112 * 112 / 4));
     let stage_hw = [56u64, 28, 14, 7];
@@ -221,7 +231,11 @@ fn resnet(cfg: &NpuConfig, name: &str, repeats: [u64; 4], batch: u64) -> Workloa
     for s in 0..4 {
         for r in 0..repeats[s] {
             let stride = if s > 0 && r == 0 { 2 } else { 1 };
-            let hw = if stride == 2 { stage_hw[s] * 2 } else { stage_hw[s] };
+            let hw = if stride == 2 {
+                stage_hw[s] * 2
+            } else {
+                stage_hw[s]
+            };
             v.extend(convnet::bottleneck(
                 cfg,
                 batch,
@@ -285,7 +299,13 @@ pub fn vgg19(cfg: &NpuConfig) -> Workload {
     ];
     let mut v = Vec::new();
     for (c_in, hw, c_out) in specs {
-        let s = ConvSpec { c_in, hw, c_out, kernel: 3, stride: 1 };
+        let s = ConvSpec {
+            c_in,
+            hw,
+            c_out,
+            kernel: 3,
+            stride: 1,
+        };
         v.extend(convnet::conv_bn_relu_forward(cfg, batch, &s));
     }
     v.push(ops::matmul(cfg, "MatMul", batch, 25088, 4096, 0.45));
@@ -293,7 +313,13 @@ pub fn vgg19(cfg: &NpuConfig) -> Workload {
     v.push(ops::matmul(cfg, "MatMul", batch, 4096, 1000, 0.45));
     v.push(ops::softmax(cfg, batch, 1000));
     for (c_in, hw, c_out) in specs.iter().rev() {
-        let s = ConvSpec { c_in: *c_in, hw: *hw, c_out: *c_out, kernel: 3, stride: 1 };
+        let s = ConvSpec {
+            c_in: *c_in,
+            hw: *hw,
+            c_out: *c_out,
+            kernel: 3,
+            stride: 1,
+        };
         v.extend(convnet::conv_bn_relu_backward(cfg, batch, &s));
     }
     v.push(ops::all_reduce(143_000_000.0 * 2.0));
@@ -306,11 +332,41 @@ pub fn vgg19(cfg: &NpuConfig) -> Workload {
 pub fn alexnet(cfg: &NpuConfig) -> Workload {
     let batch = 256u64;
     let specs = [
-        ConvSpec { c_in: 3, hw: 224, c_out: 96, kernel: 11, stride: 4 },
-        ConvSpec { c_in: 96, hw: 27, c_out: 256, kernel: 5, stride: 1 },
-        ConvSpec { c_in: 256, hw: 13, c_out: 384, kernel: 3, stride: 1 },
-        ConvSpec { c_in: 384, hw: 13, c_out: 384, kernel: 3, stride: 1 },
-        ConvSpec { c_in: 384, hw: 13, c_out: 256, kernel: 3, stride: 1 },
+        ConvSpec {
+            c_in: 3,
+            hw: 224,
+            c_out: 96,
+            kernel: 11,
+            stride: 4,
+        },
+        ConvSpec {
+            c_in: 96,
+            hw: 27,
+            c_out: 256,
+            kernel: 5,
+            stride: 1,
+        },
+        ConvSpec {
+            c_in: 256,
+            hw: 13,
+            c_out: 384,
+            kernel: 3,
+            stride: 1,
+        },
+        ConvSpec {
+            c_in: 384,
+            hw: 13,
+            c_out: 384,
+            kernel: 3,
+            stride: 1,
+        },
+        ConvSpec {
+            c_in: 384,
+            hw: 13,
+            c_out: 256,
+            kernel: 3,
+            stride: 1,
+        },
     ];
     let mut v = Vec::new();
     for s in &specs {
@@ -338,7 +394,13 @@ pub fn shufflenet_v2plus(cfg: &NpuConfig) -> Workload {
     v.extend(convnet::conv_bn_relu_forward(
         cfg,
         batch,
-        &ConvSpec { c_in: 3, hw: 224, c_out: 24, kernel: 3, stride: 2 },
+        &ConvSpec {
+            c_in: 3,
+            hw: 224,
+            c_out: 24,
+            kernel: 3,
+            stride: 2,
+        },
     ));
     let stages: [(u64, u64, usize); 3] = [(56, 128, 40), (28, 256, 80), (14, 512, 40)];
     for (hw, ch, units) in stages {
@@ -438,7 +500,11 @@ pub fn tiny(cfg: &NpuConfig) -> Workload {
     v.extend(transformer::layer_backward(cfg, &d));
     v.push(ops::aicpu("GetNext", 50.0));
     v.push(ops::all_reduce(1.0e6));
-    v.push(ops::adam_update(cfg, "ApplyAdamW", transformer::layer_params(&d)));
+    v.push(ops::adam_update(
+        cfg,
+        "ApplyAdamW",
+        transformer::layer_params(&d),
+    ));
     Workload::new("Tiny", Schedule::new(v))
 }
 
@@ -493,7 +559,9 @@ mod tests {
         let cfg = cfg();
         let w = tiny(&cfg);
         let mut dev = Device::new(cfg.clone());
-        let r = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r = dev
+            .run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         assert!(r.duration_us > 100.0);
         assert_eq!(r.records.len(), w.op_count());
     }
@@ -503,7 +571,9 @@ mod tests {
         let cfg = cfg();
         let w = llama2_inference(&cfg, 4);
         let mut dev = Device::new(cfg.clone());
-        let r = dev.run(w.schedule(), &RunOptions::at(FreqMhz::new(1800))).unwrap();
+        let r = dev
+            .run(w.schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
         let idle_us: f64 = r
             .records
             .iter()
@@ -545,7 +615,7 @@ mod tests {
             .count();
         assert!(bubbles >= 2, "pipeline bubbles: got {bubbles}");
         // ZeRO-sharded optimizer tail.
-        assert!(names.iter().any(|n| *n == "ApplyAdamW"));
+        assert!(names.contains(&"ApplyAdamW"));
     }
 
     #[test]
@@ -573,7 +643,12 @@ mod tests {
     fn vgg19_has_sixteen_conv_layers_each_way() {
         let cfg = cfg();
         let w = vgg19(&cfg);
-        let fwd = w.schedule().ops().iter().filter(|o| o.name() == "Conv2D").count();
+        let fwd = w
+            .schedule()
+            .ops()
+            .iter()
+            .filter(|o| o.name() == "Conv2D")
+            .count();
         let bwd_data = w
             .schedule()
             .ops()
@@ -583,7 +658,12 @@ mod tests {
         assert_eq!(fwd, 16);
         assert_eq!(bwd_data, 16);
         // Three fully connected layers.
-        let fc = w.schedule().ops().iter().filter(|o| o.name() == "MatMul").count();
+        let fc = w
+            .schedule()
+            .ops()
+            .iter()
+            .filter(|o| o.name() == "MatMul")
+            .count();
         assert_eq!(fc, 3);
     }
 
@@ -591,7 +671,12 @@ mod tests {
     fn alexnet_structure() {
         let cfg = cfg();
         let w = alexnet(&cfg);
-        let convs = w.schedule().ops().iter().filter(|o| o.name() == "Conv2D").count();
+        let convs = w
+            .schedule()
+            .ops()
+            .iter()
+            .filter(|o| o.name() == "Conv2D")
+            .count();
         assert_eq!(convs, 5);
         assert!(w.op_count() < 100, "AlexNet is small: {}", w.op_count());
     }

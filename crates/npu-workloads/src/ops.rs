@@ -58,7 +58,14 @@ fn clamp01(x: f64) -> f64 {
 ///
 /// `efficiency` derates the cube peak (real kernels reach 40–70 %).
 #[must_use]
-pub fn matmul(cfg: &NpuConfig, name: &str, m: u64, k: u64, n: u64, efficiency: f64) -> OpDescriptor {
+pub fn matmul(
+    cfg: &NpuConfig,
+    name: &str,
+    m: u64,
+    k: u64,
+    n: u64,
+    efficiency: f64,
+) -> OpDescriptor {
     assert!(efficiency > 0.0 && efficiency <= 1.0);
     let macs = (m as f64) * (k as f64) * (n as f64);
     let cores = f64::from(cfg.core_num);
@@ -100,8 +107,7 @@ pub fn conv2d(
     let macs = (batch * oh * ow * c_out * c_in * kernel * kernel) as f64;
     let cores = f64::from(cfg.core_num);
     let core_cycles = macs / (CUBE_MACS_PER_CYCLE * cores * efficiency);
-    let ld_total =
-        ((batch * c_in * h * w + c_out * c_in * kernel * kernel) as f64) * DTYPE_BYTES;
+    let ld_total = ((batch * c_in * h * w + c_out * c_in * kernel * kernel) as f64) * DTYPE_BYTES;
     let st_total = ((batch * c_out * oh * ow) as f64) * DTYPE_BYTES;
     let nb = blocks_for(ld_total + st_total);
     let j = jitter(name, batch ^ c_in ^ c_out);

@@ -230,10 +230,16 @@ mod tests {
     fn tensor_parallel_inserts_allreduces() {
         let cfg = cfg();
         let fwd = layer_forward(&cfg, &tp_dims());
-        let comms = fwd.iter().filter(|o| o.class() == OpClass::Communication).count();
+        let comms = fwd
+            .iter()
+            .filter(|o| o.class() == OpClass::Communication)
+            .count();
         assert_eq!(comms, 2, "one per row-parallel GEMM");
         let bwd = layer_backward(&cfg, &tp_dims());
-        let comms = bwd.iter().filter(|o| o.class() == OpClass::Communication).count();
+        let comms = bwd
+            .iter()
+            .filter(|o| o.class() == OpClass::Communication)
+            .count();
         assert_eq!(comms, 2);
     }
 
@@ -244,11 +250,19 @@ mod tests {
         let shard = layer_forward(&cfg, &tp_dims());
         let full_compute: f64 = total_time(
             &cfg,
-            &full.iter().filter(|o| o.class() == OpClass::Compute).cloned().collect::<Vec<_>>(),
+            &full
+                .iter()
+                .filter(|o| o.class() == OpClass::Compute)
+                .cloned()
+                .collect::<Vec<_>>(),
         );
         let shard_compute: f64 = total_time(
             &cfg,
-            &shard.iter().filter(|o| o.class() == OpClass::Compute).cloned().collect::<Vec<_>>(),
+            &shard
+                .iter()
+                .filter(|o| o.class() == OpClass::Compute)
+                .cloned()
+                .collect::<Vec<_>>(),
         );
         assert!(
             shard_compute < 0.55 * full_compute,

@@ -1,0 +1,426 @@
+//! Offline vendored stand-in for the subset of `proptest` this workspace
+//! uses: the `proptest!`, `prop_compose!`, `prop_oneof!`, `prop_assert!`
+//! and `prop_assert_eq!` macros, range/tuple/`Just`/`vec` strategies, and
+//! `any::<bool>()`.
+//!
+//! The build container has no crates.io access, so the real `proptest`
+//! cannot be fetched. This shim keeps the same test-source syntax and
+//! random-case semantics (seeded deterministically per test name) but
+//! does **not** shrink failing inputs — a failure reports the case index
+//! and message only. That trade keeps the property suites runnable
+//! offline without weakening what they assert.
+
+pub use rand;
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// Builds the union; `alternatives` must be non-empty.
+        #[must_use]
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(
+                !alternatives.is_empty(),
+                "prop_oneof! needs at least one arm"
+            );
+            Self(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.0.len());
+            self.0[i].new_value(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(f64, f32, usize, u64, u32, u16, u8, i64, i32);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: a fixed length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for the primitives this workspace generates.
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SampleStandard};
+    use std::marker::PhantomData;
+
+    /// Strategy drawing from `T`'s standard distribution.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: SampleStandard> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut SmallRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// The canonical strategy for `T` (here: its standard distribution).
+    #[must_use]
+    pub fn any<T: SampleStandard>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod test_runner {
+    //! Runner configuration.
+
+    /// Subset of proptest's config: the number of random cases per test.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Cases to run.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Stable per-test seed so failures reproduce across runs.
+    #[must_use]
+    pub fn seed_for(name: &str) -> u64 {
+        // FNV-1a.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(bindings in strategies)`
+/// item runs `cases` times with fresh random bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::rand::SeedableRng as _;
+            use $crate::strategy::Strategy as _;
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::rand::rngs::SmallRng::seed_from_u64(
+                $crate::test_runner::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for case in 0..cfg.cases {
+                $(let $arg = ($strat).new_value(&mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        cfg.cases,
+                        msg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Defines a named composite strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($params:tt)*)
+        ($($arg:ident in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($params)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (fails the case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body (fails the case).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0.0f64..1.0) -> (u32, f64) {
+            (a, b)
+        }
+    }
+
+    fn arb_tagged() -> impl Strategy<Value = i32> {
+        prop_oneof![Just(1), Just(2), Just(3)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 5.0f64..9.0, n in 1usize..4) {
+            prop_assert!((5.0..9.0).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn composed_and_collections(p in arb_pair(),
+                                    v in prop::collection::vec(0u32..7, 1..20),
+                                    t in arb_tagged(),
+                                    flag in any::<bool>()) {
+            prop_assert!(p.0 < 10 && p.1 < 1.0);
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 7));
+            prop_assert!((1..=3).contains(&t));
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,261 @@
+//! Offline vendored stand-in for the subset of the `rand` crate this
+//! workspace uses: a seeded small RNG (`rngs::SmallRng`), `SeedableRng`,
+//! and the `Rng::{gen, gen_range, gen_bool}` sampling methods.
+//!
+//! The container this reproduction builds in has no crates.io access, so
+//! the real `rand` cannot be fetched; this crate keeps the same API shape
+//! and statistical quality (xoshiro256++ seeded via SplitMix64 — the same
+//! generator family the real `SmallRng` uses on 64-bit targets). Streams
+//! are deterministic per seed, which is all the workspace requires
+//! (DESIGN.md §6: "all randomness behind seeded `SmallRng`").
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value from the "standard" distribution of `T`:
+    /// uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`.
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the standard distribution.
+pub trait SampleStandard {
+    /// Draws one value.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1), as the real crate does.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Widening-multiply mapping of a random word onto `[0, width)`; bias is
+/// below 2⁻⁶⁴·width, negligible for every width this workspace uses.
+#[inline]
+fn bounded(rng: &mut impl RngCore, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    ((u128::from(rng.next_u64()) * u128::from(width)) >> 64) as u64
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, width) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as i128 - lo as i128 + 1) as u64;
+                if width == 0 {
+                    // Full u64 domain: no rejection needed.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + bounded(rng, width) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = SampleStandard::sample_standard(rng);
+                let v = self.start + (self.end - self.start) * unit;
+                // Guard the open upper bound against rounding.
+                if v >= self.end {
+                    <$t>::max(self.start, self.end - (self.end - self.start) * <$t>::EPSILON)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+float_range!(f64, f32);
+
+/// Small, fast generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the generator family the real `SmallRng` uses on
+    /// 64-bit targets. Not cryptographically secure; excellent for
+    /// simulation.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as rand_xoshiro does.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 9];
+        for _ in 0..10_000 {
+            let i = rng.gen_range(0..9usize);
+            seen[i] = true;
+            let f = rng.gen_range(-2.0f64..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let k = rng.gen_range(1..4u32);
+            assert!((1..4).contains(&k));
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

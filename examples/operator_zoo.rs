@@ -19,18 +19,33 @@ use npu_dvfs::classify::{classify, sensitivity};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = NpuConfig::ascend_like();
     let zoo: Vec<(&str, npu_sim::OpDescriptor)> = vec![
-        ("MatMul 4096^3", ops::matmul(&cfg, "MatMul", 4096, 4096, 4096, 0.55)),
-        ("Conv2D 56x56x256", ops::conv2d(&cfg, "Conv2D", 256, 256, 56, 56, 256, 3, 1, 0.4)),
+        (
+            "MatMul 4096^3",
+            ops::matmul(&cfg, "MatMul", 4096, 4096, 4096, 0.55),
+        ),
+        (
+            "Conv2D 56x56x256",
+            ops::conv2d(&cfg, "Conv2D", 256, 256, 56, 56, 256, 3, 1, 0.4),
+        ),
         ("Gelu 64M", ops::gelu(&cfg, 64 << 20)),
         ("Add 64M", ops::add(&cfg, 64 << 20)),
         ("Tanh 32M", ops::tanh(&cfg, 32 << 20)),
         ("Softmax 8k x 2k", ops::softmax(&cfg, 8192, 2048)),
         ("LayerNorm 16k x 4k", ops::layer_norm(&cfg, 16384, 4096)),
         ("ReduceMean 8k x 4k", ops::reduce_mean(&cfg, 8192, 4096)),
-        ("BNTrainingUpdate 64M", ops::bn_training_update(&cfg, 64 << 20)),
-        ("AdamW 100M", ops::adam_update(&cfg, "ApplyAdamW", 100_000_000)),
+        (
+            "BNTrainingUpdate 64M",
+            ops::bn_training_update(&cfg, 64 << 20),
+        ),
+        (
+            "AdamW 100M",
+            ops::adam_update(&cfg, "ApplyAdamW", 100_000_000),
+        ),
         ("TransData 32M", ops::transpose(&cfg, 32 << 20)),
-        ("StridedSlice 4k", ops::scalar_op(&cfg, "StridedSlice", 4096)),
+        (
+            "StridedSlice 4k",
+            ops::scalar_op(&cfg, "StridedSlice", 4096),
+        ),
     ];
 
     println!(

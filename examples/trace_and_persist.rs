@@ -35,8 +35,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (operator ranges and frequencies) round-trip exactly.
     assert_eq!(reloaded.freqs(), outcome.strategy.freqs());
     assert_eq!(
-        reloaded.stages().iter().map(|s| s.op_range.clone()).collect::<Vec<_>>(),
-        outcome.strategy.stages().iter().map(|s| s.op_range.clone()).collect::<Vec<_>>()
+        reloaded
+            .stages()
+            .iter()
+            .map(|s| s.op_range.clone())
+            .collect::<Vec<_>>(),
+        outcome
+            .strategy
+            .stages()
+            .iter()
+            .map(|s| s.op_range.clone())
+            .collect::<Vec<_>>()
     );
 
     let mut dev = Device::new(cfg.clone());

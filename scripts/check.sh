@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI gate: formatting, lints, tests, and a bench smoke run.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> bench smoke (CRITERION_SMOKE=1, one iteration per bench)"
+CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting
+CRITERION_SMOKE=1 cargo bench -p npu-bench --bench ga_eval
+CRITERION_SMOKE=1 cargo bench -p npu-bench --bench simulator
+
+echo "==> all checks passed"

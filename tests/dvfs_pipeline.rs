@@ -130,7 +130,11 @@ fn ga_strategy_beats_prior_and_executes_faithfully() {
             StageKind::Hfc => 8, // 1800 MHz
         })
         .collect();
-    let prior_score = npu_dvfs::score(&table.evaluate(&prior_genes), table.baseline().time_us, 0.02);
+    let prior_score = npu_dvfs::score(
+        &table.evaluate(&prior_genes),
+        table.baseline().time_us,
+        0.02,
+    );
     assert!(
         outcome.best_score >= prior_score - 1e-12,
         "GA {} must not lose to the prior {}",

@@ -18,7 +18,9 @@ fn calibrated_optimizer_saves_power_on_bert() {
         ga: reduced_ga(),
         ..OptimizerConfig::default()
     };
-    let report = optimizer.optimize(&workload, &opts).expect("optimization succeeds");
+    let report = optimizer
+        .optimize(&workload, &opts)
+        .expect("optimization succeeds");
 
     // Shape of the paper's Table 3 BERT row: a few percent perf loss buys
     // a double-digit AICore power cut and a smaller SoC cut.

@@ -4,11 +4,7 @@
 use dvfs_repro::prelude::*;
 use npu_perf_model::{prediction_errors, ErrorStats, SHORT_OP_CUTOFF_US};
 
-fn profiles_for(
-    workload: &Workload,
-    freqs: &[u32],
-    cfg: &NpuConfig,
-) -> Vec<FreqProfile> {
+fn profiles_for(workload: &Workload, freqs: &[u32], cfg: &NpuConfig) -> Vec<FreqProfile> {
     let mut dev = Device::new(cfg.clone());
     // Warm-up to steady-state temperature, as the paper does.
     let tau = dev.config().thermal_tau_us;

@@ -76,10 +76,8 @@ fn dvfs_run_exports_inspectable_trace() {
             kind: npu_dvfs::StageKind::Lfc,
         },
     ];
-    let strategy = npu_dvfs::DvfsStrategy::new(
-        stages,
-        vec![FreqMhz::new(1800), FreqMhz::new(1200)],
-    );
+    let strategy =
+        npu_dvfs::DvfsStrategy::new(stages, vec![FreqMhz::new(1800), FreqMhz::new(1200)]);
     let exec = execute_strategy(
         &mut dev,
         workload.schedule(),

@@ -32,11 +32,7 @@ fn calibrated_device(cfg: &NpuConfig) -> (Device, npu_power_model::HardwareCalib
     (dev, calib)
 }
 
-fn profiles(
-    dev: &mut Device,
-    workload: &Workload,
-    freqs: &[u32],
-) -> Vec<FreqProfile> {
+fn profiles(dev: &mut Device, workload: &Workload, freqs: &[u32]) -> Vec<FreqProfile> {
     let tau = dev.config().thermal_tau_us;
     freqs
         .iter()
