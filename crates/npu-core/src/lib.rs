@@ -22,7 +22,9 @@
 mod model_free;
 mod optimizer;
 mod report;
+mod session;
 
 pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
 pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 pub use report::{MeasuredIteration, OptimizationReport};
+pub use session::OptimizationSession;

@@ -2,13 +2,15 @@
 //! performance and power models → classify/preprocess → GA search →
 //! execute the strategy → compare against baseline.
 
-use crate::report::{MeasuredIteration, OptimizationReport};
-use npu_dvfs::{preprocess::preprocess, search, GaConfig, GaOutcome, StageTable, TableError};
-use npu_exec::{execute_strategy, ExecError, ExecutorOptions};
-use npu_perf_model::{BuildError, FitFunction, FreqProfile, PerfModelStore};
+use crate::report::OptimizationReport;
+use crate::session::OptimizationSession;
+use npu_dvfs::{GaConfig, GaOutcome, TableError};
+use npu_exec::ExecError;
+use npu_obs::{Event, ObserverHandle};
+use npu_perf_model::{BuildError, FitFunction, FreqProfile};
 use npu_power_model::{
     calibrate_device, CalibrationOptions, DeviceCalibrationError, HardwareCalibration,
-    PowerBuildError, PowerModel,
+    PowerBuildError,
 };
 use npu_sim::{Device, DeviceError, FreqMhz, NpuConfig, RunOptions, Schedule};
 use npu_workloads::{models, ops, Workload};
@@ -27,7 +29,7 @@ pub struct OptimizerConfig {
     /// Genetic-algorithm settings.
     pub ga: GaConfig,
     /// Trigger-placement latency override (see
-    /// [`ExecutorOptions::planned_latency_us`]).
+    /// [`npu_exec::ExecutorOptions::planned_latency_us`]).
     pub planned_latency_us: Option<f64>,
 }
 
@@ -63,6 +65,31 @@ impl OptimizerConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.ga.threads = threads;
+        self
+    }
+
+    /// Sets the performance-model fitting function, chainable.
+    #[must_use]
+    pub fn with_fit(mut self, fit: FitFunction) -> Self {
+        self.fit = fit;
+        self
+    }
+
+    /// Sets the model-building profile frequencies, chainable. The
+    /// device's maximum frequency is always profiled in addition (it
+    /// doubles as the measured baseline).
+    #[must_use]
+    pub fn with_build_freqs(mut self, freqs: Vec<FreqMhz>) -> Self {
+        self.build_freqs = freqs;
+        self
+    }
+
+    /// Sets the planned trigger-placement latency, chainable (see
+    /// [`npu_exec::ExecutorOptions::planned_latency_us`]; `None` uses the device's
+    /// actual latency).
+    #[must_use]
+    pub fn with_planned_latency_us(mut self, latency_us: Option<f64>) -> Self {
+        self.planned_latency_us = latency_us;
         self
     }
 }
@@ -159,8 +186,8 @@ impl From<ExecError> for OptimizeError {
 /// ```
 #[derive(Debug)]
 pub struct EnergyOptimizer {
-    dev: Device,
-    calib: HardwareCalibration,
+    pub(crate) dev: Device,
+    pub(crate) calib: HardwareCalibration,
 }
 
 impl EnergyOptimizer {
@@ -213,9 +240,31 @@ impl EnergyOptimizer {
         &self.dev
     }
 
+    /// The structured-event observer (shared with the device).
+    #[must_use]
+    pub fn observer(&self) -> &ObserverHandle {
+        self.dev.observer()
+    }
+
+    /// Attaches a structured-event observer to the optimizer and its
+    /// device: every pipeline layer — device runs, `SetFreq` applies,
+    /// model fits, GA generations, phase boundaries — reports through it.
+    pub fn set_observer(&mut self, obs: ObserverHandle) {
+        self.dev.set_observer(obs);
+    }
+
+    /// Chainable form of [`Self::set_observer`].
+    #[must_use]
+    pub fn with_observer(mut self, obs: ObserverHandle) -> Self {
+        self.set_observer(obs);
+        self
+    }
+
     /// Profiles `schedule` once per frequency, warming the chip to the
     /// thermal steady state of each frequency first (the paper collects
-    /// data "once stable training is achieved").
+    /// data "once stable training is achieved"). Each recorded run is
+    /// reported as an [`Event::ProfileRun`] through the attached
+    /// observer.
     ///
     /// # Errors
     ///
@@ -236,12 +285,32 @@ impl EnergyOptimizer {
                 .dev
                 .warm_until_steady(schedule, freq, 0.2, 12.0 * tau)?;
             let run = self.dev.run(schedule, &RunOptions::at(freq))?;
+            self.dev.observer().emit(Event::ProfileRun {
+                freq_mhz: freq.mhz(),
+                ops: run.records.len(),
+                duration_us: run.duration_us,
+            });
             profiles.push(FreqProfile {
                 freq,
                 records: run.records,
             });
         }
         Ok(profiles)
+    }
+
+    /// Starts a staged optimization session for one workload.
+    ///
+    /// The session exposes the Fig. 1 loop one phase at a time —
+    /// [`OptimizationSession::profile`], `build_models`, `search`,
+    /// `execute`, `report` — with every intermediate artifact
+    /// inspectable between stages. [`Self::optimize`] is the one-call
+    /// wrapper over the same path.
+    pub fn session<'a>(
+        &'a mut self,
+        workload: &'a Workload,
+        opts: &OptimizerConfig,
+    ) -> OptimizationSession<'a> {
+        OptimizationSession::new(self, workload, opts.clone())
     }
 
     /// Runs the full Fig. 1 loop on one workload and reports measured
@@ -270,81 +339,11 @@ impl EnergyOptimizer {
         workload: &Workload,
         opts: &OptimizerConfig,
     ) -> Result<(OptimizationReport, GaOutcome), OptimizeError> {
-        let schedule = workload.schedule();
-        let fmax = self.dev.config().freq_table.max();
-        let voltage = self.dev.config().voltage_curve;
-        let freq_table = self.dev.config().freq_table.clone();
-
-        // 1. Profile at the build frequencies (max first: it doubles as
-        //    the measured baseline).
-        let mut build_freqs = opts.build_freqs.clone();
-        if !build_freqs.contains(&fmax) {
-            build_freqs.push(fmax);
-        }
-        build_freqs.sort();
-        build_freqs.reverse(); // profile at fmax first
-        let profiles = self.profile(schedule, &build_freqs)?;
-        let baseline_profile = &profiles[0];
-        debug_assert_eq!(baseline_profile.freq, fmax);
-        let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
-        let baseline_aicore: f64 = baseline_profile
-            .records
-            .iter()
-            .map(|r| r.aicore_w * r.dur_us)
-            .sum::<f64>()
-            / baseline_time;
-        let baseline_soc: f64 = baseline_profile
-            .records
-            .iter()
-            .map(|r| r.soc_w * r.dur_us)
-            .sum::<f64>()
-            / baseline_time;
-        let baseline = MeasuredIteration {
-            time_us: baseline_time,
-            aicore_w: baseline_aicore,
-            soc_w: baseline_soc,
-            temp_c: baseline_profile
-                .records
-                .last()
-                .map_or(self.dev.temp_c(), |r| r.temp_c),
-        };
-
-        // 2. Build the performance and power models.
-        let perf = PerfModelStore::build(&profiles, opts.fit)?;
-        let power = PowerModel::build(self.calib, voltage, &profiles)?;
-
-        // 3. Classify + preprocess the baseline profile into stages. The
-        //    FAI can never be finer than the SetFreq apply latency —
-        //    switches requested closer together than the latency cannot
-        //    land where planned.
-        let fai = opts.fai_us.max(self.dev.config().setfreq_latency_us);
-        let pre = preprocess(&baseline_profile.records, fai);
-
-        // 4. GA search over the stage table.
-        let table = StageTable::build(&pre, &perf, &power, &freq_table)?;
-        let outcome = search(&table, &opts.ga);
-
-        // 5. Execute the strategy and measure.
-        let exec = execute_strategy(
-            &mut self.dev,
-            schedule,
-            &outcome.strategy,
-            &baseline_profile.records,
-            &ExecutorOptions {
-                planned_latency_us: opts.planned_latency_us,
-                ..ExecutorOptions::default()
-            },
-        )?;
-        let report = OptimizationReport {
-            workload: workload.name().to_owned(),
-            perf_loss_target: opts.ga.perf_loss_target,
-            baseline,
-            optimized: MeasuredIteration::from_run(&exec.result),
-            predicted: outcome.best_eval,
-            stage_count: pre.len(),
-            setfreq_count: exec.setfreq_count,
-            ga_trace: outcome.score_trace.clone(),
-        };
+        let mut session = self.session(workload, opts);
+        let report = session.report()?;
+        let outcome = session
+            .into_ga_outcome()
+            .expect("report() always runs the search stage");
         Ok((report, outcome))
     }
 }
@@ -416,9 +415,60 @@ mod tests {
         let o = OptimizerConfig::default()
             .with_loss_target(0.06)
             .with_fai_us(100_000.0)
-            .with_threads(3);
+            .with_threads(3)
+            .with_fit(FitFunction::StallConstant)
+            .with_build_freqs(vec![FreqMhz::new(1200), FreqMhz::new(1800)])
+            .with_planned_latency_us(Some(2_000.0));
         assert_eq!(o.ga.perf_loss_target, 0.06);
         assert_eq!(o.fai_us, 100_000.0);
         assert_eq!(o.ga.threads, 3);
+        assert_eq!(o.fit, FitFunction::StallConstant);
+        assert_eq!(o.build_freqs, vec![FreqMhz::new(1200), FreqMhz::new(1800)]);
+        assert_eq!(o.planned_latency_us, Some(2_000.0));
+    }
+
+    #[test]
+    fn staged_session_exposes_artifacts_and_matches_optimize() {
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+
+        // Monolithic path on one identically-seeded optimizer…
+        let mut mono = fast_optimizer(&cfg);
+        let mono_report = mono.optimize(&w, &quick_opts()).unwrap();
+
+        // …staged path on another, inspecting artifacts between stages.
+        let mut staged = fast_optimizer(&cfg);
+        let opts = quick_opts();
+        let mut session = staged.session(&w, &opts);
+        assert!(session.profiles().is_none());
+        assert!(session.ga_outcome().is_none());
+
+        let profiles = session.profile().unwrap();
+        assert_eq!(profiles.len(), 2); // 1000 MHz + fmax
+        assert_eq!(profiles[0].freq, FreqMhz::new(1800));
+        assert!(session.baseline().unwrap().time_us > 0.0);
+
+        let (perf, power) = session.build_models().unwrap();
+        assert_eq!(perf.len(), w.op_count());
+        assert!(power.predict(0, FreqMhz::new(1800)).aicore_w > 0.0);
+
+        let outcome = session.search().unwrap();
+        assert!(outcome.best_score > 0.0);
+        assert_eq!(
+            session.preprocessed().unwrap().len(),
+            session.stage_table().unwrap().n_stages()
+        );
+
+        let exec = session.execute().unwrap();
+        assert!(exec.result.duration_us > 0.0);
+
+        let staged_report = session.report().unwrap();
+        // Same device seed, same stage order: the staged API must be
+        // byte-identical to the monolithic wrapper.
+        assert_eq!(staged_report, mono_report);
+
+        // report() is idempotent and the artifacts remain inspectable.
+        assert_eq!(session.report().unwrap(), staged_report);
+        assert!(session.profiles().is_some());
     }
 }

@@ -1,0 +1,346 @@
+//! Staged optimization sessions: the Fig. 1 closed loop, one phase at a
+//! time.
+//!
+//! [`OptimizationSession`] decomposes [`EnergyOptimizer::optimize`] into
+//! `profile → build_models → search → execute → report`. Each stage runs
+//! at most once, automatically running any predecessors it needs, and
+//! leaves its artifact inspectable on the session — the frequency
+//! profiles, fitted models, preprocessed stages, GA outcome and executed
+//! run. The one-call `optimize()` wrapper drives this exact path, so the
+//! staged and monolithic APIs are byte-identical in their results.
+//!
+//! Every stage brackets itself with [`Event::PhaseStarted`] /
+//! [`Event::PhaseFinished`] on the optimizer's observer, which is how
+//! the whole pipeline becomes a single JSON-lines stream (see the
+//! `observe_pipeline` example).
+
+use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
+use crate::report::{MeasuredIteration, OptimizationReport};
+use npu_dvfs::{preprocess::preprocess, search_observed, GaOutcome, Preprocessed, StageTable};
+use npu_exec::{execute_strategy, ExecutionOutcome, ExecutorOptions};
+use npu_obs::{Event, ObserverHandle, Phase};
+use npu_perf_model::{FreqProfile, PerfModelStore};
+use npu_power_model::PowerModel;
+use std::time::Instant;
+
+/// A staged run of the optimization pipeline over one workload.
+///
+/// Obtain one via [`EnergyOptimizer::session`]. Stages chain lazily:
+/// calling [`Self::report`] on a fresh session runs everything, while
+/// calling [`Self::search`] first lets the caller inspect the GA outcome
+/// (or the stage table) before deciding to execute.
+///
+/// # Examples
+///
+/// ```no_run
+/// use npu_core::{EnergyOptimizer, OptimizerConfig};
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let workload = models::tiny(&cfg);
+/// let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
+/// let opts = OptimizerConfig::default();
+/// let mut session = optimizer.session(&workload, &opts);
+/// let outcome = session.search()?; // profile + models run implicitly
+/// println!("predicted {:?}", outcome.best_eval);
+/// let report = session.report()?; // executes, then reports
+/// println!("{report}");
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct OptimizationSession<'a> {
+    opt: &'a mut EnergyOptimizer,
+    workload: &'a npu_workloads::Workload,
+    opts: OptimizerConfig,
+    obs: ObserverHandle,
+    profiles: Option<Vec<FreqProfile>>,
+    baseline: Option<MeasuredIteration>,
+    perf: Option<PerfModelStore>,
+    power: Option<PowerModel>,
+    preprocessed: Option<Preprocessed>,
+    table: Option<StageTable>,
+    outcome: Option<GaOutcome>,
+    execution: Option<ExecutionOutcome>,
+}
+
+impl<'a> OptimizationSession<'a> {
+    pub(crate) fn new(
+        opt: &'a mut EnergyOptimizer,
+        workload: &'a npu_workloads::Workload,
+        opts: OptimizerConfig,
+    ) -> Self {
+        let obs = opt.observer().clone();
+        Self {
+            opt,
+            workload,
+            opts,
+            obs,
+            profiles: None,
+            baseline: None,
+            perf: None,
+            power: None,
+            preprocessed: None,
+            table: None,
+            outcome: None,
+            execution: None,
+        }
+    }
+
+    /// The configuration this session runs under.
+    #[must_use]
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.opts
+    }
+
+    /// The observer the session (and every layer below it) reports to.
+    #[must_use]
+    pub fn observer(&self) -> &ObserverHandle {
+        &self.obs
+    }
+
+    fn phase<T>(
+        &mut self,
+        phase: Phase,
+        body: impl FnOnce(&mut Self) -> Result<T, OptimizeError>,
+    ) -> Result<T, OptimizeError> {
+        self.obs.emit(Event::PhaseStarted { phase });
+        let start = Instant::now();
+        let out = body(self)?;
+        self.obs.emit(Event::PhaseFinished {
+            phase,
+            wall_us: start.elapsed().as_secs_f64() * 1e6,
+        });
+        Ok(out)
+    }
+
+    /// Stage 1 — profiles the workload at the build frequencies (the
+    /// device's maximum frequency first; it doubles as the measured
+    /// baseline). Idempotent: repeated calls return the cached profiles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Device`] if a profiling run fails.
+    pub fn profile(&mut self) -> Result<&[FreqProfile], OptimizeError> {
+        if self.profiles.is_none() {
+            self.phase(Phase::Profile, |s| {
+                let fmax = s.opt.dev.config().freq_table.max();
+                let mut build_freqs = s.opts.build_freqs.clone();
+                if !build_freqs.contains(&fmax) {
+                    build_freqs.push(fmax);
+                }
+                build_freqs.sort();
+                build_freqs.reverse(); // profile at fmax first
+                let profiles = s.opt.profile(s.workload.schedule(), &build_freqs)?;
+                let baseline_profile = &profiles[0];
+                debug_assert_eq!(baseline_profile.freq, fmax);
+                let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
+                let baseline_aicore: f64 = baseline_profile
+                    .records
+                    .iter()
+                    .map(|r| r.aicore_w * r.dur_us)
+                    .sum::<f64>()
+                    / baseline_time;
+                let baseline_soc: f64 = baseline_profile
+                    .records
+                    .iter()
+                    .map(|r| r.soc_w * r.dur_us)
+                    .sum::<f64>()
+                    / baseline_time;
+                let baseline = MeasuredIteration {
+                    time_us: baseline_time,
+                    aicore_w: baseline_aicore,
+                    soc_w: baseline_soc,
+                    temp_c: baseline_profile
+                        .records
+                        .last()
+                        .map_or(s.opt.dev.temp_c(), |r| r.temp_c),
+                };
+                if s.obs.enabled() {
+                    s.obs.emit(Event::IterationMeasured {
+                        label: "baseline".to_owned(),
+                        time_us: baseline.time_us,
+                        aicore_w: baseline.aicore_w,
+                        soc_w: baseline.soc_w,
+                        temp_c: baseline.temp_c,
+                    });
+                }
+                s.baseline = Some(baseline);
+                s.profiles = Some(profiles);
+                Ok(())
+            })?;
+        }
+        Ok(self.profiles.as_deref().expect("profile stage ran"))
+    }
+
+    /// Stage 2 — fits the performance and power models from the
+    /// profiles (running [`Self::profile`] first if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if profiling or a model build fails.
+    pub fn build_models(&mut self) -> Result<(&PerfModelStore, &PowerModel), OptimizeError> {
+        if self.perf.is_none() {
+            self.profile()?;
+            self.phase(Phase::BuildModels, |s| {
+                let voltage = s.opt.dev.config().voltage_curve;
+                let profiles = s.profiles.as_ref().expect("profile stage ran");
+                let perf = PerfModelStore::build_observed(profiles, s.opts.fit, &s.obs)?;
+                let power = PowerModel::build(s.opt.calib, voltage, profiles)?;
+                s.perf = Some(perf);
+                s.power = Some(power);
+                Ok(())
+            })?;
+        }
+        Ok((
+            self.perf.as_ref().expect("model stage ran"),
+            self.power.as_ref().expect("model stage ran"),
+        ))
+    }
+
+    /// Stage 3 — preprocesses the baseline profile into stages and runs
+    /// the GA search over the stage table (running earlier stages first
+    /// if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if an earlier stage or the table build
+    /// fails.
+    pub fn search(&mut self) -> Result<&GaOutcome, OptimizeError> {
+        if self.outcome.is_none() {
+            self.build_models()?;
+            self.phase(Phase::Search, |s| {
+                // The FAI can never be finer than the SetFreq apply
+                // latency — switches requested closer together than the
+                // latency cannot land where planned.
+                let fai = s.opts.fai_us.max(s.opt.dev.config().setfreq_latency_us);
+                let freq_table = s.opt.dev.config().freq_table.clone();
+                let baseline_records = &s.profiles.as_ref().expect("profile stage ran")[0].records;
+                let pre = preprocess(baseline_records, fai);
+                let table = StageTable::build(
+                    &pre,
+                    s.perf.as_ref().expect("model stage ran"),
+                    s.power.as_ref().expect("model stage ran"),
+                    &freq_table,
+                )?;
+                let outcome = search_observed(&table, &s.opts.ga, &s.obs);
+                s.preprocessed = Some(pre);
+                s.table = Some(table);
+                s.outcome = Some(outcome);
+                Ok(())
+            })?;
+        }
+        Ok(self.outcome.as_ref().expect("search stage ran"))
+    }
+
+    /// Stage 4 — executes the winning strategy on the device and
+    /// measures it (running earlier stages first if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if an earlier stage or the execution
+    /// fails.
+    pub fn execute(&mut self) -> Result<&ExecutionOutcome, OptimizeError> {
+        if self.execution.is_none() {
+            self.search()?;
+            self.phase(Phase::Execute, |s| {
+                let strategy = &s.outcome.as_ref().expect("search stage ran").strategy;
+                let baseline_records = &s.profiles.as_ref().expect("profile stage ran")[0].records;
+                let exec = execute_strategy(
+                    &mut s.opt.dev,
+                    s.workload.schedule(),
+                    strategy,
+                    baseline_records,
+                    &ExecutorOptions {
+                        planned_latency_us: s.opts.planned_latency_us,
+                        ..ExecutorOptions::default()
+                    },
+                )?;
+                s.execution = Some(exec);
+                Ok(())
+            })?;
+        }
+        Ok(self.execution.as_ref().expect("execute stage ran"))
+    }
+
+    /// Stage 5 — assembles the baseline-vs-optimized report (running
+    /// every earlier stage first if needed). Idempotent; the returned
+    /// report is owned, so the session stays inspectable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if any stage fails.
+    pub fn report(&mut self) -> Result<OptimizationReport, OptimizeError> {
+        self.execute()?;
+        self.phase(Phase::Report, |s| {
+            let outcome = s.outcome.as_ref().expect("search stage ran");
+            let exec = s.execution.as_ref().expect("execute stage ran");
+            Ok(OptimizationReport {
+                workload: s.workload.name().to_owned(),
+                perf_loss_target: s.opts.ga.perf_loss_target,
+                baseline: *s.baseline.as_ref().expect("profile stage ran"),
+                optimized: MeasuredIteration::from_run(&exec.result),
+                predicted: outcome.best_eval,
+                stage_count: s.preprocessed.as_ref().expect("search stage ran").len(),
+                setfreq_count: exec.setfreq_count,
+                ga_trace: outcome.score_trace.clone(),
+            })
+        })
+    }
+
+    /// The frequency profiles, if [`Self::profile`] has run.
+    #[must_use]
+    pub fn profiles(&self) -> Option<&[FreqProfile]> {
+        self.profiles.as_deref()
+    }
+
+    /// The measured baseline iteration, if [`Self::profile`] has run.
+    #[must_use]
+    pub fn baseline(&self) -> Option<&MeasuredIteration> {
+        self.baseline.as_ref()
+    }
+
+    /// The fitted performance models, if [`Self::build_models`] has run.
+    #[must_use]
+    pub fn perf_model(&self) -> Option<&PerfModelStore> {
+        self.perf.as_ref()
+    }
+
+    /// The fitted power model, if [`Self::build_models`] has run.
+    #[must_use]
+    pub fn power_model(&self) -> Option<&PowerModel> {
+        self.power.as_ref()
+    }
+
+    /// The preprocessed LFC/HFC stages, if [`Self::search`] has run.
+    #[must_use]
+    pub fn preprocessed(&self) -> Option<&Preprocessed> {
+        self.preprocessed.as_ref()
+    }
+
+    /// The per-stage/per-frequency prediction table, if [`Self::search`]
+    /// has run.
+    #[must_use]
+    pub fn stage_table(&self) -> Option<&StageTable> {
+        self.table.as_ref()
+    }
+
+    /// The GA outcome, if [`Self::search`] has run.
+    #[must_use]
+    pub fn ga_outcome(&self) -> Option<&GaOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// The executed run, if [`Self::execute`] has run.
+    #[must_use]
+    pub fn execution(&self) -> Option<&ExecutionOutcome> {
+        self.execution.as_ref()
+    }
+
+    /// Consumes the session, returning the GA outcome if the search
+    /// stage ran.
+    #[must_use]
+    pub fn into_ga_outcome(self) -> Option<GaOutcome> {
+        self.outcome
+    }
+}

@@ -35,7 +35,7 @@ use std::collections::HashMap;
 use std::thread;
 
 /// Incremental evaluator over one genome: a segment tree of per-stage
-/// [`Sums`] whose root feeds the thermal fix point. Re-scoring after `k`
+/// `Sums` whose root feeds the thermal fix point. Re-scoring after `k`
 /// gene changes costs O(k·log n) instead of O(n).
 ///
 /// The tree topology (leaves padded to `n.next_power_of_two()`, parent =

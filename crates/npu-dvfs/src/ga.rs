@@ -17,6 +17,7 @@
 use crate::engine::{EvalEngine, IncrementalEval, RouletteWheel};
 use crate::preprocess::StageKind;
 use crate::strategy::{DvfsStrategy, Evaluation, StageTable};
+use npu_obs::{Event, ObserverHandle};
 use npu_sim::FreqMhz;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -152,6 +153,20 @@ pub fn score(eval: &Evaluation, baseline_time_us: f64, perf_loss_target: f64) ->
 /// Panics if `cfg.population < 2` or the table has no frequency points.
 #[must_use]
 pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
+    search_observed(table, cfg, &ObserverHandle::null())
+}
+
+/// Like [`search`], additionally emitting one [`Event::GaGeneration`] per
+/// generation through `obs` (generation index, best score so far, and the
+/// memo hits the evaluation engine served that generation). The search
+/// trajectory is untouched: with a disabled handle the outcome is
+/// bit-identical to [`search`].
+///
+/// # Panics
+///
+/// Panics if `cfg.population < 2` or the table has no frequency points.
+#[must_use]
+pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle) -> GaOutcome {
     assert!(cfg.population >= 2, "population must be at least 2");
     let n = table.n_stages();
     let m = table.n_freqs();
@@ -235,8 +250,9 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
     let mut score_trace = Vec::with_capacity(cfg.iterations);
     let mut best_genes = population[0].clone();
     let mut best_score = f64::NEG_INFINITY;
+    let mut prev_memo_hits = 0;
 
-    for _ in 0..cfg.iterations {
+    for iter in 0..cfg.iterations {
         let scores = engine.score_population(&population);
         let (gen_best_idx, gen_best) = scores
             .iter()
@@ -249,6 +265,15 @@ pub fn search(table: &StageTable, cfg: &GaConfig) -> GaOutcome {
             best_genes = population[gen_best_idx].clone();
         }
         score_trace.push(best_score);
+        if obs.enabled() {
+            let memo_hits = engine.scored() - engine.unique_scored();
+            obs.emit(Event::GaGeneration {
+                iter,
+                best_score,
+                memo_hits: memo_hits - prev_memo_hits,
+            });
+            prev_memo_hits = memo_hits;
+        }
 
         // Next generation: elite + roulette-selected offspring via the
         // prefix-sum wheel (O(log n) per draw).
@@ -497,6 +522,33 @@ mod tests {
             let multi = search(&t, &quick_cfg().with_threads(threads));
             assert_eq!(single, multi, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn observed_search_emits_generations_without_perturbing_outcome() {
+        use npu_obs::{MetricsRegistry, ObserverHandle};
+        use std::sync::Arc;
+
+        let t = table(3, 3);
+        let silent = search(&t, &quick_cfg());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let obs = ObserverHandle::from_arc(metrics.clone());
+        let observed = search_observed(&t, &quick_cfg(), &obs);
+        assert_eq!(silent, observed, "observer must not change the search");
+        assert_eq!(metrics.counter("event.GaGeneration"), 120);
+        // The per-generation memo-hit deltas add up to the search totals.
+        assert_eq!(
+            metrics.counter("ga.memo_hits") as usize,
+            // Refinement probes are all unique, so GA-phase hits are the
+            // difference of the outcome's totals.
+            observed.evaluations - observed.unique_evaluations
+        );
+        let scores = metrics.histogram("ga.best_score").unwrap();
+        assert_eq!(scores.count, 120);
+        // Events carry the pre-refinement trace, which the memetic pass
+        // can only improve upon.
+        assert!(scores.max <= observed.score_trace[119] + 1e-12);
+        assert!(scores.max >= observed.score_trace[0]);
     }
 
     #[test]

@@ -39,12 +39,14 @@ pub mod baseline;
 pub mod classify;
 mod engine;
 mod ga;
+pub mod persist;
 pub mod preprocess;
 mod strategy;
 
 pub use baseline::{phase_level, program_level, BaselineOutcome};
 pub use classify::{Bottleneck, Sensitivity};
 pub use engine::{resolve_threads, EvalEngine, IncrementalEval, RouletteWheel};
-pub use ga::{score, search, GaConfig, GaOutcome};
+pub use ga::{score, search, search_observed, GaConfig, GaOutcome};
+pub use persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
 pub use preprocess::{Preprocessed, Stage, StageKind};
 pub use strategy::{DvfsStrategy, Evaluation, StageTable, TableError, ThermalCoupling};

@@ -10,8 +10,13 @@
 //! npu-dvfs-strategy v1
 //! stage <start_us> <dur_us> <op_start> <op_end> <LFC|HFC> <freq_mhz>
 //! ```
+//!
+//! The free functions [`write_strategy`]/[`read_strategy`] and the
+//! inherent [`DvfsStrategy::to_writer`]/[`DvfsStrategy::from_reader`]
+//! methods are interchangeable.
 
-use npu_dvfs::{DvfsStrategy, Stage, StageKind};
+use crate::preprocess::{Stage, StageKind};
+use crate::strategy::DvfsStrategy;
 use npu_sim::FreqMhz;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -60,6 +65,27 @@ impl std::error::Error for StrategyParseError {
 impl From<io::Error> for StrategyParseError {
     fn from(e: io::Error) -> Self {
         Self::Io(e)
+    }
+}
+
+impl DvfsStrategy {
+    /// Writes this strategy in the v1 text format (see
+    /// [`write_strategy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from `out`.
+    pub fn to_writer<W: Write>(&self, out: W) -> io::Result<()> {
+        write_strategy(self, out)
+    }
+
+    /// Reads a strategy in the v1 text format (see [`read_strategy`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StrategyParseError`] on malformed input.
+    pub fn from_reader<R: BufRead>(reader: R) -> Result<Self, StrategyParseError> {
+        read_strategy(reader)
     }
 }
 
@@ -226,6 +252,18 @@ mod tests {
     }
 
     #[test]
+    fn inherent_methods_match_free_functions() {
+        let s = sample();
+        let mut via_method = Vec::new();
+        s.to_writer(&mut via_method).unwrap();
+        let mut via_free = Vec::new();
+        write_strategy(&s, &mut via_free).unwrap();
+        assert_eq!(via_method, via_free);
+        let parsed = DvfsStrategy::from_reader(BufReader::new(via_method.as_slice())).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
     fn rejects_bad_header() {
         let err = read_strategy(BufReader::new("bogus v9\n".as_bytes())).unwrap_err();
         assert!(matches!(err, StrategyParseError::BadHeader));
@@ -272,5 +310,35 @@ mod tests {
         write_strategy(&s, &mut buf).unwrap();
         let parsed = read_strategy(BufReader::new(buf.as_slice())).unwrap();
         assert!(parsed.is_empty());
+    }
+
+    /// A reader that fails after yielding the header, to exercise the
+    /// `Io` error path.
+    struct FailingReader {
+        served: bool,
+    }
+
+    impl io::Read for FailingReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.served {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "link died"));
+            }
+            self.served = true;
+            let line = format!("{STRATEGY_HEADER}\n");
+            buf[..line.len()].copy_from_slice(line.as_bytes());
+            Ok(line.len())
+        }
+    }
+
+    #[test]
+    fn io_failures_surface_as_io_variant() {
+        let err = read_strategy(BufReader::new(FailingReader { served: false })).unwrap_err();
+        match &err {
+            StrategyParseError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::BrokenPipe),
+            other => panic!("expected Io, got {other}"),
+        }
+        // The source chain exposes the underlying io::Error.
+        use std::error::Error as _;
+        assert!(err.source().is_some());
     }
 }

@@ -18,11 +18,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod persist;
-
-pub use persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
+// Strategy persistence lives in `npu_dvfs::persist` (next to the type it
+// serializes, enabling the `DvfsStrategy::{to_writer, from_reader}`
+// inherent methods); re-exported here because the executor process is
+// the natural reader.
+pub use npu_dvfs::persist;
+pub use npu_dvfs::persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
 
 use npu_dvfs::DvfsStrategy;
+use npu_obs::Event;
 use npu_sim::{
     Device, DeviceError, FreqMhz, OpRecord, RunOptions, RunResult, Schedule, SetFreqCmd,
 };
@@ -176,6 +180,11 @@ pub fn compile_strategy(
 /// Executes `strategy` on `dev` over `schedule`, placing `SetFreq`
 /// triggers against `baseline_records`.
 ///
+/// When the device carries an enabled observer, the executed iteration is
+/// reported as an [`Event::IterationMeasured`] labeled `"optimized"` (the
+/// `SetFreq` applies themselves are emitted by the device during the
+/// run).
+///
 /// # Errors
 ///
 /// Returns [`ExecError`] when the strategy does not fit the schedule or
@@ -204,6 +213,16 @@ pub fn execute_strategy(
         run_opts = run_opts.with_telemetry(opts.telemetry_period_us);
     }
     let result = dev.run(schedule, &run_opts)?;
+    let obs = dev.observer();
+    if obs.enabled() {
+        obs.emit(Event::IterationMeasured {
+            label: "optimized".to_owned(),
+            time_us: result.duration_us,
+            aicore_w: result.avg_aicore_w(),
+            soc_w: result.avg_soc_w(),
+            temp_c: result.end_temp_c,
+        });
+    }
     Ok(ExecutionOutcome {
         result,
         setfreq_count,

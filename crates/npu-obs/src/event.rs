@@ -1,0 +1,369 @@
+//! Typed pipeline events and their JSON-lines encoding.
+//!
+//! Events are plain data: numeric fields for the hot paths (GA
+//! generations, `SetFreq` applies) and owned strings only in the cold
+//! ones (model fits, calibration), so constructing an event that a
+//! [`crate::NullObserver`] will discard costs nothing measurable.
+
+use std::fmt::Write as _;
+
+/// The phases of the Fig. 1 closed loop, plus the one-off offline
+/// calibration that precedes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Offline hardware calibration (idle fits, cool-down γ, thermal k).
+    Calibrate,
+    /// Profiling the workload at the build frequencies.
+    Profile,
+    /// Fitting the performance and power models.
+    BuildModels,
+    /// Preprocessing + genetic-algorithm strategy search.
+    Search,
+    /// Executing the chosen strategy on the device.
+    Execute,
+    /// Assembling the final optimization report.
+    Report,
+}
+
+impl Phase {
+    /// Stable lowercase name used in event streams.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Calibrate => "calibrate",
+            Self::Profile => "profile",
+            Self::BuildModels => "model-build",
+            Self::Search => "search",
+            Self::Execute => "execute",
+            Self::Report => "report",
+        }
+    }
+
+    /// All pipeline phases in execution order (calibration first).
+    #[must_use]
+    pub fn all() -> [Phase; 6] {
+        [
+            Self::Calibrate,
+            Self::Profile,
+            Self::BuildModels,
+            Self::Search,
+            Self::Execute,
+            Self::Report,
+        ]
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured event from the pipeline.
+///
+/// Every layer of the stack emits through the same enum so a single sink
+/// sees the whole closed loop: device runs and `SetFreq` applies
+/// (`npu-sim`), calibration fits (`npu-power-model`), model fits
+/// (`npu-perf-model`), per-generation GA statistics (`npu-dvfs`),
+/// measured iterations (`npu-exec`) and phase boundaries (`npu-core`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Event {
+    /// A pipeline phase began.
+    PhaseStarted {
+        /// Which phase.
+        phase: Phase,
+    },
+    /// A pipeline phase completed.
+    PhaseFinished {
+        /// Which phase.
+        phase: Phase,
+        /// Host wall-clock time the phase took, µs.
+        wall_us: f64,
+    },
+    /// One profiling run at a build frequency completed.
+    ProfileRun {
+        /// Core frequency of the run, MHz.
+        freq_mhz: u32,
+        /// Operators profiled.
+        ops: usize,
+        /// Virtual duration of the run, µs.
+        duration_us: f64,
+    },
+    /// A performance-model store was fitted.
+    ModelFitted {
+        /// Fitting-function family (display form, e.g. `T=(af^2+c)/f`).
+        func: String,
+        /// Operators fitted.
+        ops: usize,
+        /// Maximum relative residual against the build profiles.
+        max_err: f64,
+    },
+    /// One offline-calibration parameter was fitted.
+    CalibrationFitted {
+        /// Parameter name (e.g. `gamma_aicore`, `k_c_per_w`).
+        param: String,
+        /// Fitted value.
+        value: f64,
+    },
+    /// One GA generation finished scoring.
+    GaGeneration {
+        /// Generation index (0-based).
+        iter: usize,
+        /// Best score seen so far (the score-trace value).
+        best_score: f64,
+        /// Individuals served from the evaluation memo this generation.
+        memo_hits: usize,
+    },
+    /// A `SetFreq` request took effect on the device.
+    SetFreqIssued {
+        /// Device-clock time of the apply, µs.
+        at_us: f64,
+        /// The new core frequency, MHz.
+        freq_mhz: u32,
+    },
+    /// A full iteration was measured (baseline or under a strategy).
+    IterationMeasured {
+        /// What was measured (`baseline`, `optimized`, …).
+        label: String,
+        /// Iteration time, µs.
+        time_us: f64,
+        /// Average AICore power, W.
+        aicore_w: f64,
+        /// Average SoC power, W.
+        soc_w: f64,
+        /// End-of-iteration chip temperature, °C.
+        temp_c: f64,
+    },
+    /// One device run completed (per-run counters).
+    DeviceRun {
+        /// Operators executed.
+        ops: usize,
+        /// Virtual duration, µs.
+        duration_us: f64,
+        /// True AICore energy, J.
+        energy_aicore_j: f64,
+        /// True SoC energy, J.
+        energy_soc_j: f64,
+        /// Frequency changes applied during the run.
+        setfreq_applied: usize,
+        /// Chip temperature at the end of the run, °C.
+        end_temp_c: f64,
+    },
+    /// Telemetry collected during a run, summarized.
+    TelemetrySummarized {
+        /// Mean AICore power over the window, W.
+        mean_aicore_w: f64,
+        /// Mean SoC power over the window, W.
+        mean_soc_w: f64,
+        /// Mean chip temperature over the window, °C.
+        mean_temp_c: f64,
+        /// Number of samples.
+        samples: usize,
+    },
+}
+
+impl Event {
+    /// Stable event-type name (the `event` field of the JSON encoding).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::PhaseStarted { .. } => "PhaseStarted",
+            Self::PhaseFinished { .. } => "PhaseFinished",
+            Self::ProfileRun { .. } => "ProfileRun",
+            Self::ModelFitted { .. } => "ModelFitted",
+            Self::CalibrationFitted { .. } => "CalibrationFitted",
+            Self::GaGeneration { .. } => "GaGeneration",
+            Self::SetFreqIssued { .. } => "SetFreqIssued",
+            Self::IterationMeasured { .. } => "IterationMeasured",
+            Self::DeviceRun { .. } => "DeviceRun",
+            Self::TelemetrySummarized { .. } => "TelemetrySummarized",
+        }
+    }
+
+    /// Encodes the event as one JSON object (no trailing newline).
+    ///
+    /// Numbers are emitted with `f64`'s round-trip `Display`; non-finite
+    /// values (which valid pipelines never produce) encode as `null` so
+    /// the line always parses as JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"event\":\"");
+        s.push_str(self.name());
+        s.push('"');
+        match self {
+            Self::PhaseStarted { phase } => {
+                push_str_field(&mut s, "phase", phase.as_str());
+            }
+            Self::PhaseFinished { phase, wall_us } => {
+                push_str_field(&mut s, "phase", phase.as_str());
+                push_num_field(&mut s, "wall_us", *wall_us);
+            }
+            Self::ProfileRun {
+                freq_mhz,
+                ops,
+                duration_us,
+            } => {
+                push_num_field(&mut s, "freq_mhz", f64::from(*freq_mhz));
+                push_uint_field(&mut s, "ops", *ops as u64);
+                push_num_field(&mut s, "duration_us", *duration_us);
+            }
+            Self::ModelFitted { func, ops, max_err } => {
+                push_str_field(&mut s, "func", func);
+                push_uint_field(&mut s, "ops", *ops as u64);
+                push_num_field(&mut s, "max_err", *max_err);
+            }
+            Self::CalibrationFitted { param, value } => {
+                push_str_field(&mut s, "param", param);
+                push_num_field(&mut s, "value", *value);
+            }
+            Self::GaGeneration {
+                iter,
+                best_score,
+                memo_hits,
+            } => {
+                push_uint_field(&mut s, "iter", *iter as u64);
+                push_num_field(&mut s, "best_score", *best_score);
+                push_uint_field(&mut s, "memo_hits", *memo_hits as u64);
+            }
+            Self::SetFreqIssued { at_us, freq_mhz } => {
+                push_num_field(&mut s, "at_us", *at_us);
+                push_num_field(&mut s, "freq_mhz", f64::from(*freq_mhz));
+            }
+            Self::IterationMeasured {
+                label,
+                time_us,
+                aicore_w,
+                soc_w,
+                temp_c,
+            } => {
+                push_str_field(&mut s, "label", label);
+                push_num_field(&mut s, "time_us", *time_us);
+                push_num_field(&mut s, "aicore_w", *aicore_w);
+                push_num_field(&mut s, "soc_w", *soc_w);
+                push_num_field(&mut s, "temp_c", *temp_c);
+            }
+            Self::DeviceRun {
+                ops,
+                duration_us,
+                energy_aicore_j,
+                energy_soc_j,
+                setfreq_applied,
+                end_temp_c,
+            } => {
+                push_uint_field(&mut s, "ops", *ops as u64);
+                push_num_field(&mut s, "duration_us", *duration_us);
+                push_num_field(&mut s, "energy_aicore_j", *energy_aicore_j);
+                push_num_field(&mut s, "energy_soc_j", *energy_soc_j);
+                push_uint_field(&mut s, "setfreq_applied", *setfreq_applied as u64);
+                push_num_field(&mut s, "end_temp_c", *end_temp_c);
+            }
+            Self::TelemetrySummarized {
+                mean_aicore_w,
+                mean_soc_w,
+                mean_temp_c,
+                samples,
+            } => {
+                push_num_field(&mut s, "mean_aicore_w", *mean_aicore_w);
+                push_num_field(&mut s, "mean_soc_w", *mean_soc_w);
+                push_num_field(&mut s, "mean_temp_c", *mean_temp_c);
+                push_uint_field(&mut s, "samples", *samples as u64);
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+fn push_uint_field(s: &mut String, key: &str, v: u64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_num_field(s: &mut String, key: &str, v: f64) {
+    if v.is_finite() {
+        let _ = write!(s, ",\"{key}\":{v}");
+    } else {
+        let _ = write!(s, ",\"{key}\":null");
+    }
+}
+
+fn push_str_field(s: &mut String, key: &str, v: &str) {
+    let _ = write!(s, ",\"{key}\":");
+    push_json_string(s, v);
+}
+
+/// Appends `v` as a JSON string literal with full escaping.
+pub(crate) fn push_json_string(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<&str> = Phase::all().iter().map(|p| p.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "calibrate",
+                "profile",
+                "model-build",
+                "search",
+                "execute",
+                "report"
+            ]
+        );
+    }
+
+    #[test]
+    fn json_encodes_numeric_event() {
+        let e = Event::GaGeneration {
+            iter: 3,
+            best_score: 0.5,
+            memo_hits: 12,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"GaGeneration\",\"iter\":3,\"best_score\":0.5,\"memo_hits\":12}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let e = Event::IterationMeasured {
+            label: "a\"b\\c\nd".to_owned(),
+            time_us: 1.0,
+            aicore_w: 2.0,
+            soc_w: 3.0,
+            temp_c: 4.0,
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"label\":\"a\\\"b\\\\c\\nd\""), "{json}");
+    }
+
+    #[test]
+    fn json_maps_non_finite_to_null() {
+        let e = Event::PhaseFinished {
+            phase: Phase::Search,
+            wall_us: f64::NAN,
+        };
+        assert!(e.to_json().contains("\"wall_us\":null"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Counters and summary histograms, aggregatable from the event stream.
+
+use crate::event::Event;
+use crate::Observer;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Streaming summary of one measured quantity: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Histogram {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded values (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count > 0 {
+            self.sum / self.count as f64
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// A named registry of counters and histograms.
+///
+/// Usable two ways: directly (`inc` / `record` from your own code) or as
+/// an [`Observer`] sink, in which case it counts every event by type and
+/// records the interesting magnitudes (run durations, GA scores, memo
+/// hits). Share it as an `Arc` to keep reading after the pipeline ran:
+///
+/// ```
+/// use npu_obs::{Event, MetricsRegistry, Observer, ObserverHandle};
+/// use std::sync::Arc;
+///
+/// let metrics = Arc::new(MetricsRegistry::new());
+/// let obs = ObserverHandle::from_arc(metrics.clone());
+/// obs.emit(Event::SetFreqIssued { at_us: 5.0, freq_mhz: 1300 });
+/// assert_eq!(metrics.counter("event.SetFreqIssued"), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the named counter (creating it at zero).
+    pub fn inc(&self, name: &str, by: u64) {
+        if let Ok(mut c) = self.counters.lock() {
+            match c.get_mut(name) {
+                Some(v) => *v += by,
+                None => {
+                    c.insert(name.to_owned(), by);
+                }
+            }
+        }
+    }
+
+    /// Records one value into the named histogram.
+    pub fn record(&self, name: &str, value: f64) {
+        if let Ok(mut h) = self.histograms.lock() {
+            h.entry(name.to_owned()).or_default().record(value);
+        }
+    }
+
+    /// Current value of a counter (0 when never incremented).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        *self
+            .counters
+            .lock()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .unwrap_or(&0)
+    }
+
+    /// Snapshot of a histogram, if anything was recorded under `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Snapshot of every counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().expect("metrics lock poisoned").clone()
+    }
+
+    /// Renders all counters and histograms as sorted `name value` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an internal lock was poisoned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for (name, v) in self.counters.lock().expect("metrics lock poisoned").iter() {
+            let _ = writeln!(s, "{name} {v}");
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+        {
+            let _ = writeln!(
+                s,
+                "{name} count={} mean={:.6} min={:.6} max={:.6}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+        s
+    }
+}
+
+impl Observer for MetricsRegistry {
+    fn on_event(&self, event: &Event) {
+        self.inc(&format!("event.{}", event.name()), 1);
+        match event {
+            Event::GaGeneration {
+                best_score,
+                memo_hits,
+                ..
+            } => {
+                self.record("ga.best_score", *best_score);
+                self.inc("ga.memo_hits", *memo_hits as u64);
+            }
+            Event::DeviceRun {
+                duration_us,
+                setfreq_applied,
+                ..
+            } => {
+                self.record("device.run_us", *duration_us);
+                self.inc("device.setfreq_applied", *setfreq_applied as u64);
+            }
+            Event::PhaseFinished { phase, wall_us } => {
+                self.record(&format!("phase.{}.wall_us", phase.as_str()), *wall_us);
+            }
+            Event::IterationMeasured {
+                label,
+                time_us,
+                aicore_w,
+                ..
+            } => {
+                self.record(&format!("iteration.{label}.time_us"), *time_us);
+                self.record(&format!("iteration.{label}.aicore_w"), *aicore_w);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("runs", 2);
+        m.inc("runs", 3);
+        assert_eq!(m.counter("runs"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        m.record("t", 1.0);
+        m.record("t", 3.0);
+        let h = m.histogram("t").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn observer_impl_counts_events_by_type() {
+        let m = MetricsRegistry::new();
+        m.on_event(&Event::GaGeneration {
+            iter: 0,
+            best_score: 2.0,
+            memo_hits: 7,
+        });
+        m.on_event(&Event::PhaseFinished {
+            phase: Phase::Execute,
+            wall_us: 500.0,
+        });
+        assert_eq!(m.counter("event.GaGeneration"), 1);
+        assert_eq!(m.counter("ga.memo_hits"), 7);
+        assert_eq!(m.histogram("phase.execute.wall_us").unwrap().count, 1);
+        let rendered = m.render();
+        assert!(rendered.contains("event.PhaseFinished 1"), "{rendered}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Built-in observer sinks: JSON lines, human-readable summaries, fan-out.
+
+use crate::event::{Event, Phase};
+use crate::{Observer, ObserverHandle};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Writes one JSON object per event, one event per line.
+///
+/// The stream is machine-readable (`jq`-friendly) and append-only;
+/// write failures are swallowed — observability must never take down
+/// the pipeline it watches.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLinesSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Consumes the sink and returns the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned by a panicking writer.
+    pub fn into_inner(self) -> W {
+        self.out.into_inner().expect("sink lock poisoned")
+    }
+}
+
+impl JsonLinesSink<std::io::Stdout> {
+    /// A sink writing to standard output.
+    #[must_use]
+    pub fn stdout() -> Self {
+        Self::new(std::io::stdout())
+    }
+}
+
+impl<W: Write + Send> Observer for JsonLinesSink<W> {
+    fn on_event(&self, event: &Event) {
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.write_all(line.as_bytes());
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SummaryState {
+    /// `(phase, started_at, wall_us)` in arrival order; `wall_us` is
+    /// `None` while the phase is open.
+    phases: Vec<(Phase, Option<Instant>, Option<f64>)>,
+    counts: BTreeMap<&'static str, u64>,
+    setfreq_applied: u64,
+    ga_generations: u64,
+    last_best_score: Option<f64>,
+}
+
+/// Collects phase timings and event counts; [`SummarySink::render`]
+/// produces a human-readable table.
+///
+/// Phase wall times prefer the `wall_us` reported in
+/// [`Event::PhaseFinished`]; if an emitter omits phase events the sink
+/// falls back to its own host clock between start/finish pairs.
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    state: Mutex<SummaryState>,
+}
+
+impl SummarySink {
+    /// Creates an empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the phase table and event counts collected so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock was poisoned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let st = self.state.lock().expect("summary lock poisoned");
+        let mut s = String::new();
+        s.push_str("phase        wall_ms\n");
+        for (phase, _, wall_us) in &st.phases {
+            match wall_us {
+                Some(us) => {
+                    let _ = writeln!(s, "{:<12} {:>10.3}", phase.as_str(), us / 1_000.0);
+                }
+                None => {
+                    let _ = writeln!(s, "{:<12} {:>10}", phase.as_str(), "(open)");
+                }
+            }
+        }
+        if st.ga_generations > 0 {
+            let _ = writeln!(
+                s,
+                "GA: {} generations, best score {:.6}",
+                st.ga_generations,
+                st.last_best_score.unwrap_or(f64::NAN)
+            );
+        }
+        if st.setfreq_applied > 0 {
+            let _ = writeln!(s, "SetFreq applied: {}", st.setfreq_applied);
+        }
+        s.push_str("events:");
+        for (name, count) in &st.counts {
+            let _ = write!(s, " {name}\u{d7}{count}");
+        }
+        s.push('\n');
+        s
+    }
+}
+
+impl Observer for SummarySink {
+    fn on_event(&self, event: &Event) {
+        let Ok(mut st) = self.state.lock() else {
+            return;
+        };
+        *st.counts.entry(event.name()).or_insert(0) += 1;
+        match event {
+            Event::PhaseStarted { phase } => {
+                st.phases.push((*phase, Some(Instant::now()), None));
+            }
+            Event::PhaseFinished { phase, wall_us } => {
+                let row = st
+                    .phases
+                    .iter_mut()
+                    .rev()
+                    .find(|(p, _, wall)| p == phase && wall.is_none());
+                match row {
+                    Some((_, started, wall)) => {
+                        *wall = Some(if wall_us.is_finite() {
+                            *wall_us
+                        } else {
+                            started.map_or(f64::NAN, |t| t.elapsed().as_secs_f64() * 1e6)
+                        });
+                    }
+                    None => st.phases.push((*phase, None, Some(*wall_us))),
+                }
+            }
+            Event::GaGeneration { best_score, .. } => {
+                st.ga_generations += 1;
+                st.last_best_score = Some(*best_score);
+            }
+            Event::SetFreqIssued { .. } => st.setfreq_applied += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Fans every event out to several observers.
+///
+/// `enabled` is true when any child is enabled; disabled children are
+/// skipped per event.
+#[derive(Debug, Clone, Default)]
+pub struct Tee {
+    sinks: Vec<ObserverHandle>,
+}
+
+impl Tee {
+    /// Combines the given handles.
+    #[must_use]
+    pub fn new(sinks: Vec<ObserverHandle>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl Observer for Tee {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(ObserverHandle::enabled)
+    }
+
+    fn on_event(&self, event: &Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.observer().on_event(event);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NullObserver;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::PhaseStarted {
+                phase: Phase::Search,
+            },
+            Event::GaGeneration {
+                iter: 0,
+                best_score: 1.5,
+                memo_hits: 2,
+            },
+            Event::PhaseFinished {
+                phase: Phase::Search,
+                wall_us: 2_000.0,
+            },
+            Event::SetFreqIssued {
+                at_us: 10.0,
+                freq_mhz: 1300,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_line_per_event() {
+        let sink = JsonLinesSink::new(Vec::new());
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"event\":\"PhaseStarted\""));
+        assert!(lines[3].contains("\"freq_mhz\":1300"));
+    }
+
+    #[test]
+    fn summary_sink_tracks_phases_and_counts() {
+        let sink = SummarySink::new();
+        for e in sample_events() {
+            sink.on_event(&e);
+        }
+        let rendered = sink.render();
+        assert!(rendered.contains("search"), "{rendered}");
+        assert!(rendered.contains("2.000"), "{rendered}");
+        assert!(rendered.contains("GA: 1 generations"), "{rendered}");
+        assert!(rendered.contains("SetFreq applied: 1"), "{rendered}");
+    }
+
+    #[test]
+    fn tee_forwards_to_enabled_children_only() {
+        let buf = JsonLinesSink::new(Vec::new());
+        let buf = std::sync::Arc::new(buf);
+        let tee = Tee::new(vec![
+            ObserverHandle::from_arc(buf.clone()),
+            ObserverHandle::new(NullObserver),
+        ]);
+        assert!(tee.enabled());
+        tee.on_event(&Event::PhaseStarted {
+            phase: Phase::Profile,
+        });
+        // The null child is skipped; the buffer child got the event.
+        let text = {
+            let guard = buf.out.lock().unwrap();
+            String::from_utf8(guard.clone()).unwrap()
+        };
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn tee_of_nulls_is_disabled() {
+        let tee = Tee::new(vec![ObserverHandle::default(), ObserverHandle::default()]);
+        assert!(!tee.enabled());
+    }
+}

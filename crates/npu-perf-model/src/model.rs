@@ -6,6 +6,7 @@
 //! supported frequency.
 
 use crate::fitting::{fit, FitError, FitFunction, FitParams};
+use npu_obs::{Event, ObserverHandle};
 use npu_sim::{FreqMhz, OpClass, OpRecord};
 use std::fmt;
 
@@ -192,6 +193,49 @@ impl PerfModelStore {
         Ok(Self { kind, models })
     }
 
+    /// Like [`PerfModelStore::build`], additionally emitting one
+    /// [`Event::ModelFitted`] (function family, op count, worst relative
+    /// fit error against the build profiles) through `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] on empty/mismatched profiles or a fit
+    /// failure.
+    pub fn build_observed(
+        profiles: &[FreqProfile],
+        kind: FitFunction,
+        obs: &ObserverHandle,
+    ) -> Result<Self, BuildError> {
+        let store = Self::build(profiles, kind)?;
+        if obs.enabled() {
+            obs.emit(Event::ModelFitted {
+                func: kind.to_string(),
+                ops: store.len(),
+                max_err: store.max_fit_error(profiles),
+            });
+        }
+        Ok(store)
+    }
+
+    /// Worst relative error of the fitted models against observed
+    /// durations, across every operator and profile. Sub-microsecond
+    /// observations are skipped (relative error is meaningless there);
+    /// returns 0.0 when nothing qualifies.
+    #[must_use]
+    pub fn max_fit_error(&self, profiles: &[FreqProfile]) -> f64 {
+        let mut max_err: f64 = 0.0;
+        for p in profiles {
+            for (i, rec) in p.records.iter().enumerate().take(self.models.len()) {
+                if rec.dur_us < 1.0 {
+                    continue;
+                }
+                let pred = self.models[i].predict_time_us(p.freq);
+                max_err = max_err.max((pred - rec.dur_us).abs() / rec.dur_us);
+            }
+        }
+        max_err
+    }
+
     /// The function family used for fitting.
     #[must_use]
     pub fn kind(&self) -> FitFunction {
@@ -314,6 +358,30 @@ mod tests {
             m.predict_time_us(FreqMhz::new(1800)),
             "host ops are frequency insensitive"
         );
+    }
+
+    #[test]
+    fn build_observed_emits_model_fitted() {
+        use npu_obs::{MetricsRegistry, ObserverHandle};
+        use std::sync::Arc;
+
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+        let profiles = profiles_for(&w, &[1000, 1800], &cfg);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let obs = ObserverHandle::from_arc(metrics.clone());
+        let store =
+            PerfModelStore::build_observed(&profiles, FitFunction::Quadratic, &obs).unwrap();
+        assert_eq!(metrics.counter("event.ModelFitted"), 1);
+        // The fit interpolates the build points, so the reported worst
+        // error is bounded by measurement noise.
+        assert!(store.max_fit_error(&profiles) < 0.25);
+        // A disabled handle adds no events and changes no results.
+        let silent =
+            PerfModelStore::build_observed(&profiles, FitFunction::Quadratic, &Default::default())
+                .unwrap();
+        assert_eq!(silent, store);
+        assert_eq!(metrics.counter("event.ModelFitted"), 1);
     }
 
     #[test]

@@ -4,8 +4,10 @@
 //! `γ`, and equilibrium runs under several loads for `k`.
 
 use crate::calib::{fit_gamma, CalibrationError, HardwareCalibration, IdleFit, ThermalFit};
+use npu_obs::{Event, Phase};
 use npu_sim::{summarize, Device, DeviceError, FreqMhz, RunOptions, Schedule};
 use std::fmt;
+use std::time::Instant;
 
 /// Options for the offline calibration procedure.
 #[derive(Debug, Clone)]
@@ -120,6 +122,11 @@ pub fn calibrate_device(
     if equilibrium_loads.len() < 2 {
         return Err(DeviceCalibrationError::NoLoads);
     }
+    let obs = dev.observer().clone();
+    let wall_start = Instant::now();
+    obs.emit(Event::PhaseStarted {
+        phase: Phase::Calibrate,
+    });
     let voltage = dev.config().voltage_curve;
     let fmax = dev.config().freq_table.max();
 
@@ -156,6 +163,28 @@ pub fn calibrate_device(
         k_pts.push((soc_w, dev.temp_c()));
     }
     let thermal = ThermalFit::fit(&k_pts)?;
+
+    if obs.enabled() {
+        for (param, value) in [
+            ("aicore_idle.beta", aicore_idle.beta),
+            ("aicore_idle.theta", aicore_idle.theta),
+            ("soc_idle.beta", soc_idle.beta),
+            ("soc_idle.theta", soc_idle.theta),
+            ("gamma_aicore", gamma_aicore),
+            ("gamma_soc", gamma_soc),
+            ("thermal.k_c_per_w", thermal.k_c_per_w),
+            ("thermal.ambient_c", thermal.ambient_c),
+        ] {
+            obs.emit(Event::CalibrationFitted {
+                param: param.to_owned(),
+                value,
+            });
+        }
+    }
+    obs.emit(Event::PhaseFinished {
+        phase: Phase::Calibrate,
+        wall_us: wall_start.elapsed().as_secs_f64() * 1e6,
+    });
 
     Ok(HardwareCalibration {
         aicore_idle,
@@ -242,6 +271,25 @@ mod tests {
             "ambient {}",
             calib.thermal.ambient_c
         );
+    }
+
+    #[test]
+    fn calibration_emits_phase_and_fit_events() {
+        use npu_obs::{MetricsRegistry, ObserverHandle};
+        use std::sync::Arc;
+
+        let mut dev = Device::new(quiet_cfg());
+        let metrics = Arc::new(MetricsRegistry::new());
+        dev.set_observer(ObserverHandle::from_arc(metrics.clone()));
+        let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
+        calibrate_device(&mut dev, &compute_load(20.0), &loads, &fast_opts()).unwrap();
+        assert_eq!(metrics.counter("event.PhaseStarted"), 1);
+        assert_eq!(metrics.counter("event.PhaseFinished"), 1);
+        // One CalibrationFitted per recovered parameter.
+        assert_eq!(metrics.counter("event.CalibrationFitted"), 8);
+        assert!(metrics.histogram("phase.calibrate.wall_us").is_some());
+        // The device itself reported its (record-free) calibration runs.
+        assert!(metrics.counter("event.DeviceRun") > 0);
     }
 
     #[test]

@@ -19,9 +19,10 @@ use crate::noise::NoiseSource;
 use crate::operator::{OpClass, OpDescriptor};
 use crate::power::{aicore_power, uncore_power_scaled};
 use crate::profiler::OpRecord;
-use crate::telemetry::TelemetrySample;
+use crate::telemetry::{summarize, TelemetrySample};
 use crate::thermal::ThermalState;
 use crate::timeline::CycleModel;
+use npu_obs::{Event, ObserverHandle};
 
 /// An ordered list of operators to execute on the compute stream.
 ///
@@ -265,6 +266,9 @@ pub struct Device {
     clock_us: f64,
     freq: FreqMhz,
     uncore_scale: f64,
+    /// Structured-event sink; disabled (`NullObserver`) by default.
+    /// Cloning the device shares the sink.
+    obs: ObserverHandle,
 }
 
 impl Device {
@@ -286,6 +290,7 @@ impl Device {
             clock_us: 0.0,
             freq,
             uncore_scale: 1.0,
+            obs: ObserverHandle::default(),
         }
     }
 
@@ -293,6 +298,21 @@ impl Device {
     #[must_use]
     pub fn config(&self) -> &NpuConfig {
         &self.cfg
+    }
+
+    /// The structured-event observer attached to this device.
+    #[must_use]
+    pub fn observer(&self) -> &ObserverHandle {
+        &self.obs
+    }
+
+    /// Attaches a structured-event observer. The device emits
+    /// [`Event::SetFreqIssued`] when a frequency request takes effect and
+    /// per-run [`Event::DeviceRun`] / [`Event::TelemetrySummarized`]
+    /// counters; with the default disabled handle every emission site is
+    /// a single branch.
+    pub fn set_observer(&mut self, obs: ObserverHandle) {
+        self.obs = obs;
     }
 
     /// Current chip temperature, °C.
@@ -517,6 +537,10 @@ impl Device {
                     let (_, nf) = pending.pop_front().expect("peeked above");
                     self.freq = nf;
                     result.freq_trace.push((self.clock_us, nf));
+                    self.obs.emit(Event::SetFreqIssued {
+                        at_us: self.clock_us,
+                        freq_mhz: nf.mhz(),
+                    });
                 } else {
                     remaining = 0.0;
                 }
@@ -560,12 +584,34 @@ impl Device {
         while let Some((at, nf)) = pending.pop_front() {
             self.freq = nf;
             result.freq_trace.push((at, nf));
+            self.obs.emit(Event::SetFreqIssued {
+                at_us: at,
+                freq_mhz: nf.mhz(),
+            });
         }
 
         result.duration_us = self.clock_us - start_t;
         result.energy_aicore_j = energy_ai_wus * 1e-6;
         result.energy_soc_j = energy_soc_wus * 1e-6;
         result.end_temp_c = self.thermal.temp_c();
+        if self.obs.enabled() {
+            self.obs.emit(Event::DeviceRun {
+                ops: schedule.len(),
+                duration_us: result.duration_us,
+                energy_aicore_j: result.energy_aicore_j,
+                energy_soc_j: result.energy_soc_j,
+                setfreq_applied: result.freq_trace.len() - 1,
+                end_temp_c: result.end_temp_c,
+            });
+            if let Some(summary) = summarize(&result.telemetry) {
+                self.obs.emit(Event::TelemetrySummarized {
+                    mean_aicore_w: summary.mean_aicore_w,
+                    mean_soc_w: summary.mean_soc_w,
+                    mean_temp_c: summary.mean_temp_c,
+                    samples: result.telemetry.len(),
+                });
+            }
+        }
         Ok(result)
     }
 

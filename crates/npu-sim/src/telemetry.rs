@@ -29,16 +29,50 @@ pub struct TelemetrySummary {
 }
 
 /// Summarizes a slice of samples; returns `None` when empty.
+///
+/// Means are weighted by the time each sample represents (trapezoidal
+/// rule over `t_us`), so nonuniformly spaced windows — e.g. a burst of
+/// fast sampling followed by a slow tail — average correctly. A sample's
+/// weight is half the span between its neighbours; for uniformly spaced
+/// samples the interior weights are equal and the result matches the
+/// arithmetic mean of a long window. Degenerate spans (a single sample,
+/// or all samples at one instant) fall back to the unweighted mean.
 #[must_use]
 pub fn summarize(samples: &[TelemetrySample]) -> Option<TelemetrySummary> {
     if samples.is_empty() {
         return None;
     }
-    let n = samples.len() as f64;
+    let mut w_sum = 0.0;
+    let mut ai = 0.0;
+    let mut soc = 0.0;
+    let mut temp = 0.0;
+    let last = samples.len() - 1;
+    for (i, s) in samples.iter().enumerate() {
+        let left = if i > 0 { samples[i - 1].t_us } else { s.t_us };
+        let right = if i < last {
+            samples[i + 1].t_us
+        } else {
+            s.t_us
+        };
+        let w = (right - left) / 2.0;
+        w_sum += w;
+        ai += s.aicore_w * w;
+        soc += s.soc_w * w;
+        temp += s.temp_c * w;
+    }
+    if w_sum <= 0.0 {
+        let n = samples.len() as f64;
+        return Some(TelemetrySummary {
+            mean_aicore_w: samples.iter().map(|s| s.aicore_w).sum::<f64>() / n,
+            mean_soc_w: samples.iter().map(|s| s.soc_w).sum::<f64>() / n,
+            mean_temp_c: samples.iter().map(|s| s.temp_c).sum::<f64>() / n,
+            count: samples.len(),
+        });
+    }
     Some(TelemetrySummary {
-        mean_aicore_w: samples.iter().map(|s| s.aicore_w).sum::<f64>() / n,
-        mean_soc_w: samples.iter().map(|s| s.soc_w).sum::<f64>() / n,
-        mean_temp_c: samples.iter().map(|s| s.temp_c).sum::<f64>() / n,
+        mean_aicore_w: ai / w_sum,
+        mean_soc_w: soc / w_sum,
+        mean_temp_c: temp / w_sum,
         count: samples.len(),
     })
 }
@@ -73,5 +107,47 @@ mod tests {
         assert_eq!(s.mean_soc_w, 200.0);
         assert_eq!(s.mean_temp_c, 60.0);
         assert_eq!(s.count, 2);
+    }
+
+    fn at(t_us: f64, w: f64) -> TelemetrySample {
+        TelemetrySample {
+            t_us,
+            aicore_w: w,
+            soc_w: 2.0 * w,
+            temp_c: 40.0,
+        }
+    }
+
+    #[test]
+    fn summarize_weights_nonuniform_spacing() {
+        // 10 W holds for ~10 µs, 100 W for ~1 µs: the mean must sit near
+        // 10 W, not near the unweighted 55 W.
+        let samples = vec![at(0.0, 10.0), at(10.0, 10.0), at(11.0, 100.0)];
+        let s = summarize(&samples).unwrap();
+        // Trapezoid weights: 5, 5.5, 0.5 of 11 total.
+        let expected = (10.0 * 5.0 + 10.0 * 5.5 + 100.0 * 0.5) / 11.0;
+        assert!((s.mean_aicore_w - expected).abs() < 1e-9, "{s:?}");
+        assert!(s.mean_aicore_w < 20.0, "{s:?}");
+        assert!((s.mean_soc_w - 2.0 * expected).abs() < 1e-9);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn summarize_uniform_spacing_matches_plain_mean_inside() {
+        // With uniform spacing the interior samples share one weight and
+        // the endpoints get half, i.e. the standard trapezoidal rule.
+        let samples: Vec<_> = (0..5).map(|i| at(i as f64, (i * 10) as f64)).collect();
+        let s = summarize(&samples).unwrap();
+        let expected = (0.0 * 0.5 + 10.0 + 20.0 + 30.0 + 40.0 * 0.5) / 4.0;
+        assert!((s.mean_aicore_w - expected).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn summarize_degenerate_span_falls_back_to_unweighted() {
+        let single = summarize(&[at(5.0, 42.0)]).unwrap();
+        assert_eq!(single.mean_aicore_w, 42.0);
+        assert_eq!(single.count, 1);
+        let coincident = summarize(&[at(3.0, 10.0), at(3.0, 30.0)]).unwrap();
+        assert_eq!(coincident.mean_aicore_w, 20.0);
     }
 }

@@ -146,7 +146,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: a fixed length or a half-open
+    /// Size specification for [`vec()`]: a fixed length or a half-open
     /// range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange {

@@ -13,6 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo doc (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "==> observability example smoke (OBS_SMOKE=1, events to /dev/null)"
+OBS_SMOKE=1 cargo run --quiet --example observe_pipeline > /dev/null
+
 echo "==> bench smoke (CRITERION_SMOKE=1, one iteration per bench)"
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench ga_eval

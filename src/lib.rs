@@ -18,7 +18,10 @@
 //!   offline calibration;
 //! * [`dvfs`] — Sect. 6: classification, LFC/HFC preprocessing, GA search;
 //! * [`exec`] — Sect. 7.1: SetFreq trigger placement and execution;
-//! * [`core`] — Fig. 1: the closed-loop [`core::EnergyOptimizer`].
+//! * [`obs`] — zero-cost-when-disabled pipeline observability: typed
+//!   [`obs::Event`]s, JSON-lines / summary sinks, metrics registry;
+//! * [`core`] — Fig. 1: the closed-loop [`core::EnergyOptimizer`] and its
+//!   staged [`core::OptimizationSession`] API.
 //!
 //! # Quickstart
 //!
@@ -38,6 +41,7 @@
 pub use npu_core as core;
 pub use npu_dvfs as dvfs;
 pub use npu_exec as exec;
+pub use npu_obs as obs;
 pub use npu_perf_model as perf_model;
 pub use npu_power_model as power_model;
 pub use npu_sim as sim;
@@ -45,13 +49,17 @@ pub use npu_workloads as workloads;
 
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
-    pub use npu_core::{EnergyOptimizer, OptimizationReport, OptimizerConfig};
-    pub use npu_dvfs::{GaConfig, StageTable};
+    pub use npu_core::{EnergyOptimizer, OptimizationReport, OptimizationSession, OptimizerConfig};
+    pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
+    pub use npu_obs::{
+        Event, JsonLinesSink, MetricsRegistry, NullObserver, Observer, ObserverHandle, Phase,
+        SummarySink,
+    };
     pub use npu_perf_model::{FitFunction, FreqProfile, PerfModelStore};
     pub use npu_power_model::{calibrate_device, CalibrationOptions, PowerModel};
     pub use npu_sim::{
-        Device, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule,
-        VoltageCurve,
+        Device, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, OpRecord, RunOptions, Scenario,
+        Schedule, TelemetrySummary, VoltageCurve,
     };
     pub use npu_workloads::{models, ops, Workload};
 }
