@@ -5,9 +5,9 @@
 use crate::report::OptimizationReport;
 use crate::session::OptimizationSession;
 use npu_dvfs::{GaConfig, GaOutcome, TableError};
-use npu_exec::ExecError;
+use npu_exec::{ExecError, ResilientOptions};
 use npu_obs::{Event, ObserverHandle};
-use npu_perf_model::{BuildError, FitFunction, FreqProfile};
+use npu_perf_model::{BuildError, FitFunction, FreqProfile, MergeError};
 use npu_power_model::{
     calibrate_device, CalibrationOptions, DeviceCalibrationError, HardwareCalibration,
     PowerBuildError,
@@ -31,6 +31,23 @@ pub struct OptimizerConfig {
     /// Trigger-placement latency override (see
     /// [`npu_exec::ExecutorOptions::planned_latency_us`]).
     pub planned_latency_us: Option<f64>,
+    /// Recorded profiling passes per build frequency. The default `1`
+    /// keeps the historical single-pass path bit-identical; `k > 1` runs
+    /// each frequency `k` times and merges per-operator medians
+    /// ([`npu_perf_model::merge_profiles`]), so up to ⌈k/2⌉−1 corrupted
+    /// passes per operator cannot poison the model inputs.
+    pub profile_passes: usize,
+    /// Fit the performance model through the MAD outlier-rejecting
+    /// sample path ([`npu_perf_model::PerfModelStore::build_robust`]).
+    /// Most useful together with `profile_passes > 1`, where the fitter
+    /// then sees every raw pass instead of the merged medians. Off by
+    /// default (bit-identical results).
+    pub robust_fit: bool,
+    /// Execute the winning strategy through the resilient runtime
+    /// ([`npu_exec::execute_resilient`]) with these retry/guardrail
+    /// settings instead of the plain executor. `None` (the default)
+    /// keeps the plain single-shot path.
+    pub resilience: Option<ResilientOptions>,
 }
 
 impl Default for OptimizerConfig {
@@ -41,6 +58,9 @@ impl Default for OptimizerConfig {
             fai_us: 5_000.0,
             ga: GaConfig::default(),
             planned_latency_us: None,
+            profile_passes: 1,
+            robust_fit: false,
+            resilience: None,
         }
     }
 }
@@ -92,6 +112,31 @@ impl OptimizerConfig {
         self.planned_latency_us = latency_us;
         self
     }
+
+    /// Sets the recorded profiling passes per build frequency (clamped
+    /// to at least 1), chainable.
+    #[must_use]
+    pub fn with_profile_passes(mut self, passes: usize) -> Self {
+        self.profile_passes = passes.max(1);
+        self
+    }
+
+    /// Enables or disables MAD outlier-rejecting performance-model
+    /// fitting, chainable.
+    #[must_use]
+    pub fn with_robust_fit(mut self, robust: bool) -> Self {
+        self.robust_fit = robust;
+        self
+    }
+
+    /// Routes execution through the resilient runtime with the given
+    /// retry/guardrail settings (`None` restores the plain executor),
+    /// chainable.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: Option<ResilientOptions>) -> Self {
+        self.resilience = resilience;
+        self
+    }
 }
 
 /// Errors from the end-to-end flow.
@@ -109,6 +154,8 @@ pub enum OptimizeError {
     Table(TableError),
     /// Strategy execution failed.
     Exec(ExecError),
+    /// Multi-pass profile merging failed.
+    ProfileMerge(MergeError),
 }
 
 impl fmt::Display for OptimizeError {
@@ -120,6 +167,7 @@ impl fmt::Display for OptimizeError {
             Self::PowerModel(e) => write!(f, "power model failed: {e}"),
             Self::Table(e) => write!(f, "stage table failed: {e}"),
             Self::Exec(e) => write!(f, "strategy execution failed: {e}"),
+            Self::ProfileMerge(e) => write!(f, "profile merge failed: {e}"),
         }
     }
 }
@@ -133,6 +181,7 @@ impl std::error::Error for OptimizeError {
             Self::PowerModel(e) => Some(e),
             Self::Table(e) => Some(e),
             Self::Exec(e) => Some(e),
+            Self::ProfileMerge(e) => Some(e),
         }
     }
 }
@@ -165,6 +214,11 @@ impl From<TableError> for OptimizeError {
 impl From<ExecError> for OptimizeError {
     fn from(e: ExecError) -> Self {
         Self::Exec(e)
+    }
+}
+impl From<MergeError> for OptimizeError {
+    fn from(e: MergeError) -> Self {
+        Self::ProfileMerge(e)
     }
 }
 
@@ -204,6 +258,21 @@ impl EnergyOptimizer {
     ///
     /// Returns [`OptimizeError::Calibration`] if a calibration fit fails.
     pub fn calibrated(cfg: NpuConfig) -> Result<Self, OptimizeError> {
+        Self::calibrated_with(cfg, &CalibrationOptions::default())
+    }
+
+    /// Like [`Self::calibrated`] but with explicit calibration settings —
+    /// in particular `CalibrationOptions { robust: true, .. }` switches
+    /// the idle/γ extraction to the outlier-rejecting estimators, which
+    /// is the right choice on devices with faulty telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Calibration`] if a calibration fit fails.
+    pub fn calibrated_with(
+        cfg: NpuConfig,
+        calib_opts: &CalibrationOptions,
+    ) -> Result<Self, OptimizeError> {
         let mut dev = Device::new(cfg.clone());
         // The heat load mixes cube work with heavy memory traffic so the
         // chip swings well above the idle equilibrium and the cool-down
@@ -219,12 +288,7 @@ impl EnergyOptimizer {
             models::tiny(&cfg).schedule().clone(),
             heat.schedule().clone(),
         ];
-        let calib = calibrate_device(
-            &mut dev,
-            heat.schedule(),
-            &loads,
-            &CalibrationOptions::default(),
-        )?;
+        let calib = calibrate_device(&mut dev, heat.schedule(), &loads, calib_opts)?;
         Ok(Self { dev, calib })
     }
 
@@ -296,6 +360,47 @@ impl EnergyOptimizer {
             });
         }
         Ok(profiles)
+    }
+
+    /// Like [`Self::profile`] but records `passes` runs per frequency
+    /// (warming to the thermal steady state once per frequency), for the
+    /// median-of-k robust model inputs. Returns one inner vector per
+    /// frequency, one [`FreqProfile`] per pass. With `passes == 1` each
+    /// inner vector holds exactly the profile [`Self::profile`] would
+    /// have produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Device`] if a run fails.
+    pub fn profile_passes(
+        &mut self,
+        schedule: &Schedule,
+        freqs: &[FreqMhz],
+        passes: usize,
+    ) -> Result<Vec<Vec<FreqProfile>>, OptimizeError> {
+        let passes = passes.max(1);
+        let tau = self.dev.config().thermal_tau_us;
+        let mut out = Vec::with_capacity(freqs.len());
+        for &freq in freqs {
+            let _ = self
+                .dev
+                .warm_until_steady(schedule, freq, 0.2, 12.0 * tau)?;
+            let mut per_freq = Vec::with_capacity(passes);
+            for _ in 0..passes {
+                let run = self.dev.run(schedule, &RunOptions::at(freq))?;
+                self.dev.observer().emit(Event::ProfileRun {
+                    freq_mhz: freq.mhz(),
+                    ops: run.records.len(),
+                    duration_us: run.duration_us,
+                });
+                per_freq.push(FreqProfile {
+                    freq,
+                    records: run.records,
+                });
+            }
+            out.push(per_freq);
+        }
+        Ok(out)
     }
 
     /// Starts a staged optimization session for one workload.
@@ -418,13 +523,62 @@ mod tests {
             .with_threads(3)
             .with_fit(FitFunction::StallConstant)
             .with_build_freqs(vec![FreqMhz::new(1200), FreqMhz::new(1800)])
-            .with_planned_latency_us(Some(2_000.0));
+            .with_planned_latency_us(Some(2_000.0))
+            .with_profile_passes(3)
+            .with_robust_fit(true)
+            .with_resilience(Some(ResilientOptions::default()));
         assert_eq!(o.ga.perf_loss_target, 0.06);
         assert_eq!(o.fai_us, 100_000.0);
         assert_eq!(o.ga.threads, 3);
         assert_eq!(o.fit, FitFunction::StallConstant);
         assert_eq!(o.build_freqs, vec![FreqMhz::new(1200), FreqMhz::new(1800)]);
         assert_eq!(o.planned_latency_us, Some(2_000.0));
+        assert_eq!(o.profile_passes, 3);
+        assert!(o.robust_fit);
+        assert!(o.resilience.is_some());
+        // Zero passes make no sense; the builder clamps to one.
+        assert_eq!(
+            OptimizerConfig::default()
+                .with_profile_passes(0)
+                .profile_passes,
+            1
+        );
+    }
+
+    #[test]
+    fn robust_session_on_healthy_device_stays_on_rung_zero() {
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+        let mut opt = fast_optimizer(&cfg);
+        let opts = quick_opts()
+            .with_profile_passes(3)
+            .with_robust_fit(true)
+            .with_resilience(Some(ResilientOptions::default()));
+        let mut session = opt.session(&w, &opts);
+        let report = session.report().unwrap();
+        // Three passes per build frequency were recorded and kept.
+        assert_eq!(session.raw_profiles().unwrap().len(), 6);
+        assert_eq!(session.profiles().unwrap().len(), 2);
+        // A healthy device needs no degradation: one run, rung zero.
+        assert_eq!(session.execution_attempts(), Some(1));
+        assert_eq!(
+            session.execution().unwrap().degradation,
+            npu_exec::Degradation::None
+        );
+        assert!(report.baseline.time_us > 0.0);
+        assert!(report.perf_loss() < 0.08, "loss {}", report.perf_loss());
+    }
+
+    #[test]
+    fn plain_session_leaves_resilience_artifacts_empty() {
+        let cfg = NpuConfig::ascend_like();
+        let w = models::tiny(&cfg);
+        let mut opt = fast_optimizer(&cfg);
+        let opts = quick_opts();
+        let mut session = opt.session(&w, &opts);
+        session.report().unwrap();
+        assert_eq!(session.execution_attempts(), None);
+        assert!(session.raw_profiles().is_none());
     }
 
     #[test]

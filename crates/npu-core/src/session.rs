@@ -17,11 +17,17 @@
 use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::{MeasuredIteration, OptimizationReport};
 use npu_dvfs::{preprocess::preprocess, search_observed, GaOutcome, Preprocessed, StageTable};
-use npu_exec::{execute_strategy, ExecutionOutcome, ExecutorOptions};
+use npu_exec::{
+    execute_resilient, execute_strategy, ExecutionOutcome, ExecutorOptions, ResilientOptions,
+};
 use npu_obs::{Event, ObserverHandle, Phase};
-use npu_perf_model::{FreqProfile, PerfModelStore};
+use npu_perf_model::{merge_profiles, FreqProfile, PerfModelStore};
 use npu_power_model::PowerModel;
 use std::time::Instant;
+
+/// MAD cut for the robust fit path (the conventional robust z-score
+/// threshold).
+const MAD_K: f64 = 3.5;
 
 /// A staged run of the optimization pipeline over one workload.
 ///
@@ -55,6 +61,8 @@ pub struct OptimizationSession<'a> {
     opts: OptimizerConfig,
     obs: ObserverHandle,
     profiles: Option<Vec<FreqProfile>>,
+    raw_profiles: Option<Vec<FreqProfile>>,
+    attempts: Option<u32>,
     baseline: Option<MeasuredIteration>,
     perf: Option<PerfModelStore>,
     power: Option<PowerModel>,
@@ -77,6 +85,8 @@ impl<'a> OptimizationSession<'a> {
             opts,
             obs,
             profiles: None,
+            raw_profiles: None,
+            attempts: None,
             baseline: None,
             perf: None,
             power: None,
@@ -131,7 +141,29 @@ impl<'a> OptimizationSession<'a> {
                 }
                 build_freqs.sort();
                 build_freqs.reverse(); // profile at fmax first
-                let profiles = s.opt.profile(s.workload.schedule(), &build_freqs)?;
+                let passes = s.opts.profile_passes.max(1);
+                let profiles = if passes == 1 {
+                    s.opt.profile(s.workload.schedule(), &build_freqs)?
+                } else {
+                    // k recorded passes per frequency, folded to
+                    // per-operator medians; the raw passes are kept for
+                    // the robust fitter when it is enabled.
+                    let raw = s
+                        .opt
+                        .profile_passes(s.workload.schedule(), &build_freqs, passes)?;
+                    let mut merged = Vec::with_capacity(raw.len());
+                    for per_freq in &raw {
+                        let records: Vec<_> = per_freq.iter().map(|p| p.records.clone()).collect();
+                        merged.push(FreqProfile {
+                            freq: per_freq[0].freq,
+                            records: merge_profiles(&records)?,
+                        });
+                    }
+                    if s.opts.robust_fit {
+                        s.raw_profiles = Some(raw.into_iter().flatten().collect());
+                    }
+                    merged
+                };
                 let baseline_profile = &profiles[0];
                 debug_assert_eq!(baseline_profile.freq, fmax);
                 let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
@@ -185,7 +217,24 @@ impl<'a> OptimizationSession<'a> {
             self.phase(Phase::BuildModels, |s| {
                 let voltage = s.opt.dev.config().voltage_curve;
                 let profiles = s.profiles.as_ref().expect("profile stage ran");
-                let perf = PerfModelStore::build_observed(profiles, s.opts.fit, &s.obs)?;
+                let perf = if s.opts.robust_fit {
+                    // Feed the fitter every raw pass (when multi-pass
+                    // profiling kept them) so the MAD cut sees the
+                    // repeats; otherwise it degrades gracefully to the
+                    // merged medians.
+                    let src: &[FreqProfile] = s.raw_profiles.as_deref().unwrap_or(profiles);
+                    let store = PerfModelStore::build_robust(src, s.opts.fit, MAD_K)?;
+                    if s.obs.enabled() {
+                        s.obs.emit(Event::ModelFitted {
+                            func: s.opts.fit.to_string(),
+                            ops: store.len(),
+                            max_err: store.max_fit_error(profiles),
+                        });
+                    }
+                    store
+                } else {
+                    PerfModelStore::build_observed(profiles, s.opts.fit, &s.obs)?
+                };
                 let power = PowerModel::build(s.opt.calib, voltage, profiles)?;
                 s.perf = Some(perf);
                 s.power = Some(power);
@@ -246,16 +295,38 @@ impl<'a> OptimizationSession<'a> {
             self.phase(Phase::Execute, |s| {
                 let strategy = &s.outcome.as_ref().expect("search stage ran").strategy;
                 let baseline_records = &s.profiles.as_ref().expect("profile stage ran")[0].records;
-                let exec = execute_strategy(
-                    &mut s.opt.dev,
-                    s.workload.schedule(),
-                    strategy,
-                    baseline_records,
-                    &ExecutorOptions {
-                        planned_latency_us: s.opts.planned_latency_us,
-                        ..ExecutorOptions::default()
-                    },
-                )?;
+                let exec = if let Some(res) = s.opts.resilience {
+                    let opts = ResilientOptions {
+                        exec: ExecutorOptions {
+                            planned_latency_us: s
+                                .opts
+                                .planned_latency_us
+                                .or(res.exec.planned_latency_us),
+                            ..res.exec
+                        },
+                        ..res
+                    };
+                    let resilient = execute_resilient(
+                        &mut s.opt.dev,
+                        s.workload.schedule(),
+                        strategy,
+                        baseline_records,
+                        &opts,
+                    )?;
+                    s.attempts = Some(resilient.attempts);
+                    resilient.outcome
+                } else {
+                    execute_strategy(
+                        &mut s.opt.dev,
+                        s.workload.schedule(),
+                        strategy,
+                        baseline_records,
+                        &ExecutorOptions {
+                            planned_latency_us: s.opts.planned_latency_us,
+                            ..ExecutorOptions::default()
+                        },
+                    )?
+                };
                 s.execution = Some(exec);
                 Ok(())
             })?;
@@ -335,6 +406,22 @@ impl<'a> OptimizationSession<'a> {
     #[must_use]
     pub fn execution(&self) -> Option<&ExecutionOutcome> {
         self.execution.as_ref()
+    }
+
+    /// Device runs the execute stage performed, if it went through the
+    /// resilient runtime (`None` before execution or on the plain path).
+    /// The chosen degradation rung is on
+    /// [`ExecutionOutcome::degradation`].
+    #[must_use]
+    pub fn execution_attempts(&self) -> Option<u32> {
+        self.attempts
+    }
+
+    /// The raw per-pass profiles, when multi-pass profiling kept them
+    /// for the robust fitter (`profile_passes > 1` and `robust_fit`).
+    #[must_use]
+    pub fn raw_profiles(&self) -> Option<&[FreqProfile]> {
+        self.raw_profiles.as_deref()
     }
 
     /// Consumes the session, returning the GA outcome if the search

@@ -333,7 +333,10 @@ impl<'t> EvalEngine<'t> {
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("scoring worker panicked"))
+                    .flat_map(|h| {
+                        h.join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
                     .collect()
             })
         };

@@ -254,12 +254,14 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
 
     for iter in 0..cfg.iterations {
         let scores = engine.score_population(&population);
+        // The population is never empty; the fallback keeps this
+        // panic-free without perturbing any reachable trajectory.
         let (gen_best_idx, gen_best) = scores
             .iter()
             .copied()
             .enumerate()
             .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("population is non-empty");
+            .unwrap_or((0, f64::NEG_INFINITY));
         if gen_best > best_score {
             best_score = gen_best;
             best_genes = population[gen_best_idx].clone();

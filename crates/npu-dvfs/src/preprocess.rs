@@ -183,15 +183,15 @@ pub fn preprocess(records: &[OpRecord], fai_us: f64) -> Preprocessed {
         close(last, &mut stages);
     }
     // A short trailing stage folds into its predecessor.
-    if stages.len() >= 2 && stages.last().expect("non-empty").dur_us < fai_us {
-        let tail = stages.pop().expect("checked len");
-        let prev = stages.last_mut().expect("checked len");
-        // The merged kind follows the longer component.
-        if tail.dur_us > prev.dur_us {
-            prev.kind = tail.kind;
+    if stages.len() >= 2 && stages.last().is_some_and(|s| s.dur_us < fai_us) {
+        if let (Some(tail), Some(prev)) = (stages.pop(), stages.last_mut()) {
+            // The merged kind follows the longer component.
+            if tail.dur_us > prev.dur_us {
+                prev.kind = tail.kind;
+            }
+            prev.dur_us += tail.dur_us;
+            prev.op_range.end = tail.op_range.end;
         }
-        prev.dur_us += tail.dur_us;
-        prev.op_range.end = tail.op_range.end;
     }
     Preprocessed { stages }
 }

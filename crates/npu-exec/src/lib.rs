@@ -25,6 +25,11 @@
 pub use npu_dvfs::persist;
 pub use npu_dvfs::persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
 
+mod resilient;
+pub use resilient::{
+    execute_resilient, Degradation, Guardrail, ResilientOptions, ResilientOutcome, RetryPolicy,
+};
+
 use npu_dvfs::DvfsStrategy;
 use npu_obs::Event;
 use npu_sim::{
@@ -54,6 +59,32 @@ impl Default for ExecutorOptions {
     }
 }
 
+impl ExecutorOptions {
+    /// Checks the options for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidOptions`] when `telemetry_period_us`
+    /// is non-positive or non-finite, or `planned_latency_us` is negative
+    /// or non-finite.
+    pub fn validate(&self) -> Result<(), ExecError> {
+        if !self.telemetry_period_us.is_finite() || self.telemetry_period_us <= 0.0 {
+            return Err(ExecError::InvalidOptions(format!(
+                "telemetry_period_us must be positive and finite, got {}",
+                self.telemetry_period_us
+            )));
+        }
+        if let Some(l) = self.planned_latency_us {
+            if !l.is_finite() || l < 0.0 {
+                return Err(ExecError::InvalidOptions(format!(
+                    "planned_latency_us must be non-negative and finite, got {l}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Result of executing a strategy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionOutcome {
@@ -64,6 +95,9 @@ pub struct ExecutionOutcome {
     pub setfreq_count: usize,
     /// The initial frequency the run started at.
     pub initial_freq: FreqMhz,
+    /// Which degradation rung produced this outcome ([`Degradation::None`]
+    /// for a plain, healthy execution).
+    pub degradation: Degradation,
 }
 
 /// Errors from strategy execution.
@@ -78,6 +112,9 @@ pub enum ExecError {
     },
     /// The underlying device rejected the run.
     Device(DeviceError),
+    /// The executor options are inconsistent (non-positive telemetry
+    /// period, non-finite planned latency, …).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for ExecError {
@@ -91,6 +128,7 @@ impl fmt::Display for ExecError {
                 "strategy covers {strategy_ops} operators but the schedule has {schedule_ops}"
             ),
             Self::Device(e) => write!(f, "device error: {e}"),
+            Self::InvalidOptions(msg) => write!(f, "invalid executor options: {msg}"),
         }
     }
 }
@@ -99,7 +137,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Device(e) => Some(e),
-            Self::StrategyMismatch { .. } => None,
+            Self::StrategyMismatch { .. } | Self::InvalidOptions(_) => None,
         }
     }
 }
@@ -110,8 +148,26 @@ impl From<DeviceError> for ExecError {
     }
 }
 
-/// Compiles a strategy into an initial frequency plus `SetFreq` dispatches
-/// against the baseline profile timeline.
+/// One planned frequency switch: the stage it opens, its trigger
+/// operator, and the time the apply is expected to land (relative to run
+/// start). The resilient executor checks actual applies against this.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannedApply {
+    /// Index of the stage this switch opens.
+    pub stage_idx: usize,
+    /// Trigger operator index (dispatch fires when it completes).
+    pub trigger_op: usize,
+    /// Requested frequency.
+    pub target: FreqMhz,
+    /// Trigger operator's completion time in the baseline profile, µs.
+    pub trigger_end_us: f64,
+    /// Expected apply time (`trigger_end_us` + planned latency), µs.
+    pub planned_apply_us: f64,
+}
+
+/// Plans a strategy's frequency switches against the baseline profile
+/// timeline: the initial frequency plus one [`PlannedApply`] per stage
+/// boundary where the frequency changes.
 ///
 /// `baseline_records` must come from a profiled run of the same schedule
 /// (they supply the time points for trigger placement).
@@ -120,12 +176,12 @@ impl From<DeviceError> for ExecError {
 ///
 /// Returns [`ExecError::StrategyMismatch`] when the strategy's operator
 /// ranges exceed the profile.
-pub fn compile_strategy(
+pub fn plan_applies(
     strategy: &DvfsStrategy,
     baseline_records: &[OpRecord],
     planned_latency_us: f64,
     default_freq: FreqMhz,
-) -> Result<(FreqMhz, Vec<SetFreqCmd>), ExecError> {
+) -> Result<(FreqMhz, Vec<PlannedApply>), ExecError> {
     let covered = strategy.stages().last().map_or(0, |s| s.op_range.end);
     if covered > baseline_records.len() {
         return Err(ExecError::StrategyMismatch {
@@ -134,9 +190,15 @@ pub fn compile_strategy(
         });
     }
     let initial = strategy.freqs().first().copied().unwrap_or(default_freq);
-    let mut cmds = Vec::new();
+    let mut applies = Vec::new();
     let mut current = initial;
-    for (stage, &freq) in strategy.stages().iter().zip(strategy.freqs()).skip(1) {
+    for (stage_idx, (stage, &freq)) in strategy
+        .stages()
+        .iter()
+        .zip(strategy.freqs())
+        .enumerate()
+        .skip(1)
+    {
         if freq == current {
             continue;
         }
@@ -168,12 +230,44 @@ pub fn compile_strategy(
                 }
             }
         };
-        cmds.push(SetFreqCmd {
-            after_op: trigger,
+        let trigger_end = baseline_records[trigger].end_us();
+        applies.push(PlannedApply {
+            stage_idx,
+            trigger_op: trigger,
             target: freq,
+            trigger_end_us: trigger_end,
+            planned_apply_us: trigger_end + planned_latency_us,
         });
         current = freq;
     }
+    Ok((initial, applies))
+}
+
+/// Compiles a strategy into an initial frequency plus `SetFreq` dispatches
+/// against the baseline profile timeline.
+///
+/// Thin wrapper over [`plan_applies`] that keeps only the dispatch view
+/// (trigger operator + target frequency).
+///
+/// # Errors
+///
+/// Returns [`ExecError::StrategyMismatch`] when the strategy's operator
+/// ranges exceed the profile.
+pub fn compile_strategy(
+    strategy: &DvfsStrategy,
+    baseline_records: &[OpRecord],
+    planned_latency_us: f64,
+    default_freq: FreqMhz,
+) -> Result<(FreqMhz, Vec<SetFreqCmd>), ExecError> {
+    let (initial, applies) =
+        plan_applies(strategy, baseline_records, planned_latency_us, default_freq)?;
+    let cmds = applies
+        .iter()
+        .map(|a| SetFreqCmd {
+            after_op: a.trigger_op,
+            target: a.target,
+        })
+        .collect();
     Ok((initial, cmds))
 }
 
@@ -196,6 +290,7 @@ pub fn execute_strategy(
     baseline_records: &[OpRecord],
     opts: &ExecutorOptions,
 ) -> Result<ExecutionOutcome, ExecError> {
+    opts.validate()?;
     if baseline_records.len() != schedule.len() {
         return Err(ExecError::StrategyMismatch {
             strategy_ops: baseline_records.len(),
@@ -227,6 +322,7 @@ pub fn execute_strategy(
         result,
         setfreq_count,
         initial_freq: initial,
+        degradation: Degradation::None,
     })
 }
 

@@ -1,0 +1,808 @@
+//! Resilient strategy execution: retry, guardrails, and a degradation
+//! ladder.
+//!
+//! The paper's energy wins assume `SetFreq` lands on time; Fig. 18 shows
+//! a single 14 ms-delayed apply eroding both the power savings and the
+//! performance of the same strategy. [`execute_resilient`] defends the
+//! win: it runs the strategy with device-level dispatch retry armed
+//! ([`RetryPolicy`]), checks every apply against its plan and the run
+//! against a [`Guardrail`] (latency SLA, temperature ceiling), and walks
+//! a degradation ladder when something deviates:
+//!
+//! 1. **Retry** — re-estimate the real apply latency from the observed
+//!    applies (median of `actual − trigger_end`) and rerun with triggers
+//!    shifted to compensate. Recovers systematic delay (slow DVFS
+//!    interfaces) and transient bursts.
+//! 2. **Pin stages** — pin the stages whose switches keep deviating to
+//!    the baseline frequency and rerun; the healthy stages keep their
+//!    savings.
+//! 3. **Baseline** — revert the whole run to the maximum frequency with
+//!    no `SetFreq` at all: the guaranteed-latency floor.
+//!
+//! The rung that produced the returned run is reported in
+//! [`ExecutionOutcome::degradation`], and every trip/rung is emitted as a
+//! typed `npu-obs` event (`GuardrailTripped`, `DegradationApplied`).
+
+use crate::{plan_applies, ExecError, ExecutionOutcome, ExecutorOptions, PlannedApply};
+use npu_dvfs::DvfsStrategy;
+use npu_obs::Event;
+use npu_sim::{
+    Device, FreqMhz, OpRecord, RunOptions, RunResult, Schedule, SetFreqCmd, SetFreqRetry,
+};
+
+/// Bounded retry policy for rejected or deviant `SetFreq` dispatches.
+///
+/// The dispatch-level fields arm the device's own retry loop
+/// ([`SetFreqRetry`]): a rejected dispatch is retried at operator
+/// boundaries after a deterministic virtual-time backoff. `max_reruns`
+/// bounds rung 1 of the degradation ladder (whole-run retries with a
+/// corrected latency estimate).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Dispatch attempts per `SetFreq` (1 = no retry).
+    pub max_dispatch_attempts: u32,
+    /// Backoff before the first dispatch retry, µs (virtual time).
+    pub dispatch_backoff_us: f64,
+    /// Multiplier applied to the backoff per further attempt.
+    pub backoff_multiplier: f64,
+    /// Whole-run retries with re-estimated latency (ladder rung 1).
+    pub max_reruns: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_dispatch_attempts: 3,
+            dispatch_backoff_us: 100.0,
+            backoff_multiplier: 2.0,
+            max_reruns: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn to_device_retry(self) -> SetFreqRetry {
+        SetFreqRetry {
+            max_attempts: self.max_dispatch_attempts,
+            backoff_us: self.dispatch_backoff_us,
+            backoff_multiplier: self.backoff_multiplier,
+        }
+    }
+}
+
+/// Watchdog limits a resilient run must respect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Guardrail {
+    /// Iteration-latency SLA as a multiple of the baseline profile's
+    /// duration (1.10 = "at most 10 % slower than baseline").
+    pub sla_slack: f64,
+    /// Maximum acceptable measured temperature, °C.
+    pub temp_ceiling_c: f64,
+    /// How far an apply may land from its plan before the stage counts
+    /// as deviant, µs.
+    pub apply_tolerance_us: f64,
+}
+
+impl Default for Guardrail {
+    fn default() -> Self {
+        Self {
+            sla_slack: 1.10,
+            temp_ceiling_c: 95.0,
+            apply_tolerance_us: 500.0,
+        }
+    }
+}
+
+/// Which degradation rung produced an execution outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum Degradation {
+    /// Healthy: the strategy executed as planned on the first attempt.
+    #[default]
+    None,
+    /// Rung 1: recovered after whole-run retries with a corrected
+    /// latency estimate.
+    Retried {
+        /// Number of reruns it took.
+        reruns: u32,
+    },
+    /// Rung 2: the listed stages were pinned to the baseline frequency.
+    PinnedStages {
+        /// Stage indices pinned (sorted, deduplicated).
+        stages: Vec<usize>,
+    },
+    /// Rung 3: the whole run reverted to the baseline frequency.
+    Baseline,
+}
+
+impl Degradation {
+    /// Stable rung name (matches the `DegradationApplied` event's
+    /// `rung` field; `"none"` for a healthy run).
+    #[must_use]
+    pub fn rung_name(&self) -> &'static str {
+        match self {
+            Self::None => "none",
+            Self::Retried { .. } => "retry",
+            Self::PinnedStages { .. } => "pin-stages",
+            Self::Baseline => "baseline",
+        }
+    }
+}
+
+/// Options for [`execute_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilientOptions {
+    /// Plain executor options (planned latency, telemetry).
+    pub exec: ExecutorOptions,
+    /// Dispatch- and run-level retry budget.
+    pub retry: RetryPolicy,
+    /// Watchdog limits.
+    pub guardrail: Guardrail,
+}
+
+impl ResilientOptions {
+    /// Checks the options for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidOptions`] when any limit is
+    /// non-finite or out of range (see the field docs).
+    pub fn validate(&self) -> Result<(), ExecError> {
+        self.exec.validate()?;
+        let bad = |msg: String| Err(ExecError::InvalidOptions(msg));
+        if !self.guardrail.sla_slack.is_finite() || self.guardrail.sla_slack <= 0.0 {
+            return bad(format!(
+                "sla_slack must be positive and finite, got {}",
+                self.guardrail.sla_slack
+            ));
+        }
+        if !self.guardrail.temp_ceiling_c.is_finite() {
+            return bad(format!(
+                "temp_ceiling_c must be finite, got {}",
+                self.guardrail.temp_ceiling_c
+            ));
+        }
+        if !self.guardrail.apply_tolerance_us.is_finite() || self.guardrail.apply_tolerance_us < 0.0
+        {
+            return bad(format!(
+                "apply_tolerance_us must be non-negative and finite, got {}",
+                self.guardrail.apply_tolerance_us
+            ));
+        }
+        if self.retry.max_dispatch_attempts == 0 {
+            return bad("max_dispatch_attempts must be at least 1".to_owned());
+        }
+        if !self.retry.dispatch_backoff_us.is_finite() || self.retry.dispatch_backoff_us < 0.0 {
+            return bad(format!(
+                "dispatch_backoff_us must be non-negative and finite, got {}",
+                self.retry.dispatch_backoff_us
+            ));
+        }
+        if !self.retry.backoff_multiplier.is_finite() || self.retry.backoff_multiplier < 1.0 {
+            return bad(format!(
+                "backoff_multiplier must be at least 1 and finite, got {}",
+                self.retry.backoff_multiplier
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Result of a resilient execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilientOutcome {
+    /// The accepted run (its `degradation` field names the rung).
+    pub outcome: ExecutionOutcome,
+    /// Device runs performed in total (including the accepted one).
+    pub attempts: u32,
+    /// The apply-latency estimate the accepted run was planned with, µs.
+    pub estimated_latency_us: f64,
+}
+
+/// How one attempt's applies compared against the plan.
+struct Conformance {
+    /// Stages whose switch was dropped or landed outside tolerance.
+    deviant_stages: Vec<usize>,
+    /// Observed apply latencies (`actual − trigger_end`) of matched
+    /// applies, µs — the input to the rung-1 latency re-estimate.
+    observed_latencies_us: Vec<f64>,
+    /// Applies never observed in the frequency trace.
+    dropped: usize,
+    /// Largest `|actual − expected|` among matched applies, µs.
+    worst_deviation_us: f64,
+}
+
+impl Conformance {
+    fn is_clean(&self) -> bool {
+        self.deviant_stages.is_empty()
+    }
+}
+
+/// Matches planned applies against the run's frequency trace, greedily
+/// and in order, by target frequency.
+///
+/// Expected apply times come from the **executed run's own records**
+/// (trigger completion + planned latency), not the baseline timeline:
+/// running a stage below the baseline frequency legitimately shifts every
+/// later operator, and only the dispatch→apply path is under test here.
+fn check_conformance(
+    applies: &[PlannedApply],
+    result: &RunResult,
+    planned_latency_us: f64,
+    tolerance_us: f64,
+) -> Conformance {
+    let mut conf = Conformance {
+        deviant_stages: Vec::new(),
+        observed_latencies_us: Vec::new(),
+        dropped: 0,
+        worst_deviation_us: 0.0,
+    };
+    // freq_trace[0] stamps the initial frequency at run start on the
+    // absolute device clock; records are relative to run start, so every
+    // trace time is normalized by the trace origin below.
+    let trace_origin = result.freq_trace.first().map_or(0.0, |&(t, _)| t);
+    let mut cursor = 1;
+    for a in applies {
+        let Some(trigger_end) = result.records.get(a.trigger_op).map(OpRecord::end_us) else {
+            conf.dropped += 1;
+            conf.deviant_stages.push(a.stage_idx);
+            continue;
+        };
+        let found = (cursor..result.freq_trace.len()).find(|&j| result.freq_trace[j].1 == a.target);
+        let Some(j) = found else {
+            conf.dropped += 1;
+            conf.deviant_stages.push(a.stage_idx);
+            continue;
+        };
+        cursor = j + 1;
+        let actual = result.freq_trace[j].0 - trace_origin;
+        let deviation = actual - (trigger_end + planned_latency_us);
+        conf.observed_latencies_us.push(actual - trigger_end);
+        if deviation.abs() > tolerance_us {
+            conf.deviant_stages.push(a.stage_idx);
+            conf.worst_deviation_us = conf.worst_deviation_us.max(deviation.abs());
+        }
+    }
+    conf
+}
+
+/// Checks a run against the watchdog limits; returns the trips.
+fn guardrail_trips(
+    result: &RunResult,
+    sla_limit_us: f64,
+    temp_ceiling_c: f64,
+) -> Vec<(&'static str, f64, f64)> {
+    let mut trips = Vec::new();
+    if result.duration_us > sla_limit_us {
+        trips.push(("latency-sla", result.duration_us, sla_limit_us));
+    }
+    let peak_temp = result
+        .telemetry
+        .iter()
+        .map(|s| s.temp_c)
+        .fold(result.end_temp_c, f64::max);
+    if peak_temp > temp_ceiling_c {
+        trips.push(("temp-ceiling", peak_temp, temp_ceiling_c));
+    }
+    trips
+}
+
+fn emit_trips(dev: &Device, trips: &[(&'static str, f64, f64)], conf: &Conformance) {
+    let obs = dev.observer();
+    if !obs.enabled() {
+        return;
+    }
+    for &(reason, observed, limit) in trips {
+        obs.emit(Event::GuardrailTripped {
+            reason: reason.to_owned(),
+            observed,
+            limit,
+        });
+    }
+    if conf.dropped > 0 {
+        obs.emit(Event::GuardrailTripped {
+            reason: "setfreq-dropped".to_owned(),
+            observed: conf.dropped as f64,
+            limit: 0.0,
+        });
+    }
+    if conf.worst_deviation_us > 0.0 {
+        obs.emit(Event::GuardrailTripped {
+            reason: "setfreq-deviation".to_owned(),
+            observed: conf.worst_deviation_us,
+            limit: 0.0,
+        });
+    }
+}
+
+fn emit_rung(dev: &Device, rung: &str, detail: String) {
+    let obs = dev.observer();
+    if obs.enabled() {
+        obs.emit(Event::DegradationApplied {
+            rung: rung.to_owned(),
+            detail,
+        });
+    }
+}
+
+fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Runs one attempt of the (possibly re-planned) strategy with
+/// dispatch-level retry armed.
+fn run_attempt(
+    dev: &mut Device,
+    schedule: &Schedule,
+    initial: FreqMhz,
+    applies: &[PlannedApply],
+    opts: &ResilientOptions,
+) -> Result<RunResult, ExecError> {
+    let cmds: Vec<SetFreqCmd> = applies
+        .iter()
+        .map(|a| SetFreqCmd {
+            after_op: a.trigger_op,
+            target: a.target,
+        })
+        .collect();
+    let mut run_opts = RunOptions::at(initial)
+        .with_setfreq(cmds)
+        .with_setfreq_retry(opts.retry.to_device_retry());
+    if opts.exec.collect_telemetry {
+        run_opts = run_opts.with_telemetry(opts.exec.telemetry_period_us);
+    }
+    Ok(dev.run(schedule, &run_opts)?)
+}
+
+fn accepted(
+    result: RunResult,
+    setfreq_count: usize,
+    initial: FreqMhz,
+    degradation: Degradation,
+    attempts: u32,
+    latency_us: f64,
+) -> ResilientOutcome {
+    ResilientOutcome {
+        outcome: ExecutionOutcome {
+            result,
+            setfreq_count,
+            initial_freq: initial,
+            degradation,
+        },
+        attempts,
+        estimated_latency_us: latency_us,
+    }
+}
+
+/// Executes `strategy` on `dev` with retry, guardrails, and the
+/// degradation ladder (retry → pin deviant stages → baseline).
+///
+/// The returned [`ResilientOutcome`] carries the accepted run and names
+/// the rung that produced it. The baseline rung is terminal: its run is
+/// returned even if the guardrail still objects (there is nothing slower
+/// to fall back to).
+///
+/// # Errors
+///
+/// Returns [`ExecError`] when the options are inconsistent, the strategy
+/// does not fit the schedule, or the device rejects a run.
+pub fn execute_resilient(
+    dev: &mut Device,
+    schedule: &Schedule,
+    strategy: &DvfsStrategy,
+    baseline_records: &[OpRecord],
+    opts: &ResilientOptions,
+) -> Result<ResilientOutcome, ExecError> {
+    opts.validate()?;
+    if baseline_records.len() != schedule.len() {
+        return Err(ExecError::StrategyMismatch {
+            strategy_ops: baseline_records.len(),
+            schedule_ops: schedule.len(),
+        });
+    }
+    let fmax = dev.config().freq_table.max();
+    let base_dur_us = match (baseline_records.first(), baseline_records.last()) {
+        (Some(f), Some(l)) => l.end_us() - f.start_us,
+        _ => 0.0,
+    };
+    let sla_limit_us = opts.guardrail.sla_slack * base_dur_us;
+    let mut latency_us = opts
+        .exec
+        .planned_latency_us
+        .unwrap_or(dev.config().setfreq_latency_us);
+    let mut attempts: u32 = 0;
+    let mut reruns: u32 = 0;
+
+    // Rungs 0/1: execute as planned, rerun with a corrected latency
+    // estimate while the retry budget lasts.
+    let deviant_stages = loop {
+        let (initial, applies) = plan_applies(strategy, baseline_records, latency_us, fmax)?;
+        let result = run_attempt(dev, schedule, initial, &applies, opts)?;
+        attempts += 1;
+        let conf = check_conformance(
+            &applies,
+            &result,
+            latency_us,
+            opts.guardrail.apply_tolerance_us,
+        );
+        let trips = guardrail_trips(&result, sla_limit_us, opts.guardrail.temp_ceiling_c);
+        emit_trips(dev, &trips, &conf);
+        if conf.is_clean() && trips.is_empty() {
+            let degradation = if reruns == 0 {
+                Degradation::None
+            } else {
+                Degradation::Retried { reruns }
+            };
+            return Ok(accepted(
+                result,
+                applies.len(),
+                initial,
+                degradation,
+                attempts,
+                latency_us,
+            ));
+        }
+        if !conf.is_clean() && reruns < opts.retry.max_reruns {
+            if let Some(est) = median(&conf.observed_latencies_us) {
+                latency_us = est;
+            }
+            reruns += 1;
+            emit_rung(
+                dev,
+                "retry",
+                format!("rerun {reruns} with planned apply latency {latency_us:.0} µs"),
+            );
+            continue;
+        }
+        break conf.deviant_stages;
+    };
+
+    // Rung 2: pin the persistently deviant stages to the baseline
+    // frequency. Skipped when only the guardrail objected (the strategy
+    // executed as planned yet still misses the limit — re-pinning the
+    // same switches cannot help).
+    if !deviant_stages.is_empty() {
+        let mut pinned: Vec<usize> = deviant_stages;
+        pinned.sort_unstable();
+        pinned.dedup();
+        let mut freqs = strategy.freqs().to_vec();
+        for &s in &pinned {
+            if s < freqs.len() {
+                freqs[s] = fmax;
+            }
+        }
+        emit_rung(
+            dev,
+            "pin-stages",
+            format!("pinned {} stage(s) to {} MHz", pinned.len(), fmax.mhz()),
+        );
+        let pinned_strategy = DvfsStrategy::new(strategy.stages().to_vec(), freqs);
+        let (initial, applies) =
+            plan_applies(&pinned_strategy, baseline_records, latency_us, fmax)?;
+        let result = run_attempt(dev, schedule, initial, &applies, opts)?;
+        attempts += 1;
+        let conf = check_conformance(
+            &applies,
+            &result,
+            latency_us,
+            opts.guardrail.apply_tolerance_us,
+        );
+        let trips = guardrail_trips(&result, sla_limit_us, opts.guardrail.temp_ceiling_c);
+        emit_trips(dev, &trips, &conf);
+        if conf.is_clean() && trips.is_empty() {
+            return Ok(accepted(
+                result,
+                applies.len(),
+                initial,
+                Degradation::PinnedStages { stages: pinned },
+                attempts,
+                latency_us,
+            ));
+        }
+    }
+
+    // Rung 3: the guaranteed floor — baseline frequency, no SetFreq.
+    emit_rung(
+        dev,
+        "baseline",
+        format!("reverted run to {} MHz", fmax.mhz()),
+    );
+    let mut run_opts = RunOptions::at(fmax);
+    if opts.exec.collect_telemetry {
+        run_opts = run_opts.with_telemetry(opts.exec.telemetry_period_us);
+    }
+    let result = dev.run(schedule, &run_opts)?;
+    attempts += 1;
+    Ok(accepted(
+        result,
+        0,
+        fmax,
+        Degradation::Baseline,
+        attempts,
+        latency_us,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute_strategy;
+    use npu_dvfs::{Stage, StageKind};
+    use npu_fault::{FaultPlan, FaultyDevice};
+    use npu_sim::{NpuConfig, OpDescriptor, Scenario};
+
+    fn quiet_cfg() -> NpuConfig {
+        NpuConfig::builder().noise(0.0, 0.0, 0.0).build().unwrap()
+    }
+
+    /// ~220 µs per op at 1.8 GHz — long enough that multi-ms apply
+    /// delays land inside the run.
+    fn heavy_schedule(n: usize) -> Schedule {
+        Schedule::new(
+            (0..n)
+                .map(|i| {
+                    OpDescriptor::compute(format!("Op{i}"), Scenario::PingPongIndependent)
+                        .blocks(8)
+                        .ld_bytes_per_block(1024.0 * 1024.0)
+                        .core_cycles_per_block(50_000.0)
+                        .activity(8.0)
+                })
+                .collect(),
+        )
+    }
+
+    fn profile(dev: &mut Device, schedule: &Schedule) -> RunResult {
+        dev.run(schedule, &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap()
+    }
+
+    /// Two-stage descending strategy: fmax head, down-clocked tail. A
+    /// dropped or delayed down-switch keeps the tail hot, so AICore
+    /// energy strictly rises — the signal the ladder must recover.
+    fn descending(records: &[OpRecord], f_tail: u32) -> DvfsStrategy {
+        let mid = records.len() / 2;
+        let end = records.len();
+        let base = records[0].start_us;
+        let stages = vec![
+            Stage {
+                start_us: 0.0,
+                dur_us: records[mid].start_us - base,
+                op_range: 0..mid,
+                kind: StageKind::Hfc,
+            },
+            Stage {
+                start_us: records[mid].start_us - base,
+                dur_us: records[end - 1].end_us() - records[mid].start_us,
+                op_range: mid..end,
+                kind: StageKind::Lfc,
+            },
+        ];
+        DvfsStrategy::new(stages, vec![FreqMhz::new(1800), FreqMhz::new(f_tail)])
+    }
+
+    fn lenient() -> ResilientOptions {
+        ResilientOptions {
+            guardrail: Guardrail {
+                sla_slack: 1.6,
+                ..Guardrail::default()
+            },
+            ..ResilientOptions::default()
+        }
+    }
+
+    #[test]
+    fn invalid_options_are_rejected_up_front() {
+        let cfg = quiet_cfg();
+        let schedule = heavy_schedule(10);
+        let mut dev = Device::new(cfg);
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let mut opts = ResilientOptions::default();
+        opts.exec.telemetry_period_us = 0.0;
+        let err =
+            execute_resilient(&mut dev, &schedule, &strategy, &base.records, &opts).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidOptions(_)));
+
+        let mut opts = ResilientOptions::default();
+        opts.guardrail.sla_slack = f64::NAN;
+        assert!(opts.validate().is_err());
+        let mut opts = ResilientOptions::default();
+        opts.retry.max_dispatch_attempts = 0;
+        assert!(opts.validate().is_err());
+        let mut opts = ResilientOptions::default();
+        opts.retry.backoff_multiplier = 0.5;
+        assert!(opts.validate().is_err());
+        let mut opts = ResilientOptions::default();
+        opts.guardrail.apply_tolerance_us = -1.0;
+        assert!(opts.validate().is_err());
+    }
+
+    #[test]
+    fn plain_executor_validates_options_too() {
+        let cfg = quiet_cfg();
+        let schedule = heavy_schedule(10);
+        let mut dev = Device::new(cfg);
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let opts = ExecutorOptions {
+            planned_latency_us: Some(f64::INFINITY),
+            ..ExecutorOptions::default()
+        };
+        let err =
+            execute_strategy(&mut dev, &schedule, &strategy, &base.records, &opts).unwrap_err();
+        assert!(matches!(err, ExecError::InvalidOptions(_)));
+    }
+
+    #[test]
+    fn healthy_run_is_rung_zero() {
+        let schedule = heavy_schedule(40);
+        let mut dev = Device::new(quiet_cfg());
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let out =
+            execute_resilient(&mut dev, &schedule, &strategy, &base.records, &lenient()).unwrap();
+        assert_eq!(out.outcome.degradation, Degradation::None);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.outcome.setfreq_count, 1);
+        assert_eq!(out.outcome.result.freq_trace.len(), 2);
+    }
+
+    #[test]
+    fn systematic_delay_is_recovered_by_retry_rung() {
+        let schedule = heavy_schedule(40);
+        let extra_delay = 2_000.0;
+
+        // Unguarded: the down-switch lands 2 ms late, tail stays hot.
+        let mut unguarded = FaultyDevice::new(
+            Device::new(quiet_cfg()),
+            FaultPlan::seeded(1).delay_setfreq(extra_delay),
+        );
+        let base = profile(&mut unguarded, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let plain = execute_strategy(
+            &mut unguarded,
+            &schedule,
+            &strategy,
+            &base.records,
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+
+        // Resilient: rung 1 measures the real latency and replans.
+        let mut guarded = FaultyDevice::new(
+            Device::new(quiet_cfg()),
+            FaultPlan::seeded(1).delay_setfreq(extra_delay),
+        );
+        let base2 = profile(&mut guarded, &schedule);
+        let out = execute_resilient(
+            &mut guarded,
+            &schedule,
+            &strategy,
+            &base2.records,
+            &lenient(),
+        )
+        .unwrap();
+        assert_eq!(out.outcome.degradation, Degradation::Retried { reruns: 1 });
+        assert_eq!(out.attempts, 2);
+        // The latency estimate absorbed the injected delay.
+        let device_latency = guarded.config().setfreq_latency_us;
+        assert!(
+            (out.estimated_latency_us - (device_latency + extra_delay)).abs() < 50.0,
+            "estimate {} vs {}",
+            out.estimated_latency_us,
+            device_latency + extra_delay
+        );
+        // AICore energy is the paper's optimization target (SoC energy is
+        // not monotone under down-clocking for memory-heavy stages).
+        assert!(
+            out.outcome.result.energy_aicore_j < plain.result.energy_aicore_j,
+            "recovered {} J vs unguarded {} J",
+            out.outcome.result.energy_aicore_j,
+            plain.result.energy_aicore_j
+        );
+        // And within the SLA.
+        let base_dur = base2.records.last().unwrap().end_us() - base2.records[0].start_us;
+        assert!(out.outcome.result.duration_us <= 1.6 * base_dur);
+    }
+
+    #[test]
+    fn transient_drop_burst_is_recovered_by_rerun() {
+        let schedule = heavy_schedule(40);
+        let mut dev = FaultyDevice::new(
+            Device::new(quiet_cfg()),
+            FaultPlan::seeded(1).drop_setfreq_first(1),
+        );
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let out =
+            execute_resilient(&mut dev, &schedule, &strategy, &base.records, &lenient()).unwrap();
+        // Attempt 1 loses the switch (burst); the rerun passes the burst
+        // window and lands it.
+        assert_eq!(out.outcome.degradation, Degradation::Retried { reruns: 1 });
+        assert_eq!(out.outcome.result.freq_trace.len(), 2);
+        assert_eq!(dev.stats().setfreq_dropped, 1);
+    }
+
+    #[test]
+    fn persistent_drops_fall_through_to_pinned_stages() {
+        let schedule = heavy_schedule(40);
+        let mut dev = FaultyDevice::new(
+            Device::new(quiet_cfg()),
+            FaultPlan::seeded(1).drop_setfreq_prob(1.0),
+        );
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let out =
+            execute_resilient(&mut dev, &schedule, &strategy, &base.records, &lenient()).unwrap();
+        // Pinning the deviant tail stage to fmax makes the strategy
+        // uniform — no SetFreq left to drop.
+        assert_eq!(
+            out.outcome.degradation,
+            Degradation::PinnedStages { stages: vec![1] }
+        );
+        assert_eq!(out.outcome.setfreq_count, 0);
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn guardrail_only_trip_reverts_straight_to_baseline() {
+        let schedule = heavy_schedule(40);
+        let mut dev = Device::new(quiet_cfg());
+        let base = profile(&mut dev, &schedule);
+        // Deep down-clock with a zero-slack SLA: the strategy executes
+        // exactly as planned but cannot meet the limit, so rungs 1–2 are
+        // pointless and the ladder jumps to baseline.
+        let strategy = descending(&base.records, 1000);
+        let opts = ResilientOptions {
+            guardrail: Guardrail {
+                sla_slack: 1.001,
+                ..Guardrail::default()
+            },
+            ..ResilientOptions::default()
+        };
+        let out = execute_resilient(&mut dev, &schedule, &strategy, &base.records, &opts).unwrap();
+        assert_eq!(out.outcome.degradation, Degradation::Baseline);
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.outcome.setfreq_count, 0);
+        assert_eq!(out.outcome.initial_freq, dev.config().freq_table.max());
+    }
+
+    #[test]
+    fn rejections_are_absorbed_by_dispatch_retry_without_rerun() {
+        let schedule = heavy_schedule(40);
+        let mut dev = FaultyDevice::new(
+            Device::new(quiet_cfg()),
+            FaultPlan::seeded(1).reject_setfreq_first(2),
+        );
+        let base = profile(&mut dev, &schedule);
+        let strategy = descending(&base.records, 1200);
+        let out =
+            execute_resilient(&mut dev, &schedule, &strategy, &base.records, &lenient()).unwrap();
+        // The device-level retry loop lands the switch inside attempt 1;
+        // backoff (100→200 µs) is far under the 500 µs tolerance.
+        assert_eq!(out.outcome.degradation, Degradation::None);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(dev.stats().setfreq_rejected, 2);
+        assert_eq!(out.outcome.result.freq_trace.len(), 2);
+    }
+
+    #[test]
+    fn degradation_rung_names_are_stable() {
+        assert_eq!(Degradation::None.rung_name(), "none");
+        assert_eq!(Degradation::Retried { reruns: 1 }.rung_name(), "retry");
+        assert_eq!(
+            Degradation::PinnedStages { stages: vec![0] }.rung_name(),
+            "pin-stages"
+        );
+        assert_eq!(Degradation::Baseline.rung_name(), "baseline");
+    }
+}

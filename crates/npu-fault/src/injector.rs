@@ -1,0 +1,266 @@
+//! The stateful hook that executes a [`FaultPlan`].
+
+use crate::plan::FaultPlan;
+use npu_sim::telemetry::TelemetrySample;
+use npu_sim::{DeviceHook, FreqMhz, NoiseSource, OpRecord, RecordFate, SampleFate, SetFreqFate};
+
+/// Counters of injections performed so far.
+///
+/// Passive data record; all fields are public by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InjectionStats {
+    /// `SetFreq` dispatches silently dropped.
+    pub setfreq_dropped: u64,
+    /// `SetFreq` dispatches rejected (observable, retryable).
+    pub setfreq_rejected: u64,
+    /// `SetFreq` dispatches given extra apply delay.
+    pub setfreq_delayed: u64,
+    /// Telemetry samples lost.
+    pub telemetry_dropped: u64,
+    /// Telemetry samples spiked.
+    pub telemetry_spiked: u64,
+    /// Telemetry samples frozen by a stuck sensor.
+    pub sensor_stuck_samples: u64,
+    /// Profiler records given timing outliers.
+    pub records_perturbed: u64,
+}
+
+impl InjectionStats {
+    /// Total number of injections of any kind.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.setfreq_dropped
+            + self.setfreq_rejected
+            + self.setfreq_delayed
+            + self.telemetry_dropped
+            + self.telemetry_spiked
+            + self.sensor_stuck_samples
+            + self.records_perturbed
+    }
+}
+
+/// Executes a [`FaultPlan`] as a [`DeviceHook`].
+///
+/// Holds its own seeded RNG ([`NoiseSource`]) so the device's noise
+/// stream is never consumed by fault decisions — a prerequisite for the
+/// faults-off bit-identity guarantee.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: NoiseSource,
+    stats: InjectionStats,
+    /// Dispatch attempts seen (drives the first-n burst windows).
+    dispatches_seen: u32,
+    /// Remaining stuck-run samples and the frozen reading.
+    stuck: Option<(u32, TelemetrySample)>,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = NoiseSource::from_seed(plan.seed());
+        Self {
+            plan,
+            rng,
+            stats: InjectionStats::default(),
+            dispatches_seen: 0,
+            stuck: None,
+        }
+    }
+
+    /// The plan being executed.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> InjectionStats {
+        self.stats
+    }
+
+    /// True with probability `p`, drawn from the injector's own RNG.
+    /// Never draws when `p` is 0, so unarmed knobs cannot perturb the
+    /// fault schedule of armed ones.
+    fn chance(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.uniform(0.0, 1.0) < p
+    }
+}
+
+impl DeviceHook for FaultInjector {
+    fn on_setfreq(&mut self, _at_us: f64, _target: FreqMhz, _attempt: u32) -> SetFreqFate {
+        self.dispatches_seen += 1;
+        let n = self.dispatches_seen;
+        if n <= self.plan.setfreq_drop_first {
+            self.stats.setfreq_dropped += 1;
+            return SetFreqFate::Drop;
+        }
+        if n <= self.plan.setfreq_drop_first + self.plan.setfreq_reject_first {
+            self.stats.setfreq_rejected += 1;
+            return SetFreqFate::Reject;
+        }
+        if self.chance(self.plan.setfreq_drop_prob) {
+            self.stats.setfreq_dropped += 1;
+            return SetFreqFate::Drop;
+        }
+        if self.chance(self.plan.setfreq_reject_prob) {
+            self.stats.setfreq_rejected += 1;
+            return SetFreqFate::Reject;
+        }
+        if self.plan.setfreq_extra_delay_us > 0.0 && self.chance(self.plan.setfreq_delay_prob) {
+            self.stats.setfreq_delayed += 1;
+            return SetFreqFate::Apply {
+                extra_delay_us: self.plan.setfreq_extra_delay_us,
+            };
+        }
+        SetFreqFate::healthy()
+    }
+
+    fn on_telemetry(&mut self, sample: TelemetrySample) -> SampleFate {
+        if let Some((left, frozen)) = self.stuck.take() {
+            let repeat = TelemetrySample {
+                t_us: sample.t_us,
+                ..frozen
+            };
+            if left > 1 {
+                self.stuck = Some((left - 1, frozen));
+            }
+            self.stats.sensor_stuck_samples += 1;
+            return SampleFate::Tampered(repeat, "stuck_sensor");
+        }
+        if self.chance(self.plan.telemetry_drop_prob) {
+            self.stats.telemetry_dropped += 1;
+            return SampleFate::Lost;
+        }
+        if self.chance(self.plan.telemetry_spike_prob) {
+            self.stats.telemetry_spiked += 1;
+            let spiked = TelemetrySample {
+                aicore_w: sample.aicore_w * self.plan.telemetry_spike_factor,
+                soc_w: sample.soc_w * self.plan.telemetry_spike_factor,
+                ..sample
+            };
+            return SampleFate::Tampered(spiked, "telemetry_spike");
+        }
+        if self.plan.stuck_sensor_len > 0 && self.chance(self.plan.stuck_sensor_prob) {
+            // The triggering sample is the last genuine reading; the next
+            // `stuck_sensor_len` samples repeat it.
+            self.stuck = Some((self.plan.stuck_sensor_len, sample));
+        }
+        SampleFate::Keep(sample)
+    }
+
+    fn on_record(&mut self, record: OpRecord) -> RecordFate {
+        if self.chance(self.plan.profiler_outlier_prob) {
+            self.stats.records_perturbed += 1;
+            let stretched = OpRecord {
+                dur_us: record.dur_us * self.plan.profiler_outlier_factor,
+                ..record
+            };
+            return RecordFate::Tampered(stretched, "profiler_outlier");
+        }
+        RecordFate::Keep(record)
+    }
+
+    fn temp_offset_c(&mut self, at_us: f64) -> f64 {
+        self.plan
+            .thermal_excursions
+            .iter()
+            .filter(|e| e.contains(at_us))
+            .map(|e| e.delta_c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64) -> TelemetrySample {
+        TelemetrySample {
+            t_us: t,
+            aicore_w: 50.0,
+            soc_w: 250.0,
+            temp_c: 60.0,
+        }
+    }
+
+    #[test]
+    fn burst_order_is_drops_then_rejects() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::seeded(1)
+                .drop_setfreq_first(2)
+                .reject_setfreq_first(1),
+        );
+        let f = FreqMhz::new(1000);
+        assert_eq!(inj.on_setfreq(0.0, f, 1), SetFreqFate::Drop);
+        assert_eq!(inj.on_setfreq(1.0, f, 1), SetFreqFate::Drop);
+        assert_eq!(inj.on_setfreq(2.0, f, 1), SetFreqFate::Reject);
+        assert_eq!(inj.on_setfreq(3.0, f, 1), SetFreqFate::healthy());
+        let s = inj.stats();
+        assert_eq!(s.setfreq_dropped, 2);
+        assert_eq!(s.setfreq_rejected, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn stuck_run_freezes_then_releases() {
+        let mut inj = FaultInjector::new(FaultPlan::seeded(1).stick_sensor(1.0, 2));
+        // First sample triggers the run but passes through genuine.
+        assert_eq!(inj.on_telemetry(sample(0.0)), SampleFate::Keep(sample(0.0)));
+        // Next two samples repeat the frozen reading at their own time.
+        let expect_frozen = |t: f64| TelemetrySample {
+            t_us: t,
+            ..sample(0.0)
+        };
+        assert_eq!(
+            inj.on_telemetry(TelemetrySample {
+                temp_c: 99.0,
+                ..sample(1.0)
+            }),
+            SampleFate::Tampered(expect_frozen(1.0), "stuck_sensor")
+        );
+        assert_eq!(
+            inj.on_telemetry(TelemetrySample {
+                temp_c: 99.0,
+                ..sample(2.0)
+            }),
+            SampleFate::Tampered(expect_frozen(2.0), "stuck_sensor")
+        );
+        assert_eq!(inj.stats().sensor_stuck_samples, 2);
+    }
+
+    #[test]
+    fn overlapping_excursions_sum() {
+        use crate::plan::ThermalExcursion;
+        let plan = FaultPlan::seeded(1)
+            .thermal_excursion(ThermalExcursion {
+                start_us: 0.0,
+                dur_us: 10.0,
+                delta_c: 3.0,
+            })
+            .thermal_excursion(ThermalExcursion {
+                start_us: 5.0,
+                dur_us: 10.0,
+                delta_c: 4.0,
+            });
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.temp_offset_c(2.0), 3.0);
+        assert_eq!(inj.temp_offset_c(7.0), 7.0);
+        assert_eq!(inj.temp_offset_c(12.0), 4.0);
+        assert_eq!(inj.temp_offset_c(25.0), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let draws = |seed| {
+            let mut inj = FaultInjector::new(FaultPlan::seeded(seed).drop_telemetry(0.3));
+            (0..50)
+                .map(|i| matches!(inj.on_telemetry(sample(i as f64)), SampleFate::Lost))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draws(9), draws(9));
+        assert_ne!(draws(9), draws(10));
+    }
+}

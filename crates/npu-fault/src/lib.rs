@@ -1,0 +1,314 @@
+//! # npu-fault — deterministic fault injection at the device boundary
+//!
+//! The paper's energy wins hinge on `SetFreq` landing on time (its
+//! Fig. 18 shows a single 14 ms-delayed apply eroding both power savings
+//! and performance), yet real DVFS interfaces drop dispatches, reject
+//! them transiently, apply hundreds of microseconds late, and hand back
+//! jittery telemetry. This crate makes those failure modes reproducible:
+//! a [`FaultPlan`] is a seeded, declarative schedule of faults, and a
+//! [`FaultyDevice`] wraps an `npu_sim::Device` with a
+//! [`npu_sim::DeviceHook`] that executes the plan. Every injection is
+//! surfaced by the device as a typed `npu-obs` event
+//! (`FaultInjected` / `SetFreqRejected`), so fault campaigns are visible
+//! in the JSON-lines stream, and counted in [`InjectionStats`].
+//!
+//! Determinism: the injector draws from its own seeded RNG, never from
+//! the device's noise stream, so the same plan over the same workload
+//! reproduces the same faults bit-for-bit — and a device with *no* plan
+//! is byte-identical to one that never linked this crate.
+//!
+//! ```
+//! use npu_fault::{FaultPlan, FaultyDevice};
+//! use npu_sim::{Device, FreqMhz, NpuConfig, OpDescriptor, RunOptions, Scenario, Schedule};
+//!
+//! let plan = FaultPlan::seeded(7).drop_setfreq_first(1);
+//! let mut dev = FaultyDevice::new(Device::new(NpuConfig::ascend_like()), plan);
+//! let schedule = Schedule::new(vec![OpDescriptor::compute(
+//!     "Add",
+//!     Scenario::PingPongIndependent,
+//! )
+//! .blocks(4)
+//! .ld_bytes_per_block(1024.0)
+//! .core_cycles_per_block(500.0)]);
+//! let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![npu_sim::SetFreqCmd {
+//!     after_op: 0,
+//!     target: FreqMhz::new(1000),
+//! }]);
+//! let r = dev.run(&schedule, &opts)?;
+//! assert_eq!(r.freq_trace.len(), 1); // the only dispatch was swallowed
+//! assert_eq!(dev.stats().setfreq_dropped, 1);
+//! # Ok::<(), npu_sim::DeviceError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod injector;
+mod plan;
+
+pub use injector::{FaultInjector, InjectionStats};
+pub use plan::{FaultPlan, ThermalExcursion};
+
+use npu_sim::{Device, DeviceError, HookHandle, RunOptions, RunResult, Schedule};
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Mutex};
+
+/// A [`Device`] with a [`FaultPlan`] interposed at its boundary.
+///
+/// Dereferences to the wrapped device, so the full device API is
+/// available; [`FaultyDevice::stats`] reads the injection counters at any
+/// point, and [`FaultyDevice::into_inner`] detaches the hook and returns
+/// the pristine device.
+#[derive(Debug)]
+pub struct FaultyDevice {
+    dev: Device,
+    injector: Arc<Mutex<FaultInjector>>,
+}
+
+impl FaultyDevice {
+    /// Wraps `dev`, installing `plan` as its boundary hook.
+    #[must_use]
+    pub fn new(mut dev: Device, plan: FaultPlan) -> Self {
+        let injector = Arc::new(Mutex::new(FaultInjector::new(plan)));
+        let hook: Arc<Mutex<dyn npu_sim::DeviceHook>> = injector.clone();
+        dev.set_hook(HookHandle::from_arc(hook));
+        Self { dev, injector }
+    }
+
+    /// Runs a schedule on the faulted device (convenience passthrough).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`DeviceError`] from the wrapped device.
+    pub fn run(
+        &mut self,
+        schedule: &Schedule,
+        opts: &RunOptions,
+    ) -> Result<RunResult, DeviceError> {
+        self.dev.run(schedule, opts)
+    }
+
+    /// Injection counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> InjectionStats {
+        match self.injector.lock() {
+            Ok(g) => g.stats(),
+            Err(poisoned) => poisoned.into_inner().stats(),
+        }
+    }
+
+    /// Detaches the fault hook and returns the wrapped device.
+    #[must_use]
+    pub fn into_inner(mut self) -> Device {
+        self.dev.clear_hook();
+        self.dev
+    }
+}
+
+impl Deref for FaultyDevice {
+    type Target = Device;
+    fn deref(&self) -> &Device {
+        &self.dev
+    }
+}
+
+impl DerefMut for FaultyDevice {
+    fn deref_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_sim::{FreqMhz, NpuConfig, OpDescriptor, Scenario, SetFreqCmd};
+
+    fn quiet_cfg() -> NpuConfig {
+        NpuConfig::builder().noise(0.0, 0.0, 0.0).build().unwrap()
+    }
+
+    fn schedule(n: usize) -> Schedule {
+        Schedule::new(
+            (0..n)
+                .map(|i| {
+                    OpDescriptor::compute(format!("Op{i}"), Scenario::PingPongIndependent)
+                        .blocks(8)
+                        .ld_bytes_per_block(4.0 * 1024.0 * 1024.0)
+                        .st_bytes_per_block(2.0 * 1024.0 * 1024.0)
+                        .l2_hit_rate(0.4)
+                        .core_cycles_per_block(5_000.0)
+                        .activity(8.0)
+                })
+                .collect(),
+        )
+    }
+
+    fn down_opts() -> RunOptions {
+        RunOptions::at(FreqMhz::new(1800)).with_setfreq(vec![SetFreqCmd {
+            after_op: 0,
+            target: FreqMhz::new(1000),
+        }])
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_pristine_device() {
+        let opts = down_opts().with_telemetry(500.0);
+        let pristine = Device::with_seed(NpuConfig::ascend_like(), 9)
+            .run(&schedule(30), &opts)
+            .unwrap();
+        let mut faulty = FaultyDevice::new(
+            Device::with_seed(NpuConfig::ascend_like(), 9),
+            FaultPlan::seeded(1234),
+        );
+        let r = faulty.run(&schedule(30), &opts).unwrap();
+        assert_eq!(pristine, r);
+        assert_eq!(faulty.stats(), InjectionStats::default());
+    }
+
+    #[test]
+    fn dropped_dispatch_is_counted_and_loses_the_switch() {
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(7).drop_setfreq_first(1),
+        );
+        let r = dev.run(&schedule(40), &down_opts()).unwrap();
+        assert_eq!(r.freq_trace.len(), 1);
+        assert_eq!(dev.stats().setfreq_dropped, 1);
+    }
+
+    #[test]
+    fn extra_delay_defers_the_apply() {
+        let opts = down_opts();
+        let clean = Device::with_seed(quiet_cfg(), 1)
+            .run(&schedule(60), &opts)
+            .unwrap();
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(7).delay_setfreq(14_000.0),
+        );
+        let r = dev.run(&schedule(60), &opts).unwrap();
+        assert!((r.freq_trace[1].0 - clean.freq_trace[1].0 - 14_000.0).abs() < 1e-6);
+        assert_eq!(dev.stats().setfreq_delayed, 1);
+    }
+
+    #[test]
+    fn rejections_honor_device_retry() {
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(7).reject_setfreq_first(2),
+        );
+        let opts = down_opts().with_setfreq_retry(npu_sim::SetFreqRetry::default());
+        let r = dev.run(&schedule(40), &opts).unwrap();
+        assert_eq!(r.freq_trace.last().map(|&(_, f)| f.mhz()), Some(1000));
+        assert_eq!(dev.stats().setfreq_rejected, 2);
+    }
+
+    #[test]
+    fn telemetry_faults_fire_deterministically() {
+        // The 40-op schedule runs ~1 ms; sample densely so the
+        // probabilistic faults have ~100 chances to fire.
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(10.0);
+        let run = |seed: u64| {
+            let mut dev = FaultyDevice::new(
+                Device::with_seed(quiet_cfg(), 1),
+                FaultPlan::seeded(seed)
+                    .drop_telemetry(0.2)
+                    .spike_telemetry(0.1, 5.0),
+            );
+            let r = dev.run(&schedule(40), &opts).unwrap();
+            (r, dev.stats())
+        };
+        let (r1, s1) = run(99);
+        let (r2, s2) = run(99);
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+        assert!(s1.telemetry_dropped > 0);
+        assert!(s1.telemetry_spiked > 0);
+        let (r3, _) = run(100);
+        assert_ne!(r1.telemetry, r3.telemetry);
+    }
+
+    #[test]
+    fn stuck_sensor_repeats_a_reading() {
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(10.0);
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(3).stick_sensor(0.05, 6),
+        );
+        let r = dev.run(&schedule(60), &opts).unwrap();
+        assert!(dev.stats().sensor_stuck_samples > 0);
+        // Somewhere in the stream a temperature value repeats exactly.
+        let repeats = r
+            .telemetry
+            .windows(2)
+            .filter(|w| w[0].temp_c == w[1].temp_c)
+            .count();
+        assert!(repeats > 0);
+    }
+
+    #[test]
+    fn profiler_outliers_stretch_records() {
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(5).perturb_records(0.15, 8.0),
+        );
+        let clean = Device::with_seed(quiet_cfg(), 1)
+            .run(&schedule(60), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
+        let r = dev
+            .run(&schedule(60), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
+        assert!(dev.stats().records_perturbed > 0);
+        let stretched = r
+            .records
+            .iter()
+            .zip(&clean.records)
+            .filter(|(f, c)| f.dur_us > 2.0 * c.dur_us)
+            .count();
+        assert_eq!(stretched as u64, dev.stats().records_perturbed);
+        // True run physics (duration, energy) are untouched: only the
+        // *reported* records lie.
+        assert!((r.duration_us - clean.duration_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thermal_excursion_offsets_measured_window_only() {
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(10.0);
+        let clean = Device::with_seed(quiet_cfg(), 1)
+            .run(&schedule(40), &opts)
+            .unwrap();
+        let mut dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(5).thermal_excursion(ThermalExcursion {
+                start_us: 200.0,
+                dur_us: 300.0,
+                delta_c: 12.0,
+            }),
+        );
+        let r = dev.run(&schedule(40), &opts).unwrap();
+        assert_eq!(clean.end_temp_c, r.end_temp_c);
+        let mut inside = 0;
+        for (a, b) in clean.telemetry.iter().zip(&r.telemetry) {
+            let d = b.temp_c - a.temp_c;
+            if (200.0..500.0).contains(&a.t_us) {
+                assert!((d - 12.0).abs() < 1e-9, "at {}: {d}", a.t_us);
+                inside += 1;
+            } else {
+                assert!(d.abs() < 1e-9, "at {}: {d}", a.t_us);
+            }
+        }
+        assert!(inside > 0);
+    }
+
+    #[test]
+    fn into_inner_detaches_the_hook() {
+        let dev = FaultyDevice::new(
+            Device::with_seed(quiet_cfg(), 1),
+            FaultPlan::seeded(7).drop_setfreq_first(100),
+        );
+        let mut plain = dev.into_inner();
+        assert!(plain.hook().is_none());
+        let r = plain.run(&schedule(40), &down_opts()).unwrap();
+        assert_eq!(r.freq_trace.len(), 2); // switch applies again
+    }
+}

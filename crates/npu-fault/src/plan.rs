@@ -1,0 +1,244 @@
+//! Declarative, seeded fault schedules.
+
+/// A window of sensor/ambient temperature excursion in absolute device
+/// time (the device clock persists across runs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalExcursion {
+    /// Window start, µs (device clock).
+    pub start_us: f64,
+    /// Window length, µs.
+    pub dur_us: f64,
+    /// Measured-temperature offset inside the window, °C.
+    pub delta_c: f64,
+}
+
+impl ThermalExcursion {
+    /// Whether `at_us` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, at_us: f64) -> bool {
+        at_us >= self.start_us && at_us < self.start_us + self.dur_us
+    }
+}
+
+/// A seeded, reproducible schedule of device-boundary faults.
+///
+/// The default plan (any seed, no faults armed) injects nothing and
+/// leaves the device bit-identical to an unhooked one. Deterministic
+/// "first-n" bursts model transient startup faults; probabilistic knobs
+/// draw from the plan's own seeded RNG, never the device's noise stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed for all probabilistic draws.
+    pub(crate) seed: u64,
+    /// Silently drop the first n `SetFreq` dispatch attempts.
+    pub(crate) setfreq_drop_first: u32,
+    /// Probability of dropping any later dispatch.
+    pub(crate) setfreq_drop_prob: f64,
+    /// Reject the first n dispatch attempts (retryable).
+    pub(crate) setfreq_reject_first: u32,
+    /// Probability of rejecting any later dispatch.
+    pub(crate) setfreq_reject_prob: f64,
+    /// Extra apply delay added to faulted dispatches, µs.
+    pub(crate) setfreq_extra_delay_us: f64,
+    /// Probability a dispatch gets the extra delay (1.0 once armed).
+    pub(crate) setfreq_delay_prob: f64,
+    /// Probability of losing a telemetry sample.
+    pub(crate) telemetry_drop_prob: f64,
+    /// Probability of a power-spike outlier on a telemetry sample.
+    pub(crate) telemetry_spike_prob: f64,
+    /// Multiplier applied to power channels on a spiked sample.
+    pub(crate) telemetry_spike_factor: f64,
+    /// Probability a telemetry sample starts a stuck-sensor run.
+    pub(crate) stuck_sensor_prob: f64,
+    /// Length of a stuck-sensor run, samples.
+    pub(crate) stuck_sensor_len: u32,
+    /// Probability a profiler record gets a timing outlier.
+    pub(crate) profiler_outlier_prob: f64,
+    /// Duration multiplier for outlier records.
+    pub(crate) profiler_outlier_factor: f64,
+    /// Measured-temperature excursion windows.
+    pub(crate) thermal_excursions: Vec<ThermalExcursion>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing armed, all draws come from `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            setfreq_drop_first: 0,
+            setfreq_drop_prob: 0.0,
+            setfreq_reject_first: 0,
+            setfreq_reject_prob: 0.0,
+            setfreq_extra_delay_us: 0.0,
+            setfreq_delay_prob: 0.0,
+            telemetry_drop_prob: 0.0,
+            telemetry_spike_prob: 0.0,
+            telemetry_spike_factor: 1.0,
+            stuck_sensor_prob: 0.0,
+            stuck_sensor_len: 0,
+            profiler_outlier_prob: 0.0,
+            profiler_outlier_factor: 1.0,
+            thermal_excursions: Vec::new(),
+        }
+    }
+
+    /// The RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drops the first `n` `SetFreq` dispatch attempts (burst fault).
+    #[must_use]
+    pub fn drop_setfreq_first(mut self, n: u32) -> Self {
+        self.setfreq_drop_first = n;
+        self
+    }
+
+    /// Drops later dispatches with probability `p`.
+    #[must_use]
+    pub fn drop_setfreq_prob(mut self, p: f64) -> Self {
+        self.setfreq_drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Rejects the first `n` dispatch attempts — observable failures the
+    /// device retries when [`npu_sim::SetFreqRetry`] is armed.
+    #[must_use]
+    pub fn reject_setfreq_first(mut self, n: u32) -> Self {
+        self.setfreq_reject_first = n;
+        self
+    }
+
+    /// Rejects later dispatches with probability `p`.
+    #[must_use]
+    pub fn reject_setfreq_prob(mut self, p: f64) -> Self {
+        self.setfreq_reject_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds `extra_us` of apply delay to every dispatch (Fig. 18's
+    /// delayed-`SetFreq` scenario; pass 14 000 for the paper's 14 ms).
+    #[must_use]
+    pub fn delay_setfreq(self, extra_us: f64) -> Self {
+        self.delay_setfreq_prob(extra_us, 1.0)
+    }
+
+    /// Adds `extra_us` of apply delay with probability `p` per dispatch.
+    #[must_use]
+    pub fn delay_setfreq_prob(mut self, extra_us: f64, p: f64) -> Self {
+        self.setfreq_extra_delay_us = extra_us.max(0.0);
+        self.setfreq_delay_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Loses telemetry samples with probability `p`.
+    #[must_use]
+    pub fn drop_telemetry(mut self, p: f64) -> Self {
+        self.telemetry_drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Multiplies the power channels of a sample by `factor` with
+    /// probability `p` (spike outlier).
+    #[must_use]
+    pub fn spike_telemetry(mut self, p: f64, factor: f64) -> Self {
+        self.telemetry_spike_prob = p.clamp(0.0, 1.0);
+        self.telemetry_spike_factor = factor;
+        self
+    }
+
+    /// With probability `p` per sample, freezes the sensor for `len`
+    /// further samples (they all repeat the last genuine reading).
+    #[must_use]
+    pub fn stick_sensor(mut self, p: f64, len: u32) -> Self {
+        self.stuck_sensor_prob = p.clamp(0.0, 1.0);
+        self.stuck_sensor_len = len;
+        self
+    }
+
+    /// Stretches a profiler record's duration by `factor` with
+    /// probability `p` (timing outlier; the run physics are untouched).
+    #[must_use]
+    pub fn perturb_records(mut self, p: f64, factor: f64) -> Self {
+        self.profiler_outlier_prob = p.clamp(0.0, 1.0);
+        self.profiler_outlier_factor = factor;
+        self
+    }
+
+    /// Adds a measured-temperature excursion window.
+    #[must_use]
+    pub fn thermal_excursion(mut self, e: ThermalExcursion) -> Self {
+        self.thermal_excursions.push(e);
+        self
+    }
+
+    /// Whether any fault is armed (an unarmed plan injects nothing).
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.setfreq_drop_first > 0
+            || self.setfreq_drop_prob > 0.0
+            || self.setfreq_reject_first > 0
+            || self.setfreq_reject_prob > 0.0
+            || (self.setfreq_extra_delay_us > 0.0 && self.setfreq_delay_prob > 0.0)
+            || self.telemetry_drop_prob > 0.0
+            || self.telemetry_spike_prob > 0.0
+            || self.stuck_sensor_prob > 0.0
+            || self.profiler_outlier_prob > 0.0
+            || !self.thermal_excursions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_unarmed() {
+        assert!(!FaultPlan::seeded(42).is_armed());
+        assert_eq!(FaultPlan::seeded(42).seed(), 42);
+    }
+
+    #[test]
+    fn each_knob_arms_the_plan() {
+        let p = FaultPlan::seeded(1);
+        assert!(p.clone().drop_setfreq_first(1).is_armed());
+        assert!(p.clone().drop_setfreq_prob(0.5).is_armed());
+        assert!(p.clone().reject_setfreq_first(1).is_armed());
+        assert!(p.clone().reject_setfreq_prob(0.5).is_armed());
+        assert!(p.clone().delay_setfreq(100.0).is_armed());
+        assert!(p.clone().drop_telemetry(0.1).is_armed());
+        assert!(p.clone().spike_telemetry(0.1, 3.0).is_armed());
+        assert!(p.clone().stick_sensor(0.1, 4).is_armed());
+        assert!(p.clone().perturb_records(0.1, 5.0).is_armed());
+        assert!(p
+            .thermal_excursion(ThermalExcursion {
+                start_us: 0.0,
+                dur_us: 1.0,
+                delta_c: 5.0
+            })
+            .is_armed());
+    }
+
+    #[test]
+    fn probabilities_clamp_to_unit_interval() {
+        let p = FaultPlan::seeded(1).drop_telemetry(7.0);
+        assert_eq!(p.telemetry_drop_prob, 1.0);
+        let p = FaultPlan::seeded(1).drop_setfreq_prob(-3.0);
+        assert_eq!(p.setfreq_drop_prob, 0.0);
+    }
+
+    #[test]
+    fn excursion_window_is_half_open() {
+        let e = ThermalExcursion {
+            start_us: 10.0,
+            dur_us: 5.0,
+            delta_c: 2.0,
+        };
+        assert!(e.contains(10.0));
+        assert!(e.contains(14.999));
+        assert!(!e.contains(15.0));
+        assert!(!e.contains(9.999));
+    }
+}

@@ -161,6 +161,48 @@ pub enum Event {
         /// Number of samples.
         samples: usize,
     },
+    /// A fault was injected at the device boundary (`npu-fault`): a
+    /// dropped or delayed `SetFreq`, a telemetry dropout/spike/stuck run,
+    /// a profiler timing outlier, or a thermal excursion.
+    FaultInjected {
+        /// Stable fault-kind slug (e.g. `setfreq-drop`, `telemetry-spike`).
+        kind: String,
+        /// Device-clock time of the injection, µs.
+        at_us: f64,
+        /// Kind-specific magnitude (extra delay in µs, spike factor,
+        /// excursion °C, dropped target MHz, …).
+        magnitude: f64,
+    },
+    /// The device rejected a `SetFreq` dispatch (transient firmware
+    /// error); the command is retried later if a retry policy is armed.
+    SetFreqRejected {
+        /// Device-clock time of the rejection, µs.
+        at_us: f64,
+        /// The rejected target frequency, MHz.
+        freq_mhz: u32,
+        /// Dispatch attempt number (1 = first try).
+        attempt: u32,
+        /// Whether a bounded retry is scheduled.
+        will_retry: bool,
+    },
+    /// A resilient-execution guardrail detected a violation (SLA latency,
+    /// temperature ceiling, or `SetFreq` plan non-conformance).
+    GuardrailTripped {
+        /// What tripped (`latency-sla`, `temp-ceiling`,
+        /// `setfreq-dropped`, `setfreq-deviation`).
+        reason: String,
+        /// The observed value.
+        observed: f64,
+        /// The configured limit it exceeded.
+        limit: f64,
+    },
+    /// The resilient executor moved down the degradation ladder.
+    DegradationApplied {
+        /// The rung taken (`retry`, `pin-stages`, `baseline`).
+        rung: String,
+        /// Human-readable context (e.g. corrected latency, pinned count).
+        detail: String,
+    },
 }
 
 impl Event {
@@ -178,6 +220,10 @@ impl Event {
             Self::IterationMeasured { .. } => "IterationMeasured",
             Self::DeviceRun { .. } => "DeviceRun",
             Self::TelemetrySummarized { .. } => "TelemetrySummarized",
+            Self::FaultInjected { .. } => "FaultInjected",
+            Self::SetFreqRejected { .. } => "SetFreqRejected",
+            Self::GuardrailTripped { .. } => "GuardrailTripped",
+            Self::DegradationApplied { .. } => "DegradationApplied",
         }
     }
 
@@ -270,6 +316,39 @@ impl Event {
                 push_num_field(&mut s, "mean_temp_c", *mean_temp_c);
                 push_uint_field(&mut s, "samples", *samples as u64);
             }
+            Self::FaultInjected {
+                kind,
+                at_us,
+                magnitude,
+            } => {
+                push_str_field(&mut s, "kind", kind);
+                push_num_field(&mut s, "at_us", *at_us);
+                push_num_field(&mut s, "magnitude", *magnitude);
+            }
+            Self::SetFreqRejected {
+                at_us,
+                freq_mhz,
+                attempt,
+                will_retry,
+            } => {
+                push_num_field(&mut s, "at_us", *at_us);
+                push_num_field(&mut s, "freq_mhz", f64::from(*freq_mhz));
+                push_uint_field(&mut s, "attempt", u64::from(*attempt));
+                push_bool_field(&mut s, "will_retry", *will_retry);
+            }
+            Self::GuardrailTripped {
+                reason,
+                observed,
+                limit,
+            } => {
+                push_str_field(&mut s, "reason", reason);
+                push_num_field(&mut s, "observed", *observed);
+                push_num_field(&mut s, "limit", *limit);
+            }
+            Self::DegradationApplied { rung, detail } => {
+                push_str_field(&mut s, "rung", rung);
+                push_str_field(&mut s, "detail", detail);
+            }
         }
         s.push('}');
         s
@@ -277,6 +356,10 @@ impl Event {
 }
 
 fn push_uint_field(s: &mut String, key: &str, v: u64) {
+    let _ = write!(s, ",\"{key}\":{v}");
+}
+
+fn push_bool_field(s: &mut String, key: &str, v: bool) {
     let _ = write!(s, ",\"{key}\":{v}");
 }
 
@@ -356,6 +439,46 @@ mod tests {
         };
         let json = e.to_json();
         assert!(json.contains("\"label\":\"a\\\"b\\\\c\\nd\""), "{json}");
+    }
+
+    #[test]
+    fn json_encodes_fault_events() {
+        let e = Event::FaultInjected {
+            kind: "setfreq-drop".to_owned(),
+            at_us: 1500.0,
+            magnitude: 1200.0,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"FaultInjected\",\"kind\":\"setfreq-drop\",\"at_us\":1500,\"magnitude\":1200}"
+        );
+        let e = Event::SetFreqRejected {
+            at_us: 10.0,
+            freq_mhz: 1100,
+            attempt: 2,
+            will_retry: true,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"SetFreqRejected\",\"at_us\":10,\"freq_mhz\":1100,\"attempt\":2,\"will_retry\":true}"
+        );
+        let e = Event::GuardrailTripped {
+            reason: "latency-sla".to_owned(),
+            observed: 120.0,
+            limit: 100.0,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"GuardrailTripped\",\"reason\":\"latency-sla\",\"observed\":120,\"limit\":100}"
+        );
+        let e = Event::DegradationApplied {
+            rung: "baseline".to_owned(),
+            detail: "reverted".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DegradationApplied\",\"rung\":\"baseline\",\"detail\":\"reverted\"}"
+        );
     }
 
     #[test]

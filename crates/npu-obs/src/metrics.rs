@@ -98,61 +98,52 @@ impl MetricsRegistry {
     }
 
     /// Current value of a counter (0 when never incremented).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
         *self
             .counters
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(name)
             .unwrap_or(&0)
     }
 
     /// Snapshot of a histogram, if anything was recorded under `name`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
         self.histograms
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(name)
             .copied()
     }
 
     /// Snapshot of every counter.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     #[must_use]
     pub fn counters(&self) -> BTreeMap<String, u64> {
-        self.counters.lock().expect("metrics lock poisoned").clone()
+        self.counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// Renders all counters and histograms as sorted `name value` lines.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an internal lock was poisoned.
     #[must_use]
     pub fn render(&self) -> String {
         let mut s = String::new();
-        for (name, v) in self.counters.lock().expect("metrics lock poisoned").iter() {
-            let _ = writeln!(s, "{name} {v}");
-        }
-        for (name, h) in self
-            .histograms
+        for (name, v) in self
+            .counters
             .lock()
-            .expect("metrics lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
         {
+            let _ = writeln!(s, "{name} {v}");
+        }
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (name, h) in histograms.iter() {
             let _ = writeln!(
                 s,
                 "{name} count={} mean={:.6} min={:.6} max={:.6}",

@@ -27,12 +27,10 @@ impl<W: Write + Send> JsonLinesSink<W> {
     }
 
     /// Consumes the sink and returns the writer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned by a panicking writer.
     pub fn into_inner(self) -> W {
-        self.out.into_inner().expect("sink lock poisoned")
+        self.out
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -84,13 +82,12 @@ impl SummarySink {
     }
 
     /// Renders the phase table and event counts collected so far.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the internal lock was poisoned.
     #[must_use]
     pub fn render(&self) -> String {
-        let st = self.state.lock().expect("summary lock poisoned");
+        let st = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut s = String::new();
         s.push_str("phase        wall_ms\n");
         for (phase, _, wall_us) in &st.phases {

@@ -62,7 +62,7 @@ impl ErrorStats {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: q(0.5),
             p90: q(0.9),
-            max: *sorted.last().expect("non-empty"),
+            max: sorted[sorted.len() - 1],
             count: sorted.len(),
         })
     }
@@ -86,7 +86,7 @@ pub fn error_cdf(errors: &[f64], points: usize) -> Vec<(f64, f64)> {
     }
     let mut sorted = errors.to_vec();
     sorted.sort_by(f64::total_cmp);
-    let max = *sorted.last().expect("non-empty");
+    let max = sorted[sorted.len() - 1];
     (0..=points)
         .map(|i| {
             let e = max * i as f64 / points as f64;

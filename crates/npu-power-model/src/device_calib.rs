@@ -3,7 +3,9 @@
 //! two frequencies, a test load followed by a cool-down observation for
 //! `γ`, and equilibrium runs under several loads for `k`.
 
-use crate::calib::{fit_gamma, CalibrationError, HardwareCalibration, IdleFit, ThermalFit};
+use crate::calib::{
+    fit_gamma, fit_gamma_robust, CalibrationError, HardwareCalibration, IdleFit, ThermalFit,
+};
 use npu_obs::{Event, Phase};
 use npu_sim::{summarize, Device, DeviceError, FreqMhz, RunOptions, Schedule};
 use std::fmt;
@@ -25,6 +27,11 @@ pub struct CalibrationOptions {
     /// How long each equilibrium load runs for the `k` fit, µs (several
     /// thermal time constants).
     pub equilibrium_us: f64,
+    /// Robust statistics: median idle summaries and MAD outlier
+    /// rejection on the cool-down fit, so telemetry spikes and stuck
+    /// sensors don't skew the recovered parameters. Off by default —
+    /// the default path is unchanged (bit-identical results).
+    pub robust: bool,
 }
 
 impl Default for CalibrationOptions {
@@ -36,6 +43,7 @@ impl Default for CalibrationOptions {
             cooldown_us: 8.0e6,
             cooldown_sample_us: 5_000.0,
             equilibrium_us: 10.0e6,
+            robust: false,
         }
     }
 }
@@ -49,6 +57,9 @@ pub enum DeviceCalibrationError {
     Fit(CalibrationError),
     /// The caller supplied no equilibrium loads.
     NoLoads,
+    /// An idle observation window produced no telemetry samples (e.g.
+    /// every sample was lost to a dropout fault).
+    EmptyObservation,
 }
 
 impl fmt::Display for DeviceCalibrationError {
@@ -57,6 +68,9 @@ impl fmt::Display for DeviceCalibrationError {
             Self::Device(e) => write!(f, "device error during calibration: {e}"),
             Self::Fit(e) => write!(f, "calibration fit failed: {e}"),
             Self::NoLoads => write!(f, "at least two equilibrium loads are required"),
+            Self::EmptyObservation => {
+                write!(f, "idle observation produced no telemetry samples")
+            }
         }
     }
 }
@@ -66,7 +80,7 @@ impl std::error::Error for DeviceCalibrationError {
         match self {
             Self::Device(e) => Some(e),
             Self::Fit(e) => Some(e),
-            Self::NoLoads => None,
+            Self::NoLoads | Self::EmptyObservation => None,
         }
     }
 }
@@ -137,9 +151,24 @@ pub fn calibrate_device(
         dev.reset();
         dev.set_frequency(f)?;
         let samples = dev.observe_idle(opts.idle_observe_us, opts.idle_observe_us / 30.0);
-        let s = summarize(&samples).expect("idle observation produced samples");
-        ai_pts.push((f, s.mean_aicore_w));
-        soc_pts.push((f, s.mean_soc_w));
+        let (ai_w, soc_w) = if opts.robust {
+            // Median-of-samples: a handful of spiked or stuck readings
+            // leave the idle point untouched.
+            let ai: Vec<f64> = samples.iter().map(|s| s.aicore_w).collect();
+            let soc: Vec<f64> = samples.iter().map(|s| s.soc_w).collect();
+            match (
+                npu_perf_model::robust::median(&ai),
+                npu_perf_model::robust::median(&soc),
+            ) {
+                (Some(a), Some(s)) => (a, s),
+                _ => return Err(DeviceCalibrationError::EmptyObservation),
+            }
+        } else {
+            let s = summarize(&samples).ok_or(DeviceCalibrationError::EmptyObservation)?;
+            (s.mean_aicore_w, s.mean_soc_w)
+        };
+        ai_pts.push((f, ai_w));
+        soc_pts.push((f, soc_w));
     }
     let aicore_idle = IdleFit::fit(&ai_pts, &voltage)?;
     let soc_idle = IdleFit::fit(&soc_pts, &voltage)?;
@@ -152,8 +181,11 @@ pub fn calibrate_device(
     let v = voltage.volts(fmax);
     let ai_ct: Vec<(f64, f64)> = cooldown.iter().map(|s| (s.temp_c, s.aicore_w)).collect();
     let soc_ct: Vec<(f64, f64)> = cooldown.iter().map(|s| (s.temp_c, s.soc_w)).collect();
-    let gamma_aicore = fit_gamma(&ai_ct, v)?;
-    let gamma_soc = fit_gamma(&soc_ct, v)?;
+    let (gamma_aicore, gamma_soc) = if opts.robust {
+        (fit_gamma_robust(&ai_ct, v)?, fit_gamma_robust(&soc_ct, v)?)
+    } else {
+        (fit_gamma(&ai_ct, v)?, fit_gamma(&soc_ct, v)?)
+    };
 
     // 3. k from equilibrium temperature under different loads (Fig. 10).
     let mut k_pts = Vec::new();
@@ -304,6 +336,76 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DeviceCalibrationError::NoLoads));
+    }
+
+    #[test]
+    fn robust_calibration_survives_telemetry_faults() {
+        use npu_fault::{FaultPlan, FaultyDevice};
+
+        let cfg = quiet_cfg();
+        // Spiked and stuck telemetry during the idle/cool-down windows.
+        let plan = FaultPlan::seeded(11)
+            .spike_telemetry(0.10, 5.0)
+            .stick_sensor(0.02, 4);
+        let run = |robust: bool| {
+            let mut dev = FaultyDevice::new(Device::new(cfg.clone()), plan.clone());
+            let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
+            let opts = CalibrationOptions {
+                robust,
+                ..fast_opts()
+            };
+            calibrate_device(&mut dev, &compute_load(20.0), &loads, &opts).unwrap()
+        };
+        let fragile = run(false);
+        let robust = run(true);
+        let truth = cfg.beta_w_per_ghz_v2;
+        let err_fragile = (fragile.aicore_idle.beta - truth).abs();
+        let err_robust = (robust.aicore_idle.beta - truth).abs();
+        // The median idle summary shrugs off the 5× spikes; the mean
+        // cannot.
+        assert!(
+            err_robust < 0.5,
+            "robust beta {} vs {truth}",
+            robust.aicore_idle.beta
+        );
+        assert!(
+            err_robust < err_fragile,
+            "robust {err_robust} should beat fragile {err_fragile}"
+        );
+        assert!(
+            (robust.gamma_aicore - cfg.gamma_aicore_w_per_k_v).abs() < 0.06,
+            "robust gamma {} vs {}",
+            robust.gamma_aicore,
+            cfg.gamma_aicore_w_per_k_v
+        );
+    }
+
+    #[test]
+    fn robust_flag_changes_nothing_on_a_healthy_device() {
+        let cfg = quiet_cfg();
+        let loads = vec![compute_load(5.0), compute_load(15.0), compute_load(28.0)];
+        let plain = calibrate_device(
+            &mut Device::new(cfg.clone()),
+            &compute_load(20.0),
+            &loads,
+            &fast_opts(),
+        )
+        .unwrap();
+        let robust = calibrate_device(
+            &mut Device::new(cfg),
+            &compute_load(20.0),
+            &loads,
+            &CalibrationOptions {
+                robust: true,
+                ..fast_opts()
+            },
+        )
+        .unwrap();
+        // Noise-free telemetry: median and mean see the same constant
+        // idle power, and the cool-down has no outliers to reject.
+        assert!((plain.aicore_idle.beta - robust.aicore_idle.beta).abs() < 0.2);
+        assert!((plain.gamma_aicore - robust.gamma_aicore).abs() < 0.01);
+        assert_eq!(plain.thermal, robust.thermal);
     }
 
     #[test]

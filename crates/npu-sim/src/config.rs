@@ -90,9 +90,12 @@ impl NpuConfig {
     /// Ascend-910-class calibration used throughout the reproduction.
     #[must_use]
     pub fn ascend_like() -> Self {
-        NpuConfigBuilder::new()
-            .build()
-            .expect("default config is valid")
+        match NpuConfigBuilder::new().build() {
+            Ok(cfg) => cfg,
+            // The builder defaults are compile-time constants; a test pins
+            // their validity, so this arm cannot be reached at runtime.
+            Err(e) => unreachable!("default config rejected: {e}"),
+        }
     }
 
     /// Starts building a custom configuration.

@@ -15,6 +15,7 @@ use std::fmt;
 
 use crate::config::NpuConfig;
 use crate::freq::FreqMhz;
+use crate::hook::{HookHandle, RecordFate, SampleFate, SetFreqFate};
 use crate::noise::NoiseSource;
 use crate::operator::{OpClass, OpDescriptor};
 use crate::power::{aicore_power, uncore_power_scaled};
@@ -105,6 +106,32 @@ pub struct SetFreqCmd {
     pub target: FreqMhz,
 }
 
+/// Retry policy for `SetFreq` dispatches rejected at the device boundary
+/// (only reachable when a [`crate::DeviceHook`] injects rejections).
+///
+/// Backoff is deterministic and measured in virtual time: a rejected
+/// dispatch is retried no earlier than `backoff_us · multiplier^(n-1)`
+/// after the n-th rejection, at the next operator boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SetFreqRetry {
+    /// Maximum dispatch attempts per command (1 = no retry).
+    pub max_attempts: u32,
+    /// Base backoff before the first retry, µs.
+    pub backoff_us: f64,
+    /// Multiplier applied to the backoff after each failed attempt.
+    pub backoff_multiplier: f64,
+}
+
+impl Default for SetFreqRetry {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_us: 100.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+}
+
 /// Options controlling one [`Device::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
@@ -118,6 +145,9 @@ pub struct RunOptions {
     pub collect_telemetry: bool,
     /// Telemetry sampling period, µs.
     pub telemetry_period_us: f64,
+    /// Retry policy for rejected `SetFreq` dispatches; `None` gives up on
+    /// the first rejection.
+    pub setfreq_retry: Option<SetFreqRetry>,
 }
 
 impl RunOptions {
@@ -130,6 +160,7 @@ impl RunOptions {
             collect_records: true,
             collect_telemetry: false,
             telemetry_period_us: 1_000.0,
+            setfreq_retry: None,
         }
     }
 
@@ -152,6 +183,13 @@ impl RunOptions {
     #[must_use]
     pub fn without_records(mut self) -> Self {
         self.collect_records = false;
+        self
+    }
+
+    /// Arms device-level retry of rejected `SetFreq` dispatches.
+    #[must_use]
+    pub fn with_setfreq_retry(mut self, retry: SetFreqRetry) -> Self {
+        self.setfreq_retry = Some(retry);
         self
     }
 }
@@ -269,6 +307,10 @@ pub struct Device {
     /// Structured-event sink; disabled (`NullObserver`) by default.
     /// Cloning the device shares the sink.
     obs: ObserverHandle,
+    /// Optional boundary hook (fault injection); absent by default, in
+    /// which case every interposition site is a single branch and runs are
+    /// bit-identical to a hook-less device. Cloning shares the hook.
+    hook: Option<HookHandle>,
 }
 
 impl Device {
@@ -291,6 +333,7 @@ impl Device {
             freq,
             uncore_scale: 1.0,
             obs: ObserverHandle::default(),
+            hook: None,
         }
     }
 
@@ -313,6 +356,25 @@ impl Device {
     /// a single branch.
     pub fn set_observer(&mut self, obs: ObserverHandle) {
         self.obs = obs;
+    }
+
+    /// Installs a boundary hook (see [`crate::DeviceHook`]). The hook sees
+    /// every `SetFreq` dispatch, telemetry sample and profiler record, and
+    /// may offset the *measured* temperature — this is the interposition
+    /// point fault injection builds on. Survives [`Device::reset`].
+    pub fn set_hook(&mut self, hook: HookHandle) {
+        self.hook = Some(hook);
+    }
+
+    /// Removes the boundary hook, restoring pristine device behaviour.
+    pub fn clear_hook(&mut self) {
+        self.hook = None;
+    }
+
+    /// The installed boundary hook, if any.
+    #[must_use]
+    pub fn hook(&self) -> Option<&HookHandle> {
+        self.hook.as_ref()
     }
 
     /// Current chip temperature, °C.
@@ -390,7 +452,8 @@ impl Device {
             let dt_c = self.thermal.delta_t(&self.cfg);
             let p_ai = aicore_power(&self.cfg, 0.0, f, dt_c);
             let p_soc = p_ai + uncore_power_scaled(&self.cfg, 0.0, f, dt_c, self.uncore_scale);
-            samples.push(self.sample(p_ai, p_soc));
+            let s = self.sample(self.clock_us, p_ai, p_soc);
+            self.push_telemetry(s, &mut samples);
             self.thermal.advance(&self.cfg, p_soc, step);
             self.clock_us += step;
             t += step;
@@ -466,6 +529,7 @@ impl Device {
         self.freq = options.initial_freq;
         let start_t = self.clock_us;
         let mut pending: VecDeque<(f64, FreqMhz)> = VecDeque::new();
+        let mut retries: Vec<RetryEntry> = Vec::new();
         let mut result = RunResult {
             freq_trace: vec![(start_t, self.freq)],
             ..RunResult::default()
@@ -522,11 +586,8 @@ impl Device {
                 op_energy_soc += p_soc * seg_t;
                 if options.collect_telemetry {
                     while next_sample <= seg_end {
-                        let s = self.sample(p_ai, p_soc);
-                        result.telemetry.push(TelemetrySample {
-                            t_us: next_sample,
-                            ..s
-                        });
+                        let s = self.sample(next_sample, p_ai, p_soc);
+                        self.push_telemetry(s, &mut result.telemetry);
                         next_sample += options.telemetry_period_us;
                     }
                 }
@@ -534,22 +595,24 @@ impl Device {
                 self.clock_us = seg_end;
                 if apply_now {
                     remaining -= seg_t / dur_full;
-                    let (_, nf) = pending.pop_front().expect("peeked above");
-                    self.freq = nf;
-                    result.freq_trace.push((self.clock_us, nf));
-                    self.obs.emit(Event::SetFreqIssued {
-                        at_us: self.clock_us,
-                        freq_mhz: nf.mhz(),
-                    });
+                    if let Some((_, nf)) = pending.pop_front() {
+                        self.freq = nf;
+                        result.freq_trace.push((self.clock_us, nf));
+                        self.obs.emit(Event::SetFreqIssued {
+                            at_us: self.clock_us,
+                            freq_mhz: nf.mhz(),
+                        });
+                    }
                 } else {
                     remaining = 0.0;
                 }
             }
 
-            // Dispatch SetFreq commands triggered by this operator.
-            while cmd_iter.peek().is_some_and(|c| c.after_op == i) {
-                let cmd = cmd_iter.next().expect("peeked above");
-                pending.push_back((self.clock_us + self.cfg.setfreq_latency_us, cmd.target));
+            // Rejected dispatches whose backoff expired go first, then the
+            // SetFreq commands triggered by this operator.
+            self.flush_due_retries(&mut retries, &mut pending, options);
+            while let Some(cmd) = cmd_iter.next_if(|c| c.after_op == i) {
+                self.dispatch_setfreq(cmd.target, 1, &mut pending, &mut retries, options);
             }
 
             if options.collect_records {
@@ -561,9 +624,12 @@ impl Device {
                 };
                 let m_ai = p_ai_avg * self.noise.factor(self.cfg.power_noise_sd);
                 let m_soc = p_soc_avg * self.noise.factor(self.cfg.power_noise_sd);
-                let m_temp =
+                let mut m_temp =
                     self.thermal.temp_c() + self.noise.normal(0.0, self.cfg.temp_noise_sd_c);
-                result.records.push(OpRecord {
+                if let Some(h) = &self.hook {
+                    m_temp += h.with(|hk| hk.temp_offset_c(self.clock_us));
+                }
+                let record = OpRecord {
                     index: i,
                     name: op.name().to_owned(),
                     class: op.class(),
@@ -576,7 +642,26 @@ impl Device {
                     soc_w: m_soc,
                     temp_c: m_temp,
                     traffic_bytes: op.total_traffic_bytes(),
-                });
+                };
+                match &self.hook {
+                    None => result.records.push(record),
+                    Some(h) => {
+                        let orig_dur = record.dur_us;
+                        match h.with(|hk| hk.on_record(record)) {
+                            RecordFate::Keep(r) => result.records.push(r),
+                            RecordFate::Tampered(r, kind) => {
+                                if self.obs.enabled() {
+                                    self.obs.emit(Event::FaultInjected {
+                                        kind: kind.to_owned(),
+                                        at_us: self.clock_us,
+                                        magnitude: r.dur_us - orig_dur,
+                                    });
+                                }
+                                result.records.push(r);
+                            }
+                        }
+                    }
+                }
             }
         }
 
@@ -615,14 +700,146 @@ impl Device {
         Ok(result)
     }
 
-    fn sample(&mut self, p_ai: f64, p_soc: f64) -> TelemetrySample {
+    /// Draws one telemetry sample stamped `t_us` (sensor offsets from the
+    /// boundary hook are evaluated at the sample's own timestamp).
+    fn sample(&mut self, t_us: f64, p_ai: f64, p_soc: f64) -> TelemetrySample {
+        let aicore_w = p_ai * self.noise.factor(self.cfg.power_noise_sd);
+        let soc_w = p_soc * self.noise.factor(self.cfg.power_noise_sd);
+        let mut temp_c = self.thermal.temp_c() + self.noise.normal(0.0, self.cfg.temp_noise_sd_c);
+        if let Some(h) = &self.hook {
+            temp_c += h.with(|hk| hk.temp_offset_c(t_us));
+        }
         TelemetrySample {
-            t_us: self.clock_us,
-            aicore_w: p_ai * self.noise.factor(self.cfg.power_noise_sd),
-            soc_w: p_soc * self.noise.factor(self.cfg.power_noise_sd),
-            temp_c: self.thermal.temp_c() + self.noise.normal(0.0, self.cfg.temp_noise_sd_c),
+            t_us,
+            aicore_w,
+            soc_w,
+            temp_c,
         }
     }
+
+    /// Dispatches one `SetFreq` toward the pending-apply queue, consulting
+    /// the boundary hook for its fate. Applies insert in apply-time order:
+    /// injected extra delays could otherwise reorder the queue.
+    fn dispatch_setfreq(
+        &mut self,
+        target: FreqMhz,
+        attempt: u32,
+        pending: &mut VecDeque<(f64, FreqMhz)>,
+        retries: &mut Vec<RetryEntry>,
+        options: &RunOptions,
+    ) {
+        let fate = match &self.hook {
+            Some(h) => h.with(|hk| hk.on_setfreq(self.clock_us, target, attempt)),
+            None => SetFreqFate::healthy(),
+        };
+        match fate {
+            SetFreqFate::Apply { extra_delay_us } => {
+                let extra = extra_delay_us.max(0.0);
+                if extra > 0.0 && self.obs.enabled() {
+                    self.obs.emit(Event::FaultInjected {
+                        kind: "setfreq_delay".to_owned(),
+                        at_us: self.clock_us,
+                        magnitude: extra,
+                    });
+                }
+                let at = self.clock_us + self.cfg.setfreq_latency_us + extra;
+                let pos = pending.partition_point(|&(t, _)| t <= at);
+                pending.insert(pos, (at, target));
+            }
+            SetFreqFate::Drop => {
+                if self.obs.enabled() {
+                    self.obs.emit(Event::FaultInjected {
+                        kind: "setfreq_drop".to_owned(),
+                        at_us: self.clock_us,
+                        magnitude: 0.0,
+                    });
+                }
+            }
+            SetFreqFate::Reject => {
+                let retry = options.setfreq_retry.filter(|r| attempt < r.max_attempts);
+                self.obs.emit(Event::SetFreqRejected {
+                    at_us: self.clock_us,
+                    freq_mhz: target.mhz(),
+                    attempt,
+                    will_retry: retry.is_some(),
+                });
+                if let Some(r) = retry {
+                    let exp = i32::try_from(attempt.saturating_sub(1)).unwrap_or(i32::MAX);
+                    let backoff = r.backoff_us * r.backoff_multiplier.powi(exp);
+                    retries.push(RetryEntry {
+                        not_before: self.clock_us + backoff.max(0.0),
+                        target,
+                        attempt: attempt + 1,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Re-dispatches rejected commands whose backoff has expired, in the
+    /// order they were first rejected. Called at operator boundaries, so
+    /// retry granularity is one operator.
+    fn flush_due_retries(
+        &mut self,
+        retries: &mut Vec<RetryEntry>,
+        pending: &mut VecDeque<(f64, FreqMhz)>,
+        options: &RunOptions,
+    ) {
+        if retries.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        retries.retain(|e| {
+            if e.not_before <= self.clock_us {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        for e in due {
+            self.dispatch_setfreq(e.target, e.attempt, pending, retries, options);
+        }
+    }
+
+    /// Routes one telemetry sample through the boundary hook (if any) into
+    /// `out`, emitting a fault event when the hook tampers with or drops it.
+    fn push_telemetry(&self, sample: TelemetrySample, out: &mut Vec<TelemetrySample>) {
+        let Some(h) = &self.hook else {
+            out.push(sample);
+            return;
+        };
+        match h.with(|hk| hk.on_telemetry(sample)) {
+            SampleFate::Keep(s) => out.push(s),
+            SampleFate::Tampered(s, kind) => {
+                if self.obs.enabled() {
+                    self.obs.emit(Event::FaultInjected {
+                        kind: kind.to_owned(),
+                        at_us: sample.t_us,
+                        magnitude: s.soc_w - sample.soc_w,
+                    });
+                }
+                out.push(s);
+            }
+            SampleFate::Lost => {
+                if self.obs.enabled() {
+                    self.obs.emit(Event::FaultInjected {
+                        kind: "telemetry_drop".to_owned(),
+                        at_us: sample.t_us,
+                        magnitude: 0.0,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A rejected `SetFreq` awaiting re-dispatch.
+#[derive(Debug, Clone, Copy)]
+struct RetryEntry {
+    not_before: f64,
+    target: FreqMhz,
+    attempt: u32,
 }
 
 #[cfg(test)]
@@ -925,5 +1142,224 @@ mod tests {
     fn schedule_collects_from_iterator() {
         let s: Schedule = (0..5).map(|i| mem_op(&format!("Op{i}"))).collect();
         assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn device_error_display_covers_every_variant() {
+        let cases: Vec<(DeviceError, &str)> = vec![
+            (
+                DeviceError::UnsupportedFrequency(FreqMhz::new(123)),
+                "not supported",
+            ),
+            (DeviceError::UnsupportedUncoreScale(0.1), "uncore scale"),
+            (
+                DeviceError::TriggerOutOfRange { index: 9, len: 3 },
+                "out of range",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} missing {needle:?}");
+        }
+    }
+
+    // --- boundary-hook behaviour -------------------------------------
+
+    use crate::hook::{DeviceHook, HookHandle, SampleFate, SetFreqFate};
+
+    fn long_schedule(n: usize) -> Schedule {
+        Schedule::new((0..n).map(|i| mem_op(&format!("Op{i}"))).collect())
+    }
+
+    fn down_switch(after_op: usize) -> Vec<SetFreqCmd> {
+        vec![SetFreqCmd {
+            after_op,
+            target: FreqMhz::new(1000),
+        }]
+    }
+
+    #[derive(Debug)]
+    struct DropFirst {
+        left: usize,
+    }
+    impl DeviceHook for DropFirst {
+        fn on_setfreq(&mut self, _at: f64, _t: FreqMhz, _n: u32) -> SetFreqFate {
+            if self.left > 0 {
+                self.left -= 1;
+                SetFreqFate::Drop
+            } else {
+                SetFreqFate::healthy()
+            }
+        }
+    }
+
+    #[test]
+    fn hook_can_drop_setfreq() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        dev.set_hook(HookHandle::new(DropFirst { left: 1 }));
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(down_switch(0));
+        let r = dev.run(&long_schedule(50), &opts).unwrap();
+        // The only dispatch was swallowed: no applies beyond the initial.
+        assert_eq!(r.freq_trace.len(), 1);
+        assert_eq!(dev.freq().mhz(), 1800);
+    }
+
+    #[derive(Debug)]
+    struct DelayAll {
+        extra_us: f64,
+    }
+    impl DeviceHook for DelayAll {
+        fn on_setfreq(&mut self, _at: f64, _t: FreqMhz, _n: u32) -> SetFreqFate {
+            SetFreqFate::Apply {
+                extra_delay_us: self.extra_us,
+            }
+        }
+    }
+
+    #[test]
+    fn hook_extra_delay_defers_apply() {
+        let s = long_schedule(80);
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(down_switch(0));
+        let clean = Device::with_seed(quiet_cfg(), 1).run(&s, &opts).unwrap();
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        dev.set_hook(HookHandle::new(DelayAll { extra_us: 14_000.0 }));
+        let faulted = dev.run(&s, &opts).unwrap();
+        let (t_clean, _) = clean.freq_trace[1];
+        let (t_fault, f_fault) = faulted.freq_trace[1];
+        assert_eq!(f_fault.mhz(), 1000);
+        assert!((t_fault - t_clean - 14_000.0).abs() < 1e-6);
+        // Running 14 ms longer at the hot frequency costs AICore energy
+        // (the paper's optimization target; SoC energy also pays the
+        // uncore floor for the extra duration at low frequency, so it is
+        // not a monotone indicator here).
+        assert!(faulted.energy_aicore_j > clean.energy_aicore_j);
+    }
+
+    #[derive(Debug)]
+    struct RejectFirst {
+        left: usize,
+    }
+    impl DeviceHook for RejectFirst {
+        fn on_setfreq(&mut self, _at: f64, _t: FreqMhz, _n: u32) -> SetFreqFate {
+            if self.left > 0 {
+                self.left -= 1;
+                SetFreqFate::Reject
+            } else {
+                SetFreqFate::healthy()
+            }
+        }
+    }
+
+    #[test]
+    fn rejected_setfreq_retries_until_applied() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        dev.set_hook(HookHandle::new(RejectFirst { left: 2 }));
+        let opts = RunOptions::at(FreqMhz::new(1800))
+            .with_setfreq(down_switch(0))
+            .with_setfreq_retry(SetFreqRetry {
+                max_attempts: 5,
+                backoff_us: 50.0,
+                backoff_multiplier: 2.0,
+            });
+        let r = dev.run(&long_schedule(50), &opts).unwrap();
+        // Third attempt succeeds: the target frequency eventually applies.
+        assert_eq!(r.freq_trace.last().map(|&(_, f)| f.mhz()), Some(1000));
+        assert_eq!(dev.freq().mhz(), 1000);
+    }
+
+    #[test]
+    fn rejected_setfreq_without_retry_is_lost() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        dev.set_hook(HookHandle::new(RejectFirst { left: 1 }));
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_setfreq(down_switch(0));
+        let r = dev.run(&long_schedule(50), &opts).unwrap();
+        assert_eq!(r.freq_trace.len(), 1);
+        assert_eq!(dev.freq().mhz(), 1800);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_gives_up() {
+        let mut dev = Device::with_seed(quiet_cfg(), 1);
+        dev.set_hook(HookHandle::new(RejectFirst { left: usize::MAX }));
+        let opts = RunOptions::at(FreqMhz::new(1800))
+            .with_setfreq(down_switch(0))
+            .with_setfreq_retry(SetFreqRetry {
+                max_attempts: 3,
+                backoff_us: 10.0,
+                backoff_multiplier: 1.0,
+            });
+        let r = dev.run(&long_schedule(50), &opts).unwrap();
+        assert_eq!(r.freq_trace.len(), 1);
+    }
+
+    #[derive(Debug)]
+    struct Inert;
+    impl DeviceHook for Inert {}
+
+    #[test]
+    fn inert_hook_is_bit_identical_to_no_hook() {
+        let s = long_schedule(30);
+        let opts = RunOptions::at(FreqMhz::new(1800))
+            .with_setfreq(down_switch(3))
+            .with_telemetry(500.0);
+        let plain = Device::with_seed(cfg(), 42).run(&s, &opts).unwrap();
+        let mut hooked_dev = Device::with_seed(cfg(), 42);
+        hooked_dev.set_hook(HookHandle::new(Inert));
+        let hooked = hooked_dev.run(&s, &opts).unwrap();
+        assert_eq!(plain, hooked);
+    }
+
+    #[derive(Debug)]
+    struct HotSensor {
+        offset_c: f64,
+    }
+    impl DeviceHook for HotSensor {
+        fn temp_offset_c(&mut self, _at: f64) -> f64 {
+            self.offset_c
+        }
+    }
+
+    #[test]
+    fn temp_offset_shifts_measurements_not_physics() {
+        let s = long_schedule(20);
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(500.0);
+        let clean = Device::with_seed(quiet_cfg(), 7).run(&s, &opts).unwrap();
+        let mut dev = Device::with_seed(quiet_cfg(), 7);
+        dev.set_hook(HookHandle::new(HotSensor { offset_c: 10.0 }));
+        let hot = dev.run(&s, &opts).unwrap();
+        // Measured channels shift by exactly the offset…
+        for (a, b) in clean.telemetry.iter().zip(&hot.telemetry) {
+            assert!((b.temp_c - a.temp_c - 10.0).abs() < 1e-9);
+        }
+        assert!((hot.records[0].temp_c - clean.records[0].temp_c - 10.0).abs() < 1e-9);
+        // …while true thermal state and energy are untouched.
+        assert_eq!(clean.end_temp_c, hot.end_temp_c);
+        assert_eq!(clean.energy_soc_j, hot.energy_soc_j);
+    }
+
+    #[derive(Debug)]
+    struct DropEverySecondSample {
+        n: usize,
+    }
+    impl DeviceHook for DropEverySecondSample {
+        fn on_telemetry(&mut self, sample: TelemetrySample) -> SampleFate {
+            self.n += 1;
+            if self.n.is_multiple_of(2) {
+                SampleFate::Lost
+            } else {
+                SampleFate::Keep(sample)
+            }
+        }
+    }
+
+    #[test]
+    fn telemetry_dropout_thins_the_stream() {
+        let s = long_schedule(20);
+        let opts = RunOptions::at(FreqMhz::new(1800)).with_telemetry(500.0);
+        let clean = Device::with_seed(quiet_cfg(), 7).run(&s, &opts).unwrap();
+        let mut dev = Device::with_seed(quiet_cfg(), 7);
+        dev.set_hook(HookHandle::new(DropEverySecondSample { n: 0 }));
+        let lossy = dev.run(&s, &opts).unwrap();
+        assert_eq!(lossy.telemetry.len(), clean.telemetry.len().div_ceil(2));
     }
 }

@@ -136,9 +136,12 @@ impl FrequencyTable {
     }
 
     /// Highest supported frequency (the DVFS performance baseline).
+    ///
+    /// Non-emptiness is enforced at construction ([`FreqTableError::Empty`]),
+    /// so the index is always in bounds.
     #[must_use]
     pub fn max(&self) -> FreqMhz {
-        *self.points.last().expect("table is non-empty")
+        self.points[self.points.len() - 1]
     }
 
     /// Whether `f` is one of the supported points.

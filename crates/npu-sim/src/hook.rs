@@ -1,0 +1,188 @@
+//! Device-boundary interposition: a hook trait the [`crate::Device`]
+//! consults at each externally-visible action, plus a shareable handle.
+//!
+//! The hook is the seam the `npu-fault` crate injects faults through: a
+//! `FaultyDevice` installs a hook that drops, delays or rejects `SetFreq`
+//! dispatches, tampers with telemetry samples and profiler records, and
+//! offsets the measured temperature — all in virtual time, deterministic
+//! under a seed. With no hook installed every interposition site is a
+//! single `Option` check, so fault-free runs are bit-identical to a
+//! hook-less build.
+
+use crate::freq::FreqMhz;
+use crate::profiler::OpRecord;
+use crate::telemetry::TelemetrySample;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// What happens to one `SetFreq` dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SetFreqFate {
+    /// The dispatch proceeds; the apply lands `extra_delay_us` later than
+    /// the device's nominal apply latency (0 = healthy).
+    Apply {
+        /// Additional apply delay on top of the nominal latency, µs.
+        extra_delay_us: f64,
+    },
+    /// The dispatch is silently lost — no apply, no error (the failure
+    /// mode of a lossy doorbell write).
+    Drop,
+    /// The dispatch is rejected with an observable error; the device
+    /// retries it later if [`crate::SetFreqRetry`] is armed.
+    Reject,
+}
+
+impl SetFreqFate {
+    /// The healthy disposition: apply with no extra delay.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::Apply {
+            extra_delay_us: 0.0,
+        }
+    }
+}
+
+/// What happens to one telemetry sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SampleFate {
+    /// The sample passes through unmodified.
+    Keep(TelemetrySample),
+    /// The sample was tampered with (spike, stuck sensor, …); the slug
+    /// names the fault kind for the observability stream.
+    Tampered(TelemetrySample, &'static str),
+    /// The sample is lost (telemetry dropout).
+    Lost,
+}
+
+/// What happens to one profiler record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordFate {
+    /// The record passes through unmodified.
+    Keep(OpRecord),
+    /// The record was tampered with (timing outlier, …).
+    Tampered(OpRecord, &'static str),
+}
+
+/// A hook interposed at the device boundary.
+///
+/// All methods have healthy defaults, so an implementation only overrides
+/// the surfaces it wants to fault. Methods take `&mut self` — the device
+/// serializes calls through a mutex, and fault schedules are stateful
+/// (seeded RNG streams, burst counters, stuck-sensor runs).
+pub trait DeviceHook: Send {
+    /// Decides the fate of a `SetFreq` dispatch issued at `at_us` for
+    /// `target`. `attempt` counts dispatch tries for this command
+    /// (1 = first).
+    fn on_setfreq(&mut self, at_us: f64, target: FreqMhz, attempt: u32) -> SetFreqFate {
+        let _ = (at_us, target, attempt);
+        SetFreqFate::healthy()
+    }
+
+    /// Decides the fate of one telemetry sample.
+    fn on_telemetry(&mut self, sample: TelemetrySample) -> SampleFate {
+        SampleFate::Keep(sample)
+    }
+
+    /// Decides the fate of one profiler record.
+    fn on_record(&mut self, record: OpRecord) -> RecordFate {
+        RecordFate::Keep(record)
+    }
+
+    /// Additional *measured* temperature offset at `at_us`, °C (sensor or
+    /// ambient excursion). Affects telemetry and profiler records, not
+    /// the true thermal state.
+    fn temp_offset_c(&mut self, at_us: f64) -> f64 {
+        let _ = at_us;
+        0.0
+    }
+}
+
+/// A cheap, clonable handle to a shared [`DeviceHook`].
+///
+/// Cloning shares the hook (and therefore its fault schedule), which is
+/// how a wrapper like `FaultyDevice` keeps reading injection statistics
+/// after handing the hook to the device.
+#[derive(Clone)]
+pub struct HookHandle {
+    inner: Arc<Mutex<dyn DeviceHook>>,
+}
+
+impl HookHandle {
+    /// Wraps a hook.
+    pub fn new<H: DeviceHook + 'static>(hook: H) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(hook)),
+        }
+    }
+
+    /// Wraps an already-shared hook.
+    #[must_use]
+    pub fn from_arc(hook: Arc<Mutex<dyn DeviceHook>>) -> Self {
+        Self { inner: hook }
+    }
+
+    /// Runs `f` with the hook locked. A poisoned lock is recovered — a
+    /// hook panicking on another thread must not take the device down.
+    pub fn with<T>(&self, f: impl FnOnce(&mut dyn DeviceHook) -> T) -> T {
+        let mut guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        f(&mut *guard)
+    }
+}
+
+impl fmt::Debug for HookHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HookHandle").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct CountingHook {
+        setfreq_seen: usize,
+    }
+
+    impl DeviceHook for CountingHook {
+        fn on_setfreq(&mut self, _at_us: f64, _target: FreqMhz, _attempt: u32) -> SetFreqFate {
+            self.setfreq_seen += 1;
+            SetFreqFate::Drop
+        }
+    }
+
+    #[test]
+    fn default_methods_are_healthy() {
+        struct Inert;
+        impl DeviceHook for Inert {}
+        let mut h = Inert;
+        assert_eq!(
+            h.on_setfreq(0.0, FreqMhz::new(1000), 1),
+            SetFreqFate::healthy()
+        );
+        assert_eq!(h.temp_offset_c(5.0), 0.0);
+        let s = TelemetrySample {
+            t_us: 0.0,
+            aicore_w: 1.0,
+            soc_w: 2.0,
+            temp_c: 40.0,
+        };
+        assert_eq!(h.on_telemetry(s), SampleFate::Keep(s));
+    }
+
+    #[test]
+    fn handle_shares_hook_state() {
+        let a = HookHandle::new(CountingHook::default());
+        let b = a.clone();
+        a.with(|h| h.on_setfreq(0.0, FreqMhz::new(1100), 1));
+        b.with(|h| h.on_setfreq(1.0, FreqMhz::new(1200), 1));
+        // Downcast is not exposed; observe shared state via behavior: the
+        // third call still mutates the same counter without panicking.
+        a.with(|h| {
+            let _ = h.on_setfreq(2.0, FreqMhz::new(1300), 1);
+        });
+    }
+}

@@ -44,6 +44,7 @@
 mod config;
 mod device;
 mod freq;
+mod hook;
 mod noise;
 mod operator;
 pub mod power;
@@ -54,8 +55,9 @@ mod timeline;
 pub mod trace;
 
 pub use config::{ConfigError, Micros, NpuConfig, NpuConfigBuilder};
-pub use device::{Device, DeviceError, RunOptions, RunResult, Schedule, SetFreqCmd};
+pub use device::{Device, DeviceError, RunOptions, RunResult, Schedule, SetFreqCmd, SetFreqRetry};
 pub use freq::{FreqMhz, FreqTableError, FrequencyTable, VoltageCurve};
+pub use hook::{DeviceHook, HookHandle, RecordFate, SampleFate, SetFreqFate};
 pub use noise::NoiseSource;
 pub use operator::{CoreMix, OpClass, OpDescriptor, Scenario};
 pub use profiler::OpRecord;

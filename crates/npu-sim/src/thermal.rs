@@ -144,4 +144,38 @@ mod tests {
         th.advance(&cfg, 400.0, 0.0);
         assert_eq!(th.temp_c(), 55.0);
     }
+
+    #[test]
+    fn huge_power_spike_stays_bounded_by_equilibrium() {
+        // A pathological power excursion must not overshoot its own
+        // equilibrium, however large the step: the exponential decay
+        // factor stays within (0, 1].
+        let cfg = cfg();
+        let mut th = ThermalState::new(&cfg);
+        th.advance(&cfg, 1.0e6, 1.0e12);
+        let eq = ThermalState::equilibrium(&cfg, 1.0e6);
+        assert!(th.temp_c() <= eq + 1e-9, "temp {} eq {eq}", th.temp_c());
+        assert!(th.temp_c().is_finite());
+        // And it relaxes back down once the spike ends.
+        th.advance(&cfg, 0.0, 1.0e12);
+        assert!((th.temp_c() - cfg.ambient_c).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_power_clamps_to_idle_equilibrium() {
+        // Sensor glitches can hand the model a negative power; the
+        // equilibrium clamps at the ambient point instead of predicting a
+        // chip colder than its environment.
+        let cfg = cfg();
+        assert_eq!(ThermalState::equilibrium(&cfg, -100.0), cfg.ambient_c);
+        let mut th = ThermalState::at_temperature(70.0);
+        th.advance(&cfg, -100.0, 10.0 * cfg.thermal_tau_us);
+        assert!((th.temp_c() - cfg.ambient_c).abs() < 0.01);
+    }
+
+    #[test]
+    fn equilibrium_of_zero_power_is_ambient() {
+        let cfg = cfg();
+        assert_eq!(ThermalState::equilibrium(&cfg, 0.0), cfg.ambient_c);
+    }
 }

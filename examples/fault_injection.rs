@@ -1,0 +1,148 @@
+//! Fault-injected DVFS execution: the degradation ladder at work.
+//!
+//! ```sh
+//! FAULT_SEED=3 cargo run --release --example fault_injection
+//! ```
+//!
+//! Builds a two-stage down-clocking strategy over a compute-heavy
+//! schedule, then executes it twice against the same seeded fault plan —
+//! a Fig. 18-class 14 ms `SetFreq` apply delay plus a swallowed first
+//! dispatch — once through the plain executor and once through the
+//! resilient runtime. Prints the chosen degradation rung and the energy
+//! both paths paid; exits non-zero if the resilient run misses the
+//! latency SLA or fails to beat the unguarded one on AICore energy.
+
+use dvfs_repro::dvfs::{DvfsStrategy, Stage, StageKind};
+use dvfs_repro::prelude::*;
+use dvfs_repro::sim::OpDescriptor;
+
+const SLA_SLACK: f64 = 1.5;
+
+fn heavy_schedule(n: usize) -> Schedule {
+    Schedule::new(
+        (0..n)
+            .map(|i| {
+                OpDescriptor::compute(format!("Op{i}"), Scenario::PingPongIndependent)
+                    .blocks(8)
+                    .ld_bytes_per_block(1024.0 * 1024.0)
+                    .core_cycles_per_block(50_000.0)
+                    .activity(8.0)
+            })
+            .collect(),
+    )
+}
+
+fn descending(records: &[OpRecord], f_tail: u32) -> DvfsStrategy {
+    let mid = records.len() / 2;
+    let end = records.len();
+    let base = records[0].start_us;
+    let stages = vec![
+        Stage {
+            start_us: 0.0,
+            dur_us: records[mid].start_us - base,
+            op_range: 0..mid,
+            kind: StageKind::Hfc,
+        },
+        Stage {
+            start_us: records[mid].start_us - base,
+            dur_us: records[end - 1].end_us() - records[mid].start_us,
+            op_range: mid..end,
+            kind: StageKind::Lfc,
+        },
+    ];
+    DvfsStrategy::new(stages, vec![FreqMhz::new(1800), FreqMhz::new(f_tail)])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let seed: u64 = std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let cfg = NpuConfig::builder().noise(0.0, 0.0, 0.0).build()?;
+    let schedule = heavy_schedule(100);
+
+    // Baseline profile on a clean device; the strategy down-clocks the
+    // second half of the schedule.
+    let mut clean = Device::with_seed(cfg.clone(), seed);
+    let base = clean.run(&schedule, &RunOptions::at(FreqMhz::new(1800)))?;
+    let base_dur = base.records.last().map_or(0.0, |r| r.end_us()) - base.records[0].start_us;
+    let strategy = descending(&base.records, 1200);
+    println!(
+        "seed {seed}: baseline {:.1} ms at 1800 MHz, strategy down-clocks ops {}..{} to 1200 MHz",
+        base_dur / 1e3,
+        schedule.len() / 2,
+        schedule.len()
+    );
+
+    // The fault campaign: every apply lands 14 ms late (the paper's
+    // V100-class latency) and the first dispatch is swallowed outright.
+    let plan = || {
+        FaultPlan::seeded(seed)
+            .delay_setfreq(14_000.0)
+            .drop_setfreq_first(1)
+    };
+
+    let mut unguarded = FaultyDevice::new(Device::with_seed(cfg.clone(), seed), plan());
+    let plain = execute_strategy(
+        &mut unguarded,
+        &schedule,
+        &strategy,
+        &base.records,
+        &ExecutorOptions::default(),
+    )?;
+    println!(
+        "unguarded: {:.1} ms, {:.3} J AICore ({} faults injected)",
+        plain.result.duration_us / 1e3,
+        plain.result.energy_aicore_j,
+        unguarded.stats().total(),
+    );
+
+    // Two reruns: the first absorbs the swallowed dispatch, the second
+    // re-plans with the 14 ms apply latency learned from the first.
+    let opts = ResilientOptions {
+        guardrail: Guardrail {
+            sla_slack: SLA_SLACK,
+            ..Guardrail::default()
+        },
+        retry: RetryPolicy {
+            max_reruns: 2,
+            ..RetryPolicy::default()
+        },
+        ..ResilientOptions::default()
+    };
+    let mut guarded = FaultyDevice::new(Device::with_seed(cfg, seed), plan());
+    let resilient = execute_resilient(&mut guarded, &schedule, &strategy, &base.records, &opts)?;
+    println!(
+        "resilient: {:.1} ms, {:.3} J AICore — rung '{}', {} attempt(s), \
+         latency estimate {:.0} µs ({} faults injected)",
+        resilient.outcome.result.duration_us / 1e3,
+        resilient.outcome.result.energy_aicore_j,
+        resilient.outcome.degradation.rung_name(),
+        resilient.attempts,
+        resilient.estimated_latency_us,
+        guarded.stats().total(),
+    );
+
+    let mut ok = true;
+    if resilient.outcome.result.energy_aicore_j >= plain.result.energy_aicore_j {
+        eprintln!("FAIL: resilient run did not beat the unguarded one on AICore energy");
+        ok = false;
+    }
+    if resilient.outcome.result.duration_us > SLA_SLACK * base_dur {
+        eprintln!(
+            "FAIL: resilient run blew the {SLA_SLACK}x latency SLA ({:.1} ms vs baseline {:.1} ms)",
+            resilient.outcome.result.duration_us / 1e3,
+            base_dur / 1e3,
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "ok: recovered {:.1} % of the energy the faults cost the unguarded run",
+        100.0 * (plain.result.energy_aicore_j - resilient.outcome.result.energy_aicore_j)
+            / plain.result.energy_aicore_j
+    );
+    Ok(())
+}

@@ -10,6 +10,10 @@ cargo fmt --all --check
 echo "==> cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo clippy panic-freedom gate (npu-sim, npu-exec library code)"
+cargo clippy -p npu-sim -p npu-exec --lib -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> cargo test"
 cargo test --workspace --quiet
 
@@ -18,6 +22,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> observability example smoke (OBS_SMOKE=1, events to /dev/null)"
 OBS_SMOKE=1 cargo run --quiet --example observe_pipeline > /dev/null
+
+echo "==> fault-matrix smoke (resilient executor vs injected faults, 3 seeds)"
+for seed in 1 2 3; do
+  FAULT_SEED=$seed cargo run --quiet --example fault_injection > /dev/null
+done
 
 echo "==> bench smoke (CRITERION_SMOKE=1, one iteration per bench)"
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting

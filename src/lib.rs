@@ -17,7 +17,14 @@
 //! * [`power_model`] — Sect. 5: temperature-aware power models with
 //!   offline calibration;
 //! * [`dvfs`] — Sect. 6: classification, LFC/HFC preprocessing, GA search;
-//! * [`exec`] — Sect. 7.1: SetFreq trigger placement and execution;
+//! * [`exec`] — Sect. 7.1: SetFreq trigger placement and execution, plus
+//!   the resilient runtime ([`exec::execute_resilient`]): bounded
+//!   dispatch retries, an SLA/thermal guardrail and a degradation ladder
+//!   that recovers late or lost switches;
+//! * [`fault`] — deterministic fault injection at the device boundary:
+//!   seeded [`fault::FaultPlan`]s for dropped/rejected/delayed `SetFreq`,
+//!   telemetry dropouts/spikes/stuck sensors, profiler outliers and
+//!   thermal excursions;
 //! * [`obs`] — zero-cost-when-disabled pipeline observability: typed
 //!   [`obs::Event`]s, JSON-lines / summary sinks, metrics registry;
 //! * [`core`] — Fig. 1: the closed-loop [`core::EnergyOptimizer`] and its
@@ -41,6 +48,7 @@
 pub use npu_core as core;
 pub use npu_dvfs as dvfs;
 pub use npu_exec as exec;
+pub use npu_fault as fault;
 pub use npu_obs as obs;
 pub use npu_perf_model as perf_model;
 pub use npu_power_model as power_model;
@@ -51,6 +59,11 @@ pub use npu_workloads as workloads;
 pub mod prelude {
     pub use npu_core::{EnergyOptimizer, OptimizationReport, OptimizationSession, OptimizerConfig};
     pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
+    pub use npu_exec::{
+        execute_resilient, execute_strategy, Degradation, ExecutionOutcome, ExecutorOptions,
+        Guardrail, ResilientOptions, ResilientOutcome, RetryPolicy,
+    };
+    pub use npu_fault::{FaultPlan, FaultyDevice, InjectionStats, ThermalExcursion};
     pub use npu_obs::{
         Event, JsonLinesSink, MetricsRegistry, NullObserver, Observer, ObserverHandle, Phase,
         SummarySink,
