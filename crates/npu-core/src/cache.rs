@@ -1,0 +1,934 @@
+//! Content-addressed artifact cache for the optimization pipeline.
+//!
+//! Every expensive artifact the pipeline produces — frequency-sweep
+//! profiles, fitted performance/power models, GA search outcomes — is a
+//! deterministic function of its inputs: the device configuration and
+//! noise seed, the workload schedule, and the stage's own options.
+//! [`ArtifactCache`] exploits that by keying each artifact on a
+//! [`Fingerprint`] of exactly those inputs, so a warm session skips
+//! straight past profiling, model fitting and search to the execute
+//! stage, and a fleet of sessions over the same workload pays the
+//! simulation cost once.
+//!
+//! Key derivation (invalidation is implicit — any input change changes
+//! the key):
+//!
+//! - **profile key** ← every [`NpuConfig`] field (frequency table points
+//!   and the voltage at each of them included), the device noise seed,
+//!   every descriptor field of every schedule operator, the build
+//!   frequencies in profiling order, the pass count, and whether raw
+//!   passes are kept for the robust fitter.
+//! - **model key** ← profile key + fitting function + robust-fit flag +
+//!   the eight calibration parameters.
+//! - **search key** ← model key + the effective FAI + every
+//!   [`GaConfig`] field *except* `threads` (worker counts never change
+//!   GA results, so they must not fragment the cache).
+//!
+//! The store is in-memory (cheap-clone handle, shared across threads).
+//! With [`ArtifactCache::persistent`] profile and search artifacts are
+//! additionally spilled to a directory as versioned text files — the
+//! encoding prints `f64`s with plain [`Display`](std::fmt::Display)
+//! (shortest round-trippable form), so a reloaded artifact is
+//! bit-identical to the one written. Model artifacts stay memory-only:
+//! fits are pure and cheap to recompute from cached profiles, which
+//! carry all the simulation cost.
+
+use crate::report::MeasuredIteration;
+use npu_dvfs::{DvfsStrategy, Evaluation, GaConfig, GaOutcome, Stage, StageKind};
+use npu_perf_model::{FitFunction, FreqProfile, PerfModelStore};
+use npu_power_model::{HardwareCalibration, PowerModel};
+use npu_sim::{FreqMhz, NpuConfig, OpRecord, Schedule};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+/// Incremental FNV-1a content fingerprint.
+///
+/// Stable across runs and processes (no randomized hasher state), so
+/// fingerprints are valid persistent cache keys. Floats are hashed by
+/// their IEEE-754 bit pattern — two configurations fingerprint equal iff
+/// they are bit-identical, which is exactly the cache's notion of "same
+/// inputs".
+#[derive(Debug, Clone)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    /// Starts a fingerprint for `domain` (a versioned namespace string;
+    /// different domains never collide by construction order alone).
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut fp = Self {
+            state: Self::OFFSET,
+        };
+        fp.push_str(domain);
+        fp
+    }
+
+    fn push_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes in a `u64`.
+    pub fn push_u64(&mut self, v: u64) {
+        self.push_bytes(&v.to_le_bytes());
+    }
+
+    /// Mixes in an `f64` by bit pattern.
+    pub fn push_f64(&mut self, v: f64) {
+        self.push_u64(v.to_bits());
+    }
+
+    /// Mixes in a string (length-prefixed, so `("ab","c")` and
+    /// `("a","bc")` differ).
+    pub fn push_str(&mut self, s: &str) {
+        self.push_u64(s.len() as u64);
+        self.push_bytes(s.as_bytes());
+    }
+
+    /// Mixes in a `usize`.
+    pub fn push_usize(&mut self, v: usize) {
+        self.push_u64(v as u64);
+    }
+
+    /// Mixes in a `bool`.
+    pub fn push_bool(&mut self, v: bool) {
+        self.push_u64(u64::from(v));
+    }
+
+    /// The 64-bit fingerprint of everything pushed so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+fn push_config(fp: &mut Fingerprint, cfg: &NpuConfig) {
+    fp.push_u64(u64::from(cfg.core_num));
+    for v in [
+        cfg.ld_bytes_per_cycle_per_core,
+        cfg.st_bytes_per_cycle_per_core,
+        cfg.l2_bw_bytes_per_us,
+        cfg.hbm_bw_bytes_per_us,
+        cfg.mem_overhead_us,
+        cfg.beta_w_per_ghz_v2,
+        cfg.theta_w_per_v,
+        cfg.gamma_aicore_w_per_k_v,
+        cfg.gamma_soc_w_per_k_v,
+        cfg.uncore_idle_w,
+        cfg.uncore_theta_w_per_v,
+        cfg.hbm_pj_per_byte,
+        cfg.uncore_dynamic_fraction,
+        cfg.uncore_min_scale,
+        cfg.ambient_c,
+        cfg.k_c_per_w,
+        cfg.thermal_tau_us,
+        cfg.setfreq_latency_us,
+        cfg.exec_noise_sd,
+        cfg.power_noise_sd,
+        cfg.temp_noise_sd_c,
+    ] {
+        fp.push_f64(v);
+    }
+    let points = cfg.freq_table.points();
+    fp.push_usize(points.len());
+    for &f in points {
+        fp.push_u64(u64::from(f.mhz()));
+        // The curve has no public coefficient accessors; sampling it at
+        // every operating point (plus knee/base) pins it just as hard.
+        fp.push_f64(cfg.voltage_curve.volts(f));
+    }
+    fp.push_u64(u64::from(cfg.voltage_curve.knee().mhz()));
+    fp.push_f64(cfg.voltage_curve.base_volts());
+}
+
+fn push_schedule(fp: &mut Fingerprint, schedule: &Schedule) {
+    fp.push_usize(schedule.ops().len());
+    for op in schedule.ops() {
+        fp.push_str(op.name());
+        fp.push_str(&format!("{:?}", op.class()));
+        fp.push_str(&format!("{:?}", op.scenario()));
+        fp.push_u64(u64::from(op.n_blocks()));
+        let mix = op.mix();
+        for v in [
+            op.ld_bytes(),
+            op.st_bytes(),
+            op.l2_hit(),
+            op.core_cycles(),
+            op.alpha(),
+            op.fixed_overhead(),
+            op.host_duration(),
+            op.host_core_fraction(),
+            mix.cube,
+            mix.vector,
+            mix.scalar,
+            mix.mte1,
+        ] {
+            fp.push_f64(v);
+        }
+    }
+}
+
+/// Cache key for a profiling sweep: device config + noise seed +
+/// schedule + build frequencies (in profiling order) + pass count +
+/// whether the raw passes are kept for the robust fitter.
+#[must_use]
+pub fn profile_key(
+    cfg: &NpuConfig,
+    device_seed: u64,
+    schedule: &Schedule,
+    build_freqs: &[FreqMhz],
+    passes: usize,
+    keep_raw: bool,
+) -> u64 {
+    let mut fp = Fingerprint::new("npu-core/profile/v1");
+    push_config(&mut fp, cfg);
+    fp.push_u64(device_seed);
+    push_schedule(&mut fp, schedule);
+    fp.push_usize(build_freqs.len());
+    for &f in build_freqs {
+        fp.push_u64(u64::from(f.mhz()));
+    }
+    fp.push_usize(passes);
+    fp.push_bool(keep_raw);
+    fp.finish()
+}
+
+/// Cache key for the fitted models: the profile key + fitting options +
+/// the calibration parameters the power model is built from.
+#[must_use]
+pub fn model_key(
+    profile_key: u64,
+    fit: FitFunction,
+    robust_fit: bool,
+    calib: &HardwareCalibration,
+) -> u64 {
+    let mut fp = Fingerprint::new("npu-core/model/v1");
+    fp.push_u64(profile_key);
+    fp.push_str(&format!("{fit:?}"));
+    fp.push_bool(robust_fit);
+    for v in [
+        calib.aicore_idle.beta,
+        calib.aicore_idle.theta,
+        calib.soc_idle.beta,
+        calib.soc_idle.theta,
+        calib.gamma_aicore,
+        calib.gamma_soc,
+        calib.thermal.k_c_per_w,
+        calib.thermal.ambient_c,
+    ] {
+        fp.push_f64(v);
+    }
+    fp.finish()
+}
+
+/// Cache key for the GA search: the model key + effective FAI + every
+/// [`GaConfig`] field except `threads` (worker counts change wall time,
+/// never outcomes — they must not fragment the cache).
+#[must_use]
+pub fn search_key(model_key: u64, fai_us: f64, ga: &GaConfig) -> u64 {
+    let mut fp = Fingerprint::new("npu-core/search/v1");
+    fp.push_u64(model_key);
+    fp.push_f64(fai_us);
+    fp.push_usize(ga.population);
+    fp.push_usize(ga.iterations);
+    fp.push_f64(ga.mutation_rate);
+    fp.push_f64(ga.crossover_rate);
+    fp.push_f64(ga.perf_loss_target);
+    fp.push_bool(ga.include_prior);
+    fp.push_u64(u64::from(ga.lfc_prior.mhz()));
+    fp.push_u64(u64::from(ga.hfc_prior.mhz()));
+    fp.push_u64(ga.seed);
+    fp.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+/// The profile stage's outputs: merged per-frequency profiles, the raw
+/// passes when kept for the robust fitter, and the measured baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileArtifact {
+    /// One merged profile per build frequency, fmax first.
+    pub profiles: Vec<FreqProfile>,
+    /// Raw per-pass profiles (`profile_passes > 1` with `robust_fit`).
+    pub raw_profiles: Option<Vec<FreqProfile>>,
+    /// The fmax profile folded into the measured baseline iteration.
+    pub baseline: MeasuredIteration,
+}
+
+/// The model stage's outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Fitted per-operator performance models.
+    pub perf: PerfModelStore,
+    /// Fitted power model.
+    pub power: PowerModel,
+}
+
+/// The search stage's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchArtifact {
+    /// The GA outcome: winning strategy, predicted evaluation, trace.
+    pub outcome: GaOutcome,
+}
+
+// ---------------------------------------------------------------------------
+// Text encoding (persistence)
+// ---------------------------------------------------------------------------
+
+/// Errors from decoding a persisted cache artifact.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArtifactParseError {
+    /// 1-based line the decoder rejected.
+    pub line: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for ArtifactParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "artifact parse error at line {}: {}",
+            self.line, self.what
+        )
+    }
+}
+
+impl std::error::Error for ArtifactParseError {}
+
+fn parse_err(line: usize, what: impl Into<String>) -> ArtifactParseError {
+    ArtifactParseError {
+        line,
+        what: what.into(),
+    }
+}
+
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            iter: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, ArtifactParseError> {
+        self.line_no += 1;
+        self.iter
+            .next()
+            .ok_or_else(|| parse_err(self.line_no, "unexpected end of file"))
+    }
+
+    fn expect(&mut self, tag: &str) -> Result<&'a str, ArtifactParseError> {
+        let line = self.next()?;
+        line.strip_prefix(tag)
+            .ok_or_else(|| parse_err(self.line_no, format!("expected `{tag}…`, got `{line}`")))
+    }
+
+    fn fields<const N: usize>(&mut self, tag: &str) -> Result<[&'a str; N], ArtifactParseError> {
+        let rest = self.expect(tag)?;
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let n = parts.len();
+        parts.try_into().map_err(|_| {
+            parse_err(
+                self.line_no,
+                format!("expected {N} fields after `{tag}`, got {n}"),
+            )
+        })
+    }
+
+    fn f64(&self, s: &str) -> Result<f64, ArtifactParseError> {
+        s.parse()
+            .map_err(|_| parse_err(self.line_no, format!("bad float `{s}`")))
+    }
+
+    fn uint<T: std::str::FromStr>(&self, s: &str) -> Result<T, ArtifactParseError> {
+        s.parse()
+            .map_err(|_| parse_err(self.line_no, format!("bad integer `{s}`")))
+    }
+}
+
+fn write_profiles(out: &mut String, tag: &str, profiles: &[FreqProfile]) {
+    let _ = writeln!(out, "{tag} {}", profiles.len());
+    for p in profiles {
+        let _ = writeln!(out, "freq {} {}", p.freq.mhz(), p.records.len());
+        for r in &p.records {
+            // The operator name goes last: it may contain spaces, every
+            // other field is whitespace-free. Floats print in shortest
+            // round-trippable form.
+            let _ = writeln!(
+                out,
+                "rec {} {:?} {:?} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                r.index,
+                r.class,
+                r.scenario,
+                r.start_us,
+                r.dur_us,
+                r.freq_mhz.mhz(),
+                r.ratios.cube,
+                r.ratios.vector,
+                r.ratios.scalar,
+                r.ratios.mte1,
+                r.ratios.mte2,
+                r.ratios.mte3,
+                r.aicore_w,
+                r.soc_w,
+                r.temp_c,
+                r.traffic_bytes,
+                r.name,
+            );
+        }
+    }
+}
+
+fn read_freq_block(lines: &mut Lines<'_>) -> Result<FreqProfile, ArtifactParseError> {
+    let [mhz, n_recs] = lines.fields::<2>("freq")?;
+    let freq = FreqMhz::new(lines.uint(mhz)?);
+    let n_recs: usize = lines.uint(n_recs)?;
+    let mut records = Vec::with_capacity(n_recs);
+    for _ in 0..n_recs {
+        let rest = lines.expect("rec ")?;
+        let mut parts = rest.splitn(17, ' ');
+        let mut field = |what: &str| {
+            parts
+                .next()
+                .ok_or_else(|| parse_err(lines.line_no, format!("missing `{what}`")))
+        };
+        let index: usize = lines.uint(field("index")?)?;
+        let class = parse_op_class(field("class")?, lines.line_no)?;
+        let scenario = parse_scenario(field("scenario")?, lines.line_no)?;
+        let start_us = lines.f64(field("start_us")?)?;
+        let dur_us = lines.f64(field("dur_us")?)?;
+        let freq_mhz = FreqMhz::new(lines.uint(field("freq_mhz")?)?);
+        let cube = lines.f64(field("cube")?)?;
+        let vector = lines.f64(field("vector")?)?;
+        let scalar = lines.f64(field("scalar")?)?;
+        let mte1 = lines.f64(field("mte1")?)?;
+        let mte2 = lines.f64(field("mte2")?)?;
+        let mte3 = lines.f64(field("mte3")?)?;
+        let aicore_w = lines.f64(field("aicore_w")?)?;
+        let soc_w = lines.f64(field("soc_w")?)?;
+        let temp_c = lines.f64(field("temp_c")?)?;
+        let traffic_bytes = lines.f64(field("traffic_bytes")?)?;
+        let name = field("name")?.to_owned();
+        records.push(OpRecord {
+            index,
+            name,
+            class,
+            scenario,
+            start_us,
+            dur_us,
+            freq_mhz,
+            ratios: npu_sim::PipelineRatios {
+                cube,
+                vector,
+                scalar,
+                mte1,
+                mte2,
+                mte3,
+            },
+            aicore_w,
+            soc_w,
+            temp_c,
+            traffic_bytes,
+        });
+    }
+    Ok(FreqProfile { freq, records })
+}
+
+fn read_profiles(lines: &mut Lines<'_>, tag: &str) -> Result<Vec<FreqProfile>, ArtifactParseError> {
+    let [n] = lines.fields::<1>(tag)?;
+    let n: usize = lines.uint(n)?;
+    let mut profiles = Vec::with_capacity(n);
+    for _ in 0..n {
+        profiles.push(read_freq_block(lines)?);
+    }
+    Ok(profiles)
+}
+
+fn parse_op_class(s: &str, line: usize) -> Result<npu_sim::OpClass, ArtifactParseError> {
+    use npu_sim::OpClass::{AiCpu, Communication, Compute, Idle};
+    match s {
+        "Compute" => Ok(Compute),
+        "AiCpu" => Ok(AiCpu),
+        "Communication" => Ok(Communication),
+        "Idle" => Ok(Idle),
+        _ => Err(parse_err(line, format!("unknown op class `{s}`"))),
+    }
+}
+
+fn parse_scenario(s: &str, line: usize) -> Result<npu_sim::Scenario, ArtifactParseError> {
+    use npu_sim::Scenario::{
+        PingPongDependent, PingPongFreeDependent, PingPongFreeIndependent, PingPongIndependent,
+    };
+    match s {
+        "PingPongFreeIndependent" => Ok(PingPongFreeIndependent),
+        "PingPongFreeDependent" => Ok(PingPongFreeDependent),
+        "PingPongIndependent" => Ok(PingPongIndependent),
+        "PingPongDependent" => Ok(PingPongDependent),
+        _ => Err(parse_err(line, format!("unknown scenario `{s}`"))),
+    }
+}
+
+impl ProfileArtifact {
+    /// Encodes the artifact as versioned text (bit-exact round trip via
+    /// [`Self::from_text`]).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("npu-core-cache profile v1\n");
+        let b = &self.baseline;
+        let _ = writeln!(
+            out,
+            "baseline {} {} {} {}",
+            b.time_us, b.aicore_w, b.soc_w, b.temp_c
+        );
+        write_profiles(&mut out, "profiles", &self.profiles);
+        match &self.raw_profiles {
+            Some(raw) => write_profiles(&mut out, "raw", raw),
+            None => out.push_str("raw none\n"),
+        }
+        out
+    }
+
+    /// Decodes an artifact written by [`Self::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactParseError`] on any malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ArtifactParseError> {
+        let mut lines = Lines::new(text);
+        let header = lines.next()?;
+        if header != "npu-core-cache profile v1" {
+            return Err(parse_err(1, format!("bad header `{header}`")));
+        }
+        let [t, a, s, c] = lines.fields::<4>("baseline")?;
+        let baseline = MeasuredIteration {
+            time_us: lines.f64(t)?,
+            aicore_w: lines.f64(a)?,
+            soc_w: lines.f64(s)?,
+            temp_c: lines.f64(c)?,
+        };
+        let profiles = read_profiles(&mut lines, "profiles")?;
+        let raw_profiles = {
+            // Either `raw none` or a counted block of `freq` sections.
+            let line = lines.next()?;
+            let rest = line.strip_prefix("raw ").ok_or_else(|| {
+                parse_err(lines.line_no, format!("expected `raw …`, got `{line}`"))
+            })?;
+            if rest == "none" {
+                None
+            } else {
+                let n: usize = lines.uint(rest)?;
+                let mut raw = Vec::with_capacity(n);
+                for _ in 0..n {
+                    raw.push(read_freq_block(&mut lines)?);
+                }
+                Some(raw)
+            }
+        };
+        Ok(Self {
+            profiles,
+            raw_profiles,
+            baseline,
+        })
+    }
+}
+
+impl SearchArtifact {
+    /// Encodes the artifact as versioned text (bit-exact round trip via
+    /// [`Self::from_text`]).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let o = &self.outcome;
+        let mut out = String::new();
+        out.push_str("npu-core-cache search v1\n");
+        let _ = writeln!(
+            out,
+            "eval {} {} {}",
+            o.best_eval.time_us, o.best_eval.aicore_energy_wus, o.best_eval.soc_energy_wus
+        );
+        let _ = writeln!(out, "score {}", o.best_score);
+        let _ = write!(out, "trace {}", o.score_trace.len());
+        for v in &o.score_trace {
+            let _ = write!(out, " {v}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "evals {} {}", o.evaluations, o.unique_evaluations);
+        let _ = writeln!(out, "stages {}", o.strategy.len());
+        for (stage, freq) in o.strategy.stages().iter().zip(o.strategy.freqs()) {
+            let kind = match stage.kind {
+                StageKind::Lfc => "LFC",
+                StageKind::Hfc => "HFC",
+            };
+            let _ = writeln!(
+                out,
+                "stage {} {} {} {} {kind} {}",
+                stage.start_us,
+                stage.dur_us,
+                stage.op_range.start,
+                stage.op_range.end,
+                freq.mhz(),
+            );
+        }
+        out
+    }
+
+    /// Decodes an artifact written by [`Self::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArtifactParseError`] on any malformed line.
+    pub fn from_text(text: &str) -> Result<Self, ArtifactParseError> {
+        let mut lines = Lines::new(text);
+        let header = lines.next()?;
+        if header != "npu-core-cache search v1" {
+            return Err(parse_err(1, format!("bad header `{header}`")));
+        }
+        let [t, a, s] = lines.fields::<3>("eval")?;
+        let best_eval = Evaluation {
+            time_us: lines.f64(t)?,
+            aicore_energy_wus: lines.f64(a)?,
+            soc_energy_wus: lines.f64(s)?,
+        };
+        let [score] = lines.fields::<1>("score")?;
+        let best_score = lines.f64(score)?;
+        let trace_rest = lines.expect("trace ")?;
+        let mut trace_parts = trace_rest.split_whitespace();
+        let n_trace: usize = lines.uint(
+            trace_parts
+                .next()
+                .ok_or_else(|| parse_err(lines.line_no, "missing trace count"))?,
+        )?;
+        let score_trace: Vec<f64> = trace_parts
+            .map(|p| lines.f64(p))
+            .collect::<Result<_, _>>()?;
+        if score_trace.len() != n_trace {
+            return Err(parse_err(
+                lines.line_no,
+                format!("trace count {n_trace} != {} values", score_trace.len()),
+            ));
+        }
+        let [evals, unique] = lines.fields::<2>("evals")?;
+        let evaluations: usize = lines.uint(evals)?;
+        let unique_evaluations: usize = lines.uint(unique)?;
+        let [n_stages] = lines.fields::<1>("stages")?;
+        let n_stages: usize = lines.uint(n_stages)?;
+        let mut stages = Vec::with_capacity(n_stages);
+        let mut freqs = Vec::with_capacity(n_stages);
+        for _ in 0..n_stages {
+            let [start, dur, op_start, op_end, kind, mhz] = lines.fields::<6>("stage")?;
+            let kind = match kind {
+                "LFC" => StageKind::Lfc,
+                "HFC" => StageKind::Hfc,
+                _ => {
+                    return Err(parse_err(
+                        lines.line_no,
+                        format!("unknown stage kind `{kind}`"),
+                    ))
+                }
+            };
+            stages.push(Stage {
+                start_us: lines.f64(start)?,
+                dur_us: lines.f64(dur)?,
+                op_range: lines.uint::<usize>(op_start)?..lines.uint::<usize>(op_end)?,
+                kind,
+            });
+            freqs.push(FreqMhz::new(lines.uint(mhz)?));
+        }
+        Ok(Self {
+            outcome: GaOutcome {
+                strategy: DvfsStrategy::new(stages, freqs),
+                best_eval,
+                best_score,
+                score_trace,
+                evaluations,
+                unique_evaluations,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------------
+
+/// Hit/miss counters for one artifact kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KindStats {
+    /// Lookups served from the store (memory or disk).
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+}
+
+/// A snapshot of the cache's hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Profile-artifact lookups.
+    pub profile: KindStats,
+    /// Model-artifact lookups.
+    pub model: KindStats,
+    /// Search-artifact lookups.
+    pub search: KindStats,
+}
+
+impl CacheStats {
+    /// Total hits across kinds.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.profile.hits + self.model.hits + self.search.hits
+    }
+
+    /// Total misses across kinds.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.profile.misses + self.model.misses + self.search.misses
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> KindStats {
+        KindStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct CacheInner {
+    profiles: Mutex<HashMap<u64, Arc<ProfileArtifact>>>,
+    models: Mutex<HashMap<u64, Arc<ModelArtifact>>>,
+    searches: Mutex<HashMap<u64, Arc<SearchArtifact>>>,
+    profile_stats: Counters,
+    model_stats: Counters,
+    search_stats: Counters,
+    dir: Option<PathBuf>,
+}
+
+/// The content-addressed artifact store. Cheap to clone — clones share
+/// one store, which is how a fleet of concurrent sessions reuses each
+/// other's work.
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    inner: Arc<CacheInner>,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtifactCache {
+    /// An empty in-memory cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CacheInner {
+                profiles: Mutex::new(HashMap::new()),
+                models: Mutex::new(HashMap::new()),
+                searches: Mutex::new(HashMap::new()),
+                profile_stats: Counters::default(),
+                model_stats: Counters::default(),
+                search_stats: Counters::default(),
+                dir: None,
+            }),
+        }
+    }
+
+    /// An in-memory cache that additionally spills profile and search
+    /// artifacts to `dir` (created if missing) and falls back to it on
+    /// in-memory misses, so a later process starts warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn persistent(dir: impl AsRef<Path>) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            inner: Arc::new(CacheInner {
+                profiles: Mutex::new(HashMap::new()),
+                models: Mutex::new(HashMap::new()),
+                searches: Mutex::new(HashMap::new()),
+                profile_stats: Counters::default(),
+                model_stats: Counters::default(),
+                search_stats: Counters::default(),
+                dir: Some(dir),
+            }),
+        })
+    }
+
+    /// The persistence directory, if this cache spills to disk.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.inner.dir.as_deref()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            profile: self.inner.profile_stats.snapshot(),
+            model: self.inner.model_stats.snapshot(),
+            search: self.inner.search_stats.snapshot(),
+        }
+    }
+
+    /// Resets the hit/miss counters (the stored artifacts stay).
+    pub fn reset_stats(&self) {
+        self.inner.profile_stats.reset();
+        self.inner.model_stats.reset();
+        self.inner.search_stats.reset();
+    }
+
+    fn disk_path(&self, kind: &str, key: u64) -> Option<PathBuf> {
+        self.inner
+            .dir
+            .as_ref()
+            .map(|d| d.join(format!("{kind}-{key:016x}.txt")))
+    }
+
+    fn tally(counters: &Counters, hit: bool) {
+        if hit {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Looks up a profile artifact (memory first, then the persistence
+    /// directory). Counts a hit or miss.
+    #[must_use]
+    pub fn lookup_profile(&self, key: u64) -> Option<Arc<ProfileArtifact>> {
+        let mut map = self
+            .inner
+            .profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let found = map.get(&key).cloned().or_else(|| {
+            let loaded = self
+                .disk_path("profile", key)
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .and_then(|text| ProfileArtifact::from_text(&text).ok())
+                .map(Arc::new)?;
+            map.insert(key, loaded.clone());
+            Some(loaded)
+        });
+        drop(map);
+        Self::tally(&self.inner.profile_stats, found.is_some());
+        found
+    }
+
+    /// Stores a profile artifact (and spills it to disk when the cache
+    /// is persistent; disk errors are swallowed — the memory store is
+    /// authoritative).
+    pub fn insert_profile(&self, key: u64, artifact: ProfileArtifact) -> Arc<ProfileArtifact> {
+        if let Some(path) = self.disk_path("profile", key) {
+            let _ = std::fs::write(path, artifact.to_text());
+        }
+        let artifact = Arc::new(artifact);
+        self.inner
+            .profiles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, artifact.clone());
+        artifact
+    }
+
+    /// Looks up a model artifact (memory only). Counts a hit or miss.
+    #[must_use]
+    pub fn lookup_model(&self, key: u64) -> Option<Arc<ModelArtifact>> {
+        let found = self
+            .inner
+            .models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+            .cloned();
+        Self::tally(&self.inner.model_stats, found.is_some());
+        found
+    }
+
+    /// Stores a model artifact.
+    pub fn insert_model(&self, key: u64, artifact: ModelArtifact) -> Arc<ModelArtifact> {
+        let artifact = Arc::new(artifact);
+        self.inner
+            .models
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, artifact.clone());
+        artifact
+    }
+
+    /// Looks up a search artifact (memory first, then the persistence
+    /// directory). Counts a hit or miss.
+    #[must_use]
+    pub fn lookup_search(&self, key: u64) -> Option<Arc<SearchArtifact>> {
+        let mut map = self
+            .inner
+            .searches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let found = map.get(&key).cloned().or_else(|| {
+            let loaded = self
+                .disk_path("search", key)
+                .and_then(|p| std::fs::read_to_string(p).ok())
+                .and_then(|text| SearchArtifact::from_text(&text).ok())
+                .map(Arc::new)?;
+            map.insert(key, loaded.clone());
+            Some(loaded)
+        });
+        drop(map);
+        Self::tally(&self.inner.search_stats, found.is_some());
+        found
+    }
+
+    /// Stores a search artifact (and spills it to disk when the cache is
+    /// persistent).
+    pub fn insert_search(&self, key: u64, artifact: SearchArtifact) -> Arc<SearchArtifact> {
+        if let Some(path) = self.disk_path("search", key) {
+            let _ = std::fs::write(path, artifact.to_text());
+        }
+        let artifact = Arc::new(artifact);
+        self.inner
+            .searches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, artifact.clone());
+        artifact
+    }
+}

@@ -1,0 +1,286 @@
+//! Batch fleet driver: optimize many workloads concurrently over one
+//! shared artifact cache and a bounded worker pool.
+//!
+//! Each workload gets its own freshly-seeded [`Device`] (identical
+//! configuration and noise seed), so its result is a pure function of
+//! `(config, seed, options, schedule)` — independent of how many
+//! workers the fleet runs, which worker picks the workload up, and
+//! what else runs in the batch. The cache is shared across workers and
+//! across [`FleetRunner::run`] calls: a second batch over the same
+//! workloads skips profiling, model fitting and search entirely
+//! (verify with [`ArtifactCache::stats`] — the second pass must show
+//! zero misses).
+
+use crate::cache::ArtifactCache;
+use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
+use crate::report::OptimizationReport;
+use npu_obs::{Event, ObserverHandle};
+use npu_power_model::HardwareCalibration;
+use npu_sim::{Device, NpuConfig};
+use npu_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::Instant;
+
+/// Runs optimization sessions for whole batches of workloads, sharing
+/// one content-addressed cache and a bounded worker pool.
+///
+/// # Examples
+///
+/// ```no_run
+/// use npu_core::FleetRunner;
+/// use npu_power_model::HardwareCalibration;
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let calib = HardwareCalibration::ground_truth(&cfg);
+/// let runner = FleetRunner::new(cfg.clone(), calib, Default::default());
+/// let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 24)];
+/// let cold = runner.run(&batch)?; // pays the simulation cost
+/// let warm = runner.run(&batch)?; // served from the cache
+/// assert_eq!(cold, warm);
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetRunner {
+    cfg: NpuConfig,
+    calib: HardwareCalibration,
+    opts: OptimizerConfig,
+    cache: ArtifactCache,
+    obs: ObserverHandle,
+    workers: usize,
+    device_seed: Option<u64>,
+}
+
+impl FleetRunner {
+    /// Creates a runner for devices of `cfg` calibrated as `calib`,
+    /// optimizing each workload under `opts`. Starts with a fresh
+    /// in-memory cache, a null observer and auto-detected worker count.
+    #[must_use]
+    pub fn new(cfg: NpuConfig, calib: HardwareCalibration, opts: OptimizerConfig) -> Self {
+        Self {
+            cfg,
+            calib,
+            opts,
+            cache: ArtifactCache::new(),
+            obs: ObserverHandle::null(),
+            workers: 0,
+            device_seed: None,
+        }
+    }
+
+    /// Sets the number of concurrent sessions (`0` = auto-detect via
+    /// [`npu_dvfs::resolve_threads`]), chainable. Worker count changes
+    /// wall time only, never any report.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Replaces the artifact cache (e.g. with a persistent or an
+    /// already-warm one), chainable.
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches a structured-event observer, chainable. The fleet emits
+    /// [`Event::BatchScheduled`] per workload; each session additionally
+    /// reports its phases and cache hits/misses through the same
+    /// observer (interleaved across workers — group by workload name).
+    #[must_use]
+    pub fn with_observer(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Pins the per-workload device noise seed (every workload's device
+    /// starts from this same seed), chainable. Defaults to the seed
+    /// [`Device::new`] uses.
+    #[must_use]
+    pub fn with_device_seed(mut self, seed: u64) -> Self {
+        self.device_seed = Some(seed);
+        self
+    }
+
+    /// The shared artifact cache (inspect [`ArtifactCache::stats`] for
+    /// hit/miss counts, or clone the handle to share the store with
+    /// another runner).
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    fn make_device(&self) -> Device {
+        match self.device_seed {
+            Some(seed) => Device::with_seed(self.cfg.clone(), seed),
+            None => Device::new(self.cfg.clone()),
+        }
+    }
+
+    /// Optimizes every workload in `batch`, fanning the sessions out
+    /// over the worker pool. Reports come back in batch order and are
+    /// identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed session's [`OptimizeError`] if any
+    /// session fails (the other sessions still ran).
+    pub fn run(&self, batch: &[Workload]) -> Result<Vec<OptimizationReport>, OptimizeError> {
+        let workers = npu_dvfs::resolve_threads(self.workers)
+            .min(batch.len())
+            .max(1);
+        let queue_start = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<OptimizationReport, OptimizeError>>> =
+            (0..batch.len()).map(|_| None).collect();
+        let per_worker: Vec<Vec<(usize, Result<OptimizationReport, OptimizeError>)>> =
+            thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|worker| {
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(workload) = batch.get(i) else { break };
+                                if self.obs.enabled() {
+                                    self.obs.emit(Event::BatchScheduled {
+                                        workload: workload.name().to_owned(),
+                                        worker,
+                                        queue_wait_us: queue_start.elapsed().as_secs_f64() * 1e6,
+                                    });
+                                }
+                                local.push((i, self.run_one(workload)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                    })
+                    .collect()
+            });
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        let mut reports = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot {
+                Some(Ok(report)) => reports.push(report),
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("every workload ran exactly once"),
+            }
+        }
+        Ok(reports)
+    }
+
+    fn run_one(&self, workload: &Workload) -> Result<OptimizationReport, OptimizeError> {
+        let mut dev = self.make_device();
+        dev.set_observer(self.obs.clone());
+        let mut opt = EnergyOptimizer::new(dev, self.calib);
+        let mut session = opt.session(workload, &self.opts);
+        session.set_cache(self.cache.clone());
+        session.report()
+    }
+}
+
+/// One-call batch optimization: run every workload in `batch` on
+/// fresh devices of `cfg`, concurrently, sharing one in-memory cache.
+/// Returns reports in batch order. See [`FleetRunner`] for the
+/// configurable form (worker counts, shared/persistent caches,
+/// observers).
+///
+/// # Errors
+///
+/// Returns the lowest-indexed session's [`OptimizeError`] if any
+/// session fails.
+pub fn optimize_batch(
+    cfg: NpuConfig,
+    calib: HardwareCalibration,
+    batch: &[Workload],
+    opts: &OptimizerConfig,
+) -> Result<Vec<OptimizationReport>, OptimizeError> {
+    FleetRunner::new(cfg, calib, opts.clone()).run(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use npu_workloads::models;
+
+    fn quick_opts() -> OptimizerConfig {
+        let mut o = OptimizerConfig::default().with_fai_us(100.0);
+        o.ga = o.ga.with_population(30).with_iterations(40);
+        o
+    }
+
+    #[test]
+    fn batch_matches_individual_sessions_at_any_worker_count() {
+        let cfg = NpuConfig::ascend_like();
+        let calib = HardwareCalibration::ground_truth(&cfg);
+        let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 12)];
+
+        // Reference: each workload optimized alone, uncached.
+        let mut solo = Vec::new();
+        for w in &batch {
+            let mut opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
+            solo.push(opt.optimize(w, &quick_opts()).unwrap());
+        }
+
+        for workers in [1, 2, 8] {
+            let runner = FleetRunner::new(cfg.clone(), calib, quick_opts()).with_workers(workers);
+            let reports = runner.run(&batch).unwrap();
+            assert_eq!(reports, solo, "workers={workers} diverged");
+        }
+    }
+
+    #[test]
+    fn second_batch_is_served_entirely_from_the_cache() {
+        let cfg = NpuConfig::ascend_like();
+        let calib = HardwareCalibration::ground_truth(&cfg);
+        let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 12)];
+        let runner = FleetRunner::new(cfg, calib, quick_opts()).with_workers(2);
+
+        let cold = runner.run(&batch).unwrap();
+        let stats = runner.cache().stats();
+        assert_eq!(stats.hits(), 0, "cold run cannot hit");
+        assert_eq!(stats.profile.misses, 2);
+        assert_eq!(stats.model.misses, 2);
+        assert_eq!(stats.search.misses, 2);
+
+        runner.cache().reset_stats();
+        let warm = runner.run(&batch).unwrap();
+        let stats = runner.cache().stats();
+        assert_eq!(stats.misses(), 0, "warm run re-ran a cached stage");
+        assert_eq!(stats.profile.hits, 2);
+        // Execution happens on a fresh device either way, so the warm
+        // reports are bit-identical to the cold ones.
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn batch_emits_schedule_events() {
+        use npu_obs::MetricsRegistry;
+        use std::sync::Arc;
+
+        let cfg = NpuConfig::ascend_like();
+        let calib = HardwareCalibration::ground_truth(&cfg);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let runner = FleetRunner::new(cfg.clone(), calib, quick_opts())
+            .with_workers(2)
+            .with_observer(ObserverHandle::from_arc(metrics.clone()));
+        let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 12)];
+        runner.run(&batch).unwrap();
+        assert_eq!(metrics.counter("event.BatchScheduled"), 2);
+        assert_eq!(metrics.counter("event.CacheMiss"), 6);
+        assert_eq!(metrics.counter("event.CacheHit"), 0);
+    }
+}

@@ -19,12 +19,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
+mod fleet;
 mod model_free;
 mod optimizer;
 mod report;
 mod session;
+pub mod sweep;
 
+pub use cache::{ArtifactCache, CacheStats};
+pub use fleet::{optimize_batch, FleetRunner};
 pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
 pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 pub use report::{MeasuredIteration, OptimizationReport};
 pub use session::OptimizationSession;
+pub use sweep::sweep_profiles;

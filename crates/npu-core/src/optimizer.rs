@@ -28,6 +28,11 @@ pub struct OptimizerConfig {
     pub fai_us: f64,
     /// Genetic-algorithm settings.
     pub ga: GaConfig,
+    /// Worker threads for the parallel profiling sweep (`0` =
+    /// auto-detect via [`npu_dvfs::resolve_threads`], which honours the
+    /// `NPU_THREADS` override). Thread count changes wall time only,
+    /// never results — sweeps are bit-identical at every count.
+    pub threads: usize,
     /// Trigger-placement latency override (see
     /// [`npu_exec::ExecutorOptions::planned_latency_us`]).
     pub planned_latency_us: Option<f64>,
@@ -57,6 +62,7 @@ impl Default for OptimizerConfig {
             fit: FitFunction::Quadratic,
             fai_us: 5_000.0,
             ga: GaConfig::default(),
+            threads: 0,
             planned_latency_us: None,
             profile_passes: 1,
             robust_fit: false,
@@ -80,10 +86,12 @@ impl OptimizerConfig {
         self
     }
 
-    /// Sets the GA scoring worker count (`0` = auto-detect), chainable.
-    /// Thread count changes wall time only, never the outcome.
+    /// Sets the worker count for both the profiling sweep and the GA
+    /// scoring engine (`0` = auto-detect), chainable. Thread count
+    /// changes wall time only, never the outcome.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self.ga.threads = threads;
         self
     }
@@ -530,6 +538,7 @@ mod tests {
         assert_eq!(o.ga.perf_loss_target, 0.06);
         assert_eq!(o.fai_us, 100_000.0);
         assert_eq!(o.ga.threads, 3);
+        assert_eq!(o.threads, 3);
         assert_eq!(o.fit, FitFunction::StallConstant);
         assert_eq!(o.build_freqs, vec![FreqMhz::new(1200), FreqMhz::new(1800)]);
         assert_eq!(o.planned_latency_us, Some(2_000.0));

@@ -14,8 +14,13 @@
 //! the whole pipeline becomes a single JSON-lines stream (see the
 //! `observe_pipeline` example).
 
+use crate::cache::{
+    model_key, profile_key, search_key, ArtifactCache, ModelArtifact, ProfileArtifact,
+    SearchArtifact,
+};
 use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::{MeasuredIteration, OptimizationReport};
+use crate::sweep::sweep_profiles;
 use npu_dvfs::{preprocess::preprocess, search_observed, GaOutcome, Preprocessed, StageTable};
 use npu_exec::{
     execute_resilient, execute_strategy, ExecutionOutcome, ExecutorOptions, ResilientOptions,
@@ -28,6 +33,19 @@ use std::time::Instant;
 /// MAD cut for the robust fit path (the conventional robust z-score
 /// threshold).
 const MAD_K: f64 = 3.5;
+
+/// Folds k recorded passes per frequency to per-operator medians.
+fn merge_passes(raw: &[Vec<FreqProfile>]) -> Result<Vec<FreqProfile>, OptimizeError> {
+    let mut merged = Vec::with_capacity(raw.len());
+    for per_freq in raw {
+        let records: Vec<_> = per_freq.iter().map(|p| p.records.clone()).collect();
+        merged.push(FreqProfile {
+            freq: per_freq[0].freq,
+            records: merge_profiles(&records)?,
+        });
+    }
+    Ok(merged)
+}
 
 /// A staged run of the optimization pipeline over one workload.
 ///
@@ -60,6 +78,9 @@ pub struct OptimizationSession<'a> {
     workload: &'a npu_workloads::Workload,
     opts: OptimizerConfig,
     obs: ObserverHandle,
+    cache: Option<ArtifactCache>,
+    profile_cache_key: Option<u64>,
+    model_cache_key: Option<u64>,
     profiles: Option<Vec<FreqProfile>>,
     raw_profiles: Option<Vec<FreqProfile>>,
     attempts: Option<u32>,
@@ -84,6 +105,9 @@ impl<'a> OptimizationSession<'a> {
             workload,
             opts,
             obs,
+            cache: None,
+            profile_cache_key: None,
+            model_cache_key: None,
             profiles: None,
             raw_profiles: None,
             attempts: None,
@@ -109,6 +133,47 @@ impl<'a> OptimizationSession<'a> {
         &self.obs
     }
 
+    /// Attaches a content-addressed artifact cache: the profile, model
+    /// and search stages first look their keyed artifact up (emitting
+    /// [`Event::CacheHit`] / [`Event::CacheMiss`]) and store what they
+    /// compute. A warm session skips straight to the execute stage with
+    /// results bit-identical to a cold one. Devices with a fault hook
+    /// never consult the cache — hook state is not part of the key.
+    pub fn set_cache(&mut self, cache: ArtifactCache) {
+        self.cache = Some(cache);
+    }
+
+    /// Chainable form of [`Self::set_cache`].
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.set_cache(cache);
+        self
+    }
+
+    /// The cache for this session's lookups: attached, and only usable
+    /// when the device has no fault hook (hook state is not fingerprinted,
+    /// so cached artifacts would be wrong for a faulty device).
+    fn usable_cache(&self) -> Option<ArtifactCache> {
+        if self.opt.dev.hook().is_some() {
+            return None;
+        }
+        self.cache.clone()
+    }
+
+    fn emit_cache_event(&self, hit: bool, kind: &str) {
+        if self.obs.enabled() {
+            self.obs.emit(if hit {
+                Event::CacheHit {
+                    kind: kind.to_owned(),
+                }
+            } else {
+                Event::CacheMiss {
+                    kind: kind.to_owned(),
+                }
+            });
+        }
+    }
+
     fn phase<T>(
         &mut self,
         phase: Phase,
@@ -128,6 +193,13 @@ impl<'a> OptimizationSession<'a> {
     /// device's maximum frequency first; it doubles as the measured
     /// baseline). Idempotent: repeated calls return the cached profiles.
     ///
+    /// Hook-free devices sweep the frequency points in parallel on cold
+    /// [`npu_sim::Device::fork`]s (worker count from
+    /// [`OptimizerConfig::threads`]) — bit-identical at every thread
+    /// count and never mutating the session device. Devices with a
+    /// fault hook keep the legacy in-place serial sweep, so injected
+    /// faults reach the profiling runs.
+    ///
     /// # Errors
     ///
     /// Returns [`OptimizeError::Device`] if a profiling run fails.
@@ -142,67 +214,122 @@ impl<'a> OptimizationSession<'a> {
                 build_freqs.sort();
                 build_freqs.reverse(); // profile at fmax first
                 let passes = s.opts.profile_passes.max(1);
-                let profiles = if passes == 1 {
-                    s.opt.profile(s.workload.schedule(), &build_freqs)?
-                } else {
-                    // k recorded passes per frequency, folded to
-                    // per-operator medians; the raw passes are kept for
-                    // the robust fitter when it is enabled.
-                    let raw = s
-                        .opt
-                        .profile_passes(s.workload.schedule(), &build_freqs, passes)?;
-                    let mut merged = Vec::with_capacity(raw.len());
-                    for per_freq in &raw {
-                        let records: Vec<_> = per_freq.iter().map(|p| p.records.clone()).collect();
-                        merged.push(FreqProfile {
-                            freq: per_freq[0].freq,
-                            records: merge_profiles(&records)?,
-                        });
+                let keep_raw = s.opts.robust_fit && passes > 1;
+
+                if s.opt.dev.hook().is_some() {
+                    // Legacy serial in-place path: the hook's faults must
+                    // reach the profiling runs, and hook state cannot be
+                    // shared across worker forks (or fingerprinted).
+                    let profiles = if passes == 1 {
+                        s.opt.profile(s.workload.schedule(), &build_freqs)?
+                    } else {
+                        let raw =
+                            s.opt
+                                .profile_passes(s.workload.schedule(), &build_freqs, passes)?;
+                        let merged = merge_passes(&raw)?;
+                        if keep_raw {
+                            s.raw_profiles = Some(raw.into_iter().flatten().collect());
+                        }
+                        merged
+                    };
+                    s.finish_profile_stage(profiles, fmax);
+                    return Ok(());
+                }
+
+                let key = profile_key(
+                    s.opt.dev.config(),
+                    s.opt.dev.seed(),
+                    s.workload.schedule(),
+                    &build_freqs,
+                    passes,
+                    keep_raw,
+                );
+                s.profile_cache_key = Some(key);
+                if let Some(cache) = s.usable_cache() {
+                    if let Some(artifact) = cache.lookup_profile(key) {
+                        s.emit_cache_event(true, "profile");
+                        s.profiles = Some(artifact.profiles.clone());
+                        s.raw_profiles = artifact.raw_profiles.clone();
+                        s.baseline = Some(artifact.baseline);
+                        return Ok(());
                     }
-                    if s.opts.robust_fit {
+                    s.emit_cache_event(false, "profile");
+                }
+
+                // Cold: parallel sweep over per-frequency device forks.
+                let raw = sweep_profiles(
+                    &s.opt.dev,
+                    s.workload.schedule(),
+                    &build_freqs,
+                    passes,
+                    s.opts.threads,
+                    &s.obs,
+                )?;
+                let profiles = if passes == 1 {
+                    raw.into_iter().flatten().collect()
+                } else {
+                    let merged = merge_passes(&raw)?;
+                    if keep_raw {
                         s.raw_profiles = Some(raw.into_iter().flatten().collect());
                     }
                     merged
                 };
-                let baseline_profile = &profiles[0];
-                debug_assert_eq!(baseline_profile.freq, fmax);
-                let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
-                let baseline_aicore: f64 = baseline_profile
-                    .records
-                    .iter()
-                    .map(|r| r.aicore_w * r.dur_us)
-                    .sum::<f64>()
-                    / baseline_time;
-                let baseline_soc: f64 = baseline_profile
-                    .records
-                    .iter()
-                    .map(|r| r.soc_w * r.dur_us)
-                    .sum::<f64>()
-                    / baseline_time;
-                let baseline = MeasuredIteration {
-                    time_us: baseline_time,
-                    aicore_w: baseline_aicore,
-                    soc_w: baseline_soc,
-                    temp_c: baseline_profile
-                        .records
-                        .last()
-                        .map_or(s.opt.dev.temp_c(), |r| r.temp_c),
-                };
-                if s.obs.enabled() {
-                    s.obs.emit(Event::IterationMeasured {
-                        label: "baseline".to_owned(),
-                        time_us: baseline.time_us,
-                        aicore_w: baseline.aicore_w,
-                        soc_w: baseline.soc_w,
-                        temp_c: baseline.temp_c,
-                    });
+                s.finish_profile_stage(profiles, fmax);
+                if let Some(cache) = s.usable_cache() {
+                    cache.insert_profile(
+                        key,
+                        ProfileArtifact {
+                            profiles: s.profiles.clone().expect("profile stage just ran"),
+                            raw_profiles: s.raw_profiles.clone(),
+                            baseline: *s.baseline.as_ref().expect("profile stage just ran"),
+                        },
+                    );
                 }
-                s.baseline = Some(baseline);
-                s.profiles = Some(profiles);
                 Ok(())
             })?;
         }
         Ok(self.profiles.as_deref().expect("profile stage ran"))
+    }
+
+    /// Folds the fmax profile into the measured baseline, emits the
+    /// baseline [`Event::IterationMeasured`], and stores the stage's
+    /// artifacts on the session.
+    fn finish_profile_stage(&mut self, profiles: Vec<FreqProfile>, fmax: npu_sim::FreqMhz) {
+        let baseline_profile = &profiles[0];
+        debug_assert_eq!(baseline_profile.freq, fmax);
+        let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
+        let baseline_aicore: f64 = baseline_profile
+            .records
+            .iter()
+            .map(|r| r.aicore_w * r.dur_us)
+            .sum::<f64>()
+            / baseline_time;
+        let baseline_soc: f64 = baseline_profile
+            .records
+            .iter()
+            .map(|r| r.soc_w * r.dur_us)
+            .sum::<f64>()
+            / baseline_time;
+        let baseline = MeasuredIteration {
+            time_us: baseline_time,
+            aicore_w: baseline_aicore,
+            soc_w: baseline_soc,
+            temp_c: baseline_profile
+                .records
+                .last()
+                .map_or(self.opt.dev.temp_c(), |r| r.temp_c),
+        };
+        if self.obs.enabled() {
+            self.obs.emit(Event::IterationMeasured {
+                label: "baseline".to_owned(),
+                time_us: baseline.time_us,
+                aicore_w: baseline.aicore_w,
+                soc_w: baseline.soc_w,
+                temp_c: baseline.temp_c,
+            });
+        }
+        self.baseline = Some(baseline);
+        self.profiles = Some(profiles);
     }
 
     /// Stage 2 — fits the performance and power models from the
@@ -215,6 +342,19 @@ impl<'a> OptimizationSession<'a> {
         if self.perf.is_none() {
             self.profile()?;
             self.phase(Phase::BuildModels, |s| {
+                let key = s
+                    .profile_cache_key
+                    .map(|pk| model_key(pk, s.opts.fit, s.opts.robust_fit, &s.opt.calib));
+                s.model_cache_key = key;
+                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
+                    if let Some(artifact) = cache.lookup_model(key) {
+                        s.emit_cache_event(true, "model");
+                        s.perf = Some(artifact.perf.clone());
+                        s.power = Some(artifact.power.clone());
+                        return Ok(());
+                    }
+                    s.emit_cache_event(false, "model");
+                }
                 let voltage = s.opt.dev.config().voltage_curve;
                 let profiles = s.profiles.as_ref().expect("profile stage ran");
                 let perf = if s.opts.robust_fit {
@@ -236,6 +376,15 @@ impl<'a> OptimizationSession<'a> {
                     PerfModelStore::build_observed(profiles, s.opts.fit, &s.obs)?
                 };
                 let power = PowerModel::build(s.opt.calib, voltage, profiles)?;
+                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
+                    cache.insert_model(
+                        key,
+                        ModelArtifact {
+                            perf: perf.clone(),
+                            power: power.clone(),
+                        },
+                    );
+                }
                 s.perf = Some(perf);
                 s.power = Some(power);
                 Ok(())
@@ -263,8 +412,22 @@ impl<'a> OptimizationSession<'a> {
                 // latency — switches requested closer together than the
                 // latency cannot land where planned.
                 let fai = s.opts.fai_us.max(s.opt.dev.config().setfreq_latency_us);
-                let freq_table = s.opt.dev.config().freq_table.clone();
                 let baseline_records = &s.profiles.as_ref().expect("profile stage ran")[0].records;
+                let key = s.model_cache_key.map(|mk| search_key(mk, fai, &s.opts.ga));
+                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
+                    if let Some(artifact) = cache.lookup_search(key) {
+                        s.emit_cache_event(true, "search");
+                        // Preprocessing is a cheap pure function of the
+                        // (cached) baseline profile; recompute it so the
+                        // stage count and stage artifact stay available.
+                        // The stage table is not rebuilt on a hit.
+                        s.preprocessed = Some(preprocess(baseline_records, fai));
+                        s.outcome = Some(artifact.outcome.clone());
+                        return Ok(());
+                    }
+                    s.emit_cache_event(false, "search");
+                }
+                let freq_table = s.opt.dev.config().freq_table.clone();
                 let pre = preprocess(baseline_records, fai);
                 let table = StageTable::build(
                     &pre,
@@ -273,6 +436,14 @@ impl<'a> OptimizationSession<'a> {
                     &freq_table,
                 )?;
                 let outcome = search_observed(&table, &s.opts.ga, &s.obs);
+                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
+                    cache.insert_search(
+                        key,
+                        SearchArtifact {
+                            outcome: outcome.clone(),
+                        },
+                    );
+                }
                 s.preprocessed = Some(pre);
                 s.table = Some(table);
                 s.outcome = Some(outcome);

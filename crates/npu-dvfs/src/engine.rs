@@ -176,9 +176,14 @@ impl<'t> IncrementalEval<'t> {
     }
 }
 
-/// Fewer pending genomes than this are scored inline: spawning scoped
-/// threads costs more than evaluating a handful of individuals.
-const PARALLEL_THRESHOLD: usize = 64;
+/// Minimum pending genomes per worker before adding that worker pays
+/// off. Spawning one scoped thread costs about as much as incrementally
+/// scoring a few dozen individuals (the `ga_eval` bench measures both),
+/// so the engine caps the worker count at `pending / MIN_GENOMES_PER_WORKER`
+/// instead of gating on a single population-size threshold — a
+/// 200-individual generation gets 4 workers with real work each rather
+/// than 16 workers whose spawn cost eats the speedup.
+const MIN_GENOMES_PER_WORKER: usize = 48;
 
 /// Memo entries are bounded so multi-thousand-generation searches cannot
 /// grow without limit; the map resets deterministically when full.
@@ -205,15 +210,28 @@ fn fingerprint(genes: &[usize]) -> u64 {
     h
 }
 
-/// Resolves a requested worker count: `0` means "one worker per
-/// available CPU", anything else is taken literally (min 1).
+/// Resolves a requested worker count. An explicit `requested > 0` is
+/// taken literally; `0` means "auto" — the `NPU_THREADS` environment
+/// variable (a positive integer) pins the count, otherwise one worker
+/// per available CPU.
 #[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
     if requested > 0 {
-        requested
-    } else {
-        thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        return requested;
     }
+    // `0` means "auto": the `NPU_THREADS` environment variable pins the
+    // count (how benches and CI get deterministic parallelism without
+    // touching configs); `0`, unset or unparsable falls through to
+    // one worker per available CPU. Thread count never changes results,
+    // only wall time.
+    if let Some(n) = std::env::var("NPU_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Population scorer: memoized, incremental, optionally parallel.
@@ -230,6 +248,13 @@ pub struct EvalEngine<'t> {
     workers: usize,
     /// Genome-fingerprint → score memo (see [`fingerprint`]).
     memo: HashMap<u64, f64>,
+    /// Warm evaluator reused across generations: repositioning it on the
+    /// next genome via [`IncrementalEval::assign`] touches only the
+    /// differing stages, and cloning it for a parallel worker is a plain
+    /// memcpy — both far cheaper than the O(n · table lookups) of
+    /// [`IncrementalEval::new`] per call. Tree state depends only on the
+    /// current genome, so reuse cannot change any score.
+    template: Option<IncrementalEval<'t>>,
     scored: usize,
     unique_scored: usize,
 }
@@ -249,6 +274,7 @@ impl<'t> EvalEngine<'t> {
             perf_loss_target,
             workers: resolve_threads(threads),
             memo: HashMap::new(),
+            template: None,
             scored: 0,
             unique_scored: 0,
         }
@@ -296,49 +322,61 @@ impl<'t> EvalEngine<'t> {
             }
         }
 
-        // Evaluate the pending genomes: inline for small batches, scoped
-        // threads otherwise. Each worker owns one IncrementalEval and
-        // repositions it per genome; the tree state depends only on the
-        // current genome, so chunking cannot change any result.
+        // Evaluate the pending genomes: inline unless enough work exists
+        // to amortize every spawned worker (at least
+        // MIN_GENOMES_PER_WORKER genomes each). Each worker clones the
+        // warm template evaluator (a memcpy) and repositions it per
+        // genome; the tree state depends only on the current genome, so
+        // neither chunking nor template reuse can change any result.
         self.unique_scored += pending.len();
         let fresh: Vec<f64> = if pending.is_empty() {
             Vec::new()
-        } else if self.workers <= 1 || pending.len() < PARALLEL_THRESHOLD {
-            let mut inc = IncrementalEval::new(self.table, &population[pending[0]]);
-            pending
-                .iter()
-                .map(|&i| {
-                    inc.assign(&population[i]);
-                    score(&inc.eval(), self.baseline_time_us, self.perf_loss_target)
-                })
-                .collect()
         } else {
-            let chunk = pending.len().div_ceil(self.workers);
-            let table = self.table;
             let (bt, lt) = (self.baseline_time_us, self.perf_loss_target);
-            thread::scope(|s| {
-                let handles: Vec<_> = pending
-                    .chunks(chunk)
-                    .map(|idxs| {
-                        s.spawn(move || {
-                            let mut inc = IncrementalEval::new(table, &population[idxs[0]]);
-                            idxs.iter()
-                                .map(|&i| {
-                                    inc.assign(&population[i]);
-                                    score(&inc.eval(), bt, lt)
-                                })
-                                .collect::<Vec<f64>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| {
-                        h.join()
-                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+            let workers = if self.workers <= 1 {
+                1
+            } else {
+                self.workers.min(pending.len() / MIN_GENOMES_PER_WORKER)
+            };
+            if self.template.is_none() {
+                self.template = Some(IncrementalEval::new(self.table, &population[pending[0]]));
+            }
+            if workers <= 1 {
+                let inc = self.template.as_mut().unwrap_or_else(|| unreachable!());
+                pending
+                    .iter()
+                    .map(|&i| {
+                        inc.assign(&population[i]);
+                        score(&inc.eval(), bt, lt)
                     })
                     .collect()
-            })
+            } else {
+                let chunk = pending.len().div_ceil(workers);
+                let template = self.template.as_ref().unwrap_or_else(|| unreachable!());
+                thread::scope(|s| {
+                    let handles: Vec<_> = pending
+                        .chunks(chunk)
+                        .map(|idxs| {
+                            s.spawn(move || {
+                                let mut inc = template.clone();
+                                idxs.iter()
+                                    .map(|&i| {
+                                        inc.assign(&population[i]);
+                                        score(&inc.eval(), bt, lt)
+                                    })
+                                    .collect::<Vec<f64>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| {
+                            h.join()
+                                .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                        })
+                        .collect()
+                })
+            }
         };
         for (&i, s) in pending.iter().zip(fresh) {
             scores[i] = s;
@@ -509,7 +547,9 @@ mod tests {
     fn engine_scores_match_direct_evaluation_any_thread_count() {
         let t = table(9);
         let baseline = t.baseline().time_us;
-        let population: Vec<Vec<usize>> = (0..90)
+        // Large enough that multi-thread runs take the scoped-worker
+        // path (pending / MIN_GENOMES_PER_WORKER > 1).
+        let population: Vec<Vec<usize>> = (0..200)
             .map(|i| (0..9).map(|s| (i * 7 + s * 3) % t.n_freqs()).collect())
             .collect();
         let expect: Vec<f64> = population
@@ -541,6 +581,47 @@ mod tests {
         let again = engine.score_population(std::slice::from_ref(&a));
         assert_eq!(engine.unique_scored(), 2);
         assert_eq!(again[0].to_bits(), scores[0].to_bits());
+    }
+
+    #[test]
+    fn npu_threads_env_pins_auto_detection() {
+        // Explicit counts always beat the environment; NPU_THREADS only
+        // steers the `0 = auto` path, and `0`/garbage stay auto. Worker
+        // count never changes scores, so a concurrent test observing the
+        // transient variable is unaffected beyond wall time.
+        std::env::set_var("NPU_THREADS", "3");
+        assert_eq!(resolve_threads(5), 5);
+        assert_eq!(resolve_threads(0), 3);
+        std::env::set_var("NPU_THREADS", "0");
+        assert!(resolve_threads(0) >= 1);
+        std::env::set_var("NPU_THREADS", "not-a-number");
+        assert!(resolve_threads(0) >= 1);
+        std::env::remove_var("NPU_THREADS");
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn template_reuse_is_stable_across_generations() {
+        // Successive generations reuse (and workers clone) the warm
+        // template evaluator; scores must stay identical to direct
+        // evaluation no matter what the previous generation left behind.
+        let t = table(9);
+        let baseline = t.baseline().time_us;
+        let mut engine = EvalEngine::new(&t, baseline, 0.02, 4);
+        for gen in 0..3_usize {
+            let population: Vec<Vec<usize>> = (0..200)
+                .map(|i| {
+                    (0..9)
+                        .map(|s| (gen * 31 + i * 7 + s * 3) % t.n_freqs())
+                        .collect()
+                })
+                .collect();
+            let got = engine.score_population(&population);
+            for (g, s) in population.iter().zip(&got) {
+                let direct = score(&t.evaluate(g), baseline, 0.02);
+                assert_eq!(s.to_bits(), direct.to_bits(), "gen {gen}");
+            }
+        }
     }
 
     #[test]

@@ -203,6 +203,27 @@ pub enum Event {
         /// Human-readable context (e.g. corrected latency, pinned count).
         detail: String,
     },
+    /// A content-addressed artifact-cache lookup was served from the
+    /// store (the corresponding pipeline phase is skipped).
+    CacheHit {
+        /// Artifact kind (`profiles`, `models`, `search`).
+        kind: String,
+    },
+    /// A content-addressed artifact-cache lookup missed (the pipeline
+    /// phase runs and its result is inserted).
+    CacheMiss {
+        /// Artifact kind (`profiles`, `models`, `search`).
+        kind: String,
+    },
+    /// A batch fleet driver handed one workload to a worker.
+    BatchScheduled {
+        /// Workload name.
+        workload: String,
+        /// Worker slot index (0-based).
+        worker: usize,
+        /// Host wall-clock time the workload waited in the queue, µs.
+        queue_wait_us: f64,
+    },
 }
 
 impl Event {
@@ -224,6 +245,9 @@ impl Event {
             Self::SetFreqRejected { .. } => "SetFreqRejected",
             Self::GuardrailTripped { .. } => "GuardrailTripped",
             Self::DegradationApplied { .. } => "DegradationApplied",
+            Self::CacheHit { .. } => "CacheHit",
+            Self::CacheMiss { .. } => "CacheMiss",
+            Self::BatchScheduled { .. } => "BatchScheduled",
         }
     }
 
@@ -348,6 +372,18 @@ impl Event {
             Self::DegradationApplied { rung, detail } => {
                 push_str_field(&mut s, "rung", rung);
                 push_str_field(&mut s, "detail", detail);
+            }
+            Self::CacheHit { kind } | Self::CacheMiss { kind } => {
+                push_str_field(&mut s, "kind", kind);
+            }
+            Self::BatchScheduled {
+                workload,
+                worker,
+                queue_wait_us,
+            } => {
+                push_str_field(&mut s, "workload", workload);
+                push_uint_field(&mut s, "worker", *worker as u64);
+                push_num_field(&mut s, "queue_wait_us", *queue_wait_us);
             }
         }
         s.push('}');
@@ -478,6 +514,30 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"event\":\"DegradationApplied\",\"rung\":\"baseline\",\"detail\":\"reverted\"}"
+        );
+    }
+
+    #[test]
+    fn json_encodes_cache_and_batch_events() {
+        let e = Event::CacheHit {
+            kind: "profiles".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"CacheHit\",\"kind\":\"profiles\"}"
+        );
+        let e = Event::CacheMiss {
+            kind: "search".to_owned(),
+        };
+        assert_eq!(e.to_json(), "{\"event\":\"CacheMiss\",\"kind\":\"search\"}");
+        let e = Event::BatchScheduled {
+            workload: "GPT3".to_owned(),
+            worker: 2,
+            queue_wait_us: 15.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"BatchScheduled\",\"workload\":\"GPT3\",\"worker\":2,\"queue_wait_us\":15.5}"
         );
     }
 

@@ -299,6 +299,9 @@ impl std::error::Error for DeviceError {}
 #[derive(Debug, Clone)]
 pub struct Device {
     cfg: NpuConfig,
+    /// Noise seed the device was constructed with (worker forks and
+    /// content-addressed caches key on it).
+    seed: u64,
     noise: NoiseSource,
     thermal: ThermalState,
     clock_us: f64,
@@ -327,6 +330,7 @@ impl Device {
         let freq = cfg.freq_table.max();
         Self {
             cfg,
+            seed,
             noise: NoiseSource::from_seed(seed),
             thermal,
             clock_us: 0.0,
@@ -341,6 +345,29 @@ impl Device {
     #[must_use]
     pub fn config(&self) -> &NpuConfig {
         &self.cfg
+    }
+
+    /// The noise seed this device was constructed with. Together with
+    /// the configuration it fully determines every run from cold, which
+    /// is what content-addressed result caches fingerprint.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Creates a cold, silent worker device for an independent parallel
+    /// simulation: same configuration, noise seeded deterministically
+    /// from `(self.seed(), stream)`, no observer and no boundary hook.
+    ///
+    /// Forks are what frequency sweeps and batch drivers hand to their
+    /// worker threads: because a fork never shares mutable state with
+    /// its parent (the observer is detached, the hook dropped, the RNG
+    /// re-seeded), results are a pure function of `(config, seed,
+    /// stream, schedule)` — independent of thread count, scheduling
+    /// order, and whatever the parent device ran before the fork.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Self {
+        Self::with_seed(self.cfg.clone(), derive_stream_seed(self.seed, stream))
     }
 
     /// The structured-event observer attached to this device.
@@ -842,6 +869,18 @@ struct RetryEntry {
     attempt: u32,
 }
 
+/// Splitmix64-style mix of a base seed and a worker stream index, so
+/// forked devices draw statistically independent noise per stream while
+/// staying a deterministic function of the parent seed.
+fn derive_stream_seed(seed: u64, stream: u64) -> u64 {
+    let mut x = seed
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1072,6 +1111,36 @@ mod tests {
             .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
             .unwrap();
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn fork_is_cold_silent_and_deterministic() {
+        let mut parent = Device::with_seed(cfg(), 77);
+        assert_eq!(parent.seed(), 77);
+        // Warm the parent so the fork provably ignores transient state.
+        let _ = parent
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
+        let mut f1 = parent.fork(3);
+        assert_eq!(f1.clock_us(), 0.0);
+        assert_eq!(f1.temp_c(), f1.config().ambient_c);
+        assert!(f1.hook().is_none());
+        assert!(!f1.observer().enabled());
+        // Same stream forks behave identically; different streams draw
+        // different noise.
+        let mut f2 = Device::with_seed(cfg(), 77).fork(3);
+        let r1 = f1
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
+            .unwrap();
+        let r2 = f2
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
+            .unwrap();
+        assert_eq!(r1, r2);
+        let r3 = parent
+            .fork(4)
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1500)))
+            .unwrap();
+        assert_ne!(r1, r3);
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Batch fleet optimization with a shared warm cache.
+//!
+//! Optimizes a small fleet of workloads concurrently over one
+//! content-addressed artifact cache, then runs the same batch again to
+//! show the warm path: zero cache misses, no re-profiling, and reports
+//! bit-identical to the cold pass.
+//!
+//! ```sh
+//! cargo run --release --example batch_fleet
+//! ```
+
+use dvfs_repro::power_model::HardwareCalibration;
+use dvfs_repro::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = NpuConfig::ascend_like();
+    // Oracle calibration keeps the example quick; swap in
+    // `EnergyOptimizer::calibrated(cfg)` (or `calibrate_device_parallel`)
+    // for the measured procedure.
+    let calib = HardwareCalibration::ground_truth(&cfg);
+    let batch = [
+        models::tiny(&cfg),
+        models::tanh_loop(&cfg, 24),
+        models::softmax_loop(&cfg, 16),
+        models::tanh_loop(&cfg, 12),
+    ];
+
+    let mut opts = OptimizerConfig::default().with_fai_us(200.0);
+    opts.ga = opts.ga.with_population(60).with_iterations(120);
+
+    let metrics = Arc::new(MetricsRegistry::new());
+    let runner = FleetRunner::new(cfg, calib, opts)
+        .with_workers(0) // auto-detect; NPU_THREADS=n pins it
+        .with_observer(ObserverHandle::from_arc(metrics.clone()));
+
+    let t = Instant::now();
+    let cold = runner.run(&batch)?;
+    let cold_s = t.elapsed().as_secs_f64();
+    println!("── cold batch ({cold_s:.2}s) ──");
+    for r in &cold {
+        println!(
+            "{:<14} aicore −{:>4.1}%  loss {:>4.2}%",
+            r.workload,
+            r.aicore_reduction() * 100.0,
+            r.perf_loss() * 100.0,
+        );
+    }
+    let stats = runner.cache().stats();
+    println!(
+        "cache: {} hits / {} misses (profile {}, model {}, search {})",
+        stats.hits(),
+        stats.misses(),
+        stats.profile.misses,
+        stats.model.misses,
+        stats.search.misses,
+    );
+
+    runner.cache().reset_stats();
+    let t = Instant::now();
+    let warm = runner.run(&batch)?;
+    let warm_s = t.elapsed().as_secs_f64();
+    let stats = runner.cache().stats();
+    println!("── warm batch ({warm_s:.2}s) ──");
+    println!(
+        "cache: {} hits / {} misses — {:.1}× faster, reports identical: {}",
+        stats.hits(),
+        stats.misses(),
+        cold_s / warm_s,
+        warm == cold,
+    );
+    println!(
+        "scheduled {} sessions across workers",
+        metrics.counter("event.BatchScheduled"),
+    );
+    assert_eq!(stats.misses(), 0, "warm batch must be fully cached");
+    assert_eq!(warm, cold, "warm reports must be bit-identical");
+    Ok(())
+}

@@ -33,4 +33,33 @@ CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench ga_eval
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench simulator
 
+echo "==> pipeline bench smoke (cold-serial vs cold-parallel vs warm cache)"
+CRITERION_SMOKE=1 cargo bench -p npu-bench --bench pipeline
+
+# Validate the smoke run's JSON: every field present, the warm-cache
+# pass must not have re-run a single cached stage, and all paths must
+# have produced bit-identical reports.
+bench_fields="cold_serial_sessions_per_sec cold_parallel_sessions_per_sec \
+warm_cache_sessions_per_sec speedup_cold_parallel speedup_warm_cache \
+speedup_end_to_end warm_second_pass_misses bit_identical"
+for f in $bench_fields; do
+  grep -q "\"$f\"" BENCH_pipeline.smoke.json \
+    || { echo "BENCH_pipeline.smoke.json: missing field $f" >&2; exit 1; }
+done
+grep -q '"warm_second_pass_misses": 0,' BENCH_pipeline.smoke.json \
+  || { echo "warm-cache pass re-ran profiling (miss counter != 0)" >&2; exit 1; }
+grep -q '"bit_identical": true' BENCH_pipeline.smoke.json \
+  || { echo "parallel/warm reports diverged from cold-serial" >&2; exit 1; }
+rm -f BENCH_pipeline.smoke.json
+
+# The checked-in full-run measurement must carry the same fields and
+# show the >= 2x end-to-end speedup (full runs: cargo bench -p
+# npu-bench --bench pipeline, no CRITERION_SMOKE).
+for f in $bench_fields; do
+  grep -q "\"$f\"" BENCH_pipeline.json \
+    || { echo "BENCH_pipeline.json: missing field $f" >&2; exit 1; }
+done
+awk -F': ' '/"speedup_end_to_end"/ { if ($2 + 0 < 2.0) exit 1 }' BENCH_pipeline.json \
+  || { echo "BENCH_pipeline.json: end-to-end speedup below 2x" >&2; exit 1; }
+
 echo "==> all checks passed"

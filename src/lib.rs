@@ -57,7 +57,10 @@ pub use npu_workloads as workloads;
 
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
-    pub use npu_core::{EnergyOptimizer, OptimizationReport, OptimizationSession, OptimizerConfig};
+    pub use npu_core::{
+        optimize_batch, sweep_profiles, ArtifactCache, CacheStats, EnergyOptimizer, FleetRunner,
+        OptimizationReport, OptimizationSession, OptimizerConfig,
+    };
     pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
     pub use npu_exec::{
         execute_resilient, execute_strategy, Degradation, ExecutionOutcome, ExecutorOptions,
@@ -69,7 +72,9 @@ pub mod prelude {
         SummarySink,
     };
     pub use npu_perf_model::{FitFunction, FreqProfile, PerfModelStore};
-    pub use npu_power_model::{calibrate_device, CalibrationOptions, PowerModel};
+    pub use npu_power_model::{
+        calibrate_device, calibrate_device_parallel, CalibrationOptions, PowerModel,
+    };
     pub use npu_sim::{
         Device, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, OpRecord, RunOptions, Scenario,
         Schedule, TelemetrySummary, VoltageCurve,

@@ -1,0 +1,275 @@
+//! Integration: the parallel pipeline is bit-deterministic.
+//!
+//! The tentpole claim of the sweep/cache layer is that worker counts
+//! change wall time only: profiles, fitted models, GA outcomes and
+//! executed reports are bit-identical whether a sweep runs on 1, 2 or 8
+//! threads, and a warm-cache session reproduces a cold one exactly.
+//! These tests pin that, plus the bit-exact round trip of the persisted
+//! cache artifacts and the stability of the content fingerprints.
+
+use dvfs_repro::core::cache::{profile_key, ProfileArtifact, SearchArtifact};
+use dvfs_repro::core::{sweep_profiles, EnergyOptimizer, OptimizerConfig};
+use dvfs_repro::power_model::{calibrate_device_parallel, CalibrationOptions, HardwareCalibration};
+use dvfs_repro::prelude::*;
+use dvfs_repro::sim::OpClass;
+use proptest::prelude::*;
+
+fn quick_opts() -> OptimizerConfig {
+    let mut o = OptimizerConfig::default().with_fai_us(100.0);
+    o.ga = o.ga.with_population(30).with_iterations(40);
+    o
+}
+
+#[test]
+fn profile_sweep_is_bit_identical_across_thread_counts() {
+    let cfg = NpuConfig::ascend_like(); // default noise levels on
+    let dev = Device::new(cfg.clone());
+    let w = models::tiny(&cfg);
+    let freqs = [FreqMhz::new(1800), FreqMhz::new(1400), FreqMhz::new(1000)];
+    let obs = ObserverHandle::null();
+    let reference = sweep_profiles(&dev, w.schedule(), &freqs, 2, 1, &obs).unwrap();
+    for threads in [2, 8] {
+        let got = sweep_profiles(&dev, w.schedule(), &freqs, 2, threads, &obs).unwrap();
+        // PartialEq on f64 fields; NaN never appears in profiles, so
+        // equality here is bit-equality.
+        assert_eq!(got, reference, "sweep diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn calibration_is_bit_identical_across_thread_counts() {
+    let cfg = NpuConfig::ascend_like();
+    let dev = Device::new(cfg.clone());
+    let heat = models::tanh_loop(&cfg, 24);
+    let loads = vec![
+        models::tiny(&cfg).schedule().clone(),
+        models::tanh_loop(&cfg, 8).schedule().clone(),
+    ];
+    let opts = CalibrationOptions {
+        idle_observe_us: 10_000.0,
+        heat_us: 6.0e5,
+        cooldown_us: 3.0e5,
+        cooldown_sample_us: 5_000.0,
+        equilibrium_us: 8.0e5,
+        ..CalibrationOptions::default()
+    };
+    let reference = calibrate_device_parallel(&dev, heat.schedule(), &loads, &opts, 1).unwrap();
+    for threads in [2, 8] {
+        let got = calibrate_device_parallel(&dev, heat.schedule(), &loads, &opts, threads).unwrap();
+        assert_eq!(got, reference, "calibration diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn full_session_report_is_bit_identical_across_thread_counts() {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::tiny(&cfg);
+    let calib = HardwareCalibration::ground_truth(&cfg);
+    let run = |threads: usize| {
+        let mut opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
+        opt.optimize(&w, &quick_opts().with_threads(threads))
+            .unwrap()
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_session_reproduces_cold_session_exactly() {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::tanh_loop(&cfg, 12);
+    let calib = HardwareCalibration::ground_truth(&cfg);
+    let cache = ArtifactCache::new();
+
+    let mut cold_opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
+    let mut cold = cold_opt.session(&w, &quick_opts());
+    cold.set_cache(cache.clone());
+    let cold_report = cold.report().unwrap();
+    drop(cold);
+
+    cache.reset_stats();
+    let mut warm_opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
+    let mut warm = warm_opt.session(&w, &quick_opts());
+    warm.set_cache(cache.clone());
+    let warm_report = warm.report().unwrap();
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses(), 0, "warm session re-ran a cached stage");
+    assert_eq!(stats.profile.hits, 1);
+    assert_eq!(stats.model.hits, 1);
+    assert_eq!(stats.search.hits, 1);
+    assert_eq!(warm_report, cold_report);
+}
+
+#[test]
+fn fingerprints_are_stable_and_input_sensitive() {
+    let cfg = NpuConfig::ascend_like();
+    let w = models::tiny(&cfg);
+    let freqs = [FreqMhz::new(1800), FreqMhz::new(1000)];
+    let key = profile_key(&cfg, 7, w.schedule(), &freqs, 1, false);
+    // Stable: the same inputs always fingerprint the same (this is what
+    // makes keys valid across processes for the persistent store).
+    assert_eq!(key, profile_key(&cfg, 7, w.schedule(), &freqs, 1, false));
+    // Sensitive to every keyed input.
+    assert_ne!(key, profile_key(&cfg, 8, w.schedule(), &freqs, 1, false));
+    assert_ne!(key, profile_key(&cfg, 7, w.schedule(), &freqs, 2, false));
+    assert_ne!(key, profile_key(&cfg, 7, w.schedule(), &freqs, 1, true));
+    assert_ne!(
+        key,
+        profile_key(&cfg, 7, w.schedule(), &freqs[..1], 1, false)
+    );
+    let other = models::tanh_loop(&cfg, 2);
+    assert_ne!(
+        key,
+        profile_key(&cfg, 7, other.schedule(), &freqs, 1, false)
+    );
+    let mut cfg2 = cfg.clone();
+    cfg2.ambient_c += 1.0;
+    assert_ne!(key, profile_key(&cfg2, 7, w.schedule(), &freqs, 1, false));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: persisted artifacts round-trip bit-exactly.
+// ---------------------------------------------------------------------------
+
+const NAMES: [&str; 3] = ["MatMul", "Flash Attention FWD", "all-reduce (ring)"];
+const CLASSES: [OpClass; 4] = [
+    OpClass::Compute,
+    OpClass::AiCpu,
+    OpClass::Communication,
+    OpClass::Idle,
+];
+const SCENARIOS: [Scenario; 4] = [
+    Scenario::PingPongFreeIndependent,
+    Scenario::PingPongFreeDependent,
+    Scenario::PingPongIndependent,
+    Scenario::PingPongDependent,
+];
+
+prop_compose! {
+    fn arb_record()(
+        vals in prop::collection::vec(-1.0e9f64..1.0e9, 11),
+        index in 0usize..10_000,
+        class in 0usize..4,
+        scenario in 0usize..4,
+        name in 0usize..3,
+        mhz in 200u32..2000,
+    ) -> OpRecord {
+        OpRecord {
+            index,
+            name: NAMES[name].to_owned(),
+            class: CLASSES[class],
+            scenario: SCENARIOS[scenario],
+            start_us: vals[0],
+            dur_us: vals[1],
+            freq_mhz: FreqMhz::new(mhz),
+            ratios: dvfs_repro::sim::PipelineRatios {
+                cube: vals[2],
+                vector: vals[3],
+                scalar: vals[4],
+                mte1: vals[5],
+                mte2: vals[6],
+                mte3: vals[7],
+            },
+            aicore_w: vals[8],
+            soc_w: vals[9],
+            temp_c: vals[10],
+            traffic_bytes: vals[0] * 0.5,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_freq_profile()(
+        records in prop::collection::vec(arb_record(), 0..6),
+        mhz in 200u32..2000,
+    ) -> FreqProfile {
+        FreqProfile { freq: FreqMhz::new(mhz), records }
+    }
+}
+
+prop_compose! {
+    fn arb_profile_artifact()(
+        profiles in prop::collection::vec(arb_freq_profile(), 1..4),
+        raw in prop::collection::vec(arb_freq_profile(), 0..4),
+        keep_raw in any::<bool>(),
+        base in prop::collection::vec(-1.0e6f64..1.0e6, 4),
+    ) -> ProfileArtifact {
+        ProfileArtifact {
+            profiles,
+            raw_profiles: if keep_raw { Some(raw) } else { None },
+            baseline: dvfs_repro::core::MeasuredIteration {
+                time_us: base[0],
+                aicore_w: base[1],
+                soc_w: base[2],
+                temp_c: base[3],
+            },
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_search_artifact()(
+        stage_vals in prop::collection::vec((0.0f64..1.0e7, 1.0f64..1.0e6, 0usize..50, 1usize..20, any::<bool>(), 200u32..2000), 1..12),
+        eval in prop::collection::vec(1.0e-3f64..1.0e9, 4),
+        trace in prop::collection::vec(0.0f64..1.0e3, 0..20),
+        evals in 0usize..100_000,
+        unique in 0usize..100_000,
+    ) -> SearchArtifact {
+        use dvfs_repro::dvfs::{Stage, StageKind};
+        let mut stages = Vec::new();
+        let mut freqs = Vec::new();
+        for &(start, dur, op_start, op_len, lfc, mhz) in &stage_vals {
+            stages.push(Stage {
+                start_us: start,
+                dur_us: dur,
+                op_range: op_start..op_start + op_len,
+                kind: if lfc { StageKind::Lfc } else { StageKind::Hfc },
+            });
+            freqs.push(FreqMhz::new(mhz));
+        }
+        SearchArtifact {
+            outcome: GaOutcome {
+                strategy: DvfsStrategy::new(stages, freqs),
+                best_eval: dvfs_repro::dvfs::Evaluation {
+                    time_us: eval[0],
+                    aicore_energy_wus: eval[1],
+                    soc_energy_wus: eval[2],
+                },
+                best_score: eval[3],
+                score_trace: trace,
+                evaluations: evals,
+                unique_evaluations: unique,
+            },
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn profile_artifact_round_trips_bit_exactly(artifact in arb_profile_artifact()) {
+        let decoded = ProfileArtifact::from_text(&artifact.to_text()).unwrap();
+        prop_assert_eq!(decoded, artifact);
+    }
+
+    #[test]
+    fn search_artifact_round_trips_bit_exactly(artifact in arb_search_artifact()) {
+        let decoded = SearchArtifact::from_text(&artifact.to_text()).unwrap();
+        prop_assert_eq!(decoded, artifact);
+    }
+
+    #[test]
+    fn reencoding_a_decoded_artifact_is_a_fixed_point(artifact in arb_profile_artifact()) {
+        let text = artifact.to_text();
+        let decoded = ProfileArtifact::from_text(&text).unwrap();
+        prop_assert_eq!(decoded.to_text(), text);
+    }
+}
