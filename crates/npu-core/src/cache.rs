@@ -291,6 +291,27 @@ pub struct SearchArtifact {
 // Text encoding (persistence)
 // ---------------------------------------------------------------------------
 
+/// One `f64` in text-store form.
+///
+/// Finite values — `-0.0` and subnormals included — print in
+/// [`Display`](std::fmt::Display)'s shortest round-trippable decimal
+/// form. Non-finite values are the one place Display loses information:
+/// `NaN` drops the sign and payload bits and parses back to a single
+/// canonical quiet NaN, so those are escaped as `#x` followed by the 16
+/// hex digits of the raw IEEE-754 bit pattern. Every float therefore
+/// round-trips bit-exactly through [`Lines::f64`].
+struct F64Text(f64);
+
+impl std::fmt::Display for F64Text {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0.is_finite() {
+            write!(f, "{}", self.0)
+        } else {
+            write!(f, "#x{:016x}", self.0.to_bits())
+        }
+    }
+}
+
 /// Errors from decoding a persisted cache artifact.
 #[derive(Debug, PartialEq, Eq)]
 pub struct ArtifactParseError {
@@ -316,6 +337,73 @@ fn parse_err(line: usize, what: impl Into<String>) -> ArtifactParseError {
     ArtifactParseError {
         line,
         what: what.into(),
+    }
+}
+
+/// Error from a checked cache lookup: the persisted artifact for the key
+/// *exists* but could not be used. Returned by
+/// [`ArtifactCache::lookup_profile_checked`] /
+/// [`ArtifactCache::lookup_search_checked`] — the unchecked lookups fold
+/// these cases into a plain miss.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The artifact file exists but reading it failed.
+    Io {
+        /// Artifact kind (`"profile"` or `"search"`).
+        kind: &'static str,
+        /// The content-addressed cache key.
+        key: u64,
+        /// The file the cache tried to read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The artifact file was read but is corrupt or truncated.
+    Corrupt {
+        /// Artifact kind (`"profile"` or `"search"`).
+        kind: &'static str,
+        /// The content-addressed cache key.
+        key: u64,
+        /// The file that failed to decode.
+        path: PathBuf,
+        /// Where and why decoding stopped.
+        source: ArtifactParseError,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io {
+                kind,
+                key,
+                path,
+                source,
+            } => write!(
+                f,
+                "persisted {kind} artifact {key:016x} at {} unreadable: {source}",
+                path.display()
+            ),
+            Self::Corrupt {
+                kind,
+                key,
+                path,
+                source,
+            } => write!(
+                f,
+                "persisted {kind} artifact {key:016x} at {} corrupt: {source}",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Corrupt { source, .. } => Some(source),
+        }
     }
 }
 
@@ -358,6 +446,14 @@ impl<'a> Lines<'a> {
     }
 
     fn f64(&self, s: &str) -> Result<f64, ArtifactParseError> {
+        // `#x…` is the bit-exact escape for non-finite values (see
+        // [`F64Text`]); plain decimal — the historical form, which also
+        // accepts `NaN`/`inf` from older files — covers everything else.
+        if let Some(hex) = s.strip_prefix("#x") {
+            return u64::from_str_radix(hex, 16)
+                .map(f64::from_bits)
+                .map_err(|_| parse_err(self.line_no, format!("bad float bits `{s}`")));
+        }
         s.parse()
             .map_err(|_| parse_err(self.line_no, format!("bad float `{s}`")))
     }
@@ -382,19 +478,19 @@ fn write_profiles(out: &mut String, tag: &str, profiles: &[FreqProfile]) {
                 r.index,
                 r.class,
                 r.scenario,
-                r.start_us,
-                r.dur_us,
+                F64Text(r.start_us),
+                F64Text(r.dur_us),
                 r.freq_mhz.mhz(),
-                r.ratios.cube,
-                r.ratios.vector,
-                r.ratios.scalar,
-                r.ratios.mte1,
-                r.ratios.mte2,
-                r.ratios.mte3,
-                r.aicore_w,
-                r.soc_w,
-                r.temp_c,
-                r.traffic_bytes,
+                F64Text(r.ratios.cube),
+                F64Text(r.ratios.vector),
+                F64Text(r.ratios.scalar),
+                F64Text(r.ratios.mte1),
+                F64Text(r.ratios.mte2),
+                F64Text(r.ratios.mte3),
+                F64Text(r.aicore_w),
+                F64Text(r.soc_w),
+                F64Text(r.temp_c),
+                F64Text(r.traffic_bytes),
                 r.name,
             );
         }
@@ -501,7 +597,10 @@ impl ProfileArtifact {
         let _ = writeln!(
             out,
             "baseline {} {} {} {}",
-            b.time_us, b.aicore_w, b.soc_w, b.temp_c
+            F64Text(b.time_us),
+            F64Text(b.aicore_w),
+            F64Text(b.soc_w),
+            F64Text(b.temp_c)
         );
         write_profiles(&mut out, "profiles", &self.profiles);
         match &self.raw_profiles {
@@ -566,12 +665,14 @@ impl SearchArtifact {
         let _ = writeln!(
             out,
             "eval {} {} {}",
-            o.best_eval.time_us, o.best_eval.aicore_energy_wus, o.best_eval.soc_energy_wus
+            F64Text(o.best_eval.time_us),
+            F64Text(o.best_eval.aicore_energy_wus),
+            F64Text(o.best_eval.soc_energy_wus)
         );
-        let _ = writeln!(out, "score {}", o.best_score);
+        let _ = writeln!(out, "score {}", F64Text(o.best_score));
         let _ = write!(out, "trace {}", o.score_trace.len());
-        for v in &o.score_trace {
-            let _ = write!(out, " {v}");
+        for &v in &o.score_trace {
+            let _ = write!(out, " {}", F64Text(v));
         }
         out.push('\n');
         let _ = writeln!(out, "evals {} {}", o.evaluations, o.unique_evaluations);
@@ -584,8 +685,8 @@ impl SearchArtifact {
             let _ = writeln!(
                 out,
                 "stage {} {} {} {} {kind} {}",
-                stage.start_us,
-                stage.dur_us,
+                F64Text(stage.start_us),
+                F64Text(stage.dur_us),
                 stage.op_range.start,
                 stage.op_range.end,
                 freq.mhz(),
@@ -831,26 +932,82 @@ impl ArtifactCache {
     }
 
     /// Looks up a profile artifact (memory first, then the persistence
-    /// directory). Counts a hit or miss.
+    /// directory). Counts a hit or miss. A persisted file that exists
+    /// but cannot be read or decoded is treated as a miss; use
+    /// [`Self::lookup_profile_checked`] to surface that case as a typed
+    /// error instead of a silent skip.
     #[must_use]
     pub fn lookup_profile(&self, key: u64) -> Option<Arc<ProfileArtifact>> {
+        self.lookup_profile_checked(key).unwrap_or_default()
+    }
+
+    /// [`Self::lookup_profile`], surfacing persistence problems.
+    ///
+    /// Memory hits, disk hits and genuine absences behave identically to
+    /// the unchecked lookup. The difference is a key whose artifact file
+    /// *exists* but cannot be used — unreadable, corrupt or truncated:
+    /// that still counts a [`CacheStats`] miss (the caller must recompute
+    /// either way) but returns the typed [`CacheError`] so the condition
+    /// is observable rather than silently folded into "never cached".
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the persisted file exists but reading it
+    /// fails; [`CacheError::Corrupt`] when it reads but fails to decode.
+    pub fn lookup_profile_checked(
+        &self,
+        key: u64,
+    ) -> Result<Option<Arc<ProfileArtifact>>, CacheError> {
         let mut map = self
             .inner
             .profiles
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let found = map.get(&key).cloned().or_else(|| {
-            let loaded = self
-                .disk_path("profile", key)
-                .and_then(|p| std::fs::read_to_string(p).ok())
-                .and_then(|text| ProfileArtifact::from_text(&text).ok())
-                .map(Arc::new)?;
-            map.insert(key, loaded.clone());
-            Some(loaded)
-        });
+        if let Some(found) = map.get(&key).cloned() {
+            drop(map);
+            Self::tally(&self.inner.profile_stats, true);
+            return Ok(Some(found));
+        }
+        let loaded = match Self::load_text(self.disk_path("profile", key), "profile", key) {
+            Ok(Some((path, text))) => match ProfileArtifact::from_text(&text) {
+                Ok(artifact) => Ok(Some(Arc::new(artifact))),
+                Err(source) => Err(CacheError::Corrupt {
+                    kind: "profile",
+                    key,
+                    path,
+                    source,
+                }),
+            },
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        if let Ok(Some(artifact)) = &loaded {
+            map.insert(key, artifact.clone());
+        }
         drop(map);
-        Self::tally(&self.inner.profile_stats, found.is_some());
-        found
+        Self::tally(&self.inner.profile_stats, matches!(&loaded, Ok(Some(_))));
+        loaded
+    }
+
+    /// Reads a persisted artifact's text. `Ok(None)` when the cache is
+    /// memory-only or the file simply does not exist; `Err` when the
+    /// file exists but reading it fails.
+    fn load_text(
+        path: Option<PathBuf>,
+        kind: &'static str,
+        key: u64,
+    ) -> Result<Option<(PathBuf, String)>, CacheError> {
+        let Some(path) = path else { return Ok(None) };
+        match std::fs::read_to_string(&path) {
+            Ok(text) => Ok(Some((path, text))),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(source) => Err(CacheError::Io {
+                kind,
+                key,
+                path,
+                source,
+            }),
+        }
     }
 
     /// Stores a profile artifact (and spills it to disk when the cache
@@ -895,26 +1052,55 @@ impl ArtifactCache {
     }
 
     /// Looks up a search artifact (memory first, then the persistence
-    /// directory). Counts a hit or miss.
+    /// directory). Counts a hit or miss. A persisted file that exists
+    /// but cannot be read or decoded is treated as a miss; use
+    /// [`Self::lookup_search_checked`] to surface that case as a typed
+    /// error instead of a silent skip.
     #[must_use]
     pub fn lookup_search(&self, key: u64) -> Option<Arc<SearchArtifact>> {
+        self.lookup_search_checked(key).unwrap_or_default()
+    }
+
+    /// [`Self::lookup_search`], surfacing persistence problems — see
+    /// [`Self::lookup_profile_checked`] for the exact semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::Io`] when the persisted file exists but reading it
+    /// fails; [`CacheError::Corrupt`] when it reads but fails to decode.
+    pub fn lookup_search_checked(
+        &self,
+        key: u64,
+    ) -> Result<Option<Arc<SearchArtifact>>, CacheError> {
         let mut map = self
             .inner
             .searches
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        let found = map.get(&key).cloned().or_else(|| {
-            let loaded = self
-                .disk_path("search", key)
-                .and_then(|p| std::fs::read_to_string(p).ok())
-                .and_then(|text| SearchArtifact::from_text(&text).ok())
-                .map(Arc::new)?;
-            map.insert(key, loaded.clone());
-            Some(loaded)
-        });
+        if let Some(found) = map.get(&key).cloned() {
+            drop(map);
+            Self::tally(&self.inner.search_stats, true);
+            return Ok(Some(found));
+        }
+        let loaded = match Self::load_text(self.disk_path("search", key), "search", key) {
+            Ok(Some((path, text))) => match SearchArtifact::from_text(&text) {
+                Ok(artifact) => Ok(Some(Arc::new(artifact))),
+                Err(source) => Err(CacheError::Corrupt {
+                    kind: "search",
+                    key,
+                    path,
+                    source,
+                }),
+            },
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        if let Ok(Some(artifact)) = &loaded {
+            map.insert(key, artifact.clone());
+        }
         drop(map);
-        Self::tally(&self.inner.search_stats, found.is_some());
-        found
+        Self::tally(&self.inner.search_stats, matches!(&loaded, Ok(Some(_))));
+        loaded
     }
 
     /// Stores a search artifact (and spills it to disk when the cache is

@@ -24,13 +24,18 @@ mod fleet;
 mod model_free;
 mod optimizer;
 mod report;
+pub mod serve;
 mod session;
 pub mod sweep;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{ArtifactCache, CacheError, CacheStats};
 pub use fleet::{optimize_batch, FleetRunner};
 pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
 pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 pub use report::{MeasuredIteration, OptimizationReport};
+pub use serve::{
+    DriftDetector, DriftDetectorConfig, DriftSignal, ServeIteration, ServeOptions, ServeOutcome,
+    ServeRuntime,
+};
 pub use session::OptimizationSession;
 pub use sweep::sweep_profiles;

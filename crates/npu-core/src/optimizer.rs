@@ -312,6 +312,13 @@ impl EnergyOptimizer {
         &self.dev
     }
 
+    /// Mutable access to the underlying device — e.g. to install a
+    /// [`npu_sim::DriftModel`] *after* calibration, modelling hardware
+    /// that drifts away from the conditions it was calibrated under.
+    pub fn device_mut(&mut self) -> &mut Device {
+        &mut self.dev
+    }
+
     /// The structured-event observer (shared with the device).
     #[must_use]
     pub fn observer(&self) -> &ObserverHandle {

@@ -1,0 +1,733 @@
+//! Online serving under drift: detect, re-optimize, swap — without
+//! stopping the request loop.
+//!
+//! A DVFS strategy is only as good as the models it was searched
+//! against, and deployed hardware does not stay where it was calibrated:
+//! ambient temperature creeps, silicon ages, leakage coefficients grow
+//! (see [`npu_sim::DriftModel`]). [`ServeRuntime`] runs a long stream of
+//! workload iterations under the active strategy while a
+//! [`DriftDetector`] compares each measured iteration against the
+//! model's prediction. When the windowed residual stays over threshold
+//! long enough (hysteresis), the runtime climbs a staged response
+//! ladder on a *shadow* snapshot of the device — the live loop keeps
+//! serving the stale strategy meanwhile:
+//!
+//! 1. **minimal re-profile** — sweep only a small frequency subset on a
+//!    device frozen at the drifted configuration
+//!    ([`npu_sim::Device::drifted_config`]);
+//! 2. **robust re-fit** — [`OptimizationSession::refit_models`] with the
+//!    MAD-cut fitter forced on, escalating to a wider re-profile
+//!    ([`OptimizationSession::refresh_profile`]) if the fit stays poor;
+//! 3. **cached re-search** — the GA re-runs against the refreshed
+//!    models through the shared [`ArtifactCache`]; because the snapshot
+//!    configuration and refreshed calibration are part of every cache
+//!    key, stale artifacts can never alias the refreshed ones.
+//!
+//! The new strategy is swapped into the loop at the next iteration
+//! boundary ([`npu_obs::Event::StrategySwapped`]). If the ladder fails,
+//! the loop degrades to guardrailed execution via
+//! [`npu_exec::execute_resilient`] under the last good strategy and
+//! stops attempting re-optimization.
+//!
+//! Everything is deterministic: shadow devices derive their seeds from
+//! the live device's fork stream, the GA is thread-count invariant, and
+//! no wall-clock time enters any decision — two runs of the same serve
+//! loop are bit-identical at any worker thread count.
+
+use crate::cache::ArtifactCache;
+use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
+use crate::report::MeasuredIteration;
+use crate::session::OptimizationSession;
+use npu_dvfs::DvfsStrategy;
+use npu_exec::{execute_resilient, execute_strategy, ExecutorOptions, ResilientOptions};
+use npu_obs::Event;
+use npu_power_model::HardwareCalibration;
+use npu_sim::{Device, FreqMhz, OpRecord};
+use npu_workloads::Workload;
+
+/// Tuning for the windowed drift detector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftDetectorConfig {
+    /// Iterations per scoring window.
+    pub window: usize,
+    /// Combined-residual threshold a window must exceed to count as
+    /// drifted (relative units; 0.05 = 5 % model error).
+    pub threshold: f64,
+    /// Consecutive over-threshold windows required before drift is
+    /// declared (hysteresis against transient excursions).
+    pub hysteresis: usize,
+    /// Windows ignored for threshold accounting right after a strategy
+    /// swap, while the chip settles under the new frequencies.
+    pub cooldown_windows: usize,
+    /// Temperature scale used to normalize the temperature residual
+    /// into the same relative units as time/power, °C.
+    pub temp_scale_c: f64,
+}
+
+impl Default for DriftDetectorConfig {
+    fn default() -> Self {
+        Self {
+            window: 8,
+            threshold: 0.06,
+            hysteresis: 2,
+            cooldown_windows: 2,
+            temp_scale_c: 10.0,
+        }
+    }
+}
+
+/// What [`DriftDetector::record`] concluded from one iteration residual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSignal {
+    /// Mid-window; nothing to report yet.
+    Quiet,
+    /// A window closed below threshold (or during post-swap cooldown).
+    WindowClosed {
+        /// The window's mean residual.
+        score: f64,
+    },
+    /// A window closed over threshold and completed the hysteresis run:
+    /// the models no longer describe the hardware.
+    Detected {
+        /// The window's mean residual.
+        score: f64,
+        /// Consecutive over-threshold windows, including this one.
+        windows: usize,
+    },
+}
+
+/// Windowed drift detector: per-iteration normalized residuals are
+/// averaged over fixed windows, and sustained over-threshold windows
+/// (with hysteresis and post-swap cooldown) signal drift.
+///
+/// The detector is pure bookkeeping over numbers the caller feeds it —
+/// no clocks, no randomness — so serve loops using it stay
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftDetectorConfig,
+    sum: f64,
+    n: usize,
+    over: usize,
+    cooldown: usize,
+    last_score: Option<f64>,
+}
+
+impl DriftDetector {
+    /// Creates a detector with the given tuning (fields are clamped to
+    /// sane minima: a window of at least 1, hysteresis of at least 1).
+    ///
+    /// Construction arms the same cooldown as a strategy swap: the chip
+    /// starts cold, and until it has relaxed toward the predicted
+    /// steady-state temperature the residual reflects warm-up, not
+    /// drift. The first [`DriftDetectorConfig::cooldown_windows`]
+    /// windows are therefore excluded from threshold accounting.
+    #[must_use]
+    pub fn new(cfg: DriftDetectorConfig) -> Self {
+        let cfg = DriftDetectorConfig {
+            window: cfg.window.max(1),
+            hysteresis: cfg.hysteresis.max(1),
+            ..cfg
+        };
+        Self {
+            cfg,
+            sum: 0.0,
+            n: 0,
+            over: 0,
+            cooldown: cfg.cooldown_windows,
+            last_score: None,
+        }
+    }
+
+    /// The tuning this detector runs under.
+    #[must_use]
+    pub fn config(&self) -> &DriftDetectorConfig {
+        &self.cfg
+    }
+
+    /// The most recent closed window's score, if any window has closed.
+    #[must_use]
+    pub fn last_score(&self) -> Option<f64> {
+        self.last_score
+    }
+
+    /// Normalized residual between one measured iteration and the active
+    /// prediction: the worst of relative time error, relative AICore
+    /// power error, and temperature error over
+    /// [`DriftDetectorConfig::temp_scale_c`]. Non-finite or non-positive
+    /// predictions contribute zero (nothing meaningful to compare
+    /// against).
+    #[must_use]
+    pub fn residual(
+        &self,
+        predicted_time_us: f64,
+        predicted_aicore_w: f64,
+        predicted_temp_c: f64,
+        measured: &MeasuredIteration,
+    ) -> f64 {
+        let rel = |pred: f64, meas: f64| {
+            if pred.is_finite() && pred > 0.0 && meas.is_finite() {
+                (meas - pred).abs() / pred
+            } else {
+                0.0
+            }
+        };
+        let time_r = rel(predicted_time_us, measured.time_us);
+        let power_r = rel(predicted_aicore_w, measured.aicore_w);
+        let temp_r = if predicted_temp_c.is_finite()
+            && measured.temp_c.is_finite()
+            && self.cfg.temp_scale_c > 0.0
+        {
+            (measured.temp_c - predicted_temp_c).abs() / self.cfg.temp_scale_c
+        } else {
+            0.0
+        };
+        time_r.max(power_r).max(temp_r)
+    }
+
+    /// Feeds one iteration residual; returns what (if anything) the
+    /// closing window concluded.
+    pub fn record(&mut self, residual: f64) -> DriftSignal {
+        self.sum += residual.max(0.0);
+        self.n += 1;
+        if self.n < self.cfg.window {
+            return DriftSignal::Quiet;
+        }
+        let score = self.sum / self.n as f64;
+        self.sum = 0.0;
+        self.n = 0;
+        self.last_score = Some(score);
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return DriftSignal::WindowClosed { score };
+        }
+        if score > self.cfg.threshold {
+            self.over += 1;
+        } else {
+            self.over = 0;
+        }
+        if self.over >= self.cfg.hysteresis {
+            let windows = self.over;
+            self.over = 0;
+            return DriftSignal::Detected { score, windows };
+        }
+        DriftSignal::WindowClosed { score }
+    }
+
+    /// Arms the post-swap cooldown and clears window/hysteresis state.
+    /// Call after swapping a strategy (the old prediction no longer
+    /// applies and the chip needs time to settle).
+    pub fn reset_after_swap(&mut self) {
+        self.sum = 0.0;
+        self.n = 0;
+        self.over = 0;
+        self.cooldown = self.cfg.cooldown_windows;
+    }
+}
+
+/// Options for a [`ServeRuntime`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Workload iterations to serve.
+    pub iterations: usize,
+    /// Drift-detector tuning.
+    pub detector: DriftDetectorConfig,
+    /// Frequency subset the response ladder re-profiles (the device
+    /// maximum is always added). Empty uses the session's full build
+    /// frequencies — correct but slower, defeating "minimal".
+    pub ladder_freqs: Vec<FreqMhz>,
+    /// Re-optimizations allowed over the whole run (0 = detect-only:
+    /// drift events are emitted but the strategy is never swapped).
+    pub max_swaps: usize,
+    /// If the robust re-fit's maximum relative residual exceeds this,
+    /// the ladder escalates: it re-profiles the remaining build
+    /// frequencies before re-fitting again.
+    pub fit_error_escalation: f64,
+    /// Guardrailed execution used after a ladder failure.
+    pub fallback: ResilientOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            iterations: 48,
+            detector: DriftDetectorConfig::default(),
+            ladder_freqs: Vec::new(),
+            max_swaps: 1,
+            fit_error_escalation: 0.1,
+            fallback: ResilientOptions::default(),
+        }
+    }
+}
+
+/// One served iteration, as measured on the live device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeIteration {
+    /// Iteration index (0-based).
+    pub index: usize,
+    /// Strategy generation this iteration ran under (0 = initial).
+    pub generation: usize,
+    /// Measured iteration time, µs.
+    pub time_us: f64,
+    /// Measured AICore energy, W·µs.
+    pub aicore_energy_wus: f64,
+    /// Measured SoC energy, W·µs.
+    pub soc_energy_wus: f64,
+    /// End-of-iteration chip temperature, °C.
+    pub temp_c: f64,
+    /// The drift window score, when a window closed at this iteration.
+    pub drift_score: Option<f64>,
+}
+
+/// Everything a serve loop produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// Per-iteration measurements, in order.
+    pub iterations: Vec<ServeIteration>,
+    /// Strategy swaps performed.
+    pub swaps: usize,
+    /// Drift detections (a detection with the swap budget exhausted, or
+    /// in detect-only mode, does not swap).
+    pub detections: usize,
+    /// Whether the loop degraded to guardrailed fallback execution.
+    pub fell_back: bool,
+}
+
+impl ServeOutcome {
+    /// Total measured AICore energy over `iterations[range]`, W·µs.
+    #[must_use]
+    pub fn aicore_energy_wus(&self, range: std::ops::Range<usize>) -> f64 {
+        self.iterations[range]
+            .iter()
+            .map(|i| i.aicore_energy_wus)
+            .sum()
+    }
+
+    /// Total served virtual time over `iterations[range]`, µs.
+    #[must_use]
+    pub fn time_us(&self, range: std::ops::Range<usize>) -> f64 {
+        self.iterations[range].iter().map(|i| i.time_us).sum()
+    }
+
+    /// Index of the first iteration served under the newest strategy
+    /// generation, if any swap happened.
+    #[must_use]
+    pub fn first_swapped_index(&self) -> Option<usize> {
+        let last_gen = self.iterations.last()?.generation;
+        if last_gen == 0 {
+            return None;
+        }
+        self.iterations
+            .iter()
+            .position(|i| i.generation == last_gen)
+    }
+}
+
+/// The active prediction the detector compares reality against.
+#[derive(Debug, Clone, Copy)]
+struct ActivePrediction {
+    time_us: f64,
+    aicore_w: f64,
+    temp_c: f64,
+}
+
+impl ActivePrediction {
+    fn from_eval(eval: &npu_dvfs::Evaluation, calib: &HardwareCalibration) -> Self {
+        let time_us = eval.time_us;
+        let soc_w = if time_us > 0.0 {
+            eval.soc_energy_wus / time_us
+        } else {
+            0.0
+        };
+        Self {
+            time_us,
+            aicore_w: if time_us > 0.0 {
+                eval.aicore_energy_wus / time_us
+            } else {
+                0.0
+            },
+            temp_c: calib.thermal.temp_at(soc_w),
+        }
+    }
+}
+
+/// The long-running serving loop: iterations under the active strategy,
+/// drift detection, staged re-optimization, fallback (see the module
+/// docs for the full contract).
+///
+/// # Examples
+///
+/// ```no_run
+/// use npu_core::{EnergyOptimizer, OptimizerConfig, ServeOptions, ServeRuntime};
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let workload = models::tiny(&cfg);
+/// let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
+/// let mut runtime = ServeRuntime::new(
+///     &mut optimizer,
+///     &workload,
+///     OptimizerConfig::default(),
+///     ServeOptions::default(),
+/// );
+/// let outcome = runtime.run()?;
+/// println!("served {} iterations, {} swaps", outcome.iterations.len(), outcome.swaps);
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeRuntime<'a> {
+    opt: &'a mut EnergyOptimizer,
+    workload: &'a Workload,
+    opts: OptimizerConfig,
+    serve: ServeOptions,
+    cache: ArtifactCache,
+}
+
+impl<'a> ServeRuntime<'a> {
+    /// Creates a serving runtime over `optimizer`'s live device. The
+    /// runtime starts with a fresh in-memory artifact cache; use
+    /// [`Self::set_cache`] to share or persist one.
+    #[must_use]
+    pub fn new(
+        optimizer: &'a mut EnergyOptimizer,
+        workload: &'a Workload,
+        opts: OptimizerConfig,
+        serve: ServeOptions,
+    ) -> Self {
+        Self {
+            opt: optimizer,
+            workload,
+            opts,
+            serve,
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// Replaces the artifact cache the initial optimization and every
+    /// ladder re-optimization consult. Keys cover the (possibly
+    /// drift-snapshot) device configuration, seed and refreshed
+    /// calibration, so refreshed artifacts never alias stale ones.
+    pub fn set_cache(&mut self, cache: ArtifactCache) {
+        self.cache = cache;
+    }
+
+    /// The serve options this runtime runs under.
+    #[must_use]
+    pub fn options(&self) -> &ServeOptions {
+        &self.serve
+    }
+
+    /// Runs the serve loop to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if the *initial* optimization or a live
+    /// iteration fails. Ladder (re-optimization) failures do not abort
+    /// the loop — they degrade it to guardrailed fallback execution.
+    pub fn run(&mut self) -> Result<ServeOutcome, OptimizeError> {
+        let obs = self.opt.observer().clone();
+
+        // Initial optimization on the live device (bring-up: profiling
+        // advances the live clock, as it would in deployment).
+        let (mut strategy, mut baseline_records, init_eval) = {
+            let mut session = self.opt.session(self.workload, &self.opts.clone());
+            session.set_cache(self.cache.clone());
+            let outcome = session.search()?;
+            let strategy = outcome.strategy.clone();
+            let eval = outcome.best_eval;
+            let records = session
+                .profiles()
+                .and_then(|p| p.first())
+                .map(|p| p.records.clone())
+                .unwrap_or_default();
+            (strategy, records, eval)
+        };
+        let mut active = ActivePrediction::from_eval(&init_eval, self.opt.calibration());
+
+        let mut detector = DriftDetector::new(self.serve.detector);
+        let exec_opts = ExecutorOptions {
+            planned_latency_us: self.opts.planned_latency_us,
+            ..ExecutorOptions::default()
+        };
+        let mut out = ServeOutcome {
+            iterations: Vec::with_capacity(self.serve.iterations),
+            swaps: 0,
+            detections: 0,
+            fell_back: false,
+        };
+        let mut generation = 0usize;
+
+        for i in 0..self.serve.iterations {
+            let exec = if out.fell_back {
+                execute_resilient(
+                    &mut self.opt.dev,
+                    self.workload.schedule(),
+                    &strategy,
+                    &baseline_records,
+                    &self.serve.fallback,
+                )
+                .map_err(OptimizeError::Exec)?
+                .outcome
+            } else {
+                execute_strategy(
+                    &mut self.opt.dev,
+                    self.workload.schedule(),
+                    &strategy,
+                    &baseline_records,
+                    &exec_opts,
+                )
+                .map_err(OptimizeError::Exec)?
+            };
+            let meas = MeasuredIteration::from_run(&exec.result);
+            let gen_used = generation;
+            let residual = detector.residual(active.time_us, active.aicore_w, active.temp_c, &meas);
+            let mut drift_score = None;
+            match detector.record(residual) {
+                DriftSignal::Quiet => {}
+                DriftSignal::WindowClosed { score } => {
+                    drift_score = Some(score);
+                    if obs.enabled() {
+                        obs.emit(Event::DriftScore {
+                            iter: i,
+                            score,
+                            threshold: detector.config().threshold,
+                        });
+                    }
+                }
+                DriftSignal::Detected { score, windows } => {
+                    drift_score = Some(score);
+                    if obs.enabled() {
+                        obs.emit(Event::DriftScore {
+                            iter: i,
+                            score,
+                            threshold: detector.config().threshold,
+                        });
+                        obs.emit(Event::DriftDetected {
+                            iter: i,
+                            score,
+                            windows,
+                        });
+                    }
+                    out.detections += 1;
+                    if !out.fell_back && out.swaps < self.serve.max_swaps {
+                        let ladder_len = if self.serve.ladder_freqs.is_empty() {
+                            self.opts.build_freqs.len()
+                        } else {
+                            self.serve.ladder_freqs.len()
+                        };
+                        obs.emit(Event::ReoptimizationStarted {
+                            iter: i,
+                            freqs: ladder_len,
+                        });
+                        match self.reoptimize(out.swaps as u64) {
+                            Ok((new_strategy, new_records, new_active)) => {
+                                strategy = new_strategy;
+                                baseline_records = new_records;
+                                active = new_active;
+                                generation += 1;
+                                out.swaps += 1;
+                                detector.reset_after_swap();
+                                obs.emit(Event::StrategySwapped {
+                                    iter: i + 1,
+                                    generation,
+                                    predicted_energy_wus: active.aicore_w * active.time_us,
+                                });
+                            }
+                            Err(_) => {
+                                // Degrade, don't die: keep serving the
+                                // last good strategy behind guardrails.
+                                out.fell_back = true;
+                            }
+                        }
+                    }
+                }
+            }
+            out.iterations.push(ServeIteration {
+                index: i,
+                generation: gen_used,
+                time_us: exec.result.duration_us,
+                aicore_energy_wus: exec.result.energy_aicore_j * 1e6,
+                soc_energy_wus: exec.result.energy_soc_j * 1e6,
+                temp_c: meas.temp_c,
+                drift_score,
+            });
+        }
+        Ok(out)
+    }
+
+    /// The staged response ladder, on a shadow device frozen at the live
+    /// device's drifted configuration. Returns the re-optimized strategy
+    /// with its (freshly measured) baseline records and prediction.
+    fn reoptimize(
+        &mut self,
+        swap_index: u64,
+    ) -> Result<(DvfsStrategy, Vec<OpRecord>, ActivePrediction), OptimizeError> {
+        // Freeze "the hardware right now": a snapshot config reproduces
+        // the live drifted physics exactly on a fresh device, and its
+        // distinct field values give every cache key a distinct hash.
+        let snapshot_cfg = self.opt.dev.drifted_config();
+        let seed = self.opt.dev.fork(0x5EED_0A00 + swap_index).seed();
+        let shadow_dev = Device::with_seed(snapshot_cfg.clone(), seed);
+        // Refreshed calibration against the snapshot: stands in for
+        // re-running the offline calibration protocol on the drifted
+        // hardware.
+        let calib = HardwareCalibration::ground_truth(&snapshot_cfg);
+        let mut shadow =
+            EnergyOptimizer::new(shadow_dev, calib).with_observer(self.opt.observer().clone());
+
+        let mut ladder_cfg = self.opts.clone();
+        if !self.serve.ladder_freqs.is_empty() {
+            ladder_cfg.build_freqs = self.serve.ladder_freqs.clone();
+        }
+        let full_freqs = self.opts.build_freqs.clone();
+        let escalation = self.serve.fit_error_escalation;
+
+        let mut session = shadow.session(self.workload, &ladder_cfg);
+        session.set_cache(self.cache.clone());
+        // Rung 1: minimal re-profile (the session sweeps only the ladder
+        // subset, plus the device maximum).
+        session.profile()?;
+        // Rung 2: robust re-fit; escalate to the remaining build
+        // frequencies if the MAD-cut fit still misses badly.
+        let fit_err = Self::refit_error(&mut session)?;
+        if fit_err > escalation {
+            let extra: Vec<FreqMhz> = full_freqs
+                .iter()
+                .copied()
+                .filter(|f| !ladder_cfg.build_freqs.contains(f))
+                .collect();
+            if !extra.is_empty() {
+                session.refresh_profile(&extra)?;
+                let _ = Self::refit_error(&mut session)?;
+            }
+        }
+        // Rung 3: re-search through the shared cache.
+        let outcome = session.search()?;
+        let strategy = outcome.strategy.clone();
+        let eval = outcome.best_eval;
+        let records = session
+            .profiles()
+            .and_then(|p| p.first())
+            .map(|p| p.records.clone())
+            .unwrap_or_default();
+        drop(session);
+        Ok((
+            strategy,
+            records,
+            ActivePrediction::from_eval(&eval, shadow.calibration()),
+        ))
+    }
+
+    /// Robust re-fit, returning the perf model's worst relative residual
+    /// against the session's current profiles.
+    fn refit_error(session: &mut OptimizationSession<'_>) -> Result<f64, OptimizeError> {
+        session.refit_models(true)?;
+        Ok(match (session.perf_model(), session.profiles()) {
+            (Some(perf), Some(profiles)) => perf.max_fit_error(profiles),
+            _ => 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(time_us: f64, aicore_w: f64, temp_c: f64) -> MeasuredIteration {
+        MeasuredIteration {
+            time_us,
+            aicore_w,
+            soc_w: 2.0 * aicore_w,
+            temp_c,
+        }
+    }
+
+    #[test]
+    fn residual_is_worst_normalized_component() {
+        let d = DriftDetector::new(DriftDetectorConfig::default());
+        // 10 % time error, 5 % power error, 0.5 °C / 10 °C temp error.
+        let r = d.residual(100.0, 40.0, 50.0, &meas(110.0, 42.0, 50.5));
+        assert!((r - 0.10).abs() < 1e-12, "{r}");
+        // Temperature dominates when it is the worst.
+        let r = d.residual(100.0, 40.0, 50.0, &meas(100.0, 40.0, 58.0));
+        assert!((r - 0.8).abs() < 1e-12, "{r}");
+        // Degenerate predictions contribute nothing.
+        assert_eq!(
+            d.residual(0.0, f64::NAN, f64::INFINITY, &meas(1.0, 1.0, 1.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn detector_requires_hysteresis_and_honors_cooldown() {
+        let mut d = DriftDetector::new(DriftDetectorConfig {
+            window: 2,
+            threshold: 0.1,
+            hysteresis: 2,
+            cooldown_windows: 1,
+            temp_scale_c: 10.0,
+        });
+        // Construction arms one warm-up cooldown window.
+        assert_eq!(d.record(0.9), DriftSignal::Quiet);
+        assert_eq!(d.record(0.9), DriftSignal::WindowClosed { score: 0.9 });
+        // First over-threshold window: not yet a detection.
+        assert_eq!(d.record(0.3), DriftSignal::Quiet);
+        assert_eq!(d.record(0.3), DriftSignal::WindowClosed { score: 0.3 });
+        // Second consecutive over-threshold window: detected.
+        assert_eq!(d.record(0.3), DriftSignal::Quiet);
+        assert_eq!(
+            d.record(0.3),
+            DriftSignal::Detected {
+                score: 0.3,
+                windows: 2
+            }
+        );
+        // A quiet window resets the run.
+        assert_eq!(d.record(0.3), DriftSignal::Quiet);
+        assert!(matches!(d.record(0.3), DriftSignal::WindowClosed { .. }));
+        assert_eq!(d.record(0.0), DriftSignal::Quiet);
+        assert_eq!(d.record(0.0), DriftSignal::WindowClosed { score: 0.0 });
+        assert_eq!(d.record(0.3), DriftSignal::Quiet);
+        assert!(matches!(d.record(0.3), DriftSignal::WindowClosed { .. }));
+        // Post-swap cooldown swallows one over-threshold window.
+        d.reset_after_swap();
+        assert_eq!(d.record(0.5), DriftSignal::Quiet);
+        assert_eq!(d.record(0.5), DriftSignal::WindowClosed { score: 0.5 });
+        assert_eq!(d.record(0.5), DriftSignal::Quiet);
+        assert!(matches!(d.record(0.5), DriftSignal::WindowClosed { .. }));
+        assert_eq!(d.record(0.5), DriftSignal::Quiet);
+        assert!(matches!(d.record(0.5), DriftSignal::Detected { .. }));
+        assert_eq!(d.last_score(), Some(0.5));
+    }
+
+    #[test]
+    fn outcome_range_helpers_sum_energy_and_time() {
+        let it = |index, generation, e| ServeIteration {
+            index,
+            generation,
+            time_us: 10.0,
+            aicore_energy_wus: e,
+            soc_energy_wus: 2.0 * e,
+            temp_c: 50.0,
+            drift_score: None,
+        };
+        let out = ServeOutcome {
+            iterations: vec![it(0, 0, 5.0), it(1, 0, 6.0), it(2, 1, 3.0), it(3, 1, 4.0)],
+            swaps: 1,
+            detections: 1,
+            fell_back: false,
+        };
+        assert_eq!(out.aicore_energy_wus(0..2), 11.0);
+        assert_eq!(out.aicore_energy_wus(2..4), 7.0);
+        assert_eq!(out.time_us(0..4), 40.0);
+        assert_eq!(out.first_swapped_index(), Some(2));
+        let no_swap = ServeOutcome {
+            iterations: vec![it(0, 0, 5.0)],
+            swaps: 0,
+            detections: 0,
+            fell_back: false,
+        };
+        assert_eq!(no_swap.first_swapped_index(), None);
+    }
+}

@@ -530,6 +530,115 @@ impl<'a> OptimizationSession<'a> {
         })
     }
 
+    /// Partial re-profile — re-measures the workload at `freqs` only and
+    /// splices the fresh profiles over the stale ones (running
+    /// [`Self::profile`] first if the session is cold). Everything
+    /// downstream of the profiles (models, search, execution) is
+    /// invalidated and recomputes lazily from the refreshed data.
+    ///
+    /// This is the first rung of a serving runtime's drift-response
+    /// ladder: when reality has moved away from the models, re-measuring
+    /// a minimal frequency subset is far cheaper than a full sweep.
+    /// Because a spliced profile set mixes measurement epochs it is no
+    /// longer content-addressable, so the session stops consulting the
+    /// artifact cache for this workload's profile/model/search stages
+    /// (a re-optimization that *should* be cached runs a fresh session
+    /// on a drift-frozen snapshot device instead — its keys differ
+    /// through the snapshot configuration).
+    ///
+    /// Frequencies not on the device grid are profiled anyway if the
+    /// sweep accepts them; duplicates and frequencies never profiled
+    /// before are appended rather than spliced. Re-profiling the maximum
+    /// frequency refreshes the measured baseline too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError::Device`] if a profiling run fails.
+    pub fn refresh_profile(&mut self, freqs: &[npu_sim::FreqMhz]) -> Result<(), OptimizeError> {
+        self.profile()?;
+        if freqs.is_empty() {
+            return Ok(());
+        }
+        self.phase(Phase::Profile, |s| {
+            let passes = s.opts.profile_passes.max(1);
+            let keep_raw = s.opts.robust_fit && passes > 1;
+            let raw = if s.opt.dev.hook().is_some() {
+                s.opt.profile_passes(s.workload.schedule(), freqs, passes)?
+            } else {
+                sweep_profiles(
+                    &s.opt.dev,
+                    s.workload.schedule(),
+                    freqs,
+                    passes,
+                    s.opts.threads,
+                    &s.obs,
+                )?
+            };
+            let fresh = if passes == 1 {
+                raw.iter().flatten().cloned().collect()
+            } else {
+                merge_passes(&raw)?
+            };
+            if keep_raw {
+                let mut kept: Vec<FreqProfile> = s
+                    .raw_profiles
+                    .take()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter(|p| !freqs.contains(&p.freq))
+                    .collect();
+                kept.extend(raw.into_iter().flatten());
+                s.raw_profiles = Some(kept);
+            }
+            let mut profiles = s.profiles.take().unwrap_or_default();
+            for new in fresh {
+                match profiles.iter_mut().find(|p| p.freq == new.freq) {
+                    Some(slot) => *slot = new,
+                    None => profiles.push(new),
+                }
+            }
+            let fmax = s.opt.dev.config().freq_table.max();
+            s.finish_profile_stage(profiles, fmax);
+            s.profile_cache_key = None;
+            s.invalidate_models();
+            Ok(())
+        })
+    }
+
+    /// Re-fits the performance/power models from the current profiles,
+    /// with the robust (MAD-cut) fitter forced on or off — the second
+    /// rung of the drift-response ladder, typically `robust = true` so
+    /// that samples straddling a drift transition are down-weighted.
+    /// Search and execution state is invalidated and recomputes lazily.
+    /// The artifact cache stays sound: the robust flag is part of the
+    /// model cache key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimizeError`] if profiling or a model build fails.
+    pub fn refit_models(
+        &mut self,
+        robust: bool,
+    ) -> Result<(&PerfModelStore, &PowerModel), OptimizeError> {
+        self.profile()?;
+        self.opts.robust_fit = robust;
+        self.invalidate_models();
+        self.build_models()
+    }
+
+    /// Drops every artifact derived from the profiles so the model,
+    /// search and execute stages recompute on next use.
+    fn invalidate_models(&mut self) {
+        self.model_cache_key = None;
+        self.perf = None;
+        self.power = None;
+        self.preprocessed = None;
+        self.table = None;
+        self.outcome = None;
+        self.execution = None;
+        self.attempts = None;
+    }
+
     /// The frequency profiles, if [`Self::profile`] has run.
     #[must_use]
     pub fn profiles(&self) -> Option<&[FreqProfile]> {

@@ -216,6 +216,19 @@ fn fingerprint(genes: &[usize]) -> u64 {
 /// per available CPU.
 #[must_use]
 pub fn resolve_threads(requested: usize) -> usize {
+    resolve_threads_with(requested, |name| std::env::var(name).ok())
+}
+
+/// [`resolve_threads`] with an injectable environment lookup, so the
+/// resolution logic is testable without `std::env::set_var` — process
+/// environment mutation is unsynchronized with respect to concurrent
+/// readers (and outright UB on some platforms once threads exist), and
+/// the default test harness runs tests in parallel.
+///
+/// `lookup` is called with the variable name (`"NPU_THREADS"`) and
+/// returns its value, or `None` when unset.
+#[must_use]
+pub fn resolve_threads_with(requested: usize, lookup: impl Fn(&str) -> Option<String>) -> usize {
     if requested > 0 {
         return requested;
     }
@@ -224,8 +237,7 @@ pub fn resolve_threads(requested: usize) -> usize {
     // touching configs); `0`, unset or unparsable falls through to
     // one worker per available CPU. Thread count never changes results,
     // only wall time.
-    if let Some(n) = std::env::var("NPU_THREADS")
-        .ok()
+    if let Some(n) = lookup("NPU_THREADS")
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
     {
@@ -390,14 +402,30 @@ impl<'t> EvalEngine<'t> {
 }
 
 /// Score-proportional sampler: prefix sums + binary search, O(log n) per
-/// draw instead of the O(n) linear scan. Non-finite and non-positive
-/// scores contribute zero weight; when nothing has weight the draw is
-/// uniform (matching the linear scan it replaces, one RNG draw either
-/// way).
+/// draw instead of the O(n) linear scan.
+///
+/// Non-finite and non-positive scores contribute **exactly zero** weight
+/// — they can never be drawn while any entry carries weight, and they
+/// never borrow mass from a neighbor's prefix. Two degenerate inputs are
+/// defined explicitly:
+///
+/// * **Weightless wheel** (every score non-positive or non-finite, or
+///   the slice empty of mass): `total == 0` and [`Self::sample`] falls
+///   back to a uniform draw over all entries — the same behavior as the
+///   linear running-sum scan it replaces (which also cannot distinguish
+///   entries when every increment is zero), and still exactly one RNG
+///   draw so the caller's stream position is independent of the scores.
+/// * **Ticket at the top of the range**: `rng.gen::<f64>() * total` can
+///   round up to `total` itself. The search then lands past the end,
+///   and the draw resolves to the *last entry with positive weight*,
+///   never a trailing zero-weight entry.
 #[derive(Debug, Clone)]
 pub struct RouletteWheel {
     cum: Vec<f64>,
     total: f64,
+    /// Index of the last entry with positive incremental mass; draws that
+    /// round up to `total` resolve here. 0 when the wheel is weightless.
+    last_weighted: usize,
 }
 
 impl RouletteWheel {
@@ -406,13 +434,19 @@ impl RouletteWheel {
     pub fn new(scores: &[f64]) -> Self {
         let mut cum = Vec::with_capacity(scores.len());
         let mut acc = 0.0_f64;
-        for &s in scores {
+        let mut last_weighted = 0_usize;
+        for (i, &s) in scores.iter().enumerate() {
             if s.is_finite() && s > 0.0 {
                 acc += s;
+                last_weighted = i;
             }
             cum.push(acc);
         }
-        Self { cum, total: acc }
+        Self {
+            cum,
+            total: acc,
+            last_weighted,
+        }
     }
 
     /// Number of entries.
@@ -427,6 +461,22 @@ impl RouletteWheel {
         self.cum.is_empty()
     }
 
+    /// Resolves a ticket in `[0, total]` to an entry index: the first
+    /// index whose cumulative weight exceeds the ticket. Zero-weight
+    /// entries (`cum[i] == cum[i-1]`) are never selected because
+    /// `partition_point` skips past ties, and a ticket that reaches
+    /// `total` (possible through rounding in `gen::<f64>() * total`)
+    /// resolves to the last *weighted* entry rather than whatever entry
+    /// happens to sit at the end.
+    fn index_for_ticket(&self, ticket: f64) -> usize {
+        let idx = self.cum.partition_point(|&c| c <= ticket);
+        if idx < self.cum.len() {
+            idx
+        } else {
+            self.last_weighted
+        }
+    }
+
     /// Draws one index with probability proportional to its score.
     ///
     /// # Panics
@@ -436,15 +486,11 @@ impl RouletteWheel {
     pub fn sample(&self, rng: &mut SmallRng) -> usize {
         assert!(!self.cum.is_empty(), "cannot sample an empty wheel");
         if self.total <= 0.0 {
+            // Weightless: uniform over all entries (see type docs).
             return rng.gen_range(0..self.cum.len());
         }
         let ticket = rng.gen::<f64>() * self.total;
-        // First index whose cumulative weight exceeds the ticket;
-        // zero-weight entries (cum[i] == cum[i-1]) are never selected
-        // because partition_point skips past ties.
-        self.cum
-            .partition_point(|&c| c <= ticket)
-            .min(self.cum.len() - 1)
+        self.index_for_ticket(ticket)
     }
 }
 
@@ -586,17 +632,25 @@ mod tests {
     #[test]
     fn npu_threads_env_pins_auto_detection() {
         // Explicit counts always beat the environment; NPU_THREADS only
-        // steers the `0 = auto` path, and `0`/garbage stay auto. Worker
-        // count never changes scores, so a concurrent test observing the
-        // transient variable is unaffected beyond wall time.
-        std::env::set_var("NPU_THREADS", "3");
-        assert_eq!(resolve_threads(5), 5);
-        assert_eq!(resolve_threads(0), 3);
-        std::env::set_var("NPU_THREADS", "0");
-        assert!(resolve_threads(0) >= 1);
-        std::env::set_var("NPU_THREADS", "not-a-number");
-        assert!(resolve_threads(0) >= 1);
-        std::env::remove_var("NPU_THREADS");
+        // steers the `0 = auto` path, and `0`/garbage stay auto. The
+        // lookup is injected instead of mutating the process environment:
+        // `set_var` is unsynchronized with concurrent readers under the
+        // parallel test harness (see `resolve_threads_with`).
+        let env = |val: &'static str| {
+            move |name: &str| {
+                assert_eq!(name, "NPU_THREADS");
+                Some(val.to_string())
+            }
+        };
+        assert_eq!(resolve_threads_with(5, env("3")), 5);
+        assert_eq!(resolve_threads_with(0, env("3")), 3);
+        assert_eq!(resolve_threads_with(0, env(" 12 ")), 12);
+        assert!(resolve_threads_with(0, env("0")) >= 1);
+        assert!(resolve_threads_with(0, env("not-a-number")) >= 1);
+        assert!(resolve_threads_with(0, |_| None) >= 1);
+        // The env-reading wrapper stays a thin pass-through: with an
+        // explicit request it never consults the environment at all.
+        assert_eq!(resolve_threads(7), 7);
         assert!(resolve_threads(0) >= 1);
     }
 
@@ -639,13 +693,59 @@ mod tests {
 
     #[test]
     fn wheel_falls_back_to_uniform_when_weightless() {
-        let wheel = RouletteWheel::new(&[0.0, 0.0, 0.0]);
-        let mut rng = SmallRng::seed_from_u64(11);
-        let mut seen = [false; 3];
-        for _ in 0..200 {
-            seen[wheel.sample(&mut rng)] = true;
+        // Degenerate wheels — every score non-positive or non-finite —
+        // have `total == 0` and draw uniformly over all entries, exactly
+        // one RNG draw per sample (so the caller's RNG stream position
+        // does not depend on the scores).
+        for scores in [
+            vec![0.0, 0.0, 0.0],
+            vec![-1.0, -2.5, -0.0],
+            vec![f64::NAN, f64::NEG_INFINITY, f64::INFINITY],
+        ] {
+            let wheel = RouletteWheel::new(&scores);
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut seen = [false; 3];
+            for _ in 0..200 {
+                seen[wheel.sample(&mut rng)] = true;
+            }
+            assert_eq!(seen, [true, true, true], "scores {scores:?}");
         }
-        assert_eq!(seen, [true, true, true]);
+    }
+
+    #[test]
+    fn negative_score_among_positives_gets_zero_probability() {
+        // A single negative entry must contribute exactly zero mass: no
+        // ticket in the closed range [0, total] — including the exact
+        // boundary between its neighbors' prefixes and the rounded-up
+        // `ticket == total` edge — may resolve to it.
+        let scores = [1.0, -5.0, 2.0];
+        let wheel = RouletteWheel::new(&scores);
+        assert_eq!(wheel.total, 3.0);
+        for k in 0..=3_000 {
+            let ticket = (k as f64 / 3_000.0) * wheel.total;
+            let idx = wheel.index_for_ticket(ticket);
+            assert_ne!(idx, 1, "negative entry drawn for ticket {ticket}");
+        }
+        // The boundary ticket sitting exactly on the negative entry's
+        // (flat) prefix belongs to the *next* weighted entry — the
+        // negative entry cannot borrow mass from its predecessor.
+        assert_eq!(wheel.index_for_ticket(1.0), 2);
+        // Sampling agrees: index 1 never appears.
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..4_000 {
+            assert_ne!(wheel.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn top_of_range_ticket_resolves_to_last_weighted_entry() {
+        // `gen::<f64>() * total` can round up to `total` itself; the
+        // draw must then land on the last entry that carries weight, not
+        // on a trailing zero-weight (or negative) entry.
+        let wheel = RouletteWheel::new(&[1.0, 2.0, -3.0, 0.0]);
+        assert_eq!(wheel.index_for_ticket(wheel.total), 1);
+        let all_weightless = RouletteWheel::new(&[4.0]);
+        assert_eq!(all_weightless.index_for_ticket(4.0), 0);
     }
 
     #[test]

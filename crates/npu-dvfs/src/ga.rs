@@ -311,14 +311,17 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
     let mut unique_evaluations = engine.unique_scored();
 
     // Memetic refinement: deterministic budget-constrained coordinate
-    // descent from the GA's best individual, with O(log n) incremental
+    // ascent from the GA's best individual, with O(log n) incremental
     // probes per candidate move. With hundreds of genes,
-    // crossover/mutation alone leave per-gene slack, and Eq. (17)'s
-    // bonus cliff hides moves that trade a little time for a lot of
-    // power; descending directly on "minimum power subject to the
-    // predicted loss budget" polishes both away.
+    // crossover/mutation alone leave per-gene slack; the ascent climbs
+    // the same Eq. (17) fitness the GA scores, restricted to the loss
+    // budget. Refining on the search fitness itself (rather than a
+    // proxy like raw power) keeps the returned strategy consistent with
+    // `best_score` — minimizing power alone degenerates to the slowest
+    // in-budget individual, which both discards the GA's work and can
+    // *raise* energy (power falls slower than time grows).
     let budget = baseline_time * (1.0 + cfg.perf_loss_target) + 1e-9;
-    let descend = |start: &[usize], probes: &mut usize| -> (Vec<usize>, Evaluation) {
+    let refine = |start: &[usize], probes: &mut usize| -> (Vec<usize>, Evaluation) {
         let mut inc = IncrementalEval::new(table, start);
         let mut current = inc.eval();
         // If the start point is over budget, walk it back toward max
@@ -340,6 +343,7 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
             inc.set_gene(s, max_gene);
             current = inc.eval();
         }
+        let mut current_score = score(&current, baseline_time, cfg.perf_loss_target);
         loop {
             let mut best_move: Option<(usize, usize, f64)> = None;
             for s in 0..n {
@@ -353,37 +357,47 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
                     if trial.time_us > budget {
                         continue;
                     }
-                    let saved = current.aicore_w() - trial.aicore_w();
-                    if saved <= 1e-12 {
+                    let gain = score(&trial, baseline_time, cfg.perf_loss_target);
+                    if gain <= current_score + 1e-15 {
                         continue;
                     }
-                    let cost = (trial.time_us - current.time_us).max(0.0);
-                    let ratio = saved / (cost + 1.0);
-                    if best_move.as_ref().is_none_or(|&(_, _, r)| ratio > r) {
-                        best_move = Some((s, g, ratio));
+                    if best_move.as_ref().is_none_or(|&(_, _, r)| gain > r) {
+                        best_move = Some((s, g, gain));
                     }
                 }
             }
-            let Some((s, g, _)) = best_move else { break };
+            let Some((s, g, gain)) = best_move else { break };
             inc.set_gene(s, g);
             current = inc.eval();
+            current_score = gain;
         }
         (inc.genes().to_vec(), current)
     };
-    // Greedy descent is order-dependent: refine both from the GA's best
-    // individual and from the all-max baseline, keep the lower-power
-    // in-budget endpoint.
+    // Greedy ascent is order-dependent: refine both from the GA's best
+    // individual and from the all-max baseline, keep the higher-scoring
+    // endpoint. Ascent from the GA's best only ever adds score, so the
+    // returned strategy always achieves at least the GA's `best_score`
+    // and the reported score is the returned strategy's own.
     let mut probes = 0;
-    let (genes_a, eval_a) = descend(&best_genes, &mut probes);
-    let (genes_b, eval_b) = descend(&vec![max_gene; n], &mut probes);
+    let (genes_a, eval_a) = refine(&best_genes, &mut probes);
+    let (genes_b, eval_b) = refine(&vec![max_gene; n], &mut probes);
     evaluations += probes;
     unique_evaluations += probes;
-    let ga_in_budget = eval_a.time_us <= budget;
-    let pick_b =
-        !ga_in_budget || (eval_b.time_us <= budget && eval_b.aicore_w() < eval_a.aicore_w());
-    best_genes = if pick_b { genes_b } else { genes_a };
-    let refined = if pick_b { eval_b } else { eval_a };
-    best_score = score(&refined, baseline_time, cfg.perf_loss_target).max(best_score);
+    let score_a = score(&eval_a, baseline_time, cfg.perf_loss_target);
+    let score_b = score(&eval_b, baseline_time, cfg.perf_loss_target);
+    // The GA's own best stays a candidate: when it sits over budget the
+    // ascent's walk-back phase is not score-monotone, and dropping to a
+    // lower-scoring refined individual would both regress the result
+    // and break the trace's monotonicity.
+    let (cand_genes, cand_score) = if score_b > score_a {
+        (genes_b, score_b)
+    } else {
+        (genes_a, score_a)
+    };
+    if cand_score >= best_score {
+        best_genes = cand_genes;
+        best_score = cand_score;
+    }
     if let Some(last) = score_trace.last_mut() {
         *last = best_score;
     }
@@ -634,8 +648,8 @@ mod tests {
 
     #[test]
     fn refined_result_respects_predicted_budget() {
-        // The refinement descends on "minimum power subject to the
-        // predicted loss budget": the returned evaluation must satisfy it
+        // The refinement climbs Eq. (17) score restricted to the
+        // predicted loss budget: the returned evaluation must satisfy it
         // whenever the (always feasible) baseline individual exists.
         for target in [0.01, 0.02, 0.05, 0.10] {
             let t = table(5, 5);
@@ -646,6 +660,44 @@ mod tests {
                 "target {target}: {} > {budget}",
                 out.best_eval.time_us
             );
+        }
+    }
+
+    #[test]
+    fn returned_strategy_achieves_the_reported_score() {
+        // Regression: the memetic refinement used to descend on raw
+        // power in budget, which degenerates to the slowest feasible
+        // individual — discarding the GA's work — while `best_score`
+        // kept the GA's (higher) value, so the reported score was one
+        // the returned strategy did not achieve. The returned genes and
+        // the reported score must always agree, and never lose to any
+        // uniform-frequency strategy the population was seeded with.
+        for target in [0.02, 0.10, 0.50] {
+            let t = table(3, 5);
+            let out = search(&t, &quick_cfg().with_loss_target(target));
+            let baseline = t.baseline().time_us;
+            let genes: Vec<usize> = out
+                .strategy
+                .freqs()
+                .iter()
+                .map(|f| t.freqs().iter().position(|g| g == f).unwrap())
+                .collect();
+            let achieved = score(&t.evaluate(&genes), baseline, target);
+            assert!(
+                (achieved - out.best_score).abs() <= 1e-12 * out.best_score.abs(),
+                "target {target}: returned strategy scores {achieved}, reported {}",
+                out.best_score
+            );
+            for g in 0..t.n_freqs() {
+                let uniform = t.evaluate(&vec![g; t.n_stages()]);
+                let s = score(&uniform, baseline, target);
+                assert!(
+                    out.best_score >= s - 1e-12,
+                    "target {target}: GA best {} loses to seeded uniform {} ({s})",
+                    out.best_score,
+                    t.freqs()[g]
+                );
+            }
         }
     }
 

@@ -224,6 +224,46 @@ pub enum Event {
         /// Host wall-clock time the workload waited in the queue, µs.
         queue_wait_us: f64,
     },
+    /// A serving-runtime drift window closed: the windowed mean of the
+    /// normalized residual between observed iteration telemetry and the
+    /// active model predictions.
+    DriftScore {
+        /// Serving iteration index at the window close (0-based).
+        iter: usize,
+        /// Windowed mean combined residual (0 = models match reality).
+        score: f64,
+        /// Detection threshold the score is compared against.
+        threshold: f64,
+    },
+    /// Sustained model drift was detected (enough consecutive windows
+    /// scored over threshold to satisfy the detector's hysteresis).
+    DriftDetected {
+        /// Serving iteration index at detection.
+        iter: usize,
+        /// The windowed score that completed the hysteresis run.
+        score: f64,
+        /// Consecutive over-threshold windows observed.
+        windows: usize,
+    },
+    /// The serving runtime began the staged re-optimization ladder
+    /// (minimal re-profile → robust re-fit → cached re-search).
+    ReoptimizationStarted {
+        /// Serving iteration index where the ladder started.
+        iter: usize,
+        /// Frequencies in the minimal re-profile subset.
+        freqs: usize,
+    },
+    /// The serving runtime swapped a re-optimized strategy into the
+    /// request loop.
+    StrategySwapped {
+        /// Serving iteration index of the first iteration under the new
+        /// strategy.
+        iter: usize,
+        /// Strategy generation now active (0 = the initial strategy).
+        generation: usize,
+        /// Predicted AICore energy of the new strategy, W·µs.
+        predicted_energy_wus: f64,
+    },
 }
 
 impl Event {
@@ -248,6 +288,10 @@ impl Event {
             Self::CacheHit { .. } => "CacheHit",
             Self::CacheMiss { .. } => "CacheMiss",
             Self::BatchScheduled { .. } => "BatchScheduled",
+            Self::DriftScore { .. } => "DriftScore",
+            Self::DriftDetected { .. } => "DriftDetected",
+            Self::ReoptimizationStarted { .. } => "ReoptimizationStarted",
+            Self::StrategySwapped { .. } => "StrategySwapped",
         }
     }
 
@@ -384,6 +428,37 @@ impl Event {
                 push_str_field(&mut s, "workload", workload);
                 push_uint_field(&mut s, "worker", *worker as u64);
                 push_num_field(&mut s, "queue_wait_us", *queue_wait_us);
+            }
+            Self::DriftScore {
+                iter,
+                score,
+                threshold,
+            } => {
+                push_uint_field(&mut s, "iter", *iter as u64);
+                push_num_field(&mut s, "score", *score);
+                push_num_field(&mut s, "threshold", *threshold);
+            }
+            Self::DriftDetected {
+                iter,
+                score,
+                windows,
+            } => {
+                push_uint_field(&mut s, "iter", *iter as u64);
+                push_num_field(&mut s, "score", *score);
+                push_uint_field(&mut s, "windows", *windows as u64);
+            }
+            Self::ReoptimizationStarted { iter, freqs } => {
+                push_uint_field(&mut s, "iter", *iter as u64);
+                push_uint_field(&mut s, "freqs", *freqs as u64);
+            }
+            Self::StrategySwapped {
+                iter,
+                generation,
+                predicted_energy_wus,
+            } => {
+                push_uint_field(&mut s, "iter", *iter as u64);
+                push_uint_field(&mut s, "generation", *generation as u64);
+                push_num_field(&mut s, "predicted_energy_wus", *predicted_energy_wus);
             }
         }
         s.push('}');
@@ -538,6 +613,42 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"event\":\"BatchScheduled\",\"workload\":\"GPT3\",\"worker\":2,\"queue_wait_us\":15.5}"
+        );
+    }
+
+    #[test]
+    fn json_encodes_serve_events() {
+        let e = Event::DriftScore {
+            iter: 40,
+            score: 0.25,
+            threshold: 0.1,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DriftScore\",\"iter\":40,\"score\":0.25,\"threshold\":0.1}"
+        );
+        let e = Event::DriftDetected {
+            iter: 48,
+            score: 0.3,
+            windows: 2,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DriftDetected\",\"iter\":48,\"score\":0.3,\"windows\":2}"
+        );
+        let e = Event::ReoptimizationStarted { iter: 48, freqs: 3 };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"ReoptimizationStarted\",\"iter\":48,\"freqs\":3}"
+        );
+        let e = Event::StrategySwapped {
+            iter: 49,
+            generation: 1,
+            predicted_energy_wus: 1234.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"StrategySwapped\",\"iter\":49,\"generation\":1,\"predicted_energy_wus\":1234.5}"
         );
     }
 

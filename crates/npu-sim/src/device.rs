@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::config::NpuConfig;
+use crate::drift::DriftModel;
 use crate::freq::FreqMhz;
 use crate::hook::{HookHandle, RecordFate, SampleFate, SetFreqFate};
 use crate::noise::NoiseSource;
@@ -299,6 +300,17 @@ impl std::error::Error for DeviceError {}
 #[derive(Debug, Clone)]
 pub struct Device {
     cfg: NpuConfig,
+    /// Effective (possibly drifted) configuration the power/thermal
+    /// physics reads. Always a clone of `cfg` with only the drifted
+    /// fields rewritten; identical to `cfg` when no drift is installed,
+    /// so the drift-free path stays bit-identical to a device built
+    /// before drift existed. Operator *timing* intentionally keeps
+    /// reading `cfg` — drift models power/thermal degradation, not
+    /// clock-for-clock slowdown.
+    eff: NpuConfig,
+    /// Optional slow environment/hardware drift, a pure function of the
+    /// device clock (see [`crate::DriftModel`]).
+    drift: Option<DriftModel>,
     /// Noise seed the device was constructed with (worker forks and
     /// content-addressed caches key on it).
     seed: u64,
@@ -329,6 +341,8 @@ impl Device {
         let thermal = ThermalState::new(&cfg);
         let freq = cfg.freq_table.max();
         Self {
+            eff: cfg.clone(),
+            drift: None,
             cfg,
             seed,
             noise: NoiseSource::from_seed(seed),
@@ -404,6 +418,57 @@ impl Device {
         self.hook.as_ref()
     }
 
+    /// Installs a slow drift model (see [`crate::DriftModel`]). From now
+    /// on the power/thermal physics reads the drifted view of the
+    /// configuration at the current device clock; a static model (or
+    /// [`Device::clear_drift`]) restores bit-identical pristine
+    /// behaviour. Survives [`Device::reset`] (which rewinds the clock,
+    /// and with it the drift, to zero). [`Device::fork`] does *not*
+    /// propagate drift: forks are cold pristine workers by contract.
+    pub fn set_drift(&mut self, drift: DriftModel) {
+        self.drift = Some(drift);
+        self.refresh_drift();
+    }
+
+    /// Removes the drift model and restores the pristine configuration.
+    pub fn clear_drift(&mut self) {
+        self.drift = None;
+        self.eff = self.cfg.clone();
+    }
+
+    /// The installed drift model, if any.
+    #[must_use]
+    pub fn drift(&self) -> Option<&DriftModel> {
+        self.drift.as_ref()
+    }
+
+    /// The effective configuration the physics is currently running
+    /// under: the base configuration with the drifted fields rewritten
+    /// for the current device clock. Identical to [`Device::config`]
+    /// when no drift is installed.
+    #[must_use]
+    pub fn effective_config(&self) -> &NpuConfig {
+        &self.eff
+    }
+
+    /// An owned snapshot of the effective configuration at the current
+    /// device clock — what a re-profiling pass should treat as "the
+    /// hardware right now". Building a fresh [`Device`] from this
+    /// snapshot reproduces the live drifted physics frozen at this
+    /// instant (drift is applied identically to both).
+    #[must_use]
+    pub fn drifted_config(&self) -> NpuConfig {
+        self.eff.clone()
+    }
+
+    /// Re-derives `eff` from the drift model at the current clock.
+    /// A single branch when no drift is installed.
+    fn refresh_drift(&mut self) {
+        if let Some(d) = self.drift {
+            d.apply(&self.cfg, self.clock_us, &mut self.eff);
+        }
+    }
+
     /// Current chip temperature, °C.
     #[must_use]
     pub fn temp_c(&self) -> f64 {
@@ -422,12 +487,14 @@ impl Device {
         self.freq
     }
 
-    /// Cold-resets clock, temperature and frequency (noise state persists).
+    /// Cold-resets clock, temperature and frequency (noise state persists,
+    /// and an installed drift model rewinds with the clock).
     pub fn reset(&mut self) {
         self.clock_us = 0.0;
         self.thermal = ThermalState::new(&self.cfg);
         self.freq = self.cfg.freq_table.max();
         self.uncore_scale = 1.0;
+        self.refresh_drift();
     }
 
     /// Sets the core frequency immediately (out-of-band, e.g. between
@@ -475,13 +542,14 @@ impl Device {
         let mut t = 0.0;
         let f = self.freq;
         while t < duration_us {
+            self.refresh_drift();
             let step = period_us.min(duration_us - t);
-            let dt_c = self.thermal.delta_t(&self.cfg);
-            let p_ai = aicore_power(&self.cfg, 0.0, f, dt_c);
-            let p_soc = p_ai + uncore_power_scaled(&self.cfg, 0.0, f, dt_c, self.uncore_scale);
+            let dt_c = self.thermal.delta_t(&self.eff);
+            let p_ai = aicore_power(&self.eff, 0.0, f, dt_c);
+            let p_soc = p_ai + uncore_power_scaled(&self.eff, 0.0, f, dt_c, self.uncore_scale);
             let s = self.sample(self.clock_us, p_ai, p_soc);
             self.push_telemetry(s, &mut samples);
-            self.thermal.advance(&self.cfg, p_soc, step);
+            self.thermal.advance(&self.eff, p_soc, step);
             self.clock_us += step;
             t += step;
         }
@@ -567,6 +635,11 @@ impl Device {
         let mut cmd_iter = cmds.into_iter().peekable();
 
         for (i, op) in schedule.ops().iter().enumerate() {
+            // Drift is slow (seconds) next to operators (µs–ms): one
+            // refresh per operator keeps the effective config current to
+            // well under a drift time constant. Timing stays on the base
+            // config by design.
+            self.refresh_drift();
             let model = CycleModel::with_uncore_scale(op, &self.cfg, self.uncore_scale);
             let noise_f = self.noise.factor(self.cfg.exec_noise_sd);
             let op_start = self.clock_us;
@@ -587,7 +660,7 @@ impl Device {
                     _ => (full_end, false),
                 };
                 let seg_t = seg_end - self.clock_us;
-                let dt_c = self.thermal.delta_t(&self.cfg);
+                let dt_c = self.thermal.delta_t(&self.eff);
                 let alpha = if op.class() == OpClass::Idle {
                     0.0
                 } else {
@@ -598,10 +671,10 @@ impl Device {
                 } else {
                     0.0
                 };
-                let p_ai = aicore_power(&self.cfg, alpha, self.freq, dt_c);
+                let p_ai = aicore_power(&self.eff, alpha, self.freq, dt_c);
                 let p_soc = p_ai
                     + uncore_power_scaled(
-                        &self.cfg,
+                        &self.eff,
                         traffic_rate,
                         self.freq,
                         dt_c,
@@ -618,7 +691,7 @@ impl Device {
                         next_sample += options.telemetry_period_us;
                     }
                 }
-                self.thermal.advance(&self.cfg, p_soc, seg_t);
+                self.thermal.advance(&self.eff, p_soc, seg_t);
                 self.clock_us = seg_end;
                 if apply_now {
                     remaining -= seg_t / dur_full;
@@ -949,6 +1022,76 @@ mod tests {
         let hi = d1.run(&s, &RunOptions::at(FreqMhz::new(1800))).unwrap();
         let lo = d2.run(&s, &RunOptions::at(FreqMhz::new(1000))).unwrap();
         assert!(lo.avg_aicore_w() < hi.avg_aicore_w());
+    }
+
+    #[test]
+    fn static_drift_is_bit_identical_to_no_drift() {
+        let s = small_schedule();
+        let opts = RunOptions::at(FreqMhz::new(1800));
+        let mut pristine = Device::with_seed(cfg(), 7);
+        let mut static_drift = Device::with_seed(cfg(), 7);
+        static_drift.set_drift(DriftModel::none());
+        for _ in 0..3 {
+            let a = pristine.run(&s, &opts).unwrap();
+            let b = static_drift.run(&s, &opts).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(pristine.temp_c().to_bits(), static_drift.temp_c().to_bits());
+        assert_eq!(static_drift.effective_config(), static_drift.config());
+    }
+
+    #[test]
+    fn drift_raises_power_against_a_pristine_twin() {
+        // +5 °C/s capped at +10 °C, +25 %/s γ aging capped at +50 %: the
+        // caps bind within the first two virtual seconds. Drift costs
+        // energy only once the chip heats toward the shifted equilibrium
+        // (at the calibrated ambient the γ and θ shifts cancel by
+        // construction), so soak both devices through several thermal
+        // time constants before comparing.
+        let drift = DriftModel::ambient_ramp(5.0, 10.0).with_gamma_aging(0.25, 0.5);
+        let mut pristine = Device::with_seed(quiet_cfg(), 3);
+        let mut aging = Device::with_seed(quiet_cfg(), 3);
+        aging.set_drift(drift);
+        let soak_us = 4.0 * quiet_cfg().thermal_tau_us;
+        let _ = pristine.observe_idle(soak_us, 2_000.0);
+        let _ = aging.observe_idle(soak_us, 2_000.0);
+        assert!(
+            aging.temp_c() > pristine.temp_c() + 5.0,
+            "hotter ambient must heat the chip: {} vs {}",
+            aging.temp_c(),
+            pristine.temp_c()
+        );
+        let s = small_schedule();
+        let opts = RunOptions::at(FreqMhz::new(1800));
+        let e_pristine = pristine.run(&s, &opts).unwrap().energy_aicore_j;
+        let e_aging = aging.run(&s, &opts).unwrap().energy_aicore_j;
+        assert!(
+            e_aging > e_pristine * 1.02,
+            "aged leakage should cost energy: {e_aging} vs {e_pristine}"
+        );
+        // The effective view matches the pure drift function of the clock.
+        let expect = drift.snapshot(aging.config(), aging.clock_us());
+        assert_eq!(aging.effective_config(), &expect);
+    }
+
+    #[test]
+    fn drift_rewinds_on_reset_and_clears() {
+        let mut dev = Device::with_seed(quiet_cfg(), 3);
+        dev.set_drift(DriftModel::ambient_ramp(10_000.0, 15.0));
+        let _ = dev
+            .run(&small_schedule(), &RunOptions::at(FreqMhz::new(1800)))
+            .unwrap();
+        assert!(dev.effective_config().ambient_c > dev.config().ambient_c);
+        dev.reset();
+        assert_eq!(dev.effective_config().ambient_c, dev.config().ambient_c);
+        assert!(dev.drift().is_some());
+        dev.clear_drift();
+        assert!(dev.drift().is_none());
+        assert_eq!(dev.effective_config(), dev.config());
+        // Forks never inherit drift: they are pristine workers.
+        let mut drifting = Device::with_seed(quiet_cfg(), 3);
+        drifting.set_drift(DriftModel::ambient_ramp(10_000.0, 15.0));
+        assert!(drifting.fork(1).drift().is_none());
     }
 
     #[test]

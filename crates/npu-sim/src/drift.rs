@@ -1,0 +1,253 @@
+//! Deterministic slow environment/hardware drift.
+//!
+//! Real deployments do not keep the conditions the models were fitted
+//! under: machine-room ambient temperature creeps over a shift, and
+//! leakage-related calibration coefficients age as silicon degrades.
+//! [`DriftModel`] captures both as *pure functions of the device clock*,
+//! so a drifting [`crate::Device`] stays bit-reproducible: the effective
+//! configuration at virtual time `t` depends only on the base
+//! [`NpuConfig`], the drift parameters and `t` — never on host time or
+//! hidden mutable state.
+//!
+//! Drift is intentionally slow (rates are per *second* of virtual time)
+//! relative to operator latencies (µs–ms), matching the scenario the
+//! serving runtime's drift detector targets: models that were accurate
+//! at fit time gradually stop describing the hardware.
+
+use crate::config::NpuConfig;
+
+const US_PER_S: f64 = 1_000_000.0;
+
+/// Slow, deterministic drift applied to a device's physics configuration.
+///
+/// Two knobs, both linear in virtual time with a magnitude cap:
+///
+/// * **Ambient ramp** — `ambient_c` shifts by
+///   `ramp_c_per_s · t_s`, clamped to `±ambient_max_c`. The chip relaxes
+///   toward a hotter (or cooler) equilibrium, which raises ΔT over the
+///   *calibrated* ambient and with it the `γ·ΔT·V` leakage term.
+/// * **Coefficient aging** — the leakage coefficients
+///   (`gamma_aicore_w_per_k_v`, `gamma_soc_w_per_k_v`) and static terms
+///   (`theta_w_per_v`, `uncore_theta_w_per_v`) scale by
+///   `1 + aging_per_s · t_s`, clamped to `1 ± aging_max` and floored at
+///   zero (a coefficient never flips sign).
+///
+/// Operator *timing* is untouched: drift models power/thermal
+/// degradation, not clock-for-clock slowdown, so `CycleModel` keeps
+/// reading the base configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Ambient temperature ramp, °C per second of virtual time.
+    pub ambient_ramp_c_per_s: f64,
+    /// Magnitude cap on the ambient shift, °C (≥ 0).
+    pub ambient_max_c: f64,
+    /// Fractional growth of the γ leakage coefficients per second.
+    pub gamma_aging_per_s: f64,
+    /// Magnitude cap on the fractional γ growth (≥ 0).
+    pub gamma_aging_max: f64,
+    /// Fractional growth of the θ static coefficients per second.
+    pub theta_aging_per_s: f64,
+    /// Magnitude cap on the fractional θ growth (≥ 0).
+    pub theta_aging_max: f64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl DriftModel {
+    /// A drift model that changes nothing ([`is_static`](Self::is_static)
+    /// is `true`).
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            ambient_ramp_c_per_s: 0.0,
+            ambient_max_c: 0.0,
+            gamma_aging_per_s: 0.0,
+            gamma_aging_max: 0.0,
+            theta_aging_per_s: 0.0,
+            theta_aging_max: 0.0,
+        }
+    }
+
+    /// An ambient-only ramp: `c_per_s` °C per virtual second, capped at
+    /// `max_c` °C of total shift.
+    #[must_use]
+    pub fn ambient_ramp(c_per_s: f64, max_c: f64) -> Self {
+        Self {
+            ambient_ramp_c_per_s: c_per_s,
+            ambient_max_c: max_c.abs(),
+            ..Self::none()
+        }
+    }
+
+    /// Adds γ-coefficient aging (fractional growth per virtual second,
+    /// capped at `max` total fraction).
+    #[must_use]
+    pub fn with_gamma_aging(mut self, per_s: f64, max: f64) -> Self {
+        self.gamma_aging_per_s = per_s;
+        self.gamma_aging_max = max.abs();
+        self
+    }
+
+    /// Adds θ-coefficient aging (fractional growth per virtual second,
+    /// capped at `max` total fraction).
+    #[must_use]
+    pub fn with_theta_aging(mut self, per_s: f64, max: f64) -> Self {
+        self.theta_aging_per_s = per_s;
+        self.theta_aging_max = max.abs();
+        self
+    }
+
+    /// `true` when no knob is active — applying the model is the
+    /// identity and the device behaves bit-identically to one without a
+    /// drift model installed.
+    #[must_use]
+    pub fn is_static(&self) -> bool {
+        self.ambient_ramp_c_per_s == 0.0
+            && self.gamma_aging_per_s == 0.0
+            && self.theta_aging_per_s == 0.0
+    }
+
+    /// Ambient shift at virtual time `t_us`, °C (clamped to the cap).
+    #[must_use]
+    pub fn ambient_offset_c(&self, t_us: f64) -> f64 {
+        clamp_mag(
+            self.ambient_ramp_c_per_s * (t_us / US_PER_S),
+            self.ambient_max_c,
+        )
+    }
+
+    /// Multiplier on the γ coefficients at virtual time `t_us` (≥ 0).
+    #[must_use]
+    pub fn gamma_factor(&self, t_us: f64) -> f64 {
+        aging_factor(self.gamma_aging_per_s, self.gamma_aging_max, t_us)
+    }
+
+    /// Multiplier on the θ coefficients at virtual time `t_us` (≥ 0).
+    #[must_use]
+    pub fn theta_factor(&self, t_us: f64) -> f64 {
+        aging_factor(self.theta_aging_per_s, self.theta_aging_max, t_us)
+    }
+
+    /// Writes the drifted view of `base` at virtual time `t_us` into
+    /// `eff` (which must start as a clone of `base`; only the drifted
+    /// fields are touched).
+    ///
+    /// The ambient shift is applied twice, deliberately: `ambient_c`
+    /// moves (so the thermal equilibrium and measured temperature rise),
+    /// and the extra leakage the shift causes — `γ·offset·V`, because
+    /// silicon leakage tracks *absolute* temperature, not temperature
+    /// over the instantaneous ambient — is folded into the θ static
+    /// terms (floored at zero). The fold keeps the live leakage
+    /// referenced to the ambient the chip was calibrated at even while
+    /// the chip temperature lags the ramp, and it makes a
+    /// [`snapshot`](Self::snapshot) configuration reproduce the live
+    /// drifted power physics exactly on a fresh device.
+    pub fn apply(&self, base: &NpuConfig, t_us: f64, eff: &mut NpuConfig) {
+        let off = self.ambient_offset_c(t_us);
+        eff.ambient_c = base.ambient_c + off;
+        let g = self.gamma_factor(t_us);
+        eff.gamma_aicore_w_per_k_v = base.gamma_aicore_w_per_k_v * g;
+        eff.gamma_soc_w_per_k_v = base.gamma_soc_w_per_k_v * g;
+        let th = self.theta_factor(t_us);
+        let gamma_uncore = (eff.gamma_soc_w_per_k_v - eff.gamma_aicore_w_per_k_v).max(0.0);
+        eff.theta_w_per_v = (base.theta_w_per_v * th + eff.gamma_aicore_w_per_k_v * off).max(0.0);
+        eff.uncore_theta_w_per_v = (base.uncore_theta_w_per_v * th + gamma_uncore * off).max(0.0);
+    }
+
+    /// The drifted configuration at virtual time `t_us` as an owned
+    /// snapshot — what a re-profiling pass should treat as "the hardware
+    /// right now".
+    #[must_use]
+    pub fn snapshot(&self, base: &NpuConfig, t_us: f64) -> NpuConfig {
+        let mut eff = base.clone();
+        self.apply(base, t_us, &mut eff);
+        eff
+    }
+}
+
+fn clamp_mag(v: f64, max: f64) -> f64 {
+    v.clamp(-max, max)
+}
+
+fn aging_factor(per_s: f64, max: f64, t_us: f64) -> f64 {
+    (1.0 + clamp_mag(per_s * (t_us / US_PER_S), max)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_model_is_identity() {
+        let base = NpuConfig::ascend_like();
+        let drift = DriftModel::none();
+        assert!(drift.is_static());
+        let eff = drift.snapshot(&base, 5.0e6);
+        assert_eq!(eff, base);
+    }
+
+    #[test]
+    fn ambient_ramp_is_linear_then_capped() {
+        let drift = DriftModel::ambient_ramp(2.0, 5.0);
+        assert!(!drift.is_static());
+        assert_eq!(drift.ambient_offset_c(0.0), 0.0);
+        assert_eq!(drift.ambient_offset_c(1.0e6), 2.0);
+        assert_eq!(drift.ambient_offset_c(10.0e6), 5.0);
+        let base = NpuConfig::ascend_like();
+        let eff = drift.snapshot(&base, 1.0e6);
+        assert_eq!(eff.ambient_c, base.ambient_c + 2.0);
+        assert_eq!(eff.gamma_aicore_w_per_k_v, base.gamma_aicore_w_per_k_v);
+        // The leakage surplus of the hotter ambient folds into θ.
+        let expect_theta = base.theta_w_per_v + base.gamma_aicore_w_per_k_v * 2.0;
+        assert!((eff.theta_w_per_v - expect_theta).abs() < 1e-12);
+        let gamma_uncore = base.gamma_soc_w_per_k_v - base.gamma_aicore_w_per_k_v;
+        let expect_utheta = base.uncore_theta_w_per_v + gamma_uncore.max(0.0) * 2.0;
+        assert!((eff.uncore_theta_w_per_v - expect_utheta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_ramp_cools_and_respects_cap() {
+        let drift = DriftModel::ambient_ramp(-1.0, 3.0);
+        assert_eq!(drift.ambient_offset_c(2.0e6), -2.0);
+        assert_eq!(drift.ambient_offset_c(100.0e6), -3.0);
+    }
+
+    #[test]
+    fn aging_scales_coefficients_with_floor() {
+        let base = NpuConfig::ascend_like();
+        let drift = DriftModel::none()
+            .with_gamma_aging(0.1, 0.5)
+            .with_theta_aging(0.05, 0.2);
+        let eff = drift.snapshot(&base, 2.0e6);
+        assert!((eff.gamma_aicore_w_per_k_v - base.gamma_aicore_w_per_k_v * 1.2).abs() < 1e-12);
+        assert!((eff.gamma_soc_w_per_k_v - base.gamma_soc_w_per_k_v * 1.2).abs() < 1e-12);
+        assert!((eff.theta_w_per_v - base.theta_w_per_v * 1.1).abs() < 1e-12);
+        assert!((eff.uncore_theta_w_per_v - base.uncore_theta_w_per_v * 1.1).abs() < 1e-12);
+        // Caps bind.
+        let eff = drift.snapshot(&base, 100.0e6);
+        assert!((eff.gamma_aicore_w_per_k_v - base.gamma_aicore_w_per_k_v * 1.5).abs() < 1e-12);
+        assert!((eff.theta_w_per_v - base.theta_w_per_v * 1.2).abs() < 1e-12);
+        // A runaway negative rate floors at zero instead of flipping sign.
+        let neg = DriftModel::none().with_gamma_aging(-10.0, 2.0);
+        assert_eq!(neg.gamma_factor(1.0e6), 0.0);
+    }
+
+    #[test]
+    fn snapshot_only_touches_drifted_fields() {
+        let base = NpuConfig::ascend_like();
+        let drift = DriftModel::ambient_ramp(1.0, 10.0).with_gamma_aging(0.01, 0.3);
+        let eff = drift.snapshot(&base, 3.0e6);
+        let mut expect = base.clone();
+        expect.ambient_c = eff.ambient_c;
+        expect.gamma_aicore_w_per_k_v = eff.gamma_aicore_w_per_k_v;
+        expect.gamma_soc_w_per_k_v = eff.gamma_soc_w_per_k_v;
+        expect.theta_w_per_v = eff.theta_w_per_v;
+        expect.uncore_theta_w_per_v = eff.uncore_theta_w_per_v;
+        assert_eq!(eff, expect);
+        assert!(eff.theta_w_per_v > base.theta_w_per_v);
+    }
+}

@@ -43,6 +43,7 @@
 
 mod config;
 mod device;
+mod drift;
 mod freq;
 mod hook;
 mod noise;
@@ -56,6 +57,7 @@ pub mod trace;
 
 pub use config::{ConfigError, Micros, NpuConfig, NpuConfigBuilder};
 pub use device::{Device, DeviceError, RunOptions, RunResult, Schedule, SetFreqCmd, SetFreqRetry};
+pub use drift::DriftModel;
 pub use freq::{FreqMhz, FreqTableError, FrequencyTable, VoltageCurve};
 pub use hook::{DeviceHook, HookHandle, RecordFate, SampleFate, SetFreqFate};
 pub use noise::NoiseSource;

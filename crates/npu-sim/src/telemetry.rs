@@ -37,6 +37,16 @@ pub struct TelemetrySummary {
 /// samples the interior weights are equal and the result matches the
 /// arithmetic mean of a long window. Degenerate spans (a single sample,
 /// or all samples at one instant) fall back to the unweighted mean.
+///
+/// Timestamps are expected to be non-decreasing, but the function is
+/// defensive about violations: an out-of-order or duplicated `t_us`
+/// would make the raw trapezoid span `(right - left)` negative, and a
+/// negative weight silently *subtracts* that sample from the means while
+/// `w_sum` can stay positive — a corrupted average with no error.
+/// Weights are therefore clamped to ≥ 0, so a sample caught in an
+/// inversion contributes nothing rather than negative mass, and a fully
+/// scrambled stream (every weight zero) falls back to the unweighted
+/// mean like the other degenerate spans.
 #[must_use]
 pub fn summarize(samples: &[TelemetrySample]) -> Option<TelemetrySummary> {
     if samples.is_empty() {
@@ -54,7 +64,7 @@ pub fn summarize(samples: &[TelemetrySample]) -> Option<TelemetrySummary> {
         } else {
             s.t_us
         };
-        let w = (right - left) / 2.0;
+        let w = ((right - left) / 2.0).max(0.0);
         w_sum += w;
         ai += s.aicore_w * w;
         soc += s.soc_w * w;
@@ -149,5 +159,73 @@ mod tests {
         assert_eq!(single.count, 1);
         let coincident = summarize(&[at(3.0, 10.0), at(3.0, 30.0)]).unwrap();
         assert_eq!(coincident.mean_aicore_w, 20.0);
+    }
+
+    #[test]
+    fn summarize_out_of_order_samples_never_go_negative() {
+        // A shuffled stream used to produce negative trapezoid weights:
+        // with t = [0, 10, 5, 11] the sample at t=10 sees
+        // (5 - 0) / 2 = 2.5 but the one at t=5 sees (11 - 10) / 2 = 0.5
+        // while, fully inverted, spans can subtract a sample's power from
+        // the mean. After clamping, every weight is ≥ 0 and the mean
+        // stays inside the sample range.
+        let samples = vec![
+            at(0.0, 10.0),
+            at(10.0, 10.0),
+            at(5.0, 100.0),
+            at(11.0, 10.0),
+        ];
+        let s = summarize(&samples).unwrap();
+        assert!(
+            (10.0..=100.0).contains(&s.mean_aicore_w),
+            "mean escaped the sample range: {s:?}"
+        );
+
+        // Stronger: for *any* permutation of a well-formed stream, the
+        // mean must stay within [min, max] of the sampled values — the
+        // exact failure mode of negative weights is a mean outside that
+        // envelope (or of the wrong sign entirely).
+        let base = [(0.0, 10.0), (10.0, 10.0), (11.0, 100.0), (20.0, 50.0)];
+        let perms = permutations(&[0, 1, 2, 3]);
+        for p in perms {
+            let stream: Vec<_> = p.iter().map(|&i| at(base[i].0, base[i].1)).collect();
+            let s = summarize(&stream).unwrap();
+            assert!(
+                (10.0..=100.0).contains(&s.mean_aicore_w),
+                "permutation {p:?} corrupted the mean: {s:?}"
+            );
+            assert!(
+                (20.0..=200.0).contains(&s.mean_soc_w),
+                "permutation {p:?} corrupted the SoC mean: {s:?}"
+            );
+        }
+
+        // A fully reversed stream (every raw weight negative) falls back
+        // to the unweighted mean instead of dividing by a junk w_sum.
+        let reversed = vec![at(11.0, 100.0), at(10.0, 10.0), at(0.0, 10.0)];
+        let s = summarize(&reversed).unwrap();
+        assert_eq!(s.mean_aicore_w, 40.0);
+
+        // Sorted order is untouched by the clamp: identical to before.
+        let sorted = vec![at(0.0, 10.0), at(10.0, 10.0), at(11.0, 100.0)];
+        let s = summarize(&sorted).unwrap();
+        let expected = (10.0 * 5.0 + 10.0 * 5.5 + 100.0 * 0.5) / 11.0;
+        assert!((s.mean_aicore_w - expected).abs() < 1e-9, "{s:?}");
+    }
+
+    fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+        if items.len() <= 1 {
+            return vec![items.to_vec()];
+        }
+        let mut out = Vec::new();
+        for (i, &x) in items.iter().enumerate() {
+            let mut rest = items.to_vec();
+            rest.remove(i);
+            for mut p in permutations(&rest) {
+                p.insert(0, x);
+                out.push(p);
+            }
+        }
+        out
     }
 }

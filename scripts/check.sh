@@ -17,6 +17,11 @@ cargo clippy -p npu-sim -p npu-exec --lib -- \
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> cargo test (single-threaded test runner)"
+# The suite must not depend on test-execution order or on tests running
+# concurrently (env-var hygiene, shared temp dirs, global state).
+cargo test --workspace --quiet -- --test-threads=1
+
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -27,6 +32,13 @@ echo "==> fault-matrix smoke (resilient executor vs injected faults, 3 seeds)"
 for seed in 1 2 3; do
   FAULT_SEED=$seed cargo run --quiet --example fault_injection > /dev/null
 done
+
+echo "==> serve-loop smoke (drift detection, one swap, energy + EDP win, 1/2/8-thread digests)"
+# The example is self-checking: it exits non-zero unless exactly one
+# strategy swap fires under drift, the refreshed strategy beats the
+# stale one on both raw AICore energy and energy-delay product, and the
+# serve outcome digests are bit-identical at 1, 2 and 8 worker threads.
+cargo run --quiet --release --example serve_drift > /dev/null
 
 echo "==> bench smoke (CRITERION_SMOKE=1, one iteration per bench)"
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting

@@ -58,8 +58,10 @@ pub use npu_workloads as workloads;
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
     pub use npu_core::{
-        optimize_batch, sweep_profiles, ArtifactCache, CacheStats, EnergyOptimizer, FleetRunner,
-        OptimizationReport, OptimizationSession, OptimizerConfig,
+        optimize_batch, sweep_profiles, ArtifactCache, CacheError, CacheStats, DriftDetector,
+        DriftDetectorConfig, DriftSignal, EnergyOptimizer, FleetRunner, OptimizationReport,
+        OptimizationSession, OptimizerConfig, ServeIteration, ServeOptions, ServeOutcome,
+        ServeRuntime,
     };
     pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
     pub use npu_exec::{
@@ -76,8 +78,8 @@ pub mod prelude {
         calibrate_device, calibrate_device_parallel, CalibrationOptions, PowerModel,
     };
     pub use npu_sim::{
-        Device, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, OpRecord, RunOptions, Scenario,
-        Schedule, TelemetrySummary, VoltageCurve,
+        Device, DriftModel, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, OpRecord, RunOptions,
+        Scenario, Schedule, TelemetrySummary, VoltageCurve,
     };
     pub use npu_workloads::{models, ops, Workload};
 }

@@ -273,3 +273,235 @@ proptest! {
         prop_assert_eq!(decoded.to_text(), text);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Property tests: exotic floats survive the text store bit-exactly.
+// ---------------------------------------------------------------------------
+
+/// Bit patterns a naive Display/parse round trip mangles: signed zero,
+/// subnormals, infinities, and NaNs with arbitrary sign/payload bits —
+/// plus fully arbitrary patterns for good measure.
+fn arb_exotic_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0f64),
+        Just(-0.0f64),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        // Subnormals: zero exponent, nonzero mantissa, either sign.
+        (1u64..1u64 << 52, any::<bool>())
+            .prop_map(|(m, neg)| f64::from_bits(m | if neg { 1u64 << 63 } else { 0 })),
+        // NaNs with arbitrary payloads and signs.
+        (1u64..1u64 << 52, any::<bool>()).prop_map(|(m, neg)| f64::from_bits(
+            0x7FF0_0000_0000_0000 | m | if neg { 1u64 << 63 } else { 0 }
+        )),
+        any::<u64>().prop_map(f64::from_bits),
+    ]
+}
+
+/// Every float of a profile artifact as raw bits, in a fixed order.
+/// NaN != NaN under `PartialEq`, so bit-exactness claims must compare
+/// bit patterns, never values.
+fn profile_float_bits(a: &ProfileArtifact) -> Vec<u64> {
+    let mut bits = vec![
+        a.baseline.time_us.to_bits(),
+        a.baseline.aicore_w.to_bits(),
+        a.baseline.soc_w.to_bits(),
+        a.baseline.temp_c.to_bits(),
+    ];
+    for p in a.profiles.iter().chain(a.raw_profiles.iter().flatten()) {
+        for r in &p.records {
+            bits.extend(
+                [
+                    r.start_us,
+                    r.dur_us,
+                    r.ratios.cube,
+                    r.ratios.vector,
+                    r.ratios.scalar,
+                    r.ratios.mte1,
+                    r.ratios.mte2,
+                    r.ratios.mte3,
+                    r.aicore_w,
+                    r.soc_w,
+                    r.temp_c,
+                    r.traffic_bytes,
+                ]
+                .map(f64::to_bits),
+            );
+        }
+    }
+    bits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exotic_floats_survive_the_profile_text_store_bit_exactly(
+        vals in prop::collection::vec(arb_exotic_f64(), 16),
+    ) {
+        let record = OpRecord {
+            index: 3,
+            name: "MatMul".to_owned(),
+            class: OpClass::Compute,
+            scenario: Scenario::PingPongIndependent,
+            start_us: vals[0],
+            dur_us: vals[1],
+            freq_mhz: FreqMhz::new(1500),
+            ratios: dvfs_repro::sim::PipelineRatios {
+                cube: vals[2],
+                vector: vals[3],
+                scalar: vals[4],
+                mte1: vals[5],
+                mte2: vals[6],
+                mte3: vals[7],
+            },
+            aicore_w: vals[8],
+            soc_w: vals[9],
+            temp_c: vals[10],
+            traffic_bytes: vals[11],
+        };
+        let artifact = ProfileArtifact {
+            profiles: vec![FreqProfile { freq: FreqMhz::new(1500), records: vec![record] }],
+            raw_profiles: None,
+            baseline: dvfs_repro::core::MeasuredIteration {
+                time_us: vals[12],
+                aicore_w: vals[13],
+                soc_w: vals[14],
+                temp_c: vals[15],
+            },
+        };
+        let decoded = ProfileArtifact::from_text(&artifact.to_text()).unwrap();
+        prop_assert_eq!(profile_float_bits(&decoded), profile_float_bits(&artifact));
+    }
+
+    #[test]
+    fn exotic_floats_survive_the_search_text_store_bit_exactly(
+        vals in prop::collection::vec(arb_exotic_f64(), 4),
+        trace in prop::collection::vec(arb_exotic_f64(), 0..8),
+    ) {
+        use dvfs_repro::dvfs::{Evaluation, Stage, StageKind};
+        let artifact = SearchArtifact {
+            outcome: GaOutcome {
+                strategy: DvfsStrategy::new(
+                    vec![Stage {
+                        start_us: 0.0,
+                        dur_us: 10.0,
+                        op_range: 0..2,
+                        kind: StageKind::Hfc,
+                    }],
+                    vec![FreqMhz::new(1700)],
+                ),
+                best_eval: Evaluation {
+                    time_us: vals[0],
+                    aicore_energy_wus: vals[1],
+                    soc_energy_wus: vals[2],
+                },
+                best_score: vals[3],
+                score_trace: trace,
+                evaluations: 10,
+                unique_evaluations: 5,
+            },
+        };
+        let decoded = SearchArtifact::from_text(&artifact.to_text()).unwrap();
+        let bits = |a: &SearchArtifact| {
+            let o = &a.outcome;
+            let mut v = vec![
+                o.best_eval.time_us.to_bits(),
+                o.best_eval.aicore_energy_wus.to_bits(),
+                o.best_eval.soc_energy_wus.to_bits(),
+                o.best_score.to_bits(),
+            ];
+            v.extend(o.score_trace.iter().map(|s| s.to_bits()));
+            v
+        };
+        prop_assert_eq!(bits(&decoded), bits(&artifact));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent-store damage: typed errors, clean misses.
+// ---------------------------------------------------------------------------
+
+fn scratch_cache_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("npu-cache-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn tiny_profile_artifact() -> ProfileArtifact {
+    ProfileArtifact {
+        profiles: vec![FreqProfile {
+            freq: FreqMhz::new(1800),
+            records: Vec::new(),
+        }],
+        raw_profiles: None,
+        baseline: dvfs_repro::core::MeasuredIteration {
+            time_us: 1.0,
+            aicore_w: 2.0,
+            soc_w: 3.0,
+            temp_c: 4.0,
+        },
+    }
+}
+
+#[test]
+fn truncated_persisted_profile_is_a_typed_error_and_counts_a_miss() {
+    let dir = scratch_cache_dir("profile-truncated");
+    let warm = ArtifactCache::persistent(&dir).unwrap();
+    warm.insert_profile(0xBAD, tiny_profile_artifact());
+
+    // A fresh store over an intact file starts warm.
+    let cold = ArtifactCache::persistent(&dir).unwrap();
+    assert!(cold.lookup_profile_checked(0xBAD).unwrap().is_some());
+
+    // Truncate the file mid-stream (the text is pure ASCII) and look it
+    // up through another fresh store, so memory cannot mask the damage.
+    let path = dir.join(format!("profile-{:016x}.txt", 0xBADu64));
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+    let cold = ArtifactCache::persistent(&dir).unwrap();
+    match cold.lookup_profile_checked(0xBAD) {
+        Err(CacheError::Corrupt {
+            kind,
+            key,
+            path: reported,
+            ..
+        }) => {
+            assert_eq!(kind, "profile");
+            assert_eq!(key, 0xBAD);
+            assert_eq!(reported, path);
+        }
+        other => panic!("expected CacheError::Corrupt, got {other:?}"),
+    }
+    let stats = cold.stats();
+    assert_eq!((stats.profile.hits, stats.profile.misses), (0, 1));
+
+    // The unchecked lookup folds the same damage into a plain miss.
+    assert!(cold.lookup_profile(0xBAD).is_none());
+    assert_eq!(cold.stats().profile.misses, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn garbage_persisted_search_is_corrupt_while_absence_stays_a_plain_miss() {
+    let dir = scratch_cache_dir("search-garbage");
+    let cache = ArtifactCache::persistent(&dir).unwrap();
+    // Nothing stored: a genuine absence, not an error.
+    assert!(cache.lookup_search_checked(1).unwrap().is_none());
+
+    let path = dir.join(format!("search-{:016x}.txt", 2u64));
+    std::fs::write(&path, "not an artifact\n").unwrap();
+    match cache.lookup_search_checked(2) {
+        Err(CacheError::Corrupt { kind, key, .. }) => {
+            assert_eq!(kind, "search");
+            assert_eq!(key, 2);
+        }
+        other => panic!("expected CacheError::Corrupt, got {other:?}"),
+    }
+    assert!(cache.lookup_search(2).is_none());
+    let stats = cache.stats();
+    assert_eq!(stats.search.hits, 0);
+    assert_eq!(stats.search.misses, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
