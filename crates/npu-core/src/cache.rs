@@ -240,7 +240,9 @@ pub fn model_key(
 /// never outcomes — they must not fragment the cache).
 #[must_use]
 pub fn search_key(model_key: u64, fai_us: f64, ga: &GaConfig) -> u64 {
-    let mut fp = Fingerprint::new("npu-core/search/v1");
+    // v2: the oracle-seeding fields joined GaConfig (they change the
+    // first generation, hence the whole trajectory).
+    let mut fp = Fingerprint::new("npu-core/search/v2");
     fp.push_u64(model_key);
     fp.push_f64(fai_us);
     fp.push_usize(ga.population);
@@ -252,6 +254,8 @@ pub fn search_key(model_key: u64, fai_us: f64, ga: &GaConfig) -> u64 {
     fp.push_u64(u64::from(ga.lfc_prior.mhz()));
     fp.push_u64(u64::from(ga.hfc_prior.mhz()));
     fp.push_u64(ga.seed);
+    fp.push_usize(ga.oracle_seeds);
+    fp.push_usize(ga.oracle_auto_stages);
     fp.finish()
 }
 

@@ -96,6 +96,15 @@ impl OptimizerConfig {
         self
     }
 
+    /// Sets an explicit oracle seed count for the GA's first generation
+    /// (see [`npu_dvfs::GaConfig::oracle_seeds`]; `0` restores the
+    /// stage-count-gated automatic rule), chainable.
+    #[must_use]
+    pub fn with_oracle_seeds(mut self, seeds: usize) -> Self {
+        self.ga.oracle_seeds = seeds;
+        self
+    }
+
     /// Sets the performance-model fitting function, chainable.
     #[must_use]
     pub fn with_fit(mut self, fit: FitFunction) -> Self {

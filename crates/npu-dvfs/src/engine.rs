@@ -2,7 +2,7 @@
 //!
 //! Scoring dominates GA wall time: the paper's configuration evaluates
 //! 200 individuals × 600 generations, and every candidate move of the
-//! memetic refinement is another evaluation. Three observations make the
+//! memetic refinement is another evaluation. Four observations make the
 //! hot loop cheap without changing any result:
 //!
 //! 1. **Incrementality.** An evaluation is a sum of per-stage cells plus
@@ -22,16 +22,26 @@
 //!    observes thread count.
 //! 3. **Redundancy.** Elitism, crossover between similar parents and
 //!    seeded individuals make duplicate genomes common. [`EvalEngine`]
-//!    memoizes score by genome and evaluates only first occurrences.
+//!    memoizes score by genome fingerprint — in a bounded, deterministic
+//!    [`FingerprintRing`] rather than an unbounded map — and evaluates
+//!    only first occurrences.
+//! 4. **Flat genomes.** The fast path scores a bit-packed
+//!    [`GenomePool`]: fingerprints are maintained incrementally by the
+//!    pool (O(1) per mutation instead of an O(n) hash per lookup), and
+//!    per-worker [`PoolScratch`] evaluators reposition by XOR-diffing
+//!    packed words. All buffers are engine-owned and reused, so a warm
+//!    single-threaded scoring pass allocates nothing.
 //!
 //! [`RouletteWheel`] replaces the O(population) linear selection scan
-//! with a prefix-sum + binary-search sampler.
+//! with a prefix-sum + binary-search sampler over pre-normalized
+//! cumulative weights.
 
 use crate::ga::score;
+use crate::memo::FingerprintRing;
+use crate::pool::{assert_pool_matches, genome_fingerprint, GenomePool, PoolScratch};
 use crate::strategy::{Evaluation, StageTable, Sums};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
 use std::thread;
 
 /// Incremental evaluator over one genome: a segment tree of per-stage
@@ -185,30 +195,14 @@ impl<'t> IncrementalEval<'t> {
 /// than 16 workers whose spawn cost eats the speedup.
 const MIN_GENOMES_PER_WORKER: usize = 48;
 
-/// Memo entries are bounded so multi-thousand-generation searches cannot
-/// grow without limit; the map resets deterministically when full.
-const MEMO_CAP: usize = 1 << 20;
+/// Slots in the bounded score memo. At ~24 bytes per slot this caps the
+/// memo at a fixed ~24 MB per engine for the life of a search — the old
+/// unbounded `HashMap` grew past 8.9 M entries on a GPT-3-sized run.
+const MEMO_SLOTS: usize = 1 << 20;
 
-/// 64-bit genome fingerprint (splitmix64 mixing per gene, order- and
-/// length-sensitive). The memo keys on this instead of the genome itself:
-/// hashing a GPT-3 genome (~1000 genes) through the default SipHash —
-/// three times per individual, plus a multi-KB clone per insert — costs
-/// more than the incremental evaluation it is meant to skip. A 64-bit
-/// fingerprint makes a false memo hit a ~2⁻⁶⁴-per-pair event
-/// (deterministic, never a cross-thread divergence) in exchange for an
-/// order-of-magnitude cheaper dedup path.
-fn fingerprint(genes: &[usize]) -> u64 {
-    let mut h = 0x9E37_79B9_7F4A_7C15_u64 ^ (genes.len() as u64);
-    for &g in genes {
-        let mut x = (g as u64)
-            .wrapping_add(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(h);
-        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        h = h.rotate_left(5) ^ (x ^ (x >> 31));
-    }
-    h
-}
+/// Initial slots in the within-call dedup ring (regrown if a population
+/// ever exceeds half of it).
+const SEEN_SLOTS: usize = 1 << 12;
 
 /// Resolves a requested worker count. An explicit `requested > 0` is
 /// taken literally; `0` means "auto" — the `NPU_THREADS` environment
@@ -251,22 +245,38 @@ pub fn resolve_threads_with(requested: usize, lookup: impl Fn(&str) -> Option<St
 /// Scores are a pure function of the genome (given the table, baseline
 /// time and loss target fixed at construction), so results are identical
 /// — bitwise — for any worker count, and duplicate genomes are served
-/// from a memo without re-evaluation.
+/// from a bounded memo without re-evaluation. Duplicate detection and
+/// memo updates run sequentially in population-index order before any
+/// fan-out, so thread count cannot even perturb the memo's (bounded,
+/// deterministic) eviction sequence.
+///
+/// The fast path is [`Self::score_pool`] over a bit-packed
+/// [`GenomePool`]; [`Self::score_population`] accepts plain slices and
+/// shares the same memo space via [`genome_fingerprint`]. All dedup and
+/// result buffers are engine-owned: a warm single-threaded
+/// [`Self::score_pool`] call performs no heap allocation.
 #[derive(Debug)]
 pub struct EvalEngine<'t> {
     table: &'t StageTable,
     baseline_time_us: f64,
     perf_loss_target: f64,
     workers: usize,
-    /// Genome-fingerprint → score memo (see [`fingerprint`]).
-    memo: HashMap<u64, f64>,
-    /// Warm evaluator reused across generations: repositioning it on the
-    /// next genome via [`IncrementalEval::assign`] touches only the
-    /// differing stages, and cloning it for a parallel worker is a plain
-    /// memcpy — both far cheaper than the O(n · table lookups) of
-    /// [`IncrementalEval::new`] per call. Tree state depends only on the
-    /// current genome, so reuse cannot change any score.
-    template: Option<IncrementalEval<'t>>,
+    /// Bounded fingerprint → score memo (deterministic eviction).
+    memo: FingerprintRing<f64>,
+    /// Within-call dedup: fingerprint → first population index.
+    seen: FingerprintRing<u32>,
+    /// One warm evaluator per worker, built lazily and reused across
+    /// generations. Tree state depends only on the current genome, so
+    /// reuse cannot change any score.
+    scratches: Vec<Option<PoolScratch<'t>>>,
+    fps_buf: Vec<u64>,
+    scores_buf: Vec<f64>,
+    /// Population indices needing evaluation this call.
+    pending: Vec<u32>,
+    /// `(dst, src)` within-population duplicate copies.
+    copy_from: Vec<(u32, u32)>,
+    /// Freshly evaluated scores, parallel to `pending`.
+    fresh_buf: Vec<f64>,
     scored: usize,
     unique_scored: usize,
 }
@@ -285,8 +295,14 @@ impl<'t> EvalEngine<'t> {
             baseline_time_us,
             perf_loss_target,
             workers: resolve_threads(threads),
-            memo: HashMap::new(),
-            template: None,
+            memo: FingerprintRing::new(MEMO_SLOTS),
+            seen: FingerprintRing::new(SEEN_SLOTS),
+            scratches: Vec::new(),
+            fps_buf: Vec::new(),
+            scores_buf: Vec::new(),
+            pending: Vec::new(),
+            copy_from: Vec::new(),
+            fresh_buf: Vec::new(),
             scored: 0,
             unique_scored: 0,
         }
@@ -304,110 +320,170 @@ impl<'t> EvalEngine<'t> {
         self.unique_scored
     }
 
-    /// Scores every individual of a population. Duplicates — within the
-    /// population or across earlier calls — are evaluated once; the rest
-    /// fan out over the worker pool in deterministic index order.
+    /// Live entries in the score memo (bounded by
+    /// [`Self::memo_capacity`]).
+    #[must_use]
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Hard bound on the score memo's entry count.
+    #[must_use]
+    pub fn memo_capacity(&self) -> usize {
+        self.memo.capacity()
+    }
+
+    /// Scores every genome of a pool, returning one score per genome in
+    /// index order (a view into an engine-owned buffer, valid until the
+    /// next scoring call). Duplicates — within the pool or across
+    /// earlier calls — are evaluated once; the rest fan out over the
+    /// worker pool in deterministic index order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's shape disagrees with the engine's table.
+    #[must_use]
+    pub fn score_pool(&mut self, pool: &GenomePool) -> &[f64] {
+        assert_pool_matches(pool, self.table);
+        self.fps_buf.clear();
+        self.fps_buf.extend((0..pool.len()).map(|i| pool.fp(i)));
+        self.run_scoring(|scratch, i| scratch.eval_pool(pool, i));
+        &self.scores_buf
+    }
+
+    /// Scores every individual of a slice-based population through the
+    /// same dedup/memo/fan-out machinery as [`Self::score_pool`] (the
+    /// fingerprints agree, so both paths share one memo space).
     #[must_use]
     pub fn score_population(&mut self, population: &[Vec<usize>]) -> Vec<f64> {
-        self.scored += population.len();
-        if self.memo.len() > MEMO_CAP {
-            self.memo.clear();
-        }
+        let m = self.table.n_freqs();
+        self.fps_buf.clear();
+        self.fps_buf
+            .extend(population.iter().map(|g| genome_fingerprint(g, m)));
+        self.run_scoring(|scratch, i| scratch.eval_genes(&population[i]));
+        self.scores_buf.clone()
+    }
 
-        // Sequential dedup pass: decide, in index order, which genomes
-        // need evaluation. `first_seen` resolves duplicates *within* this
-        // population to the first occurrence.
-        let fps: Vec<u64> = population.iter().map(|g| fingerprint(g)).collect();
-        let mut scores = vec![0.0_f64; population.len()];
-        let mut first_seen: HashMap<u64, usize> = HashMap::new();
-        let mut pending: Vec<usize> = Vec::new(); // population indices to evaluate
-        let mut copy_from: Vec<(usize, usize)> = Vec::new(); // (dst, src) within population
-        for (i, &fp) in fps.iter().enumerate() {
-            if let Some(&j) = first_seen.get(&fp) {
-                copy_from.push((i, j));
-            } else if let Some(&s) = self.memo.get(&fp) {
-                first_seen.insert(fp, i);
-                scores[i] = s;
+    /// Shared scoring core. `self.fps_buf` holds the population's
+    /// fingerprints; `eval` evaluates individual `i` on a scratch.
+    /// Results land in `self.scores_buf`.
+    fn run_scoring<E>(&mut self, eval: E)
+    where
+        E: Fn(&mut PoolScratch<'t>, usize) -> Evaluation + Sync,
+    {
+        let Self {
+            table,
+            baseline_time_us,
+            perf_loss_target,
+            workers,
+            memo,
+            seen,
+            scratches,
+            fps_buf,
+            scores_buf,
+            pending,
+            copy_from,
+            fresh_buf,
+            scored,
+            unique_scored,
+        } = self;
+        let table: &'t StageTable = table;
+        let (bt, lt) = (*baseline_time_us, *perf_loss_target);
+        let count = fps_buf.len();
+        debug_assert!(count <= u32::MAX as usize, "population exceeds u32 indices");
+        *scored += count;
+
+        // Sequential dedup pass, in index order: resolve duplicates
+        // within this population to their first occurrence, serve
+        // memoized genomes, queue the rest.
+        if seen.capacity() < count.saturating_mul(2) {
+            *seen = FingerprintRing::new(count * 2);
+        } else {
+            seen.clear();
+        }
+        scores_buf.clear();
+        scores_buf.resize(count, 0.0);
+        pending.clear();
+        copy_from.clear();
+        for (i, &fp) in fps_buf.iter().enumerate() {
+            if let Some(j) = seen.get(fp) {
+                copy_from.push((i as u32, j));
+            } else if let Some(s) = memo.get(fp) {
+                seen.insert(fp, i as u32);
+                scores_buf[i] = s;
             } else {
-                first_seen.insert(fp, i);
-                pending.push(i);
+                seen.insert(fp, i as u32);
+                pending.push(i as u32);
             }
         }
+        *unique_scored += pending.len();
 
         // Evaluate the pending genomes: inline unless enough work exists
         // to amortize every spawned worker (at least
-        // MIN_GENOMES_PER_WORKER genomes each). Each worker clones the
-        // warm template evaluator (a memcpy) and repositions it per
-        // genome; the tree state depends only on the current genome, so
-        // neither chunking nor template reuse can change any result.
-        self.unique_scored += pending.len();
-        let fresh: Vec<f64> = if pending.is_empty() {
-            Vec::new()
-        } else {
-            let (bt, lt) = (self.baseline_time_us, self.perf_loss_target);
-            let workers = if self.workers <= 1 {
+        // MIN_GENOMES_PER_WORKER genomes each). Workers reuse persistent
+        // per-worker scratches and write into disjoint slices of the
+        // engine-owned result buffer; chunking cannot change any result.
+        if !pending.is_empty() {
+            let n_workers = if *workers <= 1 {
                 1
             } else {
-                self.workers.min(pending.len() / MIN_GENOMES_PER_WORKER)
+                (*workers).min(pending.len() / MIN_GENOMES_PER_WORKER)
             };
-            if self.template.is_none() {
-                self.template = Some(IncrementalEval::new(self.table, &population[pending[0]]));
+            fresh_buf.clear();
+            fresh_buf.resize(pending.len(), 0.0);
+            while scratches.len() < n_workers.max(1) {
+                scratches.push(None);
             }
-            if workers <= 1 {
-                let inc = self.template.as_mut().unwrap_or_else(|| unreachable!());
-                pending
-                    .iter()
-                    .map(|&i| {
-                        inc.assign(&population[i]);
-                        score(&inc.eval(), bt, lt)
-                    })
-                    .collect()
+            if n_workers <= 1 {
+                let scratch = scratches[0].get_or_insert_with(|| PoolScratch::new(table));
+                for (out, &i) in fresh_buf.iter_mut().zip(pending.iter()) {
+                    *out = score(&eval(scratch, i as usize), bt, lt);
+                }
             } else {
-                let chunk = pending.len().div_ceil(workers);
-                let template = self.template.as_ref().unwrap_or_else(|| unreachable!());
+                let chunk = pending.len().div_ceil(n_workers);
+                let eval_ref = &eval;
                 thread::scope(|s| {
-                    let handles: Vec<_> = pending
-                        .chunks(chunk)
-                        .map(|idxs| {
-                            s.spawn(move || {
-                                let mut inc = template.clone();
-                                idxs.iter()
-                                    .map(|&i| {
-                                        inc.assign(&population[i]);
-                                        score(&inc.eval(), bt, lt)
-                                    })
-                                    .collect::<Vec<f64>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| {
-                            h.join()
-                                .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                        })
-                        .collect()
-                })
+                    let mut rest: &mut [f64] = fresh_buf;
+                    let mut handles = Vec::with_capacity(n_workers);
+                    for (idxs, slot) in pending.chunks(chunk).zip(scratches.iter_mut()) {
+                        let (out, tail) = rest.split_at_mut(idxs.len());
+                        rest = tail;
+                        handles.push(s.spawn(move || {
+                            let scratch = slot.get_or_insert_with(|| PoolScratch::new(table));
+                            for (o, &i) in out.iter_mut().zip(idxs.iter()) {
+                                *o = score(&eval_ref(scratch, i as usize), bt, lt);
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.join()
+                            .unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+                    }
+                });
             }
-        };
-        for (&i, s) in pending.iter().zip(fresh) {
-            scores[i] = s;
-            self.memo.insert(fps[i], s);
+            // Memo writes stay sequential in index order, so eviction is
+            // a pure function of the genome sequence.
+            for (&i, &s) in pending.iter().zip(fresh_buf.iter()) {
+                scores_buf[i as usize] = s;
+                memo.insert(fps_buf[i as usize], s);
+            }
         }
-        for (dst, src) in copy_from {
-            scores[dst] = scores[src];
+        for &(dst, src) in copy_from.iter() {
+            scores_buf[dst as usize] = scores_buf[src as usize];
         }
-        scores
     }
 }
 
-/// Score-proportional sampler: prefix sums + binary search, O(log n) per
-/// draw instead of the O(n) linear scan.
+/// Score-proportional sampler: normalized prefix sums + binary search,
+/// O(log n) per draw instead of the O(n) linear scan.
 ///
-/// Non-finite and non-positive scores contribute **exactly zero** weight
-/// — they can never be drawn while any entry carries weight, and they
-/// never borrow mass from a neighbor's prefix. Two degenerate inputs are
-/// defined explicitly:
+/// The cumulative weights are divided by the total **once at build
+/// time**, so a draw is a raw unit-interval ticket resolved by binary
+/// search — no per-draw multiply or division. Non-finite and
+/// non-positive scores contribute **exactly zero** weight — they can
+/// never be drawn while any entry carries weight, and they never borrow
+/// mass from a neighbor's prefix. Two degenerate inputs are defined
+/// explicitly:
 ///
 /// * **Weightless wheel** (every score non-positive or non-finite, or
 ///   the slice empty of mass): `total == 0` and [`Self::sample`] falls
@@ -415,21 +491,25 @@ impl<'t> EvalEngine<'t> {
 ///   linear running-sum scan it replaces (which also cannot distinguish
 ///   entries when every increment is zero), and still exactly one RNG
 ///   draw so the caller's stream position is independent of the scores.
-/// * **Ticket at the top of the range**: `rng.gen::<f64>() * total` can
-///   round up to `total` itself. The search then lands past the end,
-///   and the draw resolves to the *last entry with positive weight*,
-///   never a trailing zero-weight entry.
+/// * **Ticket at the top of the range**: a ticket can reach `1.0` after
+///   normalization rounding. The search then lands past the end, and
+///   the draw resolves to the *last entry with positive weight*, never
+///   a trailing zero-weight entry.
 #[derive(Debug, Clone)]
 pub struct RouletteWheel {
+    /// Cumulative weights normalized into `[0, 1]`.
     cum: Vec<f64>,
+    /// Raw (pre-normalization) total weight.
     total: f64,
     /// Index of the last entry with positive incremental mass; draws that
-    /// round up to `total` resolve here. 0 when the wheel is weightless.
+    /// round up to the top of the range resolve here. 0 when the wheel is
+    /// weightless.
     last_weighted: usize,
 }
 
 impl RouletteWheel {
-    /// Builds the wheel from raw scores.
+    /// Builds the wheel from raw scores, normalizing the cumulative sums
+    /// once.
     #[must_use]
     pub fn new(scores: &[f64]) -> Self {
         let mut cum = Vec::with_capacity(scores.len());
@@ -441,6 +521,11 @@ impl RouletteWheel {
                 last_weighted = i;
             }
             cum.push(acc);
+        }
+        if acc > 0.0 {
+            for c in &mut cum {
+                *c /= acc;
+            }
         }
         Self {
             cum,
@@ -461,13 +546,12 @@ impl RouletteWheel {
         self.cum.is_empty()
     }
 
-    /// Resolves a ticket in `[0, total]` to an entry index: the first
-    /// index whose cumulative weight exceeds the ticket. Zero-weight
-    /// entries (`cum[i] == cum[i-1]`) are never selected because
-    /// `partition_point` skips past ties, and a ticket that reaches
-    /// `total` (possible through rounding in `gen::<f64>() * total`)
-    /// resolves to the last *weighted* entry rather than whatever entry
-    /// happens to sit at the end.
+    /// Resolves a unit-interval ticket to an entry index: the first
+    /// index whose normalized cumulative weight exceeds the ticket.
+    /// Zero-weight entries (`cum[i] == cum[i-1]`) are never selected
+    /// because `partition_point` skips past ties, and a ticket that
+    /// reaches the top of the range resolves to the last *weighted*
+    /// entry rather than whatever entry happens to sit at the end.
     fn index_for_ticket(&self, ticket: f64) -> usize {
         let idx = self.cum.partition_point(|&c| c <= ticket);
         if idx < self.cum.len() {
@@ -489,8 +573,7 @@ impl RouletteWheel {
             // Weightless: uniform over all entries (see type docs).
             return rng.gen_range(0..self.cum.len());
         }
-        let ticket = rng.gen::<f64>() * self.total;
-        self.index_for_ticket(ticket)
+        self.index_for_ticket(rng.gen::<f64>())
     }
 }
 
@@ -611,6 +694,42 @@ mod tests {
     }
 
     #[test]
+    fn pool_scores_bit_match_slices_and_direct_evaluation() {
+        let t = table(11);
+        let baseline = t.baseline().time_us;
+        let population: Vec<Vec<usize>> = (0..200)
+            .map(|i| (0..11).map(|s| (i * 5 + s * 7 + 1) % t.n_freqs()).collect())
+            .collect();
+        let mut pool = GenomePool::new(11, t.n_freqs());
+        for g in &population {
+            pool.push_genes(g);
+        }
+        let expect: Vec<u64> = population
+            .iter()
+            .map(|g| score(&t.evaluate(g), baseline, 0.02).to_bits())
+            .collect();
+        for threads in [1, 2, 8] {
+            let mut engine = EvalEngine::new(&t, baseline, 0.02, threads);
+            let via_pool: Vec<u64> = engine
+                .score_pool(&pool)
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(via_pool, expect, "pool path, threads = {threads}");
+            // The slice path shares the same memo space (identical
+            // fingerprints), so everything is now a memo hit.
+            let before = engine.unique_scored();
+            let via_slices: Vec<u64> = engine
+                .score_population(&population)
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(via_slices, expect, "slice path, threads = {threads}");
+            assert_eq!(engine.unique_scored(), before, "memo spaces must agree");
+        }
+    }
+
+    #[test]
     fn engine_memoizes_duplicates() {
         let t = table(4);
         let baseline = t.baseline().time_us;
@@ -621,6 +740,8 @@ mod tests {
         let scores = engine.score_population(&population);
         assert_eq!(engine.scored(), 4);
         assert_eq!(engine.unique_scored(), 2);
+        assert_eq!(engine.memo_len(), 2);
+        assert!(engine.memo_len() <= engine.memo_capacity());
         assert_eq!(scores[0].to_bits(), scores[2].to_bits());
         assert_eq!(scores[0].to_bits(), scores[3].to_bits());
         // A later generation repeating a genome is served from the memo.
@@ -656,13 +777,14 @@ mod tests {
 
     #[test]
     fn template_reuse_is_stable_across_generations() {
-        // Successive generations reuse (and workers clone) the warm
-        // template evaluator; scores must stay identical to direct
-        // evaluation no matter what the previous generation left behind.
+        // Successive generations reuse the persistent per-worker
+        // scratches; scores must stay identical to direct evaluation no
+        // matter what the previous generation left behind.
         let t = table(9);
         let baseline = t.baseline().time_us;
         let mut engine = EvalEngine::new(&t, baseline, 0.02, 4);
         for gen in 0..3_usize {
+            let mut pool = GenomePool::new(9, t.n_freqs());
             let population: Vec<Vec<usize>> = (0..200)
                 .map(|i| {
                     (0..9)
@@ -670,7 +792,10 @@ mod tests {
                         .collect()
                 })
                 .collect();
-            let got = engine.score_population(&population);
+            for g in &population {
+                pool.push_genes(g);
+            }
+            let got = engine.score_pool(&pool).to_vec();
             for (g, s) in population.iter().zip(&got) {
                 let direct = score(&t.evaluate(g), baseline, 0.02);
                 assert_eq!(s.to_bits(), direct.to_bits(), "gen {gen}");
@@ -715,21 +840,21 @@ mod tests {
     #[test]
     fn negative_score_among_positives_gets_zero_probability() {
         // A single negative entry must contribute exactly zero mass: no
-        // ticket in the closed range [0, total] — including the exact
-        // boundary between its neighbors' prefixes and the rounded-up
-        // `ticket == total` edge — may resolve to it.
+        // ticket in the closed unit range — including the exact boundary
+        // between its neighbors' prefixes and the rounded-up
+        // `ticket == 1.0` edge — may resolve to it.
         let scores = [1.0, -5.0, 2.0];
         let wheel = RouletteWheel::new(&scores);
         assert_eq!(wheel.total, 3.0);
         for k in 0..=3_000 {
-            let ticket = (k as f64 / 3_000.0) * wheel.total;
+            let ticket = k as f64 / 3_000.0;
             let idx = wheel.index_for_ticket(ticket);
             assert_ne!(idx, 1, "negative entry drawn for ticket {ticket}");
         }
         // The boundary ticket sitting exactly on the negative entry's
         // (flat) prefix belongs to the *next* weighted entry — the
         // negative entry cannot borrow mass from its predecessor.
-        assert_eq!(wheel.index_for_ticket(1.0), 2);
+        assert_eq!(wheel.index_for_ticket(1.0 / 3.0), 2);
         // Sampling agrees: index 1 never appears.
         let mut rng = SmallRng::seed_from_u64(23);
         for _ in 0..4_000 {
@@ -739,25 +864,27 @@ mod tests {
 
     #[test]
     fn top_of_range_ticket_resolves_to_last_weighted_entry() {
-        // `gen::<f64>() * total` can round up to `total` itself; the
-        // draw must then land on the last entry that carries weight, not
-        // on a trailing zero-weight (or negative) entry.
+        // A unit ticket of exactly 1.0 lands past every normalized
+        // prefix; the draw must then land on the last entry that carries
+        // weight, not on a trailing zero-weight (or negative) entry.
         let wheel = RouletteWheel::new(&[1.0, 2.0, -3.0, 0.0]);
-        assert_eq!(wheel.index_for_ticket(wheel.total), 1);
-        let all_weightless = RouletteWheel::new(&[4.0]);
-        assert_eq!(all_weightless.index_for_ticket(4.0), 0);
+        assert_eq!(wheel.index_for_ticket(1.0), 1);
+        let single = RouletteWheel::new(&[4.0]);
+        assert_eq!(single.index_for_ticket(1.0), 0);
     }
 
     #[test]
     fn wheel_matches_linear_scan_distribution() {
         // The wheel must select index i iff the linear running-sum scan
-        // would, for the same ticket.
+        // would, for the same unit ticket. The scores sum to 4.0 (a
+        // power of two), so normalization is exact and the comparison is
+        // bit-precise.
         let scores = [0.5, 0.0, 2.0, 1.25, 0.0, 0.25];
         let wheel = RouletteWheel::new(&scores);
         let total: f64 = scores.iter().sum();
         for k in 0..1_000 {
-            let ticket = (k as f64 / 1_000.0) * total;
-            let mut acc = ticket;
+            let ticket = k as f64 / 1_000.0;
+            let mut acc = ticket * total;
             let mut linear = scores.len() - 1;
             for (i, &s) in scores.iter().enumerate() {
                 acc -= s;
@@ -771,6 +898,52 @@ mod tests {
                 .partition_point(|&c| c <= ticket)
                 .min(scores.len() - 1);
             assert_eq!(binary, linear, "ticket {ticket}");
+        }
+    }
+
+    #[test]
+    fn normalized_wheel_equals_reference_multiplying_sampler() {
+        // Pre-normalizing the prefix sums must not change a single draw
+        // versus the reference sampler that kept raw prefixes and
+        // multiplied every ticket by the total. Deterministic seeds: if
+        // this passes once, it passes forever.
+        let score_sets: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![0.125, 7.5, 0.0, 0.375, 2.0],
+            (0..97)
+                .map(|i| ((i * 37 + 11) % 53) as f64 * 0.173)
+                .collect(),
+            vec![1e-9, 5e3, 2.0, 1e-12, 8.125],
+        ];
+        for scores in score_sets {
+            let wheel = RouletteWheel::new(&scores);
+            // Reference: the pre-normalization sampler.
+            let mut raw_cum = Vec::with_capacity(scores.len());
+            let mut acc = 0.0_f64;
+            let mut last_weighted = 0;
+            for (i, &s) in scores.iter().enumerate() {
+                if s.is_finite() && s > 0.0 {
+                    acc += s;
+                    last_weighted = i;
+                }
+                raw_cum.push(acc);
+            }
+            let reference = |u: f64| -> usize {
+                let ticket = u * acc;
+                let idx = raw_cum.partition_point(|&c| c <= ticket);
+                if idx < raw_cum.len() {
+                    idx
+                } else {
+                    last_weighted
+                }
+            };
+            let mut rng_a = SmallRng::seed_from_u64(0xD1CE);
+            let mut rng_b = SmallRng::seed_from_u64(0xD1CE);
+            for draw in 0..5_000 {
+                let got = wheel.sample(&mut rng_a);
+                let want = reference(rng_b.gen::<f64>());
+                assert_eq!(got, want, "draw {draw} over {} scores", scores.len());
+            }
         }
     }
 }

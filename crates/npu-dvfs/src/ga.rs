@@ -8,13 +8,22 @@
 //! (roulette) selection, last-`k` suffix crossover, and single-gene
 //! mutation, with the best individual carried over unchanged.
 //!
-//! Population scoring runs through [`crate::EvalEngine`] — memoized,
-//! incremental, and parallel across `cfg.threads` workers. The RNG is
-//! only consumed in the sequential population-generation phase and
+//! Generations live in a bit-packed [`GenomePool`] arena (two pools,
+//! swapped per generation) and are scored through [`crate::EvalEngine`]
+//! — memoized, incremental, and parallel across `cfg.threads` workers —
+//! so the hot loop performs no per-individual heap allocation. The RNG
+//! is only consumed in the sequential population-generation phase and
 //! scoring is a pure function of the genome, so the search returns a
 //! bit-identical [`GaOutcome`] for a given seed at any thread count.
+//!
+//! On large schedules the first generation is additionally seeded from
+//! the [`crate::exact`] Lagrangian ladder (see
+//! [`GaConfig::oracle_seeds`]): near-optimal rungs of the relaxed
+//! per-stage problem that point mutation alone could not rediscover.
 
 use crate::engine::{EvalEngine, IncrementalEval, RouletteWheel};
+use crate::exact;
+use crate::pool::GenomePool;
 use crate::preprocess::StageKind;
 use crate::strategy::{DvfsStrategy, Evaluation, StageTable};
 use npu_obs::{Event, ObserverHandle};
@@ -48,6 +57,19 @@ pub struct GaConfig {
     /// outcome is identical for any value — threads only change wall
     /// time.
     pub threads: usize,
+    /// Oracle seed individuals injected into the first generation from
+    /// the [`crate::exact::lagrangian_seeds`] ladder. `0` applies the
+    /// automatic rule: seed 8 individuals when the schedule has at
+    /// least [`Self::oracle_auto_stages`] stages, none otherwise.
+    /// Seeding consumes no RNG draws itself, but it reduces the number
+    /// of random first-generation individuals, so turning it on (or the
+    /// automatic rule tripping) changes the search trajectory — which
+    /// is why the automatic threshold leaves small schedules untouched.
+    pub oracle_seeds: usize,
+    /// Stage-count threshold for automatic oracle seeding (see
+    /// [`Self::oracle_seeds`]). `usize::MAX` disables the automatic
+    /// rule entirely.
+    pub oracle_auto_stages: usize,
 }
 
 impl Default for GaConfig {
@@ -63,6 +85,8 @@ impl Default for GaConfig {
             hfc_prior: FreqMhz::new(1800),
             seed: 0x6A_5EED,
             threads: 0,
+            oracle_seeds: 0,
+            oracle_auto_stages: 256,
         }
     }
 }
@@ -94,6 +118,36 @@ impl GaConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Sets an explicit oracle seed count (see [`Self::oracle_seeds`]),
+    /// chainable.
+    #[must_use]
+    pub fn with_oracle_seeds(mut self, seeds: usize) -> Self {
+        self.oracle_seeds = seeds;
+        self
+    }
+
+    /// Sets the automatic oracle-seeding stage threshold, chainable.
+    #[must_use]
+    pub fn with_oracle_auto_stages(mut self, stages: usize) -> Self {
+        self.oracle_auto_stages = stages;
+        self
+    }
+
+    /// Oracle seeds that will actually be injected for an `n_stages`
+    /// schedule — a pure function of the config and the stage count, so
+    /// search results stay a deterministic function of `(table, config)`
+    /// (which keeps content-addressed caching sound).
+    #[must_use]
+    pub fn effective_oracle_seeds(&self, n_stages: usize) -> usize {
+        if self.oracle_seeds > 0 {
+            self.oracle_seeds
+        } else if n_stages >= self.oracle_auto_stages {
+            8
+        } else {
+            0
+        }
     }
 }
 
@@ -186,7 +240,8 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
         };
     }
 
-    // First generation: baseline + prior + random (paper Sect. 6.3.1).
+    // First generation: baseline + prior (+ oracle) + random (paper
+    // Sect. 6.3.1), built directly into the bit-packed arena.
     let max_gene = m - 1;
     let gene_of = |f: FreqMhz| -> usize {
         table
@@ -195,21 +250,19 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
             .position(|&g| g >= f)
             .unwrap_or(max_gene)
     };
-    let mut population: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
-    population.push(vec![max_gene; n]); // baseline individual
+    let mut pool = GenomePool::with_capacity(n, m, cfg.population + 1);
+    let mut next = GenomePool::with_capacity(n, m, cfg.population + 1);
+    let mut genes_buf: Vec<usize> = vec![max_gene; n];
+    pool.push_genes(&genes_buf); // baseline individual
     if cfg.include_prior {
         let lfc = gene_of(cfg.lfc_prior);
         let hfc = gene_of(cfg.hfc_prior);
-        population.push(
-            table
-                .stages()
-                .iter()
-                .map(|s| match s.kind {
-                    StageKind::Lfc => lfc,
-                    StageKind::Hfc => hfc,
-                })
-                .collect(),
-        );
+        genes_buf.clear();
+        genes_buf.extend(table.stages().iter().map(|s| match s.kind {
+            StageKind::Lfc => lfc,
+            StageKind::Hfc => hfc,
+        }));
+        pool.push_genes(&genes_buf);
         // Deterministic seed individuals beyond the paper's single prior:
         // every uniform frequency (so the search dominates program-level
         // DVFS by construction) and the prior at every LFC depth. With
@@ -217,29 +270,41 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
         // these; seeding costs a handful of slots.
         let hfc_max = max_gene;
         for g in 0..m {
-            if population.len() + 1 >= cfg.population {
+            if pool.len() + 1 >= cfg.population {
                 break;
             }
-            population.push(vec![g; n]);
+            genes_buf.clear();
+            genes_buf.resize(n, g);
+            pool.push_genes(&genes_buf);
         }
         for lfc_g in 0..m {
-            if population.len() + 1 >= cfg.population {
+            if pool.len() + 1 >= cfg.population {
                 break;
             }
-            population.push(
-                table
-                    .stages()
-                    .iter()
-                    .map(|s| match s.kind {
-                        StageKind::Lfc => lfc_g,
-                        StageKind::Hfc => hfc_max,
-                    })
-                    .collect(),
-            );
+            genes_buf.clear();
+            genes_buf.extend(table.stages().iter().map(|s| match s.kind {
+                StageKind::Lfc => lfc_g,
+                StageKind::Hfc => hfc_max,
+            }));
+            pool.push_genes(&genes_buf);
         }
     }
-    while population.len() < cfg.population {
-        population.push((0..n).map(|_| rng.gen_range(0..m)).collect());
+    // Oracle seeds: best rungs of the Lagrangian ladder. Injected before
+    // the random fill and drawing nothing from the RNG, so with the
+    // (default) count of zero the trajectory is untouched.
+    let oracle_k = cfg.effective_oracle_seeds(n);
+    if oracle_k > 0 {
+        for seed in exact::lagrangian_seeds(table, cfg.perf_loss_target, oracle_k) {
+            if pool.len() + 1 >= cfg.population {
+                break;
+            }
+            pool.push_genes(&seed.genes);
+        }
+    }
+    while pool.len() < cfg.population {
+        genes_buf.clear();
+        genes_buf.extend((0..n).map(|_| rng.gen_range(0..m)));
+        pool.push_genes(&genes_buf);
     }
 
     // All scoring flows through the engine: memoized (elites and seeded
@@ -248,12 +313,12 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
     // count cannot perturb the search trajectory.
     let mut engine = EvalEngine::new(table, baseline_time, cfg.perf_loss_target, cfg.threads);
     let mut score_trace = Vec::with_capacity(cfg.iterations);
-    let mut best_genes = population[0].clone();
+    let mut best_genes = vec![max_gene; n]; // the baseline individual
     let mut best_score = f64::NEG_INFINITY;
     let mut prev_memo_hits = 0;
 
     for iter in 0..cfg.iterations {
-        let scores = engine.score_population(&population);
+        let scores = engine.score_pool(&pool);
         // The population is never empty; the fallback keeps this
         // panic-free without perturbing any reachable trajectory.
         let (gen_best_idx, gen_best) = scores
@@ -264,9 +329,15 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
             .unwrap_or((0, f64::NEG_INFINITY));
         if gen_best > best_score {
             best_score = gen_best;
-            best_genes = population[gen_best_idx].clone();
+            pool.read_genes(gen_best_idx, &mut best_genes);
         }
         score_trace.push(best_score);
+
+        // Next generation: elite + roulette-selected offspring via the
+        // prefix-sum wheel (O(log n) per draw). Children are copied,
+        // crossed and mutated inside the arena — no per-individual
+        // allocation.
+        let wheel = RouletteWheel::new(scores);
         if obs.enabled() {
             let memo_hits = engine.scored() - engine.unique_scored();
             obs.emit(Event::GaGeneration {
@@ -276,35 +347,27 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
             });
             prev_memo_hits = memo_hits;
         }
-
-        // Next generation: elite + roulette-selected offspring via the
-        // prefix-sum wheel (O(log n) per draw).
-        let wheel = RouletteWheel::new(&scores);
-        let mut next: Vec<Vec<usize>> = Vec::with_capacity(cfg.population);
-        next.push(best_genes.clone()); // elitism
+        next.clear();
+        next.push_genes(&best_genes); // elitism
         while next.len() < cfg.population {
-            let pa = population[wheel.sample(&mut rng)].clone();
-            let pb = population[wheel.sample(&mut rng)].clone();
-            let (mut ca, mut cb) = (pa, pb);
+            let pa = wheel.sample(&mut rng);
+            let pb = wheel.sample(&mut rng);
+            let ca = next.push_copy_from(&pool, pa);
+            let cb = next.push_copy_from(&pool, pb);
             if rng.gen::<f64>() < cfg.crossover_rate && n > 1 {
                 // Swap the last k genes (paper Sect. 6.3.3).
                 let k = rng.gen_range(1..n);
-                for i in n - k..n {
-                    std::mem::swap(&mut ca[i], &mut cb[i]);
-                }
+                next.swap_suffix(ca, cb, n - k);
             }
-            for child in [&mut ca, &mut cb] {
+            for child in [ca, cb] {
                 if rng.gen::<f64>() < cfg.mutation_rate {
                     let j = rng.gen_range(0..n);
-                    child[j] = rng.gen_range(0..m);
+                    next.set_gene(child, j, rng.gen_range(0..m));
                 }
             }
-            next.push(ca);
-            if next.len() < cfg.population {
-                next.push(cb);
-            }
         }
-        population = next;
+        next.truncate(cfg.population);
+        std::mem::swap(&mut pool, &mut next);
     }
 
     let mut evaluations = engine.scored();
@@ -591,6 +654,43 @@ mod tests {
         no_prior_cfg.include_prior = false;
         let without = search(&t, &no_prior_cfg);
         assert!(with_prior.score_trace[0] >= without.score_trace[0]);
+    }
+
+    #[test]
+    fn oracle_seeding_never_scores_below_cold_start() {
+        // Seeding the first generation from the Lagrangian ladder must
+        // not lose to the cold-start GA, and the outcome is guaranteed
+        // to be at least the best seed's own score (elitism + monotone
+        // refinement from the GA's best).
+        let t = table(6, 6);
+        let short = quick_cfg().with_iterations(10);
+        let cold = search(&t, &short);
+        let seeded = search(&t, &short.clone().with_oracle_seeds(6));
+        assert!(
+            seeded.best_score >= cold.best_score,
+            "seeded {} < cold {}",
+            seeded.best_score,
+            cold.best_score
+        );
+        let best_seed = exact::lagrangian_seeds(&t, short.perf_loss_target, 6)
+            .into_iter()
+            .map(|s| s.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(seeded.best_score >= best_seed);
+        assert!(seeded.score_trace[0] >= best_seed);
+    }
+
+    #[test]
+    fn oracle_auto_rule_gates_on_stage_count() {
+        let cfg = GaConfig::default();
+        assert_eq!(cfg.effective_oracle_seeds(10), 0);
+        assert_eq!(cfg.effective_oracle_seeds(255), 0);
+        assert_eq!(cfg.effective_oracle_seeds(256), 8);
+        assert_eq!(cfg.effective_oracle_seeds(960), 8);
+        let explicit = GaConfig::default().with_oracle_seeds(3);
+        assert_eq!(explicit.effective_oracle_seeds(10), 3);
+        let disabled = GaConfig::default().with_oracle_auto_stages(usize::MAX);
+        assert_eq!(disabled.effective_oracle_seeds(1_000_000), 0);
     }
 
     #[test]

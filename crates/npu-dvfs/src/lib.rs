@@ -15,10 +15,21 @@
 //!   performance bound is met, roulette selection, last-`k` crossover and
 //!   point mutation;
 //! * [`EvalEngine`] / [`IncrementalEval`] / [`RouletteWheel`] — the
-//!   evaluation engine behind [`search`]: memoized, incremental
+//!   evaluation engine behind [`search`]: memoized (bounded,
+//!   deterministically evicting [`FingerprintRing`]), incremental
 //!   (O(changed genes · log stages) per re-score, bit-identical to a
 //!   full pass) and parallel across `std::thread::scope` workers without
-//!   perturbing the seeded search trajectory.
+//!   perturbing the seeded search trajectory;
+//! * [`GenomePool`] / [`PoolScratch`] — the bit-packed structure-of-
+//!   arrays genome arena the GA generations live in: 4 bits per gene for
+//!   the paper's 9-level frequency ladder, one contiguous buffer reused
+//!   across generations, O(1) incrementally-maintained fingerprints, and
+//!   word-level delta extraction so scoring touches only changed stages;
+//! * [`exact`] — the per-stage separable oracle: a Pareto-frontier
+//!   dynamic program that certifies the true Eq. (17) optimum on
+//!   thermally-uncoupled tables (bit-identical to [`StageTable`]
+//!   evaluation), plus the Lagrangian-relaxation ladder that seeds the
+//!   GA population on large schedules.
 //!
 //! # Example
 //!
@@ -38,15 +49,21 @@
 pub mod baseline;
 pub mod classify;
 mod engine;
+pub mod exact;
 mod ga;
+mod memo;
 pub mod persist;
+mod pool;
 pub mod preprocess;
 mod strategy;
 
 pub use baseline::{phase_level, program_level, BaselineOutcome};
 pub use classify::{Bottleneck, Sensitivity};
 pub use engine::{resolve_threads, EvalEngine, IncrementalEval, RouletteWheel};
+pub use exact::{ExactConfig, ExactOutcome, LagrangianSeed};
 pub use ga::{score, search, search_observed, GaConfig, GaOutcome};
+pub use memo::FingerprintRing;
 pub use persist::{read_strategy, write_strategy, StrategyParseError, STRATEGY_HEADER};
+pub use pool::{genome_fingerprint, GenomePool, PoolScratch};
 pub use preprocess::{Preprocessed, Stage, StageKind};
 pub use strategy::{DvfsStrategy, Evaluation, StageTable, TableError, ThermalCoupling};

@@ -299,6 +299,12 @@ impl StageTable {
         }
     }
 
+    /// The thermal coupling applied by [`Self::finish_sums`] (lets the
+    /// exact solver decide whether the fix point can affect a score).
+    pub(crate) fn coupling(&self) -> ThermalCoupling {
+        self.coupling
+    }
+
     /// Finishes an evaluation from accumulated sums: runs the
     /// workload-level temperature fix point (the chip's thermal time
     /// constant dwarfs any stage, so ΔT follows the time-averaged SoC

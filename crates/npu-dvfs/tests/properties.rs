@@ -5,7 +5,8 @@
 use proptest::prelude::*;
 
 use npu_dvfs::{
-    preprocess::preprocess, score, search, GaConfig, IncrementalEval, Stage, StageKind, StageTable,
+    exact, preprocess::preprocess, score, search, EvalEngine, GaConfig, GenomePool,
+    IncrementalEval, Stage, StageKind, StageTable,
 };
 use npu_sim::{FreqMhz, OpClass, OpRecord, PipelineRatios, Scenario};
 
@@ -59,7 +60,11 @@ prop_compose! {
 }
 
 fn arb_table() -> impl Strategy<Value = StageTable> {
-    prop::collection::vec((1_000.0f64..50_000.0, any::<bool>(), 5.0f64..40.0), 2..24).prop_map(
+    arb_table_sized(2..24)
+}
+
+fn arb_table_sized(stages: std::ops::Range<usize>) -> impl Strategy<Value = StageTable> {
+    prop::collection::vec((1_000.0f64..50_000.0, any::<bool>(), 5.0f64..40.0), stages).prop_map(
         |rows| {
             let freqs: Vec<FreqMhz> = (10..=18).map(|k| FreqMhz::new(k * 100)).collect();
             let mut stages = Vec::new();
@@ -243,6 +248,85 @@ proptest! {
         prop_assert_eq!(bits(&single.score_trace), bits(&multi.score_trace));
         prop_assert_eq!(single.evaluations, multi.evaluations);
         prop_assert_eq!(single.unique_evaluations, multi.unique_evaluations);
+    }
+
+    /// Scoring a bit-packed [`GenomePool`] through the engine is
+    /// bit-identical (0 ULP) to scoring each genome with a fresh full
+    /// `StageTable::evaluate`, at every worker count. This pins the
+    /// whole pool path — packing, incremental fingerprints, the memo
+    /// ring, worker sharding and delta extraction — to the reference
+    /// semantics.
+    #[test]
+    fn pool_scoring_bit_identical_to_full_evaluation(
+        table in arb_table(),
+        raw_genomes in prop::collection::vec(prop::collection::vec(any::<usize>(), 24), 1..120),
+    ) {
+        let n = table.n_stages();
+        let m = table.n_freqs();
+        let baseline = table.baseline().time_us;
+        let loss = 0.02;
+        let mut pool = GenomePool::new(n, m);
+        let mut expected = Vec::with_capacity(raw_genomes.len());
+        for raw in &raw_genomes {
+            let genes: Vec<usize> = (0..n).map(|i| raw[i % raw.len()] % m).collect();
+            pool.push_genes(&genes);
+            expected.push(score(&table.evaluate(&genes), baseline, loss));
+        }
+        for threads in [1usize, 2, 8] {
+            let mut engine = EvalEngine::new(&table, baseline, loss, threads);
+            let got = engine.score_pool(&pool);
+            prop_assert_eq!(got.len(), expected.len());
+            for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+                prop_assert_eq!(
+                    g.to_bits(), e.to_bits(),
+                    "genome {i} at {threads} threads: {g} vs {e}"
+                );
+            }
+        }
+    }
+
+    /// On thermally-uncoupled tables the Pareto-DP oracle certifies a
+    /// true optimum: its score is ≥ every GA result and the returned
+    /// genome achieves the reported score bit-exactly through the
+    /// ordinary evaluation path.
+    #[test]
+    fn exact_oracle_certifies_and_dominates_the_ga(
+        table in arb_table_sized(2..10),
+        seed in 0u64..1_000,
+    ) {
+        let loss = 0.02;
+        let out = exact::solve(&table, &exact::ExactConfig::default().with_loss_target(loss));
+        prop_assert!(out.certified, "uncoupled table must certify");
+        let achieved = score(&table.evaluate(&out.genes), table.baseline().time_us, loss);
+        prop_assert_eq!(achieved.to_bits(), out.score.to_bits());
+        let mut cfg = GaConfig::default().with_population(24).with_iterations(20);
+        cfg.seed = seed;
+        let ga = search(&table, &cfg);
+        prop_assert!(
+            out.score >= ga.best_score,
+            "oracle {} below GA {}", out.score, ga.best_score
+        );
+    }
+
+    /// A GA seeded from the Lagrangian ladder is guaranteed (elitism +
+    /// score-monotone refinement) to finish at least as high as its best
+    /// seed, on any table.
+    #[test]
+    fn oracle_seeded_ga_dominates_its_seeds(table in arb_table(), seed in 0u64..1_000) {
+        let mut cfg = GaConfig::default()
+            .with_population(40)
+            .with_iterations(10)
+            .with_oracle_seeds(4);
+        cfg.seed = seed;
+        let seeded = search(&table, &cfg);
+        let best_seed = exact::lagrangian_seeds(&table, cfg.perf_loss_target, 4)
+            .into_iter()
+            .map(|s| s.score)
+            .fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(
+            seeded.best_score >= best_seed,
+            "seeded GA {} below its own best seed {}", seeded.best_score, best_seed
+        );
     }
 
     /// Score doubles exactly at the performance bound and decreases with

@@ -45,6 +45,43 @@ CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fitting
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench ga_eval
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench simulator
 
+# Validate the ga_eval smoke JSON: the pool path's correctness artifacts
+# are timing-independent and must hold on every machine — pool scores
+# bit-identical to full evaluation at 1/2/8 worker threads, zero heap
+# allocations on a warm single-threaded score_pool pass, and the exact
+# Pareto-DP oracle certifying the GA result with a gap of exactly 0.0.
+ga_fields="full_policies_per_sec incremental_policies_per_sec \
+engine_policies_per_sec pool_policies_per_sec pool_vs_engine_speedup \
+pool_bit_identical pool_score_allocs optimality_gap oracle_certified"
+for f in $ga_fields; do
+  grep -q "\"$f\"" BENCH_ga_eval.smoke.json \
+    || { echo "BENCH_ga_eval.smoke.json: missing field $f" >&2; exit 1; }
+done
+grep -q '"pool_bit_identical": true' BENCH_ga_eval.smoke.json \
+  || { echo "pool scores diverged from full evaluation" >&2; exit 1; }
+grep -q '"pool_score_allocs": 0,' BENCH_ga_eval.smoke.json \
+  || { echo "warm score_pool pass allocated on the heap" >&2; exit 1; }
+grep -q '"optimality_gap": 0.0,' BENCH_ga_eval.smoke.json \
+  || { echo "GA missed the certified optimum (gap != 0.0)" >&2; exit 1; }
+grep -q '"oracle_certified": true' BENCH_ga_eval.smoke.json \
+  || { echo "exact oracle failed to certify the small schedule" >&2; exit 1; }
+rm -f BENCH_ga_eval.smoke.json
+
+# The checked-in full-run measurement must carry the same fields, show
+# the >= 5x pool-vs-engine speedup, and the same correctness artifacts
+# (full runs: cargo bench -p npu-bench --bench ga_eval, no
+# CRITERION_SMOKE).
+for f in $ga_fields; do
+  grep -q "\"$f\"" BENCH_ga_eval.json \
+    || { echo "BENCH_ga_eval.json: missing field $f" >&2; exit 1; }
+done
+awk -F': ' '/"pool_vs_engine_speedup"/ { if ($2 + 0 < 5.0) exit 1 }' BENCH_ga_eval.json \
+  || { echo "BENCH_ga_eval.json: pool speedup below 5x" >&2; exit 1; }
+grep -q '"pool_bit_identical": true' BENCH_ga_eval.json \
+  || { echo "BENCH_ga_eval.json: pool scores not bit-identical" >&2; exit 1; }
+grep -q '"optimality_gap": 0.0,' BENCH_ga_eval.json \
+  || { echo "BENCH_ga_eval.json: optimality gap != 0.0" >&2; exit 1; }
+
 echo "==> pipeline bench smoke (cold-serial vs cold-parallel vs warm cache)"
 CRITERION_SMOKE=1 cargo bench -p npu-bench --bench pipeline
 
