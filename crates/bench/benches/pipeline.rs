@@ -80,8 +80,11 @@ fn main() {
     let mut serial_epoch_secs = 0.0;
     let mut serial_reports = Vec::new();
     for _ in 0..EPOCH_BATCHES {
-        let runner =
-            FleetRunner::new(cfg.clone(), calib, opts(smoke).with_threads(1)).with_workers(1);
+        let runner = FleetRunner::builder(cfg.clone())
+            .with_calibration(calib)
+            .with_config(opts(smoke).with_threads(1))
+            .with_workers(1)
+            .build();
         let (reports, secs) = timed(&runner, &batch);
         serial_epoch_secs += secs;
         serial_reports = reports;
@@ -90,7 +93,11 @@ fn main() {
 
     // The pipeline: first service cold through the parallel fleet…
     let workers = npu_dvfs::resolve_threads(0).min(n);
-    let pipeline = FleetRunner::new(cfg, calib, opts(smoke)).with_workers(workers);
+    let pipeline = FleetRunner::builder(cfg)
+        .with_calibration(calib)
+        .with_config(opts(smoke))
+        .with_workers(workers)
+        .build();
     let (parallel_reports, parallel_secs) = timed(&pipeline, &batch);
     let cold_stats = pipeline.cache().stats();
     assert_eq!(cold_stats.hits(), 0, "cold cache cannot hit");

@@ -22,7 +22,13 @@
 //!   the eight calibration parameters.
 //! - **search key** ← model key + the effective FAI + every
 //!   [`GaConfig`] field *except* `threads` (worker counts never change
-//!   GA results, so they must not fragment the cache).
+//!   GA results, so they must not fragment the cache) — including the
+//!   warm-start transfer seeds, so a fleet-transferred search never
+//!   aliases a cold one.
+//! - **fleet strategy key** ← the owning device's configuration + noise
+//!   seed + strategy generation; the publication address a
+//!   `FleetController` uses to share one device's active strategy with
+//!   its cluster neighbors.
 //!
 //! The store is in-memory (cheap-clone handle, shared across threads).
 //! With [`ArtifactCache::persistent`] profile and search artifacts are
@@ -242,7 +248,10 @@ pub fn model_key(
 pub fn search_key(model_key: u64, fai_us: f64, ga: &GaConfig) -> u64 {
     // v2: the oracle-seeding fields joined GaConfig (they change the
     // first generation, hence the whole trajectory).
-    let mut fp = Fingerprint::new("npu-core/search/v2");
+    // v3: warm-start transfer seeds joined GaConfig — a warm-seeded
+    // search must never alias the cold one (or a differently-seeded
+    // one) under the same key.
+    let mut fp = Fingerprint::new("npu-core/search/v3");
     fp.push_u64(model_key);
     fp.push_f64(fai_us);
     fp.push_usize(ga.population);
@@ -256,6 +265,28 @@ pub fn search_key(model_key: u64, fai_us: f64, ga: &GaConfig) -> u64 {
     fp.push_u64(ga.seed);
     fp.push_usize(ga.oracle_seeds);
     fp.push_usize(ga.oracle_auto_stages);
+    fp.push_usize(ga.warm_seeds.len());
+    for seed in &ga.warm_seeds {
+        fp.push_usize(seed.len());
+        for &f in seed {
+            fp.push_u64(u64::from(f.mhz()));
+        }
+    }
+    fp.finish()
+}
+
+/// Cache key under which a fleet controller publishes a device's active
+/// strategy for cross-device transfer: the owning device's configuration
+/// and noise seed plus the strategy generation. Distinct devices (their
+/// configurations or seeds differ) and successive generations of the
+/// same device can never alias, so a transfer lookup either finds the
+/// exact published strategy or misses.
+#[must_use]
+pub fn fleet_strategy_key(cfg: &NpuConfig, device_seed: u64, generation: usize) -> u64 {
+    let mut fp = Fingerprint::new("npu-core/fleet-strategy/v1");
+    push_config(&mut fp, cfg);
+    fp.push_u64(device_seed);
+    fp.push_usize(generation);
     fp.finish()
 }
 
@@ -346,9 +377,9 @@ fn parse_err(line: usize, what: impl Into<String>) -> ArtifactParseError {
 
 /// Error from a checked cache lookup: the persisted artifact for the key
 /// *exists* but could not be used. Returned by
-/// [`ArtifactCache::lookup_profile_checked`] /
-/// [`ArtifactCache::lookup_search_checked`] — the unchecked lookups fold
-/// these cases into a plain miss.
+/// [`ArtifactCache::try_lookup_profile`] /
+/// [`ArtifactCache::try_lookup_search`] — the lossy `lookup_*`
+/// convenience wrappers fold these cases into a plain miss.
 #[derive(Debug)]
 pub enum CacheError {
     /// The artifact file exists but reading it failed.
@@ -935,14 +966,53 @@ impl ArtifactCache {
         }
     }
 
+    /// The one disk-backed lookup implementation behind every checked
+    /// artifact lookup: memory map first, then the persistence
+    /// directory, decoding through `decode` and promoting disk hits into
+    /// the memory map. Counts exactly one hit or miss on `stats`.
+    fn lookup_disk_backed<T>(
+        &self,
+        map: &Mutex<HashMap<u64, Arc<T>>>,
+        stats: &Counters,
+        kind: &'static str,
+        key: u64,
+        decode: impl FnOnce(&str) -> Result<T, ArtifactParseError>,
+    ) -> Result<Option<Arc<T>>, CacheError> {
+        let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(found) = map.get(&key).cloned() {
+            drop(map);
+            Self::tally(stats, true);
+            return Ok(Some(found));
+        }
+        let loaded = match Self::load_text(self.disk_path(kind, key), kind, key) {
+            Ok(Some((path, text))) => match decode(&text) {
+                Ok(artifact) => Ok(Some(Arc::new(artifact))),
+                Err(source) => Err(CacheError::Corrupt {
+                    kind,
+                    key,
+                    path,
+                    source,
+                }),
+            },
+            Ok(None) => Ok(None),
+            Err(e) => Err(e),
+        };
+        if let Ok(Some(artifact)) = &loaded {
+            map.insert(key, artifact.clone());
+        }
+        drop(map);
+        Self::tally(stats, matches!(&loaded, Ok(Some(_))));
+        loaded
+    }
+
     /// Looks up a profile artifact (memory first, then the persistence
     /// directory). Counts a hit or miss. A persisted file that exists
     /// but cannot be read or decoded is treated as a miss; use
-    /// [`Self::lookup_profile_checked`] to surface that case as a typed
+    /// [`Self::try_lookup_profile`] to surface that case as a typed
     /// error instead of a silent skip.
     #[must_use]
     pub fn lookup_profile(&self, key: u64) -> Option<Arc<ProfileArtifact>> {
-        self.lookup_profile_checked(key).unwrap_or_default()
+        self.try_lookup_profile(key).unwrap_or_default()
     }
 
     /// [`Self::lookup_profile`], surfacing persistence problems.
@@ -958,39 +1028,27 @@ impl ArtifactCache {
     ///
     /// [`CacheError::Io`] when the persisted file exists but reading it
     /// fails; [`CacheError::Corrupt`] when it reads but fails to decode.
+    pub fn try_lookup_profile(&self, key: u64) -> Result<Option<Arc<ProfileArtifact>>, CacheError> {
+        self.lookup_disk_backed(
+            &self.inner.profiles,
+            &self.inner.profile_stats,
+            "profile",
+            key,
+            ProfileArtifact::from_text,
+        )
+    }
+
+    /// Deprecated alias for [`Self::try_lookup_profile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_lookup_profile`].
+    #[deprecated(since = "0.2.0", note = "renamed to `try_lookup_profile`")]
     pub fn lookup_profile_checked(
         &self,
         key: u64,
     ) -> Result<Option<Arc<ProfileArtifact>>, CacheError> {
-        let mut map = self
-            .inner
-            .profiles
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        if let Some(found) = map.get(&key).cloned() {
-            drop(map);
-            Self::tally(&self.inner.profile_stats, true);
-            return Ok(Some(found));
-        }
-        let loaded = match Self::load_text(self.disk_path("profile", key), "profile", key) {
-            Ok(Some((path, text))) => match ProfileArtifact::from_text(&text) {
-                Ok(artifact) => Ok(Some(Arc::new(artifact))),
-                Err(source) => Err(CacheError::Corrupt {
-                    kind: "profile",
-                    key,
-                    path,
-                    source,
-                }),
-            },
-            Ok(None) => Ok(None),
-            Err(e) => Err(e),
-        };
-        if let Ok(Some(artifact)) = &loaded {
-            map.insert(key, artifact.clone());
-        }
-        drop(map);
-        Self::tally(&self.inner.profile_stats, matches!(&loaded, Ok(Some(_))));
-        loaded
+        self.try_lookup_profile(key)
     }
 
     /// Reads a persisted artifact's text. `Ok(None)` when the cache is
@@ -1033,6 +1091,18 @@ impl ArtifactCache {
     /// Looks up a model artifact (memory only). Counts a hit or miss.
     #[must_use]
     pub fn lookup_model(&self, key: u64) -> Option<Arc<ModelArtifact>> {
+        self.try_lookup_model(key).unwrap_or_default()
+    }
+
+    /// [`Self::lookup_model`] behind the shared `Result` idiom. Model
+    /// artifacts are never persisted, so today this cannot fail — the
+    /// signature exists so the transfer path and the serving path handle
+    /// every artifact kind through one error surface.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; reserved for a future persisted model store.
+    pub fn try_lookup_model(&self, key: u64) -> Result<Option<Arc<ModelArtifact>>, CacheError> {
         let found = self
             .inner
             .models
@@ -1041,7 +1111,7 @@ impl ArtifactCache {
             .get(&key)
             .cloned();
         Self::tally(&self.inner.model_stats, found.is_some());
-        found
+        Ok(found)
     }
 
     /// Stores a model artifact.
@@ -1058,53 +1128,41 @@ impl ArtifactCache {
     /// Looks up a search artifact (memory first, then the persistence
     /// directory). Counts a hit or miss. A persisted file that exists
     /// but cannot be read or decoded is treated as a miss; use
-    /// [`Self::lookup_search_checked`] to surface that case as a typed
+    /// [`Self::try_lookup_search`] to surface that case as a typed
     /// error instead of a silent skip.
     #[must_use]
     pub fn lookup_search(&self, key: u64) -> Option<Arc<SearchArtifact>> {
-        self.lookup_search_checked(key).unwrap_or_default()
+        self.try_lookup_search(key).unwrap_or_default()
     }
 
     /// [`Self::lookup_search`], surfacing persistence problems — see
-    /// [`Self::lookup_profile_checked`] for the exact semantics.
+    /// [`Self::try_lookup_profile`] for the exact semantics.
     ///
     /// # Errors
     ///
     /// [`CacheError::Io`] when the persisted file exists but reading it
     /// fails; [`CacheError::Corrupt`] when it reads but fails to decode.
+    pub fn try_lookup_search(&self, key: u64) -> Result<Option<Arc<SearchArtifact>>, CacheError> {
+        self.lookup_disk_backed(
+            &self.inner.searches,
+            &self.inner.search_stats,
+            "search",
+            key,
+            SearchArtifact::from_text,
+        )
+    }
+
+    /// Deprecated alias for [`Self::try_lookup_search`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_lookup_search`].
+    #[deprecated(since = "0.2.0", note = "renamed to `try_lookup_search`")]
     pub fn lookup_search_checked(
         &self,
         key: u64,
     ) -> Result<Option<Arc<SearchArtifact>>, CacheError> {
-        let mut map = self
-            .inner
-            .searches
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        if let Some(found) = map.get(&key).cloned() {
-            drop(map);
-            Self::tally(&self.inner.search_stats, true);
-            return Ok(Some(found));
-        }
-        let loaded = match Self::load_text(self.disk_path("search", key), "search", key) {
-            Ok(Some((path, text))) => match SearchArtifact::from_text(&text) {
-                Ok(artifact) => Ok(Some(Arc::new(artifact))),
-                Err(source) => Err(CacheError::Corrupt {
-                    kind: "search",
-                    key,
-                    path,
-                    source,
-                }),
-            },
-            Ok(None) => Ok(None),
-            Err(e) => Err(e),
-        };
-        if let Ok(Some(artifact)) = &loaded {
-            map.insert(key, artifact.clone());
-        }
-        drop(map);
-        Self::tally(&self.inner.search_stats, matches!(&loaded, Ok(Some(_))));
-        loaded
+        self.try_lookup_search(key)
     }
 
     /// Stores a search artifact (and spills it to disk when the cache is

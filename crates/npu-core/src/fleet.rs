@@ -22,6 +22,112 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
+/// Builder for a [`FleetRunner`], consistent with the `with_*` style of
+/// [`OptimizerConfig`] and [`crate::ServeBuilder`]: name the device
+/// configuration, chain the optional pieces, `build()`. Calibration
+/// defaults to [`HardwareCalibration::ground_truth`] of the
+/// configuration when not supplied.
+///
+/// ```no_run
+/// use npu_core::FleetBuilder;
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let runner = FleetBuilder::new(cfg.clone()).with_workers(4).build();
+/// let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 24)];
+/// let reports = runner.run(&batch)?;
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetBuilder {
+    cfg: NpuConfig,
+    calib: Option<HardwareCalibration>,
+    opts: OptimizerConfig,
+    cache: ArtifactCache,
+    obs: ObserverHandle,
+    workers: usize,
+    device_seed: Option<u64>,
+}
+
+impl FleetBuilder {
+    /// Starts a builder for devices of `cfg` with default optimizer
+    /// options, ground-truth calibration, a fresh in-memory cache, a
+    /// null observer and auto-detected worker count.
+    #[must_use]
+    pub fn new(cfg: NpuConfig) -> Self {
+        Self {
+            cfg,
+            calib: None,
+            opts: OptimizerConfig::default(),
+            cache: ArtifactCache::new(),
+            obs: ObserverHandle::null(),
+            workers: 0,
+            device_seed: None,
+        }
+    }
+
+    /// Sets the hardware calibration every session optimizes against
+    /// (defaults to the configuration's ground truth).
+    #[must_use]
+    pub fn with_calibration(mut self, calib: HardwareCalibration) -> Self {
+        self.calib = Some(calib);
+        self
+    }
+
+    /// Sets the optimizer configuration applied to every workload.
+    #[must_use]
+    pub fn with_config(mut self, opts: OptimizerConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the number of concurrent sessions (`0` = auto-detect).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Shares an artifact cache (e.g. a persistent or already-warm one).
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches a structured-event observer.
+    #[must_use]
+    pub fn with_observer(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Pins the per-workload device noise seed.
+    #[must_use]
+    pub fn with_device_seed(mut self, seed: u64) -> Self {
+        self.device_seed = Some(seed);
+        self
+    }
+
+    /// Assembles the runner.
+    #[must_use]
+    pub fn build(self) -> FleetRunner {
+        let calib = self
+            .calib
+            .unwrap_or_else(|| HardwareCalibration::ground_truth(&self.cfg));
+        FleetRunner {
+            cfg: self.cfg,
+            calib,
+            opts: self.opts,
+            cache: self.cache,
+            obs: self.obs,
+            workers: self.workers,
+            device_seed: self.device_seed,
+        }
+    }
+}
+
 /// Runs optimization sessions for whole batches of workloads, sharing
 /// one content-addressed cache and a bounded worker pool.
 ///
@@ -35,7 +141,9 @@ use std::time::Instant;
 ///
 /// let cfg = NpuConfig::ascend_like();
 /// let calib = HardwareCalibration::ground_truth(&cfg);
-/// let runner = FleetRunner::new(cfg.clone(), calib, Default::default());
+/// let runner = FleetRunner::builder(cfg.clone())
+///     .with_calibration(calib)
+///     .build();
 /// let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 24)];
 /// let cold = runner.run(&batch)?; // pays the simulation cost
 /// let warm = runner.run(&batch)?; // served from the cache
@@ -54,20 +162,26 @@ pub struct FleetRunner {
 }
 
 impl FleetRunner {
+    /// Starts a [`FleetBuilder`] for devices of `cfg` — the primary
+    /// construction surface.
+    #[must_use]
+    pub fn builder(cfg: NpuConfig) -> FleetBuilder {
+        FleetBuilder::new(cfg)
+    }
+
     /// Creates a runner for devices of `cfg` calibrated as `calib`,
     /// optimizing each workload under `opts`. Starts with a fresh
     /// in-memory cache, a null observer and auto-detected worker count.
+    #[deprecated(
+        since = "0.2.0",
+        note = "assemble through `FleetRunner::builder` / `FleetBuilder` instead"
+    )]
     #[must_use]
     pub fn new(cfg: NpuConfig, calib: HardwareCalibration, opts: OptimizerConfig) -> Self {
-        Self {
-            cfg,
-            calib,
-            opts,
-            cache: ArtifactCache::new(),
-            obs: ObserverHandle::null(),
-            workers: 0,
-            device_seed: None,
-        }
+        FleetBuilder::new(cfg)
+            .with_calibration(calib)
+            .with_config(opts)
+            .build()
     }
 
     /// Sets the number of concurrent sessions (`0` = auto-detect via
@@ -208,7 +322,11 @@ pub fn optimize_batch(
     batch: &[Workload],
     opts: &OptimizerConfig,
 ) -> Result<Vec<OptimizationReport>, OptimizeError> {
-    FleetRunner::new(cfg, calib, opts.clone()).run(batch)
+    FleetBuilder::new(cfg)
+        .with_calibration(calib)
+        .with_config(opts.clone())
+        .build()
+        .run(batch)
 }
 
 #[cfg(test)]
@@ -236,10 +354,32 @@ mod tests {
         }
 
         for workers in [1, 2, 8] {
-            let runner = FleetRunner::new(cfg.clone(), calib, quick_opts()).with_workers(workers);
+            let runner = FleetRunner::builder(cfg.clone())
+                .with_calibration(calib)
+                .with_config(quick_opts())
+                .with_workers(workers)
+                .build();
             let reports = runner.run(&batch).unwrap();
             assert_eq!(reports, solo, "workers={workers} diverged");
         }
+    }
+
+    #[test]
+    fn deprecated_constructor_matches_builder_byte_for_byte() {
+        let cfg = NpuConfig::ascend_like();
+        let calib = HardwareCalibration::ground_truth(&cfg);
+        let batch = [models::tiny(&cfg)];
+        #[allow(deprecated)]
+        let old = FleetRunner::new(cfg.clone(), calib, quick_opts())
+            .run(&batch)
+            .unwrap();
+        let new = FleetRunner::builder(cfg)
+            .with_calibration(calib)
+            .with_config(quick_opts())
+            .build()
+            .run(&batch)
+            .unwrap();
+        assert_eq!(old, new);
     }
 
     #[test]
@@ -247,7 +387,11 @@ mod tests {
         let cfg = NpuConfig::ascend_like();
         let calib = HardwareCalibration::ground_truth(&cfg);
         let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 12)];
-        let runner = FleetRunner::new(cfg, calib, quick_opts()).with_workers(2);
+        let runner = FleetRunner::builder(cfg)
+            .with_calibration(calib)
+            .with_config(quick_opts())
+            .with_workers(2)
+            .build();
 
         let cold = runner.run(&batch).unwrap();
         let stats = runner.cache().stats();
@@ -274,9 +418,12 @@ mod tests {
         let cfg = NpuConfig::ascend_like();
         let calib = HardwareCalibration::ground_truth(&cfg);
         let metrics = Arc::new(MetricsRegistry::new());
-        let runner = FleetRunner::new(cfg.clone(), calib, quick_opts())
+        let runner = FleetRunner::builder(cfg.clone())
+            .with_calibration(calib)
+            .with_config(quick_opts())
             .with_workers(2)
-            .with_observer(ObserverHandle::from_arc(metrics.clone()));
+            .with_observer(ObserverHandle::from_arc(metrics.clone()))
+            .build();
         let batch = [models::tiny(&cfg), models::tanh_loop(&cfg, 12)];
         runner.run(&batch).unwrap();
         assert_eq!(metrics.counter("event.BatchScheduled"), 2);

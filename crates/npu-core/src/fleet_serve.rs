@@ -1,0 +1,790 @@
+//! Fleet-scale serving: one controller, N drifting devices,
+//! cross-device strategy transfer.
+//!
+//! The paper optimizes one accelerator; deployments run thousands, each
+//! slightly different (manufacturing spread), each drifting on its own
+//! schedule, all re-optimizing against the same physics. A
+//! [`FleetController`] owns N simulated devices sampled from a seeded
+//! [`ConfigSpread`], shards their [`ServeRuntime`] loops across a
+//! bounded worker pool, and turns one device's finished search into
+//! another's warm start:
+//!
+//! 1. **Clustering** — devices are grouped by *calibration
+//!    fingerprint*: the quantized vector of their power/thermal
+//!    coefficients relative to the fleet's base configuration
+//!    ([`calibration_fingerprint`]). Two devices in one cluster are
+//!    close enough that a strategy searched for one is a near-optimum
+//!    for the other.
+//! 2. **Publication** — at the end of every epoch the controller
+//!    publishes each device's active strategy into the shared
+//!    [`ArtifactCache`] under a [`fleet_strategy_key`] (device config +
+//!    seed + generation — never aliased).
+//! 3. **Transfer** — before the next epoch, each device is armed with
+//!    its nearest in-cluster neighbor's published strategy
+//!    ([`ServeRuntime::arm_warm_seeds`]). If the device's drift
+//!    detector fires that epoch, its GA starts from the transferred
+//!    strategy (and optionally a reduced iteration budget) instead of a
+//!    cold oracle-seeded search — [`npu_obs::Event::TransferHit`]. A
+//!    re-optimization with nothing transferable falls back to the cold
+//!    path — [`npu_obs::Event::TransferMiss`].
+//!
+//! # Determinism
+//!
+//! Epochs are barriers. Between barriers every device runs pure
+//! per-device work (its own device, its own RNG streams, a shared cache
+//! whose artifacts are themselves deterministic functions of their
+//! keys), so the worker pool can interleave devices arbitrarily without
+//! changing any outcome. Everything order-sensitive — arming transfer
+//! seeds from the published board, emitting events, publishing
+//! strategies — happens sequentially at the barrier, in device-index
+//! order. The result: [`FleetOutcome::digest`] is bit-identical at 1, 2
+//! and 8 workers.
+
+use crate::cache::{fleet_strategy_key, ArtifactCache, Fingerprint, SearchArtifact};
+use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
+use crate::serve::{ServeOptions, ServeOutcome, ServeRuntime, ServeState};
+use npu_obs::{Event, ObserverHandle};
+use npu_power_model::HardwareCalibration;
+use npu_sim::{ConfigSpread, Device, DriftModel, NpuConfig};
+use npu_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Components of a device's calibration vector (see
+/// [`calibration_vector`]).
+pub const CALIB_DIMS: usize = 6;
+
+/// A device's calibration coordinates relative to the fleet base: the
+/// fractional deviation of β, θ, γ_aicore, γ_soc and k, plus the
+/// absolute ambient offset in °C. This is the space devices are
+/// clustered and matched in.
+#[must_use]
+pub fn calibration_vector(base: &NpuConfig, cfg: &NpuConfig) -> [f64; CALIB_DIMS] {
+    let rel = |x: f64, b: f64| if b != 0.0 { x / b - 1.0 } else { x };
+    [
+        rel(cfg.beta_w_per_ghz_v2, base.beta_w_per_ghz_v2),
+        rel(cfg.theta_w_per_v, base.theta_w_per_v),
+        rel(cfg.gamma_aicore_w_per_k_v, base.gamma_aicore_w_per_k_v),
+        rel(cfg.gamma_soc_w_per_k_v, base.gamma_soc_w_per_k_v),
+        rel(cfg.k_c_per_w, base.k_c_per_w),
+        cfg.ambient_c - base.ambient_c,
+    ]
+}
+
+/// Quantizes a calibration vector into a cluster fingerprint: the five
+/// fractional coefficients bucketed by `coeff_quant`, the ambient
+/// offset by `ambient_quant_c`. Devices with equal fingerprints form a
+/// cluster. A pure per-device function — the fingerprint of a device
+/// never depends on which other devices exist or in what order they are
+/// listed.
+#[must_use]
+pub fn calibration_fingerprint(
+    vector: &[f64; CALIB_DIMS],
+    coeff_quant: f64,
+    ambient_quant_c: f64,
+) -> [i64; CALIB_DIMS] {
+    let bucket = |v: f64, q: f64| {
+        if q > 0.0 {
+            (v / q).round() as i64
+        } else {
+            0
+        }
+    };
+    let mut fp = [0i64; CALIB_DIMS];
+    for (i, &v) in vector.iter().enumerate() {
+        let q = if i == CALIB_DIMS - 1 {
+            ambient_quant_c
+        } else {
+            coeff_quant
+        };
+        fp[i] = bucket(v, q);
+    }
+    fp
+}
+
+/// Assigns each fingerprint a cluster label: the index of the first
+/// device with an equal fingerprint. Labels depend on listing order but
+/// the induced *partition* (which devices share a cluster) does not —
+/// membership is fingerprint equality, a pure pairwise relation.
+#[must_use]
+pub fn cluster_by_fingerprint(fps: &[[i64; CALIB_DIMS]]) -> Vec<usize> {
+    let mut labels = Vec::with_capacity(fps.len());
+    for (i, fp) in fps.iter().enumerate() {
+        let label = fps[..i].iter().position(|p| p == fp).unwrap_or(i);
+        labels.push(label);
+    }
+    labels
+}
+
+/// Squared distance in calibration space, with the ambient component
+/// normalized by its quantization step so all six axes weigh
+/// comparably.
+fn calibration_distance(
+    a: &[f64; CALIB_DIMS],
+    b: &[f64; CALIB_DIMS],
+    coeff_quant: f64,
+    ambient_quant_c: f64,
+) -> f64 {
+    let mut d = 0.0;
+    for i in 0..CALIB_DIMS {
+        let q = if i == CALIB_DIMS - 1 {
+            ambient_quant_c.max(f64::MIN_POSITIVE)
+        } else {
+            coeff_quant.max(f64::MIN_POSITIVE)
+        };
+        let diff = (a[i] - b[i]) / q;
+        d += diff * diff;
+    }
+    d
+}
+
+/// What a whole fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-device serve outcomes, in device-index order, with every
+    /// epoch's window concatenated (iteration indices are global, swap
+    /// and detection counters summed).
+    pub per_device: Vec<ServeOutcome>,
+    /// Content fingerprint of every deterministic field of
+    /// [`Self::per_device`] — the bit-identity witness: equal digests ⇔
+    /// equal fleet trajectories.
+    pub digest: u64,
+    /// Distinct calibration clusters in the fleet.
+    pub clusters: usize,
+    /// Re-optimizations that started from a transferred neighbor
+    /// strategy.
+    pub transfer_hits: usize,
+    /// Re-optimizations that ran cold (nothing transferable).
+    pub transfer_misses: usize,
+    /// Strategy swaps across the fleet.
+    pub swaps: usize,
+    /// Swaps that ran warm (equals [`Self::transfer_hits`]).
+    pub warm_swaps: usize,
+    /// Epochs served.
+    pub epochs: usize,
+    /// Host wall-clock seconds spent inside re-optimization ladders,
+    /// summed over devices. Measurement only — schedule-dependent, never
+    /// part of [`Self::digest`].
+    pub reopt_wall_s: f64,
+    /// The share of [`Self::reopt_wall_s`] spent in re-optimizations
+    /// that started from transferred warm seeds. Measurement only, like
+    /// `reopt_wall_s`; `reopt_wall_s - warm_reopt_wall_s` is the cold
+    /// share.
+    pub warm_reopt_wall_s: f64,
+}
+
+impl FleetOutcome {
+    /// Fraction of re-optimizations that were warm-started from a
+    /// transfer (0.0 when nothing re-optimized).
+    #[must_use]
+    pub fn transfer_hit_rate(&self) -> f64 {
+        let total = self.transfer_hits + self.transfer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.transfer_hits as f64 / total as f64
+        }
+    }
+
+    /// Total iterations served across the fleet.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.per_device.iter().map(|o| o.iterations.len()).sum()
+    }
+}
+
+/// One device's standing state between epochs.
+#[derive(Debug)]
+struct DeviceSlot {
+    cfg: NpuConfig,
+    seed: u64,
+    opt: EnergyOptimizer,
+    state: Option<ServeState>,
+    /// Donor index + seed strategies armed for this epoch's potential
+    /// re-optimization.
+    armed_donor: Option<usize>,
+    armed_seeds: Vec<Vec<npu_sim::FreqMhz>>,
+    /// Epochs concatenated so far.
+    merged: Option<ServeOutcome>,
+}
+
+/// Owns and serves a fleet of N drifting devices with cross-device
+/// strategy transfer (see the module docs for the protocol). Assembled
+/// through its own `with_*` chain, consistent with
+/// [`crate::FleetBuilder`] / [`crate::ServeBuilder`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use npu_core::FleetController;
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let workload = models::tiny(&cfg);
+/// let controller = FleetController::new(cfg, workload)
+///     .with_devices(64)
+///     .with_epochs(3)
+///     .with_workers(8);
+/// let fleet = controller.run()?;
+/// println!(
+///     "{} swaps, {:.0}% transfer hits",
+///     fleet.swaps,
+///     100.0 * fleet.transfer_hit_rate()
+/// );
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetController {
+    base: NpuConfig,
+    workload: Workload,
+    devices: usize,
+    epochs: usize,
+    epoch_iterations: usize,
+    workers: usize,
+    spread: ConfigSpread,
+    fleet_seed: u64,
+    drift: DriftModel,
+    opts: OptimizerConfig,
+    serve: ServeOptions,
+    cache: ArtifactCache,
+    obs: ObserverHandle,
+    coeff_quant: f64,
+    ambient_quant_c: f64,
+    transfer: bool,
+}
+
+impl FleetController {
+    /// Starts a controller for a fleet of devices varying around `base`,
+    /// all serving `workload`. Defaults: 8 devices, 2 epochs of the
+    /// serve options' iteration count each, auto worker count, default
+    /// [`ConfigSpread`], no drift, transfer on, a fresh in-memory cache.
+    #[must_use]
+    pub fn new(base: NpuConfig, workload: Workload) -> Self {
+        Self {
+            base,
+            workload,
+            devices: 8,
+            epochs: 2,
+            epoch_iterations: 0,
+            workers: 0,
+            spread: ConfigSpread::default(),
+            fleet_seed: 0xF1EE7,
+            drift: DriftModel::none(),
+            opts: OptimizerConfig::default(),
+            serve: ServeOptions::default(),
+            cache: ArtifactCache::new(),
+            obs: ObserverHandle::null(),
+            coeff_quant: 0.05,
+            ambient_quant_c: 3.0,
+            transfer: true,
+        }
+    }
+
+    /// Sets the fleet size.
+    #[must_use]
+    pub fn with_devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Sets how many epochs to serve.
+    #[must_use]
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// Sets the iterations each device serves per epoch (`0`, the
+    /// default, uses [`ServeOptions::iterations`]).
+    #[must_use]
+    pub fn with_epoch_iterations(mut self, iterations: usize) -> Self {
+        self.epoch_iterations = iterations;
+        self
+    }
+
+    /// Sets the worker pool size (`0` = auto-detect via
+    /// [`npu_dvfs::resolve_threads`]). Worker count changes wall time
+    /// only, never any outcome.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-device configuration/drift spread.
+    #[must_use]
+    pub fn with_spread(mut self, spread: ConfigSpread) -> Self {
+        self.spread = spread;
+        self
+    }
+
+    /// Sets the fleet seed every per-device sample and noise stream
+    /// derives from.
+    #[must_use]
+    pub fn with_fleet_seed(mut self, seed: u64) -> Self {
+        self.fleet_seed = seed;
+        self
+    }
+
+    /// Sets the base drift model (each device gets a rate-scaled variant
+    /// via [`ConfigSpread::sample_drift`]).
+    #[must_use]
+    pub fn with_drift(mut self, drift: DriftModel) -> Self {
+        self.drift = drift;
+        self
+    }
+
+    /// Sets the optimizer configuration every device serves under.
+    #[must_use]
+    pub fn with_config(mut self, opts: OptimizerConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the serving options every device serves under.
+    #[must_use]
+    pub fn with_serve_options(mut self, serve: ServeOptions) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Shares an artifact cache across the fleet (searches, transfers
+    /// and publications all go through it).
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attaches a structured-event observer. The controller emits
+    /// [`Event::TransferHit`] / [`Event::TransferMiss`] /
+    /// [`Event::FleetEpoch`] at epoch barriers, in device order; device
+    /// loops themselves run silent (their interleaving is
+    /// schedule-dependent).
+    #[must_use]
+    pub fn with_observer(mut self, obs: ObserverHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Sets the fingerprint quantization: coefficient bucket width
+    /// (fractional) and ambient bucket width (°C).
+    #[must_use]
+    pub fn with_quantization(mut self, coeff_quant: f64, ambient_quant_c: f64) -> Self {
+        self.coeff_quant = coeff_quant;
+        self.ambient_quant_c = ambient_quant_c;
+        self
+    }
+
+    /// Enables or disables cross-device strategy transfer (off = every
+    /// re-optimization runs the cold oracle-seeded search; the
+    /// comparison baseline the fleet bench measures against).
+    #[must_use]
+    pub fn with_transfer(mut self, transfer: bool) -> Self {
+        self.transfer = transfer;
+        self
+    }
+
+    /// The shared artifact cache.
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Serves the configured number of epochs over the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-indexed device's [`OptimizeError`] if any
+    /// device's serve loop fails (the other devices still ran their
+    /// epoch).
+    pub fn run(&self) -> Result<FleetOutcome, OptimizeError> {
+        let n = self.devices.max(1);
+        let epoch_iters = if self.epoch_iterations == 0 {
+            self.serve.iterations
+        } else {
+            self.epoch_iterations
+        }
+        .max(1);
+
+        // Materialize the fleet: per-device configuration, drift and
+        // noise streams, all pure functions of (spread, base,
+        // fleet_seed, index).
+        let mut slots = Vec::with_capacity(n);
+        let mut vectors = Vec::with_capacity(n);
+        let mut fps = Vec::with_capacity(n);
+        for i in 0..n {
+            let cfg = self.spread.sample(&self.base, self.fleet_seed, i);
+            let drift = self.spread.sample_drift(&self.drift, self.fleet_seed, i);
+            let seed = fleet_device_seed(self.fleet_seed, i);
+            let mut dev = Device::with_seed(cfg.clone(), seed);
+            dev.set_drift(drift);
+            let calib = HardwareCalibration::ground_truth(&cfg);
+            vectors.push(calibration_vector(&self.base, &cfg));
+            fps.push(calibration_fingerprint(
+                &vectors[i],
+                self.coeff_quant,
+                self.ambient_quant_c,
+            ));
+            slots.push(Mutex::new(DeviceSlot {
+                cfg,
+                seed,
+                opt: EnergyOptimizer::new(dev, calib),
+                state: None,
+                armed_donor: None,
+                armed_seeds: Vec::new(),
+                merged: None,
+            }));
+        }
+        let clusters = cluster_by_fingerprint(&fps);
+        let cluster_count = clusters
+            .iter()
+            .enumerate()
+            .filter(|&(i, &l)| l == i)
+            .count();
+        let cluster_size = |label: usize| clusters.iter().filter(|&&l| l == label).count();
+
+        let mut published: Vec<Option<u64>> = vec![None; n];
+        let mut transfer_hits = 0usize;
+        let mut transfer_misses = 0usize;
+        let mut total_swaps = 0usize;
+        let mut total_warm = 0usize;
+        let mut first_error: Option<(usize, OptimizeError)> = None;
+
+        for epoch in 0..self.epochs {
+            // Barrier phase A (sequential, device order): arm transfer
+            // seeds from the board published at the previous barrier.
+            for i in 0..n {
+                let mut slot = lock(&slots[i]);
+                slot.armed_donor = None;
+                slot.armed_seeds.clear();
+                if !self.transfer {
+                    continue;
+                }
+                let donor = (0..n)
+                    .filter(|&j| j != i && clusters[j] == clusters[i] && published[j].is_some())
+                    .min_by(|&a, &b| {
+                        let da = calibration_distance(
+                            &vectors[i],
+                            &vectors[a],
+                            self.coeff_quant,
+                            self.ambient_quant_c,
+                        );
+                        let db = calibration_distance(
+                            &vectors[i],
+                            &vectors[b],
+                            self.coeff_quant,
+                            self.ambient_quant_c,
+                        );
+                        da.total_cmp(&db).then(a.cmp(&b))
+                    });
+                if let Some(j) = donor {
+                    if let Some(key) = published[j] {
+                        // A counted cache lookup: transfer reads are part
+                        // of the fleet's cache-hit economics.
+                        if let Some(artifact) = self.cache.lookup_search(key) {
+                            slot.armed_seeds = vec![artifact.outcome.strategy.freqs().to_vec()];
+                            slot.armed_donor = Some(j);
+                        }
+                    }
+                }
+            }
+
+            // Parallel phase: every device serves one epoch window.
+            // Work-stealing over device indices; each slot is taken by
+            // exactly one worker, so the per-device trajectory is
+            // schedule-independent.
+            let workers = npu_dvfs::resolve_threads(self.workers).min(n).max(1);
+            let next = AtomicUsize::new(0);
+            let per_worker: Vec<Vec<(usize, Result<ServeOutcome, OptimizeError>)>> =
+                thread::scope(|s| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let next = &next;
+                            let slots = &slots;
+                            s.spawn(move || {
+                                let mut local = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, Ordering::Relaxed);
+                                    if i >= n {
+                                        break;
+                                    }
+                                    let mut slot = lock(&slots[i]);
+                                    let r = self.run_device_epoch(&mut slot, epoch_iters);
+                                    local.push((i, r));
+                                }
+                                local
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                        })
+                        .collect()
+                });
+            let mut epoch_out: Vec<Option<ServeOutcome>> = (0..n).map(|_| None).collect();
+            for (i, r) in per_worker.into_iter().flatten() {
+                match r {
+                    Ok(out) => epoch_out[i] = Some(out),
+                    Err(e) => {
+                        if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                            first_error = Some((i, e));
+                        }
+                    }
+                }
+            }
+            if let Some((_, e)) = first_error {
+                return Err(e);
+            }
+
+            // Barrier phase B (sequential, device order): account
+            // transfers, publish strategies, emit events.
+            let mut epoch_swaps = 0usize;
+            let mut epoch_transfers = 0usize;
+            for (i, out) in epoch_out.into_iter().enumerate() {
+                let Some(out) = out else { continue };
+                let mut slot = lock(&slots[i]);
+                epoch_swaps += out.swaps;
+                total_swaps += out.swaps;
+                total_warm += out.warm_swaps;
+                if out.swaps > 0 {
+                    if out.warm_swaps > 0 {
+                        transfer_hits += 1;
+                        epoch_transfers += 1;
+                        if self.obs.enabled() {
+                            self.obs.emit(Event::TransferHit {
+                                device: i,
+                                donor: slot.armed_donor.unwrap_or(i),
+                                seeds: slot.armed_seeds.len().max(1),
+                            });
+                        }
+                    } else {
+                        transfer_misses += 1;
+                        if self.obs.enabled() {
+                            self.obs.emit(Event::TransferMiss {
+                                device: i,
+                                cluster: cluster_size(clusters[i]),
+                            });
+                        }
+                    }
+                }
+                if let Some(state) = &slot.state {
+                    let key = fleet_strategy_key(&slot.cfg, slot.seed, state.generation);
+                    self.cache.insert_search(
+                        key,
+                        SearchArtifact {
+                            outcome: state.last_search.clone(),
+                        },
+                    );
+                    published[i] = Some(key);
+                }
+                merge_outcome(&mut slot.merged, out);
+            }
+            if self.obs.enabled() {
+                self.obs.emit(Event::FleetEpoch {
+                    epoch,
+                    devices: n,
+                    swaps: epoch_swaps,
+                    transfers: epoch_transfers,
+                });
+            }
+        }
+
+        let mut per_device = Vec::with_capacity(n);
+        let mut reopt_wall_s = 0.0;
+        let mut warm_reopt_wall_s = 0.0;
+        for slot in &slots {
+            let mut slot = lock(slot);
+            reopt_wall_s += slot.state.as_ref().map_or(0.0, |s| s.reopt_wall_s);
+            warm_reopt_wall_s += slot.state.as_ref().map_or(0.0, |s| s.warm_reopt_wall_s);
+            per_device.push(slot.merged.take().unwrap_or(ServeOutcome {
+                iterations: Vec::new(),
+                swaps: 0,
+                detections: 0,
+                fell_back: false,
+                warm_swaps: 0,
+            }));
+        }
+        let digest = outcome_digest(&per_device);
+        Ok(FleetOutcome {
+            per_device,
+            digest,
+            clusters: cluster_count,
+            transfer_hits,
+            transfer_misses,
+            swaps: total_swaps,
+            warm_swaps: total_warm,
+            epochs: self.epochs,
+            reopt_wall_s,
+            warm_reopt_wall_s,
+        })
+    }
+
+    /// One device, one epoch: rebuild a borrowing runtime around the
+    /// slot's device, restore its standing state, arm any transfer
+    /// seeds, serve the window, detach the state again.
+    fn run_device_epoch(
+        &self,
+        slot: &mut DeviceSlot,
+        iterations: usize,
+    ) -> Result<ServeOutcome, OptimizeError> {
+        let mut rt = ServeRuntime::builder(&mut slot.opt, &self.workload)
+            .with_config(self.opts.clone())
+            .with_serve_options(self.serve.clone())
+            .with_cache(self.cache.clone())
+            .build();
+        rt.restore_state(slot.state.take());
+        if !slot.armed_seeds.is_empty() {
+            rt.arm_warm_seeds(slot.armed_seeds.clone());
+        }
+        let out = rt.run_epoch(iterations);
+        slot.state = rt.take_state();
+        out
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Per-device noise seed: splitmix64 over `(fleet_seed, index)`,
+/// stream-separated from [`ConfigSpread`]'s sampling streams.
+fn fleet_device_seed(fleet_seed: u64, index: usize) -> u64 {
+    let mut x = fleet_seed
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0xA076_1D64_78BD_642F);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Appends one epoch window onto a device's accumulated outcome.
+fn merge_outcome(merged: &mut Option<ServeOutcome>, window: ServeOutcome) {
+    match merged {
+        None => *merged = Some(window),
+        Some(acc) => {
+            acc.iterations.extend(window.iterations);
+            acc.swaps += window.swaps;
+            acc.detections += window.detections;
+            acc.warm_swaps += window.warm_swaps;
+            acc.fell_back = window.fell_back;
+        }
+    }
+}
+
+/// Fingerprints every deterministic field of the fleet's per-device
+/// outcomes, in device order. Wall-clock measurements are excluded by
+/// construction (they never enter [`ServeOutcome`]).
+fn outcome_digest(per_device: &[ServeOutcome]) -> u64 {
+    let mut fp = Fingerprint::new("npu-core/fleet-serve/digest/v1");
+    fp.push_usize(per_device.len());
+    for out in per_device {
+        fp.push_usize(out.iterations.len());
+        fp.push_usize(out.swaps);
+        fp.push_usize(out.detections);
+        fp.push_usize(out.warm_swaps);
+        fp.push_bool(out.fell_back);
+        for it in &out.iterations {
+            fp.push_usize(it.index);
+            fp.push_usize(it.generation);
+            fp.push_f64(it.time_us);
+            fp.push_f64(it.aicore_energy_wus);
+            fp.push_f64(it.soc_energy_wus);
+            fp.push_f64(it.temp_c);
+            match it.drift_score {
+                Some(s) => {
+                    fp.push_bool(true);
+                    fp.push_f64(s);
+                }
+                None => fp.push_bool(false),
+            }
+        }
+    }
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_vector_is_zero_at_base() {
+        let base = NpuConfig::ascend_like();
+        let v = calibration_vector(&base, &base);
+        assert_eq!(v, [0.0; CALIB_DIMS]);
+        assert_eq!(calibration_fingerprint(&v, 0.05, 3.0), [0i64; CALIB_DIMS]);
+    }
+
+    #[test]
+    fn fingerprint_buckets_split_and_merge() {
+        let base = NpuConfig::ascend_like();
+        let mut near = base.clone();
+        near.beta_w_per_ghz_v2 *= 1.01; // inside a 5 % bucket
+        let mut far = base.clone();
+        far.beta_w_per_ghz_v2 *= 1.40; // far outside
+        let fp_base = calibration_fingerprint(&calibration_vector(&base, &base), 0.05, 3.0);
+        let fp_near = calibration_fingerprint(&calibration_vector(&base, &near), 0.05, 3.0);
+        let fp_far = calibration_fingerprint(&calibration_vector(&base, &far), 0.05, 3.0);
+        assert_eq!(fp_base, fp_near);
+        assert_ne!(fp_base, fp_far);
+    }
+
+    #[test]
+    fn clustering_labels_by_first_equal_fingerprint() {
+        let a = [0i64, 0, 0, 0, 0, 0];
+        let b = [1i64, 0, 0, 0, 0, 0];
+        let labels = cluster_by_fingerprint(&[a, b, a, b, a]);
+        assert_eq!(labels, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn distance_prefers_the_closer_neighbor() {
+        let me = [0.0; CALIB_DIMS];
+        let near = [0.01, 0.0, 0.0, 0.0, 0.0, 0.5];
+        let far = [0.04, 0.01, 0.0, 0.0, 0.0, 2.0];
+        assert!(
+            calibration_distance(&me, &near, 0.05, 3.0)
+                < calibration_distance(&me, &far, 0.05, 3.0)
+        );
+    }
+
+    #[test]
+    fn merge_concatenates_windows() {
+        let it = |index| crate::serve::ServeIteration {
+            index,
+            generation: 0,
+            time_us: 1.0,
+            aicore_energy_wus: 1.0,
+            soc_energy_wus: 2.0,
+            temp_c: 50.0,
+            drift_score: None,
+        };
+        let w1 = ServeOutcome {
+            iterations: vec![it(0), it(1)],
+            swaps: 1,
+            detections: 1,
+            fell_back: false,
+            warm_swaps: 0,
+        };
+        let w2 = ServeOutcome {
+            iterations: vec![it(2)],
+            swaps: 1,
+            detections: 2,
+            fell_back: false,
+            warm_swaps: 1,
+        };
+        let mut merged = None;
+        merge_outcome(&mut merged, w1);
+        merge_outcome(&mut merged, w2);
+        let m = merged.unwrap();
+        assert_eq!(m.iterations.len(), 3);
+        assert_eq!(m.swaps, 2);
+        assert_eq!(m.detections, 3);
+        assert_eq!(m.warm_swaps, 1);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod cache;
 mod fleet;
+pub mod fleet_serve;
 mod model_free;
 mod optimizer;
 mod report;
@@ -29,13 +30,17 @@ mod session;
 pub mod sweep;
 
 pub use cache::{ArtifactCache, CacheError, CacheStats};
-pub use fleet::{optimize_batch, FleetRunner};
+pub use fleet::{optimize_batch, FleetBuilder, FleetRunner};
+pub use fleet_serve::{
+    calibration_fingerprint, calibration_vector, cluster_by_fingerprint, FleetController,
+    FleetOutcome,
+};
 pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
 pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 pub use report::{MeasuredIteration, OptimizationReport};
 pub use serve::{
-    DriftDetector, DriftDetectorConfig, DriftSignal, ServeIteration, ServeOptions, ServeOutcome,
-    ServeRuntime,
+    DriftDetector, DriftDetectorConfig, DriftSignal, ServeBuilder, ServeIteration, ServeOptions,
+    ServeOutcome, ServeRuntime,
 };
 pub use session::OptimizationSession;
 pub use sweep::sweep_profiles;

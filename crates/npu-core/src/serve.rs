@@ -38,7 +38,7 @@ use crate::cache::ArtifactCache;
 use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::MeasuredIteration;
 use crate::session::OptimizationSession;
-use npu_dvfs::DvfsStrategy;
+use npu_dvfs::{DvfsStrategy, GaOutcome};
 use npu_exec::{execute_resilient, execute_strategy, ExecutorOptions, ResilientOptions};
 use npu_obs::Event;
 use npu_power_model::HardwareCalibration;
@@ -245,6 +245,11 @@ pub struct ServeOptions {
     pub fit_error_escalation: f64,
     /// Guardrailed execution used after a ladder failure.
     pub fallback: ResilientOptions,
+    /// GA iteration budget when a re-optimization runs with armed warm
+    /// seeds ([`ServeRuntime::arm_warm_seeds`]): a transferred strategy
+    /// already sits near the optimum, so the search can afford a much
+    /// shorter refinement. `None` (the default) keeps the full budget.
+    pub warm_ga_iterations: Option<usize>,
 }
 
 impl Default for ServeOptions {
@@ -256,6 +261,7 @@ impl Default for ServeOptions {
             max_swaps: 1,
             fit_error_escalation: 0.1,
             fallback: ResilientOptions::default(),
+            warm_ga_iterations: None,
         }
     }
 }
@@ -291,6 +297,9 @@ pub struct ServeOutcome {
     pub detections: usize,
     /// Whether the loop degraded to guardrailed fallback execution.
     pub fell_back: bool,
+    /// How many of [`Self::swaps`] ran with warm-start transfer seeds
+    /// armed (see [`ServeRuntime::arm_warm_seeds`]).
+    pub warm_swaps: usize,
 }
 
 impl ServeOutcome {
@@ -351,6 +360,108 @@ impl ActivePrediction {
     }
 }
 
+/// Serving state that persists across epoch windows: the active
+/// strategy, its prediction and baseline records, the detector, and the
+/// global iteration/swap counters. Owned by the runtime after the first
+/// window; transplantable (crate-internal) so a fleet controller can
+/// rebuild a borrowing [`ServeRuntime`] around the same device every
+/// epoch.
+#[derive(Debug, Clone)]
+pub(crate) struct ServeState {
+    strategy: DvfsStrategy,
+    baseline_records: Vec<OpRecord>,
+    active: ActivePrediction,
+    detector: DriftDetector,
+    pub(crate) generation: usize,
+    fell_back: bool,
+    served: usize,
+    total_swaps: u64,
+    pub(crate) last_search: GaOutcome,
+    pub(crate) reopt_wall_s: f64,
+    pub(crate) warm_reopt_wall_s: f64,
+}
+
+/// Builder for a [`ServeRuntime`], consistent with the `with_*` style of
+/// [`OptimizerConfig`]: borrow the optimizer and workload, chain the
+/// optional pieces, `build()`.
+///
+/// ```no_run
+/// use npu_core::{ArtifactCache, EnergyOptimizer, ServeBuilder, ServeOptions};
+/// use npu_sim::NpuConfig;
+/// use npu_workloads::models;
+///
+/// let cfg = NpuConfig::ascend_like();
+/// let workload = models::tiny(&cfg);
+/// let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
+/// let mut runtime = ServeBuilder::new(&mut optimizer, &workload)
+///     .with_serve_options(ServeOptions::default())
+///     .with_cache(ArtifactCache::new())
+///     .build();
+/// let outcome = runtime.run()?;
+/// # Ok::<(), npu_core::OptimizeError>(())
+/// ```
+#[derive(Debug)]
+pub struct ServeBuilder<'a> {
+    opt: &'a mut EnergyOptimizer,
+    workload: &'a Workload,
+    opts: OptimizerConfig,
+    serve: ServeOptions,
+    cache: ArtifactCache,
+}
+
+impl<'a> ServeBuilder<'a> {
+    /// Starts a builder over `optimizer`'s live device with default
+    /// optimizer/serve options and a fresh in-memory cache.
+    #[must_use]
+    pub fn new(optimizer: &'a mut EnergyOptimizer, workload: &'a Workload) -> Self {
+        Self {
+            opt: optimizer,
+            workload,
+            opts: OptimizerConfig::default(),
+            serve: ServeOptions::default(),
+            cache: ArtifactCache::new(),
+        }
+    }
+
+    /// Sets the optimizer configuration (profiling, fitting, GA).
+    #[must_use]
+    pub fn with_config(mut self, opts: OptimizerConfig) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the serving options (iterations, detector, ladder, budget).
+    #[must_use]
+    pub fn with_serve_options(mut self, serve: ServeOptions) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Shares an artifact cache with the initial optimization and every
+    /// ladder re-optimization. Keys cover the (possibly drift-snapshot)
+    /// device configuration, seed and refreshed calibration, so
+    /// refreshed artifacts never alias stale ones.
+    #[must_use]
+    pub fn with_cache(mut self, cache: ArtifactCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Assembles the runtime.
+    #[must_use]
+    pub fn build(self) -> ServeRuntime<'a> {
+        ServeRuntime {
+            opt: self.opt,
+            workload: self.workload,
+            opts: self.opts,
+            serve: self.serve,
+            cache: self.cache,
+            state: None,
+            pending_seeds: Vec::new(),
+        }
+    }
+}
+
 /// The long-running serving loop: iterations under the active strategy,
 /// drift detection, staged re-optimization, fallback (see the module
 /// docs for the full contract).
@@ -365,12 +476,10 @@ impl ActivePrediction {
 /// let cfg = NpuConfig::ascend_like();
 /// let workload = models::tiny(&cfg);
 /// let mut optimizer = EnergyOptimizer::calibrated(cfg)?;
-/// let mut runtime = ServeRuntime::new(
-///     &mut optimizer,
-///     &workload,
-///     OptimizerConfig::default(),
-///     ServeOptions::default(),
-/// );
+/// let mut runtime = ServeRuntime::builder(&mut optimizer, &workload)
+///     .with_config(OptimizerConfig::default())
+///     .with_serve_options(ServeOptions::default())
+///     .build();
 /// let outcome = runtime.run()?;
 /// println!("served {} iterations, {} swaps", outcome.iterations.len(), outcome.swaps);
 /// # Ok::<(), npu_core::OptimizeError>(())
@@ -382,12 +491,25 @@ pub struct ServeRuntime<'a> {
     opts: OptimizerConfig,
     serve: ServeOptions,
     cache: ArtifactCache,
+    state: Option<ServeState>,
+    pending_seeds: Vec<Vec<FreqMhz>>,
 }
 
 impl<'a> ServeRuntime<'a> {
+    /// Starts a [`ServeBuilder`] over `optimizer`'s live device — the
+    /// primary construction surface.
+    #[must_use]
+    pub fn builder(optimizer: &'a mut EnergyOptimizer, workload: &'a Workload) -> ServeBuilder<'a> {
+        ServeBuilder::new(optimizer, workload)
+    }
+
     /// Creates a serving runtime over `optimizer`'s live device. The
     /// runtime starts with a fresh in-memory artifact cache; use
     /// [`Self::set_cache`] to share or persist one.
+    #[deprecated(
+        since = "0.2.0",
+        note = "assemble through `ServeRuntime::builder` / `ServeBuilder` instead"
+    )]
     #[must_use]
     pub fn new(
         optimizer: &'a mut EnergyOptimizer,
@@ -395,13 +517,10 @@ impl<'a> ServeRuntime<'a> {
         opts: OptimizerConfig,
         serve: ServeOptions,
     ) -> Self {
-        Self {
-            opt: optimizer,
-            workload,
-            opts,
-            serve,
-            cache: ArtifactCache::new(),
-        }
+        ServeBuilder::new(optimizer, workload)
+            .with_config(opts)
+            .with_serve_options(serve)
+            .build()
     }
 
     /// Replaces the artifact cache the initial optimization and every
@@ -418,7 +537,70 @@ impl<'a> ServeRuntime<'a> {
         &self.serve
     }
 
-    /// Runs the serve loop to completion.
+    /// Arms externally supplied warm-start strategies (e.g. a fleet
+    /// neighbor's cached strategy) for the *next* re-optimization: they
+    /// are injected into the GA's first generation via
+    /// [`npu_dvfs::GaConfig`]'s warm seeds and, when
+    /// [`ServeOptions::warm_ga_iterations`] is set, the search runs with
+    /// that reduced budget. Consumed by the next ladder run, whether it
+    /// succeeds or not; re-arm per re-optimization.
+    pub fn arm_warm_seeds(&mut self, seeds: Vec<Vec<FreqMhz>>) {
+        self.pending_seeds = seeds;
+    }
+
+    /// Strategy generation currently being served (0 before the first
+    /// swap — and before the first window initializes the loop).
+    #[must_use]
+    pub fn generation(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.generation)
+    }
+
+    /// Whether the loop has degraded to guardrailed fallback execution.
+    #[must_use]
+    pub fn fell_back(&self) -> bool {
+        self.state.as_ref().is_some_and(|s| s.fell_back)
+    }
+
+    /// Total iterations served across every window so far.
+    #[must_use]
+    pub fn served(&self) -> usize {
+        self.state.as_ref().map_or(0, |s| s.served)
+    }
+
+    /// The GA outcome behind the currently active strategy (the initial
+    /// search, or the latest successful re-optimization). `None` until
+    /// the first window initializes the loop.
+    #[must_use]
+    pub fn last_search(&self) -> Option<&GaOutcome> {
+        self.state.as_ref().map(|s| &s.last_search)
+    }
+
+    /// Host wall-clock seconds spent inside re-optimization ladders so
+    /// far. Measurement only — never feeds back into any serving
+    /// decision, so outcomes stay bit-reproducible.
+    #[must_use]
+    pub fn reopt_wall_s(&self) -> f64 {
+        self.state.as_ref().map_or(0.0, |s| s.reopt_wall_s)
+    }
+
+    /// Detaches the persistent serving state (fleet-internal: lets a
+    /// controller rebuild a borrowing runtime around the same device
+    /// next epoch).
+    pub(crate) fn take_state(&mut self) -> Option<ServeState> {
+        self.state.take()
+    }
+
+    /// Restores serving state detached by [`Self::take_state`].
+    pub(crate) fn restore_state(&mut self, state: Option<ServeState>) {
+        self.state = state;
+    }
+
+    /// Runs one serve window of [`ServeOptions::iterations`] iterations.
+    ///
+    /// The first call brings the loop up (initial optimization on the
+    /// live device) and serves the window; every further call continues
+    /// the same loop — counters, detector state and the active strategy
+    /// carry over — so repeated `run()` calls serve consecutive windows.
     ///
     /// # Errors
     ///
@@ -426,45 +608,92 @@ impl<'a> ServeRuntime<'a> {
     /// iteration fails. Ladder (re-optimization) failures do not abort
     /// the loop — they degrade it to guardrailed fallback execution.
     pub fn run(&mut self) -> Result<ServeOutcome, OptimizeError> {
-        let obs = self.opt.observer().clone();
+        self.run_epoch(self.serve.iterations)
+    }
 
-        // Initial optimization on the live device (bring-up: profiling
-        // advances the live clock, as it would in deployment).
-        let (mut strategy, mut baseline_records, init_eval) = {
+    /// Runs one serve window of exactly `iterations` iterations (the
+    /// epoch primitive fleet controllers schedule). Identical to
+    /// [`Self::run`] except for the window length; the returned
+    /// [`ServeOutcome`] covers only this window, while
+    /// [`ServeIteration::index`] and the swap seeds stay global across
+    /// windows.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run`].
+    pub fn run_epoch(&mut self, iterations: usize) -> Result<ServeOutcome, OptimizeError> {
+        if self.state.is_none() {
+            self.initialize()?;
+        }
+        let mut out = ServeOutcome {
+            iterations: Vec::with_capacity(iterations),
+            swaps: 0,
+            detections: 0,
+            fell_back: false,
+            warm_swaps: 0,
+        };
+        let Some(mut st) = self.state.take() else {
+            return Ok(out);
+        };
+        let result = self.serve_window(&mut st, iterations, &mut out);
+        self.state = Some(st);
+        result?;
+        Ok(out)
+    }
+
+    /// Initial optimization on the live device (bring-up: profiling
+    /// advances the live clock, as it would in deployment).
+    fn initialize(&mut self) -> Result<(), OptimizeError> {
+        let (strategy, baseline_records, outcome) = {
             let mut session = self.opt.session(self.workload, &self.opts.clone());
             session.set_cache(self.cache.clone());
-            let outcome = session.search()?;
+            let outcome = session.search()?.clone();
             let strategy = outcome.strategy.clone();
-            let eval = outcome.best_eval;
             let records = session
                 .profiles()
                 .and_then(|p| p.first())
                 .map(|p| p.records.clone())
                 .unwrap_or_default();
-            (strategy, records, eval)
+            (strategy, records, outcome)
         };
-        let mut active = ActivePrediction::from_eval(&init_eval, self.opt.calibration());
+        let active = ActivePrediction::from_eval(&outcome.best_eval, self.opt.calibration());
+        self.state = Some(ServeState {
+            strategy,
+            baseline_records,
+            active,
+            detector: DriftDetector::new(self.serve.detector),
+            generation: 0,
+            fell_back: false,
+            served: 0,
+            total_swaps: 0,
+            last_search: outcome,
+            reopt_wall_s: 0.0,
+            warm_reopt_wall_s: 0.0,
+        });
+        Ok(())
+    }
 
-        let mut detector = DriftDetector::new(self.serve.detector);
+    /// The window loop proper. `st` is detached from `self.state` for
+    /// the duration so re-optimization can borrow `self` mutably.
+    fn serve_window(
+        &mut self,
+        st: &mut ServeState,
+        iterations: usize,
+        out: &mut ServeOutcome,
+    ) -> Result<(), OptimizeError> {
+        let obs = self.opt.observer().clone();
         let exec_opts = ExecutorOptions {
             planned_latency_us: self.opts.planned_latency_us,
             ..ExecutorOptions::default()
         };
-        let mut out = ServeOutcome {
-            iterations: Vec::with_capacity(self.serve.iterations),
-            swaps: 0,
-            detections: 0,
-            fell_back: false,
-        };
-        let mut generation = 0usize;
-
-        for i in 0..self.serve.iterations {
-            let exec = if out.fell_back {
+        for _ in 0..iterations {
+            let i = st.served;
+            let exec = if st.fell_back {
                 execute_resilient(
                     &mut self.opt.dev,
                     self.workload.schedule(),
-                    &strategy,
-                    &baseline_records,
+                    &st.strategy,
+                    &st.baseline_records,
                     &self.serve.fallback,
                 )
                 .map_err(OptimizeError::Exec)?
@@ -473,17 +702,22 @@ impl<'a> ServeRuntime<'a> {
                 execute_strategy(
                     &mut self.opt.dev,
                     self.workload.schedule(),
-                    &strategy,
-                    &baseline_records,
+                    &st.strategy,
+                    &st.baseline_records,
                     &exec_opts,
                 )
                 .map_err(OptimizeError::Exec)?
             };
             let meas = MeasuredIteration::from_run(&exec.result);
-            let gen_used = generation;
-            let residual = detector.residual(active.time_us, active.aicore_w, active.temp_c, &meas);
+            let gen_used = st.generation;
+            let residual = st.detector.residual(
+                st.active.time_us,
+                st.active.aicore_w,
+                st.active.temp_c,
+                &meas,
+            );
             let mut drift_score = None;
-            match detector.record(residual) {
+            match st.detector.record(residual) {
                 DriftSignal::Quiet => {}
                 DriftSignal::WindowClosed { score } => {
                     drift_score = Some(score);
@@ -491,7 +725,7 @@ impl<'a> ServeRuntime<'a> {
                         obs.emit(Event::DriftScore {
                             iter: i,
                             score,
-                            threshold: detector.config().threshold,
+                            threshold: st.detector.config().threshold,
                         });
                     }
                 }
@@ -501,7 +735,7 @@ impl<'a> ServeRuntime<'a> {
                         obs.emit(Event::DriftScore {
                             iter: i,
                             score,
-                            threshold: detector.config().threshold,
+                            threshold: st.detector.config().threshold,
                         });
                         obs.emit(Event::DriftDetected {
                             iter: i,
@@ -510,7 +744,7 @@ impl<'a> ServeRuntime<'a> {
                         });
                     }
                     out.detections += 1;
-                    if !out.fell_back && out.swaps < self.serve.max_swaps {
+                    if !st.fell_back && out.swaps < self.serve.max_swaps {
                         let ladder_len = if self.serve.ladder_freqs.is_empty() {
                             self.opts.build_freqs.len()
                         } else {
@@ -520,24 +754,48 @@ impl<'a> ServeRuntime<'a> {
                             iter: i,
                             freqs: ladder_len,
                         });
-                        match self.reoptimize(out.swaps as u64) {
-                            Ok((new_strategy, new_records, new_active)) => {
-                                strategy = new_strategy;
-                                baseline_records = new_records;
-                                active = new_active;
-                                generation += 1;
+                        let warm = !self.pending_seeds.is_empty();
+                        let t0 = std::time::Instant::now();
+                        let reopt = self.reoptimize(st.total_swaps);
+                        let reopt_s = t0.elapsed().as_secs_f64();
+                        st.reopt_wall_s += reopt_s;
+                        if warm {
+                            st.warm_reopt_wall_s += reopt_s;
+                        }
+                        match reopt {
+                            Ok((new_strategy, new_records, new_active, search)) => {
+                                st.strategy = new_strategy;
+                                st.baseline_records = new_records;
+                                st.active = new_active;
+                                st.last_search = search;
+                                st.generation += 1;
+                                st.total_swaps += 1;
                                 out.swaps += 1;
-                                detector.reset_after_swap();
+                                if warm {
+                                    out.warm_swaps += 1;
+                                }
+                                st.detector.reset_after_swap();
                                 obs.emit(Event::StrategySwapped {
                                     iter: i + 1,
-                                    generation,
-                                    predicted_energy_wus: active.aicore_w * active.time_us,
+                                    generation: st.generation,
+                                    predicted_energy_wus: st.active.aicore_w * st.active.time_us,
                                 });
                             }
                             Err(_) => {
                                 // Degrade, don't die: keep serving the
                                 // last good strategy behind guardrails.
-                                out.fell_back = true;
+                                // The generation counter does NOT bump —
+                                // no swap happened — and the detector's
+                                // cooldown is re-armed to match: the
+                                // execution mode just changed under it
+                                // (resilient fallback), so the residuals
+                                // it scores next reflect the switch, not
+                                // fresh drift. Without the reset the
+                                // stale prediction re-detects every
+                                // window while the counters say nothing
+                                // was swapped.
+                                st.fell_back = true;
+                                st.detector.reset_after_swap();
                             }
                         }
                     }
@@ -552,17 +810,20 @@ impl<'a> ServeRuntime<'a> {
                 temp_c: meas.temp_c,
                 drift_score,
             });
+            st.served += 1;
         }
-        Ok(out)
+        out.fell_back = st.fell_back;
+        Ok(())
     }
 
     /// The staged response ladder, on a shadow device frozen at the live
     /// device's drifted configuration. Returns the re-optimized strategy
-    /// with its (freshly measured) baseline records and prediction.
+    /// with its (freshly measured) baseline records, prediction and the
+    /// GA outcome behind it.
     fn reoptimize(
         &mut self,
         swap_index: u64,
-    ) -> Result<(DvfsStrategy, Vec<OpRecord>, ActivePrediction), OptimizeError> {
+    ) -> Result<(DvfsStrategy, Vec<OpRecord>, ActivePrediction, GaOutcome), OptimizeError> {
         // Freeze "the hardware right now": a snapshot config reproduces
         // the live drifted physics exactly on a fresh device, and its
         // distinct field values give every cache key a distinct hash.
@@ -579,6 +840,17 @@ impl<'a> ServeRuntime<'a> {
         let mut ladder_cfg = self.opts.clone();
         if !self.serve.ladder_freqs.is_empty() {
             ladder_cfg.build_freqs = self.serve.ladder_freqs.clone();
+        }
+        // Armed transfer seeds ride into the GA's first generation (and
+        // into the search cache key — a warm search never aliases a cold
+        // one). They are one-shot: consumed here whether the ladder
+        // succeeds or fails.
+        let seeds = std::mem::take(&mut self.pending_seeds);
+        if !seeds.is_empty() {
+            ladder_cfg.ga.warm_seeds = seeds;
+            if let Some(iters) = self.serve.warm_ga_iterations {
+                ladder_cfg.ga.iterations = iters;
+            }
         }
         let full_freqs = self.opts.build_freqs.clone();
         let escalation = self.serve.fit_error_escalation;
@@ -603,7 +875,7 @@ impl<'a> ServeRuntime<'a> {
             }
         }
         // Rung 3: re-search through the shared cache.
-        let outcome = session.search()?;
+        let outcome = session.search()?.clone();
         let strategy = outcome.strategy.clone();
         let eval = outcome.best_eval;
         let records = session
@@ -616,6 +888,7 @@ impl<'a> ServeRuntime<'a> {
             strategy,
             records,
             ActivePrediction::from_eval(&eval, shadow.calibration()),
+            outcome,
         ))
     }
 
@@ -717,6 +990,7 @@ mod tests {
             swaps: 1,
             detections: 1,
             fell_back: false,
+            warm_swaps: 0,
         };
         assert_eq!(out.aicore_energy_wus(0..2), 11.0);
         assert_eq!(out.aicore_energy_wus(2..4), 7.0);
@@ -727,6 +1001,7 @@ mod tests {
             swaps: 0,
             detections: 0,
             fell_back: false,
+            warm_swaps: 0,
         };
         assert_eq!(no_swap.first_swapped_index(), None);
     }

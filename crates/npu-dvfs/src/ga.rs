@@ -70,6 +70,19 @@ pub struct GaConfig {
     /// [`Self::oracle_seeds`]). `usize::MAX` disables the automatic
     /// rule entirely.
     pub oracle_auto_stages: usize,
+    /// Externally supplied warm-start strategies injected into the first
+    /// generation — e.g. a fleet neighbor's cached strategy transferred
+    /// across devices. Each seed is a per-stage frequency vector; it is
+    /// mapped onto the table's frequency grid (nearest point at or above
+    /// each requested frequency) and, when its length differs from the
+    /// table's stage count, stretched/compressed by proportional index,
+    /// so a strategy searched on a device with a different stage split
+    /// still lands as a sensible starting individual. Like oracle seeds,
+    /// injection consumes no RNG draws itself but displaces random
+    /// first-generation individuals, so arming seeds changes the search
+    /// trajectory (and must be part of any content-addressed cache key).
+    /// Empty (the default) leaves the trajectory untouched.
+    pub warm_seeds: Vec<Vec<FreqMhz>>,
 }
 
 impl Default for GaConfig {
@@ -87,6 +100,7 @@ impl Default for GaConfig {
             threads: 0,
             oracle_seeds: 0,
             oracle_auto_stages: 256,
+            warm_seeds: Vec::new(),
         }
     }
 }
@@ -132,6 +146,14 @@ impl GaConfig {
     #[must_use]
     pub fn with_oracle_auto_stages(mut self, stages: usize) -> Self {
         self.oracle_auto_stages = stages;
+        self
+    }
+
+    /// Sets the externally supplied warm-start seed strategies (see
+    /// [`Self::warm_seeds`]), chainable.
+    #[must_use]
+    pub fn with_warm_seeds(mut self, seeds: Vec<Vec<FreqMhz>>) -> Self {
+        self.warm_seeds = seeds;
         self
     }
 
@@ -300,6 +322,22 @@ pub fn search_observed(table: &StageTable, cfg: &GaConfig, obs: &ObserverHandle)
             }
             pool.push_genes(&seed.genes);
         }
+    }
+    // Warm-start seeds: externally supplied strategies (cross-device
+    // transfer). Mapped by proportional stage index so seeds from a
+    // device whose profile split into a different stage count still
+    // apply; like the oracle block above, this draws nothing from the
+    // RNG, so an empty list leaves the trajectory untouched.
+    for seed in &cfg.warm_seeds {
+        if seed.is_empty() {
+            continue;
+        }
+        if pool.len() + 1 >= cfg.population {
+            break;
+        }
+        genes_buf.clear();
+        genes_buf.extend((0..n).map(|i| gene_of(seed[i * seed.len() / n])));
+        pool.push_genes(&genes_buf);
     }
     while pool.len() < cfg.population {
         genes_buf.clear();
@@ -691,6 +729,65 @@ mod tests {
         assert_eq!(explicit.effective_oracle_seeds(10), 3);
         let disabled = GaConfig::default().with_oracle_auto_stages(usize::MAX);
         assert_eq!(disabled.effective_oracle_seeds(1_000_000), 0);
+    }
+
+    #[test]
+    fn warm_seeding_with_a_known_strategy_never_scores_below_cold_start() {
+        // Transferring the cold search's own winning strategy back in as
+        // a warm seed models the best case of cross-device transfer (an
+        // identical twin). Elitism puts the seed in generation 0 and the
+        // refinement is monotone from the best individual, so the warm
+        // outcome can never score below the cold one.
+        let t = table(6, 6);
+        let short = quick_cfg().with_iterations(10);
+        let cold = search(&t, &short);
+        let warm = search(
+            &t,
+            &short
+                .clone()
+                .with_warm_seeds(vec![cold.strategy.freqs().to_vec()]),
+        );
+        assert!(
+            warm.best_score >= cold.best_score,
+            "warm {} < cold {}",
+            warm.best_score,
+            cold.best_score
+        );
+        // The seed is already in generation 0, so the first trace entry
+        // must be at least its own score.
+        assert!(warm.score_trace[0] >= cold.best_score);
+    }
+
+    #[test]
+    fn warm_seeds_with_mismatched_stage_counts_are_stretched() {
+        // A seed searched on a device whose profile split into a
+        // different stage count maps by proportional index: its own
+        // mapped evaluation bounds generation 0 from below.
+        let t = table(4, 4); // 8 stages
+        let short = quick_cfg().with_iterations(5);
+        // A 4-gene seed (half the stages): low for the memory half,
+        // max for the compute half.
+        let lo = t.freqs()[0];
+        let hi = *t.freqs().last().unwrap();
+        let seed = vec![lo, lo, hi, hi];
+        let warm = search(&t, &short.clone().with_warm_seeds(vec![seed.clone()]));
+        let n = t.n_stages();
+        let mapped: Vec<usize> = (0..n)
+            .map(|i| {
+                let f = seed[i * seed.len() / n];
+                t.freqs().iter().position(|&g| g >= f).unwrap()
+            })
+            .collect();
+        let seed_score = score(
+            &t.evaluate(&mapped),
+            t.baseline().time_us,
+            short.perf_loss_target,
+        );
+        assert!(warm.score_trace[0] >= seed_score);
+        // Empty seeds are skipped and change nothing.
+        let cold = search(&t, &short);
+        let noop = search(&t, &short.clone().with_warm_seeds(vec![Vec::new()]));
+        assert_eq!(cold, noop, "empty warm seed must not perturb the search");
     }
 
     #[test]

@@ -264,6 +264,40 @@ pub enum Event {
         /// Predicted AICore energy of the new strategy, W·µs.
         predicted_energy_wus: f64,
     },
+    /// A fleet controller found a transferable strategy for a
+    /// re-optimizing device: a calibration-cluster neighbor's cached
+    /// strategy was injected as a GA warm start.
+    TransferHit {
+        /// Fleet index of the device being re-optimized.
+        device: usize,
+        /// Fleet index of the neighbor whose strategy was transferred.
+        donor: usize,
+        /// Number of warm-seed strategies injected.
+        seeds: usize,
+    },
+    /// A fleet controller found no transferable strategy for a
+    /// re-optimizing device (singleton cluster or no neighbor has
+    /// published a strategy yet); the device falls back to an
+    /// oracle-seeded cold search.
+    TransferMiss {
+        /// Fleet index of the device being re-optimized.
+        device: usize,
+        /// Size of the device's calibration cluster (including itself).
+        cluster: usize,
+    },
+    /// A fleet epoch completed: every device advanced its serving loop
+    /// by the epoch's iteration window and the controller published the
+    /// resulting strategies to the shared cache.
+    FleetEpoch {
+        /// Epoch index (0-based).
+        epoch: usize,
+        /// Devices in the fleet.
+        devices: usize,
+        /// Strategy swaps that occurred across the fleet this epoch.
+        swaps: usize,
+        /// Transfer hits across the fleet this epoch.
+        transfers: usize,
+    },
 }
 
 impl Event {
@@ -292,6 +326,9 @@ impl Event {
             Self::DriftDetected { .. } => "DriftDetected",
             Self::ReoptimizationStarted { .. } => "ReoptimizationStarted",
             Self::StrategySwapped { .. } => "StrategySwapped",
+            Self::TransferHit { .. } => "TransferHit",
+            Self::TransferMiss { .. } => "TransferMiss",
+            Self::FleetEpoch { .. } => "FleetEpoch",
         }
     }
 
@@ -459,6 +496,30 @@ impl Event {
                 push_uint_field(&mut s, "iter", *iter as u64);
                 push_uint_field(&mut s, "generation", *generation as u64);
                 push_num_field(&mut s, "predicted_energy_wus", *predicted_energy_wus);
+            }
+            Self::TransferHit {
+                device,
+                donor,
+                seeds,
+            } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "donor", *donor as u64);
+                push_uint_field(&mut s, "seeds", *seeds as u64);
+            }
+            Self::TransferMiss { device, cluster } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "cluster", *cluster as u64);
+            }
+            Self::FleetEpoch {
+                epoch,
+                devices,
+                swaps,
+                transfers,
+            } => {
+                push_uint_field(&mut s, "epoch", *epoch as u64);
+                push_uint_field(&mut s, "devices", *devices as u64);
+                push_uint_field(&mut s, "swaps", *swaps as u64);
+                push_uint_field(&mut s, "transfers", *transfers as u64);
             }
         }
         s.push('}');
@@ -649,6 +710,37 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"event\":\"StrategySwapped\",\"iter\":49,\"generation\":1,\"predicted_energy_wus\":1234.5}"
+        );
+    }
+
+    #[test]
+    fn json_encodes_fleet_events() {
+        let e = Event::TransferHit {
+            device: 7,
+            donor: 3,
+            seeds: 1,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"TransferHit\",\"device\":7,\"donor\":3,\"seeds\":1}"
+        );
+        let e = Event::TransferMiss {
+            device: 2,
+            cluster: 1,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"TransferMiss\",\"device\":2,\"cluster\":1}"
+        );
+        let e = Event::FleetEpoch {
+            epoch: 1,
+            devices: 64,
+            swaps: 9,
+            transfers: 6,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"FleetEpoch\",\"epoch\":1,\"devices\":64,\"swaps\":9,\"transfers\":6}"
         );
     }
 

@@ -50,6 +50,7 @@ mod noise;
 mod operator;
 pub mod power;
 mod profiler;
+mod spread;
 pub mod telemetry;
 mod thermal;
 mod timeline;
@@ -63,6 +64,7 @@ pub use hook::{DeviceHook, HookHandle, RecordFate, SampleFate, SetFreqFate};
 pub use noise::NoiseSource;
 pub use operator::{CoreMix, OpClass, OpDescriptor, Scenario};
 pub use profiler::OpRecord;
+pub use spread::ConfigSpread;
 pub use telemetry::{summarize, TelemetrySample, TelemetrySummary};
 pub use thermal::ThermalState;
 pub use timeline::{ld_throughput, CycleModel, LdStTerm, Pipeline, PipelineBusy, PipelineRatios};

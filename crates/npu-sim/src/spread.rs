@@ -1,0 +1,241 @@
+//! Seeded manufacturing/deployment variation across a device population.
+//!
+//! A fleet is never N copies of the calibration target: silicon binning
+//! spreads the power coefficients, rack position spreads the ambient,
+//! and environment spreads how fast each chip drifts. [`ConfigSpread`]
+//! samples that variation deterministically — each device's
+//! configuration is a pure function of `(spread, base, fleet_seed,
+//! device_index)`, independent of every other device, so a fleet
+//! controller can materialize device `i` without touching devices
+//! `0..i` and results stay bit-reproducible at any worker count.
+
+use crate::config::NpuConfig;
+use crate::drift::DriftModel;
+use crate::noise::NoiseSource;
+
+/// Fractional per-device spread applied to a base [`NpuConfig`] (and
+/// optionally a base [`DriftModel`]).
+///
+/// Each affected coefficient is scaled by an independent uniform factor
+/// in `[1 - frac, 1 + frac)`; the ambient shifts by a uniform offset in
+/// `[-range, range)`. Fractions are clamped to `[0, 0.9]` on sampling so
+/// a pathological spread can never flip a coefficient's sign.
+///
+/// # Examples
+///
+/// ```
+/// use npu_sim::{ConfigSpread, NpuConfig};
+///
+/// let base = NpuConfig::ascend_like();
+/// let spread = ConfigSpread::default();
+/// let a = spread.sample(&base, 7, 0);
+/// let b = spread.sample(&base, 7, 1);
+/// assert_ne!(a.beta_w_per_ghz_v2, b.beta_w_per_ghz_v2); // devices differ
+/// assert_eq!(a, spread.sample(&base, 7, 0)); // but each is deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigSpread {
+    /// Fractional spread on the dynamic coefficient β.
+    pub beta_frac: f64,
+    /// Fractional spread on the static coefficients θ (core and uncore
+    /// scale by the same per-device factor — they share a process corner).
+    pub theta_frac: f64,
+    /// Fractional spread on the leakage coefficients γ (AICore and SoC
+    /// scale by the same per-device factor).
+    pub gamma_frac: f64,
+    /// Fractional spread on the thermal coupling `k`.
+    pub k_frac: f64,
+    /// Half-width of the uniform ambient offset, °C.
+    pub ambient_range_c: f64,
+    /// Fractional spread on the drift *rates* (ramp and aging speeds;
+    /// caps are left alone) sampled by [`Self::sample_drift`].
+    pub drift_frac: f64,
+}
+
+impl Default for ConfigSpread {
+    /// A plausible deployment: a few percent of coefficient binning,
+    /// ±4 °C of rack-position ambient, ±30 % drift-rate variation.
+    fn default() -> Self {
+        Self {
+            beta_frac: 0.04,
+            theta_frac: 0.06,
+            gamma_frac: 0.06,
+            k_frac: 0.03,
+            ambient_range_c: 4.0,
+            drift_frac: 0.3,
+        }
+    }
+}
+
+impl ConfigSpread {
+    /// A spread that samples every device identical to the base.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            beta_frac: 0.0,
+            theta_frac: 0.0,
+            gamma_frac: 0.0,
+            k_frac: 0.0,
+            ambient_range_c: 0.0,
+            drift_frac: 0.0,
+        }
+    }
+
+    /// Samples device `index`'s configuration. Pure in `(self, base,
+    /// fleet_seed, index)`; the draw order (β, θ, γ, k, ambient) is part
+    /// of the reproducibility contract.
+    #[must_use]
+    pub fn sample(&self, base: &NpuConfig, fleet_seed: u64, index: usize) -> NpuConfig {
+        let mut rng = NoiseSource::from_seed(device_stream(fleet_seed, index, 0));
+        let mut cfg = base.clone();
+        cfg.beta_w_per_ghz_v2 *= uniform_factor(&mut rng, self.beta_frac);
+        let theta = uniform_factor(&mut rng, self.theta_frac);
+        cfg.theta_w_per_v *= theta;
+        cfg.uncore_theta_w_per_v *= theta;
+        let gamma = uniform_factor(&mut rng, self.gamma_frac);
+        cfg.gamma_aicore_w_per_k_v *= gamma;
+        cfg.gamma_soc_w_per_k_v *= gamma;
+        cfg.k_c_per_w *= uniform_factor(&mut rng, self.k_frac);
+        if self.ambient_range_c > 0.0 {
+            cfg.ambient_c += rng.uniform(-self.ambient_range_c, self.ambient_range_c);
+        }
+        cfg
+    }
+
+    /// Samples device `index`'s drift model: the base model with its
+    /// ramp/aging *rates* scaled by one per-device uniform factor (caps
+    /// untouched — every chip ends in the same envelope, at its own
+    /// speed). Pure in `(self, base, fleet_seed, index)` and drawn from
+    /// a different stream than [`Self::sample`], so adding drift spread
+    /// never perturbs the configuration spread.
+    #[must_use]
+    pub fn sample_drift(&self, base: &DriftModel, fleet_seed: u64, index: usize) -> DriftModel {
+        let mut rng = NoiseSource::from_seed(device_stream(fleet_seed, index, 1));
+        let f = uniform_factor(&mut rng, self.drift_frac);
+        let mut drift = *base;
+        drift.ambient_ramp_c_per_s *= f;
+        drift.gamma_aging_per_s *= f;
+        drift.theta_aging_per_s *= f;
+        drift
+    }
+}
+
+/// One uniform multiplicative factor in `[1 - frac, 1 + frac)`, with
+/// `frac` clamped to `[0, 0.9]`. Always consumes exactly one draw so the
+/// stream position stays independent of the spread's magnitudes.
+fn uniform_factor(rng: &mut NoiseSource, frac: f64) -> f64 {
+    let frac = frac.clamp(0.0, 0.9);
+    let u = rng.uniform(-1.0, 1.0);
+    1.0 + frac * u
+}
+
+/// splitmix64 over `(fleet_seed, device_index, stream)` — the same
+/// finalizer family `Device::fork` uses, so per-device streams are
+/// decorrelated from each other and from the devices' own noise streams.
+fn device_stream(fleet_seed: u64, index: usize, stream: u64) -> u64 {
+    let mut x = fleet_seed
+        .wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_spread_is_identity() {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread::none();
+        for i in 0..8 {
+            assert_eq!(spread.sample(&base, 42, i), base);
+        }
+        let drift = DriftModel::ambient_ramp(2.0, 10.0).with_gamma_aging(0.1, 0.5);
+        assert_eq!(spread.sample_drift(&drift, 42, 3), drift);
+    }
+
+    #[test]
+    fn samples_are_pure_per_device_functions() {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread::default();
+        // Device 5's sample does not depend on whether other devices
+        // were sampled, or in what order.
+        let direct = spread.sample(&base, 9, 5);
+        let _ = spread.sample(&base, 9, 0);
+        let _ = spread.sample(&base, 9, 7);
+        assert_eq!(spread.sample(&base, 9, 5), direct);
+    }
+
+    #[test]
+    fn devices_and_seeds_decorrelate() {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread::default();
+        let a = spread.sample(&base, 1, 0);
+        let b = spread.sample(&base, 1, 1);
+        let c = spread.sample(&base, 2, 0);
+        assert_ne!(a.beta_w_per_ghz_v2, b.beta_w_per_ghz_v2);
+        assert_ne!(a.beta_w_per_ghz_v2, c.beta_w_per_ghz_v2);
+    }
+
+    #[test]
+    fn factors_stay_in_band_and_signs_survive() {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread {
+            beta_frac: 0.1,
+            theta_frac: 0.1,
+            gamma_frac: 0.1,
+            k_frac: 0.1,
+            ambient_range_c: 5.0,
+            drift_frac: 0.5,
+        };
+        for i in 0..256 {
+            let cfg = spread.sample(&base, 77, i);
+            let ratio = cfg.beta_w_per_ghz_v2 / base.beta_w_per_ghz_v2;
+            assert!((0.9..1.1).contains(&ratio), "beta ratio {ratio}");
+            assert!((cfg.ambient_c - base.ambient_c).abs() < 5.0);
+            assert!(cfg.theta_w_per_v > 0.0);
+            assert!(cfg.gamma_aicore_w_per_k_v > 0.0);
+            assert!(cfg.k_c_per_w > 0.0);
+        }
+        // A runaway fraction clamps instead of flipping signs.
+        let wild = ConfigSpread {
+            theta_frac: 50.0,
+            ..spread
+        };
+        for i in 0..64 {
+            assert!(wild.sample(&base, 3, i).theta_w_per_v > 0.0);
+        }
+    }
+
+    #[test]
+    fn shared_process_corner_scales_core_and_uncore_together() {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread::default();
+        let cfg = spread.sample(&base, 13, 4);
+        let theta_ratio = cfg.theta_w_per_v / base.theta_w_per_v;
+        let utheta_ratio = cfg.uncore_theta_w_per_v / base.uncore_theta_w_per_v;
+        assert!((theta_ratio - utheta_ratio).abs() < 1e-12);
+        let g_ratio = cfg.gamma_aicore_w_per_k_v / base.gamma_aicore_w_per_k_v;
+        let gs_ratio = cfg.gamma_soc_w_per_k_v / base.gamma_soc_w_per_k_v;
+        assert!((g_ratio - gs_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_spread_scales_rates_not_caps() {
+        let base = DriftModel::ambient_ramp(2.0, 10.0)
+            .with_gamma_aging(0.1, 0.5)
+            .with_theta_aging(0.05, 0.2);
+        let spread = ConfigSpread::default();
+        let d = spread.sample_drift(&base, 21, 6);
+        assert_eq!(d.ambient_max_c, base.ambient_max_c);
+        assert_eq!(d.gamma_aging_max, base.gamma_aging_max);
+        assert_eq!(d.theta_aging_max, base.theta_aging_max);
+        let f = d.ambient_ramp_c_per_s / base.ambient_ramp_c_per_s;
+        assert!((d.gamma_aging_per_s / base.gamma_aging_per_s - f).abs() < 1e-12);
+        assert!((d.theta_aging_per_s / base.theta_aging_per_s - f).abs() < 1e-12);
+        assert!((1.0 - spread.drift_frac..1.0 + spread.drift_frac).contains(&f));
+    }
+}

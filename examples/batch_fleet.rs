@@ -31,9 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     opts.ga = opts.ga.with_population(60).with_iterations(120);
 
     let metrics = Arc::new(MetricsRegistry::new());
-    let runner = FleetRunner::new(cfg, calib, opts)
+    let runner = FleetRunner::builder(cfg)
+        .with_calibration(calib)
+        .with_config(opts)
         .with_workers(0) // auto-detect; NPU_THREADS=n pins it
-        .with_observer(ObserverHandle::from_arc(metrics.clone()));
+        .with_observer(ObserverHandle::from_arc(metrics.clone()))
+        .build();
 
     let t = Instant::now();
     let cold = runner.run(&batch)?;

@@ -159,7 +159,11 @@ fn serve_once(
         max_swaps,
         ..ServeOptions::default()
     };
-    let outcome = ServeRuntime::new(&mut optimizer, &workload, opts, serve).run()?;
+    let outcome = ServeRuntime::builder(&mut optimizer, &workload)
+        .with_config(opts)
+        .with_serve_options(serve)
+        .build()
+        .run()?;
     Ok((outcome, log.swapped.load(Ordering::Relaxed)))
 }
 

@@ -111,4 +111,50 @@ done
 awk -F': ' '/"speedup_end_to_end"/ { if ($2 + 0 < 2.0) exit 1 }' BENCH_pipeline.json \
   || { echo "BENCH_pipeline.json: end-to-end speedup below 2x" >&2; exit 1; }
 
+echo "==> fleet-serve smoke (sharded epochs, strategy transfer, 1/2/auto-worker digests, 2 seeds)"
+# The example is self-checking: it exits non-zero unless drift forces
+# strategy swaps, at least one re-optimization warm-starts from a
+# transferred neighbor strategy, and the fleet digest is bit-identical
+# at 1, 2 and auto workers.
+for seed in 1 2; do
+  FLEET_SEED=$seed cargo run --quiet --release --example fleet_serve > /dev/null
+done
+
+echo "==> fleet bench smoke (warm transfer vs cold re-optimization, 8 devices)"
+CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fleet
+
+# Validate the smoke JSON: every field present, transfer hits observed,
+# and the fleet digest bit-identical at 1/2/8 workers. The speedup gate
+# applies to the checked-in full run only — an 8-device smoke is too
+# small for stable timing.
+fleet_fields="devices epochs clusters devices_per_sec fleet_swaps \
+transfer_hits transfer_misses transfer_hit_rate cache_hit_rate \
+warm_reopt_wall_s cold_reopt_wall_s warm_reopt_per_swap_ms \
+cold_reopt_per_swap_ms reopt_speedup digest bit_identical"
+for f in $fleet_fields; do
+  grep -q "\"$f\"" BENCH_fleet.smoke.json \
+    || { echo "BENCH_fleet.smoke.json: missing field $f" >&2; exit 1; }
+done
+awk -F': ' '/"transfer_hit_rate"/ { if ($2 + 0 <= 0.0) exit 1 }' BENCH_fleet.smoke.json \
+  || { echo "BENCH_fleet.smoke.json: no transfer hits" >&2; exit 1; }
+grep -q '"bit_identical": true' BENCH_fleet.smoke.json \
+  || { echo "fleet digest diverged across worker counts" >&2; exit 1; }
+rm -f BENCH_fleet.smoke.json
+
+# The checked-in full-run measurement (64 devices: cargo bench -p
+# npu-bench --bench fleet, no CRITERION_SMOKE) must carry the same
+# fields, warm-start a positive share of re-optimizations, run a
+# transfer-warm re-optimization >= 2x faster than a cold one, and stay
+# bit-identical across worker counts.
+for f in $fleet_fields; do
+  grep -q "\"$f\"" BENCH_fleet.json \
+    || { echo "BENCH_fleet.json: missing field $f" >&2; exit 1; }
+done
+awk -F': ' '/"transfer_hit_rate"/ { if ($2 + 0 <= 0.0) exit 1 }' BENCH_fleet.json \
+  || { echo "BENCH_fleet.json: no transfer hits" >&2; exit 1; }
+awk -F': ' '/"reopt_speedup"/ { if ($2 + 0 < 2.0) exit 1 }' BENCH_fleet.json \
+  || { echo "BENCH_fleet.json: warm re-optimization speedup below 2x" >&2; exit 1; }
+grep -q '"bit_identical": true' BENCH_fleet.json \
+  || { echo "BENCH_fleet.json: fleet digest diverged across worker counts" >&2; exit 1; }
+
 echo "==> all checks passed"

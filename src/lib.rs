@@ -59,9 +59,9 @@ pub use npu_workloads as workloads;
 pub mod prelude {
     pub use npu_core::{
         optimize_batch, sweep_profiles, ArtifactCache, CacheError, CacheStats, DriftDetector,
-        DriftDetectorConfig, DriftSignal, EnergyOptimizer, FleetRunner, OptimizationReport,
-        OptimizationSession, OptimizerConfig, ServeIteration, ServeOptions, ServeOutcome,
-        ServeRuntime,
+        DriftDetectorConfig, DriftSignal, EnergyOptimizer, FleetBuilder, FleetController,
+        FleetOutcome, FleetRunner, OptimizationReport, OptimizationSession, OptimizerConfig,
+        ServeBuilder, ServeIteration, ServeOptions, ServeOutcome, ServeRuntime,
     };
     pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
     pub use npu_exec::{
@@ -78,8 +78,8 @@ pub mod prelude {
         calibrate_device, calibrate_device_parallel, CalibrationOptions, PowerModel,
     };
     pub use npu_sim::{
-        Device, DriftModel, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor, OpRecord, RunOptions,
-        Scenario, Schedule, TelemetrySummary, VoltageCurve,
+        ConfigSpread, Device, DriftModel, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor,
+        OpRecord, RunOptions, Scenario, Schedule, TelemetrySummary, VoltageCurve,
     };
     pub use npu_workloads::{models, ops, Workload};
 }

@@ -1,0 +1,244 @@
+//! Integration: fleet-scale serving — sharded device loops stay
+//! bit-identical at any worker count, cross-device transfer warm-starts
+//! never lose to cold search on the same seed, and calibration
+//! fingerprint clustering is invariant to device listing order.
+
+use dvfs_repro::core::fleet_serve::{calibration_fingerprint, calibration_vector};
+use dvfs_repro::power_model::HardwareCalibration;
+use dvfs_repro::prelude::*;
+use dvfs_repro::sim::DriftModel;
+use proptest::prelude::*;
+
+const SEED: u64 = 42;
+const THERMAL_TAU_US: f64 = 2_000.0;
+const LOSS_TARGET: f64 = 0.50;
+
+/// The tuned compute-bound stream from the serve_drift scenario: its
+/// energy optimum moves when leakage drifts.
+fn serve_workload(n: usize) -> Workload {
+    Workload::new(
+        "FleetServe",
+        Schedule::new(
+            (0..n)
+                .map(|i| {
+                    OpDescriptor::compute(format!("Op{i}"), Scenario::PingPongIndependent)
+                        .blocks(4)
+                        .ld_bytes_per_block(64.0 * 1024.0)
+                        .core_cycles_per_block(30_000.0)
+                        .activity(6.0)
+                })
+                .collect(),
+        ),
+    )
+}
+
+fn base_cfg() -> NpuConfig {
+    NpuConfig::builder()
+        .thermal_tau_us(THERMAL_TAU_US)
+        .noise(0.0, 0.0, 0.0)
+        .build()
+        .unwrap()
+}
+
+/// Overnight machine-room cool-down: leakage relaxes, the optimum moves.
+fn drift() -> DriftModel {
+    DriftModel::ambient_ramp(-300.0, 15.0)
+        .with_gamma_aging(-9.0, 0.45)
+        .with_theta_aging(-9.0, 0.45)
+}
+
+fn detector() -> DriftDetectorConfig {
+    DriftDetectorConfig {
+        window: 4,
+        threshold: 0.08,
+        hysteresis: 2,
+        cooldown_windows: 2,
+        temp_scale_c: 10.0,
+    }
+}
+
+fn serve_options() -> ServeOptions {
+    ServeOptions {
+        detector: detector(),
+        ladder_freqs: vec![FreqMhz::new(1000), FreqMhz::new(1400)],
+        max_swaps: 1,
+        warm_ga_iterations: Some(12),
+        ..ServeOptions::default()
+    }
+}
+
+/// A BENCH_fleet-shaped controller, scaled down: N devices from a tight
+/// silicon spread with wide drift-rate variation, serving epoch windows
+/// under the tuned drift scenario.
+fn fleet(workers: usize) -> FleetController {
+    let spread = ConfigSpread {
+        beta_frac: 0.01,
+        theta_frac: 0.01,
+        gamma_frac: 0.01,
+        k_frac: 0.01,
+        ambient_range_c: 1.0,
+        drift_frac: 0.4,
+    };
+    let opts = OptimizerConfig::default()
+        .with_threads(1)
+        .with_loss_target(LOSS_TARGET);
+    FleetController::new(base_cfg(), serve_workload(12))
+        .with_devices(8)
+        .with_epochs(2)
+        .with_epoch_iterations(16)
+        .with_workers(workers)
+        .with_spread(spread)
+        .with_fleet_seed(SEED)
+        .with_drift(drift())
+        .with_config(opts)
+        .with_serve_options(serve_options())
+}
+
+#[test]
+fn fleet_epochs_are_bit_identical_across_worker_counts() {
+    let reference = fleet(1).run().unwrap();
+    assert!(reference.swaps > 0, "drift must force re-optimizations");
+    assert!(
+        reference.transfer_hits > 0,
+        "epoch-1 re-optimizations must warm-start from the published board"
+    );
+    assert!(reference
+        .per_device
+        .iter()
+        .all(|d| d.iterations.len() == 32));
+    for workers in [2usize, 8] {
+        let again = fleet(workers).run().unwrap();
+        assert_eq!(
+            again.digest, reference.digest,
+            "fleet digest diverged at {workers} workers"
+        );
+        // The digest covers the trajectories; the sequential barrier
+        // accounting must agree too.
+        assert_eq!(again.swaps, reference.swaps);
+        assert_eq!(again.warm_swaps, reference.warm_swaps);
+        assert_eq!(again.transfer_hits, reference.transfer_hits);
+        assert_eq!(again.transfer_misses, reference.transfer_misses);
+        assert_eq!(again.per_device, reference.per_device);
+    }
+}
+
+/// One drifting device, the tuned single-swap scenario. Returns the
+/// re-optimization's GA outcome.
+fn reopt_outcome(warm_seeds: Option<Vec<Vec<FreqMhz>>>) -> GaOutcome {
+    let cfg = base_cfg();
+    let calib = HardwareCalibration::ground_truth(&cfg);
+    let workload = serve_workload(12);
+    let mut optimizer = EnergyOptimizer::new(Device::with_seed(cfg, SEED), calib);
+    optimizer.device_mut().set_drift(drift());
+    let opts = OptimizerConfig::default()
+        .with_threads(1)
+        .with_loss_target(LOSS_TARGET);
+    let serve = ServeOptions {
+        iterations: 48,
+        detector: detector(),
+        ladder_freqs: vec![FreqMhz::new(1000), FreqMhz::new(1400)],
+        max_swaps: 1,
+        // Full GA budget on both sides: this test isolates the effect of
+        // the seeds themselves.
+        warm_ga_iterations: None,
+        ..ServeOptions::default()
+    };
+    let mut rt = ServeRuntime::builder(&mut optimizer, &workload)
+        .with_config(opts)
+        .with_serve_options(serve)
+        .build();
+    let armed = warm_seeds.is_some();
+    if let Some(seeds) = warm_seeds {
+        rt.arm_warm_seeds(seeds);
+    }
+    let out = rt.run().unwrap();
+    assert_eq!(out.swaps, 1, "scenario must re-optimize exactly once");
+    assert_eq!(out.warm_swaps, usize::from(armed));
+    rt.last_search().unwrap().clone()
+}
+
+#[test]
+fn transfer_warm_start_never_scores_below_cold_start() {
+    let cold = reopt_outcome(None);
+    let warm = reopt_outcome(Some(vec![cold.strategy.freqs().to_vec()]));
+    assert!(
+        warm.best_score >= cold.best_score,
+        "warm-seeded re-optimization lost to cold: {} < {}",
+        warm.best_score,
+        cold.best_score
+    );
+}
+
+/// Clusters as a canonical partition: for each device, the sorted set of
+/// devices sharing its fingerprint.
+fn partition(fps: &[[i64; 6]]) -> Vec<Vec<usize>> {
+    (0..fps.len())
+        .map(|i| {
+            (0..fps.len())
+                .filter(|&j| fps[j] == fps[i])
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fingerprints are pure per-device functions, so the partition a
+    /// fleet clusters into cannot depend on the order devices are
+    /// listed in.
+    #[test]
+    fn fingerprint_clustering_is_permutation_invariant(
+        fleet_seed in 0u64..1_000,
+        n in 2usize..24,
+        perm_seed in 0u64..1_000,
+    ) {
+        let base = NpuConfig::ascend_like();
+        let spread = ConfigSpread {
+            beta_frac: 0.08,
+            theta_frac: 0.08,
+            gamma_frac: 0.08,
+            k_frac: 0.05,
+            ambient_range_c: 6.0,
+            drift_frac: 0.0,
+        };
+        let fp_of = |device: usize| {
+            let cfg = spread.sample(&base, fleet_seed, device);
+            calibration_fingerprint(&calibration_vector(&base, &cfg), 0.05, 3.0)
+        };
+        let devices: Vec<usize> = (0..n).collect();
+        let mut permuted = devices.clone();
+        let mut s = perm_seed;
+        for i in (1..n).rev() {
+            let j = (splitmix(&mut s) % (i as u64 + 1)) as usize;
+            permuted.swap(i, j);
+        }
+
+        let fps: Vec<_> = devices.iter().map(|&d| fp_of(d)).collect();
+        let fps_permuted: Vec<_> = permuted.iter().map(|&d| fp_of(d)).collect();
+        let part = partition(&fps);
+        let part_permuted = partition(&fps_permuted);
+
+        // Same-cluster is a property of device *pairs*, not positions:
+        // devices a and b share a cluster in one listing iff they share
+        // one in any other.
+        for (pos_a, &a) in permuted.iter().enumerate() {
+            for (pos_b, &b) in permuted.iter().enumerate() {
+                let together = part[a].contains(&b);
+                let together_permuted = part_permuted[pos_a].contains(&pos_b);
+                prop_assert_eq!(
+                    together, together_permuted,
+                    "devices {} and {} cluster differently after permutation", a, b
+                );
+            }
+        }
+    }
+}

@@ -453,7 +453,7 @@ fn truncated_persisted_profile_is_a_typed_error_and_counts_a_miss() {
 
     // A fresh store over an intact file starts warm.
     let cold = ArtifactCache::persistent(&dir).unwrap();
-    assert!(cold.lookup_profile_checked(0xBAD).unwrap().is_some());
+    assert!(cold.try_lookup_profile(0xBAD).unwrap().is_some());
 
     // Truncate the file mid-stream (the text is pure ASCII) and look it
     // up through another fresh store, so memory cannot mask the damage.
@@ -461,7 +461,7 @@ fn truncated_persisted_profile_is_a_typed_error_and_counts_a_miss() {
     let full = std::fs::read_to_string(&path).unwrap();
     std::fs::write(&path, &full[..full.len() / 2]).unwrap();
     let cold = ArtifactCache::persistent(&dir).unwrap();
-    match cold.lookup_profile_checked(0xBAD) {
+    match cold.try_lookup_profile(0xBAD) {
         Err(CacheError::Corrupt {
             kind,
             key,
@@ -488,11 +488,11 @@ fn garbage_persisted_search_is_corrupt_while_absence_stays_a_plain_miss() {
     let dir = scratch_cache_dir("search-garbage");
     let cache = ArtifactCache::persistent(&dir).unwrap();
     // Nothing stored: a genuine absence, not an error.
-    assert!(cache.lookup_search_checked(1).unwrap().is_none());
+    assert!(cache.try_lookup_search(1).unwrap().is_none());
 
     let path = dir.join(format!("search-{:016x}.txt", 2u64));
     std::fs::write(&path, "not an artifact\n").unwrap();
-    match cache.lookup_search_checked(2) {
+    match cache.try_lookup_search(2) {
         Err(CacheError::Corrupt { kind, key, .. }) => {
             assert_eq!(kind, "search");
             assert_eq!(key, 2);

@@ -13,7 +13,7 @@ use dvfs_repro::power_model::HardwareCalibration;
 use dvfs_repro::prelude::*;
 use dvfs_repro::sim::DriftModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 const SEED: u64 = 42;
 const ITERATIONS: usize = 48;
@@ -109,7 +109,10 @@ fn serve_once(
         max_swaps,
         ..ServeOptions::default()
     };
-    let outcome = ServeRuntime::new(&mut optimizer, &workload, opts, serve)
+    let outcome = ServeRuntime::builder(&mut optimizer, &workload)
+        .with_config(opts)
+        .with_serve_options(serve)
+        .build()
         .run()
         .unwrap();
     (outcome, counts)
@@ -170,6 +173,102 @@ fn static_hardware_never_trips_the_detector() {
     assert_eq!(counts.detected.load(Ordering::Relaxed), 0);
     assert_eq!(counts.swapped.load(Ordering::Relaxed), 0);
     assert!(outcome.iterations.iter().all(|it| it.generation == 0));
+}
+
+/// Logs every drift detection's iteration index plus the swap counters.
+#[derive(Default)]
+struct DetectionLog {
+    detected_iters: Mutex<Vec<usize>>,
+    reopt: AtomicUsize,
+    swapped: AtomicUsize,
+}
+
+impl Observer for DetectionLog {
+    fn on_event(&self, event: &Event) {
+        match event {
+            Event::DriftDetected { iter, .. } => {
+                self.detected_iters.lock().unwrap().push(*iter);
+            }
+            Event::ReoptimizationStarted { .. } => {
+                self.reopt.fetch_add(1, Ordering::Relaxed);
+            }
+            Event::StrategySwapped { .. } => {
+                self.swapped.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Regression: a re-optimization that *fails* must leave the loop in a
+/// consistent degraded state — the generation counter bumps iff a swap
+/// occurred, and the detector's post-swap cooldown is re-armed exactly
+/// as if one had (the execution mode changed under it, so immediate
+/// re-detections would be noise, not fresh drift).
+#[test]
+fn failed_reoptimization_degrades_without_bumping_generation() {
+    let detector = DriftDetectorConfig {
+        window: 4,
+        threshold: 0.08,
+        hysteresis: 2,
+        cooldown_windows: 2,
+        temp_scale_c: 10.0,
+    };
+    let cfg = NpuConfig::builder()
+        .thermal_tau_us(THERMAL_TAU_US)
+        .noise(0.0, 0.0, 0.0)
+        .build()
+        .unwrap();
+    let workload = serve_workload(12);
+    let calib = HardwareCalibration::ground_truth(&cfg);
+    let mut optimizer = EnergyOptimizer::new(Device::with_seed(cfg, SEED), calib);
+    optimizer.device_mut().set_drift(drift());
+    let log = Arc::new(DetectionLog::default());
+    optimizer.set_observer(ObserverHandle::from_arc(log.clone()));
+    let opts = OptimizerConfig::default()
+        .with_threads(1)
+        .with_loss_target(LOSS_TARGET);
+    let serve = ServeOptions {
+        iterations: 2 * ITERATIONS,
+        detector,
+        // 1350 MHz is off the device's 100 MHz grid, so the ladder
+        // re-profile inside reoptimize() must fail.
+        ladder_freqs: vec![FreqMhz::new(1350)],
+        max_swaps: 3,
+        ..ServeOptions::default()
+    };
+    let outcome = ServeRuntime::builder(&mut optimizer, &workload)
+        .with_config(opts)
+        .with_serve_options(serve)
+        .build()
+        .run()
+        .unwrap();
+
+    // Degrade, don't die: the full window is served behind guardrails.
+    assert!(outcome.fell_back);
+    assert_eq!(outcome.iterations.len(), 2 * ITERATIONS);
+    assert_eq!(log.reopt.load(Ordering::Relaxed), 1);
+
+    // The invariant under test: generation bumps iff a swap occurred.
+    assert_eq!(outcome.swaps, 0);
+    assert_eq!(outcome.warm_swaps, 0);
+    assert_eq!(log.swapped.load(Ordering::Relaxed), 0);
+    assert!(outcome.iterations.iter().all(|it| it.generation == 0));
+
+    // The cooldown half of the fix: the first detection is the one that
+    // attempted (and failed) the re-optimization, so the detector must
+    // need cooldown + hysteresis full windows before firing again —
+    // exactly the pacing a successful swap gets. Without the reset the
+    // stale prediction re-detects a hysteresis-worth of windows later.
+    // (Detections after that run in detect-only mode and pace at
+    // hysteresis only, which is fine — no mode change happened.)
+    let detected = log.detected_iters.lock().unwrap();
+    assert!(detected.len() >= 2, "scenario must re-detect: {detected:?}");
+    let min_gap = (detector.cooldown_windows + detector.hysteresis) * detector.window;
+    assert!(
+        detected[1] - detected[0] >= min_gap,
+        "detections {detected:?}: post-failure gap shorter than cooldown + hysteresis ({min_gap})"
+    );
 }
 
 #[test]
