@@ -41,13 +41,14 @@
 
 use crate::report::MeasuredIteration;
 use npu_dvfs::{DvfsStrategy, Evaluation, GaConfig, GaOutcome, Stage, StageKind};
+use npu_obs::{Event, ObserverHandle};
 use npu_perf_model::{FitFunction, FreqProfile, PerfModelStore};
 use npu_power_model::{HardwareCalibration, PowerModel};
 use npu_sim::{FreqMhz, NpuConfig, OpRecord, Schedule};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
@@ -872,6 +873,10 @@ struct CacheInner {
     model_stats: Counters,
     search_stats: Counters,
     dir: Option<PathBuf>,
+    /// Set on the first failed disk write; once set, the cache stops
+    /// touching the persistence directory and runs memory-only.
+    disk_failed: AtomicBool,
+    obs: Mutex<ObserverHandle>,
 }
 
 /// The content-addressed artifact store. Cheap to clone — clones share
@@ -901,6 +906,8 @@ impl ArtifactCache {
                 model_stats: Counters::default(),
                 search_stats: Counters::default(),
                 dir: None,
+                disk_failed: AtomicBool::new(false),
+                obs: Mutex::new(ObserverHandle::null()),
             }),
         }
     }
@@ -924,8 +931,24 @@ impl ArtifactCache {
                 model_stats: Counters::default(),
                 search_stats: Counters::default(),
                 dir: Some(dir),
+                disk_failed: AtomicBool::new(false),
+                obs: Mutex::new(ObserverHandle::null()),
             }),
         })
+    }
+
+    /// Attaches an observer: disk-degradation incidents are emitted as
+    /// [`Event::CacheDegraded`] instead of being silently swallowed.
+    pub fn set_observer(&self, obs: ObserverHandle) {
+        *self.inner.obs.lock().unwrap_or_else(|e| e.into_inner()) = obs;
+    }
+
+    /// Whether a disk write has failed and the cache degraded to
+    /// memory-only mode (persistent caches only; always `false` for
+    /// purely in-memory caches).
+    #[must_use]
+    pub fn disk_degraded(&self) -> bool {
+        self.inner.disk_failed.load(Ordering::Relaxed)
     }
 
     /// The persistence directory, if this cache spills to disk.
@@ -951,11 +974,38 @@ impl ArtifactCache {
         self.inner.search_stats.reset();
     }
 
+    /// The on-disk path of a persisted search artifact, if this cache
+    /// spills to disk and is not degraded (crate-internal: the fleet
+    /// chaos corruption fault overwrites the file behind the cache's
+    /// back).
+    pub(crate) fn search_disk_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk_path("search", key)
+    }
+
     fn disk_path(&self, kind: &str, key: u64) -> Option<PathBuf> {
+        if self.inner.disk_failed.load(Ordering::Relaxed) {
+            return None;
+        }
         self.inner
             .dir
             .as_ref()
             .map(|d| d.join(format!("{kind}-{key:016x}.txt")))
+    }
+
+    /// Spills `text` to `path`; the first failure trips degraded mode
+    /// (all later disk traffic is skipped) and is surfaced through the
+    /// attached observer as a [`Event::CacheDegraded`] event.
+    fn spill(&self, kind: &'static str, path: PathBuf, text: String) {
+        if let Err(e) = std::fs::write(path, text) {
+            self.inner.disk_failed.store(true, Ordering::Relaxed);
+            let obs = self.inner.obs.lock().unwrap_or_else(|e| e.into_inner());
+            if obs.enabled() {
+                obs.emit(Event::CacheDegraded {
+                    kind: kind.to_owned(),
+                    error: e.to_string(),
+                });
+            }
+        }
     }
 
     fn tally(counters: &Counters, hit: bool) {
@@ -1073,11 +1123,12 @@ impl ArtifactCache {
     }
 
     /// Stores a profile artifact (and spills it to disk when the cache
-    /// is persistent; disk errors are swallowed — the memory store is
-    /// authoritative).
+    /// is persistent; a disk error degrades the cache to memory-only
+    /// mode and emits [`Event::CacheDegraded`] — the memory store is
+    /// authoritative either way).
     pub fn insert_profile(&self, key: u64, artifact: ProfileArtifact) -> Arc<ProfileArtifact> {
         if let Some(path) = self.disk_path("profile", key) {
-            let _ = std::fs::write(path, artifact.to_text());
+            self.spill("profile", path, artifact.to_text());
         }
         let artifact = Arc::new(artifact);
         self.inner
@@ -1166,10 +1217,11 @@ impl ArtifactCache {
     }
 
     /// Stores a search artifact (and spills it to disk when the cache is
-    /// persistent).
+    /// persistent; disk errors degrade to memory-only mode as in
+    /// [`Self::insert_profile`]).
     pub fn insert_search(&self, key: u64, artifact: SearchArtifact) -> Arc<SearchArtifact> {
         if let Some(path) = self.disk_path("search", key) {
-            let _ = std::fs::write(path, artifact.to_text());
+            self.spill("search", path, artifact.to_text());
         }
         let artifact = Arc::new(artifact);
         self.inner
@@ -1178,5 +1230,19 @@ impl ArtifactCache {
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, artifact.clone());
         artifact
+    }
+
+    /// Drops the in-memory copy of a search artifact, forcing the next
+    /// lookup back to the persistence directory (or to a miss for
+    /// in-memory caches). Returns whether an entry was present. The
+    /// chaos harness uses this to model a node whose memory state is
+    /// lost while its disk artifact has been corrupted.
+    pub fn evict_search(&self, key: u64) -> bool {
+        self.inner
+            .searches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key)
+            .is_some()
     }
 }

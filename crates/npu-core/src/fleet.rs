@@ -14,6 +14,7 @@
 use crate::cache::ArtifactCache;
 use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::OptimizationReport;
+use crate::serve::ConfigError;
 use npu_obs::{Event, ObserverHandle};
 use npu_power_model::HardwareCalibration;
 use npu_sim::{Device, NpuConfig};
@@ -125,6 +126,52 @@ impl FleetBuilder {
             workers: self.workers,
             device_seed: self.device_seed,
         }
+    }
+
+    /// Validates the optimizer configuration, then assembles the runner.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCount`] for an empty build-frequency grid,
+    /// zero GA population/generations or zero profiling passes;
+    /// [`ConfigError::BadThreshold`] for a non-finite or non-positive
+    /// frequency-adjustment interval, or a performance-loss target
+    /// outside `[0, 1)`.
+    pub fn try_build(self) -> Result<FleetRunner, ConfigError> {
+        if self.opts.build_freqs.is_empty() {
+            return Err(ConfigError::ZeroCount {
+                field: "fleet.opts.build_freqs",
+            });
+        }
+        if self.opts.ga.population == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "fleet.opts.ga.population",
+            });
+        }
+        if self.opts.ga.iterations == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "fleet.opts.ga.iterations",
+            });
+        }
+        if self.opts.profile_passes == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "fleet.opts.profile_passes",
+            });
+        }
+        if !self.opts.fai_us.is_finite() || self.opts.fai_us <= 0.0 {
+            return Err(ConfigError::BadThreshold {
+                field: "fleet.opts.fai_us",
+                value: self.opts.fai_us,
+            });
+        }
+        let loss = self.opts.ga.perf_loss_target;
+        if !loss.is_finite() || !(0.0..1.0).contains(&loss) {
+            return Err(ConfigError::BadThreshold {
+                field: "fleet.opts.ga.perf_loss_target",
+                value: loss,
+            });
+        }
+        Ok(self.build())
     }
 }
 
@@ -408,6 +455,79 @@ mod tests {
         // Execution happens on a fresh device either way, so the warm
         // reports are bit-identical to the cold ones.
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn builder_validation_rejects_bad_configs() {
+        let cfg = NpuConfig::ascend_like();
+        let err = |opts: OptimizerConfig| match FleetBuilder::new(cfg.clone())
+            .with_config(opts)
+            .try_build()
+        {
+            Err(e) => e,
+            Ok(_) => panic!("expected rejection"),
+        };
+
+        let mut o = quick_opts();
+        o.build_freqs.clear();
+        assert_eq!(
+            err(o),
+            ConfigError::ZeroCount {
+                field: "fleet.opts.build_freqs"
+            }
+        );
+
+        let mut o = quick_opts();
+        o.ga.population = 0;
+        assert_eq!(
+            err(o),
+            ConfigError::ZeroCount {
+                field: "fleet.opts.ga.population"
+            }
+        );
+
+        let mut o = quick_opts();
+        o.ga.iterations = 0;
+        assert_eq!(
+            err(o),
+            ConfigError::ZeroCount {
+                field: "fleet.opts.ga.iterations"
+            }
+        );
+
+        let mut o = quick_opts();
+        o.profile_passes = 0;
+        assert_eq!(
+            err(o),
+            ConfigError::ZeroCount {
+                field: "fleet.opts.profile_passes"
+            }
+        );
+
+        let mut o = quick_opts();
+        o.fai_us = -1.0;
+        assert_eq!(
+            err(o),
+            ConfigError::BadThreshold {
+                field: "fleet.opts.fai_us",
+                value: -1.0
+            }
+        );
+
+        let mut o = quick_opts();
+        o.ga.perf_loss_target = 1.5;
+        assert_eq!(
+            err(o),
+            ConfigError::BadThreshold {
+                field: "fleet.opts.ga.perf_loss_target",
+                value: 1.5
+            }
+        );
+
+        assert!(FleetBuilder::new(cfg)
+            .with_config(quick_opts())
+            .try_build()
+            .is_ok());
     }
 
     #[test]

@@ -32,15 +32,15 @@ pub mod sweep;
 pub use cache::{ArtifactCache, CacheError, CacheStats};
 pub use fleet::{optimize_batch, FleetBuilder, FleetRunner};
 pub use fleet_serve::{
-    calibration_fingerprint, calibration_vector, cluster_by_fingerprint, FleetController,
-    FleetOutcome,
+    calibration_fingerprint, calibration_vector, cluster_by_fingerprint, DeviceHealth,
+    DeviceHealthReport, FleetController, FleetError, FleetOutcome, HealthPolicy,
 };
 pub use model_free::{model_free_search, ModelFreeConfig, ModelFreeOutcome};
 pub use optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 pub use report::{MeasuredIteration, OptimizationReport};
 pub use serve::{
-    DriftDetector, DriftDetectorConfig, DriftSignal, ServeBuilder, ServeIteration, ServeOptions,
-    ServeOutcome, ServeRuntime,
+    degradation_rank, ConfigError, DriftDetector, DriftDetectorConfig, DriftSignal, ServeBuilder,
+    ServeIteration, ServeOptions, ServeOutcome, ServeRuntime,
 };
 pub use session::OptimizationSession;
 pub use sweep::sweep_profiles;

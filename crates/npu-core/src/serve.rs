@@ -39,7 +39,9 @@ use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::MeasuredIteration;
 use crate::session::OptimizationSession;
 use npu_dvfs::{DvfsStrategy, GaOutcome};
-use npu_exec::{execute_resilient, execute_strategy, ExecutorOptions, ResilientOptions};
+use npu_exec::{
+    execute_resilient, execute_strategy, Degradation, ExecutorOptions, ResilientOptions,
+};
 use npu_obs::Event;
 use npu_power_model::HardwareCalibration;
 use npu_sim::{Device, FreqMhz, OpRecord};
@@ -300,6 +302,23 @@ pub struct ServeOutcome {
     /// How many of [`Self::swaps`] ran with warm-start transfer seeds
     /// armed (see [`ServeRuntime::arm_warm_seeds`]).
     pub warm_swaps: usize,
+    /// The worst degradation-ladder rung any iteration of this window
+    /// executed on ([`Degradation::None`] unless the loop fell back and
+    /// the guardrailed executor had to degrade).
+    pub degradation: Degradation,
+}
+
+/// Severity order of the degradation-ladder rungs: 0 for
+/// [`Degradation::None`] through 3 for [`Degradation::Baseline`]. Lets
+/// callers compare rungs without matching on their payloads.
+#[must_use]
+pub fn degradation_rank(d: &Degradation) -> u32 {
+    match d {
+        Degradation::None => 0,
+        Degradation::Retried { .. } => 1,
+        Degradation::PinnedStages { .. } => 2,
+        Degradation::Baseline => 3,
+    }
 }
 
 impl ServeOutcome {
@@ -368,17 +387,28 @@ impl ActivePrediction {
 /// epoch.
 #[derive(Debug, Clone)]
 pub(crate) struct ServeState {
-    strategy: DvfsStrategy,
-    baseline_records: Vec<OpRecord>,
+    pub(crate) strategy: DvfsStrategy,
+    pub(crate) baseline_records: Vec<OpRecord>,
     active: ActivePrediction,
     detector: DriftDetector,
     pub(crate) generation: usize,
-    fell_back: bool,
+    pub(crate) fell_back: bool,
     served: usize,
     total_swaps: u64,
     pub(crate) last_search: GaOutcome,
     pub(crate) reopt_wall_s: f64,
     pub(crate) warm_reopt_wall_s: f64,
+}
+
+impl ServeState {
+    /// Clears the sticky fallback flag and re-arms the detector's
+    /// cooldown — the rehabilitation a fleet controller applies when a
+    /// quarantined device passes probation and rejoins the fleet. The
+    /// standing strategy, prediction and counters are untouched.
+    pub(crate) fn rehabilitate(&mut self) {
+        self.fell_back = false;
+        self.detector.reset_after_swap();
+    }
 }
 
 /// Builder for a [`ServeRuntime`], consistent with the `with_*` style of
@@ -400,6 +430,95 @@ pub(crate) struct ServeState {
 /// let outcome = runtime.run()?;
 /// # Ok::<(), npu_core::OptimizeError>(())
 /// ```
+/// A builder input that cannot produce a well-defined run: a count that
+/// must be positive was zero, or a threshold was negative or non-finite.
+/// Returned by [`ServeBuilder::try_build`] and
+/// [`crate::FleetBuilder::try_build`] instead of panicking or silently
+/// misbehaving later.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A count that must be at least one was zero.
+    ZeroCount {
+        /// The offending field, dotted path from the builder.
+        field: &'static str,
+    },
+    /// A numeric parameter was non-finite or out of its valid range.
+    BadThreshold {
+        /// The offending field, dotted path from the builder.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroCount { field } => write!(f, "{field} must be at least 1, got 0"),
+            Self::BadThreshold { field, value } => {
+                write!(f, "{field} must be finite and in range, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validates serve options for [`ServeBuilder::try_build`] (and the
+/// fleet controller, which embeds them).
+pub(crate) fn validate_serve_options(serve: &ServeOptions) -> Result<(), ConfigError> {
+    if serve.iterations == 0 {
+        return Err(ConfigError::ZeroCount {
+            field: "serve.iterations",
+        });
+    }
+    let det = &serve.detector;
+    if det.window == 0 {
+        return Err(ConfigError::ZeroCount {
+            field: "serve.detector.window",
+        });
+    }
+    let positive = [
+        ("serve.detector.threshold", det.threshold),
+        ("serve.detector.temp_scale_c", det.temp_scale_c),
+        (
+            "serve.fallback.guardrail.sla_slack",
+            serve.fallback.guardrail.sla_slack,
+        ),
+    ];
+    for (field, value) in positive {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(ConfigError::BadThreshold { field, value });
+        }
+    }
+    // `+inf` means "never escalate on fit error" and is a valid sentinel;
+    // only NaN and negatives are rejected here.
+    let esc = serve.fit_error_escalation;
+    if esc.is_nan() || esc < 0.0 {
+        return Err(ConfigError::BadThreshold {
+            field: "serve.fit_error_escalation",
+            value: esc,
+        });
+    }
+    let tol = serve.fallback.guardrail.apply_tolerance_us;
+    if !tol.is_finite() || tol < 0.0 {
+        return Err(ConfigError::BadThreshold {
+            field: "serve.fallback.guardrail.apply_tolerance_us",
+            value: tol,
+        });
+    }
+    if !serve.fallback.guardrail.temp_ceiling_c.is_finite() {
+        return Err(ConfigError::BadThreshold {
+            field: "serve.fallback.guardrail.temp_ceiling_c",
+            value: serve.fallback.guardrail.temp_ceiling_c,
+        });
+    }
+    Ok(())
+}
+
+/// Assembles a [`ServeRuntime`] over a live optimizer: optimizer and
+/// serve options plus a shared artifact cache, with `try_build` for
+/// validated construction.
 #[derive(Debug)]
 pub struct ServeBuilder<'a> {
     opt: &'a mut EnergyOptimizer,
@@ -458,7 +577,20 @@ impl<'a> ServeBuilder<'a> {
             cache: self.cache,
             state: None,
             pending_seeds: Vec::new(),
+            force_reopt_failure: false,
         }
+    }
+
+    /// Validates the serve options, then assembles the runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroCount`] for a zero window length or zero
+    /// detector window; [`ConfigError::BadThreshold`] for a non-finite
+    /// or out-of-range detector/guardrail threshold.
+    pub fn try_build(self) -> Result<ServeRuntime<'a>, ConfigError> {
+        validate_serve_options(&self.serve)?;
+        Ok(self.build())
     }
 }
 
@@ -493,6 +625,10 @@ pub struct ServeRuntime<'a> {
     cache: ArtifactCache,
     state: Option<ServeState>,
     pending_seeds: Vec<Vec<FreqMhz>>,
+    /// Chaos hook (fleet-internal): when set, the next re-optimizations
+    /// are treated as hung — they fail without running, exercising the
+    /// degrade-don't-die fallback path deterministically.
+    force_reopt_failure: bool,
 }
 
 impl<'a> ServeRuntime<'a> {
@@ -595,6 +731,13 @@ impl<'a> ServeRuntime<'a> {
         self.state = state;
     }
 
+    /// Arms or disarms the hung-re-optimization chaos hook (fleet
+    /// fault injection): while armed, any ladder attempt fails without
+    /// running and the loop degrades to guardrailed fallback.
+    pub(crate) fn set_force_reopt_failure(&mut self, force: bool) {
+        self.force_reopt_failure = force;
+    }
+
     /// Runs one serve window of [`ServeOptions::iterations`] iterations.
     ///
     /// The first call brings the loop up (initial optimization on the
@@ -631,6 +774,7 @@ impl<'a> ServeRuntime<'a> {
             detections: 0,
             fell_back: false,
             warm_swaps: 0,
+            degradation: Degradation::None,
         };
         let Some(mut st) = self.state.take() else {
             return Ok(out);
@@ -708,6 +852,9 @@ impl<'a> ServeRuntime<'a> {
                 )
                 .map_err(OptimizeError::Exec)?
             };
+            if degradation_rank(&exec.degradation) > degradation_rank(&out.degradation) {
+                out.degradation = exec.degradation.clone();
+            }
             let meas = MeasuredIteration::from_run(&exec.result);
             let gen_used = st.generation;
             let residual = st.detector.residual(
@@ -756,14 +903,22 @@ impl<'a> ServeRuntime<'a> {
                         });
                         let warm = !self.pending_seeds.is_empty();
                         let t0 = std::time::Instant::now();
-                        let reopt = self.reoptimize(st.total_swaps);
+                        // The chaos hook models a ladder that hangs: it
+                        // consumes the armed seeds (a real ladder would)
+                        // and produces no result.
+                        let reopt = if self.force_reopt_failure {
+                            self.pending_seeds.clear();
+                            None
+                        } else {
+                            Some(self.reoptimize(st.total_swaps))
+                        };
                         let reopt_s = t0.elapsed().as_secs_f64();
                         st.reopt_wall_s += reopt_s;
                         if warm {
                             st.warm_reopt_wall_s += reopt_s;
                         }
                         match reopt {
-                            Ok((new_strategy, new_records, new_active, search)) => {
+                            Some(Ok((new_strategy, new_records, new_active, search))) => {
                                 st.strategy = new_strategy;
                                 st.baseline_records = new_records;
                                 st.active = new_active;
@@ -781,7 +936,7 @@ impl<'a> ServeRuntime<'a> {
                                     predicted_energy_wus: st.active.aicore_w * st.active.time_us,
                                 });
                             }
-                            Err(_) => {
+                            Some(Err(_)) | None => {
                                 // Degrade, don't die: keep serving the
                                 // last good strategy behind guardrails.
                                 // The generation counter does NOT bump —
@@ -991,6 +1146,7 @@ mod tests {
             detections: 1,
             fell_back: false,
             warm_swaps: 0,
+            degradation: Degradation::None,
         };
         assert_eq!(out.aicore_energy_wus(0..2), 11.0);
         assert_eq!(out.aicore_energy_wus(2..4), 7.0);
@@ -1002,7 +1158,87 @@ mod tests {
             detections: 0,
             fell_back: false,
             warm_swaps: 0,
+            degradation: Degradation::None,
         };
         assert_eq!(no_swap.first_swapped_index(), None);
+    }
+
+    #[test]
+    fn degradation_rank_orders_the_ladder() {
+        assert_eq!(degradation_rank(&Degradation::None), 0);
+        assert_eq!(degradation_rank(&Degradation::Retried { reruns: 2 }), 1);
+        assert_eq!(
+            degradation_rank(&Degradation::PinnedStages { stages: vec![1] }),
+            2
+        );
+        assert_eq!(degradation_rank(&Degradation::Baseline), 3);
+    }
+
+    #[test]
+    fn serve_options_reject_zero_counts() {
+        let serve = ServeOptions {
+            iterations: 0,
+            ..ServeOptions::default()
+        };
+        assert_eq!(
+            validate_serve_options(&serve),
+            Err(ConfigError::ZeroCount {
+                field: "serve.iterations"
+            })
+        );
+        let mut serve = ServeOptions::default();
+        serve.detector.window = 0;
+        assert_eq!(
+            validate_serve_options(&serve),
+            Err(ConfigError::ZeroCount {
+                field: "serve.detector.window"
+            })
+        );
+    }
+
+    #[test]
+    fn serve_options_reject_bad_thresholds() {
+        type Poison = Box<dyn Fn(&mut ServeOptions)>;
+        let cases: Vec<(&str, Poison)> = vec![
+            (
+                "serve.detector.threshold",
+                Box::new(|s: &mut ServeOptions| s.detector.threshold = f64::NAN),
+            ),
+            (
+                "serve.detector.threshold",
+                Box::new(|s: &mut ServeOptions| s.detector.threshold = -0.1),
+            ),
+            (
+                "serve.detector.temp_scale_c",
+                Box::new(|s: &mut ServeOptions| s.detector.temp_scale_c = 0.0),
+            ),
+            (
+                "serve.fit_error_escalation",
+                Box::new(|s: &mut ServeOptions| s.fit_error_escalation = -1.0),
+            ),
+            (
+                "serve.fallback.guardrail.sla_slack",
+                Box::new(|s: &mut ServeOptions| s.fallback.guardrail.sla_slack = f64::INFINITY),
+            ),
+            (
+                "serve.fallback.guardrail.temp_ceiling_c",
+                Box::new(|s: &mut ServeOptions| s.fallback.guardrail.temp_ceiling_c = f64::NAN),
+            ),
+            (
+                "serve.fallback.guardrail.apply_tolerance_us",
+                Box::new(|s: &mut ServeOptions| s.fallback.guardrail.apply_tolerance_us = -5.0),
+            ),
+        ];
+        for (field, poison) in cases {
+            let mut serve = ServeOptions::default();
+            poison(&mut serve);
+            match validate_serve_options(&serve) {
+                Err(ConfigError::BadThreshold { field: got, .. }) => {
+                    assert_eq!(got, field);
+                }
+                other => panic!("{field}: expected BadThreshold, got {other:?}"),
+            }
+        }
+        assert!(validate_serve_options(&ServeOptions::default()).is_ok());
     }
 }

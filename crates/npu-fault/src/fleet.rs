@@ -1,0 +1,221 @@
+//! Fleet-scoped, seeded fault schedules.
+//!
+//! A [`FleetFaultPlan`] composes per-device [`FaultPlan`]s (device-boundary
+//! faults: dropped/delayed `SetFreq`, sensor lies) with fleet-scoped faults
+//! that only make sense above a single device: a device crashing for a
+//! whole epoch, a re-optimization that hangs, a poisoned published
+//! strategy, and a corrupted persistent-cache entry. Like the single-device
+//! plan, an unarmed fleet plan injects nothing and leaves a fleet run
+//! bit-identical to one with no plan at all.
+
+use std::collections::BTreeMap;
+
+use crate::FaultPlan;
+
+/// A seeded, reproducible schedule of fleet-level faults.
+///
+/// Fleet-scoped faults are keyed by `(device, epoch)` and are purely
+/// declarative: the fleet controller queries the plan at its epoch
+/// barriers and applies the faults itself, so the schedule is
+/// deterministic regardless of worker count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetFaultPlan {
+    /// Seed identifying the schedule (carried into derived device plans).
+    seed: u64,
+    /// Device-boundary fault plans, by fleet device index.
+    device_plans: BTreeMap<usize, FaultPlan>,
+    /// `(device, epoch)` pairs where the device crashes for the epoch.
+    crashes: Vec<(usize, usize)>,
+    /// `(device, epoch)` pairs where any re-optimization hangs.
+    hung_reopts: Vec<(usize, usize)>,
+    /// `(device, epoch)` pairs where the published strategy is poisoned.
+    poisoned: Vec<(usize, usize)>,
+    /// `(device, epoch)` pairs where the cached entry is corrupted after
+    /// publication.
+    corrupted: Vec<(usize, usize)>,
+}
+
+impl FleetFaultPlan {
+    /// An empty plan: nothing armed.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// The schedule seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Assigns a device-boundary [`FaultPlan`] to fleet device `device`.
+    /// The controller hooks that device with the plan for every serve
+    /// (and probation) run it performs.
+    #[must_use]
+    pub fn with_device_plan(mut self, device: usize, plan: FaultPlan) -> Self {
+        self.device_plans.insert(device, plan);
+        self
+    }
+
+    /// Crashes `device` for the whole of `epoch`: its serve epoch is
+    /// never attempted and counts as an error.
+    #[must_use]
+    pub fn crash_at(mut self, device: usize, epoch: usize) -> Self {
+        self.crashes.push((device, epoch));
+        self
+    }
+
+    /// Hangs any re-optimization `device` attempts during `epoch`; the
+    /// serving loop treats it as a ladder failure and falls back to the
+    /// guardrailed executor.
+    #[must_use]
+    pub fn hang_reopt_at(mut self, device: usize, epoch: usize) -> Self {
+        self.hung_reopts.push((device, epoch));
+        self
+    }
+
+    /// Poisons the strategy `device` publishes at the end of `epoch`
+    /// (non-finite score / infeasible frequencies). Transfer hygiene
+    /// must stop it from ever reaching another device.
+    #[must_use]
+    pub fn poison_strategy_at(mut self, device: usize, epoch: usize) -> Self {
+        self.poisoned.push((device, epoch));
+        self
+    }
+
+    /// Corrupts the persistent-cache entry `device` published at the end
+    /// of `epoch` (the disk artifact is overwritten with garbage and the
+    /// memory copy evicted).
+    #[must_use]
+    pub fn corrupt_cache_entry_at(mut self, device: usize, epoch: usize) -> Self {
+        self.corrupted.push((device, epoch));
+        self
+    }
+
+    /// The device-boundary plan for `device`, if one is assigned.
+    #[must_use]
+    pub fn device_plan(&self, device: usize) -> Option<&FaultPlan> {
+        self.device_plans.get(&device)
+    }
+
+    /// Whether `device` crashes during `epoch`.
+    #[must_use]
+    pub fn crashes_at(&self, device: usize, epoch: usize) -> bool {
+        self.crashes.contains(&(device, epoch))
+    }
+
+    /// Whether re-optimizations on `device` hang during `epoch`.
+    #[must_use]
+    pub fn hangs_reopt_at(&self, device: usize, epoch: usize) -> bool {
+        self.hung_reopts.contains(&(device, epoch))
+    }
+
+    /// Whether `device`'s publication at the end of `epoch` is poisoned.
+    #[must_use]
+    pub fn poisons_at(&self, device: usize, epoch: usize) -> bool {
+        self.poisoned.contains(&(device, epoch))
+    }
+
+    /// Whether `device`'s cached entry is corrupted after `epoch`.
+    #[must_use]
+    pub fn corrupts_at(&self, device: usize, epoch: usize) -> bool {
+        self.corrupted.contains(&(device, epoch))
+    }
+
+    /// Whether any fault (fleet-scoped, or an armed device plan) targets
+    /// `device` at all. Probation uses this to keep re-admitting a
+    /// device honest: a shadow check must re-attach its faults.
+    #[must_use]
+    pub fn targets_device(&self, device: usize) -> bool {
+        self.device_plans
+            .get(&device)
+            .is_some_and(FaultPlan::is_armed)
+            || self.crashes.iter().any(|&(d, _)| d == device)
+            || self.hung_reopts.iter().any(|&(d, _)| d == device)
+            || self.poisoned.iter().any(|&(d, _)| d == device)
+            || self.corrupted.iter().any(|&(d, _)| d == device)
+    }
+
+    /// Sorted, deduplicated indices of every targeted device.
+    #[must_use]
+    pub fn faulted_devices(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .device_plans
+            .iter()
+            .filter(|(_, p)| p.is_armed())
+            .map(|(&d, _)| d)
+            .chain(self.crashes.iter().map(|&(d, _)| d))
+            .chain(self.hung_reopts.iter().map(|&(d, _)| d))
+            .chain(self.poisoned.iter().map(|&(d, _)| d))
+            .chain(self.corrupted.iter().map(|&(d, _)| d))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether any fault is armed (an unarmed plan injects nothing).
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.device_plans.values().any(FaultPlan::is_armed)
+            || !self.crashes.is_empty()
+            || !self.hung_reopts.is_empty()
+            || !self.poisoned.is_empty()
+            || !self.corrupted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_unarmed() {
+        let p = FleetFaultPlan::seeded(42);
+        assert!(!p.is_armed());
+        assert_eq!(p.seed(), 42);
+        assert!(p.faulted_devices().is_empty());
+        assert!(!p.targets_device(0));
+    }
+
+    #[test]
+    fn each_fleet_fault_arms_the_plan() {
+        let p = FleetFaultPlan::seeded(1);
+        assert!(p.clone().crash_at(0, 1).is_armed());
+        assert!(p.clone().hang_reopt_at(0, 1).is_armed());
+        assert!(p.clone().poison_strategy_at(0, 1).is_armed());
+        assert!(p.clone().corrupt_cache_entry_at(0, 1).is_armed());
+        assert!(p
+            .with_device_plan(3, FaultPlan::seeded(7).delay_setfreq(500.0))
+            .is_armed());
+    }
+
+    #[test]
+    fn unarmed_device_plan_does_not_arm_the_fleet() {
+        let p = FleetFaultPlan::seeded(1).with_device_plan(2, FaultPlan::seeded(9));
+        assert!(!p.is_armed());
+        assert!(!p.targets_device(2));
+        assert!(p.device_plan(2).is_some());
+    }
+
+    #[test]
+    fn queries_match_only_their_device_epoch() {
+        let p = FleetFaultPlan::seeded(1)
+            .crash_at(4, 1)
+            .hang_reopt_at(5, 0)
+            .poison_strategy_at(6, 2)
+            .corrupt_cache_entry_at(7, 3);
+        assert!(p.crashes_at(4, 1));
+        assert!(!p.crashes_at(4, 0));
+        assert!(!p.crashes_at(5, 1));
+        assert!(p.hangs_reopt_at(5, 0));
+        assert!(p.poisons_at(6, 2));
+        assert!(p.corrupts_at(7, 3));
+        assert_eq!(p.faulted_devices(), vec![4, 5, 6, 7]);
+        assert!(p.targets_device(6));
+        assert!(!p.targets_device(0));
+    }
+}

@@ -43,9 +43,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fleet;
 mod injector;
 mod plan;
 
+pub use fleet::FleetFaultPlan;
 pub use injector::{FaultInjector, InjectionStats};
 pub use plan::{FaultPlan, ThermalExcursion};
 

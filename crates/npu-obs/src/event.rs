@@ -298,6 +298,81 @@ pub enum Event {
         /// Transfer hits across the fleet this epoch.
         transfers: usize,
     },
+    /// A fleet device was quarantined: its serve epoch erred, it
+    /// crashed, or it accumulated degradation strikes. While
+    /// quarantined it is skipped in serve phases and excluded from the
+    /// donor board.
+    DeviceQuarantined {
+        /// Fleet index of the quarantined device.
+        device: usize,
+        /// Epoch at which the quarantine took effect.
+        epoch: usize,
+        /// Human-readable cause (e.g. `"epoch-error"`, `"strikes"`).
+        reason: String,
+        /// Strike count at quarantine time.
+        strikes: u32,
+    },
+    /// A quarantined fleet device entered a bounded probation epoch: a
+    /// fork-seeded shadow check that must complete cleanly before the
+    /// device rejoins the fleet.
+    DeviceProbation {
+        /// Fleet index of the device on probation.
+        device: usize,
+        /// Epoch of the probation check.
+        epoch: usize,
+        /// Shadow iterations the check runs.
+        iterations: usize,
+    },
+    /// A probation check passed and the device rejoined the fleet as
+    /// healthy.
+    DeviceRecovered {
+        /// Fleet index of the recovered device.
+        device: usize,
+        /// Epoch at which the device rejoined.
+        epoch: usize,
+        /// Probation attempts consumed so far (including this one).
+        probations: u32,
+    },
+    /// A device exhausted its probation budget and left the fleet for
+    /// good.
+    DeviceEvicted {
+        /// Fleet index of the evicted device.
+        device: usize,
+        /// Epoch of the eviction.
+        epoch: usize,
+        /// Probation attempts consumed before eviction.
+        probations: u32,
+    },
+    /// A warm-seed transfer was rejected by the hygiene gate: the donor
+    /// was unhealthy, its published strategy failed the sanity check
+    /// (non-finite score or freqs outside the recipient's ladder), or
+    /// the cached artifact was corrupt.
+    TransferRejected {
+        /// Fleet index of the would-be recipient.
+        device: usize,
+        /// Fleet index of the rejected donor.
+        donor: usize,
+        /// Gate that rejected the transfer (e.g. `"unsound-strategy"`,
+        /// `"cache-corrupt"`).
+        reason: String,
+    },
+    /// A fleet epoch completed with at least one non-healthy device.
+    EpochDegraded {
+        /// Epoch index (0-based).
+        epoch: usize,
+        /// Devices that served this epoch in a healthy state.
+        healthy: usize,
+        /// Total devices in the fleet (including evicted ones).
+        devices: usize,
+    },
+    /// A persistent artifact cache failed a disk write and degraded to
+    /// memory-only mode; the in-memory store remains authoritative.
+    CacheDegraded {
+        /// Artifact kind whose write failed (`"profile"`, `"search"`, …).
+        kind: String,
+        /// Display form of the underlying I/O error.
+        error: String,
+    },
 }
 
 impl Event {
@@ -329,6 +404,13 @@ impl Event {
             Self::TransferHit { .. } => "TransferHit",
             Self::TransferMiss { .. } => "TransferMiss",
             Self::FleetEpoch { .. } => "FleetEpoch",
+            Self::DeviceQuarantined { .. } => "DeviceQuarantined",
+            Self::DeviceProbation { .. } => "DeviceProbation",
+            Self::DeviceRecovered { .. } => "DeviceRecovered",
+            Self::DeviceEvicted { .. } => "DeviceEvicted",
+            Self::TransferRejected { .. } => "TransferRejected",
+            Self::EpochDegraded { .. } => "EpochDegraded",
+            Self::CacheDegraded { .. } => "CacheDegraded",
         }
     }
 
@@ -520,6 +602,62 @@ impl Event {
                 push_uint_field(&mut s, "devices", *devices as u64);
                 push_uint_field(&mut s, "swaps", *swaps as u64);
                 push_uint_field(&mut s, "transfers", *transfers as u64);
+            }
+            Self::DeviceQuarantined {
+                device,
+                epoch,
+                reason,
+                strikes,
+            } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "epoch", *epoch as u64);
+                push_str_field(&mut s, "reason", reason);
+                push_uint_field(&mut s, "strikes", u64::from(*strikes));
+            }
+            Self::DeviceProbation {
+                device,
+                epoch,
+                iterations,
+            } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "epoch", *epoch as u64);
+                push_uint_field(&mut s, "iterations", *iterations as u64);
+            }
+            Self::DeviceRecovered {
+                device,
+                epoch,
+                probations,
+            }
+            | Self::DeviceEvicted {
+                device,
+                epoch,
+                probations,
+            } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "epoch", *epoch as u64);
+                push_uint_field(&mut s, "probations", u64::from(*probations));
+            }
+            Self::TransferRejected {
+                device,
+                donor,
+                reason,
+            } => {
+                push_uint_field(&mut s, "device", *device as u64);
+                push_uint_field(&mut s, "donor", *donor as u64);
+                push_str_field(&mut s, "reason", reason);
+            }
+            Self::EpochDegraded {
+                epoch,
+                healthy,
+                devices,
+            } => {
+                push_uint_field(&mut s, "epoch", *epoch as u64);
+                push_uint_field(&mut s, "healthy", *healthy as u64);
+                push_uint_field(&mut s, "devices", *devices as u64);
+            }
+            Self::CacheDegraded { kind, error } => {
+                push_str_field(&mut s, "kind", kind);
+                push_str_field(&mut s, "error", error);
             }
         }
         s.push('}');
@@ -741,6 +879,76 @@ mod tests {
         assert_eq!(
             e.to_json(),
             "{\"event\":\"FleetEpoch\",\"epoch\":1,\"devices\":64,\"swaps\":9,\"transfers\":6}"
+        );
+    }
+
+    #[test]
+    fn json_encodes_health_events() {
+        let e = Event::DeviceQuarantined {
+            device: 5,
+            epoch: 2,
+            reason: "strikes".to_owned(),
+            strikes: 3,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DeviceQuarantined\",\"device\":5,\"epoch\":2,\
+             \"reason\":\"strikes\",\"strikes\":3}"
+        );
+        let e = Event::DeviceProbation {
+            device: 5,
+            epoch: 3,
+            iterations: 4,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DeviceProbation\",\"device\":5,\"epoch\":3,\"iterations\":4}"
+        );
+        let e = Event::DeviceRecovered {
+            device: 5,
+            epoch: 3,
+            probations: 1,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DeviceRecovered\",\"device\":5,\"epoch\":3,\"probations\":1}"
+        );
+        let e = Event::DeviceEvicted {
+            device: 6,
+            epoch: 4,
+            probations: 2,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"DeviceEvicted\",\"device\":6,\"epoch\":4,\"probations\":2}"
+        );
+        let e = Event::TransferRejected {
+            device: 1,
+            donor: 7,
+            reason: "unsound-strategy".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"TransferRejected\",\"device\":1,\"donor\":7,\
+             \"reason\":\"unsound-strategy\"}"
+        );
+        let e = Event::EpochDegraded {
+            epoch: 2,
+            healthy: 13,
+            devices: 16,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"EpochDegraded\",\"epoch\":2,\"healthy\":13,\"devices\":16}"
+        );
+        let e = Event::CacheDegraded {
+            kind: "search".to_owned(),
+            error: "not a directory".to_owned(),
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"CacheDegraded\",\"kind\":\"search\",\
+             \"error\":\"not a directory\"}"
         );
     }
 

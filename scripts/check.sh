@@ -157,4 +157,47 @@ awk -F': ' '/"reopt_speedup"/ { if ($2 + 0 < 2.0) exit 1 }' BENCH_fleet.json \
 grep -q '"bit_identical": true' BENCH_fleet.json \
   || { echo "BENCH_fleet.json: fleet digest diverged across worker counts" >&2; exit 1; }
 
+echo "==> chaos bench smoke (fault injection, quarantine/recovery, 2 fault seeds)"
+# The bench is self-checking: it exits non-zero unless the faulted
+# fleet completes its epochs, draws quarantines, keeps every healthy
+# device's digest bit-identical to the fault-free run, and stays
+# bit-identical at 2/8 workers. Run it across two fault seeds so the
+# health machinery is exercised on more than one fault interleaving.
+chaos_fields="seed devices epochs faulted_devices completed quarantines \
+recoveries evictions transfer_rejections survival_rate quarantine_rate \
+recovery_rate healthy_stable healthy_digest_stable digest clean_digest \
+bit_identical"
+for seed in 7 805381; do
+  CRITERION_SMOKE=1 CHAOS_SEED=$seed cargo bench -p npu-bench --bench chaos > /dev/null
+  for f in $chaos_fields; do
+    grep -q "\"$f\"" BENCH_chaos.smoke.json \
+      || { echo "BENCH_chaos.smoke.json (seed $seed): missing field $f" >&2; exit 1; }
+  done
+  grep -q '"completed": true' BENCH_chaos.smoke.json \
+    || { echo "seed $seed: faulted fleet did not complete its epochs" >&2; exit 1; }
+  awk -F': ' '/"quarantines"/ { if ($2 + 0 <= 0) exit 1 }' BENCH_chaos.smoke.json \
+    || { echo "seed $seed: faults drew no quarantines" >&2; exit 1; }
+  grep -q '"healthy_digest_stable": true' BENCH_chaos.smoke.json \
+    || { echo "seed $seed: a healthy device diverged from the fault-free run" >&2; exit 1; }
+  grep -q '"bit_identical": true' BENCH_chaos.smoke.json \
+    || { echo "seed $seed: chaos digest diverged across worker counts" >&2; exit 1; }
+  rm -f BENCH_chaos.smoke.json
+done
+
+# The checked-in full-run measurement (16 devices: cargo bench -p
+# npu-bench --bench chaos, no CRITERION_SMOKE) must carry the same
+# fields and the same invariants.
+for f in $chaos_fields; do
+  grep -q "\"$f\"" BENCH_chaos.json \
+    || { echo "BENCH_chaos.json: missing field $f" >&2; exit 1; }
+done
+grep -q '"completed": true' BENCH_chaos.json \
+  || { echo "BENCH_chaos.json: faulted fleet did not complete" >&2; exit 1; }
+awk -F': ' '/"quarantines"/ { if ($2 + 0 <= 0) exit 1 }' BENCH_chaos.json \
+  || { echo "BENCH_chaos.json: faults drew no quarantines" >&2; exit 1; }
+grep -q '"healthy_digest_stable": true' BENCH_chaos.json \
+  || { echo "BENCH_chaos.json: a healthy device diverged" >&2; exit 1; }
+grep -q '"bit_identical": true' BENCH_chaos.json \
+  || { echo "BENCH_chaos.json: digest diverged across worker counts" >&2; exit 1; }
+
 echo "==> all checks passed"

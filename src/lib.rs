@@ -58,9 +58,10 @@ pub use npu_workloads as workloads;
 /// Commonly used items for examples and quick experiments.
 pub mod prelude {
     pub use npu_core::{
-        optimize_batch, sweep_profiles, ArtifactCache, CacheError, CacheStats, DriftDetector,
-        DriftDetectorConfig, DriftSignal, EnergyOptimizer, FleetBuilder, FleetController,
-        FleetOutcome, FleetRunner, OptimizationReport, OptimizationSession, OptimizerConfig,
+        degradation_rank, optimize_batch, sweep_profiles, ArtifactCache, CacheError, CacheStats,
+        ConfigError, DeviceHealth, DeviceHealthReport, DriftDetector, DriftDetectorConfig,
+        DriftSignal, EnergyOptimizer, FleetBuilder, FleetController, FleetError, FleetOutcome,
+        FleetRunner, HealthPolicy, OptimizationReport, OptimizationSession, OptimizerConfig,
         ServeBuilder, ServeIteration, ServeOptions, ServeOutcome, ServeRuntime,
     };
     pub use npu_dvfs::{DvfsStrategy, GaConfig, GaOutcome, StageTable};
@@ -68,7 +69,9 @@ pub mod prelude {
         execute_resilient, execute_strategy, Degradation, ExecutionOutcome, ExecutorOptions,
         Guardrail, ResilientOptions, ResilientOutcome, RetryPolicy,
     };
-    pub use npu_fault::{FaultPlan, FaultyDevice, InjectionStats, ThermalExcursion};
+    pub use npu_fault::{
+        FaultPlan, FaultyDevice, FleetFaultPlan, InjectionStats, ThermalExcursion,
+    };
     pub use npu_obs::{
         Event, JsonLinesSink, MetricsRegistry, NullObserver, Observer, ObserverHandle, Phase,
         SummarySink,

@@ -169,6 +169,139 @@ fn transfer_warm_start_never_scores_below_cold_start() {
     );
 }
 
+/// Alternating compute-bound/load-bound stream on a fast-switching part
+/// (see `tests/fleet_chaos.rs`): strategies get real multi-stage
+/// structure, so `SetFreq` faults are visible every iteration.
+fn rung_workload() -> Workload {
+    Workload::new(
+        "FleetRungs",
+        Schedule::new(
+            (0..12)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        OpDescriptor::compute(format!("Mm{i}"), Scenario::PingPongIndependent)
+                            .blocks(4)
+                            .ld_bytes_per_block(64.0 * 1024.0)
+                            .core_cycles_per_block(60_000.0)
+                            .activity(6.0)
+                    } else {
+                        OpDescriptor::compute(format!("Ld{i}"), Scenario::PingPongIndependent)
+                            .blocks(4)
+                            .ld_bytes_per_block(6.4e7)
+                            .core_cycles_per_block(100.0)
+                            .activity(2.0)
+                    }
+                })
+                .collect(),
+        ),
+    )
+}
+
+/// Delayed applies (recoverable by re-estimating the latency).
+const MILD_DEV: usize = 1;
+/// Dropped applies (unrecoverable; stages must be pinned to baseline).
+const SEVERE_DEV: usize = 3;
+
+fn rung_fleet(fleet_seed: u64, plan: Option<FleetFaultPlan>) -> FleetController {
+    let cfg = NpuConfig::builder()
+        .thermal_tau_us(THERMAL_TAU_US)
+        .setfreq_latency_us(50.0)
+        .noise(0.0, 0.0, 0.0)
+        .build()
+        .unwrap();
+    let spread = ConfigSpread {
+        beta_frac: 0.01,
+        theta_frac: 0.01,
+        gamma_frac: 0.01,
+        k_frac: 0.01,
+        ambient_range_c: 1.0,
+        drift_frac: 0.0,
+    };
+    let opts = OptimizerConfig::default()
+        .with_threads(1)
+        .with_loss_target(LOSS_TARGET)
+        .with_fai_us(100.0);
+    let serve = ServeOptions {
+        detector: detector(),
+        ladder_freqs: vec![FreqMhz::new(1000), FreqMhz::new(1400)],
+        max_swaps: 1,
+        warm_ga_iterations: Some(12),
+        // A generous latency SLA keeps the guardrail out of the verdict:
+        // the rung each device lands on is decided by what the fault
+        // does to its applies, not by running slower than baseline.
+        fallback: ResilientOptions {
+            guardrail: Guardrail {
+                sla_slack: 3.0,
+                ..Guardrail::default()
+            },
+            ..ResilientOptions::default()
+        },
+        ..ServeOptions::default()
+    };
+    // One long epoch: the detector needs its cooldown plus two windows
+    // to convict (~16 iterations), and the rung only shows on the
+    // fallback iterations after that.
+    let mut c = FleetController::new(cfg, rung_workload())
+        .with_devices(6)
+        .with_epochs(1)
+        .with_epoch_iterations(32)
+        .with_workers(1)
+        .with_spread(spread)
+        .with_fleet_seed(fleet_seed)
+        .with_config(opts)
+        .with_serve_options(serve);
+    if let Some(plan) = plan {
+        c = c.with_fault_plan(plan);
+    }
+    c
+}
+
+/// Satellite (c): the degradation rung each device lands on tracks the
+/// injected fault's severity — clean devices stay on rung 0, delayed
+/// applies recover on the retry rung, dropped applies force stage
+/// pinning — reproducibly across fleet seeds.
+#[test]
+fn degradation_rungs_track_fault_severity() {
+    for fleet_seed in [7u64, 21, 1009] {
+        let plan = FleetFaultPlan::seeded(fleet_seed)
+            .with_device_plan(MILD_DEV, FaultPlan::seeded(fleet_seed).delay_setfreq(800.0))
+            .hang_reopt_at(MILD_DEV, 0)
+            .with_device_plan(
+                SEVERE_DEV,
+                FaultPlan::seeded(fleet_seed).drop_setfreq_prob(1.0),
+            )
+            .hang_reopt_at(SEVERE_DEV, 0);
+        let out = rung_fleet(fleet_seed, Some(plan)).run().unwrap();
+
+        for (i, d) in out.per_device.iter().enumerate() {
+            if i != MILD_DEV && i != SEVERE_DEV {
+                assert_eq!(
+                    degradation_rank(&d.degradation),
+                    0,
+                    "seed {fleet_seed}: clean device {i} degraded: {:?}",
+                    d.degradation
+                );
+                assert!(!d.fell_back);
+            }
+        }
+        let mild = degradation_rank(&out.per_device[MILD_DEV].degradation);
+        let severe = degradation_rank(&out.per_device[SEVERE_DEV].degradation);
+        assert!(out.per_device[MILD_DEV].fell_back);
+        assert!(out.per_device[SEVERE_DEV].fell_back);
+        assert!(
+            mild >= 1,
+            "seed {fleet_seed}: delayed applies must cost at least the retry rung, got {:?}",
+            out.per_device[MILD_DEV].degradation
+        );
+        assert!(
+            severe > mild,
+            "seed {fleet_seed}: dropped applies must out-rank delayed ones ({:?} vs {:?})",
+            out.per_device[SEVERE_DEV].degradation,
+            out.per_device[MILD_DEV].degradation
+        );
+    }
+}
+
 /// Clusters as a canonical partition: for each device, the sorted set of
 /// devices sharing its fingerprint.
 fn partition(fps: &[[i64; 6]]) -> Vec<Vec<usize>> {
@@ -187,6 +320,64 @@ fn splitmix(x: &mut u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// A small fleet under the tuned drift scenario for the fault-plan
+/// transparency property: big enough to exercise transfer and barrier
+/// accounting, small enough to run many cases.
+fn tiny_fleet(fleet_seed: u64, plan: Option<FleetFaultPlan>) -> FleetController {
+    let spread = ConfigSpread {
+        beta_frac: 0.01,
+        theta_frac: 0.01,
+        gamma_frac: 0.01,
+        k_frac: 0.01,
+        ambient_range_c: 1.0,
+        drift_frac: 0.4,
+    };
+    let opts = OptimizerConfig::default()
+        .with_threads(1)
+        .with_loss_target(LOSS_TARGET);
+    let mut c = FleetController::new(base_cfg(), serve_workload(12))
+        .with_devices(3)
+        .with_epochs(1)
+        .with_epoch_iterations(8)
+        .with_workers(1)
+        .with_spread(spread)
+        .with_fleet_seed(fleet_seed)
+        .with_drift(drift())
+        .with_config(opts)
+        .with_serve_options(serve_options());
+    if let Some(plan) = plan {
+        c = c.with_fault_plan(plan);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Satellite (d): an *unarmed* fleet fault plan — any seed, any
+    /// number of fault-free per-device plans attached — is bit-invisible:
+    /// the fleet digest and every per-device digest are identical to a
+    /// run with no plan at all.
+    #[test]
+    fn unarmed_fault_plan_is_bit_transparent(
+        fleet_seed in 0u64..200,
+        plan_seed in 0u64..1_000,
+        dev in 0usize..3,
+    ) {
+        let unarmed = FleetFaultPlan::seeded(plan_seed)
+            .with_device_plan(dev, FaultPlan::seeded(plan_seed ^ 0xA5));
+        prop_assert!(!unarmed.is_armed());
+
+        let reference = tiny_fleet(fleet_seed, None).run().unwrap();
+        let shadow = tiny_fleet(fleet_seed, Some(unarmed)).run().unwrap();
+        prop_assert_eq!(&shadow.digest, &reference.digest);
+        prop_assert_eq!(&shadow.device_digests, &reference.device_digests);
+        prop_assert_eq!(shadow.quarantines, 0);
+        prop_assert_eq!(shadow.transfer_rejections, 0);
+        prop_assert_eq!(&shadow.per_device, &reference.per_device);
+    }
 }
 
 proptest! {

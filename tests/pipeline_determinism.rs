@@ -484,6 +484,50 @@ fn truncated_persisted_profile_is_a_typed_error_and_counts_a_miss() {
 }
 
 #[test]
+fn disk_write_failure_degrades_to_memory_only_and_emits_event() {
+    use std::sync::Arc;
+
+    let dir = scratch_cache_dir("write-degrade");
+    let cache = ArtifactCache::persistent(&dir).unwrap();
+    let sink = Arc::new(JsonLinesSink::new(Vec::new()));
+    cache.set_observer(ObserverHandle::from_arc(sink.clone()));
+    assert!(!cache.disk_degraded());
+
+    // Replace the store directory with a plain file so every disk write
+    // fails (tests run as root, where a read-only directory would not
+    // actually block writes).
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::write(&dir, "not a directory").unwrap();
+
+    // The failing insert degrades the cache instead of erroring; the
+    // memory store stays authoritative.
+    cache.insert_profile(0xD06, tiny_profile_artifact());
+    assert!(cache.disk_degraded());
+    assert!(cache.try_lookup_profile(0xD06).unwrap().is_some());
+
+    // Later traffic skips the dead disk entirely — inserts land in
+    // memory and lookups of unknown keys are plain misses, not errors.
+    cache.insert_profile(0xD07, tiny_profile_artifact());
+    assert!(cache.lookup_profile(0xD07).is_some());
+    assert!(cache.try_lookup_search(0xD08).unwrap().is_none());
+
+    drop(cache);
+    let text = String::from_utf8(
+        Arc::try_unwrap(sink)
+            .expect("all cache handles dropped")
+            .into_inner(),
+    )
+    .unwrap();
+    let degraded: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("\"event\":\"CacheDegraded\""))
+        .collect();
+    assert_eq!(degraded.len(), 1, "exactly one degradation incident");
+    assert!(degraded[0].contains("\"kind\":\"profile\""));
+    let _ = std::fs::remove_file(&dir);
+}
+
+#[test]
 fn garbage_persisted_search_is_corrupt_while_absence_stays_a_plain_miss() {
     let dir = scratch_cache_dir("search-garbage");
     let cache = ArtifactCache::persistent(&dir).unwrap();
