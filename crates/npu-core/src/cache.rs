@@ -49,7 +49,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 // ---------------------------------------------------------------------------
 // Fingerprinting
@@ -405,6 +405,17 @@ pub enum CacheError {
         /// Where and why decoding stopped.
         source: ArtifactParseError,
     },
+    /// A single-flight follower waited on a leader that failed to
+    /// produce the artifact (its compute erred or panicked). The flight
+    /// entry is gone — a retry will elect a fresh leader — but this
+    /// follower did not get a result and must decide for itself whether
+    /// to recompute.
+    FlightPoisoned {
+        /// Artifact kind (`"profile"` or `"search"`).
+        kind: &'static str,
+        /// The content-addressed cache key.
+        key: u64,
+    },
 }
 
 impl std::fmt::Display for CacheError {
@@ -430,6 +441,10 @@ impl std::fmt::Display for CacheError {
                 "persisted {kind} artifact {key:016x} at {} corrupt: {source}",
                 path.display()
             ),
+            Self::FlightPoisoned { kind, key } => write!(
+                f,
+                "single-flight leader for {kind} artifact {key:016x} failed; no result published"
+            ),
         }
     }
 }
@@ -439,6 +454,7 @@ impl std::error::Error for CacheError {
         match self {
             Self::Io { source, .. } => Some(source),
             Self::Corrupt { source, .. } => Some(source),
+            Self::FlightPoisoned { .. } => None,
         }
     }
 }
@@ -864,19 +880,259 @@ impl Counters {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Single-flight
+// ---------------------------------------------------------------------------
+
+/// Single-flight counters for one artifact kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightStats {
+    /// Flights that ran their computation (exactly one per in-flight key).
+    pub led: u64,
+    /// Followers served by blocking on a leader's published result.
+    pub coalesced: u64,
+    /// Followers that woke to a poisoned flight (the leader failed).
+    pub poisoned: u64,
+}
+
+/// A snapshot of the cache's single-flight counters (see
+/// [`ArtifactCache::flight_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheFlightStats {
+    /// Profile-artifact flights.
+    pub profile: FlightStats,
+    /// Search-artifact flights.
+    pub search: FlightStats,
+}
+
+/// How a single-flight call obtained its artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightRole {
+    /// The store already held the artifact (memory or disk); nothing ran.
+    Cached,
+    /// This caller led the flight: its `compute` ran and the result was
+    /// inserted into the store.
+    Led,
+    /// Another caller was computing the key; this one blocked until the
+    /// leader published its result.
+    Coalesced,
+}
+
+/// Error from [`ArtifactCache::profile_single_flight`] /
+/// [`ArtifactCache::search_single_flight`].
+#[derive(Debug)]
+pub enum SingleFlightError<E> {
+    /// This caller led the flight and its own computation failed. Any
+    /// followers of the flight observe [`SingleFlightError::Poisoned`].
+    Compute(E),
+    /// This caller followed a leader that failed to publish; the inner
+    /// error is always [`CacheError::FlightPoisoned`]. The flight entry
+    /// is gone, so retrying elects a fresh leader.
+    Poisoned(CacheError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for SingleFlightError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Compute(e) => write!(f, "single-flight compute failed: {e}"),
+            Self::Poisoned(e) => e.fmt(f),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for SingleFlightError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Compute(e) => Some(e),
+            Self::Poisoned(e) => Some(e),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum FlightState<T> {
+    Pending,
+    Done(Arc<T>),
+    Poisoned,
+}
+
+/// One in-flight computation: followers block on `cv` until the leader
+/// publishes a result or poisons the slot.
+#[derive(Debug)]
+struct FlightSlot<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+impl<T> FlightSlot<T> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the leader publishes (`Some`) or poisons (`None`).
+    fn wait(&self) -> Option<Arc<T>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*state {
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+                FlightState::Done(artifact) => return Some(artifact.clone()),
+                FlightState::Poisoned => return None,
+            }
+        }
+    }
+
+    fn publish(&self, outcome: Option<Arc<T>>) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        *state = match outcome {
+            Some(artifact) => FlightState::Done(artifact),
+            None => FlightState::Poisoned,
+        };
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+enum Join<T> {
+    Lead(Arc<FlightSlot<T>>),
+    Follow(Arc<FlightSlot<T>>),
+}
+
+/// The in-flight computations of one artifact domain, keyed on the same
+/// content-addressed keys as the store. The table lock is only ever held
+/// for a map probe/insert/remove — store lookups, disk I/O and the
+/// computation itself all run outside it.
+#[derive(Debug)]
+struct FlightTable<T> {
+    inflight: Mutex<HashMap<u64, Arc<FlightSlot<T>>>>,
+    led: AtomicU64,
+    coalesced: AtomicU64,
+    poisoned: AtomicU64,
+}
+
+impl<T> FlightTable<T> {
+    fn new() -> Self {
+        Self {
+            inflight: Mutex::new(HashMap::new()),
+            led: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            poisoned: AtomicU64::new(0),
+        }
+    }
+
+    /// Atomically either registers the caller as the key's leader or
+    /// hands back the existing in-flight slot to wait on. This is the
+    /// negative-lookup race fix: miss-classification and leader election
+    /// happen under one lock, so two concurrent misses can never both
+    /// decide to compute.
+    fn join(&self, key: u64) -> Join<T> {
+        let mut table = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match table.get(&key) {
+            Some(slot) => Join::Follow(slot.clone()),
+            None => {
+                let slot = Arc::new(FlightSlot::new());
+                table.insert(key, slot.clone());
+                Join::Lead(slot)
+            }
+        }
+    }
+
+    /// Publishes the flight's outcome, then retires the entry. Publish
+    /// happens first so a joiner racing the removal either finds the slot
+    /// (and reads the published value) or finds no entry (and leads a
+    /// fresh flight whose store lookup hits the just-inserted artifact).
+    fn finish(&self, key: u64, slot: &FlightSlot<T>, outcome: Option<Arc<T>>) {
+        slot.publish(outcome);
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&key);
+    }
+
+    fn snapshot(&self) -> FlightStats {
+        FlightStats {
+            led: self.led.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            poisoned: self.poisoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Poisons the flight unless the leader completed it — an erring (or
+/// panicking) leader must never strand its followers on the condvar.
+struct LeadGuard<'a, T> {
+    table: &'a FlightTable<T>,
+    key: u64,
+    slot: Arc<FlightSlot<T>>,
+    done: bool,
+}
+
+impl<T> LeadGuard<'_, T> {
+    fn complete(mut self, artifact: Arc<T>) {
+        self.done = true;
+        self.table.finish(self.key, &self.slot, Some(artifact));
+    }
+}
+
+impl<T> Drop for LeadGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.table.finish(self.key, &self.slot, None);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domains
+// ---------------------------------------------------------------------------
+
+/// One artifact kind's store: its own map lock, hit/miss counters and
+/// single-flight table, so traffic in different domains never contends
+/// on a shared lock.
+#[derive(Debug)]
+struct Domain<T> {
+    map: Mutex<HashMap<u64, Arc<T>>>,
+    stats: Counters,
+    flights: FlightTable<T>,
+}
+
+impl<T> Domain<T> {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            stats: Counters::default(),
+            flights: FlightTable::new(),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct CacheInner {
-    profiles: Mutex<HashMap<u64, Arc<ProfileArtifact>>>,
-    models: Mutex<HashMap<u64, Arc<ModelArtifact>>>,
-    searches: Mutex<HashMap<u64, Arc<SearchArtifact>>>,
-    profile_stats: Counters,
-    model_stats: Counters,
-    search_stats: Counters,
+    profiles: Domain<ProfileArtifact>,
+    models: Domain<ModelArtifact>,
+    searches: Domain<SearchArtifact>,
     dir: Option<PathBuf>,
     /// Set on the first failed disk write; once set, the cache stops
     /// touching the persistence directory and runs memory-only.
     disk_failed: AtomicBool,
     obs: Mutex<ObserverHandle>,
+}
+
+impl CacheInner {
+    fn with_dir(dir: Option<PathBuf>) -> Self {
+        Self {
+            profiles: Domain::new(),
+            models: Domain::new(),
+            searches: Domain::new(),
+            dir,
+            disk_failed: AtomicBool::new(false),
+            obs: Mutex::new(ObserverHandle::null()),
+        }
+    }
 }
 
 /// The content-addressed artifact store. Cheap to clone — clones share
@@ -898,17 +1154,7 @@ impl ArtifactCache {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            inner: Arc::new(CacheInner {
-                profiles: Mutex::new(HashMap::new()),
-                models: Mutex::new(HashMap::new()),
-                searches: Mutex::new(HashMap::new()),
-                profile_stats: Counters::default(),
-                model_stats: Counters::default(),
-                search_stats: Counters::default(),
-                dir: None,
-                disk_failed: AtomicBool::new(false),
-                obs: Mutex::new(ObserverHandle::null()),
-            }),
+            inner: Arc::new(CacheInner::with_dir(None)),
         }
     }
 
@@ -923,17 +1169,7 @@ impl ArtifactCache {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
-            inner: Arc::new(CacheInner {
-                profiles: Mutex::new(HashMap::new()),
-                models: Mutex::new(HashMap::new()),
-                searches: Mutex::new(HashMap::new()),
-                profile_stats: Counters::default(),
-                model_stats: Counters::default(),
-                search_stats: Counters::default(),
-                dir: Some(dir),
-                disk_failed: AtomicBool::new(false),
-                obs: Mutex::new(ObserverHandle::null()),
-            }),
+            inner: Arc::new(CacheInner::with_dir(Some(dir))),
         })
     }
 
@@ -961,17 +1197,28 @@ impl ArtifactCache {
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            profile: self.inner.profile_stats.snapshot(),
-            model: self.inner.model_stats.snapshot(),
-            search: self.inner.search_stats.snapshot(),
+            profile: self.inner.profiles.stats.snapshot(),
+            model: self.inner.models.stats.snapshot(),
+            search: self.inner.searches.stats.snapshot(),
         }
     }
 
     /// Resets the hit/miss counters (the stored artifacts stay).
     pub fn reset_stats(&self) {
-        self.inner.profile_stats.reset();
-        self.inner.model_stats.reset();
-        self.inner.search_stats.reset();
+        self.inner.profiles.stats.reset();
+        self.inner.models.stats.reset();
+        self.inner.searches.stats.reset();
+    }
+
+    /// Snapshot of the single-flight counters: flights led, followers
+    /// coalesced onto a leader's result, and followers that observed a
+    /// poisoned flight.
+    #[must_use]
+    pub fn flight_stats(&self) -> CacheFlightStats {
+        CacheFlightStats {
+            profile: self.inner.profiles.flights.snapshot(),
+            search: self.inner.searches.flights.snapshot(),
+        }
     }
 
     /// The on-disk path of a persisted search artifact, if this cache
@@ -1019,20 +1266,24 @@ impl ArtifactCache {
     /// The one disk-backed lookup implementation behind every checked
     /// artifact lookup: memory map first, then the persistence
     /// directory, decoding through `decode` and promoting disk hits into
-    /// the memory map. Counts exactly one hit or miss on `stats`.
+    /// the memory map. Counts exactly one hit or miss on the domain's
+    /// counters. The disk read and decode run with no lock held — only
+    /// the two map probes are critical sections — so a slow disk never
+    /// stalls concurrent memory hits on the same domain.
     fn lookup_disk_backed<T>(
         &self,
-        map: &Mutex<HashMap<u64, Arc<T>>>,
-        stats: &Counters,
+        domain: &Domain<T>,
         kind: &'static str,
         key: u64,
         decode: impl FnOnce(&str) -> Result<T, ArtifactParseError>,
     ) -> Result<Option<Arc<T>>, CacheError> {
-        let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
-        if let Some(found) = map.get(&key).cloned() {
-            drop(map);
-            Self::tally(stats, true);
-            return Ok(Some(found));
+        {
+            let map = domain.map.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(found) = map.get(&key).cloned() {
+                drop(map);
+                Self::tally(&domain.stats, true);
+                return Ok(Some(found));
+            }
         }
         let loaded = match Self::load_text(self.disk_path(kind, key), kind, key) {
             Ok(Some((path, text))) => match decode(&text) {
@@ -1047,11 +1298,19 @@ impl ArtifactCache {
             Ok(None) => Ok(None),
             Err(e) => Err(e),
         };
-        if let Ok(Some(artifact)) = &loaded {
-            map.insert(key, artifact.clone());
-        }
-        drop(map);
-        Self::tally(stats, matches!(&loaded, Ok(Some(_))));
+        let loaded = match loaded {
+            // Promote the disk hit, preferring an artifact a racing
+            // promoter or inserter beat us to — every caller then shares
+            // one `Arc` per key, exactly as under the old single lock.
+            Ok(Some(artifact)) => {
+                let mut map = domain.map.lock().unwrap_or_else(|e| e.into_inner());
+                let shared = map.entry(key).or_insert_with(|| artifact).clone();
+                drop(map);
+                Ok(Some(shared))
+            }
+            other => other,
+        };
+        Self::tally(&domain.stats, matches!(&loaded, Ok(Some(_))));
         loaded
     }
 
@@ -1081,24 +1340,10 @@ impl ArtifactCache {
     pub fn try_lookup_profile(&self, key: u64) -> Result<Option<Arc<ProfileArtifact>>, CacheError> {
         self.lookup_disk_backed(
             &self.inner.profiles,
-            &self.inner.profile_stats,
             "profile",
             key,
             ProfileArtifact::from_text,
         )
-    }
-
-    /// Deprecated alias for [`Self::try_lookup_profile`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::try_lookup_profile`].
-    #[deprecated(since = "0.2.0", note = "renamed to `try_lookup_profile`")]
-    pub fn lookup_profile_checked(
-        &self,
-        key: u64,
-    ) -> Result<Option<Arc<ProfileArtifact>>, CacheError> {
-        self.try_lookup_profile(key)
     }
 
     /// Reads a persisted artifact's text. `Ok(None)` when the cache is
@@ -1133,6 +1378,7 @@ impl ArtifactCache {
         let artifact = Arc::new(artifact);
         self.inner
             .profiles
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, artifact.clone());
@@ -1157,11 +1403,12 @@ impl ArtifactCache {
         let found = self
             .inner
             .models
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
             .cloned();
-        Self::tally(&self.inner.model_stats, found.is_some());
+        Self::tally(&self.inner.models.stats, found.is_some());
         Ok(found)
     }
 
@@ -1170,6 +1417,7 @@ impl ArtifactCache {
         let artifact = Arc::new(artifact);
         self.inner
             .models
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, artifact.clone());
@@ -1196,24 +1444,10 @@ impl ArtifactCache {
     pub fn try_lookup_search(&self, key: u64) -> Result<Option<Arc<SearchArtifact>>, CacheError> {
         self.lookup_disk_backed(
             &self.inner.searches,
-            &self.inner.search_stats,
             "search",
             key,
             SearchArtifact::from_text,
         )
-    }
-
-    /// Deprecated alias for [`Self::try_lookup_search`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Self::try_lookup_search`].
-    #[deprecated(since = "0.2.0", note = "renamed to `try_lookup_search`")]
-    pub fn lookup_search_checked(
-        &self,
-        key: u64,
-    ) -> Result<Option<Arc<SearchArtifact>>, CacheError> {
-        self.try_lookup_search(key)
     }
 
     /// Stores a search artifact (and spills it to disk when the cache is
@@ -1226,6 +1460,7 @@ impl ArtifactCache {
         let artifact = Arc::new(artifact);
         self.inner
             .searches
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .insert(key, artifact.clone());
@@ -1240,9 +1475,118 @@ impl ArtifactCache {
     pub fn evict_search(&self, key: u64) -> bool {
         self.inner
             .searches
+            .map
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&key)
             .is_some()
+    }
+
+    /// The generic single-flight protocol: join (or lead) the key's
+    /// flight, and as leader run the authoritative store lookup followed
+    /// by `compute` + insert on a genuine miss. Store lookups, disk I/O
+    /// and the computation all run outside the flight-table lock.
+    fn single_flight<T, E>(
+        &self,
+        flights: &FlightTable<T>,
+        kind: &'static str,
+        key: u64,
+        lookup: impl FnOnce(&Self) -> Option<Arc<T>>,
+        insert: impl FnOnce(&Self, T) -> Arc<T>,
+        compute: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, FlightRole), SingleFlightError<E>> {
+        let slot = match flights.join(key) {
+            Join::Follow(slot) => slot,
+            Join::Lead(slot) => {
+                let guard = LeadGuard {
+                    table: flights,
+                    key,
+                    slot,
+                    done: false,
+                };
+                if let Some(found) = lookup(self) {
+                    guard.complete(found.clone());
+                    return Ok((found, FlightRole::Cached));
+                }
+                return match compute() {
+                    Ok(artifact) => {
+                        let artifact = insert(self, artifact);
+                        flights.led.fetch_add(1, Ordering::Relaxed);
+                        guard.complete(artifact.clone());
+                        Ok((artifact, FlightRole::Led))
+                    }
+                    // Dropping the guard poisons the flight, waking any
+                    // followers with `FlightPoisoned`.
+                    Err(e) => Err(SingleFlightError::Compute(e)),
+                };
+            }
+        };
+        match slot.wait() {
+            Some(artifact) => {
+                flights.coalesced.fetch_add(1, Ordering::Relaxed);
+                Ok((artifact, FlightRole::Coalesced))
+            }
+            None => {
+                flights.poisoned.fetch_add(1, Ordering::Relaxed);
+                Err(SingleFlightError::Poisoned(CacheError::FlightPoisoned {
+                    kind,
+                    key,
+                }))
+            }
+        }
+    }
+
+    /// Runs `compute` for a profile key under the single-flight
+    /// guarantee: of N concurrent callers with the same key, exactly one
+    /// (the *leader*) performs the lookup — and, on a miss, the
+    /// computation and insert — while the other N−1 block until the
+    /// leader publishes its result. The returned [`FlightRole`] records
+    /// how this caller's artifact was obtained.
+    ///
+    /// Lookup semantics match [`Self::lookup_profile`]: an unreadable or
+    /// corrupt persisted file is treated as a miss (and recomputed), and
+    /// exactly one [`CacheStats`] hit or miss is counted per flight.
+    ///
+    /// # Errors
+    ///
+    /// [`SingleFlightError::Compute`] when this caller led the flight
+    /// and its own `compute` failed; [`SingleFlightError::Poisoned`]
+    /// when it followed a leader that failed (or panicked) — the flight
+    /// entry is gone, so retrying elects a fresh leader.
+    pub fn profile_single_flight<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<ProfileArtifact, E>,
+    ) -> Result<(Arc<ProfileArtifact>, FlightRole), SingleFlightError<E>> {
+        self.single_flight(
+            &self.inner.profiles.flights,
+            "profile",
+            key,
+            |cache| cache.lookup_profile(key),
+            |cache, artifact| cache.insert_profile(key, artifact),
+            compute,
+        )
+    }
+
+    /// [`Self::profile_single_flight`] for search artifacts — the key
+    /// under which the service front end coalesces identical requests
+    /// and the fleet controller dedupes concurrent re-optimization.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::profile_single_flight`].
+    pub fn search_single_flight<E>(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Result<SearchArtifact, E>,
+    ) -> Result<(Arc<SearchArtifact>, FlightRole), SingleFlightError<E>> {
+        self.single_flight(
+            &self.inner.searches.flights,
+            "search",
+            key,
+            |cache| cache.lookup_search(key),
+            |cache, artifact| cache.insert_search(key, artifact),
+            compute,
+        )
     }
 }

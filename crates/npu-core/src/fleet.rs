@@ -216,21 +216,6 @@ impl FleetRunner {
         FleetBuilder::new(cfg)
     }
 
-    /// Creates a runner for devices of `cfg` calibrated as `calib`,
-    /// optimizing each workload under `opts`. Starts with a fresh
-    /// in-memory cache, a null observer and auto-detected worker count.
-    #[deprecated(
-        since = "0.2.0",
-        note = "assemble through `FleetRunner::builder` / `FleetBuilder` instead"
-    )]
-    #[must_use]
-    pub fn new(cfg: NpuConfig, calib: HardwareCalibration, opts: OptimizerConfig) -> Self {
-        FleetBuilder::new(cfg)
-            .with_calibration(calib)
-            .with_config(opts)
-            .build()
-    }
-
     /// Sets the number of concurrent sessions (`0` = auto-detect via
     /// [`npu_dvfs::resolve_threads`]), chainable. Worker count changes
     /// wall time only, never any report.
@@ -409,24 +394,6 @@ mod tests {
             let reports = runner.run(&batch).unwrap();
             assert_eq!(reports, solo, "workers={workers} diverged");
         }
-    }
-
-    #[test]
-    fn deprecated_constructor_matches_builder_byte_for_byte() {
-        let cfg = NpuConfig::ascend_like();
-        let calib = HardwareCalibration::ground_truth(&cfg);
-        let batch = [models::tiny(&cfg)];
-        #[allow(deprecated)]
-        let old = FleetRunner::new(cfg.clone(), calib, quick_opts())
-            .run(&batch)
-            .unwrap();
-        let new = FleetRunner::builder(cfg)
-            .with_calibration(calib)
-            .with_config(quick_opts())
-            .build()
-            .run(&batch)
-            .unwrap();
-        assert_eq!(old, new);
     }
 
     #[test]

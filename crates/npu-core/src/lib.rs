@@ -26,10 +26,14 @@ mod model_free;
 mod optimizer;
 mod report;
 pub mod serve;
+pub mod service;
 mod session;
 pub mod sweep;
 
-pub use cache::{ArtifactCache, CacheError, CacheStats};
+pub use cache::{
+    ArtifactCache, CacheError, CacheFlightStats, CacheStats, FlightRole, FlightStats,
+    SingleFlightError,
+};
 pub use fleet::{optimize_batch, FleetBuilder, FleetRunner};
 pub use fleet_serve::{
     calibration_fingerprint, calibration_vector, cluster_by_fingerprint, DeviceHealth,
@@ -41,6 +45,10 @@ pub use report::{MeasuredIteration, OptimizationReport};
 pub use serve::{
     degradation_rank, ConfigError, DriftDetector, DriftDetectorConfig, DriftSignal, ServeBuilder,
     ServeIteration, ServeOptions, ServeOutcome, ServeRuntime,
+};
+pub use service::{
+    generate_load, CostModel, Disposition, LoadSpec, OptRequest, OptResponse, OptService,
+    Provenance, RejectReason, ServiceBuilder, ServiceMetrics, ServiceOutcome,
 };
 pub use session::OptimizationSession;
 pub use sweep::sweep_profiles;

@@ -639,26 +639,6 @@ impl<'a> ServeRuntime<'a> {
         ServeBuilder::new(optimizer, workload)
     }
 
-    /// Creates a serving runtime over `optimizer`'s live device. The
-    /// runtime starts with a fresh in-memory artifact cache; use
-    /// [`Self::set_cache`] to share or persist one.
-    #[deprecated(
-        since = "0.2.0",
-        note = "assemble through `ServeRuntime::builder` / `ServeBuilder` instead"
-    )]
-    #[must_use]
-    pub fn new(
-        optimizer: &'a mut EnergyOptimizer,
-        workload: &'a Workload,
-        opts: OptimizerConfig,
-        serve: ServeOptions,
-    ) -> Self {
-        ServeBuilder::new(optimizer, workload)
-            .with_config(opts)
-            .with_serve_options(serve)
-            .build()
-    }
-
     /// Replaces the artifact cache the initial optimization and every
     /// ladder re-optimization consult. Keys cover the (possibly
     /// drift-snapshot) device configuration, seed and refreshed

@@ -15,8 +15,8 @@
 //! `observe_pipeline` example).
 
 use crate::cache::{
-    model_key, profile_key, search_key, ArtifactCache, ModelArtifact, ProfileArtifact,
-    SearchArtifact,
+    model_key, profile_key, search_key, ArtifactCache, FlightRole, ModelArtifact, ProfileArtifact,
+    SearchArtifact, SingleFlightError,
 };
 use crate::optimizer::{EnergyOptimizer, OptimizeError, OptimizerConfig};
 use crate::report::{MeasuredIteration, OptimizationReport};
@@ -245,56 +245,108 @@ impl<'a> OptimizationSession<'a> {
                     keep_raw,
                 );
                 s.profile_cache_key = Some(key);
-                if let Some(cache) = s.usable_cache() {
-                    if let Some(artifact) = cache.lookup_profile(key) {
-                        s.emit_cache_event(true, "profile");
-                        s.profiles = Some(artifact.profiles.clone());
-                        s.raw_profiles = artifact.raw_profiles.clone();
-                        s.baseline = Some(artifact.baseline);
-                        return Ok(());
-                    }
-                    s.emit_cache_event(false, "profile");
-                }
-
-                // Cold: parallel sweep over per-frequency device forks.
-                let raw = sweep_profiles(
-                    &s.opt.dev,
-                    s.workload.schedule(),
-                    &build_freqs,
-                    passes,
-                    s.opts.threads,
-                    &s.obs,
-                )?;
-                let profiles = if passes == 1 {
-                    raw.into_iter().flatten().collect()
-                } else {
-                    let merged = merge_passes(&raw)?;
-                    if keep_raw {
-                        s.raw_profiles = Some(raw.into_iter().flatten().collect());
-                    }
-                    merged
+                let Some(cache) = s.usable_cache() else {
+                    // No cache attached: plain cold sweep.
+                    let artifact = s.run_profile_cold(&build_freqs, passes, keep_raw, fmax)?;
+                    s.adopt_profile(artifact);
+                    return Ok(());
                 };
-                s.finish_profile_stage(profiles, fmax);
-                if let Some(cache) = s.usable_cache() {
-                    cache.insert_profile(
-                        key,
-                        ProfileArtifact {
-                            profiles: s.profiles.clone().expect("profile stage just ran"),
-                            raw_profiles: s.raw_profiles.clone(),
-                            baseline: *s.baseline.as_ref().expect("profile stage just ran"),
-                        },
-                    );
+                // Single-flight: of N concurrent sessions with this key,
+                // exactly one leads — running the authoritative lookup
+                // and, on a miss, the sweep + insert — while the rest
+                // block on its published artifact.
+                let flight = cache.profile_single_flight(key, || {
+                    s.emit_cache_event(false, "profile");
+                    s.run_profile_cold(&build_freqs, passes, keep_raw, fmax)
+                });
+                match flight {
+                    Ok((artifact, role)) => {
+                        if role != FlightRole::Led {
+                            s.emit_cache_event(true, "profile");
+                        }
+                        s.adopt_profile(ProfileArtifact::clone(&artifact));
+                        Ok(())
+                    }
+                    Err(SingleFlightError::Compute(e)) => Err(e),
+                    Err(SingleFlightError::Poisoned(_)) => {
+                        // The flight's leader failed; recompute locally
+                        // rather than fail this session too. No insert —
+                        // the next flight elects a fresh leader that
+                        // publishes the authoritative artifact.
+                        s.emit_cache_event(false, "profile");
+                        let artifact = s.run_profile_cold(&build_freqs, passes, keep_raw, fmax)?;
+                        s.adopt_profile(artifact);
+                        Ok(())
+                    }
                 }
-                Ok(())
             })?;
         }
         Ok(self.profiles.as_deref().expect("profile stage ran"))
+    }
+
+    /// The cold profile computation: parallel sweep over per-frequency
+    /// device forks, pass merging, and the measured-baseline fold.
+    /// Borrows the session immutably so it can run as a single-flight
+    /// compute closure; the caller adopts the returned artifact.
+    fn run_profile_cold(
+        &self,
+        build_freqs: &[npu_sim::FreqMhz],
+        passes: usize,
+        keep_raw: bool,
+        fmax: npu_sim::FreqMhz,
+    ) -> Result<ProfileArtifact, OptimizeError> {
+        let raw = sweep_profiles(
+            &self.opt.dev,
+            self.workload.schedule(),
+            build_freqs,
+            passes,
+            self.opts.threads,
+            &self.obs,
+        )?;
+        let (profiles, raw_profiles) = if passes == 1 {
+            (raw.into_iter().flatten().collect(), None)
+        } else {
+            let merged = merge_passes(&raw)?;
+            let kept = if keep_raw {
+                Some(raw.into_iter().flatten().collect())
+            } else {
+                None
+            };
+            (merged, kept)
+        };
+        let baseline = self.measure_baseline(&profiles, fmax);
+        Ok(ProfileArtifact {
+            profiles,
+            raw_profiles,
+            baseline,
+        })
+    }
+
+    /// Installs a profile artifact as this session's profile-stage state.
+    fn adopt_profile(&mut self, artifact: ProfileArtifact) {
+        self.profiles = Some(artifact.profiles);
+        self.raw_profiles = artifact.raw_profiles;
+        self.baseline = Some(artifact.baseline);
     }
 
     /// Folds the fmax profile into the measured baseline, emits the
     /// baseline [`Event::IterationMeasured`], and stores the stage's
     /// artifacts on the session.
     fn finish_profile_stage(&mut self, profiles: Vec<FreqProfile>, fmax: npu_sim::FreqMhz) {
+        let baseline = self.measure_baseline(&profiles, fmax);
+        self.baseline = Some(baseline);
+        self.profiles = Some(profiles);
+    }
+
+    /// Folds the fmax profile into the measured baseline and emits the
+    /// baseline [`Event::IterationMeasured`]. Borrows the session
+    /// immutably so the cold-profile path can run under a single-flight
+    /// closure.
+    fn measure_baseline(
+        &self,
+        profiles: &[FreqProfile],
+        fmax: npu_sim::FreqMhz,
+    ) -> MeasuredIteration {
         let baseline_profile = &profiles[0];
         debug_assert_eq!(baseline_profile.freq, fmax);
         let baseline_time: f64 = baseline_profile.records.iter().map(|r| r.dur_us).sum();
@@ -328,8 +380,7 @@ impl<'a> OptimizationSession<'a> {
                 temp_c: baseline.temp_c,
             });
         }
-        self.baseline = Some(baseline);
-        self.profiles = Some(profiles);
+        baseline
     }
 
     /// Stage 2 — fits the performance and power models from the
@@ -412,45 +463,81 @@ impl<'a> OptimizationSession<'a> {
                 // latency — switches requested closer together than the
                 // latency cannot land where planned.
                 let fai = s.opts.fai_us.max(s.opt.dev.config().setfreq_latency_us);
-                let baseline_records = &s.profiles.as_ref().expect("profile stage ran")[0].records;
                 let key = s.model_cache_key.map(|mk| search_key(mk, fai, &s.opts.ga));
-                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
-                    if let Some(artifact) = cache.lookup_search(key) {
-                        s.emit_cache_event(true, "search");
-                        // Preprocessing is a cheap pure function of the
-                        // (cached) baseline profile; recompute it so the
-                        // stage count and stage artifact stay available.
-                        // The stage table is not rebuilt on a hit.
-                        s.preprocessed = Some(preprocess(baseline_records, fai));
-                        s.outcome = Some(artifact.outcome.clone());
-                        return Ok(());
-                    }
+                let (Some(key), Some(cache)) = (key, s.usable_cache()) else {
+                    let (pre, table, outcome) = s.run_search_cold(fai)?;
+                    s.preprocessed = Some(pre);
+                    s.table = Some(table);
+                    s.outcome = Some(outcome);
+                    return Ok(());
+                };
+                // Single-flight over the search key — the key the service
+                // front end coalesces identical requests on. The leader
+                // keeps its preprocessed stages and table; followers and
+                // plain hits recompute only the cheap preprocessing.
+                let mut built = None;
+                let flight = cache.search_single_flight(key, || {
                     s.emit_cache_event(false, "search");
+                    let (pre, table, outcome) = s.run_search_cold(fai)?;
+                    built = Some((pre, table));
+                    Ok(SearchArtifact { outcome })
+                });
+                match flight {
+                    Ok((artifact, role)) => {
+                        if role != FlightRole::Led {
+                            s.emit_cache_event(true, "search");
+                        }
+                        s.outcome = Some(artifact.outcome.clone());
+                        if let Some((pre, table)) = built {
+                            s.preprocessed = Some(pre);
+                            s.table = Some(table);
+                        } else {
+                            // Preprocessing is a cheap pure function of
+                            // the (cached) baseline profile; recompute it
+                            // so the stage count and stage artifact stay
+                            // available. The stage table is not rebuilt
+                            // on a hit.
+                            let baseline_records =
+                                &s.profiles.as_ref().expect("profile stage ran")[0].records;
+                            s.preprocessed = Some(preprocess(baseline_records, fai));
+                        }
+                        Ok(())
+                    }
+                    Err(SingleFlightError::Compute(e)) => Err(e),
+                    Err(SingleFlightError::Poisoned(_)) => {
+                        // Leader failure: recompute locally, no insert
+                        // (see the profile stage for the rationale).
+                        s.emit_cache_event(false, "search");
+                        let (pre, table, outcome) = s.run_search_cold(fai)?;
+                        s.preprocessed = Some(pre);
+                        s.table = Some(table);
+                        s.outcome = Some(outcome);
+                        Ok(())
+                    }
                 }
-                let freq_table = s.opt.dev.config().freq_table.clone();
-                let pre = preprocess(baseline_records, fai);
-                let table = StageTable::build(
-                    &pre,
-                    s.perf.as_ref().expect("model stage ran"),
-                    s.power.as_ref().expect("model stage ran"),
-                    &freq_table,
-                )?;
-                let outcome = search_observed(&table, &s.opts.ga, &s.obs);
-                if let (Some(key), Some(cache)) = (key, s.usable_cache()) {
-                    cache.insert_search(
-                        key,
-                        SearchArtifact {
-                            outcome: outcome.clone(),
-                        },
-                    );
-                }
-                s.preprocessed = Some(pre);
-                s.table = Some(table);
-                s.outcome = Some(outcome);
-                Ok(())
             })?;
         }
         Ok(self.outcome.as_ref().expect("search stage ran"))
+    }
+
+    /// The cold search computation: preprocess the baseline profile,
+    /// build the stage table, run the GA. Borrows the session immutably
+    /// so it can run as a single-flight compute closure.
+    fn run_search_cold(
+        &self,
+        fai: f64,
+    ) -> Result<(Preprocessed, StageTable, GaOutcome), OptimizeError> {
+        let baseline_records = &self.profiles.as_ref().expect("profile stage ran")[0].records;
+        let freq_table = self.opt.dev.config().freq_table.clone();
+        let pre = preprocess(baseline_records, fai);
+        let table = StageTable::build(
+            &pre,
+            self.perf.as_ref().expect("model stage ran"),
+            self.power.as_ref().expect("model stage ran"),
+            &freq_table,
+        )?;
+        let outcome = search_observed(&table, &self.opts.ga, &self.obs);
+        Ok((pre, table, outcome))
     }
 
     /// Stage 4 — executes the winning strategy on the device and

@@ -373,6 +373,43 @@ pub enum Event {
         /// Display form of the underlying I/O error.
         error: String,
     },
+    /// The service front end admitted an optimization request into the
+    /// bounded queue.
+    RequestAdmitted {
+        /// Request index in arrival order (0-based).
+        request: u64,
+        /// Queue depth after the admit (including this request).
+        queue_depth: usize,
+    },
+    /// The service front end rejected an optimization request: the
+    /// bounded queue was full at arrival, or the request waited past its
+    /// latency budget and was shed at dispatch.
+    RequestRejected {
+        /// Request index in arrival order (0-based).
+        request: u64,
+        /// Stable rejection slug (`"queue-full"`, `"shedding"`).
+        reason: String,
+        /// Virtual time the request waited before rejection, µs.
+        waited_us: f64,
+    },
+    /// An admitted request was coalesced onto an identical in-flight
+    /// request instead of running its own session.
+    RequestCoalesced {
+        /// Request index in arrival order (0-based).
+        request: u64,
+        /// Request index of the flight's leader.
+        leader: u64,
+    },
+    /// An admitted request completed and its response was produced.
+    RequestCompleted {
+        /// Request index in arrival order (0-based).
+        request: u64,
+        /// How the strategy was obtained (`"computed"`, `"coalesced"`,
+        /// `"cached"`).
+        provenance: String,
+        /// Virtual latency from arrival to completion, µs.
+        latency_us: f64,
+    },
 }
 
 impl Event {
@@ -411,6 +448,10 @@ impl Event {
             Self::TransferRejected { .. } => "TransferRejected",
             Self::EpochDegraded { .. } => "EpochDegraded",
             Self::CacheDegraded { .. } => "CacheDegraded",
+            Self::RequestAdmitted { .. } => "RequestAdmitted",
+            Self::RequestRejected { .. } => "RequestRejected",
+            Self::RequestCoalesced { .. } => "RequestCoalesced",
+            Self::RequestCompleted { .. } => "RequestCompleted",
         }
     }
 
@@ -658,6 +699,35 @@ impl Event {
             Self::CacheDegraded { kind, error } => {
                 push_str_field(&mut s, "kind", kind);
                 push_str_field(&mut s, "error", error);
+            }
+            Self::RequestAdmitted {
+                request,
+                queue_depth,
+            } => {
+                push_uint_field(&mut s, "request", *request);
+                push_uint_field(&mut s, "queue_depth", *queue_depth as u64);
+            }
+            Self::RequestRejected {
+                request,
+                reason,
+                waited_us,
+            } => {
+                push_uint_field(&mut s, "request", *request);
+                push_str_field(&mut s, "reason", reason);
+                push_num_field(&mut s, "waited_us", *waited_us);
+            }
+            Self::RequestCoalesced { request, leader } => {
+                push_uint_field(&mut s, "request", *request);
+                push_uint_field(&mut s, "leader", *leader);
+            }
+            Self::RequestCompleted {
+                request,
+                provenance,
+                latency_us,
+            } => {
+                push_uint_field(&mut s, "request", *request);
+                push_str_field(&mut s, "provenance", provenance);
+                push_num_field(&mut s, "latency_us", *latency_us);
             }
         }
         s.push('}');
@@ -949,6 +1019,46 @@ mod tests {
             e.to_json(),
             "{\"event\":\"CacheDegraded\",\"kind\":\"search\",\
              \"error\":\"not a directory\"}"
+        );
+    }
+
+    #[test]
+    fn json_encodes_request_events() {
+        let e = Event::RequestAdmitted {
+            request: 42,
+            queue_depth: 3,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"RequestAdmitted\",\"request\":42,\"queue_depth\":3}"
+        );
+        let e = Event::RequestRejected {
+            request: 43,
+            reason: "queue-full".to_owned(),
+            waited_us: 0.0,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"RequestRejected\",\"request\":43,\
+             \"reason\":\"queue-full\",\"waited_us\":0}"
+        );
+        let e = Event::RequestCoalesced {
+            request: 44,
+            leader: 40,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"RequestCoalesced\",\"request\":44,\"leader\":40}"
+        );
+        let e = Event::RequestCompleted {
+            request: 44,
+            provenance: "coalesced".to_owned(),
+            latency_us: 125.5,
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"event\":\"RequestCompleted\",\"request\":44,\
+             \"provenance\":\"coalesced\",\"latency_us\":125.5}"
         );
     }
 

@@ -200,4 +200,61 @@ grep -q '"healthy_digest_stable": true' BENCH_chaos.json \
 grep -q '"bit_identical": true' BENCH_chaos.json \
   || { echo "BENCH_chaos.json: digest diverged across worker counts" >&2; exit 1; }
 
+echo "==> service front-end smoke (2k requests, coalescing, 2-worker digest)"
+# The example is self-checking: it exits non-zero unless most of the
+# stream completes, duplicates share work, sessions collapse >= 10x and
+# the response digest is worker-count-independent.
+cargo run --quiet --release --example service_front_end > /dev/null
+
+echo "==> service bench smoke (bounded admission + coalescing, 2 load seeds)"
+# The bench is self-checking: it exits non-zero unless the
+# duplicate-heavy stream coalesces, p99 stays finite and the full
+# response digest is bit-identical at 1/2/8 workers. Run two generator
+# seeds so admission/shedding is exercised on more than one arrival
+# pattern. The completed >= 10000 and >= 5x speedup gates apply to the
+# checked-in full run only — smoke streams are too short.
+service_fields="seed workers submitted_light completed_light \
+coalesce_rate_light shed_rate_light p50_us_light p99_us_light \
+sessions_light sessions_per_sec_light submitted_steady completed_steady \
+coalesce_rate_steady shed_rate_steady p50_us_steady p99_us_steady \
+sessions_steady sessions_per_sec_steady submitted_dup_heavy \
+completed_dup_heavy coalesce_rate_dup_heavy shed_rate_dup_heavy \
+p50_us_dup_heavy p99_us_dup_heavy sessions_dup_heavy \
+sessions_per_sec_dup_heavy baseline_requests baseline_sessions_per_sec \
+coalesce_speedup digest bit_identical"
+for seed in 9 31; do
+  CRITERION_SMOKE=1 SERVICE_SEED=$seed cargo bench -p npu-bench --bench service > /dev/null
+  for f in $service_fields; do
+    grep -q "\"$f\"" BENCH_service.smoke.json \
+      || { echo "seed $seed: BENCH_service.smoke.json missing field $f" >&2; exit 1; }
+  done
+  awk -F': ' '/"coalesce_rate_dup_heavy"/ { if ($2 + 0 <= 0.0) exit 1 }' BENCH_service.smoke.json \
+    || { echo "seed $seed: duplicate-heavy stream never coalesced" >&2; exit 1; }
+  grep -q '"bit_identical": true' BENCH_service.smoke.json \
+    || { echo "seed $seed: service digest diverged across worker counts" >&2; exit 1; }
+  rm -f BENCH_service.smoke.json
+done
+
+# The checked-in full-run measurement (10k+ requests per level: cargo
+# bench -p npu-bench --bench service, no CRITERION_SMOKE) must carry the
+# same fields, complete >= 10000 duplicate-heavy requests, coalesce,
+# keep p99 finite, beat the coalescing-disabled isolated baseline by
+# >= 5x served/sec, and stay bit-identical across worker counts.
+for f in $service_fields; do
+  grep -q "\"$f\"" BENCH_service.json \
+    || { echo "BENCH_service.json: missing field $f" >&2; exit 1; }
+done
+awk -F': ' '/"completed_dup_heavy"/ { if ($2 + 0 < 10000) exit 1 }' BENCH_service.json \
+  || { echo "BENCH_service.json: fewer than 10000 duplicate-heavy completions" >&2; exit 1; }
+awk -F': ' '/"coalesce_rate_dup_heavy"/ { if ($2 + 0 <= 0.0) exit 1 }' BENCH_service.json \
+  || { echo "BENCH_service.json: duplicate-heavy stream never coalesced" >&2; exit 1; }
+if grep -qE '"p(50|99)_us_(light|steady|dup_heavy)": (NaN|-?inf)' BENCH_service.json; then
+  echo "BENCH_service.json: latency percentile not finite" >&2
+  exit 1
+fi
+awk -F': ' '/"coalesce_speedup"/ { if ($2 + 0 < 5.0) exit 1 }' BENCH_service.json \
+  || { echo "BENCH_service.json: coalescing speedup below 5x" >&2; exit 1; }
+grep -q '"bit_identical": true' BENCH_service.json \
+  || { echo "BENCH_service.json: service digest diverged across worker counts" >&2; exit 1; }
+
 echo "==> all checks passed"
