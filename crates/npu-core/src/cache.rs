@@ -124,6 +124,10 @@ impl Fingerprint {
 }
 
 fn push_config(fp: &mut Fingerprint, cfg: &NpuConfig) {
+    // The device-profile fingerprint (0 for hand-built configs) keeps
+    // artifacts from ever aliasing across device descriptions, even if
+    // two profiles were numerically identical field-for-field.
+    fp.push_u64(cfg.profile_fp);
     fp.push_u64(u64::from(cfg.core_num));
     for v in [
         cfg.ld_bytes_per_cycle_per_core,

@@ -55,6 +55,24 @@ pub struct OptimizerConfig {
     pub resilience: Option<ResilientOptions>,
 }
 
+impl OptimizerConfig {
+    /// Defaults with the model-building profile frequencies taken from
+    /// the device's own ladder endpoints, so one set of options runs on
+    /// any [device profile](npu_sim::profile). For the Ascend ladder
+    /// this is identical to `default()` (`[1000, 1800]` MHz).
+    #[must_use]
+    pub fn for_device(cfg: &NpuConfig) -> Self {
+        let mut build_freqs = vec![cfg.freq_table.min()];
+        if cfg.freq_table.max() != cfg.freq_table.min() {
+            build_freqs.push(cfg.freq_table.max());
+        }
+        Self {
+            build_freqs,
+            ..Self::default()
+        }
+    }
+}
+
 impl Default for OptimizerConfig {
     fn default() -> Self {
         Self {
@@ -275,7 +293,11 @@ impl EnergyOptimizer {
     ///
     /// Returns [`OptimizeError::Calibration`] if a calibration fit fails.
     pub fn calibrated(cfg: NpuConfig) -> Result<Self, OptimizeError> {
-        Self::calibrated_with(cfg, &CalibrationOptions::default())
+        // Idle-fit frequencies come from the device's own ladder, so
+        // calibration works on any device profile. For the Ascend ladder
+        // this resolves to the historical [1000, 1800] MHz defaults.
+        let calib_opts = CalibrationOptions::for_table(&cfg.freq_table);
+        Self::calibrated_with(cfg, &calib_opts)
     }
 
     /// Like [`Self::calibrated`] but with explicit calibration settings —

@@ -38,7 +38,7 @@
 
 use crate::ga::score;
 use crate::memo::FingerprintRing;
-use crate::pool::{assert_pool_matches, genome_fingerprint, GenomePool, PoolScratch};
+use crate::pool::{assert_pool_matches, GenomePool, PoolScratch};
 use crate::strategy::{Evaluation, StageTable, Sums};
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -252,7 +252,8 @@ pub fn resolve_threads_with(requested: usize, lookup: impl Fn(&str) -> Option<St
 ///
 /// The fast path is [`Self::score_pool`] over a bit-packed
 /// [`GenomePool`]; [`Self::score_population`] accepts plain slices and
-/// shares the same memo space via [`genome_fingerprint`]. All dedup and
+/// shares the same memo space via [`crate::pool::genome_fingerprint`]-
+/// compatible staging-pool fingerprints. All dedup and
 /// result buffers are engine-owned: a warm single-threaded
 /// [`Self::score_pool`] call performs no heap allocation.
 #[derive(Debug)]
@@ -277,6 +278,10 @@ pub struct EvalEngine<'t> {
     copy_from: Vec<(u32, u32)>,
     /// Freshly evaluated scores, parallel to `pending`.
     fresh_buf: Vec<f64>,
+    /// Engine-owned staging pool for the slice API: `score_population`
+    /// packs each genome once here (fingerprints computed in the same
+    /// pass) and then scores through the pool fast path.
+    slice_pool: GenomePool,
     scored: usize,
     unique_scored: usize,
 }
@@ -303,6 +308,7 @@ impl<'t> EvalEngine<'t> {
             pending: Vec::new(),
             copy_from: Vec::new(),
             fresh_buf: Vec::new(),
+            slice_pool: GenomePool::new(table.n_stages(), table.n_freqs()),
             scored: 0,
             unique_scored: 0,
         }
@@ -356,12 +362,23 @@ impl<'t> EvalEngine<'t> {
     /// fingerprints agree, so both paths share one memo space).
     #[must_use]
     pub fn score_population(&mut self, population: &[Vec<usize>]) -> Vec<f64> {
-        let m = self.table.n_freqs();
-        self.fps_buf.clear();
-        self.fps_buf
-            .extend(population.iter().map(|g| genome_fingerprint(g, m)));
-        self.run_scoring(|scratch, i| scratch.eval_genes(&population[i]));
-        self.scores_buf.clone()
+        // Pack each genome exactly once into the engine-owned staging
+        // pool (`push_genes` derives the fingerprint during the same
+        // packing pass) and score through the pool fast path, which
+        // repositions scratches by XOR-diffing packed words. The old
+        // slice path paid two full packing passes per genome — one for
+        // `genome_fingerprint`, one inside `eval_genes` — which left it
+        // slower than unmemoized full evaluation on mutation-sized
+        // diffs. Fingerprints are identical by construction, so both
+        // entry points still share one memo space.
+        let mut pool = std::mem::replace(&mut self.slice_pool, GenomePool::new(0, 1));
+        pool.clear();
+        for genes in population {
+            let _ = pool.push_genes(genes);
+        }
+        let scores = self.score_pool(&pool).to_vec();
+        self.slice_pool = pool;
+        scores
     }
 
     /// Shared scoring core. `self.fps_buf` holds the population's
@@ -384,6 +401,7 @@ impl<'t> EvalEngine<'t> {
             pending,
             copy_from,
             fresh_buf,
+            slice_pool: _,
             scored,
             unique_scored,
         } = self;

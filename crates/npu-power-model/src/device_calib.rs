@@ -50,6 +50,24 @@ impl Default for CalibrationOptions {
     }
 }
 
+impl CalibrationOptions {
+    /// Defaults with the idle-fit frequencies taken from the device's
+    /// own ladder endpoints, so calibration works on any device profile.
+    /// For the Ascend ladder this is identical to `default()`
+    /// (`[1000, 1800]` MHz).
+    #[must_use]
+    pub fn for_table(table: &npu_sim::FrequencyTable) -> Self {
+        let mut idle_freqs = vec![table.min()];
+        if table.max() != table.min() {
+            idle_freqs.push(table.max());
+        }
+        Self {
+            idle_freqs,
+            ..Self::default()
+        }
+    }
+}
+
 /// Errors from device-driven calibration.
 #[derive(Debug)]
 pub enum DeviceCalibrationError {

@@ -84,18 +84,21 @@ pub struct NpuConfig {
     pub power_noise_sd: f64,
     /// Absolute standard deviation of temperature-measurement noise, °C.
     pub temp_noise_sd_c: f64,
+    /// Content fingerprint of the [device profile](crate::profile) this
+    /// configuration was loaded from, or `0` for a hand-built
+    /// configuration. Artifact-cache keys hash this field so cached
+    /// results can never alias across device descriptions.
+    pub profile_fp: u64,
 }
 
 impl NpuConfig {
-    /// Ascend-910-class calibration used throughout the reproduction.
+    /// Ascend-910-class calibration used throughout the reproduction: a
+    /// thin wrapper over the embedded `ascend-910` device profile, whose
+    /// values are bit-identical to the historical hardcoded literal
+    /// (regression-pinned in [`crate::profile`]'s tests).
     #[must_use]
     pub fn ascend_like() -> Self {
-        match NpuConfigBuilder::new().build() {
-            Ok(cfg) => cfg,
-            // The builder defaults are compile-time constants; a test pins
-            // their validity, so this arm cannot be reached at runtime.
-            Err(e) => unreachable!("default config rejected: {e}"),
-        }
+        crate::profile::ascend_910().config().clone()
     }
 
     /// Starts building a custom configuration.
@@ -157,37 +160,15 @@ pub struct NpuConfigBuilder {
 }
 
 impl NpuConfigBuilder {
-    /// Starts from the Ascend-like defaults.
+    /// Starts from the Ascend-like defaults (the embedded `ascend-910`
+    /// profile). The resulting configuration is considered hand-built:
+    /// its `profile_fp` is zeroed, since any field may be overridden
+    /// before `build()`.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            cfg: NpuConfig {
-                core_num: 24,
-                ld_bytes_per_cycle_per_core: 128.0,
-                st_bytes_per_cycle_per_core: 64.0,
-                l2_bw_bytes_per_us: 6.0e6,
-                hbm_bw_bytes_per_us: 1.4e6,
-                mem_overhead_us: 0.2,
-                freq_table: FrequencyTable::ascend_default(),
-                voltage_curve: VoltageCurve::ascend_default(),
-                beta_w_per_ghz_v2: 16.0,
-                theta_w_per_v: 6.0,
-                gamma_aicore_w_per_k_v: 0.25,
-                gamma_soc_w_per_k_v: 0.9,
-                uncore_idle_w: 130.0,
-                uncore_theta_w_per_v: 46.0,
-                uncore_dynamic_fraction: 0.45,
-                uncore_min_scale: 0.6,
-                hbm_pj_per_byte: 40.0,
-                ambient_c: 40.0,
-                k_c_per_w: 0.11,
-                thermal_tau_us: 2.0e6,
-                setfreq_latency_us: 1_000.0,
-                exec_noise_sd: 0.01,
-                power_noise_sd: 0.012,
-                temp_noise_sd_c: 0.25,
-            },
-        }
+        let mut cfg = NpuConfig::ascend_like();
+        cfg.profile_fp = 0;
+        Self { cfg }
     }
 
     /// Sets the AICore count.

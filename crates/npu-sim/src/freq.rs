@@ -103,12 +103,12 @@ impl FrequencyTable {
         Ok(Self { points })
     }
 
-    /// The Ascend-style default: 1000–1800 MHz in 100 MHz steps.
+    /// The Ascend-style default: 1000–1800 MHz in 100 MHz steps, read
+    /// from the embedded `ascend-910` device profile (the single source
+    /// of truth for the Ascend shape since the profile refactor).
     #[must_use]
     pub fn ascend_default() -> Self {
-        Self {
-            points: (10..=18).map(|k| FreqMhz::new(k * 100)).collect(),
-        }
+        crate::profile::ascend_910().config().freq_table.clone()
     }
 
     /// All supported points, ascending.
@@ -242,10 +242,11 @@ impl VoltageCurve {
     }
 
     /// The Ascend-style default: 0.78 V up to 1300 MHz, then +0.4 mV/MHz
-    /// (0.98 V at 1800 MHz).
+    /// (0.98 V at 1800 MHz), read from the embedded `ascend-910` device
+    /// profile.
     #[must_use]
     pub fn ascend_default() -> Self {
-        Self::new(0.78, FreqMhz::new(1300), 0.0004)
+        crate::profile::ascend_910().config().voltage_curve
     }
 
     /// Supply voltage at frequency `f`, in volts.
@@ -268,6 +269,12 @@ impl VoltageCurve {
     #[must_use]
     pub fn base_volts(&self) -> f64 {
         self.v_base
+    }
+
+    /// The linear-region slope, in volts per MHz above the knee.
+    #[must_use]
+    pub fn slope_v_per_mhz(&self) -> f64 {
+        self.slope_v_per_mhz
     }
 }
 

@@ -49,6 +49,7 @@ mod hook;
 mod noise;
 mod operator;
 pub mod power;
+pub mod profile;
 mod profiler;
 mod spread;
 pub mod telemetry;
@@ -63,6 +64,7 @@ pub use freq::{FreqMhz, FreqTableError, FrequencyTable, VoltageCurve};
 pub use hook::{DeviceHook, HookHandle, RecordFate, SampleFate, SetFreqFate};
 pub use noise::NoiseSource;
 pub use operator::{CoreMix, OpClass, OpDescriptor, Scenario};
+pub use profile::{DeviceProfile, ProfileError};
 pub use profiler::OpRecord;
 pub use spread::ConfigSpread;
 pub use telemetry::{summarize, TelemetrySample, TelemetrySummary};

@@ -76,7 +76,9 @@ mod tests {
     use super::*;
 
     fn cfg() -> NpuConfig {
-        NpuConfig::ascend_like()
+        // Explicitly the embedded ascend profile (what `ascend_like`
+        // wraps), so these physics pins track the declarative source.
+        crate::profile::ascend_910().config().clone()
     }
 
     #[test]

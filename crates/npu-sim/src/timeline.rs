@@ -392,7 +392,9 @@ mod tests {
     use crate::operator::CoreMix;
 
     fn cfg() -> NpuConfig {
-        NpuConfig::ascend_like()
+        // Explicitly the embedded ascend profile (what `ascend_like`
+        // wraps), so these timeline pins track the declarative source.
+        crate::profile::ascend_910().config().clone()
     }
 
     fn mem_op(scenario: Scenario) -> OpDescriptor {

@@ -567,6 +567,35 @@ mod tests {
     }
 
     #[test]
+    fn generators_run_on_every_builtin_profile() {
+        // Generators take the device description as input (port widths,
+        // core count, ladder), so they must yield schedules a device
+        // built from *any* checked-in profile accepts and completes.
+        for p in npu_sim::profile::builtins() {
+            let cfg = p.config().clone();
+            for w in [tiny(&cfg), vit_base(&cfg), softmax_loop(&cfg, 4)] {
+                let mut dev = Device::new(cfg.clone());
+                let r = dev
+                    .run(w.schedule(), &RunOptions::at(cfg.freq_table.max()))
+                    .unwrap();
+                assert!(
+                    r.duration_us > 0.0,
+                    "{} on {}: empty run",
+                    w.name(),
+                    p.name()
+                );
+                assert_eq!(
+                    r.records.len(),
+                    w.op_count(),
+                    "{} on {}: dropped records",
+                    w.name(),
+                    p.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn inference_trace_is_mostly_idle() {
         let cfg = cfg();
         let w = llama2_inference(&cfg, 4);

@@ -1,0 +1,72 @@
+//! Lints every checked-in device profile under `profiles/`.
+//!
+//! ```sh
+//! cargo run --release --example profile_lint
+//! ```
+//!
+//! Parses and validates each `profiles/*.toml` through the same
+//! [`DeviceProfile::from_file`] path users take for custom devices, and
+//! additionally checks that each file's canonical re-serialization is a
+//! fixed point (so formatting churn cannot silently change a profile's
+//! cache fingerprint). Exits non-zero on the first violation —
+//! `scripts/check.sh` runs this as its profile-lint gate.
+
+use dvfs_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = format!("{}/profiles", env!("CARGO_MANIFEST_DIR"));
+    let mut names = Vec::new();
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no profiles found under {dir}").into());
+    }
+
+    for path in &paths {
+        let profile =
+            DeviceProfile::from_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let canonical = profile.to_toml();
+        let reparsed = DeviceProfile::parse(&canonical)
+            .map_err(|e| format!("{}: canonical form failed to re-parse: {e}", path.display()))?;
+        if reparsed.to_toml() != canonical {
+            return Err(format!(
+                "{}: canonical serialization is not a fixed point",
+                path.display()
+            )
+            .into());
+        }
+        if reparsed.fingerprint() != profile.fingerprint() {
+            return Err(format!(
+                "{}: fingerprint changed across re-serialization",
+                path.display()
+            )
+            .into());
+        }
+        println!(
+            "ok: {} — {} ({} freq points, fp {:016x})",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?"),
+            profile.name(),
+            profile.config().freq_table.len(),
+            profile.fingerprint(),
+        );
+        names.push(profile.name().to_owned());
+    }
+
+    // The three shipped descriptions must stay present and resolvable
+    // through the embedded registry.
+    for required in ["ascend-910", "v100-class", "edge-npu"] {
+        if !names.iter().any(|n| n == required) {
+            return Err(format!("required profile `{required}` missing from {dir}").into());
+        }
+        if profile::by_name(required).is_none() {
+            return Err(format!("`{required}` not resolvable via profile::by_name").into());
+        }
+    }
+    println!("{} profiles linted", paths.len());
+    Ok(())
+}

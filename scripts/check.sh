@@ -25,6 +25,19 @@ cargo test --workspace --quiet -- --test-threads=1
 echo "==> cargo doc (-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> profile lint (parse + validate + fixed-point check for profiles/*.toml)"
+# The example is self-checking: it exits non-zero if any checked-in
+# device profile fails to parse, fails validation, is not a canonical
+# serialization fixed point, or if a required profile is missing.
+cargo run --quiet --release --example profile_lint > /dev/null
+
+echo "==> quickstart smoke on two device profiles (ascend default + v100-class)"
+# The full Fig. 1 loop must complete on more than the Ascend regression
+# pin: the coarse-ladder 15 ms-SetFreq V100-class profile exercises the
+# ladder-derived calibration/build-frequency defaults end to end.
+cargo run --quiet --release --example quickstart > /dev/null
+NPU_PROFILE=v100-class cargo run --quiet --release --example quickstart > /dev/null
+
 echo "==> observability example smoke (OBS_SMOKE=1, events to /dev/null)"
 OBS_SMOKE=1 cargo run --quiet --example observe_pipeline > /dev/null
 
@@ -51,8 +64,9 @@ CRITERION_SMOKE=1 cargo bench -p npu-bench --bench simulator
 # allocations on a warm single-threaded score_pool pass, and the exact
 # Pareto-DP oracle certifying the GA result with a gap of exactly 0.0.
 ga_fields="full_policies_per_sec incremental_policies_per_sec \
-engine_policies_per_sec pool_policies_per_sec pool_vs_engine_speedup \
-pool_bit_identical pool_score_allocs optimality_gap oracle_certified"
+engine_policies_per_sec pool_policies_per_sec engine_speedup \
+pool_vs_engine_speedup pool_bit_identical pool_score_allocs \
+optimality_gap oracle_certified"
 for f in $ga_fields; do
   grep -q "\"$f\"" BENCH_ga_eval.smoke.json \
     || { echo "BENCH_ga_eval.smoke.json: missing field $f" >&2; exit 1; }
@@ -77,6 +91,11 @@ for f in $ga_fields; do
 done
 awk -F': ' '/"pool_vs_engine_speedup"/ { if ($2 + 0 < 5.0) exit 1 }' BENCH_ga_eval.json \
   || { echo "BENCH_ga_eval.json: pool speedup below 5x" >&2; exit 1; }
+# Regression pin: the engine's slice path once re-packed every genome
+# twice per scoring call and recorded slower than scoring from scratch
+# (engine_speedup 0.81). It must never lose to full evaluation again.
+awk -F': ' '/"engine_speedup"/ { if ($2 + 0 < 1.0) exit 1 }' BENCH_ga_eval.json \
+  || { echo "BENCH_ga_eval.json: engine slower than full evaluation" >&2; exit 1; }
 grep -q '"pool_bit_identical": true' BENCH_ga_eval.json \
   || { echo "BENCH_ga_eval.json: pool scores not bit-identical" >&2; exit 1; }
 grep -q '"optimality_gap": 0.0,' BENCH_ga_eval.json \
@@ -128,9 +147,10 @@ CRITERION_SMOKE=1 cargo bench -p npu-bench --bench fleet
 # applies to the checked-in full run only — an 8-device smoke is too
 # small for stable timing.
 fleet_fields="devices epochs clusters devices_per_sec fleet_swaps \
-transfer_hits transfer_misses transfer_hit_rate cache_hit_rate \
-warm_reopt_wall_s cold_reopt_wall_s warm_reopt_per_swap_ms \
-cold_reopt_per_swap_ms reopt_speedup digest bit_identical"
+cold_swaps transfer_hits transfer_misses transfer_hit_rate \
+cache_hit_rate warm_reopt_wall_s cold_reopt_wall_s \
+warm_reopt_per_swap_ms cold_reopt_per_swap_ms reopt_speedup digest \
+bit_identical"
 for f in $fleet_fields; do
   grep -q "\"$f\"" BENCH_fleet.smoke.json \
     || { echo "BENCH_fleet.smoke.json: missing field $f" >&2; exit 1; }
@@ -154,6 +174,14 @@ awk -F': ' '/"transfer_hit_rate"/ { if ($2 + 0 <= 0.0) exit 1 }' BENCH_fleet.jso
   || { echo "BENCH_fleet.json: no transfer hits" >&2; exit 1; }
 awk -F': ' '/"reopt_speedup"/ { if ($2 + 0 < 2.0) exit 1 }' BENCH_fleet.json \
   || { echo "BENCH_fleet.json: warm re-optimization speedup below 2x" >&2; exit 1; }
+# Regression pin: both passes run one identical saturated swap schedule
+# (the bench asserts warm swaps == cold swaps), so the end-to-end warm
+# wall must beat cold outright. The historical recording inverted
+# (warm 1.819 s > cold 1.541 s) because the warm pass's residual drift
+# kept the detector firing and tripled its swap count.
+awk -F': ' '/"warm_secs"/ { w = $2 + 0 } /"cold_secs"/ { c = $2 + 0 }
+  END { if (w > c) exit 1 }' BENCH_fleet.json \
+  || { echo "BENCH_fleet.json: warm fleet pass slower than cold" >&2; exit 1; }
 grep -q '"bit_identical": true' BENCH_fleet.json \
   || { echo "BENCH_fleet.json: fleet digest diverged across worker counts" >&2; exit 1; }
 

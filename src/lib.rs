@@ -84,8 +84,9 @@ pub mod prelude {
         calibrate_device, calibrate_device_parallel, CalibrationOptions, PowerModel,
     };
     pub use npu_sim::{
-        ConfigSpread, Device, DriftModel, FreqMhz, FrequencyTable, NpuConfig, OpDescriptor,
-        OpRecord, RunOptions, Scenario, Schedule, TelemetrySummary, VoltageCurve,
+        profile, ConfigSpread, Device, DeviceProfile, DriftModel, FreqMhz, FrequencyTable,
+        NpuConfig, OpDescriptor, OpRecord, ProfileError, RunOptions, Scenario, Schedule,
+        TelemetrySummary, VoltageCurve,
     };
     pub use npu_workloads::{models, ops, Workload};
 }

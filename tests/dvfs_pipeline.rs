@@ -11,13 +11,15 @@ use npu_exec::{execute_strategy, ExecutorOptions};
 use npu_sim::OpClass;
 
 fn baseline_profile(workload: &Workload, cfg: &NpuConfig) -> (Device, Vec<npu_sim::OpRecord>) {
+    // Profile at the device's own ladder ceiling (1800 MHz on the Ascend
+    // profile, whatever the loaded description declares elsewhere) so the
+    // same pipeline runs on every builtin profile.
+    let top = cfg.freq_table.max();
     let mut dev = Device::new(cfg.clone());
     let tau = dev.config().thermal_tau_us;
-    dev.warm_until_steady(workload.schedule(), FreqMhz::new(1800), 0.2, 12.0 * tau)
+    dev.warm_until_steady(workload.schedule(), top, 0.2, 12.0 * tau)
         .unwrap();
-    let run = dev
-        .run(workload.schedule(), &RunOptions::at(FreqMhz::new(1800)))
-        .unwrap();
+    let run = dev.run(workload.schedule(), &RunOptions::at(top)).unwrap();
     (dev, run.records)
 }
 
@@ -92,6 +94,97 @@ fn preprocessing_respects_fai_and_partitions_ops() {
     let kinds: Vec<StageKind> = coarse.stages().iter().map(|s| s.kind).collect();
     assert!(kinds.contains(&StageKind::Hfc));
     assert!(kinds.contains(&StageKind::Lfc));
+}
+
+#[test]
+fn pipeline_stages_compose_on_every_builtin_profile() {
+    // classify → preprocess → model build → GA search → execution, on
+    // each checked-in device description. The point is structural: every
+    // stage of the Sect. 6–7 pipeline must accept whatever ladder,
+    // memory system and pipeline set the profile declares.
+    for p in dvfs_repro::sim::profile::builtins() {
+        let cfg = p.config().clone();
+        let workload = models::tiny(&cfg);
+        let (mut dev, records) = baseline_profile(&workload, &cfg);
+        assert!(
+            !records.is_empty(),
+            "{}: profiling produced no records",
+            p.name()
+        );
+        for rec in &records {
+            // classify() must place every record somewhere; host-side ops
+            // stay host-bound regardless of device physics.
+            let b = classify(rec);
+            if rec.class != OpClass::Compute {
+                assert!(
+                    matches!(b, Bottleneck::Host(_)),
+                    "{}: host op misclassified",
+                    p.name()
+                );
+            }
+        }
+
+        let pre = preprocess(&records, 100.0);
+        let mut next = 0;
+        for s in pre.stages() {
+            assert_eq!(
+                s.op_range.start,
+                next,
+                "{}: stages must partition ops",
+                p.name()
+            );
+            next = s.op_range.end;
+        }
+        assert_eq!(
+            next,
+            records.len(),
+            "{}: stages must cover all ops",
+            p.name()
+        );
+
+        let (lo, hi) = (cfg.freq_table.min(), cfg.freq_table.max());
+        let mut profiles = vec![FreqProfile {
+            freq: hi,
+            records: records.clone(),
+        }];
+        let run_lo = dev.run(workload.schedule(), &RunOptions::at(lo)).unwrap();
+        profiles.push(FreqProfile {
+            freq: lo,
+            records: run_lo.records,
+        });
+        let perf = PerfModelStore::build(&profiles, FitFunction::Quadratic).unwrap();
+        let calib = npu_power_model::HardwareCalibration::ground_truth(&cfg);
+        let power = PowerModel::build(calib, cfg.voltage_curve, &profiles).unwrap();
+        let table = StageTable::build(&pre, &perf, &power, &cfg.freq_table).unwrap();
+        assert_eq!(
+            table.n_freqs(),
+            cfg.freq_table.len(),
+            "{}: stage table must span the profile's whole ladder",
+            p.name()
+        );
+
+        let ga = GaConfig::default().with_population(30).with_iterations(40);
+        let outcome = search(&table, &ga);
+        assert!(
+            outcome.best_score.is_finite(),
+            "{}: GA produced a non-finite score",
+            p.name()
+        );
+
+        let exec = execute_strategy(
+            &mut dev,
+            workload.schedule(),
+            &outcome.strategy,
+            &records,
+            &ExecutorOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            exec.result.duration_us > 0.0,
+            "{}: execution made no progress",
+            p.name()
+        );
+    }
 }
 
 #[test]

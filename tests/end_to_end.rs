@@ -78,6 +78,61 @@ fn looser_targets_trade_more_performance_for_more_savings() {
 }
 
 #[test]
+fn full_loop_runs_and_reproduces_on_every_builtin_profile() {
+    // The same calibrate → profile → model → search → execute loop must
+    // complete on every checked-in device description — the Ascend
+    // regression pin, the coarse-ladder V100 class and the sparse edge
+    // part — and stay deterministic on each.
+    for p in dvfs_repro::sim::profile::builtins() {
+        let cfg = p.config().clone();
+        let workload = models::tiny(&cfg);
+        let run = || {
+            let mut optimizer =
+                EnergyOptimizer::calibrated(cfg.clone()).expect("calibration succeeds");
+            let opts = OptimizerConfig::for_device(&cfg).with_fai_us(100.0);
+            let opts = OptimizerConfig {
+                ga: GaConfig::default().with_population(30).with_iterations(40),
+                ..opts
+            };
+            optimizer
+                .optimize(&workload, &opts)
+                .expect("optimization succeeds")
+        };
+        let a = run();
+        let b = run();
+        assert!(
+            a.baseline.time_us > 0.0,
+            "{}: baseline run must make progress",
+            p.name()
+        );
+        assert!(
+            a.perf_loss() < 0.5,
+            "{}: perf loss {:.3} out of any reasonable band",
+            p.name(),
+            a.perf_loss()
+        );
+        assert_eq!(
+            a.baseline,
+            b.baseline,
+            "{}: baseline not reproducible",
+            p.name()
+        );
+        assert_eq!(
+            a.optimized,
+            b.optimized,
+            "{}: optimized not reproducible",
+            p.name()
+        );
+        assert_eq!(
+            a.ga_trace,
+            b.ga_trace,
+            "{}: GA trace not reproducible",
+            p.name()
+        );
+    }
+}
+
+#[test]
 fn reports_are_reproducible_for_identical_seeds() {
     let cfg = NpuConfig::ascend_like();
     let workload = models::tiny(&cfg);

@@ -14,25 +14,39 @@ use dvfs_repro::prelude::*;
 use dvfs_repro::sim::OpClass;
 use proptest::prelude::*;
 
-fn quick_opts() -> OptimizerConfig {
-    let mut o = OptimizerConfig::default().with_fai_us(100.0);
+fn quick_opts(cfg: &NpuConfig) -> OptimizerConfig {
+    // `for_device` derives the build frequencies from the profile's own
+    // ladder (identical to the historical defaults on Ascend).
+    let mut o = OptimizerConfig::for_device(cfg).with_fai_us(100.0);
     o.ga = o.ga.with_population(30).with_iterations(40);
     o
 }
 
 #[test]
-fn profile_sweep_is_bit_identical_across_thread_counts() {
-    let cfg = NpuConfig::ascend_like(); // default noise levels on
-    let dev = Device::new(cfg.clone());
-    let w = models::tiny(&cfg);
-    let freqs = [FreqMhz::new(1800), FreqMhz::new(1400), FreqMhz::new(1000)];
-    let obs = ObserverHandle::null();
-    let reference = sweep_profiles(&dev, w.schedule(), &freqs, 2, 1, &obs).unwrap();
-    for threads in [2, 8] {
-        let got = sweep_profiles(&dev, w.schedule(), &freqs, 2, threads, &obs).unwrap();
-        // PartialEq on f64 fields; NaN never appears in profiles, so
-        // equality here is bit-equality.
-        assert_eq!(got, reference, "sweep diverged at {threads} threads");
+fn profile_sweep_is_bit_identical_across_thread_counts_on_every_profile() {
+    for p in dvfs_repro::sim::profile::builtins() {
+        let cfg = p.config().clone(); // default noise levels on
+        let dev = Device::new(cfg.clone());
+        let w = models::tiny(&cfg);
+        let ladder = &cfg.freq_table;
+        let freqs = [
+            ladder.max(),
+            ladder.points()[ladder.len() / 2],
+            ladder.min(),
+        ];
+        let obs = ObserverHandle::null();
+        let reference = sweep_profiles(&dev, w.schedule(), &freqs, 2, 1, &obs).unwrap();
+        for threads in [2, 8] {
+            let got = sweep_profiles(&dev, w.schedule(), &freqs, 2, threads, &obs).unwrap();
+            // PartialEq on f64 fields; NaN never appears in profiles, so
+            // equality here is bit-equality.
+            assert_eq!(
+                got,
+                reference,
+                "sweep diverged at {threads} threads on {}",
+                p.name()
+            );
+        }
     }
 }
 
@@ -61,22 +75,25 @@ fn calibration_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
-fn full_session_report_is_bit_identical_across_thread_counts() {
-    let cfg = NpuConfig::ascend_like();
-    let w = models::tiny(&cfg);
-    let calib = HardwareCalibration::ground_truth(&cfg);
-    let run = |threads: usize| {
-        let mut opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
-        opt.optimize(&w, &quick_opts().with_threads(threads))
-            .unwrap()
-    };
-    let reference = run(1);
-    for threads in [2, 8] {
-        assert_eq!(
-            run(threads),
-            reference,
-            "report diverged at {threads} threads"
-        );
+fn full_session_report_is_bit_identical_across_thread_counts_on_every_profile() {
+    for p in dvfs_repro::sim::profile::builtins() {
+        let cfg = p.config().clone();
+        let w = models::tiny(&cfg);
+        let calib = HardwareCalibration::ground_truth(&cfg);
+        let run = |threads: usize| {
+            let mut opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
+            opt.optimize(&w, &quick_opts(&cfg).with_threads(threads))
+                .unwrap()
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                reference,
+                "report diverged at {threads} threads on {}",
+                p.name()
+            );
+        }
     }
 }
 
@@ -88,14 +105,14 @@ fn warm_cache_session_reproduces_cold_session_exactly() {
     let cache = ArtifactCache::new();
 
     let mut cold_opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
-    let mut cold = cold_opt.session(&w, &quick_opts());
+    let mut cold = cold_opt.session(&w, &quick_opts(&cfg));
     cold.set_cache(cache.clone());
     let cold_report = cold.report().unwrap();
     drop(cold);
 
     cache.reset_stats();
     let mut warm_opt = EnergyOptimizer::new(Device::new(cfg.clone()), calib);
-    let mut warm = warm_opt.session(&w, &quick_opts());
+    let mut warm = warm_opt.session(&w, &quick_opts(&cfg));
     warm.set_cache(cache.clone());
     let warm_report = warm.report().unwrap();
 
@@ -132,6 +149,19 @@ fn fingerprints_are_stable_and_input_sensitive() {
     let mut cfg2 = cfg.clone();
     cfg2.ambient_c += 1.0;
     assert_ne!(key, profile_key(&cfg2, 7, w.schedule(), &freqs, 1, false));
+    // The device-profile fingerprint is keyed too: a hand-built config
+    // with identical physics (builder output, profile_fp == 0) must not
+    // alias artifacts of the profile-loaded config.
+    let hand_built = NpuConfig::builder().build().unwrap();
+    assert_eq!(hand_built.profile_fp, 0);
+    assert_ne!(cfg.profile_fp, 0);
+    assert_ne!(
+        key,
+        profile_key(&hand_built, 7, w.schedule(), &freqs, 1, false)
+    );
+    // And distinct profiles never share keys, even for the same inputs.
+    let v100 = dvfs_repro::sim::profile::v100_class().config();
+    assert_ne!(key, profile_key(v100, 7, w.schedule(), &freqs, 1, false));
 }
 
 // ---------------------------------------------------------------------------
